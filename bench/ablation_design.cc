@@ -1,0 +1,196 @@
+// Ablations for the design choices called out in DESIGN.md §4 (beyond the
+// λ sweep inside fig5_precision):
+//   1. Contextual vs basic (one-hot) preference vector — Sec. IV-B.2's
+//      claim that the individual walk is "locally sensitive".
+//   2. Void/original candidate states on vs off (Sec. V-B).
+//   3. Closeness path-length bound & beam width — accuracy/time tradeoff
+//      of the Sec. IV-C extraction.
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "closeness/path_search.h"
+#include "eval/judge.h"
+#include "eval/metrics.h"
+#include "walk/similarity.h"
+
+namespace kqr {
+namespace {
+
+constexpr size_t kTopK = 10;
+
+void AblateContextualPreference(ExperimentContext* ctx) {
+  bench::PrintHeader(
+      "Ablation 1: contextual vs basic (one-hot) preference vector");
+  ReformulationEngine& engine = *ctx->engine;
+  const TatGraph& graph = engine.graph();
+  const GraphStats& stats = engine.stats();
+
+  // Quality of the similar-term lists against the generative ground
+  // truth: fraction of each probe's top-10 similar terms sharing a
+  // latent topic with the probe.
+  SimilarityOptions contextual;
+  SimilarityOptions basic;
+  basic.mode = PreferenceMode::kBasic;
+  SimilarityExtractor ctx_extractor(graph, stats, contextual);
+  SimilarityExtractor basic_extractor(graph, stats, basic);
+  const Vocabulary& vocab = engine.vocab();
+
+  auto same_topic_fraction = [&](const SimilarityExtractor& extractor,
+                                 TermId probe) {
+    std::vector<size_t> probe_topics =
+        ctx->corpus.TopicsOf(vocab.text(probe));
+    if (probe_topics.empty()) return -1.0;
+    auto similar = extractor.TopSimilar(graph.NodeOfTerm(probe), 10);
+    if (similar.empty()) return -1.0;
+    size_t matched = 0;
+    for (const ScoredNode& s : similar) {
+      std::vector<size_t> topics =
+          ctx->corpus.TopicsOf(vocab.text(graph.TermOfNode(s.node)));
+      for (size_t t : topics) {
+        if (std::find(probe_topics.begin(), probe_topics.end(), t) !=
+            probe_topics.end()) {
+          ++matched;
+          break;
+        }
+      }
+    }
+    return double(matched) / double(similar.size());
+  };
+
+  // Reach: mean shortest graph distance to the top-10 similar terms —
+  // the paper's claim is that the one-hot walk is "locally sensitive"
+  // while the contextual walk explores the surrounding context.
+  auto mean_reach = [&](const SimilarityExtractor& extractor,
+                        TermId probe) {
+    NodeId start = graph.NodeOfTerm(probe);
+    auto similar = extractor.TopSimilar(start, 10);
+    if (similar.empty()) return -1.0;
+    double total = 0;
+    size_t counted = 0;
+    for (const ScoredNode& s : similar) {
+      int d = ShortestDistance(graph, start, s.node, 8);
+      if (d >= 0) {
+        total += d;
+        ++counted;
+      }
+    }
+    return counted == 0 ? -1.0 : total / double(counted);
+  };
+
+  QuerySampler sampler(engine, /*seed=*/31, {}, &ctx->corpus);
+  double ctx_topical = 0, basic_topical = 0;
+  double ctx_reach = 0, basic_reach = 0;
+  size_t probes = 0;
+  for (const auto& query : sampler.SampleMixedSet(30)) {
+    TermId probe = query.back();  // the topical title term
+    double ct = same_topic_fraction(ctx_extractor, probe);
+    double bt = same_topic_fraction(basic_extractor, probe);
+    double cr = mean_reach(ctx_extractor, probe);
+    double br = mean_reach(basic_extractor, probe);
+    if (ct < 0 || bt < 0 || cr < 0 || br < 0) continue;
+    ctx_topical += ct;
+    basic_topical += bt;
+    ctx_reach += cr;
+    basic_reach += br;
+    ++probes;
+  }
+  TablePrinter table({"preference", "same-topic fraction of top-10",
+                      "mean graph distance of top-10", "probes"});
+  table.AddRow({"contextual (Alg. 1)",
+                FormatDouble(ctx_topical / double(probes), 3),
+                FormatDouble(ctx_reach / double(probes), 2),
+                std::to_string(probes)});
+  table.AddRow({"basic one-hot",
+                FormatDouble(basic_topical / double(probes), 3),
+                FormatDouble(basic_reach / double(probes), 2),
+                std::to_string(probes)});
+  table.Print(std::cout);
+  std::printf(
+      "shape: contextual holds topical quality (within 0.02) while "
+      "reaching at least as far: %s\n",
+      (ctx_topical >= basic_topical - 0.02 * double(probes) &&
+       ctx_reach >= basic_reach - 1e-9)
+          ? "HOLDS"
+          : "VIOLATED");
+}
+
+void AblateVoidStates(ExperimentContext* ctx) {
+  bench::PrintHeader("Ablation 2: void/original candidate states");
+  ReformulationEngine& engine = *ctx->engine;
+  TopicJudge judge(ctx->corpus, engine);
+  QuerySampler sampler(engine, /*seed=*/32, {}, &ctx->corpus);
+  auto queries = sampler.SampleMixedSet(10);
+
+  TablePrinter table({"variant", "Precision@5", "mean suggestions"});
+  struct Variant {
+    const char* name;
+    bool original;
+    bool include_void;
+  };
+  for (const Variant& v :
+       {Variant{"original+similars (default)", true, false},
+        Variant{"with void state", true, true},
+        Variant{"similars only", false, false}}) {
+    auto* candidates =
+        &engine.mutable_options()->reformulator.candidates;
+    candidates->include_original = v.original;
+    candidates->include_void = v.include_void;
+    std::vector<std::vector<bool>> judged;
+    double suggestions = 0;
+    for (const auto& q : queries) {
+      auto ranking = engine.ReformulateTerms(q, kTopK);
+      suggestions += double(ranking.size());
+      judged.push_back(judge.JudgeRanking(q, ranking));
+    }
+    table.AddRow({v.name, FormatDouble(MeanPrecisionAtN(judged, 5), 3),
+                  FormatDouble(suggestions / double(queries.size()), 1)});
+  }
+  engine.mutable_options()->reformulator.candidates = CandidateOptions{};
+  table.Print(std::cout);
+}
+
+void AblateClosenessBounds(ExperimentContext* ctx) {
+  bench::PrintHeader(
+      "Ablation 3: closeness path bound / beam width (time per term)");
+  const TatGraph& graph = ctx->engine->graph();
+  QuerySampler sampler(*ctx->engine, /*seed=*/33);
+  auto probes = sampler.SampleQueries(20, 1);
+
+  TablePrinter table({"max path length", "beam", "mean time (ms)",
+                      "mean reached nodes"});
+  for (size_t max_length : {2, 3, 4, 5}) {
+    for (size_t beam : {512, 4096}) {
+      PathSearchOptions options;
+      options.max_length = max_length;
+      options.beam_width = beam;
+      Timer timer;
+      double reached = 0;
+      for (const auto& q : probes) {
+        reached += double(
+            SearchPaths(graph, graph.NodeOfTerm(q[0]), options).size());
+      }
+      table.AddRow({std::to_string(max_length), std::to_string(beam),
+                    FormatDouble(timer.ElapsedMillis() /
+                                     double(probes.size()),
+                                 2),
+                    FormatDouble(reached / double(probes.size()), 0)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  ExperimentContext ctx = bench::MustMakeContext(bench::DefaultCorpus());
+  AblateContextualPreference(&ctx);
+  AblateVoidStates(&ctx);
+  AblateClosenessBounds(&ctx);
+}
+
+}  // namespace
+}  // namespace kqr
+
+int main() {
+  kqr::Run();
+  return 0;
+}

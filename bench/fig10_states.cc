@@ -1,0 +1,61 @@
+// Figure 10 — "Time Cost with Varied Sizes of Candidate States": online
+// time of Algorithm 3 as the per-term similar-term list size n grows
+// (query length 6, k = 10). The paper highlights that n ≤ 20 comfortably
+// supports interactive use.
+
+#include "bench_common.h"
+
+namespace kqr {
+namespace {
+
+constexpr size_t kNumQueries = 40;
+constexpr size_t kQueryLength = 6;
+constexpr size_t kTopK = 10;
+const size_t kStateSizes[] = {5, 10, 15, 20, 30, 40};
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 10: time vs candidate-state list size n (length 6, k=10)");
+  // The similarity index must hold the largest list we sweep to.
+  EngineOptions options;
+  options.similarity.list_size = 40;
+  options.reformulator.candidates.per_term = 40;
+  ExperimentContext ctx =
+      bench::MustMakeContext(bench::DefaultCorpus(), options);
+  ReformulationEngine& engine = *ctx.engine;
+
+  QuerySampler sampler(engine, /*seed=*/403);
+  auto queries = sampler.SampleQueries(kNumQueries, kQueryLength);
+  bench::WarmUp(&engine, queries, kTopK);
+
+  TablePrinter table({"n (states per term)", "whole call (us)",
+                      "decode stage (us)"});
+  std::vector<double> totals;
+  for (size_t n : kStateSizes) {
+    engine.mutable_options()->reformulator.candidates.per_term = n;
+    double total_us = 0, decode_us = 0;
+    for (const auto& q : queries) {
+      ReformulationTimings timings;
+      engine.ReformulateTerms(q, kTopK, &timings);
+      total_us += timings.TotalSeconds() * 1e6;
+      decode_us += timings.decode_seconds * 1e6;
+    }
+    total_us /= double(kNumQueries);
+    decode_us /= double(kNumQueries);
+    totals.push_back(total_us);
+    table.AddRow({std::to_string(n), FormatDouble(total_us, 1),
+                  FormatDouble(decode_us, 1)});
+  }
+  table.Print(std::cout);
+  std::printf("shape: time grows with n, and n=20 stays interactive "
+              "(%.1f us << 0.2 s): %s\n",
+              totals[3], totals[3] < 2e5 ? "HOLDS" : "VIOLATED");
+}
+
+}  // namespace
+}  // namespace kqr
+
+int main() {
+  kqr::Run();
+  return 0;
+}

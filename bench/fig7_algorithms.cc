@@ -1,0 +1,67 @@
+// Figure 7 — "Time Cost of Query Generation Algorithms": mean online
+// reformulation time of Algorithm 2 (extended Viterbi) vs Algorithm 3
+// (Viterbi + A*) over 400 sampled queries of lengths 1–8, drawn from the
+// author/title/venue fields exactly as Sec. VI-B.2 samples them.
+
+#include "bench_common.h"
+
+namespace kqr {
+namespace {
+
+constexpr size_t kQueriesPerLength = 50;  // 8 lengths × 50 = 400 queries
+constexpr size_t kMaxLength = 8;
+constexpr size_t kTopK = 10;
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 7: Algorithm 2 (extended Viterbi) vs Algorithm 3 "
+      "(Viterbi+A*) by query length");
+  ExperimentContext ctx = bench::MustMakeContext(bench::DefaultCorpus());
+  ReformulationEngine& engine = *ctx.engine;
+
+  QuerySampler sampler(engine, /*seed=*/400);
+  std::vector<std::vector<std::vector<TermId>>> by_length;
+  std::vector<std::vector<TermId>> all;
+  for (size_t len = 1; len <= kMaxLength; ++len) {
+    by_length.push_back(sampler.SampleQueries(kQueriesPerLength, len));
+    for (const auto& q : by_length.back()) all.push_back(q);
+  }
+  bench::WarmUp(&engine, all, kTopK);
+
+  TablePrinter table({"query length", "Algorithm 2 (ms)",
+                      "Algorithm 3 (ms)", "speedup"});
+  double total2 = 0, total3 = 0;
+  for (size_t len = 1; len <= kMaxLength; ++len) {
+    const auto& queries = by_length[len - 1];
+
+    engine.mutable_options()->reformulator.algorithm =
+        TopKAlgorithm::kExtendedViterbi;
+    Timer t2;
+    for (const auto& q : queries) engine.ReformulateTerms(q, kTopK);
+    double ms2 = t2.ElapsedMillis() / double(queries.size());
+
+    engine.mutable_options()->reformulator.algorithm =
+        TopKAlgorithm::kViterbiAStar;
+    Timer t3;
+    for (const auto& q : queries) engine.ReformulateTerms(q, kTopK);
+    double ms3 = t3.ElapsedMillis() / double(queries.size());
+
+    total2 += ms2;
+    total3 += ms3;
+    table.AddRow({std::to_string(len), FormatDouble(ms2, 3),
+                  FormatDouble(ms3, 3),
+                  FormatDouble(ms3 > 0 ? ms2 / ms3 : 0.0, 2) + "x"});
+  }
+  table.Print(std::cout);
+  std::printf("shape: Algorithm 3 faster overall: %s (totals %.3f ms vs "
+              "%.3f ms per query-length row)\n",
+              total3 <= total2 ? "HOLDS" : "VIOLATED", total2, total3);
+}
+
+}  // namespace
+}  // namespace kqr
+
+int main() {
+  kqr::Run();
+  return 0;
+}

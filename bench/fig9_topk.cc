@@ -1,0 +1,58 @@
+// Figure 9 — "Time Cost with Different Returned Queries": online time of
+// Algorithm 3 as the number of returned queries k grows, at query length
+// 6. The paper's observation: the Viterbi stage is flat in k (it always
+// computes the top-1 trellis) while the A* stage grows linearly.
+
+#include "bench_common.h"
+
+namespace kqr {
+namespace {
+
+constexpr size_t kNumQueries = 40;
+constexpr size_t kQueryLength = 6;
+const size_t kReturnSizes[] = {1, 5, 10, 20, 30, 50};
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 9: time vs number of returned queries k (length 6)");
+  ExperimentContext ctx = bench::MustMakeContext(bench::DefaultCorpus());
+  ReformulationEngine& engine = *ctx.engine;
+
+  QuerySampler sampler(engine, /*seed=*/402);
+  auto queries = sampler.SampleQueries(kNumQueries, kQueryLength);
+  bench::WarmUp(&engine, queries, 50);
+
+  TablePrinter table({"k", "Viterbi stage (us)", "A* stage (us)",
+                      "whole call (us)"});
+  std::vector<double> astar_series;
+  for (size_t k : kReturnSizes) {
+    double viterbi_us = 0, astar_us = 0, total_us = 0;
+    for (const auto& q : queries) {
+      ReformulationTimings timings;
+      engine.ReformulateTerms(q, k, &timings);
+      viterbi_us += timings.astar.viterbi_seconds * 1e6;
+      astar_us += timings.astar.astar_seconds * 1e6;
+      total_us += timings.TotalSeconds() * 1e6;
+    }
+    viterbi_us /= double(kNumQueries);
+    astar_us /= double(kNumQueries);
+    total_us /= double(kNumQueries);
+    astar_series.push_back(astar_us);
+    table.AddRow({std::to_string(k), FormatDouble(viterbi_us, 1),
+                  FormatDouble(astar_us, 1), FormatDouble(total_us, 1)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "shape: A* stage grows with k (%.1f us @k=1 -> %.1f us @k=50): "
+      "%s\n",
+      astar_series.front(), astar_series.back(),
+      astar_series.back() > astar_series.front() ? "HOLDS" : "VIOLATED");
+}
+
+}  // namespace
+}  // namespace kqr
+
+int main() {
+  kqr::Run();
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: text analysis,
+// graph construction, random walk, path search, decoders. These back the
+// DESIGN.md §4 cost discussions; the paper-facing tables live in the
+// table*/fig* binaries.
+
+#include <benchmark/benchmark.h>
+
+#include "closeness/path_search.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/astar_topk.h"
+#include "core/viterbi_topk.h"
+#include "datagen/dblp_gen.h"
+#include "graph/graph_stats.h"
+#include "graph/tat_builder.h"
+#include "text/analyzer.h"
+#include "text/inverted_index.h"
+#include "text/porter_stemmer.h"
+#include "walk/similarity.h"
+
+namespace kqr {
+namespace {
+
+DblpOptions BenchCorpusOptions() {
+  DblpOptions options;
+  options.num_authors = 600;
+  options.num_papers = 2000;
+  options.num_venues = 24;
+  return options;
+}
+
+// Shared corpus for the graph-level benchmarks (built once).
+struct BenchWorld {
+  DblpCorpus corpus;
+  Analyzer analyzer;
+  Vocabulary vocab;
+  std::unique_ptr<InvertedIndex> index_holder;
+  std::unique_ptr<TatGraph> graph_holder;
+  std::unique_ptr<GraphStats> stats_holder;
+
+  const InvertedIndex& index() const { return *index_holder; }
+  const TatGraph& graph() const { return *graph_holder; }
+  const GraphStats& stats() const { return *stats_holder; }
+};
+
+BenchWorld* World() {
+  static BenchWorld* world = [] {
+    auto corpus = GenerateDblp(BenchCorpusOptions());
+    KQR_CHECK(corpus.ok());
+    auto* w = new BenchWorld;
+    w->corpus = std::move(*corpus);
+    auto index = InvertedIndex::Build(w->corpus.db, w->analyzer, &w->vocab);
+    KQR_CHECK(index.ok());
+    w->index_holder =
+        std::make_unique<InvertedIndex>(std::move(*index));
+    auto graph = BuildTatGraph(w->corpus.db, w->vocab, w->index());
+    KQR_CHECK(graph.ok());
+    w->graph_holder = std::make_unique<TatGraph>(std::move(*graph));
+    w->stats_holder = std::make_unique<GraphStats>(w->graph());
+    return w;
+  }();
+  return world;
+}
+
+void BM_PorterStem(benchmark::State& state) {
+  PorterStemmer stemmer;
+  const char* words[] = {"probabilistic", "generalization", "indexing",
+                         "queries",       "relational",     "mining"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stemmer.Stem(words[i++ % 6]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_AnalyzeTitle(benchmark::State& state) {
+  Analyzer analyzer;
+  const std::string title =
+      "Efficient Probabilistic Query Processing over Uncertain "
+      "Relational Data Streams";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.AnalyzeSegmented(title));
+  }
+}
+BENCHMARK(BM_AnalyzeTitle);
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  BenchWorld* w = World();
+  for (auto _ : state) {
+    Vocabulary vocab;
+    auto index = InvertedIndex::Build(w->corpus.db, w->analyzer, &vocab);
+    benchmark::DoNotOptimize(index.ok());
+  }
+}
+BENCHMARK(BM_InvertedIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_TatGraphBuild(benchmark::State& state) {
+  BenchWorld* w = World();
+  for (auto _ : state) {
+    auto graph = BuildTatGraph(w->corpus.db, w->vocab, w->index());
+    benchmark::DoNotOptimize(graph.ok());
+  }
+}
+BENCHMARK(BM_TatGraphBuild)->Unit(benchmark::kMillisecond);
+
+void BM_ContextualRandomWalk(benchmark::State& state) {
+  BenchWorld* w = World();
+  SimilarityExtractor extractor(w->graph(), w->stats());
+  // Walk from a mid-frequency title term.
+  NodeId start = kInvalidNodeId;
+  for (TermId t = 0; t < w->vocab.size(); ++t) {
+    NodeId node = w->graph().NodeOfTerm(t);
+    size_t deg = w->graph().Degree(node);
+    if (deg >= 10 && deg <= 100) {
+      start = node;
+      break;
+    }
+  }
+  KQR_CHECK(start != kInvalidNodeId);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.TopSimilar(start, 20));
+  }
+}
+BENCHMARK(BM_ContextualRandomWalk)->Unit(benchmark::kMillisecond);
+
+void BM_PathSearch(benchmark::State& state) {
+  BenchWorld* w = World();
+  NodeId start = kInvalidNodeId;
+  for (TermId t = 0; t < w->vocab.size(); ++t) {
+    NodeId node = w->graph().NodeOfTerm(t);
+    if (w->graph().Degree(node) >= 10) {
+      start = node;
+      break;
+    }
+  }
+  KQR_CHECK(start != kInvalidNodeId);
+  PathSearchOptions options;
+  options.max_length = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SearchPaths(w->graph(), start, options));
+  }
+}
+BENCHMARK(BM_PathSearch)->Arg(2)->Arg(3)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+HmmModel RandomModel(size_t m, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  HmmModel model;
+  model.states.assign(m, std::vector<CandidateState>(n));
+  model.pi.resize(n);
+  model.emission.assign(m, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) model.pi[i] = 0.1 + rng.NextDouble();
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      model.emission[c][i] = 0.05 + rng.NextDouble();
+    }
+  }
+  model.trans.assign(
+      m - 1, std::vector<std::vector<double>>(n, std::vector<double>(n)));
+  for (size_t c = 0; c + 1 < m; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        model.trans[c][i][j] = 0.05 + rng.NextDouble();
+      }
+    }
+  }
+  return model;
+}
+
+void BM_ViterbiTopK(benchmark::State& state) {
+  HmmModel model = RandomModel(state.range(0), 20, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ViterbiTopK(model, 10));
+  }
+}
+BENCHMARK(BM_ViterbiTopK)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AStarTopK(benchmark::State& state) {
+  HmmModel model = RandomModel(state.range(0), 20, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AStarTopK(model, 10));
+  }
+}
+BENCHMARK(BM_AStarTopK)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace kqr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// E-commerce search: the same pipeline on a completely different schema
+// (categories/brands/products/reviews), demonstrating the paper's claim
+// that the approach applies to any foreign-key-connected structured data —
+// no DBLP-specific assumption anywhere in the library.
+//
+//   $ ./build/examples/ecommerce_search
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datagen/ecommerce_gen.h"
+
+using namespace kqr;
+
+int main() {
+  std::printf("generating synthetic product catalog...\n");
+  auto corpus = GenerateEcommerce({});
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  auto engine = ReformulationEngine::Build(std::move(corpus->db));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("engine ready: %zu tuples, %zu graph nodes, %zu terms\n\n",
+              (*engine)->db().TotalRows(),
+              (*engine)->graph().num_nodes(), (*engine)->vocab().size());
+
+  for (const char* query :
+       {"wireless headphone", "camping tent", "yoga mat",
+        "stainless cookware"}) {
+    std::printf("=== \"%s\" ===\n", query);
+    auto outcome = (*engine)->Search(query);
+    if (outcome.ok()) {
+      std::printf("  products matching: %zu\n", outcome->total_results);
+    }
+    auto suggestions = (*engine)->Reformulate(query, 6);
+    if (!suggestions.ok()) {
+      std::printf("  (%s)\n\n", suggestions.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  shoppers also search:\n");
+    for (const ReformulatedQuery& q : *suggestions) {
+      std::printf("    %-36s %.3g\n",
+                  q.ToString((*engine)->vocab()).c_str(), q.score);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

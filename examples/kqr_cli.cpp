@@ -1,0 +1,200 @@
+// kqr_cli: bring-your-own-data entry point. Loads a relational dataset
+// from CSV files plus a small schema description, builds the engine, and
+// answers queries from the command line — the path a downstream user of
+// this library would take with their own structured data.
+//
+// Schema file format (one directive per line, '#' comments):
+//   table <name> <pk-column>
+//   column <table> <name> <int|double|string> [segmented|atomic]
+//   fk <table> <column> <parent-table>
+//   load <table> <csv-path>           # paths relative to the schema file
+//
+// Usage:
+//   $ ./build/examples/kqr_cli <schema-file> "<query>" [k]
+//   $ ./build/examples/kqr_cli --demo "<query>"    # built-in demo corpus
+//
+// With --demo the synthetic DBLP corpus is used, e.g.:
+//   $ ./build/examples/kqr_cli --demo "probabilistic query" 5
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "core/facets.h"
+#include "datagen/dblp_gen.h"
+#include "storage/csv.h"
+
+using namespace kqr;
+
+namespace {
+
+Result<Database> LoadFromSchemaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open schema file '" + path + "'");
+  std::string dir = ".";
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash);
+
+  struct TableSpec {
+    std::string name;
+    std::string pk;
+    std::vector<Column> columns;
+    std::vector<ForeignKey> fks;
+    std::vector<std::string> csv_paths;
+  };
+  std::vector<TableSpec> specs;
+  auto find_spec = [&](const std::string& name) -> TableSpec* {
+    for (TableSpec& s : specs) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> parts = SplitWhitespace(trimmed);
+    const std::string& directive = parts[0];
+    auto fail = [&](const std::string& msg) {
+      return Status::InvalidArgument("schema line " +
+                                     std::to_string(line_no) + ": " + msg);
+    };
+    if (directive == "table") {
+      if (parts.size() != 3) return fail("table <name> <pk>");
+      if (find_spec(parts[1]) != nullptr) return fail("duplicate table");
+      specs.push_back(TableSpec{parts[1], parts[2], {}, {}, {}});
+    } else if (directive == "column") {
+      if (parts.size() < 4) {
+        return fail("column <table> <name> <type> [role]");
+      }
+      TableSpec* spec = find_spec(parts[1]);
+      if (spec == nullptr) return fail("unknown table " + parts[1]);
+      ValueType type;
+      if (parts[3] == "int") {
+        type = ValueType::kInt64;
+      } else if (parts[3] == "double") {
+        type = ValueType::kDouble;
+      } else if (parts[3] == "string") {
+        type = ValueType::kString;
+      } else {
+        return fail("bad type " + parts[3]);
+      }
+      TextRole role = TextRole::kNone;
+      if (parts.size() >= 5) {
+        if (parts[4] == "segmented") {
+          role = TextRole::kSegmented;
+        } else if (parts[4] == "atomic") {
+          role = TextRole::kAtomic;
+        } else {
+          return fail("bad role " + parts[4]);
+        }
+      }
+      spec->columns.push_back(Column(parts[2], type, role));
+    } else if (directive == "fk") {
+      if (parts.size() != 4) return fail("fk <table> <column> <parent>");
+      TableSpec* spec = find_spec(parts[1]);
+      if (spec == nullptr) return fail("unknown table " + parts[1]);
+      spec->fks.push_back(ForeignKey{parts[2], parts[3]});
+    } else if (directive == "load") {
+      if (parts.size() != 3) return fail("load <table> <csv>");
+      TableSpec* spec = find_spec(parts[1]);
+      if (spec == nullptr) return fail("unknown table " + parts[1]);
+      spec->csv_paths.push_back(dir + "/" + parts[2]);
+    } else {
+      return fail("unknown directive " + directive);
+    }
+  }
+
+  Database db("user");
+  for (TableSpec& spec : specs) {
+    KQR_ASSIGN_OR_RETURN(
+        Schema schema, Schema::Make(spec.name, std::move(spec.columns),
+                                    spec.pk, std::move(spec.fks)));
+    KQR_ASSIGN_OR_RETURN(Table * table,
+                         db.CreateTable(std::move(schema)));
+    for (const std::string& csv : spec.csv_paths) {
+      KQR_RETURN_NOT_OK(LoadCsvFileInto(csv, table));
+    }
+  }
+  return db;
+}
+
+int RunQuery(ReformulationEngine* engine, const std::string& query,
+             size_t k) {
+  auto resolved = engine->ResolveQuery(query);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "cannot resolve query: %s\n",
+                 resolved.status().ToString().c_str());
+    return 1;
+  }
+  auto suggestions = engine->ReformulateTerms(*resolved, k);
+  std::printf("query: \"%s\" — %zu suggestions\n", query.c_str(),
+              suggestions.size());
+  auto facets = GroupByFacets(*resolved, suggestions, engine->vocab());
+  for (const SuggestionFacet& facet : facets) {
+    std::printf("[facet: %s]\n", facet.label.c_str());
+    for (size_t idx : facet.suggestions) {
+      const ReformulatedQuery& q = suggestions[idx];
+      std::printf("  %-44s %.3g\n",
+                  q.ToString(engine->vocab()).c_str(), q.score);
+      for (const auto& e :
+           ExplainReformulation(*engine, *resolved, q)) {
+        if (!e.kept) {
+          std::printf("      %s\n",
+                      e.ToString(engine->vocab()).c_str());
+        }
+      }
+    }
+  }
+  auto outcome = engine->Search(query);
+  if (outcome.ok()) {
+    std::printf("keyword search results: %zu\n", outcome->total_results);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <schema-file>|--demo \"<query>\" [k]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string source = argv[1];
+  std::string query = argv[2];
+  size_t k = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 8;
+
+  Database db("empty");
+  if (source == "--demo") {
+    auto corpus = GenerateDblp({});
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(corpus->db);
+  } else {
+    auto loaded = LoadFromSchemaFile(source);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(*loaded);
+  }
+
+  auto engine = ReformulationEngine::Build(std::move(db));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("engine: %zu tuples, %zu terms, %zu graph nodes\n",
+              (*engine)->db().TotalRows(), (*engine)->vocab().size(),
+              (*engine)->graph().num_nodes());
+  return RunQuery(engine->get(), query, k);
+}

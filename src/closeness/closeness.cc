@@ -1,0 +1,62 @@
+#include "closeness/closeness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kqr {
+
+double ClosenessExtractor::Closeness(TermId a, TermId b) const {
+  if (a == b) return 0.0;
+  NodeId start = graph_.NodeOfTerm(a);
+  NodeId target = graph_.NodeOfTerm(b);
+  for (const ReachedNode& r : SearchPaths(graph_, start, options_.path)) {
+    if (r.node == target) return r.closeness;
+  }
+  return 0.0;
+}
+
+std::vector<CloseTerm> ClosenessExtractor::TopClose(
+    TermId term, size_t k, std::optional<FieldId> field_filter) const {
+  NodeId start = graph_.NodeOfTerm(term);
+  std::vector<ReachedNode> reached =
+      SearchPaths(graph_, start, options_.path);
+  const Vocabulary& vocab = graph_.vocab();
+
+  std::vector<CloseTerm> candidates;
+  candidates.reserve(reached.size());
+  std::vector<double> rank_keys;
+  for (const ReachedNode& r : reached) {
+    if (graph_.KindOf(r.node) != NodeKind::kTerm) continue;
+    TermId t = graph_.TermOfNode(r.node);
+    if (field_filter.has_value() && vocab.field_of(t) != *field_filter) {
+      continue;
+    }
+    candidates.push_back(CloseTerm{t, r.closeness, r.shortest});
+    double key = r.closeness;
+    if (options_.rank_normalized) {
+      key /= std::max(graph_.WeightedDegree(r.node), 1.0);
+    }
+    rank_keys.push_back(key);
+  }
+
+  // Stable partial sort by the ranking key.
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rank_keys[a] > rank_keys[b];
+  });
+  std::vector<CloseTerm> out;
+  out.reserve(std::min(k, candidates.size()));
+  for (size_t i = 0; i < order.size() && out.size() < k; ++i) {
+    out.push_back(candidates[order[i]]);
+  }
+  return out;
+}
+
+int ClosenessExtractor::Distance(TermId a, TermId b,
+                                 size_t max_distance) const {
+  return ShortestDistance(graph_, graph_.NodeOfTerm(a),
+                          graph_.NodeOfTerm(b), max_distance);
+}
+
+}  // namespace kqr

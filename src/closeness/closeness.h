@@ -1,0 +1,65 @@
+// Closeness extraction (Sec. IV-C): clos(v_i, v_j) = Σ_{τ: v_i→v_j} 1/len(τ)
+// over bounded-length paths — a proxy for the two terms' joint keyword-
+// search result coverage.
+
+#ifndef KQR_CLOSENESS_CLOSENESS_H_
+#define KQR_CLOSENESS_CLOSENESS_H_
+
+#include <optional>
+#include <vector>
+
+#include "closeness/path_search.h"
+#include "graph/tat_graph.h"
+#include "text/vocabulary.h"
+
+namespace kqr {
+
+/// \brief A close term with its closeness value and shortest distance.
+struct CloseTerm {
+  TermId term = kInvalidTermId;
+  double closeness = 0.0;
+  uint32_t distance = 0;
+};
+
+struct ClosenessOptions {
+  PathSearchOptions path;
+  /// Rank TopClose lists by closeness / freq(term) — the term's
+  /// closeness *per occurrence* (a PMI-style normalization) — instead of
+  /// raw closeness. Raw path counts are dominated by generic corpus-wide
+  /// terms (they co-occur with everything); normalization surfaces the
+  /// *informative* close terms. Stored closeness values are unaffected —
+  /// only the ranking changes.
+  bool rank_normalized = false;
+};
+
+/// \brief On-demand closeness queries over the TAT graph.
+class ClosenessExtractor {
+ public:
+  explicit ClosenessExtractor(const TatGraph& graph,
+                              ClosenessOptions options = {})
+      : graph_(graph), options_(options) {}
+
+  /// \brief Pairwise closeness between two term nodes (Eq. 3); 0 when not
+  /// connected within the bound.
+  double Closeness(TermId a, TermId b) const;
+
+  /// \brief Top `k` close *term* nodes of `term`, over every field. Pass a
+  /// field filter to restrict (e.g. Table I's "ranked close conferences").
+  std::vector<CloseTerm> TopClose(
+      TermId term, size_t k,
+      std::optional<FieldId> field_filter = std::nullopt) const;
+
+  /// \brief Shortest TAT-graph distance between two terms (Table III's
+  /// query-distance metric); negative when unreachable within the bound.
+  int Distance(TermId a, TermId b, size_t max_distance = 8) const;
+
+  const ClosenessOptions& options() const { return options_; }
+
+ private:
+  const TatGraph& graph_;
+  ClosenessOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_CLOSENESS_CLOSENESS_H_

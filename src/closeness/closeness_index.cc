@@ -1,0 +1,43 @@
+#include "closeness/closeness_index.h"
+
+namespace kqr {
+
+ClosenessIndex ClosenessIndex::BuildFor(const TatGraph& graph,
+                                        const std::vector<TermId>& terms,
+                                        ClosenessIndexOptions options) {
+  ClosenessIndex index;
+  ClosenessExtractor extractor(graph, options.closeness);
+  for (TermId t : terms) {
+    index.Insert(t, extractor.TopClose(t, options.list_size));
+  }
+  return index;
+}
+
+void ClosenessIndex::Insert(TermId term, std::vector<CloseTerm> list) {
+  for (const CloseTerm& c : list) {
+    uint64_t key = PairKey(term, c.term);
+    auto it = pairs_.find(key);
+    if (it == pairs_.end() || c.closeness > it->second.closeness) {
+      pairs_[key] = c;
+    }
+  }
+  lists_[term] = std::move(list);
+}
+
+const std::vector<CloseTerm>& ClosenessIndex::Lookup(TermId term) const {
+  static const std::vector<CloseTerm> kEmpty;
+  auto it = lists_.find(term);
+  return it == lists_.end() ? kEmpty : it->second;
+}
+
+double ClosenessIndex::ClosenessOf(TermId a, TermId b) const {
+  auto it = pairs_.find(PairKey(a, b));
+  return it == pairs_.end() ? 0.0 : it->second.closeness;
+}
+
+int ClosenessIndex::DistanceOf(TermId a, TermId b) const {
+  auto it = pairs_.find(PairKey(a, b));
+  return it == pairs_.end() ? -1 : static_cast<int>(it->second.distance);
+}
+
+}  // namespace kqr

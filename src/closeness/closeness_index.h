@@ -1,0 +1,59 @@
+// ClosenessIndex: offline-precomputed per-term close-term lists ("we
+// summarize the target corpus by term pair coverage", Sec. IV-C), so the
+// online HMM can read transition weights without touching the graph.
+
+#ifndef KQR_CLOSENESS_CLOSENESS_INDEX_H_
+#define KQR_CLOSENESS_CLOSENESS_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "closeness/closeness.h"
+
+namespace kqr {
+
+struct ClosenessIndexOptions {
+  /// Close terms stored per term ("we maintain top ones and prune less
+  /// frequent").
+  size_t list_size = 64;
+  ClosenessOptions closeness;
+};
+
+/// \brief Precomputed term → close-term lists with O(1) pair lookup.
+class ClosenessIndex {
+ public:
+  /// \brief Runs one path search per term in `terms`.
+  static ClosenessIndex BuildFor(const TatGraph& graph,
+                                 const std::vector<TermId>& terms,
+                                 ClosenessIndexOptions options = {});
+
+  /// Ranked close terms; empty when the term has no entry.
+  const std::vector<CloseTerm>& Lookup(TermId term) const;
+
+  bool Contains(TermId term) const { return lists_.count(term) > 0; }
+  size_t size() const { return lists_.size(); }
+
+  /// clos(a, b) per the index: max of the two stored directions, 0 when
+  /// the pair was pruned everywhere.
+  double ClosenessOf(TermId a, TermId b) const;
+
+  /// Shortest distance recorded for the pair, or -1 when unknown.
+  int DistanceOf(TermId a, TermId b) const;
+
+  /// \brief Installs a term's list directly (testing / alternative
+  /// providers).
+  void Insert(TermId term, std::vector<CloseTerm> list);
+
+ private:
+  static uint64_t PairKey(TermId a, TermId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_map<TermId, std::vector<CloseTerm>> lists_;
+  std::unordered_map<uint64_t, CloseTerm> pairs_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_CLOSENESS_CLOSENESS_INDEX_H_

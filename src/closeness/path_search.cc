@@ -1,0 +1,92 @@
+#include "closeness/path_search.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/top_k.h"
+
+namespace kqr {
+
+std::vector<ReachedNode> SearchPaths(const TatGraph& graph, NodeId start,
+                                     const PathSearchOptions& options) {
+  // Sparse frontier of (node → walk count at current level).
+  std::unordered_map<NodeId, double> cur;
+  cur.emplace(start, 1.0);
+
+  std::unordered_map<NodeId, ReachedNode> reached;
+  reached.reserve(256);
+
+  for (size_t len = 1; len <= options.max_length && !cur.empty(); ++len) {
+    std::unordered_map<NodeId, double> next;
+    next.reserve(cur.size() * 4);
+    for (const auto& [u, count] : cur) {
+      for (const Arc& arc : graph.Neighbors(u)) {
+        NodeId v = arc.target;
+        if (v == start) continue;  // never revisit the start
+        double mass =
+            options.weighted ? count * double(arc.weight) : count;
+        next[v] += mass;
+      }
+    }
+
+    // Beam pruning: keep top-`beam_width` nodes by count.
+    if (options.beam_width > 0 && next.size() > options.beam_width) {
+      TopK<NodeId> top(options.beam_width);
+      for (const auto& [v, c] : next) top.Add(c, v);
+      std::unordered_map<NodeId, double> pruned;
+      pruned.reserve(options.beam_width);
+      for (auto& [v, c] : top.TakeSorted()) pruned.emplace(v, c);
+      next = std::move(pruned);
+    }
+
+    for (const auto& [v, c] : next) {
+      auto [it, inserted] = reached.try_emplace(v);
+      ReachedNode& r = it->second;
+      if (inserted) {
+        r.node = v;
+        r.shortest = static_cast<uint32_t>(len);
+        r.shortest_count = c;
+      }
+      r.closeness += c / static_cast<double>(len);
+    }
+    cur = std::move(next);
+  }
+
+  std::vector<ReachedNode> out;
+  out.reserve(reached.size());
+  for (auto& [v, r] : reached) out.push_back(r);
+  // Deterministic order: by closeness desc, then node id.
+  std::sort(out.begin(), out.end(),
+            [](const ReachedNode& a, const ReachedNode& b) {
+              if (a.closeness != b.closeness) {
+                return a.closeness > b.closeness;
+              }
+              return a.node < b.node;
+            });
+  return out;
+}
+
+int ShortestDistance(const TatGraph& graph, NodeId a, NodeId b,
+                     size_t max_distance) {
+  if (a == b) return 0;
+  std::unordered_map<NodeId, uint32_t> dist;
+  std::deque<NodeId> queue;
+  dist.emplace(a, 0);
+  queue.push_back(a);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    uint32_t d = dist[u];
+    if (d >= max_distance) continue;
+    for (const Arc& arc : graph.Neighbors(u)) {
+      NodeId v = arc.target;
+      if (dist.count(v)) continue;
+      if (v == b) return static_cast<int>(d + 1);
+      dist.emplace(v, d + 1);
+      queue.push_back(v);
+    }
+  }
+  return -1;
+}
+
+}  // namespace kqr

@@ -1,0 +1,58 @@
+// Bounded path search (Sec. IV-C, first stage): from a start node, count
+// bounded-length paths to every reachable node, level by level, pruning
+// low-count nodes to "maintain top ones and prune less frequent" as the
+// paper prescribes.
+//
+// Counting note: exact simple-path counting is #P-hard; like the paper's
+// level-by-level expansion ("distance i+1 nodes can be easily derived from
+// distance i ones"), we count walks that never revisit the start node,
+// which coincides with simple paths for the short bounds (≤4) used here in
+// the bipartite-ish TAT topology, and is linear-time per level.
+
+#ifndef KQR_CLOSENESS_PATH_SEARCH_H_
+#define KQR_CLOSENESS_PATH_SEARCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/tat_graph.h"
+
+namespace kqr {
+
+struct PathSearchOptions {
+  /// Maximum path length (edges).
+  size_t max_length = 4;
+  /// Per-level beam: keep only this many highest-count nodes before
+  /// expanding the next level. 0 disables pruning.
+  size_t beam_width = 4096;
+  /// Count weighted walks (product of edge weights) instead of plain
+  /// path counts.
+  bool weighted = false;
+};
+
+/// \brief Per-node outcome of a path search.
+struct ReachedNode {
+  NodeId node = kInvalidNodeId;
+  /// Length of the shortest path found.
+  uint32_t shortest = 0;
+  /// Σ_{paths τ: start→node} 1/len(τ) over all counted paths (Eq. 3).
+  double closeness = 0.0;
+  /// Number of paths of the shortest length.
+  double shortest_count = 0.0;
+};
+
+/// \brief Expands paths from `start` up to the bound, returning every
+/// reached node (excluding `start`) with its closeness contribution.
+std::vector<ReachedNode> SearchPaths(const TatGraph& graph, NodeId start,
+                                     const PathSearchOptions& options = {});
+
+/// \brief Shortest-path distance between two nodes via plain BFS, capped at
+/// `max_distance`. Returns 0 for a==b and a negative value when not
+/// reachable within the cap.
+int ShortestDistance(const TatGraph& graph, NodeId a, NodeId b,
+                     size_t max_distance);
+
+}  // namespace kqr
+
+#endif  // KQR_CLOSENESS_PATH_SEARCH_H_

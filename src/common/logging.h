@@ -1,0 +1,65 @@
+// Minimal leveled logging plus CHECK macros (Arrow DCHECK idiom).
+
+#ifndef KQR_COMMON_LOGGING_H_
+#define KQR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kqr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. `fatal` aborts the process
+/// after emitting — used by KQR_CHECK.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+};
+
+}  // namespace internal
+}  // namespace kqr
+
+#define KQR_LOG(level)                                                    \
+  ::kqr::internal::LogMessage(::kqr::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Unconditional invariant check; aborts with a message when violated.
+#define KQR_CHECK(cond)                                                 \
+  if (!(cond))                                                          \
+  ::kqr::internal::LogMessage(::kqr::LogLevel::kError, __FILE__,        \
+                              __LINE__, /*fatal=*/true)                 \
+      << "Check failed: " #cond " "
+
+#define KQR_CHECK_OK(expr)                                              \
+  do {                                                                  \
+    ::kqr::Status _st = (expr);                                         \
+    KQR_CHECK(_st.ok()) << _st.ToString();                              \
+  } while (false)
+
+#ifdef NDEBUG
+#define KQR_DCHECK(cond) \
+  while (false) KQR_CHECK(cond)
+#else
+#define KQR_DCHECK(cond) KQR_CHECK(cond)
+#endif
+
+#endif  // KQR_COMMON_LOGGING_H_

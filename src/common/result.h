@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, the return type of fallible factories.
+
+#ifndef KQR_COMMON_RESULT_H_
+#define KQR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace kqr {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Construct from a T (success) or from a non-OK
+/// Status (failure). Constructing from an OK status is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure. `status` must be non-OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK if a value is held, the error otherwise.
+  const Status& status() const& { return status_; }
+
+  /// The held value; requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The held value without the death contract spelled out — used by the
+  /// KQR_ASSIGN_OR_RETURN macro after it checked ok().
+  T&& ValueUnsafe() && { return std::move(*value_); }
+
+  /// Value if ok, `alternative` otherwise.
+  T ValueOr(T alternative) const& {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_COMMON_RESULT_H_

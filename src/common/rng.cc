@@ -1,0 +1,89 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  KQR_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  KQR_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+size_t Rng::SampleWeighted(const std::vector<double>& weights) {
+  KQR_DCHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) return weights.size() - 1;
+  double r = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::NextZipf(size_t n, double s) {
+  KQR_DCHECK(n > 0);
+  // Inverse-CDF on the harmonic partial sums. O(n) per call is fine for the
+  // corpus sizes the generator targets; callers that need many draws with
+  // the same (n, s) hold their own CDF.
+  double h = 0;
+  for (size_t i = 1; i <= n; ++i) h += 1.0 / std::pow(double(i), s);
+  double r = NextDouble() * h;
+  double acc = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), s);
+    if (r < acc) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace kqr

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random generator used by data generation and
+// randomized tests. A fixed seed reproduces a corpus bit-for-bit, which the
+// benchmark harness relies on.
+
+#ifndef KQR_COMMON_RNG_H_
+#define KQR_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kqr {
+
+/// \brief splitmix64-seeded xoshiro256**; fast, no global state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Samples an index from an (unnormalized) non-negative weight vector.
+  /// Returns weights.size()-1 on degenerate all-zero input.
+  size_t SampleWeighted(const std::vector<double>& weights);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (>0).
+  /// Lower ranks are more likely — classic power-law sizes.
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace kqr
+
+#endif  // KQR_COMMON_RNG_H_

@@ -1,0 +1,35 @@
+// Small string helpers shared across modules.
+
+#ifndef KQR_COMMON_STRING_UTIL_H_
+#define KQR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kqr {
+
+/// \brief Lowercases ASCII letters; other bytes pass through.
+std::string ToLowerAscii(std::string_view s);
+
+/// \brief Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief True iff every byte is an ASCII letter or digit.
+bool IsAlnumAscii(std::string_view s);
+
+}  // namespace kqr
+
+#endif  // KQR_COMMON_STRING_UTIL_H_

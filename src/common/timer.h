@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the bench harness and online-stage timing.
+
+#ifndef KQR_COMMON_TIMER_H_
+#define KQR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace kqr {
+
+/// \brief Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_COMMON_TIMER_H_

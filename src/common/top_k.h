@@ -1,0 +1,84 @@
+// Bounded top-k accumulator, used everywhere a ranked prefix of a large
+// candidate set is needed (similar-term lists, closeness lists, path lists).
+
+#ifndef KQR_COMMON_TOP_K_H_
+#define KQR_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kqr {
+
+/// \brief Keeps the k largest items by score with O(log k) insertion.
+///
+/// Ties are broken by preferring the item inserted first (stable for
+/// deterministic output ordering).
+template <typename T>
+class TopK {
+ public:
+  struct Entry {
+    double score;
+    uint64_t seq;  // insertion order, for stable tie-breaks
+    T item;
+  };
+
+  explicit TopK(size_t k) : k_(k) {}
+
+  size_t capacity() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Smallest score currently retained; only meaningful when full().
+  double MinScore() const { return heap_.front().score; }
+  bool full() const { return heap_.size() >= k_; }
+
+  /// \brief Offers an item; keeps it only if it beats the current floor.
+  /// Returns true if retained.
+  bool Add(double score, T item) {
+    if (k_ == 0) return false;
+    if (heap_.size() < k_) {
+      heap_.push_back(Entry{score, seq_++, std::move(item)});
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+      return true;
+    }
+    // On a tie with the current floor, keep the earlier item.
+    if (score <= heap_.front().score) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), MinFirst);
+    heap_.back() = Entry{score, seq_++, std::move(item)};
+    std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+    return true;
+  }
+
+  /// \brief Extracts items ordered by descending score (stable on ties).
+  /// The accumulator is left empty.
+  std::vector<std::pair<T, double>> TakeSorted() {
+    std::vector<Entry> entries = std::move(heap_);
+    heap_.clear();
+    std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                                 const Entry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.seq < b.seq;
+    });
+    std::vector<std::pair<T, double>> out;
+    out.reserve(entries.size());
+    for (auto& e : entries) out.emplace_back(std::move(e.item), e.score);
+    return out;
+  }
+
+ private:
+  static bool MinFirst(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.seq < b.seq;  // newer items sit closer to the top (evicted last)
+  }
+
+  size_t k_;
+  uint64_t seq_ = 0;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_COMMON_TOP_K_H_

@@ -1,0 +1,107 @@
+#include "core/astar_topk.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "common/timer.h"
+
+namespace kqr {
+
+namespace {
+
+// A suffix path (positions c..m−1) stored as a shared linked list so that
+// augmenting does not copy the tail (IP holds many overlapping suffixes).
+struct SuffixNode {
+  int state;
+  std::shared_ptr<const SuffixNode> next;  // toward position m−1
+};
+
+struct Frontier {
+  double f;       // g × h — exact upper bound on any completion
+  double g;       // suffix mass: emissions c..m−1, transitions c..m−2
+  size_t c;       // position of the suffix head
+  std::shared_ptr<const SuffixNode> path;
+
+  bool operator<(const Frontier& other) const { return f < other.f; }
+};
+
+}  // namespace
+
+std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
+                                   AStarStats* stats) {
+  std::vector<DecodedPath> out;
+  const size_t m = model.num_positions();
+  if (m == 0 || k == 0) return out;
+
+  Timer timer;
+  // Stage 1: Viterbi; δ[c][i] is the exact best prefix mass ending at
+  // state i of position c (emission at c included).
+  ViterbiOutcome viterbi = ViterbiDecode(model);
+  const auto& delta = viterbi.delta;
+  if (stats != nullptr) stats->viterbi_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+
+  // h(c, s): best achievable mass of positions 0..c−1 plus the bridge
+  // transition into state s at position c. For c = 0 it is π(s).
+  auto bridge = [&](size_t c, int s) -> double {
+    if (c == 0) return model.pi[s];
+    double best = 0.0;
+    for (size_t j = 0; j < model.num_states(c - 1); ++j) {
+      double v = delta[c - 1][j] * model.trans[c - 1][j][s];
+      if (v > best) best = v;
+    }
+    return best;
+  };
+
+  std::priority_queue<Frontier> ip;  // incomplete paths, max-f first
+
+  // Seed: single-state suffixes at the last position.
+  for (size_t i = 0; i < model.num_states(m - 1); ++i) {
+    double g = model.emission[m - 1][i];
+    double h = bridge(m - 1, static_cast<int>(i));
+    if (g * h <= 0.0 && m > 1) continue;  // dead state
+    auto node = std::make_shared<SuffixNode>(
+        SuffixNode{static_cast<int>(i), nullptr});
+    ip.push(Frontier{g * h, g, m - 1, std::move(node)});
+    if (stats != nullptr) ++stats->nodes_generated;
+  }
+
+  while (!ip.empty() && out.size() < k) {
+    Frontier top = ip.top();
+    ip.pop();
+    if (stats != nullptr) ++stats->nodes_expanded;
+
+    if (top.c == 0) {
+      // Complete: f = g × π(s₀) is the exact Eq. 10 score.
+      DecodedPath path;
+      path.score = top.f;
+      path.states.reserve(m);
+      for (const SuffixNode* n = top.path.get(); n != nullptr;
+           n = n->next.get()) {
+        path.states.push_back(n->state);
+      }
+      out.push_back(std::move(path));
+      continue;
+    }
+
+    // Augment with every state of the previous position.
+    size_t c = top.c - 1;
+    int head = top.path->state;
+    for (size_t j = 0; j < model.num_states(c); ++j) {
+      double g = top.g * model.trans[c][j][head] * model.emission[c][j];
+      if (g <= 0.0) continue;
+      double h = bridge(c, static_cast<int>(j));
+      if (h <= 0.0) continue;
+      auto node = std::make_shared<SuffixNode>(
+          SuffixNode{static_cast<int>(j), top.path});
+      ip.push(Frontier{g * h, g, c, std::move(node)});
+      if (stats != nullptr) ++stats->nodes_generated;
+    }
+  }
+
+  if (stats != nullptr) stats->astar_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace kqr

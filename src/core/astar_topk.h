@@ -1,0 +1,32 @@
+// Algorithm 3: two-stage top-k decoding. Stage 1 runs classical Viterbi,
+// memorizing δ (the exact max prefix score per cell). Stage 2 runs an A*
+// best-first search *backwards* from the last position: a partial path is
+// a suffix; its g-score is the exact suffix mass and its h-score is the
+// δ-derived optimal completion, so f = g·h is an exact upper bound and
+// completed paths pop out of the frontier in true top-k order.
+
+#ifndef KQR_CORE_ASTAR_TOPK_H_
+#define KQR_CORE_ASTAR_TOPK_H_
+
+#include <vector>
+
+#include "core/viterbi_topk.h"
+
+namespace kqr {
+
+/// \brief Instrumentation of one Algorithm-3 run, feeding Figs. 8–10.
+struct AStarStats {
+  double viterbi_seconds = 0.0;  // stage 1
+  double astar_seconds = 0.0;    // stage 2
+  size_t nodes_expanded = 0;     // IP pops
+  size_t nodes_generated = 0;    // augmentations pushed
+};
+
+/// \brief Top-k sequences by Eq. 10, best first — identical output contract
+/// to ViterbiTopK, different cost profile.
+std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
+                                   AStarStats* stats = nullptr);
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_ASTAR_TOPK_H_

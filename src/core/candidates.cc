@@ -1,0 +1,46 @@
+#include "core/candidates.h"
+
+namespace kqr {
+
+std::vector<CandidateState> CandidateBuilder::BuildFor(
+    TermId query_term) const {
+  const std::vector<SimilarTerm>& similar = index_.Lookup(query_term);
+  std::vector<CandidateState> states;
+  states.reserve(options_.per_term + 2);
+
+  double top_score = similar.empty() ? 1.0 : similar.front().score;
+
+  if (options_.include_original) {
+    CandidateState original;
+    original.term = query_term;
+    original.similarity = top_score;
+    original.is_original = true;
+    states.push_back(original);
+  }
+
+  for (size_t i = 0; i < similar.size() && i < options_.per_term; ++i) {
+    if (similar[i].term == query_term) continue;  // original already added
+    CandidateState s;
+    s.term = similar[i].term;
+    s.similarity = similar[i].score;
+    states.push_back(s);
+  }
+
+  if (options_.include_void) {
+    CandidateState v;
+    v.is_void = true;
+    v.similarity = options_.void_similarity * top_score;
+    states.push_back(v);
+  }
+  return states;
+}
+
+std::vector<std::vector<CandidateState>> CandidateBuilder::Build(
+    const std::vector<TermId>& query_terms) const {
+  std::vector<std::vector<CandidateState>> out;
+  out.reserve(query_terms.size());
+  for (TermId t : query_terms) out.push_back(BuildFor(t));
+  return out;
+}
+
+}  // namespace kqr

@@ -1,0 +1,65 @@
+// Candidate hidden-state construction (Sec. V-B): each query term's
+// similar-term list becomes its candidate state list, optionally extended
+// with the *original* state (keep the input term) and a *void* state
+// (delete the term), exactly as the paper allows.
+
+#ifndef KQR_CORE_CANDIDATES_H_
+#define KQR_CORE_CANDIDATES_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_stats.h"
+#include "text/vocabulary.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+
+/// \brief One hidden state at one query position.
+struct CandidateState {
+  /// The substitute term; kInvalidTermId for the void (deletion) state.
+  TermId term = kInvalidTermId;
+  /// Raw (unnormalized) emission affinity sim(term, q_i).
+  double similarity = 0.0;
+  bool is_original = false;
+  bool is_void = false;
+};
+
+struct CandidateOptions {
+  /// n: candidate states drawn from the similar-term list per position.
+  size_t per_term = 20;
+  /// Add the original query term as a state ("allow the original term
+  /// existing in the new reformulated query").
+  bool include_original = true;
+  /// Add the void state ("deletion of initial terms"). Off by default;
+  /// the ablation bench flips it.
+  bool include_void = false;
+  /// Emission affinity assigned to the void state when enabled.
+  double void_similarity = 0.02;
+};
+
+/// \brief Builds per-position candidate lists from the similarity index.
+class CandidateBuilder {
+ public:
+  CandidateBuilder(const SimilarityIndex& index, CandidateOptions options = {})
+      : index_(index), options_(options) {}
+
+  /// \brief States for one query position. The original state's affinity is
+  /// set to the top list score (it is at least as similar to itself as any
+  /// substitute).
+  std::vector<CandidateState> BuildFor(TermId query_term) const;
+
+  /// \brief States for every position of the query.
+  std::vector<std::vector<CandidateState>> Build(
+      const std::vector<TermId>& query_terms) const;
+
+  const CandidateOptions& options() const { return options_; }
+
+ private:
+  const SimilarityIndex& index_;
+  CandidateOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_CANDIDATES_H_

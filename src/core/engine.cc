@@ -1,0 +1,179 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+ReformulationEngine::ReformulationEngine(Database db, EngineOptions options)
+    : db_(std::move(db)),
+      options_(options),
+      analyzer_(options.analyzer) {}
+
+Result<std::unique_ptr<ReformulationEngine>> ReformulationEngine::Build(
+    Database db, EngineOptions options) {
+  KQR_RETURN_NOT_OK(db.ValidateIntegrity());
+  std::unique_ptr<ReformulationEngine> engine(
+      new ReformulationEngine(std::move(db), options));
+  KQR_RETURN_NOT_OK(engine->Init());
+  return engine;
+}
+
+Status ReformulationEngine::Init() {
+  KQR_ASSIGN_OR_RETURN(InvertedIndex index,
+                       InvertedIndex::Build(db_, analyzer_, &vocab_));
+  index_ = std::make_unique<InvertedIndex>(std::move(index));
+
+  KQR_ASSIGN_OR_RETURN(
+      TatGraph graph,
+      BuildTatGraph(db_, vocab_, *index_, options_.graph));
+  graph_ = std::make_unique<TatGraph>(std::move(graph));
+  stats_ = std::make_unique<GraphStats>(*graph_);
+
+  if (options_.precompute_offline) {
+    std::vector<TermId> all;
+    all.reserve(vocab_.size());
+    for (TermId t = 0; t < vocab_.size(); ++t) all.push_back(t);
+    PrecomputeFor(all);
+  }
+  return Status::OK();
+}
+
+void ReformulationEngine::EnsureTerm(TermId term) {
+  if (prepared_.count(term) > 0) return;
+  prepared_.insert(term);
+
+  if (graph_->Degree(graph_->NodeOfTerm(term)) <
+      options_.similarity.min_degree) {
+    return;  // isolated or cut from the graph: no lists to build
+  }
+
+  if (!similarity_.Contains(term)) {
+    if (options_.use_cooccurrence_similarity) {
+      CooccurrenceSimilarity cooc(*graph_, options_.cooccurrence);
+      similarity_.Insert(term, cooc.TopSimilar(term));
+    } else {
+      SimilarityExtractor extractor(*graph_, *stats_,
+                                    options_.similarity.similarity);
+      std::vector<ScoredNode> similar = extractor.TopSimilar(
+          graph_->NodeOfTerm(term), options_.similarity.list_size);
+      std::vector<SimilarTerm> list;
+      list.reserve(similar.size());
+      for (const ScoredNode& s : similar) {
+        list.push_back(SimilarTerm{graph_->TermOfNode(s.node), s.score});
+      }
+      similarity_.Insert(term, std::move(list));
+    }
+  }
+
+  if (!closeness_.Contains(term)) {
+    ClosenessExtractor extractor(*graph_, options_.closeness.closeness);
+    closeness_.Insert(
+        term, extractor.TopClose(term, options_.closeness.list_size));
+  }
+}
+
+void ReformulationEngine::PrecomputeFor(const std::vector<TermId>& terms) {
+  for (TermId t : terms) EnsureTerm(t);
+}
+
+void ReformulationEngine::ImportTermRelations(
+    TermId term, std::vector<SimilarTerm> similar,
+    std::vector<CloseTerm> close) {
+  similarity_.Insert(term, std::move(similar));
+  closeness_.Insert(term, std::move(close));
+  prepared_.insert(term);
+}
+
+std::vector<TermId> ReformulationEngine::PreparedTerms() const {
+  std::vector<TermId> terms(prepared_.begin(), prepared_.end());
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+Result<std::vector<TermId>> ReformulationEngine::ResolveQuery(
+    const std::string& text) const {
+  QueryParser parser(analyzer_, vocab_);
+  KeywordQuery query = parser.Parse(text);
+  if (query.keywords.empty()) {
+    return Status::InvalidArgument("query is empty: '" + text + "'");
+  }
+  std::vector<TermId> terms;
+  terms.reserve(query.keywords.size());
+  for (const QueryKeyword& keyword : query.keywords) {
+    if (!keyword.resolved()) {
+      return Status::NotFound("keyword '" + keyword.surface +
+                              "' matches no term in the corpus");
+    }
+    // Most frequent field wins.
+    TermId best = keyword.terms.front();
+    for (TermId t : keyword.terms) {
+      if (index_->DocFreq(t) > index_->DocFreq(best)) best = t;
+    }
+    terms.push_back(best);
+  }
+  return terms;
+}
+
+Result<std::vector<ReformulatedQuery>> ReformulationEngine::Reformulate(
+    const std::string& text, size_t k, ReformulationTimings* timings) {
+  KQR_ASSIGN_OR_RETURN(std::vector<TermId> terms, ResolveQuery(text));
+  return ReformulateTerms(terms, k, timings);
+}
+
+std::vector<ReformulatedQuery> ReformulationEngine::ReformulateTerms(
+    const std::vector<TermId>& query_terms, size_t k,
+    ReformulationTimings* timings) {
+  // Offline products must exist for the query terms and for every
+  // candidate substitute (the HMM reads closeness between candidates).
+  for (TermId t : query_terms) EnsureTerm(t);
+  CandidateBuilder builder(similarity_,
+                           options_.reformulator.candidates);
+  for (TermId t : query_terms) {
+    for (const CandidateState& s : builder.BuildFor(t)) {
+      if (!s.is_void) EnsureTerm(s.term);
+    }
+  }
+
+  Reformulator reformulator(similarity_, closeness_, *stats_, *graph_,
+                            options_.reformulator);
+  return reformulator.Reformulate(query_terms, k, timings);
+}
+
+KeywordQuery ReformulationEngine::QueryFromTerms(
+    const std::vector<TermId>& terms) const {
+  KeywordQuery query;
+  query.keywords.reserve(terms.size());
+  for (TermId t : terms) {
+    if (t == kInvalidTermId) continue;  // void position: keyword deleted
+    query.keywords.push_back(QueryKeyword{vocab_.text(t), {t}});
+  }
+  return query;
+}
+
+Result<SearchOutcome> ReformulationEngine::Search(
+    const std::string& text) const {
+  QueryParser parser(analyzer_, vocab_);
+  KeywordQuery query = parser.Parse(text);
+  if (!query.FullyResolved()) {
+    return Status::NotFound("query has unresolvable keywords: '" + text +
+                            "'");
+  }
+  KeywordSearch search(*graph_, *index_, options_.search);
+  return search.Search(query);
+}
+
+size_t ReformulationEngine::CountResults(
+    const std::vector<TermId>& query_terms) const {
+  KeywordSearch search(*graph_, *index_, options_.search);
+  return search.CountResults(QueryFromTerms(query_terms));
+}
+
+size_t ReformulationEngine::CountTrees(
+    const std::vector<TermId>& query_terms) const {
+  KeywordSearch search(*graph_, *index_, options_.search);
+  return search.CountTrees(QueryFromTerms(query_terms));
+}
+
+}  // namespace kqr

@@ -1,0 +1,137 @@
+// ReformulationEngine: the library's top-level facade. Owns the database
+// and every derived structure (analyzer, inverted index, TAT graph, stats,
+// similarity and closeness indexes), runs the offline stage (eagerly or
+// lazily per term), and serves online reformulation and keyword search.
+//
+// This mirrors the paper's Figure 2 flowchart end to end.
+
+#ifndef KQR_CORE_ENGINE_H_
+#define KQR_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "closeness/closeness_index.h"
+#include "common/result.h"
+#include "core/reformulator.h"
+#include "graph/graph_stats.h"
+#include "graph/tat_builder.h"
+#include "search/keyword_search.h"
+#include "search/query.h"
+#include "storage/database.h"
+#include "text/analyzer.h"
+#include "text/inverted_index.h"
+#include "walk/cooccurrence.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+
+struct EngineOptions {
+  AnalyzerOptions analyzer;
+  TatBuilderOptions graph;
+  SimilarityIndexOptions similarity;
+  ClosenessIndexOptions closeness;
+  ReformulatorOptions reformulator;
+  SearchOptions search;
+  /// Use the co-occurrence baseline instead of the contextual random walk
+  /// as the similarity source (the paper's "Co-occurrence reformulation"
+  /// arm).
+  bool use_cooccurrence_similarity = false;
+  CooccurrenceOptions cooccurrence;
+  /// Run the full offline stage at Build() (one walk + one path search per
+  /// vocabulary term). When false, per-term results are computed lazily on
+  /// first use and cached — same results, pay-as-you-go.
+  bool precompute_offline = false;
+};
+
+/// \brief End-to-end keyword query reformulation over one database.
+///
+/// Not movable (internal structures hold stable pointers); create via
+/// Build(). Lazy offline computation makes the online entry points
+/// non-const; the engine is not thread-safe.
+class ReformulationEngine {
+ public:
+  static Result<std::unique_ptr<ReformulationEngine>> Build(
+      Database db, EngineOptions options = {});
+
+  ReformulationEngine(const ReformulationEngine&) = delete;
+  ReformulationEngine& operator=(const ReformulationEngine&) = delete;
+
+  /// \brief Makes sure the offline products (similar-term list + close-
+  /// term list) exist for `term`.
+  void EnsureTerm(TermId term);
+
+  /// \brief Offline pass over an explicit term set (benches call this so
+  /// online timing excludes offline work).
+  void PrecomputeFor(const std::vector<TermId>& terms);
+
+  /// \brief Installs externally computed offline products for `term`
+  /// (snapshot loading, Sec. core/snapshot.h) and marks it prepared.
+  void ImportTermRelations(TermId term, std::vector<SimilarTerm> similar,
+                           std::vector<CloseTerm> close);
+
+  /// \brief Terms whose offline products are currently cached, in
+  /// ascending order.
+  std::vector<TermId> PreparedTerms() const;
+
+  /// \brief Parses free text and picks one term node per keyword (the
+  /// most frequent field on ties). Fails if any keyword is unresolvable.
+  Result<std::vector<TermId>> ResolveQuery(const std::string& text) const;
+
+  /// \brief End-to-end online reformulation for free-text input.
+  Result<std::vector<ReformulatedQuery>> Reformulate(
+      const std::string& text, size_t k,
+      ReformulationTimings* timings = nullptr);
+
+  /// \brief Online reformulation for pre-resolved terms.
+  std::vector<ReformulatedQuery> ReformulateTerms(
+      const std::vector<TermId>& query_terms, size_t k,
+      ReformulationTimings* timings = nullptr);
+
+  /// \brief Keyword search (Def. 3) for free text.
+  Result<SearchOutcome> Search(const std::string& text) const;
+
+  /// \brief Connecting-root count for a term-level query (cohesion
+  /// signal).
+  size_t CountResults(const std::vector<TermId>& query_terms) const;
+
+  /// \brief Distinct result-tree count per Def. 3 (Table III metric).
+  size_t CountTrees(const std::vector<TermId>& query_terms) const;
+
+  /// \brief KeywordQuery from resolved terms (each keyword = one term).
+  KeywordQuery QueryFromTerms(const std::vector<TermId>& terms) const;
+
+  // Component access (read-only views for benches/tests/examples).
+  const Database& db() const { return db_; }
+  const Analyzer& analyzer() const { return analyzer_; }
+  const Vocabulary& vocab() const { return vocab_; }
+  const InvertedIndex& index() const { return *index_; }
+  const TatGraph& graph() const { return *graph_; }
+  const GraphStats& stats() const { return *stats_; }
+  const SimilarityIndex& similarity_index() const { return similarity_; }
+  const ClosenessIndex& closeness_index() const { return closeness_; }
+  const EngineOptions& options() const { return options_; }
+  EngineOptions* mutable_options() { return &options_; }
+
+ private:
+  ReformulationEngine(Database db, EngineOptions options);
+
+  Status Init();
+
+  Database db_;
+  EngineOptions options_;
+  Analyzer analyzer_;
+  Vocabulary vocab_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<GraphStats> stats_;
+  SimilarityIndex similarity_;
+  ClosenessIndex closeness_;
+  std::unordered_set<TermId> prepared_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_ENGINE_H_

@@ -1,0 +1,103 @@
+#include "core/facets.h"
+
+#include <algorithm>
+#include <map>
+
+namespace kqr {
+
+std::vector<SuggestionFacet> GroupByFacets(
+    const std::vector<TermId>& original,
+    const std::vector<ReformulatedQuery>& ranking,
+    const Vocabulary& vocab) {
+  std::map<std::vector<FieldId>, SuggestionFacet> groups;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    const ReformulatedQuery& q = ranking[i];
+    if (q.is_identity || q.terms.size() != original.size()) continue;
+    std::vector<FieldId> changed;
+    for (size_t c = 0; c < q.terms.size(); ++c) {
+      TermId t = q.terms[c];
+      if (t == original[c]) continue;
+      if (t == kInvalidTermId) continue;  // deletion: no field
+      FieldId f = vocab.field_of(t);
+      if (std::find(changed.begin(), changed.end(), f) == changed.end()) {
+        changed.push_back(f);
+      }
+    }
+    std::sort(changed.begin(), changed.end());
+    auto [it, inserted] = groups.try_emplace(changed);
+    SuggestionFacet& facet = it->second;
+    if (inserted) {
+      facet.fields = changed;
+      if (changed.empty()) {
+        facet.label = "deletions";
+      } else {
+        for (size_t f = 0; f < changed.size(); ++f) {
+          if (f > 0) facet.label += " + ";
+          facet.label += vocab.field(changed[f]).Label();
+        }
+      }
+    }
+    facet.suggestions.push_back(i);
+  }
+
+  std::vector<SuggestionFacet> out;
+  out.reserve(groups.size());
+  for (auto& [key, facet] : groups) out.push_back(std::move(facet));
+  std::sort(out.begin(), out.end(),
+            [](const SuggestionFacet& a, const SuggestionFacet& b) {
+              return a.suggestions.front() < b.suggestions.front();
+            });
+  return out;
+}
+
+std::string SubstitutionExplanation::ToString(
+    const Vocabulary& vocab) const {
+  std::string out = "position " + std::to_string(position) + ": ";
+  if (to == kInvalidTermId) {
+    out += "drop '" + vocab.text(from) + "'";
+    return out;
+  }
+  if (kept) {
+    out += "keep '" + vocab.text(from) + "'";
+    return out;
+  }
+  out += "'" + vocab.text(from) + "' -> '" + vocab.text(to) + "'";
+  out += " (sim " + std::to_string(similarity);
+  if (distance >= 0) {
+    out += ", graph distance " + std::to_string(distance);
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<SubstitutionExplanation> ExplainReformulation(
+    const ReformulationEngine& engine, const std::vector<TermId>& original,
+    const ReformulatedQuery& suggestion) {
+  std::vector<SubstitutionExplanation> out;
+  const size_t m =
+      std::min(original.size(), suggestion.terms.size());
+  TermId previous_kept = kInvalidTermId;
+  for (size_t c = 0; c < m; ++c) {
+    SubstitutionExplanation e;
+    e.position = c;
+    e.from = original[c];
+    e.to = suggestion.terms[c];
+    e.kept = e.to == e.from;
+    if (e.to != kInvalidTermId) {
+      if (!e.kept) {
+        e.similarity =
+            engine.similarity_index().SimilarityOf(e.from, e.to);
+        e.distance = engine.closeness_index().DistanceOf(e.from, e.to);
+      }
+      if (previous_kept != kInvalidTermId) {
+        e.closeness_to_previous =
+            engine.closeness_index().ClosenessOf(previous_kept, e.to);
+      }
+      previous_kept = e.to;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace kqr

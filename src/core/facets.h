@@ -1,0 +1,68 @@
+// Faceted suggestion organization — the paper's future-work extension
+// ("exploit the reformulated queries to support ad hoc faceted retrieval
+// over structured data"). Reformulations are grouped by *which fields
+// changed*: swapping a venue name explores the venue facet, swapping title
+// terms explores the topic facet, and so on. A UI can render each group
+// as one facet panel.
+//
+// Also provides per-substitution explanations (similarity, closeness,
+// graph distance) so a suggestion can be justified to the user.
+
+#ifndef KQR_CORE_FACETS_H_
+#define KQR_CORE_FACETS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/reformulator.h"
+
+namespace kqr {
+
+/// \brief One facet group: reformulations whose substitutions touch the
+/// same set of fields.
+struct SuggestionFacet {
+  /// Sorted field ids where substitutions happened; empty = deletions
+  /// only.
+  std::vector<FieldId> fields;
+  /// Human-readable label, e.g. "venues.name" or
+  /// "papers.title + authors.name".
+  std::string label;
+  /// Indices into the ranking passed to GroupByFacets, best first.
+  std::vector<size_t> suggestions;
+};
+
+/// \brief Groups a ranking by changed-field signature. Groups are ordered
+/// by their best (lowest-index) suggestion; identity reformulations are
+/// skipped.
+std::vector<SuggestionFacet> GroupByFacets(
+    const std::vector<TermId>& original,
+    const std::vector<ReformulatedQuery>& ranking,
+    const Vocabulary& vocab);
+
+/// \brief Explanation of one position of one reformulated query.
+struct SubstitutionExplanation {
+  size_t position = 0;
+  TermId from = kInvalidTermId;
+  TermId to = kInvalidTermId;  // kInvalidTermId = deleted
+  bool kept = false;           // to == from
+  /// Similarity of the substitute to the original term (offline index).
+  double similarity = 0.0;
+  /// Closeness between this substitute and the previous kept substitute.
+  double closeness_to_previous = 0.0;
+  /// Shortest TAT-graph distance from the original term (−1 unknown).
+  int distance = -1;
+
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// \brief Explains every position of `suggestion` against `original`
+/// using the engine's offline indexes (terms must be prepared, which they
+/// are for any suggestion the engine itself produced).
+std::vector<SubstitutionExplanation> ExplainReformulation(
+    const ReformulationEngine& engine, const std::vector<TermId>& original,
+    const ReformulatedQuery& suggestion);
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_FACETS_H_

@@ -1,0 +1,83 @@
+#include "core/hmm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+double HmmModel::PathScore(const std::vector<int>& path) const {
+  KQR_DCHECK(path.size() == num_positions());
+  if (path.empty()) return 0.0;
+  double score = pi[path[0]] * emission[0][path[0]];
+  for (size_t c = 1; c < path.size(); ++c) {
+    score *= trans[c - 1][path[c - 1]][path[c]] * emission[c][path[c]];
+  }
+  return score;
+}
+
+double HmmBuilder::TransitionAffinity(const CandidateState& from,
+                                      const CandidateState& to) const {
+  if (from.is_void || to.is_void) return options_.void_transition;
+  double clos = closeness_.ClosenessOf(from.term, to.term);
+  if (options_.log_compress) clos = std::log1p(clos);
+  if (options_.transition_weight != 1.0) {
+    clos = std::pow(clos, options_.transition_weight);
+  }
+  return clos;
+}
+
+HmmModel HmmBuilder::Build(
+    const std::vector<std::vector<CandidateState>>& candidates) const {
+  HmmModel model;
+  model.states = candidates;
+  const size_t m = model.states.size();
+  if (m == 0) return model;
+
+  // π (Eq. 7): frequency of each first-position candidate, normalized.
+  model.pi.reserve(model.states[0].size());
+  for (const CandidateState& s : model.states[0]) {
+    double freq = s.is_void
+                      ? 1.0
+                      : stats_.Freq(graph_.NodeOfTerm(s.term));
+    model.pi.push_back(options_.log_compress ? std::log1p(freq) : freq);
+  }
+  NormalizeToDistribution(&model.pi);
+
+  // Emissions (Eq. 9): similarity, smoothed (Eq. 5) then normalized per
+  // position.
+  model.emission.resize(m);
+  for (size_t c = 0; c < m; ++c) {
+    model.emission[c].reserve(model.states[c].size());
+    for (const CandidateState& s : model.states[c]) {
+      double b = s.similarity;
+      if (options_.emission_weight != 1.0 && b > 0.0) {
+        b = std::pow(b, options_.emission_weight);
+      }
+      model.emission[c].push_back(b);
+    }
+    SmoothToMean(&model.emission[c], options_.smoothing.lambda);
+    NormalizeToDistribution(&model.emission[c]);
+  }
+
+  // Transitions (Eq. 8): closeness, row-smoothed (Eq. 6) then row-
+  // normalized.
+  model.trans.resize(m >= 1 ? m - 1 : 0);
+  for (size_t c = 0; c + 1 < m; ++c) {
+    const auto& from_states = model.states[c];
+    const auto& to_states = model.states[c + 1];
+    model.trans[c].assign(from_states.size(),
+                          std::vector<double>(to_states.size(), 0.0));
+    for (size_t i = 0; i < from_states.size(); ++i) {
+      for (size_t j = 0; j < to_states.size(); ++j) {
+        model.trans[c][i][j] =
+            TransitionAffinity(from_states[i], to_states[j]);
+      }
+      SmoothToMean(&model.trans[c][i], options_.smoothing.lambda);
+      NormalizeToDistribution(&model.trans[c][i]);
+    }
+  }
+  return model;
+}
+
+}  // namespace kqr

@@ -1,0 +1,93 @@
+// The reformulation HMM (Sec. V-B): observed symbols are the input query
+// terms; hidden states are the candidate substitutes. π comes from term
+// frequency (Eq. 7), transitions from closeness (Eq. 8), emissions from
+// similarity (Eq. 9), all smoothed per Eqs. 5–6 and normalized into
+// distributions.
+
+#ifndef KQR_CORE_HMM_H_
+#define KQR_CORE_HMM_H_
+
+#include <vector>
+
+#include "closeness/closeness_index.h"
+#include "core/candidates.h"
+#include "core/smoothing.h"
+#include "graph/graph_stats.h"
+
+namespace kqr {
+
+/// \brief Fully materialized trellis for one query. Positions 0..m−1, with
+/// n_c states at position c (n ≤ candidates + original + void).
+struct HmmModel {
+  /// states[c][i] — candidate i at position c.
+  std::vector<std::vector<CandidateState>> states;
+  /// pi[i] — initial distribution over states[0] (Eq. 7).
+  std::vector<double> pi;
+  /// emission[c][i] — B(states[c][i], q_c) (Eq. 9), normalized per c.
+  std::vector<std::vector<double>> emission;
+  /// trans[c][i][j] — A between states[c][i] and states[c+1][j] (Eq. 8),
+  /// normalized per row. Size m−1.
+  std::vector<std::vector<std::vector<double>>> trans;
+
+  size_t num_positions() const { return states.size(); }
+  size_t num_states(size_t position) const {
+    return states[position].size();
+  }
+
+  /// Full path probability p(Q'|Q) (Eq. 10) for states `path` (one state
+  /// index per position).
+  double PathScore(const std::vector<int>& path) const;
+};
+
+struct HmmOptions {
+  SmoothingOptions smoothing;
+  /// Transition affinity for void states (they carry no closeness of their
+  /// own; the walk passes "through" them at this discount).
+  double void_transition = 0.05;
+  /// Compress closeness (Eq. 8) and frequency (Eq. 7) through log1p
+  /// before normalization. Raw path-count closeness spans four orders of
+  /// magnitude and would drown the similarity emissions; the paper's
+  /// pruned top-lists had a bounded range, which the compression
+  /// restores.
+  bool log_compress = true;
+  /// Log-linear weight on the transition component: A is raised to this
+  /// power (after compression, before smoothing/normalization). 1 is the
+  /// paper's plain product (Eq. 10); < 1 softens the closeness pull
+  /// relative to the similarity emissions.
+  double transition_weight = 1.0;
+  /// Log-linear weight on the emission component: B is raised to this
+  /// power before smoothing/normalization. > 1 sharpens the similarity
+  /// signal so that frequent-but-dissimilar candidates (generic filler
+  /// terms) cannot ride in on π·A alone. 2 balances the components on
+  /// boilerplate-heavy corpora (see the fig5 ablation).
+  double emission_weight = 2.0;
+};
+
+/// \brief Assembles HmmModel from the offline indexes.
+class HmmBuilder {
+ public:
+  HmmBuilder(const ClosenessIndex& closeness, const GraphStats& stats,
+             const TatGraph& graph, HmmOptions options = {})
+      : closeness_(closeness),
+        stats_(stats),
+        graph_(graph),
+        options_(options) {}
+
+  /// \param candidates per-position candidate lists (CandidateBuilder
+  /// output); every position must be non-empty.
+  HmmModel Build(
+      const std::vector<std::vector<CandidateState>>& candidates) const;
+
+ private:
+  double TransitionAffinity(const CandidateState& from,
+                            const CandidateState& to) const;
+
+  const ClosenessIndex& closeness_;
+  const GraphStats& stats_;
+  const TatGraph& graph_;
+  HmmOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_HMM_H_

@@ -1,0 +1,81 @@
+#include "core/rank_baseline.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace kqr {
+
+std::vector<DecodedPath> RankBaselineTopK(
+    const std::vector<std::vector<CandidateState>>& candidates, size_t k) {
+  std::vector<DecodedPath> out;
+  const size_t m = candidates.size();
+  if (m == 0 || k == 0) return out;
+
+  // Per-position candidate order, best similarity first.
+  std::vector<std::vector<int>> order(m);
+  for (size_t c = 0; c < m; ++c) {
+    if (candidates[c].empty()) return out;
+    order[c].resize(candidates[c].size());
+    for (size_t i = 0; i < order[c].size(); ++i) {
+      order[c][i] = static_cast<int>(i);
+    }
+    std::stable_sort(order[c].begin(), order[c].end(),
+                     [&](int a, int b) {
+                       return candidates[c][a].similarity >
+                              candidates[c][b].similarity;
+                     });
+  }
+
+  auto score_of = [&](const std::vector<int>& ranks) {
+    double s = 1.0;
+    for (size_t c = 0; c < m; ++c) {
+      s *= candidates[c][order[c][ranks[c]]].similarity;
+    }
+    return s;
+  };
+
+  // Lazy best-first walk over the rank lattice (classic k-max-products):
+  // start at all-zeros; popping a vertex pushes each +1-in-one-coordinate
+  // successor.
+  struct Entry {
+    double score;
+    std::vector<int> ranks;
+    bool operator<(const Entry& other) const {
+      return score < other.score;
+    }
+  };
+  std::priority_queue<Entry> frontier;
+  std::set<std::vector<int>> seen;
+
+  std::vector<int> origin(m, 0);
+  frontier.push(Entry{score_of(origin), origin});
+  seen.insert(origin);
+
+  while (!frontier.empty() && out.size() < k) {
+    Entry top = frontier.top();
+    frontier.pop();
+
+    DecodedPath path;
+    path.score = top.score;
+    path.states.resize(m);
+    for (size_t c = 0; c < m; ++c) {
+      path.states[c] = order[c][top.ranks[c]];
+    }
+    out.push_back(std::move(path));
+
+    for (size_t c = 0; c < m; ++c) {
+      if (static_cast<size_t>(top.ranks[c]) + 1 >= order[c].size()) {
+        continue;
+      }
+      std::vector<int> next = top.ranks;
+      ++next[c];
+      if (seen.insert(next).second) {
+        frontier.push(Entry{score_of(next), std::move(next)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kqr

@@ -1,0 +1,24 @@
+// Rank-based reformulation baseline (Sec. VI-B): "enumerate the possible
+// combinations of corresponding terms, and return the queries with top
+// similarity scores with original query" — i.e. maximize the aggregated
+// similarity, ignoring closeness/cohesion entirely.
+
+#ifndef KQR_CORE_RANK_BASELINE_H_
+#define KQR_CORE_RANK_BASELINE_H_
+
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/viterbi_topk.h"
+
+namespace kqr {
+
+/// \brief Top-k candidate combinations by the product of per-position
+/// similarities (lazy best-first enumeration — no O(nᵐ) blowup). Returned
+/// state indices refer to `candidates`.
+std::vector<DecodedPath> RankBaselineTopK(
+    const std::vector<std::vector<CandidateState>>& candidates, size_t k);
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_RANK_BASELINE_H_

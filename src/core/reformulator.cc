@@ -1,0 +1,97 @@
+#include "core/reformulator.h"
+
+#include "common/timer.h"
+
+namespace kqr {
+
+const char* TopKAlgorithmName(TopKAlgorithm algorithm) {
+  switch (algorithm) {
+    case TopKAlgorithm::kExtendedViterbi:
+      return "extended-viterbi";
+    case TopKAlgorithm::kViterbiAStar:
+      return "viterbi-astar";
+    case TopKAlgorithm::kRankBaseline:
+      return "rank-baseline";
+  }
+  return "?";
+}
+
+std::string ReformulatedQuery::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += " ";
+    out += terms[i] == kInvalidTermId ? "∅" : vocab.text(terms[i]);
+  }
+  return out;
+}
+
+std::vector<ReformulatedQuery> Reformulator::Reformulate(
+    const std::vector<TermId>& query_terms, size_t k,
+    ReformulationTimings* timings) const {
+  std::vector<ReformulatedQuery> out;
+  if (query_terms.empty() || k == 0) return out;
+
+  Timer timer;
+  CandidateBuilder builder(similarity_, options_.candidates);
+  std::vector<std::vector<CandidateState>> candidates =
+      builder.Build(query_terms);
+  for (const auto& list : candidates) {
+    if (list.empty()) return out;  // unresolvable position
+  }
+  if (timings != nullptr) {
+    timings->candidate_seconds = timer.ElapsedSeconds();
+  }
+  timer.Reset();
+
+  // The identity query may occupy one result slot before we drop it, so
+  // over-fetch by one.
+  const size_t fetch = options_.drop_identity ? k + 1 : k;
+
+  std::vector<DecodedPath> paths;
+  HmmModel model;
+  switch (options_.algorithm) {
+    case TopKAlgorithm::kRankBaseline: {
+      if (timings != nullptr) timings->model_seconds = 0.0;
+      timer.Reset();
+      paths = RankBaselineTopK(candidates, fetch);
+      break;
+    }
+    case TopKAlgorithm::kExtendedViterbi:
+    case TopKAlgorithm::kViterbiAStar: {
+      HmmBuilder hmm_builder(closeness_, stats_, graph_, options_.hmm);
+      model = hmm_builder.Build(candidates);
+      if (timings != nullptr) {
+        timings->model_seconds = timer.ElapsedSeconds();
+      }
+      timer.Reset();
+      if (options_.algorithm == TopKAlgorithm::kExtendedViterbi) {
+        paths = ViterbiTopK(model, fetch);
+      } else {
+        paths = AStarTopK(model, fetch,
+                          timings != nullptr ? &timings->astar : nullptr);
+      }
+      break;
+    }
+  }
+  if (timings != nullptr) timings->decode_seconds = timer.ElapsedSeconds();
+
+  out.reserve(paths.size());
+  for (const DecodedPath& path : paths) {
+    ReformulatedQuery query;
+    query.score = path.score;
+    query.terms.reserve(path.states.size());
+    bool identity = true;
+    for (size_t c = 0; c < path.states.size(); ++c) {
+      const CandidateState& s = candidates[c][path.states[c]];
+      query.terms.push_back(s.is_void ? kInvalidTermId : s.term);
+      if (!s.is_original) identity = false;
+    }
+    query.is_identity = identity;
+    if (options_.drop_identity && identity) continue;
+    out.push_back(std::move(query));
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+}  // namespace kqr

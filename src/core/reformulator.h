@@ -1,0 +1,92 @@
+// Reformulator: the online stage (Sec. V). Accepts a resolved keyword
+// query, builds the candidate trellis from the offline indexes, decodes
+// top-k substitutive queries, and reports per-stage timings.
+
+#ifndef KQR_CORE_REFORMULATOR_H_
+#define KQR_CORE_REFORMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "closeness/closeness_index.h"
+#include "core/astar_topk.h"
+#include "core/candidates.h"
+#include "core/hmm.h"
+#include "core/rank_baseline.h"
+#include "core/viterbi_topk.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+
+/// \brief Which top-k decoder runs.
+enum class TopKAlgorithm {
+  kExtendedViterbi,  ///< Algorithm 2
+  kViterbiAStar,     ///< Algorithm 3 (default; the paper's winner)
+  kRankBaseline,     ///< similarity-only greedy baseline (Sec. VI-B)
+};
+
+const char* TopKAlgorithmName(TopKAlgorithm algorithm);
+
+/// \brief One suggested query Q'.
+struct ReformulatedQuery {
+  std::vector<TermId> terms;  // kInvalidTermId marks a deleted position
+  double score = 0.0;         // p(Q'|Q), Eq. 10
+  /// True when every position kept the original term (the identity
+  /// reformulation; callers usually skip it when presenting).
+  bool is_identity = false;
+
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// \brief Wall-clock breakdown of one reformulation call.
+struct ReformulationTimings {
+  double candidate_seconds = 0.0;
+  double model_seconds = 0.0;
+  double decode_seconds = 0.0;
+  AStarStats astar;  // populated for kViterbiAStar
+
+  double TotalSeconds() const {
+    return candidate_seconds + model_seconds + decode_seconds;
+  }
+};
+
+struct ReformulatorOptions {
+  CandidateOptions candidates;
+  HmmOptions hmm;
+  TopKAlgorithm algorithm = TopKAlgorithm::kViterbiAStar;
+  /// Drop the identity reformulation from the output.
+  bool drop_identity = true;
+};
+
+/// \brief Online query reformulation against prebuilt offline indexes.
+class Reformulator {
+ public:
+  Reformulator(const SimilarityIndex& similarity,
+               const ClosenessIndex& closeness, const GraphStats& stats,
+               const TatGraph& graph, ReformulatorOptions options = {})
+      : similarity_(similarity),
+        closeness_(closeness),
+        stats_(stats),
+        graph_(graph),
+        options_(options) {}
+
+  /// \brief Top-k reformulations of `query_terms` (one TermId per input
+  /// keyword). `timings`, when non-null, receives the stage breakdown.
+  std::vector<ReformulatedQuery> Reformulate(
+      const std::vector<TermId>& query_terms, size_t k,
+      ReformulationTimings* timings = nullptr) const;
+
+  const ReformulatorOptions& options() const { return options_; }
+  ReformulatorOptions* mutable_options() { return &options_; }
+
+ private:
+  const SimilarityIndex& similarity_;
+  const ClosenessIndex& closeness_;
+  const GraphStats& stats_;
+  const TatGraph& graph_;
+  ReformulatorOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_REFORMULATOR_H_

@@ -1,0 +1,31 @@
+#include "core/smoothing.h"
+
+namespace kqr {
+
+void SmoothToMean(std::vector<double>* v, double lambda) {
+  if (v->empty()) return;
+  double sum = 0;
+  for (double x : *v) sum += x;
+  if (sum <= 0) return;
+  double mean = sum / static_cast<double>(v->size());
+  for (double& x : *v) x = lambda * x + (1.0 - lambda) * mean;
+}
+
+void SmoothRowsToMean(std::vector<std::vector<double>>* rows,
+                      double lambda) {
+  for (std::vector<double>& row : *rows) SmoothToMean(&row, lambda);
+}
+
+void NormalizeToDistribution(std::vector<double>* v) {
+  if (v->empty()) return;
+  double sum = 0;
+  for (double x : *v) sum += x;
+  if (sum <= 0) {
+    double u = 1.0 / static_cast<double>(v->size());
+    for (double& x : *v) x = u;
+    return;
+  }
+  for (double& x : *v) x /= sum;
+}
+
+}  // namespace kqr

@@ -1,0 +1,39 @@
+// Score smoothing (Eqs. 5–6): the HMM's product score is "sensitive to
+// zero" — one missing closeness pair kills an otherwise good query. The
+// paper smooths each local score toward a global aggregate with mixing
+// parameter λ, "keeping the aggregated scores unchanged in order to
+// maintain the probabilistic meaning of the parameters".
+//
+// We realize that contract exactly: vectors are smoothed toward their own
+// mean (sum preserved), transition rows toward their row mean (row sums
+// preserved).
+
+#ifndef KQR_CORE_SMOOTHING_H_
+#define KQR_CORE_SMOOTHING_H_
+
+#include <vector>
+
+namespace kqr {
+
+struct SmoothingOptions {
+  /// λ in Eqs. 5–6: weight of the local score; 1−λ goes to the aggregate.
+  /// λ = 1 disables smoothing. The fig5 ablation sweep shows quality is
+  /// monotone in λ on clean corpora; 0.9 keeps the zero-rescue property
+  /// with minimal flattening.
+  double lambda = 0.9;
+};
+
+/// \brief v[i] ← λ·v[i] + (1−λ)·mean(v). Sum is preserved. No-op on empty
+/// input or all-zero input.
+void SmoothToMean(std::vector<double>* v, double lambda);
+
+/// \brief Applies SmoothToMean to every row of a dense row-major matrix.
+void SmoothRowsToMean(std::vector<std::vector<double>>* rows,
+                      double lambda);
+
+/// \brief Scales v to sum to 1; an all-zero vector becomes uniform.
+void NormalizeToDistribution(std::vector<double>* v);
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_SMOOTHING_H_

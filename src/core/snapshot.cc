@@ -1,0 +1,175 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/engine.h"
+
+namespace kqr {
+
+namespace {
+constexpr const char kMagic[] = "kqr-offline-v1";
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+uint64_t EngineFingerprint(const ReformulationEngine& engine) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1a(h, engine.vocab().size());
+  h = Fnv1a(h, engine.graph().num_nodes());
+  h = Fnv1a(h, engine.graph().num_edges());
+  h = Fnv1a(h, engine.db().TotalRows());
+  for (char c : engine.db().name()) h = Fnv1a(h, uint64_t(c));
+  return h;
+}
+
+Status SaveOfflineSnapshot(const ReformulationEngine& engine,
+                           std::ostream& out) {
+  out.precision(17);  // round-trip doubles exactly
+  out << kMagic << "\n";
+  out << "fingerprint " << std::hex << EngineFingerprint(engine)
+      << std::dec << "\n";
+  for (TermId term : engine.PreparedTerms()) {
+    const auto& sim = engine.similarity_index().Lookup(term);
+    out << "sim " << term << " " << sim.size();
+    for (const SimilarTerm& s : sim) {
+      out << " " << s.term << " " << s.score;
+    }
+    out << "\n";
+    const auto& clos = engine.closeness_index().Lookup(term);
+    out << "clos " << term << " " << clos.size();
+    for (const CloseTerm& c : clos) {
+      out << " " << c.term << " " << c.closeness << " " << c.distance;
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("snapshot write failed");
+  return Status::OK();
+}
+
+Status SaveOfflineSnapshotFile(const ReformulationEngine& engine,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' to write");
+  return SaveOfflineSnapshot(engine, out);
+}
+
+Status LoadOfflineSnapshot(ReformulationEngine* engine, std::istream& in) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::Corruption("bad snapshot magic: '" + line + "'");
+  }
+  if (!std::getline(in, line)) {
+    return Status::Corruption("missing fingerprint line");
+  }
+  {
+    std::istringstream fp(line);
+    std::string tag;
+    uint64_t value = 0;
+    fp >> tag >> std::hex >> value;
+    if (!fp || tag != "fingerprint") {
+      return Status::Corruption("malformed fingerprint line");
+    }
+    if (value != EngineFingerprint(*engine)) {
+      return Status::InvalidArgument(
+          "snapshot fingerprint does not match this corpus");
+    }
+  }
+
+  // Accumulate sim/clos pairs per term; install when both seen (a trailing
+  // sim without clos installs with empty closeness at EOF).
+  std::vector<SimilarTerm> pending_sim;
+  TermId pending_term = kInvalidTermId;
+  bool has_sim = false;
+  auto flush = [&]() {
+    if (pending_term != kInvalidTermId && has_sim) {
+      engine->ImportTermRelations(pending_term, std::move(pending_sim),
+                                  {});
+    }
+    pending_sim.clear();
+    has_sim = false;
+    pending_term = kInvalidTermId;
+  };
+
+  const size_t num_terms = engine->vocab().size();
+  size_t line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string kind;
+    TermId term = 0;
+    size_t n = 0;
+    row >> kind >> term >> n;
+    if (!row || term >= num_terms) {
+      return Status::Corruption("snapshot line " + std::to_string(line_no) +
+                                " malformed");
+    }
+    if (kind == "sim") {
+      flush();
+      pending_term = term;
+      has_sim = true;
+      pending_sim.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        SimilarTerm s;
+        row >> s.term >> s.score;
+        if (!row || s.term >= num_terms) {
+          return Status::Corruption("snapshot line " +
+                                    std::to_string(line_no) +
+                                    " has bad sim entry");
+        }
+        pending_sim.push_back(s);
+      }
+    } else if (kind == "clos") {
+      std::vector<CloseTerm> close;
+      close.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        CloseTerm c;
+        row >> c.term >> c.closeness >> c.distance;
+        if (!row || c.term >= num_terms) {
+          return Status::Corruption("snapshot line " +
+                                    std::to_string(line_no) +
+                                    " has bad clos entry");
+        }
+        close.push_back(c);
+      }
+      if (term != pending_term || !has_sim) {
+        return Status::Corruption(
+            "snapshot line " + std::to_string(line_no) +
+            ": clos record without preceding sim for term " +
+            std::to_string(term));
+      }
+      engine->ImportTermRelations(term, std::move(pending_sim),
+                                  std::move(close));
+      pending_sim.clear();
+      has_sim = false;
+      pending_term = kInvalidTermId;
+    } else {
+      return Status::Corruption("snapshot line " + std::to_string(line_no) +
+                                " has unknown kind '" + kind + "'");
+    }
+  }
+  flush();
+  return Status::OK();
+}
+
+Status LoadOfflineSnapshotFile(ReformulationEngine* engine,
+                               const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' to read");
+  return LoadOfflineSnapshot(engine, in);
+}
+
+}  // namespace kqr

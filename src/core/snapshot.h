@@ -1,0 +1,48 @@
+// Offline-product persistence: the similarity and closeness indexes are
+// the expensive output of the offline stage (one personalized walk and
+// one path search per term). Snapshots let a deployment run the offline
+// stage once and serve many online processes, the way the paper's system
+// precomputed term relations into MySQL.
+//
+// Format (line-oriented text, version-tagged):
+//   kqr-offline-v1
+//   fingerprint <hex>          -- engine/corpus fingerprint
+//   sim <term> <n> [<term> <score>]{n}
+//   clos <term> <n> [<term> <closeness> <distance>]{n}
+//
+// TermIds are deterministic for a given (database, analyzer) pair, so the
+// fingerprint guards against loading a snapshot into a different corpus.
+
+#ifndef KQR_CORE_SNAPSHOT_H_
+#define KQR_CORE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "closeness/closeness_index.h"
+#include "common/status.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+
+class ReformulationEngine;
+
+/// \brief Stable fingerprint of an engine's corpus-derived state.
+uint64_t EngineFingerprint(const ReformulationEngine& engine);
+
+/// \brief Writes every term's offline products currently cached in the
+/// engine.
+Status SaveOfflineSnapshot(const ReformulationEngine& engine,
+                           std::ostream& out);
+Status SaveOfflineSnapshotFile(const ReformulationEngine& engine,
+                               const std::string& path);
+
+/// \brief Loads offline products into the engine (merging with whatever
+/// is already cached). Fails on version or fingerprint mismatch.
+Status LoadOfflineSnapshot(ReformulationEngine* engine, std::istream& in);
+Status LoadOfflineSnapshotFile(ReformulationEngine* engine,
+                               const std::string& path);
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_SNAPSHOT_H_

@@ -1,0 +1,135 @@
+#include "core/viterbi_topk.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/top_k.h"
+
+namespace kqr {
+
+namespace {
+/// Backtracking record for the widened DP: which (prev_state, prev_rank)
+/// produced the rank-r path ending at this cell.
+struct CellPath {
+  double score;
+  int prev_state;  // -1 at position 0
+  int prev_rank;
+};
+}  // namespace
+
+std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k) {
+  const size_t m = model.num_positions();
+  std::vector<DecodedPath> out;
+  if (m == 0 || k == 0) return out;
+
+  // L[c][i] = up to k best paths ending at state i of position c,
+  // sorted descending.
+  std::vector<std::vector<std::vector<CellPath>>> L(m);
+
+  L[0].resize(model.num_states(0));
+  for (size_t i = 0; i < model.num_states(0); ++i) {
+    L[0][i].push_back(
+        CellPath{model.pi[i] * model.emission[0][i], -1, -1});
+  }
+
+  for (size_t c = 1; c < m; ++c) {
+    L[c].resize(model.num_states(c));
+    for (size_t i = 0; i < model.num_states(c); ++i) {
+      TopK<std::pair<int, int>> top(k);
+      for (size_t j = 0; j < model.num_states(c - 1); ++j) {
+        double edge = model.trans[c - 1][j][i] * model.emission[c][i];
+        if (edge <= 0.0) continue;
+        for (size_t r = 0; r < L[c - 1][j].size(); ++r) {
+          top.Add(L[c - 1][j][r].score * edge,
+                  {static_cast<int>(j), static_cast<int>(r)});
+        }
+      }
+      for (auto& [prev, score] : top.TakeSorted()) {
+        L[c][i].push_back(CellPath{score, prev.first, prev.second});
+      }
+    }
+  }
+
+  // Gather global top-k over the last position.
+  TopK<std::pair<int, int>> finals(k);
+  for (size_t i = 0; i < model.num_states(m - 1); ++i) {
+    for (size_t r = 0; r < L[m - 1][i].size(); ++r) {
+      finals.Add(L[m - 1][i][r].score,
+                 {static_cast<int>(i), static_cast<int>(r)});
+    }
+  }
+
+  for (auto& [end, score] : finals.TakeSorted()) {
+    DecodedPath path;
+    path.score = score;
+    path.states.assign(m, 0);
+    int state = end.first;
+    int rank = end.second;
+    for (size_t c = m; c-- > 0;) {
+      path.states[c] = state;
+      const CellPath& cell = L[c][state][rank];
+      state = cell.prev_state;
+      rank = cell.prev_rank;
+    }
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+ViterbiOutcome ViterbiDecode(const HmmModel& model) {
+  ViterbiOutcome outcome;
+  const size_t m = model.num_positions();
+  if (m == 0) return outcome;
+
+  auto& delta = outcome.delta;
+  delta.resize(m);
+  std::vector<std::vector<int>> back(m);
+
+  delta[0].resize(model.num_states(0));
+  back[0].assign(model.num_states(0), -1);
+  for (size_t i = 0; i < model.num_states(0); ++i) {
+    delta[0][i] = model.pi[i] * model.emission[0][i];
+  }
+  for (size_t c = 1; c < m; ++c) {
+    delta[c].assign(model.num_states(c), 0.0);
+    back[c].assign(model.num_states(c), -1);
+    for (size_t i = 0; i < model.num_states(c); ++i) {
+      double best = 0.0;
+      int arg = -1;
+      for (size_t j = 0; j < model.num_states(c - 1); ++j) {
+        double s = delta[c - 1][j] * model.trans[c - 1][j][i];
+        if (s > best) {
+          best = s;
+          arg = static_cast<int>(j);
+        }
+      }
+      delta[c][i] = best * model.emission[c][i];
+      back[c][i] = arg;
+    }
+  }
+
+  // Backtrack the single best path.
+  size_t last = m - 1;
+  int arg = 0;
+  double best = -1.0;
+  for (size_t i = 0; i < model.num_states(last); ++i) {
+    if (delta[last][i] > best) {
+      best = delta[last][i];
+      arg = static_cast<int>(i);
+    }
+  }
+  outcome.best.score = best;
+  outcome.best.states.assign(m, 0);
+  for (size_t c = m; c-- > 0;) {
+    outcome.best.states[c] = arg;
+    arg = back[c][arg];
+    if (arg < 0 && c > 0) {
+      // Unreachable state chain (can happen if every transition into the
+      // argmax is zero); degenerate but keep indices valid.
+      arg = 0;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace kqr

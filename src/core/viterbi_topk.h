@@ -1,0 +1,36 @@
+// Algorithm 2: extended Viterbi for top-k hidden sequences. The classical
+// DP is widened so each (position, state) cell keeps its k best incoming
+// paths; complexity O(m·n²·k·log k), as analyzed in Sec. V-C.
+
+#ifndef KQR_CORE_VITERBI_TOPK_H_
+#define KQR_CORE_VITERBI_TOPK_H_
+
+#include <vector>
+
+#include "core/hmm.h"
+
+namespace kqr {
+
+/// \brief One decoded hidden-state sequence: a state index per position
+/// plus its probability (Eq. 10).
+struct DecodedPath {
+  std::vector<int> states;
+  double score = 0.0;
+};
+
+/// \brief Top-k sequences by Eq. 10, best first. `k` ≥ 1.
+std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k);
+
+/// \brief Classical Viterbi (top-1); also returns the full δ table
+/// (delta[c][i] = max prefix score ending in state i at position c), which
+/// Algorithm 3 reuses as its A* heuristic.
+struct ViterbiOutcome {
+  DecodedPath best;
+  std::vector<std::vector<double>> delta;
+};
+
+ViterbiOutcome ViterbiDecode(const HmmModel& model);
+
+}  // namespace kqr
+
+#endif  // KQR_CORE_VITERBI_TOPK_H_

@@ -1,0 +1,221 @@
+#include "datagen/dblp_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "datagen/name_pool.h"
+#include "text/porter_stemmer.h"
+
+namespace kqr {
+
+const std::vector<std::string>& GenericTitleWords() {
+  static const std::vector<std::string> kWords = {
+      "efficient", "effective", "novel",      "system",   "data",
+      "analysis",  "framework", "evaluation", "scalable", "adaptive",
+      "management", "processing"};
+  return kWords;
+}
+
+std::vector<size_t> DblpCorpus::TopicsOf(const std::string& surface) const {
+  // Author or venue name (case-insensitive exact match)?
+  std::string lower = ToLowerAscii(surface);
+  for (size_t i = 0; i < author_names.size(); ++i) {
+    if (ToLowerAscii(author_names[i]) == lower) return author_topics[i];
+  }
+  for (size_t i = 0; i < venue_names.size(); ++i) {
+    if (ToLowerAscii(venue_names[i]) == lower) return {venue_topic[i]};
+  }
+  // Title word: try surface, then stem.
+  std::vector<size_t> t = topics->TopicsOfWord(lower);
+  if (!t.empty()) return t;
+  PorterStemmer stemmer;
+  return topics->TopicsOfStem(stemmer.Stem(lower));
+}
+
+Result<DblpCorpus> GenerateDblp(const DblpOptions& options) {
+  if (options.num_authors == 0 || options.num_papers == 0 ||
+      options.num_venues == 0) {
+    return Status::InvalidArgument("corpus sizes must be positive");
+  }
+  if (options.min_title_terms > options.max_title_terms) {
+    return Status::InvalidArgument("min_title_terms > max_title_terms");
+  }
+
+  DblpCorpus corpus;
+  corpus.topics = options.topics
+                      ? options.topics
+                      : std::make_shared<const TopicModel>(
+                            TopicModel::Standard());
+  const TopicModel& topics = *corpus.topics;
+  const size_t num_topics = topics.num_topics();
+  Rng rng(options.seed);
+  NamePool names;
+
+  // --- Tables ---------------------------------------------------------
+  KQR_ASSIGN_OR_RETURN(
+      Schema venues_schema,
+      Schema::Make("venues",
+                   {Column("venue_id", ValueType::kInt64),
+                    Column("name", ValueType::kString, TextRole::kAtomic)},
+                   "venue_id"));
+  KQR_ASSIGN_OR_RETURN(
+      Schema authors_schema,
+      Schema::Make("authors",
+                   {Column("author_id", ValueType::kInt64),
+                    Column("name", ValueType::kString, TextRole::kAtomic)},
+                   "author_id"));
+  KQR_ASSIGN_OR_RETURN(
+      Schema papers_schema,
+      Schema::Make(
+          "papers",
+          {Column("paper_id", ValueType::kInt64),
+           Column("title", ValueType::kString, TextRole::kSegmented),
+           Column("year", ValueType::kInt64),
+           Column("venue_id", ValueType::kInt64)},
+          "paper_id", {ForeignKey{"venue_id", "venues"}}));
+  KQR_ASSIGN_OR_RETURN(
+      Schema writes_schema,
+      Schema::Make("writes",
+                   {Column("write_id", ValueType::kInt64),
+                    Column("author_id", ValueType::kInt64),
+                    Column("paper_id", ValueType::kInt64)},
+                   "write_id",
+                   {ForeignKey{"author_id", "authors"},
+                    ForeignKey{"paper_id", "papers"}}));
+
+  KQR_ASSIGN_OR_RETURN(Table * venues,
+                       corpus.db.CreateTable(std::move(venues_schema)));
+  KQR_ASSIGN_OR_RETURN(Table * authors,
+                       corpus.db.CreateTable(std::move(authors_schema)));
+  KQR_ASSIGN_OR_RETURN(Table * papers,
+                       corpus.db.CreateTable(std::move(papers_schema)));
+  KQR_ASSIGN_OR_RETURN(Table * writes,
+                       corpus.db.CreateTable(std::move(writes_schema)));
+
+  // --- Venues: round-robin topics so every topic has venues ------------
+  corpus.venue_topic.reserve(options.num_venues);
+  std::vector<std::vector<int64_t>> venues_of_topic(num_topics);
+  for (size_t v = 0; v < options.num_venues; ++v) {
+    size_t topic = v % num_topics;
+    std::string name =
+        names.MakeVenueName(topics.topic(topic).venue_phrase,
+                            v / num_topics);
+    corpus.venue_topic.push_back(topic);
+    corpus.venue_names.push_back(name);
+    venues_of_topic[topic].push_back(static_cast<int64_t>(v));
+    auto row = venues->Insert(
+        {Value(static_cast<int64_t>(v)), Value(std::move(name))});
+    if (!row.ok()) return row.status();
+  }
+
+  // --- Authors: topic mixtures; Zipf over topics for community sizes ---
+  corpus.author_names = names.MakeAuthorNames(options.num_authors, &rng);
+  corpus.author_topics.reserve(options.num_authors);
+  std::vector<std::vector<int64_t>> authors_of_topic(num_topics);
+  for (size_t a = 0; a < options.num_authors; ++a) {
+    size_t primary = rng.NextZipf(num_topics, 0.7);
+    std::vector<size_t> mixture{primary};
+    size_t extra = rng.NextBounded(3);  // 0–2 secondary interests
+    for (size_t e = 0; e < extra; ++e) {
+      size_t t = rng.NextBounded(num_topics);
+      if (std::find(mixture.begin(), mixture.end(), t) == mixture.end()) {
+        mixture.push_back(t);
+      }
+    }
+    for (size_t t : mixture) {
+      authors_of_topic[t].push_back(static_cast<int64_t>(a));
+    }
+    corpus.author_topics.push_back(std::move(mixture));
+    auto row = authors->Insert({Value(static_cast<int64_t>(a)),
+                                Value(corpus.author_names[a])});
+    if (!row.ok()) return row.status();
+  }
+
+  // --- Papers + authorship ---------------------------------------------
+  corpus.paper_topic.reserve(options.num_papers);
+  int64_t write_id = 0;
+  for (size_t p = 0; p < options.num_papers; ++p) {
+    // First author: Zipf productivity skew.
+    int64_t first_author =
+        static_cast<int64_t>(rng.NextZipf(options.num_authors, 0.8));
+    const std::vector<size_t>& mixture = corpus.author_topics[first_author];
+    size_t topic = mixture[rng.NextBounded(mixture.size())];
+    corpus.paper_topic.push_back(topic);
+    size_t subtopic =
+        options.num_subtopics > 1 ? rng.NextBounded(options.num_subtopics)
+                                  : 0;
+    corpus.paper_subtopic.push_back(subtopic);
+
+    // Venue: mostly from the paper's topic.
+    size_t venue;
+    if (rng.NextDouble() < options.venue_noise ||
+        venues_of_topic[topic].empty()) {
+      venue = rng.NextBounded(options.num_venues);
+    } else {
+      const auto& pool = venues_of_topic[topic];
+      venue = static_cast<size_t>(pool[rng.NextBounded(pool.size())]);
+    }
+
+    // Title.
+    size_t title_len = static_cast<size_t>(rng.NextInt(
+        static_cast<int64_t>(options.min_title_terms),
+        static_cast<int64_t>(options.max_title_terms)));
+    std::vector<std::string> title_terms;
+    title_terms.reserve(title_len);
+    const std::vector<std::string>& generics = GenericTitleWords();
+    for (size_t w = 0; w < title_len; ++w) {
+      if (rng.NextDouble() < options.generic_rate) {
+        // Topic-free filler word (Zipf-skewed like real boilerplate).
+        title_terms.push_back(
+            generics[rng.NextZipf(generics.size(), 0.8)]);
+      } else if (rng.NextDouble() < options.title_noise) {
+        // Cross-topic noise word.
+        title_terms.push_back(
+            topics.SampleTerm(rng.NextBounded(num_topics), &rng));
+      } else if (options.num_subtopics > 1 &&
+                 rng.NextDouble() >= options.subtopic_leak) {
+        title_terms.push_back(topics.SampleTermInSubtopic(
+            topic, subtopic, options.num_subtopics, &rng));
+      } else {
+        title_terms.push_back(topics.SampleTerm(topic, &rng));
+      }
+    }
+    std::string title = Join(title_terms, " ");
+
+    int64_t year = rng.NextInt(1995, 2011);
+    auto row = papers->Insert({Value(static_cast<int64_t>(p)),
+                               Value(std::move(title)), Value(year),
+                               Value(static_cast<int64_t>(venue))});
+    if (!row.ok()) return row.status();
+
+    // Authorship: first author plus same-topic co-authors.
+    std::vector<int64_t> coauthors{first_author};
+    size_t extra =
+        rng.NextBounded(options.max_authors_per_paper);  // 0..max-1 extras
+    const auto& topic_pool = authors_of_topic[topic];
+    for (size_t e = 0; e < extra; ++e) {
+      int64_t candidate;
+      if (rng.NextDouble() < options.coauthor_noise || topic_pool.empty()) {
+        candidate = static_cast<int64_t>(
+            rng.NextBounded(options.num_authors));
+      } else {
+        candidate = topic_pool[rng.NextBounded(topic_pool.size())];
+      }
+      if (std::find(coauthors.begin(), coauthors.end(), candidate) ==
+          coauthors.end()) {
+        coauthors.push_back(candidate);
+      }
+    }
+    for (int64_t author : coauthors) {
+      auto wrow = writes->Insert({Value(write_id++), Value(author),
+                                  Value(static_cast<int64_t>(p))});
+      if (!wrow.ok()) return wrow.status();
+    }
+  }
+
+  KQR_RETURN_NOT_OK(corpus.db.ValidateIntegrity());
+  return corpus;
+}
+
+}  // namespace kqr

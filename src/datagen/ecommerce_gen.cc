@@ -1,0 +1,132 @@
+#include "datagen/ecommerce_gen.h"
+
+#include "common/string_util.h"
+#include "datagen/name_pool.h"
+
+namespace kqr {
+
+Result<EcommerceCorpus> GenerateEcommerce(const EcommerceOptions& options) {
+  if (options.num_brands == 0 || options.num_products == 0) {
+    return Status::InvalidArgument("corpus sizes must be positive");
+  }
+  EcommerceCorpus corpus;
+  corpus.topics =
+      std::make_shared<const TopicModel>(TopicModel::Retail());
+  const TopicModel& topics = *corpus.topics;
+  const size_t num_topics = topics.num_topics();
+  Rng rng(options.seed);
+  NamePool names;
+
+  KQR_ASSIGN_OR_RETURN(
+      Schema categories_schema,
+      Schema::Make("categories",
+                   {Column("category_id", ValueType::kInt64),
+                    Column("name", ValueType::kString, TextRole::kAtomic)},
+                   "category_id"));
+  KQR_ASSIGN_OR_RETURN(
+      Schema brands_schema,
+      Schema::Make("brands",
+                   {Column("brand_id", ValueType::kInt64),
+                    Column("name", ValueType::kString, TextRole::kAtomic)},
+                   "brand_id"));
+  KQR_ASSIGN_OR_RETURN(
+      Schema products_schema,
+      Schema::Make(
+          "products",
+          {Column("product_id", ValueType::kInt64),
+           Column("title", ValueType::kString, TextRole::kSegmented),
+           Column("price", ValueType::kDouble),
+           Column("brand_id", ValueType::kInt64),
+           Column("category_id", ValueType::kInt64)},
+          "product_id",
+          {ForeignKey{"brand_id", "brands"},
+           ForeignKey{"category_id", "categories"}}));
+  KQR_ASSIGN_OR_RETURN(
+      Schema reviews_schema,
+      Schema::Make(
+          "reviews",
+          {Column("review_id", ValueType::kInt64),
+           Column("body", ValueType::kString, TextRole::kSegmented),
+           Column("rating", ValueType::kInt64),
+           Column("product_id", ValueType::kInt64)},
+          "review_id", {ForeignKey{"product_id", "products"}}));
+
+  KQR_ASSIGN_OR_RETURN(Table * categories,
+                       corpus.db.CreateTable(std::move(categories_schema)));
+  KQR_ASSIGN_OR_RETURN(Table * brands,
+                       corpus.db.CreateTable(std::move(brands_schema)));
+  KQR_ASSIGN_OR_RETURN(Table * products,
+                       corpus.db.CreateTable(std::move(products_schema)));
+  KQR_ASSIGN_OR_RETURN(Table * reviews,
+                       corpus.db.CreateTable(std::move(reviews_schema)));
+
+  // One category per domain.
+  for (size_t c = 0; c < num_topics; ++c) {
+    auto row = categories->Insert({Value(static_cast<int64_t>(c)),
+                                   Value(topics.topic(c).venue_phrase)});
+    if (!row.ok()) return row.status();
+  }
+
+  // Brands, each specialized in one domain.
+  std::vector<std::string> brand_names =
+      names.MakeBrandNames(options.num_brands, &rng);
+  std::vector<std::vector<int64_t>> brands_of_topic(num_topics);
+  for (size_t b = 0; b < options.num_brands; ++b) {
+    size_t topic = b % num_topics;
+    corpus.brand_topic.push_back(topic);
+    brands_of_topic[topic].push_back(static_cast<int64_t>(b));
+    auto row = brands->Insert(
+        {Value(static_cast<int64_t>(b)), Value(brand_names[b])});
+    if (!row.ok()) return row.status();
+  }
+
+  // Products.
+  for (size_t p = 0; p < options.num_products; ++p) {
+    size_t topic = rng.NextZipf(num_topics, 0.5);
+    corpus.product_topic.push_back(topic);
+    const auto& brand_pool = brands_of_topic[topic];
+    int64_t brand = brand_pool.empty()
+                        ? static_cast<int64_t>(
+                              rng.NextBounded(options.num_brands))
+                        : brand_pool[rng.NextBounded(brand_pool.size())];
+    size_t len = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(options.min_title_terms),
+                    static_cast<int64_t>(options.max_title_terms)));
+    std::vector<std::string> words;
+    words.reserve(len);
+    for (size_t w = 0; w < len; ++w) {
+      size_t src = rng.NextDouble() < options.title_noise
+                       ? rng.NextBounded(num_topics)
+                       : topic;
+      words.push_back(topics.SampleTerm(src, &rng));
+    }
+    double price = 5.0 + rng.NextDouble() * 495.0;
+    auto row = products->Insert(
+        {Value(static_cast<int64_t>(p)), Value(Join(words, " ")),
+         Value(price), Value(brand), Value(static_cast<int64_t>(topic))});
+    if (!row.ok()) return row.status();
+  }
+
+  // Reviews reuse domain vocabulary (short bodies).
+  for (size_t r = 0; r < options.num_reviews; ++r) {
+    int64_t product =
+        static_cast<int64_t>(rng.NextBounded(options.num_products));
+    size_t topic = corpus.product_topic[product];
+    size_t len = 3 + rng.NextBounded(5);
+    std::vector<std::string> words;
+    words.reserve(len);
+    for (size_t w = 0; w < len; ++w) {
+      words.push_back(topics.SampleTerm(topic, &rng));
+    }
+    int64_t rating = rng.NextInt(1, 5);
+    auto row = reviews->Insert({Value(static_cast<int64_t>(r)),
+                                Value(Join(words, " ")), Value(rating),
+                                Value(product)});
+    if (!row.ok()) return row.status();
+  }
+
+  KQR_RETURN_NOT_OK(corpus.db.ValidateIntegrity());
+  return corpus;
+}
+
+}  // namespace kqr

@@ -1,0 +1,48 @@
+// EcommerceGenerator: a second, structurally different corpus proving the
+// pipeline is schema-independent (the paper claims applicability to "other
+// kinds of schema or even schemaless structured data").
+//
+// Schema:
+//   categories(category_id, name)                     name: atomic
+//   brands(brand_id, name)                            name: atomic
+//   products(product_id, title, price,
+//            brand_id → brands, category_id → categories)
+//                                                     title: segmented
+//   reviews(review_id, body, rating, product_id → products)
+//                                                     body: segmented
+
+#ifndef KQR_DATAGEN_ECOMMERCE_GEN_H_
+#define KQR_DATAGEN_ECOMMERCE_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/topic_model.h"
+#include "storage/database.h"
+
+namespace kqr {
+
+struct EcommerceOptions {
+  size_t num_brands = 24;
+  size_t num_products = 1500;
+  size_t num_reviews = 3000;
+  size_t min_title_terms = 4;
+  size_t max_title_terms = 8;
+  double title_noise = 0.08;
+  uint64_t seed = 7;
+};
+
+struct EcommerceCorpus {
+  Database db{"shop"};
+  std::shared_ptr<const TopicModel> topics;
+  std::vector<size_t> brand_topic;    // dominant domain per brand
+  std::vector<size_t> product_topic;  // domain per product
+};
+
+Result<EcommerceCorpus> GenerateEcommerce(
+    const EcommerceOptions& options = {});
+
+}  // namespace kqr
+
+#endif  // KQR_DATAGEN_ECOMMERCE_GEN_H_

@@ -1,0 +1,99 @@
+#include "datagen/name_pool.h"
+
+#include <unordered_set>
+
+namespace kqr {
+
+NamePool::NamePool() {
+  first_names_ = {
+      "James",   "Mary",    "Wei",     "Ling",   "Robert",  "Elena",
+      "Hiroshi", "Yuki",    "Ahmed",   "Fatima", "Carlos",  "Sofia",
+      "Ivan",    "Olga",    "Pierre",  "Claire", "Rajesh",  "Priya",
+      "Thomas",  "Anna",    "Michael", "Laura",  "David",   "Julia",
+      "Stefan",  "Ingrid",  "Marco",   "Giulia", "Jin",     "Mei",
+      "Andrei",  "Natasha", "Lars",    "Astrid", "Diego",   "Lucia",
+      "Kenji",   "Sakura",  "Omar",    "Leila",  "Felix",   "Greta",
+      "Victor",  "Irene",   "Pavel",   "Dana",   "Henrik",  "Maja",
+      "Bruno",   "Alice",   "Samuel",  "Nora",   "Oscar",   "Vera",
+      "Hugo",    "Clara",   "Leon",    "Ida",    "Max",     "Eva"};
+  last_names_ = {
+      "Smith",    "Chen",      "Wang",     "Johnson",  "Garcia",
+      "Mueller",  "Tanaka",    "Kim",      "Singh",    "Kumar",
+      "Ivanov",   "Petrov",    "Dubois",   "Martin",   "Rossi",
+      "Ferrari",  "Yamamoto",  "Nakamura", "Ali",      "Hassan",
+      "Lopez",    "Martinez",  "Andersson","Nilsson",  "Silva",
+      "Santos",   "Novak",     "Horvat",   "Kowalski", "Nowak",
+      "Papadopoulos", "Nikolaou", "Berg",  "Haugen",   "Virtanen",
+      "Korhonen", "Jensen",    "Larsen",   "Visser",   "Bakker",
+      "Weber",    "Fischer",   "Ricci",    "Greco",    "Suzuki",
+      "Watanabe", "Park",      "Lee",      "Zhou",     "Liu",
+      "Zhang",    "Huang",     "Gao",      "Lin",      "Mehta",
+      "Patel",    "Rao",       "Iyer",     "Costa",    "Almeida",
+      "Moreau",   "Lefevre",   "Keller",   "Braun",    "Sorensen",
+      "Nielsen",  "OBrien",    "Murphy",   "Walsh",    "Byrne"};
+  brand_roots_ = {
+      "Apex",   "Nova",  "Zenith", "Summit", "Vertex", "Prime",
+      "Aero",   "Terra", "Lumen",  "Quanta", "Strato", "Vela",
+      "Orion",  "Atlas", "Boreal", "Cobalt", "Delta",  "Ember"};
+}
+
+std::vector<std::string> NamePool::MakeAuthorNames(size_t count,
+                                                   Rng* rng) const {
+  std::vector<std::string> names;
+  names.reserve(count);
+  std::unordered_set<std::string> used;
+  const char* initials = "ABCDEFGHJKLMNPRSTVW";
+  while (names.size() < count) {
+    std::string name =
+        first_names_[rng->NextBounded(first_names_.size())] + " " +
+        last_names_[rng->NextBounded(last_names_.size())];
+    if (used.count(name) > 0) {
+      // Disambiguate with a middle initial; cycle until unique.
+      std::string base = name;
+      size_t space = base.find(' ');
+      for (size_t i = 0; i < 19 && used.count(name) > 0; ++i) {
+        name = base.substr(0, space) + " " + initials[i] + ". " +
+               base.substr(space + 1);
+      }
+      if (used.count(name) > 0) continue;  // exhausted; redraw
+    }
+    used.insert(name);
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+std::string NamePool::MakeVenueName(const std::string& topic_phrase,
+                                    size_t index) const {
+  static const char* const kForms[] = {
+      "International Conference on ", "Symposium on ", "Workshop on ",
+      "Journal of ", "Transactions on ", "Annual Meeting on "};
+  const size_t kNumForms = sizeof(kForms) / sizeof(kForms[0]);
+  std::string name = std::string(kForms[index % kNumForms]) + topic_phrase;
+  if (index >= kNumForms) {
+    name += " " + std::to_string(index / kNumForms + 1);
+  }
+  return name;
+}
+
+std::vector<std::string> NamePool::MakeBrandNames(size_t count,
+                                                  Rng* rng) const {
+  static const char* const kSuffixes[] = {"Works", "Labs", "Gear", "Co",
+                                          "Industries", "Goods"};
+  std::vector<std::string> names;
+  names.reserve(count);
+  std::unordered_set<std::string> used;
+  while (names.size() < count) {
+    std::string name =
+        brand_roots_[rng->NextBounded(brand_roots_.size())] + " " +
+        kSuffixes[rng->NextBounded(6)];
+    if (!used.insert(name).second) {
+      name += " " + std::to_string(names.size());
+      if (!used.insert(name).second) continue;
+    }
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+}  // namespace kqr

@@ -1,0 +1,40 @@
+// NamePool: deterministic person and venue name generation for the
+// synthetic corpora.
+
+#ifndef KQR_DATAGEN_NAME_POOL_H_
+#define KQR_DATAGEN_NAME_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kqr {
+
+/// \brief Draws unique author names and builds venue names.
+class NamePool {
+ public:
+  NamePool();
+
+  /// \brief `count` distinct full names ("First Last", with middle
+  /// initials added on collision), deterministic for a given rng state.
+  std::vector<std::string> MakeAuthorNames(size_t count, Rng* rng) const;
+
+  /// \brief A venue name for a topic phrase, e.g. index 0 of "Database
+  /// Systems" → "International Conference on Database Systems"; later
+  /// indexes rotate through Symposium/Workshop/Journal variants.
+  std::string MakeVenueName(const std::string& topic_phrase,
+                            size_t index) const;
+
+  /// \brief Brand names for the retail corpus.
+  std::vector<std::string> MakeBrandNames(size_t count, Rng* rng) const;
+
+ private:
+  std::vector<std::string> first_names_;
+  std::vector<std::string> last_names_;
+  std::vector<std::string> brand_roots_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_DATAGEN_NAME_POOL_H_

@@ -1,0 +1,254 @@
+#include "datagen/topic_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+namespace {
+
+Topic MakeTopic(std::string name, std::string venue_phrase,
+                std::vector<std::string> terms) {
+  Topic t;
+  t.name = std::move(name);
+  t.venue_phrase = std::move(venue_phrase);
+  t.terms = std::move(terms);
+  return t;
+}
+
+std::vector<Topic> StandardTopics() {
+  std::vector<Topic> topics;
+  topics.push_back(MakeTopic(
+      "databases", "Database Systems",
+      {"query",      "index",       "relational",  "transaction",
+       "join",       "optimization", "storage",    "concurrency",
+       "recovery",   "schema",      "view",        "materialized",
+       "partition",  "parallel",    "distributed", "keyword",
+       "ranking",    "skyline",     "provenance",  "workload",
+       "buffer",     "logging",     "benchmark",   "tuning",
+       "cardinality", "selectivity", "execution",  "plan"}));
+  topics.push_back(MakeTopic(
+      "semistructured", "Web Data Management",
+      {"xml",       "semistructured", "tree",      "twig",
+       "xpath",     "xquery",         "schema",    "document",
+       "element",   "path",           "pattern",   "native",
+       "html",      "web",            "json",      "hierarchical",
+       "node",      "label",          "subtree",   "validation",
+       "namespace", "transformation", "publishing", "wrapper",
+       "extraction", "mapping",       "integration", "mediator"}));
+  topics.push_back(MakeTopic(
+      "uncertainty", "Probabilistic Data Management",
+      {"probabilistic", "uncertain",   "probability", "uncertainty",
+       "possible",      "world",       "confidence",  "lineage",
+       "approximate",   "sampling",    "estimation",  "distribution",
+       "bayesian",      "inference",   "noisy",       "incomplete",
+       "imprecise",     "fuzzy",       "ranking",     "topk",
+       "aggregation",   "correlation", "dependency",  "model",
+       "generation",    "likelihood",  "stochastic",  "monte"}));
+  topics.push_back(MakeTopic(
+      "datamining", "Knowledge Discovery and Data Mining",
+      {"mining",      "association", "rule",        "frequent",
+       "itemset",     "sequential",  "pattern",     "clustering",
+       "classification", "outlier",  "anomaly",     "discovery",
+       "transaction", "support",     "confidence",  "lattice",
+       "subgraph",    "motif",       "episode",     "correlation",
+       "summarization", "compression", "stream",    "evolving",
+       "drift",       "ensemble",    "boosting",    "apriori"}));
+  topics.push_back(MakeTopic(
+      "machinelearning", "Machine Learning",
+      {"learning",   "neural",      "network",     "kernel",
+       "regression", "supervised",  "unsupervised", "feature",
+       "selection",  "dimensionality", "reduction", "embedding",
+       "gradient",   "optimization", "convergence", "generalization",
+       "overfitting", "regularization", "bayesian", "gaussian",
+       "markov",     "latent",      "variable",    "matrix",
+       "factorization", "deep",     "representation", "transfer"}));
+  topics.push_back(MakeTopic(
+      "retrieval", "Information Retrieval",
+      {"retrieval",  "search",     "relevance",  "ranking",
+       "document",   "term",       "weighting",  "vector",
+       "language",   "model",      "feedback",   "expansion",
+       "reformulation", "suggestion", "snippet", "crawling",
+       "indexing",   "inverted",   "compression", "evaluation",
+       "precision",  "recall",     "click",      "log",
+       "personalization", "diversification", "faceted", "entity"}));
+  topics.push_back(MakeTopic(
+      "spatial", "Spatial and Temporal Databases",
+      {"spatial",   "temporal",   "spatiotemporal", "moving",
+       "object",    "trajectory", "nearest",        "neighbor",
+       "knn",       "range",      "location",       "road",
+       "network",   "gps",        "tracking",       "continuous",
+       "monitoring", "rtree",     "grid",           "proximity",
+       "geographic", "map",       "region",         "window",
+       "interval",  "sequence",   "prediction",     "cluster"}));
+  topics.push_back(MakeTopic(
+      "streams", "Data Stream Systems",
+      {"stream",     "continuous", "window",     "sliding",
+       "approximation", "sketch",  "sampling",   "aggregate",
+       "frequency",  "heavy",      "hitter",     "quantile",
+       "load",       "shedding",   "adaptive",   "operator",
+       "scheduling", "latency",    "throughput", "realtime",
+       "sensor",     "event",      "complex",    "detection",
+       "filtering",  "join",       "punctuation", "burst"}));
+  topics.push_back(MakeTopic(
+      "graphs", "Graph Data Management",
+      {"graph",       "subgraph",   "isomorphism", "reachability",
+       "shortest",    "path",       "random",      "walk",
+       "pagerank",    "centrality", "community",   "partitioning",
+       "social",      "network",    "link",        "prediction",
+       "influence",   "propagation", "diffusion",  "triangle",
+       "clique",      "dense",      "bipartite",   "matching",
+       "traversal",   "labeling",   "summarize",   "homomorphism"}));
+  topics.push_back(MakeTopic(
+      "systems", "Distributed Computing Systems",
+      {"distributed", "consensus",  "replication", "consistency",
+       "availability", "fault",     "tolerance",   "partition",
+       "scalability", "elastic",    "cloud",       "cluster",
+       "mapreduce",   "shuffle",    "locality",    "caching",
+       "coordination", "membership", "gossip",     "quorum",
+       "leader",      "election",   "snapshot",    "checkpoint",
+       "migration",   "virtualization", "container", "scheduler"}));
+  topics.push_back(MakeTopic(
+      "security", "Security and Privacy",
+      {"security",    "privacy",    "anonymization", "encryption",
+       "access",      "control",    "authentication", "integrity",
+       "audit",       "disclosure", "differential",  "perturbation",
+       "adversary",   "attack",     "defense",       "vulnerability",
+       "trust",       "secure",     "computation",   "signature",
+       "key",         "protocol",   "obfuscation",   "leakage",
+       "inference",   "policy",     "compliance",    "watermarking"}));
+  topics.push_back(MakeTopic(
+      "similarity", "Similarity Search",
+      {"similarity",  "distance",   "metric",      "edit",
+       "string",      "matching",   "duplicate",   "deduplication",
+       "entity",      "resolution", "record",      "linkage",
+       "fingerprint", "hashing",    "lsh",         "embedding",
+       "nearest",     "candidate",  "verification", "filter",
+       "signature",   "gram",       "token",       "fuzzy",
+       "alignment",   "overlap",    "jaccard",     "cosine"}));
+  return topics;
+}
+
+std::vector<Topic> RetailTopics() {
+  std::vector<Topic> topics;
+  topics.push_back(MakeTopic(
+      "electronics", "Consumer Electronics",
+      {"wireless", "bluetooth", "headphone", "speaker", "battery",
+       "charger",  "usb",       "cable",     "adapter", "portable",
+       "stereo",   "noise",     "cancelling", "earbud", "microphone",
+       "hdmi",     "monitor",   "keyboard",  "mouse",   "webcam"}));
+  topics.push_back(MakeTopic(
+      "kitchen", "Kitchen and Dining",
+      {"stainless", "steel",    "cookware", "nonstick", "blender",
+       "espresso",  "grinder",  "ceramic",  "dishwasher", "safe",
+       "cutlery",   "knife",    "skillet",  "saucepan", "kettle",
+       "toaster",   "whisk",    "spatula",  "baking",   "oven"}));
+  topics.push_back(MakeTopic(
+      "outdoors", "Outdoor Recreation",
+      {"camping",  "tent",      "sleeping", "bag",      "hiking",
+       "backpack", "waterproof", "thermal", "lantern",  "compass",
+       "trekking", "pole",      "insulated", "bottle",  "stove",
+       "hammock",  "tarp",      "carabiner", "headlamp", "trail"}));
+  topics.push_back(MakeTopic(
+      "fitness", "Sports and Fitness",
+      {"yoga",      "mat",       "dumbbell", "resistance", "band",
+       "treadmill", "exercise",  "workout",  "training",   "running",
+       "cycling",   "jersey",    "compression", "fitness", "tracker",
+       "protein",   "foam",      "roller",   "kettlebell", "jump"}));
+  topics.push_back(MakeTopic(
+      "clothing", "Apparel and Fashion",
+      {"cotton",   "jacket",   "hooded",  "sweater", "denim",
+       "slim",     "fit",      "casual",  "formal",  "sleeve",
+       "collar",   "zipper",   "pocket",  "lined",   "breathable",
+       "stretch",  "vintage",  "classic", "lightweight", "layered"}));
+  topics.push_back(MakeTopic(
+      "toys", "Toys and Games",
+      {"puzzle",    "board",   "game",     "building", "block",
+       "educational", "wooden", "plush",   "remote",   "controlled",
+       "racing",    "strategy", "card",    "dice",     "miniature",
+       "collectible", "craft", "creative", "interactive", "playset"}));
+  return topics;
+}
+
+}  // namespace
+
+TopicModel::TopicModel(std::vector<Topic> topics)
+    : topics_(std::move(topics)) {
+  PorterStemmer stemmer;
+  for (size_t i = 0; i < topics_.size(); ++i) {
+    for (const std::string& word : topics_[i].terms) {
+      word_topics_[word].push_back(i);
+      std::string stem = stemmer.Stem(word);
+      std::vector<size_t>& list = stem_topics_[stem];
+      if (std::find(list.begin(), list.end(), i) == list.end()) {
+        list.push_back(i);
+      }
+    }
+  }
+}
+
+TopicModel TopicModel::Standard() { return TopicModel(StandardTopics()); }
+
+TopicModel TopicModel::Retail() { return TopicModel(RetailTopics()); }
+
+TopicModel TopicModel::Synthetic(size_t k, size_t words_per_topic) {
+  // Pseudo-words "t<i>w<j>" are distinct across topics, pronounceable
+  // enough for debugging, and stable under stemming.
+  std::vector<Topic> topics;
+  topics.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    Topic t;
+    t.name = "topic" + std::to_string(i);
+    t.venue_phrase = "Synthetic Area " + std::to_string(i);
+    t.terms.reserve(words_per_topic);
+    for (size_t j = 0; j < words_per_topic; ++j) {
+      t.terms.push_back("zq" + std::to_string(i) + "w" +
+                        std::to_string(j));
+    }
+    topics.push_back(std::move(t));
+  }
+  return TopicModel(std::move(topics));
+}
+
+const std::string& TopicModel::SampleTerm(size_t topic, Rng* rng) const {
+  KQR_DCHECK(topic < topics_.size());
+  const std::vector<std::string>& terms = topics_[topic].terms;
+  size_t rank = rng->NextZipf(terms.size(), 1.0);
+  return terms[rank];
+}
+
+const std::string& TopicModel::SampleTermInSubtopic(size_t topic,
+                                                    size_t subtopic,
+                                                    size_t num_subtopics,
+                                                    Rng* rng) const {
+  KQR_DCHECK(topic < topics_.size());
+  const std::vector<std::string>& terms = topics_[topic].terms;
+  if (num_subtopics <= 1) return SampleTerm(topic, rng);
+  // Collect indices in this subtopic; fall back to the whole topic when
+  // the partition leaves it empty.
+  std::vector<size_t> members;
+  members.reserve(terms.size() / num_subtopics + 1);
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (SubtopicOfIndex(i, num_subtopics) == subtopic % num_subtopics) {
+      members.push_back(i);
+    }
+  }
+  if (members.empty()) return SampleTerm(topic, rng);
+  size_t rank = rng->NextZipf(members.size(), 1.0);
+  return terms[members[rank]];
+}
+
+std::vector<size_t> TopicModel::TopicsOfWord(const std::string& word)
+    const {
+  auto it = word_topics_.find(word);
+  return it == word_topics_.end() ? std::vector<size_t>{} : it->second;
+}
+
+std::vector<size_t> TopicModel::TopicsOfStem(const std::string& stem)
+    const {
+  auto it = stem_topics_.find(stem);
+  return it == stem_topics_.end() ? std::vector<size_t>{} : it->second;
+}
+
+}  // namespace kqr

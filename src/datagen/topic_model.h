@@ -1,0 +1,84 @@
+// TopicModel: the latent semantic structure of the synthetic corpus.
+//
+// The paper's phenomena ("probabilistic" and "uncertain" share venues and
+// authors without co-occurring in titles; non-collaborating authors share
+// research areas) require terms to be grouped into latent topics that
+// drive venue and author behavior. The topic is the ground truth the
+// evaluation judge uses in place of the paper's human assessors.
+
+#ifndef KQR_DATAGEN_TOPIC_MODEL_H_
+#define KQR_DATAGEN_TOPIC_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/porter_stemmer.h"
+
+namespace kqr {
+
+/// \brief One research area and its characteristic title terms.
+struct Topic {
+  std::string name;
+  std::vector<std::string> terms;
+  /// Venue-name phrase, e.g. "Database Systems".
+  std::string venue_phrase;
+};
+
+/// \brief A fixed set of topics with term sampling and reverse lookup.
+class TopicModel {
+ public:
+  /// Curated computer-science topics (databases, mining, ML, IR, ...)
+  /// whose vocabularies include the paper's case-study terms ("xml",
+  /// "probabilistic", "uncertain", "association", ...).
+  static TopicModel Standard();
+
+  /// Machine-generated topics for scaling tests: k topics of
+  /// `words_per_topic` distinct pseudo-words each.
+  static TopicModel Synthetic(size_t k, size_t words_per_topic);
+
+  /// Curated retail product domains for the e-commerce example corpus.
+  static TopicModel Retail();
+
+  explicit TopicModel(std::vector<Topic> topics);
+
+  size_t num_topics() const { return topics_.size(); }
+  const Topic& topic(size_t i) const { return topics_[i]; }
+
+  /// Zipf-weighted term draw from one topic (low ranks dominate, giving
+  /// realistic frequency skew).
+  const std::string& SampleTerm(size_t topic, Rng* rng) const;
+
+  /// Zipf-weighted draw restricted to one *subtopic*: the terms whose
+  /// index ≡ subtopic (mod num_subtopics). Subtopics model research
+  /// sub-communities — quasi-synonyms (adjacent in the curated lists) land
+  /// in different subtopics, so they share venues/authors but rarely
+  /// co-occur in a title, the exact phenomenon of the paper's Sec. I
+  /// examples.
+  const std::string& SampleTermInSubtopic(size_t topic, size_t subtopic,
+                                          size_t num_subtopics,
+                                          Rng* rng) const;
+
+  /// Subtopic of a term index under a num_subtopics partition.
+  static size_t SubtopicOfIndex(size_t term_index, size_t num_subtopics) {
+    return num_subtopics == 0 ? 0 : term_index % num_subtopics;
+  }
+
+  /// Topics that contain `word` (surface form).
+  std::vector<size_t> TopicsOfWord(const std::string& word) const;
+
+  /// Topics whose vocabulary contains a word stemming to `stem`. This is
+  /// what the judge uses, because the corpus pipeline stems title terms.
+  std::vector<size_t> TopicsOfStem(const std::string& stem) const;
+
+ private:
+  std::vector<Topic> topics_;
+  std::unordered_map<std::string, std::vector<size_t>> word_topics_;
+  std::unordered_map<std::string, std::vector<size_t>> stem_topics_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_DATAGEN_TOPIC_MODEL_H_

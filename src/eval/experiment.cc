@@ -1,0 +1,231 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+Result<ExperimentContext> MakeDblpContext(DblpOptions dblp,
+                                          EngineOptions engine_options) {
+  ExperimentContext ctx;
+  KQR_ASSIGN_OR_RETURN(ctx.corpus, GenerateDblp(dblp));
+  KQR_ASSIGN_OR_RETURN(
+      ctx.engine,
+      ReformulationEngine::Build(std::move(ctx.corpus.db),
+                                 engine_options));
+  return ctx;
+}
+
+QuerySampler::QuerySampler(const ReformulationEngine& engine, uint64_t seed,
+                           QuerySamplerOptions options,
+                           const DblpCorpus* corpus)
+    : engine_(engine), corpus_(corpus), rng_(seed), options_(options) {
+  const Vocabulary& vocab = engine.vocab();
+  const InvertedIndex& index = engine.index();
+
+  // Classify vocabulary terms by the role/table of their field.
+  for (TermId t = 0; t < vocab.size(); ++t) {
+    const FieldInfo& field = vocab.field(vocab.field_of(t));
+    if (field.role == TextRole::kSegmented) {
+      if (index.DocFreq(t) >= options_.min_title_docfreq) {
+        title_terms_.push_back(t);
+      }
+    } else if (field.table == "authors") {
+      author_terms_.push_back(t);
+    } else if (field.table == "venues") {
+      venue_terms_.push_back(t);
+    }
+  }
+  KQR_CHECK(!title_terms_.empty()) << "corpus has no sampleable title terms";
+
+  // Per-topic pools from the generative ground truth.
+  if (corpus_ != nullptr) {
+    const size_t num_topics = corpus_->topics->num_topics();
+    topic_title_terms_.resize(num_topics);
+    topic_author_terms_.resize(num_topics);
+    topic_venue_terms_.resize(num_topics);
+    for (TermId t : title_terms_) {
+      for (size_t topic : corpus_->TopicsOf(vocab.text(t))) {
+        topic_title_terms_[topic].push_back(t);
+      }
+    }
+    auto author_field = vocab.FindField("authors", "name");
+    auto venue_field = vocab.FindField("venues", "name");
+    for (TermId t : author_terms_) {
+      if (!author_field.has_value()) break;
+      for (size_t topic : corpus_->TopicsOf(vocab.text(t))) {
+        topic_author_terms_[topic].push_back(t);
+      }
+    }
+    for (TermId t : venue_terms_) {
+      if (!venue_field.has_value()) break;
+      for (size_t topic : corpus_->TopicsOf(vocab.text(t))) {
+        topic_venue_terms_[topic].push_back(t);
+      }
+    }
+  }
+
+  // Per-paper informative title terms, for the Table III workload.
+  const Table* papers = engine.db().FindTable("papers");
+  if (papers != nullptr) {
+    auto title_col = papers->schema().FindColumn("title");
+    if (title_col.has_value()) {
+      auto field = vocab.FindField("papers", "title");
+      paper_title_terms_.reserve(papers->num_rows());
+      for (size_t r = 0; r < papers->num_rows(); ++r) {
+        std::vector<TermId> terms;
+        const Value& cell =
+            papers->row(static_cast<RowIndex>(r)).at(*title_col);
+        if (!cell.is_null() && field.has_value()) {
+          for (const std::string& w :
+               engine.analyzer().AnalyzeSegmented(cell.AsString())) {
+            auto id = vocab.Find(*field, w);
+            if (id.has_value() &&
+                index.DocFreq(*id) >= options_.min_title_docfreq &&
+                std::find(terms.begin(), terms.end(), *id) == terms.end()) {
+              terms.push_back(*id);
+            }
+          }
+        }
+        paper_title_terms_.push_back(std::move(terms));
+      }
+    }
+  }
+}
+
+TermId QuerySampler::SampleTerm(KeywordSource source) {
+  switch (source) {
+    case KeywordSource::kTitleTerm:
+      return title_terms_[rng_.NextBounded(title_terms_.size())];
+    case KeywordSource::kAuthorName:
+      if (author_terms_.empty()) return SampleTerm(KeywordSource::kTitleTerm);
+      return author_terms_[rng_.NextBounded(author_terms_.size())];
+    case KeywordSource::kVenueName:
+      if (venue_terms_.empty()) return SampleTerm(KeywordSource::kTitleTerm);
+      return venue_terms_[rng_.NextBounded(venue_terms_.size())];
+  }
+  return title_terms_[0];
+}
+
+std::vector<TermId> QuerySampler::SampleQuery(size_t length) {
+  std::vector<TermId> query;
+  query.reserve(length);
+  const std::vector<double> weights = {options_.title_weight,
+                                       options_.author_weight,
+                                       options_.venue_weight};
+  size_t attempts = 0;
+  while (query.size() < length && attempts < length * 50) {
+    ++attempts;
+    auto source = static_cast<KeywordSource>(rng_.SampleWeighted(weights));
+    TermId t = SampleTerm(source);
+    if (std::find(query.begin(), query.end(), t) == query.end()) {
+      query.push_back(t);
+    }
+  }
+  KQR_CHECK(query.size() == length) << "could not sample a length-"
+                                    << length << " query";
+  return query;
+}
+
+std::vector<std::vector<TermId>> QuerySampler::SampleQueries(
+    size_t count, size_t length) {
+  std::vector<std::vector<TermId>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(SampleQuery(length));
+  return out;
+}
+
+TermId QuerySampler::SampleTopicTerm(KeywordSource source, size_t topic) {
+  const std::vector<std::vector<TermId>>* pools = nullptr;
+  switch (source) {
+    case KeywordSource::kTitleTerm:
+      pools = &topic_title_terms_;
+      break;
+    case KeywordSource::kAuthorName:
+      pools = &topic_author_terms_;
+      break;
+    case KeywordSource::kVenueName:
+      pools = &topic_venue_terms_;
+      break;
+  }
+  if (pools == nullptr || topic >= pools->size() ||
+      (*pools)[topic].empty()) {
+    return SampleTerm(source);
+  }
+  const std::vector<TermId>& pool = (*pools)[topic];
+  return pool[rng_.NextBounded(pool.size())];
+}
+
+std::vector<std::vector<TermId>> QuerySampler::SampleMixedSet(
+    size_t count) {
+  const bool coherent = corpus_ != nullptr && !topic_title_terms_.empty();
+  const size_t num_topics =
+      coherent ? corpus_->topics->num_topics() : 1;
+  std::vector<std::vector<TermId>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // One intent topic per query (like a real information need), cycling
+    // so the test set covers many areas.
+    size_t topic = coherent ? i % num_topics : 0;
+    auto draw = [&](KeywordSource source) {
+      return coherent ? SampleTopicTerm(source, topic)
+                      : SampleTerm(source);
+    };
+    // Alternate the paper's query shapes: topical pairs ("knn uncertain"),
+    // name + topic ("Christian S. Jensen spatio-temporal"), venue + topic.
+    std::vector<TermId> q;
+    switch (i % 3) {
+      case 0:
+        q.push_back(draw(KeywordSource::kTitleTerm));
+        q.push_back(draw(KeywordSource::kTitleTerm));
+        break;
+      case 1:
+        q.push_back(draw(KeywordSource::kAuthorName));
+        q.push_back(draw(KeywordSource::kTitleTerm));
+        break;
+      default:
+        q.push_back(draw(KeywordSource::kVenueName));
+        q.push_back(draw(KeywordSource::kTitleTerm));
+        q.push_back(draw(KeywordSource::kTitleTerm));
+        break;
+    }
+    // Drop accidental duplicates by resampling a few times.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      bool dup = false;
+      for (size_t a = 0; a < q.size() && !dup; ++a) {
+        for (size_t b = a + 1; b < q.size(); ++b) {
+          if (q[a] == q[b]) {
+            q[b] = draw(KeywordSource::kTitleTerm);
+            dup = true;
+            break;
+          }
+        }
+      }
+      if (!dup) break;
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<std::vector<TermId>> QuerySampler::SampleTitleQueries(
+    size_t count) {
+  std::vector<std::vector<TermId>> out;
+  out.reserve(count);
+  size_t attempts = 0;
+  while (out.size() < count && attempts < count * 200) {
+    ++attempts;
+    if (paper_title_terms_.empty()) break;
+    const std::vector<TermId>& terms =
+        paper_title_terms_[rng_.NextBounded(paper_title_terms_.size())];
+    if (terms.size() < 2) continue;
+    size_t take = std::min<size_t>(2 + rng_.NextBounded(3), terms.size());
+    std::vector<TermId> q(terms.begin(),
+                          terms.begin() + static_cast<long>(take));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace kqr

@@ -1,0 +1,96 @@
+// Shared experiment scaffolding for the bench binaries: corpus + engine
+// construction and query-set sampling matching the paper's workloads
+// (Sec. VI: 10 mixed-format queries; 400 sampled queries of lengths 1–8
+// from author/title/venue fields; 19 title-derived queries).
+
+#ifndef KQR_EVAL_EXPERIMENT_H_
+#define KQR_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "datagen/dblp_gen.h"
+
+namespace kqr {
+
+/// \brief A corpus and the engine built over it. The engine owns the
+/// database; `corpus.db` is moved-from and must not be touched, but the
+/// corpus's ground-truth vectors stay valid for the judge.
+struct ExperimentContext {
+  DblpCorpus corpus;
+  std::unique_ptr<ReformulationEngine> engine;
+};
+
+/// \brief Builds the default experiment context (deterministic).
+Result<ExperimentContext> MakeDblpContext(DblpOptions dblp = {},
+                                          EngineOptions engine = {});
+
+/// \brief Kinds of keywords a sampled query may draw, matching the paper's
+/// "author name, paper title and conference name" fields.
+enum class KeywordSource { kTitleTerm, kAuthorName, kVenueName };
+
+struct QuerySamplerOptions {
+  /// Title terms must appear in at least this many tuples to be sampled
+  /// (rare typo-like terms make degenerate queries).
+  size_t min_title_docfreq = 3;
+  /// Relative draw weights for title/author/venue keywords.
+  double title_weight = 0.7;
+  double author_weight = 0.2;
+  double venue_weight = 0.1;
+};
+
+/// \brief Samples resolvable keyword queries from the corpus fields.
+///
+/// When constructed with the corpus's ground truth, mixed-set queries are
+/// *coherent*: all keywords of one query share an intent topic, like the
+/// paper's real user queries ("Christian S. Jensen spatio-temporal").
+class QuerySampler {
+ public:
+  QuerySampler(const ReformulationEngine& engine, uint64_t seed,
+               QuerySamplerOptions options = {},
+               const DblpCorpus* corpus = nullptr);
+
+  /// \brief One query of exactly `length` distinct terms (fields mixed,
+  /// topics unconstrained — used by the timing sweeps).
+  std::vector<TermId> SampleQuery(size_t length);
+
+  /// \brief `count` queries of the given length.
+  std::vector<std::vector<TermId>> SampleQueries(size_t count,
+                                                 size_t length);
+
+  /// \brief The Fig. 5-style mixed test set: `count` queries of lengths
+  /// 2–3 mixing topical words with author/venue names. Coherent (single
+  /// intent topic per query) when the sampler has corpus ground truth.
+  std::vector<std::vector<TermId>> SampleMixedSet(size_t count);
+
+  /// \brief The Table III-style set: `count` queries, each the informative
+  /// terms (2–4) of one sampled paper title.
+  std::vector<std::vector<TermId>> SampleTitleQueries(size_t count);
+
+ private:
+  TermId SampleTerm(KeywordSource source);
+  /// Term of `source` kind belonging to latent topic `topic`; falls back
+  /// to an unconstrained draw when the topic has no such terms.
+  TermId SampleTopicTerm(KeywordSource source, size_t topic);
+
+  const ReformulationEngine& engine_;
+  const DblpCorpus* corpus_;
+  Rng rng_;
+  QuerySamplerOptions options_;
+  std::vector<TermId> title_terms_;
+  std::vector<TermId> author_terms_;
+  std::vector<TermId> venue_terms_;
+  std::vector<std::vector<TermId>> paper_title_terms_;  // per paper row
+  // Per-topic pools (populated only when corpus ground truth is given).
+  std::vector<std::vector<TermId>> topic_title_terms_;
+  std::vector<std::vector<TermId>> topic_author_terms_;
+  std::vector<std::vector<TermId>> topic_venue_terms_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_EVAL_EXPERIMENT_H_

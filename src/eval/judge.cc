@@ -1,0 +1,102 @@
+#include "eval/judge.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace kqr {
+
+std::vector<size_t> TopicJudge::TopicsOfTerm(TermId term) const {
+  return corpus_.TopicsOf(engine_.vocab().text(term));
+}
+
+bool TopicJudge::TopicallyAligned(TermId a, TermId b) const {
+  if (a == b) return true;
+  std::vector<size_t> ta = TopicsOfTerm(a);
+  std::vector<size_t> tb = TopicsOfTerm(b);
+  for (size_t t : ta) {
+    if (std::find(tb.begin(), tb.end(), t) != tb.end()) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> TopicJudge::QueryIntent(
+    const std::vector<TermId>& query) const {
+  std::unordered_map<size_t, size_t> votes;
+  for (TermId t : query) {
+    if (t == kInvalidTermId) continue;
+    for (size_t topic : TopicsOfTerm(t)) ++votes[topic];
+  }
+  size_t best = 0;
+  for (const auto& [topic, count] : votes) best = std::max(best, count);
+  std::vector<size_t> intent;
+  for (const auto& [topic, count] : votes) {
+    if (count == best) intent.push_back(topic);
+  }
+  std::sort(intent.begin(), intent.end());
+  return intent;
+}
+
+bool TopicJudge::IsRelevant(const std::vector<TermId>& original,
+                            const ReformulatedQuery& reformulated) const {
+  if (reformulated.terms.size() != original.size()) return false;
+  if (reformulated.is_identity) return false;  // not a *new* query
+
+  std::vector<size_t> intent;
+  if (options_.use_query_intent) intent = QueryIntent(original);
+
+  auto matches_intent = [&](TermId t) {
+    std::vector<size_t> topics = TopicsOfTerm(t);
+    for (size_t topic : topics) {
+      if (std::find(intent.begin(), intent.end(), topic) != intent.end()) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  size_t kept = 0;
+  size_t aligned = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    TermId t = reformulated.terms[i];
+    if (t == kInvalidTermId) continue;  // deleted position
+    ++kept;
+    if (options_.use_query_intent) {
+      // Keeping the original term is always acceptable; substitutes must
+      // stay inside the query's intent topics.
+      if (t == original[i] || matches_intent(t)) ++aligned;
+    } else if (TopicallyAligned(original[i], t)) {
+      ++aligned;
+    }
+  }
+  if (kept == 0) return false;
+  if (static_cast<double>(aligned) / static_cast<double>(kept) <
+      options_.min_aligned_fraction) {
+    return false;
+  }
+
+  if (options_.require_cohesion) {
+    std::vector<TermId> kept_terms;
+    for (TermId t : reformulated.terms) {
+      if (t != kInvalidTermId) kept_terms.push_back(t);
+    }
+    KeywordSearch strict(engine_.graph(), engine_.index(),
+                         options_.cohesion_search);
+    if (strict.CountResults(engine_.QueryFromTerms(kept_terms)) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<bool> TopicJudge::JudgeRanking(
+    const std::vector<TermId>& original,
+    const std::vector<ReformulatedQuery>& ranking) const {
+  std::vector<bool> out;
+  out.reserve(ranking.size());
+  for (const ReformulatedQuery& q : ranking) {
+    out.push_back(IsRelevant(original, q));
+  }
+  return out;
+}
+
+}  // namespace kqr

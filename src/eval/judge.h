@@ -1,0 +1,79 @@
+// TopicJudge: the mechanized stand-in for the paper's three human
+// assessors (Sec. VI-B). Relevance of a reformulated query w.r.t. the
+// input — "the similarity and semantic closeness of reformulated ones with
+// respect to the input query" — is judged against the corpus's generative
+// ground truth: each position's substitute must share a latent topic with
+// the original term, and the query as a whole must be cohesive (non-zero
+// keyword-search result coverage). See DESIGN.md §1 for the substitution
+// argument.
+
+#ifndef KQR_EVAL_JUDGE_H_
+#define KQR_EVAL_JUDGE_H_
+
+#include <vector>
+
+#include "core/engine.h"
+#include "core/reformulator.h"
+#include "datagen/dblp_gen.h"
+#include "search/keyword_search.h"
+
+namespace kqr {
+
+struct JudgeOptions {
+  /// Fraction of kept positions that must be topically aligned.
+  double min_aligned_fraction = 1.0;
+  /// Require the reformulated query to return at least one search result.
+  bool require_cohesion = true;
+  /// Search configuration for the cohesion check: tighter than the
+  /// engine's user-facing search. Radius 2 with a root-degree cap demands
+  /// a *specific* connection (a shared paper or author), not mere
+  /// co-location at a hub venue — a reformulated query whose terms only
+  /// ever co-appear at a conference is not a meaningful joint query.
+  SearchOptions cohesion_search{.max_radius = 2,
+                                .top_k = 0,
+                                .max_root_degree = 64,
+                                .max_expand_degree = 64};
+  /// Judge positions against the *query intent* (the majority topic(s) of
+  /// the whole original query) rather than per-position term topics. This
+  /// matches how the paper's human assessors judged whole queries: a
+  /// reformulation that coherently shifts inside the user's topic is
+  /// relevant even if one substitute is not a synonym of its own slot.
+  bool use_query_intent = true;
+};
+
+/// \brief Ground-truth relevance judgments over one corpus/engine pair.
+class TopicJudge {
+ public:
+  TopicJudge(const DblpCorpus& corpus, const ReformulationEngine& engine,
+             JudgeOptions options = {})
+      : corpus_(corpus), engine_(engine), options_(options) {}
+
+  /// \brief Latent topics of a term node (by surface text + generation
+  /// record). Empty for pure-noise terms.
+  std::vector<size_t> TopicsOfTerm(TermId term) const;
+
+  /// \brief Do two terms share at least one latent topic?
+  bool TopicallyAligned(TermId a, TermId b) const;
+
+  /// \brief The intent topics of a query: the latent topics shared by the
+  /// largest number of its terms (majority vote; ties keep all winners).
+  std::vector<size_t> QueryIntent(const std::vector<TermId>& query) const;
+
+  /// \brief Relevance of a reformulated query w.r.t. the resolved input.
+  bool IsRelevant(const std::vector<TermId>& original,
+                  const ReformulatedQuery& reformulated) const;
+
+  /// \brief Per-result judgments for a ranked list, in rank order.
+  std::vector<bool> JudgeRanking(
+      const std::vector<TermId>& original,
+      const std::vector<ReformulatedQuery>& ranking) const;
+
+ private:
+  const DblpCorpus& corpus_;
+  const ReformulationEngine& engine_;
+  JudgeOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_EVAL_JUDGE_H_

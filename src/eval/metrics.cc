@@ -1,0 +1,81 @@
+#include "eval/metrics.h"
+
+#include "closeness/path_search.h"
+#include "common/logging.h"
+
+namespace kqr {
+
+double PrecisionAtN(const std::vector<bool>& judgments, size_t n) {
+  if (n == 0) return 0.0;
+  size_t relevant = 0;
+  for (size_t i = 0; i < n && i < judgments.size(); ++i) {
+    if (judgments[i]) ++relevant;
+  }
+  return static_cast<double>(relevant) / static_cast<double>(n);
+}
+
+double MeanPrecisionAtN(const std::vector<std::vector<bool>>& per_query,
+                        size_t n) {
+  if (per_query.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& judgments : per_query) {
+    sum += PrecisionAtN(judgments, n);
+  }
+  return sum / static_cast<double>(per_query.size());
+}
+
+double MeanResultSize(
+    const ReformulationEngine& engine,
+    const std::vector<std::vector<ReformulatedQuery>>& per_query) {
+  size_t queries = 0;
+  double sum = 0;
+  for (const auto& ranking : per_query) {
+    for (const ReformulatedQuery& q : ranking) {
+      std::vector<TermId> kept;
+      for (TermId t : q.terms) {
+        if (t != kInvalidTermId) kept.push_back(t);
+      }
+      sum += static_cast<double>(engine.CountTrees(kept));
+      ++queries;
+    }
+  }
+  return queries == 0 ? 0.0 : sum / static_cast<double>(queries);
+}
+
+double MeanQueryDistance(
+    const TatGraph& graph,
+    const std::vector<std::vector<TermId>>& originals,
+    const std::vector<std::vector<ReformulatedQuery>>& per_query,
+    size_t max_distance) {
+  KQR_CHECK(originals.size() == per_query.size());
+  double query_sum = 0;
+  size_t query_count = 0;
+  for (size_t qi = 0; qi < per_query.size(); ++qi) {
+    const std::vector<TermId>& original = originals[qi];
+    for (const ReformulatedQuery& q : per_query[qi]) {
+      if (q.terms.size() != original.size()) continue;
+      double pair_sum = 0;
+      size_t pair_count = 0;
+      for (size_t i = 0; i < original.size(); ++i) {
+        TermId t = q.terms[i];
+        if (t == kInvalidTermId) continue;
+        if (t == original[i]) {
+          ++pair_count;  // distance 0
+          continue;
+        }
+        int d = ShortestDistance(graph, graph.NodeOfTerm(original[i]),
+                                 graph.NodeOfTerm(t), max_distance);
+        if (d < 0) continue;  // unreachable: skip the pair
+        pair_sum += static_cast<double>(d);
+        ++pair_count;
+      }
+      if (pair_count == 0) continue;
+      query_sum += pair_sum / static_cast<double>(pair_count);
+      ++query_count;
+    }
+  }
+  return query_count == 0 ? 0.0
+                          : query_sum / static_cast<double>(query_count);
+}
+
+}  // namespace kqr

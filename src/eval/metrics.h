@@ -1,0 +1,44 @@
+// Evaluation metrics: Precision@N (Fig. 5), result size and query distance
+// (Table III).
+
+#ifndef KQR_EVAL_METRICS_H_
+#define KQR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "closeness/closeness.h"
+#include "core/engine.h"
+#include "core/reformulator.h"
+
+namespace kqr {
+
+/// \brief Precision at cutoff N for one ranked judgment list: the fraction
+/// of the first N slots holding a relevant result. Rankings shorter than N
+/// count the missing slots as irrelevant (an algorithm that returns fewer
+/// suggestions earns less).
+double PrecisionAtN(const std::vector<bool>& judgments, size_t n);
+
+/// \brief Mean of PrecisionAtN over many queries' judgment lists.
+double MeanPrecisionAtN(const std::vector<std::vector<bool>>& per_query,
+                        size_t n);
+
+/// \brief Table III "Result size": mean keyword-search result-tree count
+/// (Def. 3 trees, via ReformulationEngine::CountTrees) over every
+/// reformulated query of every input query.
+double MeanResultSize(
+    const ReformulationEngine& engine,
+    const std::vector<std::vector<ReformulatedQuery>>& per_query);
+
+/// \brief Table III "Query distance": mean over reformulated queries of
+/// the mean shortest TAT-graph distance between corresponding term pairs
+/// (original[i], reformulated[i]). Identical terms contribute 0; deleted
+/// or unreachable positions are skipped.
+double MeanQueryDistance(
+    const TatGraph& graph,
+    const std::vector<std::vector<TermId>>& originals,
+    const std::vector<std::vector<ReformulatedQuery>>& per_query,
+    size_t max_distance = 8);
+
+}  // namespace kqr
+
+#endif  // KQR_EVAL_METRICS_H_

@@ -1,0 +1,65 @@
+#include "eval/table_printer.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace kqr {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : "";
+      out << " " << std::left << std::setw(static_cast<int>(widths[i]))
+          << cell << " |";
+    }
+    out << "\n";
+  };
+  auto print_sep = [&]() {
+    out << "+";
+    for (size_t w : widths) {
+      out << std::string(w + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string FormatSeconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (seconds >= 1.0) {
+    os << std::setprecision(2) << seconds << " s";
+  } else if (seconds >= 1e-3) {
+    os << std::setprecision(2) << seconds * 1e3 << " ms";
+  } else {
+    os << std::setprecision(1) << seconds * 1e6 << " us";
+  }
+  return os.str();
+}
+
+}  // namespace kqr

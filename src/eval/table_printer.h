@@ -1,0 +1,35 @@
+// TablePrinter: fixed-width ASCII tables shared by every bench binary, so
+// the harness output visually matches the paper's tables/series.
+
+#ifndef KQR_EVAL_TABLE_PRINTER_H_
+#define KQR_EVAL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kqr {
+
+/// \brief Column-aligned table with a header row and separators.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Fixed-precision double rendering for table cells.
+std::string FormatDouble(double value, int precision = 3);
+
+/// \brief "12.3 ms" / "456 µs" style duration rendering.
+std::string FormatSeconds(double seconds);
+
+}  // namespace kqr
+
+#endif  // KQR_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,47 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+CsrGraph CsrGraph::FromUndirectedEdges(
+    size_t num_nodes,
+    std::vector<std::tuple<uint32_t, uint32_t, float>> edges) {
+  // Expand to directed arcs.
+  std::vector<std::tuple<uint32_t, uint32_t, float>> arcs;
+  arcs.reserve(edges.size() * 2);
+  for (const auto& [u, v, w] : edges) {
+    KQR_DCHECK(u < num_nodes && v < num_nodes);
+    arcs.emplace_back(u, v, w);
+    arcs.emplace_back(v, u, w);
+  }
+  std::sort(arcs.begin(), arcs.end());
+
+  CsrGraph g;
+  g.offsets_.assign(num_nodes + 1, 0);
+  g.arcs_.reserve(arcs.size());
+  g.weighted_degree_.assign(num_nodes, 0.0);
+
+  size_t i = 0;
+  for (uint32_t u = 0; u < num_nodes; ++u) {
+    g.offsets_[u] = g.arcs_.size();
+    while (i < arcs.size() && std::get<0>(arcs[i]) == u) {
+      uint32_t v = std::get<1>(arcs[i]);
+      float w = 0;
+      // Merge parallel arcs (u, v).
+      while (i < arcs.size() && std::get<0>(arcs[i]) == u &&
+             std::get<1>(arcs[i]) == v) {
+        w += std::get<2>(arcs[i]);
+        ++i;
+      }
+      g.arcs_.push_back(Arc{v, w});
+      g.weighted_degree_[u] += w;
+    }
+  }
+  g.offsets_[num_nodes] = g.arcs_.size();
+  return g;
+}
+
+}  // namespace kqr

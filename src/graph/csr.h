@@ -1,0 +1,59 @@
+// Compressed sparse row adjacency with edge weights. Undirected graphs
+// store both directions.
+
+#ifndef KQR_GRAPH_CSR_H_
+#define KQR_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <vector>
+
+namespace kqr {
+
+/// \brief One weighted arc.
+struct Arc {
+  uint32_t target;
+  float weight;
+};
+
+/// \brief Immutable CSR adjacency built from an edge list.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// \brief Builds from an undirected weighted edge list; each (u,v,w) is
+  /// materialized as two arcs. Parallel edges are merged by summing
+  /// weights.
+  static CsrGraph FromUndirectedEdges(
+      size_t num_nodes, std::vector<std::tuple<uint32_t, uint32_t, float>>
+                            edges);
+
+  size_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t num_arcs() const { return arcs_.size(); }
+
+  std::span<const Arc> Neighbors(uint32_t node) const {
+    return std::span<const Arc>(arcs_.data() + offsets_[node],
+                                offsets_[node + 1] - offsets_[node]);
+  }
+
+  size_t Degree(uint32_t node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+
+  /// Sum of arc weights leaving `node` (the random-walk normalizer).
+  double WeightedDegree(uint32_t node) const {
+    return weighted_degree_[node];
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // size num_nodes + 1
+  std::vector<Arc> arcs_;
+  std::vector<double> weighted_degree_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_GRAPH_CSR_H_

@@ -1,0 +1,21 @@
+#include "graph/graph_stats.h"
+
+#include <cmath>
+
+namespace kqr {
+
+GraphStats::GraphStats(const TatGraph& graph) {
+  const size_t n = graph.num_nodes();
+  freq_.resize(n);
+  idf_.resize(n);
+  classes_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    freq_[v] = graph.WeightedDegree(v);
+    idf_[v] = std::log(1.0 + static_cast<double>(n) /
+                                 (1.0 + static_cast<double>(
+                                            graph.Degree(v))));
+    classes_[v] = graph.ClassOf(v);
+  }
+}
+
+}  // namespace kqr

@@ -1,0 +1,41 @@
+// GraphStats: per-node occurrence statistics over the TAT graph used by
+// the contextual preference weighting (Sec. IV-B.2): freq(t0), idf(v), and
+// per-class grouping of a node's context.
+
+#ifndef KQR_GRAPH_GRAPH_STATS_H_
+#define KQR_GRAPH_GRAPH_STATS_H_
+
+#include <vector>
+
+#include "graph/tat_graph.h"
+
+namespace kqr {
+
+/// \brief Immutable statistics computed once per graph.
+class GraphStats {
+ public:
+  explicit GraphStats(const TatGraph& graph);
+
+  /// freq(v): global occurrence mass of a node — the sum of incident edge
+  /// weights (for a term node this is its total corpus frequency among
+  /// retained edges; for a tuple node, its connectivity mass).
+  double Freq(NodeId v) const { return freq_[v]; }
+
+  /// idf(v) = log(1 + N / (1 + deg(v))): inverse of the node's global
+  /// occurrence statistics. Hub nodes get small idf, rare nodes large.
+  double Idf(NodeId v) const { return idf_[v]; }
+
+  /// Class of each node (cached to avoid vocab lookups in hot loops).
+  NodeClass ClassOf(NodeId v) const { return classes_[v]; }
+
+  size_t num_nodes() const { return freq_.size(); }
+
+ private:
+  std::vector<double> freq_;
+  std::vector<double> idf_;
+  std::vector<NodeClass> classes_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,27 @@
+#include "graph/node.h"
+
+#include "common/logging.h"
+
+namespace kqr {
+
+NodeSpace::NodeSpace(std::vector<size_t> table_sizes, size_t num_terms)
+    : table_sizes_(std::move(table_sizes)), num_terms_(num_terms) {
+  table_offsets_.reserve(table_sizes_.size());
+  size_t offset = 0;
+  for (size_t sz : table_sizes_) {
+    table_offsets_.push_back(offset);
+    offset += sz;
+  }
+  term_base_ = offset;
+}
+
+TupleRef NodeSpace::ToTuple(NodeId id) const {
+  KQR_DCHECK(id < term_base_);
+  // Tables are few (tens); linear scan beats binary search at this size.
+  size_t t = table_offsets_.size() - 1;
+  while (t > 0 && table_offsets_[t] > id) --t;
+  return TupleRef{static_cast<uint16_t>(t),
+                  static_cast<RowIndex>(id - table_offsets_[t])};
+}
+
+}  // namespace kqr

@@ -1,0 +1,78 @@
+// Node identity in the term augmented tuple graph (Def. 5).
+//
+// Nodes are densely numbered: all tuple nodes first (grouped by table in
+// catalog order), then all term nodes (by TermId). Every node belongs to a
+// *class* — its table for tuple nodes, its field for term nodes — used by
+// same-class filtering during similar-node extraction (Sec. IV-B: "we only
+// extract similar nodes belonging to same classes of the initial node").
+
+#ifndef KQR_GRAPH_NODE_H_
+#define KQR_GRAPH_NODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "text/inverted_index.h"
+#include "text/vocabulary.h"
+
+namespace kqr {
+
+using NodeId = uint32_t;
+using NodeClass = uint32_t;
+
+inline constexpr NodeId kInvalidNodeId = static_cast<NodeId>(-1);
+
+/// \brief Whether a node stands for a tuple or a term.
+enum class NodeKind : uint8_t { kTuple = 0, kTerm = 1 };
+
+/// \brief Maps between dense NodeIds and the underlying TupleRef / TermId
+/// address spaces.
+class NodeSpace {
+ public:
+  NodeSpace() = default;
+
+  /// \param table_sizes row count per table, in catalog order.
+  /// \param num_terms size of the vocabulary.
+  NodeSpace(std::vector<size_t> table_sizes, size_t num_terms);
+
+  size_t num_nodes() const { return term_base_ + num_terms_; }
+  size_t num_tuple_nodes() const { return term_base_; }
+  size_t num_term_nodes() const { return num_terms_; }
+  size_t num_tables() const { return table_offsets_.size(); }
+
+  NodeKind KindOf(NodeId id) const {
+    return id < term_base_ ? NodeKind::kTuple : NodeKind::kTerm;
+  }
+
+  NodeId FromTuple(TupleRef ref) const {
+    return static_cast<NodeId>(table_offsets_[ref.table] + ref.row);
+  }
+  NodeId FromTerm(TermId term) const {
+    return static_cast<NodeId>(term_base_ + term);
+  }
+
+  TupleRef ToTuple(NodeId id) const;
+  TermId ToTerm(NodeId id) const {
+    return static_cast<TermId>(id - term_base_);
+  }
+
+  /// Class of a node: table index for tuples, num_tables + field for terms.
+  /// Requires the vocabulary to resolve term fields.
+  NodeClass ClassOf(NodeId id, const Vocabulary& vocab) const {
+    if (KindOf(id) == NodeKind::kTuple) {
+      return static_cast<NodeClass>(ToTuple(id).table);
+    }
+    return static_cast<NodeClass>(num_tables() +
+                                  vocab.field_of(ToTerm(id)));
+  }
+
+ private:
+  std::vector<size_t> table_offsets_;  // node id of each table's row 0
+  std::vector<size_t> table_sizes_;
+  size_t term_base_ = 0;
+  size_t num_terms_ = 0;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_GRAPH_NODE_H_

@@ -1,0 +1,77 @@
+#include "graph/tat_builder.h"
+
+#include <tuple>
+#include <vector>
+
+namespace kqr {
+
+Result<TatGraph> BuildTatGraph(const Database& db, const Vocabulary& vocab,
+                               const InvertedIndex& index,
+                               TatBuilderOptions options) {
+  if (options.max_doc_frequency_fraction <= 0.0) {
+    return Status::InvalidArgument(
+        "max_doc_frequency_fraction must be positive");
+  }
+  std::vector<const Table*> tables = db.catalog().tables();
+  std::vector<size_t> table_sizes;
+  table_sizes.reserve(tables.size());
+  for (const Table* t : tables) table_sizes.push_back(t->num_rows());
+
+  NodeSpace space(std::move(table_sizes), vocab.size());
+
+  std::vector<std::tuple<uint32_t, uint32_t, float>> edges;
+
+  // Tuple—tuple edges from foreign keys.
+  for (uint16_t t = 0; t < tables.size(); ++t) {
+    const Table& table = *tables[t];
+    const Schema& schema = table.schema();
+    for (const ForeignKey& fk : schema.foreign_keys()) {
+      size_t col = *schema.FindColumn(fk.column);
+      const Table* parent = db.catalog().FindTable(fk.parent_table);
+      if (parent == nullptr) {
+        return Status::InvalidArgument("FK to missing table '" +
+                                       fk.parent_table + "'");
+      }
+      uint16_t parent_idx = 0;
+      for (uint16_t p = 0; p < tables.size(); ++p) {
+        if (tables[p] == parent) {
+          parent_idx = p;
+          break;
+        }
+      }
+      for (RowIndex r = 0; r < table.num_rows(); ++r) {
+        const Value& v = table.row(r).at(col);
+        if (v.is_null()) continue;
+        auto parent_row = parent->FindByPk(v.AsInt64());
+        if (!parent_row.has_value()) {
+          return Status::Corruption("dangling FK in table '" +
+                                    table.name() + "'");
+        }
+        edges.emplace_back(space.FromTuple(TupleRef{t, r}),
+                           space.FromTuple(TupleRef{parent_idx, *parent_row}),
+                           options.fk_edge_weight);
+      }
+    }
+  }
+
+  // Tuple—term edges from the inverted index, with a generic-term cut.
+  const size_t df_cap = static_cast<size_t>(
+      options.max_doc_frequency_fraction *
+      static_cast<double>(index.num_corpus_tuples()));
+  for (TermId term = 0; term < vocab.size(); ++term) {
+    const std::vector<Posting>& postings = index.Lookup(term);
+    if (postings.empty()) continue;
+    if (df_cap > 0 && postings.size() > df_cap) continue;
+    NodeId term_node = space.FromTerm(term);
+    for (const Posting& p : postings) {
+      edges.emplace_back(space.FromTuple(p.tuple), term_node,
+                         static_cast<float>(p.freq));
+    }
+  }
+
+  CsrGraph adjacency =
+      CsrGraph::FromUndirectedEdges(space.num_nodes(), std::move(edges));
+  return TatGraph(std::move(space), std::move(adjacency), &vocab, &db);
+}
+
+}  // namespace kqr

@@ -1,0 +1,33 @@
+// TatGraphBuilder: assembles the TAT graph from a database and its
+// inverted index.
+//
+// Edge weights:
+//  - tuple—tuple (foreign key): 1.0 per reference.
+//  - tuple—term: the term's frequency in the tuple (from the posting).
+
+#ifndef KQR_GRAPH_TAT_BUILDER_H_
+#define KQR_GRAPH_TAT_BUILDER_H_
+
+#include "common/result.h"
+#include "graph/tat_graph.h"
+
+namespace kqr {
+
+struct TatBuilderOptions {
+  /// Terms appearing in more than this fraction of indexed tuples are too
+  /// generic to be useful graph hubs and are left out of the graph (they
+  /// remain in the index). 1.0 disables the cut.
+  double max_doc_frequency_fraction = 0.25;
+  /// Weight of a foreign-key edge.
+  float fk_edge_weight = 1.0f;
+};
+
+/// \brief Builds the term augmented tuple graph. `db`, `vocab` and `index`
+/// must outlive the returned graph.
+Result<TatGraph> BuildTatGraph(const Database& db, const Vocabulary& vocab,
+                               const InvertedIndex& index,
+                               TatBuilderOptions options = {});
+
+}  // namespace kqr
+
+#endif  // KQR_GRAPH_TAT_BUILDER_H_

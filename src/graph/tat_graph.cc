@@ -1,0 +1,15 @@
+#include "graph/tat_graph.h"
+
+namespace kqr {
+
+std::string TatGraph::DescribeNode(NodeId id) const {
+  if (KindOf(id) == NodeKind::kTerm) {
+    return vocab_->Describe(TermOfNode(id));
+  }
+  TupleRef ref = TupleOfNode(id);
+  const Table* table = db_->catalog().tables()[ref.table];
+  return table->name() + "#" +
+         std::to_string(table->PrimaryKeyOf(ref.row));
+}
+
+}  // namespace kqr

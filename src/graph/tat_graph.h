@@ -1,0 +1,72 @@
+// TatGraph: the term augmented tuple graph (Def. 5) — the paper's central
+// data structure. Tuple nodes connect via foreign-key references (the tuple
+// graph, Def. 1); term nodes connect to the tuples containing them.
+
+#ifndef KQR_GRAPH_TAT_GRAPH_H_
+#define KQR_GRAPH_TAT_GRAPH_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/csr.h"
+#include "graph/node.h"
+#include "storage/database.h"
+#include "text/inverted_index.h"
+#include "text/vocabulary.h"
+
+namespace kqr {
+
+/// \brief Immutable heterogeneous graph over tuples and terms.
+///
+/// Built by TatGraphBuilder. The graph does not own the database, the
+/// vocabulary or the inverted index; callers keep them alive (the engine
+/// facade in core/ bundles all of this).
+class TatGraph {
+ public:
+  TatGraph(NodeSpace space, CsrGraph adjacency, const Vocabulary* vocab,
+           const Database* db)
+      : space_(std::move(space)),
+        adjacency_(std::move(adjacency)),
+        vocab_(vocab),
+        db_(db) {}
+
+  const NodeSpace& space() const { return space_; }
+  const CsrGraph& adjacency() const { return adjacency_; }
+  const Vocabulary& vocab() const { return *vocab_; }
+  const Database& db() const { return *db_; }
+
+  size_t num_nodes() const { return space_.num_nodes(); }
+  size_t num_edges() const { return adjacency_.num_arcs() / 2; }
+
+  std::span<const Arc> Neighbors(NodeId id) const {
+    return adjacency_.Neighbors(id);
+  }
+  size_t Degree(NodeId id) const { return adjacency_.Degree(id); }
+  double WeightedDegree(NodeId id) const {
+    return adjacency_.WeightedDegree(id);
+  }
+
+  NodeKind KindOf(NodeId id) const { return space_.KindOf(id); }
+  NodeClass ClassOf(NodeId id) const {
+    return space_.ClassOf(id, *vocab_);
+  }
+
+  NodeId NodeOfTerm(TermId term) const { return space_.FromTerm(term); }
+  NodeId NodeOfTuple(TupleRef ref) const { return space_.FromTuple(ref); }
+  TermId TermOfNode(NodeId id) const { return space_.ToTerm(id); }
+  TupleRef TupleOfNode(NodeId id) const { return space_.ToTuple(id); }
+
+  /// \brief Human-readable node description: the term text with its field
+  /// label, or the tuple's table/primary key.
+  std::string DescribeNode(NodeId id) const;
+
+ private:
+  NodeSpace space_;
+  CsrGraph adjacency_;
+  const Vocabulary* vocab_;
+  const Database* db_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_GRAPH_TAT_GRAPH_H_

@@ -1,0 +1,196 @@
+#include "search/keyword_search.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/top_k.h"
+
+namespace kqr {
+
+namespace {
+
+/// Per-keyword BFS layer: distance and BFS parent for path reconstruction.
+struct Reach {
+  uint32_t dist;
+  NodeId parent;  // kInvalidNodeId at origins
+};
+
+/// Multi-source BFS from `origins` over tuple—tuple edges only.
+std::unordered_map<NodeId, Reach> TupleBfs(const TatGraph& graph,
+                                           const std::vector<NodeId>& origins,
+                                           const SearchOptions& options) {
+  std::unordered_map<NodeId, Reach> reach;
+  std::deque<NodeId> queue;
+  for (NodeId o : origins) {
+    if (reach.emplace(o, Reach{0, kInvalidNodeId}).second) {
+      queue.push_back(o);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    uint32_t d = reach[u].dist;
+    if (d >= options.max_radius) continue;
+    if (options.max_expand_degree > 0 && d > 0 &&
+        graph.Degree(u) > options.max_expand_degree) {
+      continue;  // hub reached as endpoint; do not tunnel through it
+    }
+    for (const Arc& arc : graph.Neighbors(u)) {
+      NodeId v = arc.target;
+      if (graph.KindOf(v) != NodeKind::kTuple) continue;
+      if (reach.emplace(v, Reach{d + 1, u}).second) {
+        queue.push_back(v);
+      }
+    }
+  }
+  return reach;
+}
+
+/// Root-to-origin path via BFS parents (parents point toward the origin).
+std::vector<NodeId> ReconstructPath(
+    const std::unordered_map<NodeId, Reach>& reach, NodeId root) {
+  std::vector<NodeId> path;
+  NodeId cur = root;
+  path.push_back(cur);
+  while (true) {
+    auto it = reach.find(cur);
+    if (it == reach.end() || it->second.parent == kInvalidNodeId) break;
+    cur = it->second.parent;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace
+
+SearchOutcome KeywordSearch::Run(const KeywordQuery& query,
+                                 bool materialize) const {
+  SearchOutcome outcome;
+  if (query.keywords.empty()) return outcome;
+
+  // Origin tuple sets per keyword.
+  std::vector<std::vector<NodeId>> origins(query.keywords.size());
+  for (size_t i = 0; i < query.keywords.size(); ++i) {
+    for (TermId term : query.keywords[i].terms) {
+      for (const Posting& p : index_.Lookup(term)) {
+        origins[i].push_back(graph_.NodeOfTuple(p.tuple));
+      }
+    }
+    std::sort(origins[i].begin(), origins[i].end());
+    origins[i].erase(std::unique(origins[i].begin(), origins[i].end()),
+                     origins[i].end());
+    if (origins[i].empty()) return outcome;  // unmatched keyword: no result
+  }
+
+  // BFS per keyword; iterate roots over the smallest reach set.
+  std::vector<std::unordered_map<NodeId, Reach>> reaches;
+  reaches.reserve(origins.size());
+  for (const auto& o : origins) {
+    reaches.push_back(TupleBfs(graph_, o, options_));
+  }
+  size_t smallest = 0;
+  for (size_t i = 1; i < reaches.size(); ++i) {
+    if (reaches[i].size() < reaches[smallest].size()) smallest = i;
+  }
+
+  TopK<NodeId> top(materialize ? options_.top_k : 0);
+  for (const auto& [root, reach0] : reaches[smallest]) {
+    if (options_.max_root_degree > 0 &&
+        graph_.Degree(root) > options_.max_root_degree) {
+      continue;
+    }
+    uint32_t total = reach0.dist;
+    bool connects = true;
+    for (size_t i = 0; i < reaches.size() && connects; ++i) {
+      if (i == smallest) continue;
+      auto it = reaches[i].find(root);
+      if (it == reaches[i].end()) {
+        connects = false;
+      } else {
+        total += it->second.dist;
+      }
+    }
+    if (!connects) continue;
+    ++outcome.total_results;
+    if (materialize) {
+      top.Add(1.0 / (1.0 + double(total)), root);
+    }
+  }
+
+  if (materialize) {
+    for (auto& [root, score] : top.TakeSorted()) {
+      ResultTree tree;
+      tree.root = root;
+      tree.score = score;
+      tree.paths.reserve(reaches.size());
+      for (const auto& reach : reaches) {
+        tree.paths.push_back(ReconstructPath(reach, root));
+      }
+      outcome.results.push_back(std::move(tree));
+    }
+  }
+  return outcome;
+}
+
+SearchOutcome KeywordSearch::Search(const KeywordQuery& query) const {
+  return Run(query, /*materialize=*/true);
+}
+
+size_t KeywordSearch::CountTrees(const KeywordQuery& query) const {
+  if (query.keywords.empty()) return 0;
+
+  // Per-keyword: how many origin tuples lie within the radius of each
+  // node. One bounded BFS per origin, accumulating counts.
+  std::vector<std::unordered_map<NodeId, uint32_t>> counts(
+      query.keywords.size());
+  for (size_t i = 0; i < query.keywords.size(); ++i) {
+    std::vector<NodeId> origins;
+    for (TermId term : query.keywords[i].terms) {
+      for (const Posting& p : index_.Lookup(term)) {
+        origins.push_back(graph_.NodeOfTuple(p.tuple));
+      }
+    }
+    std::sort(origins.begin(), origins.end());
+    origins.erase(std::unique(origins.begin(), origins.end()),
+                  origins.end());
+    if (origins.empty()) return 0;
+    for (NodeId o : origins) {
+      auto reach = TupleBfs(graph_, {o}, options_);
+      for (const auto& [node, r] : reach) ++counts[i][node];
+    }
+  }
+
+  // Roots: iterate the smallest map; multiply per-keyword leaf counts.
+  size_t smallest = 0;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i].size() < counts[smallest].size()) smallest = i;
+  }
+  double total = 0;
+  for (const auto& [root, count0] : counts[smallest]) {
+    if (options_.max_root_degree > 0 &&
+        graph_.Degree(root) > options_.max_root_degree) {
+      continue;
+    }
+    double trees = count0;
+    bool connects = true;
+    for (size_t i = 0; i < counts.size() && connects; ++i) {
+      if (i == smallest) continue;
+      auto it = counts[i].find(root);
+      if (it == counts[i].end()) {
+        connects = false;
+      } else {
+        trees *= static_cast<double>(it->second);
+      }
+    }
+    if (connects) total += trees;
+  }
+  constexpr double kCap = 1e15;
+  return static_cast<size_t>(std::min(total, kCap));
+}
+
+size_t KeywordSearch::CountResults(const KeywordQuery& query) const {
+  return Run(query, /*materialize=*/false).total_results;
+}
+
+}  // namespace kqr

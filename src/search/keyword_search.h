@@ -1,0 +1,78 @@
+// KeywordSearch: BANKS-style backward expansion over the tuple graph.
+//
+// For each query keyword, the tuples containing it (via the inverted
+// index) form an origin set; multi-source BFS over foreign-key edges
+// computes shortest distances; tuples reached from every origin set are
+// result roots, ranked by 1/(1 + Σ distances). This realizes Def. 3's
+// "subtree connecting the matching nodes" and supplies the result-size
+// statistics of Table III.
+
+#ifndef KQR_SEARCH_KEYWORD_SEARCH_H_
+#define KQR_SEARCH_KEYWORD_SEARCH_H_
+
+#include <vector>
+
+#include "graph/tat_graph.h"
+#include "search/query.h"
+#include "search/result_tree.h"
+#include "text/inverted_index.h"
+
+namespace kqr {
+
+struct SearchOptions {
+  /// Maximum BFS radius from each keyword's origin set.
+  size_t max_radius = 3;
+  /// Result trees materialized by Search(); counting is unaffected.
+  size_t top_k = 10;
+  /// When non-zero, tuples with more than this many graph neighbors
+  /// cannot serve as result roots. A hub root (a venue with hundreds of
+  /// papers) connects everything to everything and carries no specific
+  /// relationship; capping root degree restricts results to meaningful
+  /// joins, the same role as BANKS-style root-degree normalization.
+  size_t max_root_degree = 0;
+  /// When non-zero, the backward-expansion BFS does not traverse
+  /// *through* tuples with more than this many neighbors (it may still
+  /// reach them as endpoints). Stronger than max_root_degree: paths
+  /// themselves must be specific.
+  size_t max_expand_degree = 0;
+};
+
+/// \brief Aggregate of a search run.
+struct SearchOutcome {
+  std::vector<ResultTree> results;  // top-k by score
+  size_t total_results = 0;         // all connecting roots found
+};
+
+/// \brief Keyword search over one database/graph pair.
+class KeywordSearch {
+ public:
+  KeywordSearch(const TatGraph& graph, const InvertedIndex& index,
+                SearchOptions options = {})
+      : graph_(graph), index_(index), options_(options) {}
+
+  /// \brief Full search: top-k result trees plus the total result count.
+  /// Queries with an unresolvable keyword produce zero results.
+  SearchOutcome Search(const KeywordQuery& query) const;
+
+  /// \brief Count of distinct connecting *roots* (skips tree
+  /// materialization). Fast coarse cohesion signal.
+  size_t CountResults(const KeywordQuery& query) const;
+
+  /// \brief Count of distinct result *trees* per Def. 3: each combination
+  /// of (root, one matching tuple per keyword reachable from the root) is
+  /// a separate result — Σ_root Π_i |origins of keyword i within radius
+  /// of root|. This is what a BANKS-style enumerator would return and the
+  /// Table III "result size" metric.
+  size_t CountTrees(const KeywordQuery& query) const;
+
+ private:
+  SearchOutcome Run(const KeywordQuery& query, bool materialize) const;
+
+  const TatGraph& graph_;
+  const InvertedIndex& index_;
+  SearchOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_SEARCH_KEYWORD_SEARCH_H_

@@ -1,0 +1,62 @@
+#include "search/query.h"
+
+#include "common/string_util.h"
+
+namespace kqr {
+
+std::string KeywordQuery::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i > 0) out += " ";
+    out += "[" + keywords[i].surface + "]";
+  }
+  return out;
+}
+
+KeywordQuery QueryParser::Parse(const std::string& text) const {
+  std::vector<std::string> words = SplitWhitespace(text);
+  KeywordQuery query;
+
+  size_t i = 0;
+  while (i < words.size()) {
+    // Greedy longest multi-word atomic match first.
+    size_t max_span = std::min(options_.max_atom_words,
+                               words.size() - i);
+    bool matched = false;
+    for (size_t span = max_span; span >= 2; --span) {
+      std::string candidate;
+      for (size_t j = 0; j < span; ++j) {
+        if (j > 0) candidate += ' ';
+        candidate += words[i + j];
+      }
+      std::string atom = analyzer_.AnalyzeAtomic(candidate);
+      std::vector<TermId> terms = vocab_.FindAllFields(atom);
+      if (!terms.empty()) {
+        query.keywords.push_back(QueryKeyword{candidate, std::move(terms)});
+        i += span;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    // Single word: try the segmented normalization (stemmed), then the
+    // atomic one.
+    const std::string& word = words[i];
+    std::vector<std::string> normalized =
+        analyzer_.AnalyzeSegmented(word);
+    std::vector<TermId> terms;
+    if (!normalized.empty()) {
+      terms = vocab_.FindAllFields(normalized.front());
+    }
+    if (terms.empty()) {
+      std::string atom = analyzer_.AnalyzeAtomic(word);
+      terms = vocab_.FindAllFields(atom);
+    }
+    query.keywords.push_back(QueryKeyword{word, std::move(terms)});
+    ++i;
+  }
+  return query;
+}
+
+}  // namespace kqr

@@ -1,0 +1,62 @@
+// Keyword query parsing (Def. 2): free text → keywords, each resolved to
+// the term nodes it matches. Multi-word atomic terms (author or venue
+// names) are recognized by greedy longest match, so "christian s. jensen
+// spatio temporal" parses as [author-name][word][word].
+
+#ifndef KQR_SEARCH_QUERY_H_
+#define KQR_SEARCH_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "text/analyzer.h"
+#include "text/vocabulary.h"
+
+namespace kqr {
+
+/// \brief One query keyword: the raw surface text and every term node it
+/// resolves to (the same text may exist in several fields, Def. 5).
+struct QueryKeyword {
+  std::string surface;
+  std::vector<TermId> terms;
+
+  bool resolved() const { return !terms.empty(); }
+};
+
+/// \brief A parsed keyword query Q = [q1, ..., qm].
+struct KeywordQuery {
+  std::vector<QueryKeyword> keywords;
+
+  size_t size() const { return keywords.size(); }
+  bool FullyResolved() const {
+    for (const QueryKeyword& k : keywords) {
+      if (!k.resolved()) return false;
+    }
+    return !keywords.empty();
+  }
+  std::string ToString() const;
+};
+
+struct QueryParserOptions {
+  /// Longest multi-word atomic term attempted (author names etc.).
+  size_t max_atom_words = 6;
+};
+
+/// \brief Parses raw text against the vocabulary.
+class QueryParser {
+ public:
+  QueryParser(const Analyzer& analyzer, const Vocabulary& vocab,
+              QueryParserOptions options = {})
+      : analyzer_(analyzer), vocab_(vocab), options_(options) {}
+
+  KeywordQuery Parse(const std::string& text) const;
+
+ private:
+  const Analyzer& analyzer_;
+  const Vocabulary& vocab_;
+  QueryParserOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_SEARCH_QUERY_H_

@@ -1,0 +1,35 @@
+#include "search/result_tree.h"
+
+#include <unordered_set>
+
+namespace kqr {
+
+size_t ResultTree::NumNodes() const {
+  std::unordered_set<NodeId> nodes;
+  for (const auto& path : paths) {
+    for (NodeId n : path) nodes.insert(n);
+  }
+  return nodes.size();
+}
+
+size_t ResultTree::TotalLength() const {
+  size_t total = 0;
+  for (const auto& path : paths) {
+    if (!path.empty()) total += path.size() - 1;
+  }
+  return total;
+}
+
+std::string ResultTree::ToString(const TatGraph& graph) const {
+  std::string out = "root=" + graph.DescribeNode(root);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    out += " | k" + std::to_string(i) + ":";
+    for (size_t j = 0; j < paths[i].size(); ++j) {
+      if (j > 0) out += "->";
+      out += graph.DescribeNode(paths[i][j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace kqr

@@ -1,0 +1,35 @@
+// Query results (Def. 3): a result is a minimal subtree of the tuple graph
+// connecting tuples that jointly match all query keywords.
+
+#ifndef KQR_SEARCH_RESULT_TREE_H_
+#define KQR_SEARCH_RESULT_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/tat_graph.h"
+
+namespace kqr {
+
+/// \brief One keyword-search result: the connecting root tuple plus, per
+/// query keyword, the shortest path from the root to a tuple matching that
+/// keyword. (BANKS-style answer; the union of the paths is the subtree.)
+struct ResultTree {
+  NodeId root = kInvalidNodeId;
+  /// paths[i] = root ... matching-tuple for keyword i (node ids; the first
+  /// element is `root`).
+  std::vector<std::vector<NodeId>> paths;
+  /// 1 / (1 + total path length) — larger is better.
+  double score = 0.0;
+
+  /// Distinct tuples in the subtree.
+  size_t NumNodes() const;
+  /// Total edges across the paths (the tree weight used in the score).
+  size_t TotalLength() const;
+
+  std::string ToString(const TatGraph& graph) const;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_SEARCH_RESULT_TREE_H_

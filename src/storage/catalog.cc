@@ -1,0 +1,56 @@
+#include "storage/catalog.h"
+
+namespace kqr {
+
+Result<Table*> Catalog::CreateTable(Schema schema) {
+  // Copy the name before `schema` is consumed by the Table constructor.
+  std::string name = schema.table_name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  order_.push_back(std::move(name));
+  return ptr;
+}
+
+Table* Catalog::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Table*> Catalog::tables() {
+  std::vector<Table*> out;
+  out.reserve(order_.size());
+  for (const std::string& n : order_) out.push_back(tables_.at(n).get());
+  return out;
+}
+
+std::vector<const Table*> Catalog::tables() const {
+  std::vector<const Table*> out;
+  out.reserve(order_.size());
+  for (const std::string& n : order_) out.push_back(tables_.at(n).get());
+  return out;
+}
+
+Status Catalog::ValidateForeignKeyTargets() const {
+  for (const std::string& n : order_) {
+    const Table* t = tables_.at(n).get();
+    for (const ForeignKey& fk : t->schema().foreign_keys()) {
+      if (tables_.count(fk.parent_table) == 0) {
+        return Status::InvalidArgument(
+            "table '" + n + "' declares FK to missing table '" +
+            fk.parent_table + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kqr

@@ -1,0 +1,49 @@
+// Catalog: name → table registry with FK target resolution.
+
+#ifndef KQR_STORAGE_CATALOG_H_
+#define KQR_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace kqr {
+
+/// \brief Owns tables by name and checks cross-table declarations.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// \brief Registers a new empty table for `schema`. Fails if a table of
+  /// the same name exists. Returns a stable non-owning pointer.
+  Result<Table*> CreateTable(Schema schema);
+
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  /// Tables in creation order.
+  std::vector<Table*> tables();
+  std::vector<const Table*> tables() const;
+
+  size_t num_tables() const { return order_.size(); }
+
+  /// \brief Checks every FK declaration references an existing table.
+  Status ValidateForeignKeyTargets() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_STORAGE_CATALOG_H_

@@ -1,0 +1,187 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace kqr {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+      } else {
+        cur.push_back(c);
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) {
+          return Status::Corruption("quote inside unquoted CSV field: " +
+                                    line);
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+        ++i;
+      } else if (c == '\r' && i + 1 == line.size()) {
+        ++i;  // trailing CR from CRLF input
+      } else {
+        cur.push_back(c);
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quote in CSV line: " + line);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& f = fields[i];
+    bool needs_quote = f.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote) {
+      out += f;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+namespace {
+Result<Value> ParseCell(const std::string& text, ValueType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::Corruption("cannot parse int64 from '" + text + "'");
+      }
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      try {
+        size_t pos = 0;
+        double v = std::stod(text, &pos);
+        if (pos != text.size()) {
+          return Status::Corruption("cannot parse double from '" + text +
+                                    "'");
+        }
+        return Value(v);
+      } catch (...) {
+        return Status::Corruption("cannot parse double from '" + text + "'");
+      }
+    }
+    case ValueType::kString:
+      return Value(text);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::Internal("unreachable cell type");
+}
+}  // namespace
+
+Status LoadCsvInto(std::istream& in, Table* table) {
+  const Schema& schema = table->schema();
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::Corruption("CSV stream is empty (missing header)");
+  }
+  KQR_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(line));
+  if (header.size() != schema.num_columns()) {
+    return Status::Corruption("CSV header arity " +
+                              std::to_string(header.size()) +
+                              " != schema arity " +
+                              std::to_string(schema.num_columns()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] != schema.column(i).name) {
+      return Status::Corruption("CSV header column " + std::to_string(i) +
+                                " is '" + header[i] + "', expected '" +
+                                schema.column(i).name + "'");
+    }
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    KQR_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         ParseCsvLine(line));
+    if (fields.size() != schema.num_columns()) {
+      return Status::Corruption("CSV line " + std::to_string(line_no) +
+                                " arity mismatch");
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      KQR_ASSIGN_OR_RETURN(Value v,
+                           ParseCell(fields[i], schema.column(i).type));
+      row.push_back(std::move(v));
+    }
+    auto result = table->Insert(std::move(row));
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
+Status LoadCsvFileInto(const std::string& path, Table* table) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return LoadCsvInto(in, table);
+}
+
+Status DumpCsv(const Table& table, std::ostream& out) {
+  const Schema& schema = table.schema();
+  std::vector<std::string> header;
+  header.reserve(schema.num_columns());
+  for (const Column& c : schema.columns()) header.push_back(c.name);
+  out << FormatCsvLine(header) << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Tuple& t = table.row(static_cast<RowIndex>(r));
+    std::vector<std::string> fields;
+    fields.reserve(t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      fields.push_back(t.at(i).ToString());
+    }
+    out << FormatCsvLine(fields) << "\n";
+  }
+  if (!out) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Status DumpCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return DumpCsv(table, out);
+}
+
+}  // namespace kqr

@@ -1,0 +1,39 @@
+// CSV import/export for tables: lets examples persist and reload the
+// synthetic corpora, and lets users bring their own structured data.
+
+#ifndef KQR_STORAGE_CSV_H_
+#define KQR_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace kqr {
+
+/// \brief Parses one RFC-4180-style CSV record (quoted fields, embedded
+/// commas/quotes). Exposed for testing.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// \brief Serializes fields, quoting when needed.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// \brief Appends rows from a CSV stream into `table`. The header must
+/// match the schema's column names exactly (order included). Cells are
+/// parsed per the schema's column types; empty cells become NULL.
+Status LoadCsvInto(std::istream& in, Table* table);
+
+/// \brief Convenience file wrapper over LoadCsvInto.
+Status LoadCsvFileInto(const std::string& path, Table* table);
+
+/// \brief Writes the table (header + all rows) as CSV.
+Status DumpCsv(const Table& table, std::ostream& out);
+
+Status DumpCsvFile(const Table& table, const std::string& path);
+
+}  // namespace kqr
+
+#endif  // KQR_STORAGE_CSV_H_

@@ -1,0 +1,33 @@
+#include "storage/database.h"
+
+namespace kqr {
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const Table* t : catalog_.tables()) n += t->num_rows();
+  return n;
+}
+
+Status Database::ValidateIntegrity() const {
+  KQR_RETURN_NOT_OK(catalog_.ValidateForeignKeyTargets());
+  for (const Table* t : catalog_.tables()) {
+    const Schema& schema = t->schema();
+    for (const ForeignKey& fk : schema.foreign_keys()) {
+      size_t col = *schema.FindColumn(fk.column);
+      const Table* parent = catalog_.FindTable(fk.parent_table);
+      for (size_t r = 0; r < t->num_rows(); ++r) {
+        const Value& v = t->row(static_cast<RowIndex>(r)).at(col);
+        if (v.is_null()) continue;
+        if (!parent->FindByPk(v.AsInt64()).has_value()) {
+          return Status::Corruption(
+              "table '" + t->name() + "' row " + std::to_string(r) +
+              " FK '" + fk.column + "'=" + std::to_string(v.AsInt64()) +
+              " has no parent in '" + fk.parent_table + "'");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kqr

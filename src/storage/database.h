@@ -1,0 +1,51 @@
+// Database: the catalog plus whole-database integrity checks. This is the
+// structured-data source the paper's offline stage consumes.
+
+#ifndef KQR_STORAGE_DATABASE_H_
+#define KQR_STORAGE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace kqr {
+
+/// \brief A named collection of tables with referential-integrity checking.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const std::string& name() const { return name_; }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  Result<Table*> CreateTable(Schema schema) {
+    return catalog_.CreateTable(std::move(schema));
+  }
+  Table* FindTable(const std::string& name) {
+    return catalog_.FindTable(name);
+  }
+  const Table* FindTable(const std::string& name) const {
+    return catalog_.FindTable(name);
+  }
+
+  /// Total row count across tables.
+  size_t TotalRows() const;
+
+  /// \brief Full referential-integrity check: every non-null FK cell
+  /// resolves to an existing parent primary key.
+  Status ValidateIntegrity() const;
+
+ private:
+  std::string name_;
+  Catalog catalog_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_STORAGE_DATABASE_H_

@@ -1,0 +1,118 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+namespace kqr {
+
+Result<Schema> Schema::Make(std::string table_name,
+                            std::vector<Column> columns,
+                            std::string primary_key,
+                            std::vector<ForeignKey> foreign_keys) {
+  if (table_name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table '" + table_name +
+                                   "' needs at least one column");
+  }
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("table '" + table_name +
+                                     "' has an unnamed column");
+    }
+    if (!seen.insert(c.name).second) {
+      return Status::InvalidArgument("table '" + table_name +
+                                     "' has duplicate column '" + c.name +
+                                     "'");
+    }
+    if (c.text_role != TextRole::kNone && c.type != ValueType::kString) {
+      return Status::InvalidArgument(
+          "column '" + c.name + "' has a text role but type " +
+          ValueTypeName(c.type));
+    }
+  }
+
+  Schema s;
+  s.table_name_ = std::move(table_name);
+  s.columns_ = std::move(columns);
+
+  auto pk = [&]() -> std::optional<size_t> {
+    for (size_t i = 0; i < s.columns_.size(); ++i) {
+      if (s.columns_[i].name == primary_key) return i;
+    }
+    return std::nullopt;
+  }();
+  if (!pk.has_value()) {
+    return Status::InvalidArgument("primary key '" + primary_key +
+                                   "' not found in table '" +
+                                   s.table_name_ + "'");
+  }
+  if (s.columns_[*pk].type != ValueType::kInt64) {
+    return Status::InvalidArgument("primary key '" + primary_key +
+                                   "' must be int64");
+  }
+  s.pk_index_ = *pk;
+
+  for (const ForeignKey& fk : foreign_keys) {
+    auto idx = [&]() -> std::optional<size_t> {
+      for (size_t i = 0; i < s.columns_.size(); ++i) {
+        if (s.columns_[i].name == fk.column) return i;
+      }
+      return std::nullopt;
+    }();
+    if (!idx.has_value()) {
+      return Status::InvalidArgument("foreign key column '" + fk.column +
+                                     "' not found in table '" +
+                                     s.table_name_ + "'");
+    }
+    if (s.columns_[*idx].type != ValueType::kInt64) {
+      return Status::InvalidArgument("foreign key column '" + fk.column +
+                                     "' must be int64");
+    }
+  }
+  s.foreign_keys_ = std::move(foreign_keys);
+  return s;
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<size_t> Schema::TextColumns() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].text_role != TextRole::kNone) out.push_back(i);
+  }
+  return out;
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for table '" + table_name_ +
+        "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      if (i == pk_index_) {
+        return Status::InvalidArgument("primary key '" +
+                                       columns_[i].name + "' is null");
+      }
+      continue;
+    }
+    if (row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          ValueTypeName(columns_[i].type) + " but got " +
+          ValueTypeName(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kqr

@@ -1,0 +1,93 @@
+// Schema: column metadata for one table, including the text-analysis role
+// of each column (Sec. IV-A of the paper distinguishes segmented fields like
+// paper titles from atomic fields like author names).
+
+#ifndef KQR_STORAGE_SCHEMA_H_
+#define KQR_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace kqr {
+
+/// \brief How a column participates in term-node extraction (Def. 5).
+enum class TextRole : uint8_t {
+  /// Not a text field; no term nodes are extracted.
+  kNone = 0,
+  /// Long text; tokenized/segmented into multiple term nodes (paper titles).
+  kSegmented,
+  /// Whole value is one semantic unit and becomes a single term node
+  /// (author name, venue name). No segmentation (Sec. IV-A).
+  kAtomic,
+};
+
+/// \brief One column of a table.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  TextRole text_role = TextRole::kNone;
+
+  Column() = default;
+  Column(std::string n, ValueType t, TextRole role = TextRole::kNone)
+      : name(std::move(n)), type(t), text_role(role) {}
+};
+
+/// \brief A foreign-key declaration: this table's `column` references the
+/// primary key of `parent_table`.
+struct ForeignKey {
+  std::string column;
+  std::string parent_table;
+};
+
+/// \brief Ordered column list plus key declarations.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// \param table_name the owning table's name (used in error messages and
+  ///     field labels).
+  /// \param columns column definitions; names must be unique and non-empty.
+  /// \param primary_key name of the int64 primary-key column.
+  /// \param foreign_keys FK declarations; columns must exist and be int64.
+  static Result<Schema> Make(std::string table_name,
+                             std::vector<Column> columns,
+                             std::string primary_key,
+                             std::vector<ForeignKey> foreign_keys = {});
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of `name`, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  size_t primary_key_index() const { return pk_index_; }
+  const std::string& primary_key() const { return columns_[pk_index_].name; }
+
+  const std::vector<ForeignKey>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  /// Column indexes with a text role != kNone, in declaration order.
+  std::vector<size_t> TextColumns() const;
+
+  /// \brief Checks a row's arity and cell types against this schema.
+  /// Nulls are allowed in any non-PK column.
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+  size_t pk_index_ = 0;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_STORAGE_SCHEMA_H_

@@ -1,0 +1,31 @@
+#include "storage/table.h"
+
+#include <limits>
+
+namespace kqr {
+
+Result<RowIndex> Table::Insert(std::vector<Value> row) {
+  KQR_RETURN_NOT_OK(schema_.ValidateRow(row));
+  if (rows_.size() >=
+      static_cast<size_t>(std::numeric_limits<RowIndex>::max())) {
+    return Status::OutOfRange("table '" + name() + "' is full");
+  }
+  int64_t pk = row[schema_.primary_key_index()].AsInt64();
+  auto [it, inserted] =
+      pk_index_.emplace(pk, static_cast<RowIndex>(rows_.size()));
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate primary key " +
+                                 std::to_string(pk) + " in table '" +
+                                 name() + "'");
+  }
+  rows_.emplace_back(std::move(row));
+  return static_cast<RowIndex>(rows_.size() - 1);
+}
+
+std::optional<RowIndex> Table::FindByPk(int64_t pk) const {
+  auto it = pk_index_.find(pk);
+  if (it == pk_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace kqr

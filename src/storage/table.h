@@ -1,0 +1,55 @@
+// Table: an in-memory relation with a primary-key index.
+
+#ifndef KQR_STORAGE_TABLE_H_
+#define KQR_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace kqr {
+
+/// \brief Row position within a table.
+using RowIndex = uint32_t;
+
+/// \brief An append-only in-memory relation. Rows are validated against the
+/// schema on insert and indexed by their int64 primary key.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.table_name(); }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// \brief Validates and appends a row. Fails on arity/type mismatch or
+  /// duplicate primary key.
+  Result<RowIndex> Insert(std::vector<Value> row);
+
+  const Tuple& row(RowIndex i) const { return rows_[i]; }
+
+  /// \brief Primary-key value of row `i`.
+  int64_t PrimaryKeyOf(RowIndex i) const {
+    return rows_[i].at(schema_.primary_key_index()).AsInt64();
+  }
+
+  /// \brief Row index holding primary key `pk`, or nullopt.
+  std::optional<RowIndex> FindByPk(int64_t pk) const;
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::unordered_map<int64_t, RowIndex> pk_index_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_STORAGE_TABLE_H_

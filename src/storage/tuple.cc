@@ -1,0 +1,14 @@
+#include "storage/tuple.h"
+
+namespace kqr {
+
+std::string Tuple::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += values_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace kqr

@@ -1,0 +1,40 @@
+// Tuple: one row of a table, addressed by (table, row index) or by its
+// primary key. Kept as a plain value vector; the owning Table provides
+// schema context.
+
+#ifndef KQR_STORAGE_TUPLE_H_
+#define KQR_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace kqr {
+
+/// \brief A row of values. Interpretation (column names/types) lives in the
+/// owning Table's Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// \brief Debug rendering: pipe-joined cells.
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_STORAGE_TUPLE_H_

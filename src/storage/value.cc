@@ -1,0 +1,116 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt64() const {
+  KQR_DCHECK(type() == ValueType::kInt64);
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsDouble() const {
+  KQR_DCHECK(type() == ValueType::kDouble);
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  KQR_DCHECK(type() == ValueType::kString);
+  return std::get<std::string>(rep_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(rep_);
+      return os.str();
+    }
+    case ValueType::kString:
+      return std::get<std::string>(rep_);
+  }
+  return "";
+}
+
+namespace {
+// Rank used for cross-type ordering: null < numeric < string.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+  }
+  return 3;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      double a = type() == ValueType::kInt64
+                     ? static_cast<double>(std::get<int64_t>(rep_))
+                     : std::get<double>(rep_);
+      double b = other.type() == ValueType::kInt64
+                     ? static_cast<double>(std::get<int64_t>(other.rep_))
+                     : std::get<double>(other.rep_);
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    case ValueType::kString: {
+      const std::string& a = std::get<std::string>(rep_);
+      const std::string& b = std::get<std::string>(other.rep_);
+      return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      return std::hash<double>()(
+          static_cast<double>(std::get<int64_t>(rep_)));
+    case ValueType::kDouble:
+      return std::hash<double>()(std::get<double>(rep_));
+    case ValueType::kString:
+      return std::hash<std::string>()(std::get<std::string>(rep_));
+  }
+  return 0;
+}
+
+}  // namespace kqr

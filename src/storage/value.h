@@ -1,0 +1,71 @@
+// Value: the typed cell of the relational substrate.
+
+#ifndef KQR_STORAGE_VALUE_H_
+#define KQR_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace kqr {
+
+/// \brief Storage types supported by the engine. The paper's workload
+/// (bibliographic and product catalogs) needs keys, numbers and text.
+enum class ValueType : uint8_t { kNull = 0, kInt64, kDouble, kString };
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief A single typed cell. Null, 64-bit integer, double, or string.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (checked in debug builds).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// \brief Renders for CSV/debug output. Null renders as empty string.
+  std::string ToString() const;
+
+  /// \brief Total order: null < int/double (numeric order) < string
+  /// (lexicographic). Ints and doubles compare numerically with each other.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// \brief Hash consistent with operator== (ints and equal-valued doubles
+  /// hash alike).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_STORAGE_VALUE_H_

@@ -1,0 +1,59 @@
+#include "text/analyzer.h"
+
+#include <cctype>
+
+namespace kqr {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+std::vector<std::string> Analyzer::AnalyzeSegmented(
+    std::string_view text) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& tok : tokens) {
+    if (options_.remove_stopwords && stopwords_.IsStopword(tok)) continue;
+    if (options_.stem) tok = stemmer_.Stem(tok);
+    if (tok.size() >= options_.tokenizer.min_token_length) {
+      out.push_back(std::move(tok));
+    }
+  }
+  return out;
+}
+
+std::string Analyzer::AnalyzeAtomic(std::string_view text) const {
+  std::string out;
+  bool pending_space = false;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isspace(c)) {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(static_cast<char>(std::tolower(c)));
+  }
+  return out;
+}
+
+std::vector<std::string> Analyzer::Analyze(std::string_view text,
+                                           TextRole role) const {
+  switch (role) {
+    case TextRole::kNone:
+      return {};
+    case TextRole::kSegmented:
+      return AnalyzeSegmented(text);
+    case TextRole::kAtomic: {
+      std::string atom = AnalyzeAtomic(text);
+      if (atom.empty()) return {};
+      return {std::move(atom)};
+    }
+  }
+  return {};
+}
+
+}  // namespace kqr

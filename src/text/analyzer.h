@@ -1,0 +1,58 @@
+// Analyzer: the full text pipeline (tokenize → stopwords → stem) applied
+// per the column's TextRole. This is the component that turns raw cell
+// text into the term vocabulary of the TAT graph.
+
+#ifndef KQR_TEXT_ANALYZER_H_
+#define KQR_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/schema.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace kqr {
+
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+};
+
+/// \brief Converts raw field text into normalized terms.
+///
+/// - Segmented fields (titles): tokenized, stopword-filtered, stemmed.
+/// - Atomic fields (author/venue names): lowercased, inner whitespace
+///   collapsed, kept as one term (Sec. IV-A: "segmentation should not be
+///   applied" to such fields).
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  /// Terms from a segmented text field, in occurrence order (duplicates
+  /// preserved so callers can count term frequency).
+  std::vector<std::string> AnalyzeSegmented(std::string_view text) const;
+
+  /// The single normalized term of an atomic field; empty string if the
+  /// field is blank.
+  std::string AnalyzeAtomic(std::string_view text) const;
+
+  /// Dispatch on role. kNone yields no terms.
+  std::vector<std::string> Analyze(std::string_view text,
+                                   TextRole role) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  StopwordFilter stopwords_;
+  PorterStemmer stemmer_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_TEXT_ANALYZER_H_

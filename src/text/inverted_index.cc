@@ -1,0 +1,82 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <map>
+
+namespace kqr {
+
+Result<InvertedIndex> InvertedIndex::Build(const Database& db,
+                                           const Analyzer& analyzer,
+                                           Vocabulary* vocab) {
+  if (vocab == nullptr) {
+    return Status::InvalidArgument("vocab must be non-null");
+  }
+  InvertedIndex index;
+  std::vector<const Table*> tables = db.catalog().tables();
+  if (tables.size() > static_cast<size_t>(uint16_t(-1))) {
+    return Status::OutOfRange("too many tables");
+  }
+
+  for (uint16_t t = 0; t < tables.size(); ++t) {
+    const Table& table = *tables[t];
+    const Schema& schema = table.schema();
+    std::vector<size_t> text_cols = schema.TextColumns();
+    if (text_cols.empty()) continue;
+
+    std::vector<FieldId> field_ids;
+    field_ids.reserve(text_cols.size());
+    for (size_t col : text_cols) {
+      field_ids.push_back(vocab->RegisterField(
+          table.name(), schema.column(col).name,
+          schema.column(col).text_role));
+    }
+
+    index.num_corpus_tuples_ += table.num_rows();
+    for (RowIndex r = 0; r < table.num_rows(); ++r) {
+      const Tuple& tuple = table.row(r);
+      bool produced = false;
+      for (size_t ci = 0; ci < text_cols.size(); ++ci) {
+        const Value& cell = tuple.at(text_cols[ci]);
+        if (cell.is_null()) continue;
+        std::vector<std::string> terms = analyzer.Analyze(
+            cell.AsString(), schema.column(text_cols[ci]).text_role);
+        // Aggregate within-cell term frequency.
+        std::map<std::string, uint32_t> counts;
+        for (const std::string& term : terms) ++counts[term];
+        for (const auto& [text, freq] : counts) {
+          TermId id = vocab->Intern(field_ids[ci], text);
+          if (id >= index.postings_.size()) {
+            index.postings_.resize(id + 1);
+          }
+          index.postings_[id].push_back(Posting{TupleRef{t, r}, freq});
+          produced = true;
+        }
+      }
+      if (produced) ++index.num_indexed_tuples_;
+    }
+  }
+
+  // Postings come out sorted because we scan tables and rows in order, but
+  // make the invariant explicit for safety.
+  for (auto& plist : index.postings_) {
+    std::sort(plist.begin(), plist.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.tuple < b.tuple;
+              });
+  }
+  return index;
+}
+
+const std::vector<Posting>& InvertedIndex::Lookup(TermId term) const {
+  static const std::vector<Posting> kEmpty;
+  if (term == kInvalidTermId || term >= postings_.size()) return kEmpty;
+  return postings_[term];
+}
+
+uint64_t InvertedIndex::TotalFreq(TermId term) const {
+  uint64_t total = 0;
+  for (const Posting& p : Lookup(term)) total += p.freq;
+  return total;
+}
+
+}  // namespace kqr

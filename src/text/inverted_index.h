@@ -1,0 +1,78 @@
+// InvertedIndex: term → tuple postings over a Database, the Lucene
+// substitute. Built once offline; consumed by the TAT graph builder and by
+// keyword search.
+
+#ifndef KQR_TEXT_INVERTED_INDEX_H_
+#define KQR_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "text/analyzer.h"
+#include "text/vocabulary.h"
+
+namespace kqr {
+
+/// \brief Identifies one tuple across the whole database: the table's
+/// position in catalog order plus the row index.
+struct TupleRef {
+  uint16_t table = 0;
+  RowIndex row = 0;
+
+  bool operator==(const TupleRef& o) const {
+    return table == o.table && row == o.row;
+  }
+  bool operator<(const TupleRef& o) const {
+    return table != o.table ? table < o.table : row < o.row;
+  }
+};
+
+/// \brief One posting: the tuple and the term's frequency in it.
+struct Posting {
+  TupleRef tuple;
+  uint32_t freq = 0;
+};
+
+/// \brief Immutable term → postings map plus corpus statistics.
+class InvertedIndex {
+ public:
+  /// \brief Analyzes every text column of every table and builds the index.
+  /// Fields are registered into `vocab` (which may be shared with the TAT
+  /// graph builder); terms are interned there.
+  static Result<InvertedIndex> Build(const Database& db,
+                                     const Analyzer& analyzer,
+                                     Vocabulary* vocab);
+
+  /// Postings of a term (sorted by tuple). Empty for unknown terms.
+  const std::vector<Posting>& Lookup(TermId term) const;
+
+  /// Number of distinct tuples containing `term`.
+  size_t DocFreq(TermId term) const { return Lookup(term).size(); }
+
+  /// Total occurrences of `term` across the corpus.
+  uint64_t TotalFreq(TermId term) const;
+
+  /// Number of indexed tuples that produced at least one term.
+  size_t num_indexed_tuples() const { return num_indexed_tuples_; }
+
+  /// Total number of tuples eligible for indexing (rows in tables with at
+  /// least one text column).
+  size_t num_corpus_tuples() const { return num_corpus_tuples_; }
+
+  size_t num_terms() const { return postings_.size(); }
+
+ private:
+  InvertedIndex() = default;
+
+  std::vector<std::vector<Posting>> postings_;  // indexed by TermId
+  size_t num_indexed_tuples_ = 0;
+  size_t num_corpus_tuples_ = 0;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_TEXT_INVERTED_INDEX_H_

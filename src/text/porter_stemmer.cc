@@ -1,0 +1,259 @@
+#include "text/porter_stemmer.h"
+
+#include <cctype>
+
+namespace kqr {
+
+namespace {
+
+// Working buffer for one word. Implements the predicates of Porter (1980):
+// m() measure, vowel-in-stem, double consonant, *o (cvc) ending.
+class Word {
+ public:
+  explicit Word(std::string_view w) : b_(w) {}
+
+  const std::string& str() const { return b_; }
+  size_t size() const { return b_.size(); }
+
+  bool EndsWith(std::string_view suffix) const {
+    if (b_.size() < suffix.size()) return false;
+    return std::string_view(b_).substr(b_.size() - suffix.size()) == suffix;
+  }
+
+  // Replaces a verified suffix with `repl`.
+  void ReplaceSuffix(size_t suffix_len, std::string_view repl) {
+    b_.resize(b_.size() - suffix_len);
+    b_.append(repl);
+  }
+
+  // True if b_[i] is a consonant per Porter's definition ('y' is a
+  // consonant when preceded by a vowel... precisely: 'y' is a consonant if
+  // at position 0 or preceded by a vowel-position consonant).
+  bool IsConsonant(size_t i) const {
+    char c = b_[i];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Porter's m: number of VC sequences in the stem b_[0, len).
+  int Measure(size_t len) const {
+    int m = 0;
+    size_t i = 0;
+    // Skip initial consonants.
+    while (i < len && IsConsonant(i)) ++i;
+    while (i < len) {
+      // In a vowel run.
+      while (i < len && !IsConsonant(i)) ++i;
+      if (i >= len) break;
+      ++m;  // saw V followed by C
+      while (i < len && IsConsonant(i)) ++i;
+    }
+    return m;
+  }
+
+  // Measure of the stem remaining after removing a suffix of length sl.
+  int MeasureWithout(size_t sl) const { return Measure(b_.size() - sl); }
+
+  // *v*: stem (excluding suffix of length sl) contains a vowel.
+  bool HasVowel(size_t sl) const {
+    for (size_t i = 0; i + sl < b_.size(); ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // *d: stem ends with a double consonant.
+  bool EndsDoubleConsonant() const {
+    if (b_.size() < 2) return false;
+    size_t n = b_.size();
+    return b_[n - 1] == b_[n - 2] && IsConsonant(n - 1);
+  }
+
+  // *o: stem ends cvc where the final c is not w, x or y.
+  bool EndsCvc(size_t sl) const {
+    if (b_.size() < sl + 3) return false;
+    size_t last = b_.size() - sl - 1;
+    if (!IsConsonant(last) || IsConsonant(last - 1) ||
+        !IsConsonant(last - 2)) {
+      return false;
+    }
+    char c = b_[last];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  std::string b_;
+};
+
+struct Rule {
+  const char* suffix;
+  const char* replacement;
+  int min_measure;  // applies when m(stem) > min_measure
+};
+
+// Applies the first matching rule from a step-2/3/4 style table.
+// Returns true if a suffix matched (even if the measure condition failed,
+// per Porter's "longest match" semantics).
+bool ApplyRuleTable(Word* w, const Rule* rules, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    std::string_view suffix(rules[i].suffix);
+    if (w->EndsWith(suffix)) {
+      if (w->MeasureWithout(suffix.size()) > rules[i].min_measure) {
+        w->ReplaceSuffix(suffix.size(), rules[i].replacement);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void Step1a(Word* w) {
+  if (w->EndsWith("sses")) {
+    w->ReplaceSuffix(4, "ss");
+  } else if (w->EndsWith("ies")) {
+    w->ReplaceSuffix(3, "i");
+  } else if (w->EndsWith("ss")) {
+    // no-op
+  } else if (w->EndsWith("s")) {
+    w->ReplaceSuffix(1, "");
+  }
+}
+
+void Step1b(Word* w) {
+  bool cleanup = false;
+  if (w->EndsWith("eed")) {
+    if (w->MeasureWithout(3) > 0) w->ReplaceSuffix(3, "ee");
+  } else if (w->EndsWith("ed") && w->HasVowel(2)) {
+    w->ReplaceSuffix(2, "");
+    cleanup = true;
+  } else if (w->EndsWith("ing") && w->HasVowel(3)) {
+    w->ReplaceSuffix(3, "");
+    cleanup = true;
+  }
+  if (cleanup) {
+    if (w->EndsWith("at") || w->EndsWith("bl") || w->EndsWith("iz")) {
+      w->ReplaceSuffix(0, "e");
+    } else if (w->EndsDoubleConsonant()) {
+      char last = w->str().back();
+      if (last != 'l' && last != 's' && last != 'z') {
+        w->ReplaceSuffix(1, "");
+      }
+    } else if (w->Measure(w->size()) == 1 && w->EndsCvc(0)) {
+      w->ReplaceSuffix(0, "e");
+    }
+  }
+}
+
+void Step1c(Word* w) {
+  if (w->EndsWith("y") && w->HasVowel(1)) {
+    w->ReplaceSuffix(1, "i");
+  }
+}
+
+void Step2(Word* w) {
+  static const Rule kRules[] = {
+      {"ational", "ate", 0}, {"tional", "tion", 0}, {"enci", "ence", 0},
+      {"anci", "ance", 0},   {"izer", "ize", 0},    {"abli", "able", 0},
+      {"alli", "al", 0},     {"entli", "ent", 0},   {"eli", "e", 0},
+      {"ousli", "ous", 0},   {"ization", "ize", 0}, {"ation", "ate", 0},
+      {"ator", "ate", 0},    {"alism", "al", 0},    {"iveness", "ive", 0},
+      {"fulness", "ful", 0}, {"ousness", "ous", 0}, {"aliti", "al", 0},
+      {"iviti", "ive", 0},   {"biliti", "ble", 0},
+  };
+  ApplyRuleTable(w, kRules, sizeof(kRules) / sizeof(kRules[0]));
+}
+
+void Step3(Word* w) {
+  static const Rule kRules[] = {
+      {"icate", "ic", 0}, {"ative", "", 0},  {"alize", "al", 0},
+      {"iciti", "ic", 0}, {"ical", "ic", 0}, {"ful", "", 0},
+      {"ness", "", 0},
+  };
+  ApplyRuleTable(w, kRules, sizeof(kRules) / sizeof(kRules[0]));
+}
+
+void Step4(Word* w) {
+  static const Rule kRules[] = {
+      {"al", "", 1},    {"ance", "", 1}, {"ence", "", 1}, {"er", "", 1},
+      {"ic", "", 1},    {"able", "", 1}, {"ible", "", 1}, {"ant", "", 1},
+      {"ement", "", 1}, {"ment", "", 1}, {"ent", "", 1},
+  };
+  for (const Rule& r : kRules) {
+    std::string_view suffix(r.suffix);
+    if (w->EndsWith(suffix)) {
+      if (w->MeasureWithout(suffix.size()) > r.min_measure) {
+        w->ReplaceSuffix(suffix.size(), r.replacement);
+      }
+      return;
+    }
+  }
+  // (m>1 and (*S or *T)) ION
+  if (w->EndsWith("ion") && w->MeasureWithout(3) > 1 && w->size() >= 4) {
+    char before = w->str()[w->size() - 4];
+    if (before == 's' || before == 't') {
+      w->ReplaceSuffix(3, "");
+      return;
+    }
+  }
+  static const Rule kTail[] = {
+      {"ou", "", 1},  {"ism", "", 1}, {"ate", "", 1}, {"iti", "", 1},
+      {"ous", "", 1}, {"ive", "", 1}, {"ize", "", 1},
+  };
+  for (const Rule& r : kTail) {
+    std::string_view suffix(r.suffix);
+    if (w->EndsWith(suffix)) {
+      if (w->MeasureWithout(suffix.size()) > r.min_measure) {
+        w->ReplaceSuffix(suffix.size(), r.replacement);
+      }
+      return;
+    }
+  }
+}
+
+void Step5a(Word* w) {
+  if (w->EndsWith("e")) {
+    int m = w->MeasureWithout(1);
+    if (m > 1 || (m == 1 && !w->EndsCvc(1))) {
+      w->ReplaceSuffix(1, "");
+    }
+  }
+}
+
+void Step5b(Word* w) {
+  if (w->EndsDoubleConsonant() && w->str().back() == 'l' &&
+      w->MeasureWithout(1) > 1) {
+    w->ReplaceSuffix(1, "");
+  }
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  if (word.size() < 3) return std::string(word);
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) {
+      return std::string(word);
+    }
+  }
+  Word w(word);
+  Step1a(&w);
+  Step1b(&w);
+  Step1c(&w);
+  Step2(&w);
+  Step3(&w);
+  Step4(&w);
+  Step5a(&w);
+  Step5b(&w);
+  return w.str();
+}
+
+}  // namespace kqr

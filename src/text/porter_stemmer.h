@@ -1,0 +1,23 @@
+// Porter stemming algorithm (M.F. Porter, 1980) — conflates inflected
+// forms ("indexing", "indexed", "indexes" → "index") so that term nodes
+// unify across morphological variants, as Lucene's analyzer did for the
+// paper's corpus.
+
+#ifndef KQR_TEXT_PORTER_STEMMER_H_
+#define KQR_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace kqr {
+
+/// \brief Stateless Porter stemmer. Input must be lowercase ASCII letters;
+/// words with other characters or length < 3 are returned unchanged.
+class PorterStemmer {
+ public:
+  std::string Stem(std::string_view word) const;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_TEXT_PORTER_STEMMER_H_

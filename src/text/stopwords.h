@@ -1,0 +1,35 @@
+// Stopword filter with the standard English list plus domain additions.
+
+#ifndef KQR_TEXT_STOPWORDS_H_
+#define KQR_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace kqr {
+
+/// \brief Membership test against a fixed stopword set.
+class StopwordFilter {
+ public:
+  /// Default English stopword list (SMART-derived subset).
+  StopwordFilter();
+
+  /// Custom list.
+  explicit StopwordFilter(std::unordered_set<std::string> words)
+      : words_(std::move(words)) {}
+
+  bool IsStopword(std::string_view token) const {
+    return words_.count(std::string(token)) > 0;
+  }
+
+  void Add(std::string word) { words_.insert(std::move(word)); }
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_TEXT_STOPWORDS_H_

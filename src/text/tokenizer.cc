@@ -1,0 +1,32 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace kqr {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string cur;
+  bool cur_all_digits = true;
+  auto flush = [&]() {
+    if (cur.size() >= options_.min_token_length &&
+        !(options_.drop_numeric && cur_all_digits)) {
+      tokens.push_back(cur);
+    }
+    cur.clear();
+    cur_all_digits = true;
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+      if (!std::isdigit(c)) cur_all_digits = false;
+    } else {
+      if (!cur.empty()) flush();
+    }
+  }
+  if (!cur.empty()) flush();
+  return tokens;
+}
+
+}  // namespace kqr

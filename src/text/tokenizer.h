@@ -1,0 +1,34 @@
+// Tokenizer: splits segmented text fields (e.g. paper titles) into raw
+// word tokens. ASCII-oriented, matching the paper's DBLP corpus.
+
+#ifndef KQR_TEXT_TOKENIZER_H_
+#define KQR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kqr {
+
+struct TokenizerOptions {
+  /// Tokens shorter than this are dropped (noise like single letters).
+  size_t min_token_length = 2;
+  /// Drop tokens that are all digits ("2012", page numbers).
+  bool drop_numeric = true;
+};
+
+/// \brief Lowercases and splits on any non-alphanumeric byte. Produces raw
+/// tokens; stopword removal and stemming happen in the Analyzer.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_TEXT_TOKENIZER_H_

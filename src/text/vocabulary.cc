@@ -1,0 +1,59 @@
+#include "text/vocabulary.h"
+
+#include "common/logging.h"
+
+namespace kqr {
+
+FieldId Vocabulary::RegisterField(const std::string& table,
+                                  const std::string& column,
+                                  TextRole role) {
+  std::string key = table + "." + column;
+  auto it = field_lookup_.find(key);
+  if (it != field_lookup_.end()) return it->second;
+  KQR_CHECK(fields_.size() < static_cast<size_t>(FieldId(-1)))
+      << "too many fields";
+  FieldId id = static_cast<FieldId>(fields_.size());
+  fields_.push_back(FieldInfo{table, column, role});
+  field_lookup_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<FieldId> Vocabulary::FindField(const std::string& table,
+                                             const std::string& column)
+    const {
+  auto it = field_lookup_.find(table + "." + column);
+  if (it == field_lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+TermId Vocabulary::Intern(FieldId field, const std::string& text) {
+  std::string key = Key(field, text);
+  auto it = term_lookup_.find(key);
+  if (it != term_lookup_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(TermRecord{field, text});
+  term_lookup_.emplace(std::move(key), id);
+  by_text_[text].push_back(id);
+  return id;
+}
+
+std::optional<TermId> Vocabulary::Find(FieldId field,
+                                       const std::string& text) const {
+  auto it = term_lookup_.find(Key(field, text));
+  if (it == term_lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TermId> Vocabulary::FindAllFields(const std::string& text)
+    const {
+  auto it = by_text_.find(text);
+  if (it == by_text_.end()) return {};
+  return it->second;
+}
+
+std::string Vocabulary::Describe(TermId id) const {
+  const TermRecord& t = terms_[id];
+  return t.text + "@" + fields_[t.field].Label();
+}
+
+}  // namespace kqr

@@ -1,0 +1,88 @@
+// Vocabulary: interning of field-labelled terms.
+//
+// Per Def. 5 of the paper, "term nodes with same text extracted from
+// different fields are considered as different; we label them with field
+// identifiers". A field is a (table, column) pair.
+
+#ifndef KQR_TEXT_VOCABULARY_H_
+#define KQR_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace kqr {
+
+using FieldId = uint16_t;
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// \brief Metadata for one text field (table + column).
+struct FieldInfo {
+  std::string table;
+  std::string column;
+  TextRole role = TextRole::kNone;
+
+  std::string Label() const { return table + "." + column; }
+};
+
+/// \brief Bidirectional mapping between (field, text) pairs and dense
+/// TermIds, plus field registry.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Registers (or finds) a field; idempotent per (table, column).
+  FieldId RegisterField(const std::string& table, const std::string& column,
+                        TextRole role);
+
+  std::optional<FieldId> FindField(const std::string& table,
+                                   const std::string& column) const;
+
+  const FieldInfo& field(FieldId id) const { return fields_[id]; }
+  size_t num_fields() const { return fields_.size(); }
+
+  /// Interns `text` under `field`, returning a dense id (existing on
+  /// repeat calls).
+  TermId Intern(FieldId field, const std::string& text);
+
+  /// Id of an already-interned term, or nullopt.
+  std::optional<TermId> Find(FieldId field, const std::string& text) const;
+
+  /// All term ids whose text matches, across every field. Used when a user
+  /// query keyword carries no field label.
+  std::vector<TermId> FindAllFields(const std::string& text) const;
+
+  const std::string& text(TermId id) const { return terms_[id].text; }
+  FieldId field_of(TermId id) const { return terms_[id].field; }
+
+  /// "text@table.column" — unambiguous rendering for output.
+  std::string Describe(TermId id) const;
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  struct TermRecord {
+    FieldId field;
+    std::string text;
+  };
+
+  static std::string Key(FieldId field, const std::string& text) {
+    return std::to_string(field) + '\x1f' + text;
+  }
+
+  std::vector<FieldInfo> fields_;
+  std::unordered_map<std::string, FieldId> field_lookup_;
+  std::vector<TermRecord> terms_;
+  std::unordered_map<std::string, TermId> term_lookup_;
+  std::unordered_map<std::string, std::vector<TermId>> by_text_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_TEXT_VOCABULARY_H_

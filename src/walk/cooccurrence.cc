@@ -1,0 +1,100 @@
+#include "walk/cooccurrence.h"
+
+#include <deque>
+#include <unordered_set>
+#include <unordered_map>
+
+#include "common/top_k.h"
+
+namespace kqr {
+
+std::vector<SimilarTerm> CooccurrenceSimilarity::TopSimilar(
+    TermId term) const {
+  NodeId start = graph_.NodeOfTerm(term);
+  const NodeClass target_class = graph_.ClassOf(start);
+
+  std::unordered_map<NodeId, double> counts;
+
+  // Does this tuple carry any term labels? Junction tuples (pure FK
+  // plumbing like `writes`) do not, and traversing them is free.
+  auto is_junction = [&](NodeId tuple) {
+    for (const Arc& arc : graph_.Neighbors(tuple)) {
+      if (graph_.KindOf(arc.target) == NodeKind::kTerm) return false;
+    }
+    return true;
+  };
+
+  // Each tuple containing the term seeds a virtual document: a bounded
+  // BFS over FK edges whose terms co-occur with the seed term at decayed
+  // weight. Distance counts text-bearing tuples only.
+  for (const Arc& to_tuple : graph_.Neighbors(start)) {
+    if (graph_.KindOf(to_tuple.target) != NodeKind::kTuple) continue;
+    const double seed_weight = static_cast<double>(to_tuple.weight);
+
+    std::unordered_map<NodeId, uint32_t> dist;
+    std::unordered_set<NodeId> processed;
+    std::deque<NodeId> queue;
+    dist.emplace(to_tuple.target, 0);
+    queue.push_back(to_tuple.target);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      if (!processed.insert(u).second) continue;  // settled earlier
+      uint32_t d = dist[u];
+      double hop_weight = seed_weight;
+      for (uint32_t i = 0; i < d; ++i) hop_weight *= options_.decay;
+
+      for (const Arc& arc : graph_.Neighbors(u)) {
+        NodeId v = arc.target;
+        if (graph_.KindOf(v) == NodeKind::kTerm) {
+          if (v == start) continue;
+          if (graph_.ClassOf(v) != target_class) continue;
+          counts[v] += hop_weight * static_cast<double>(arc.weight);
+        } else {
+          // 0–1 BFS: junction hops are free, so relax and process them
+          // from the front to keep distances minimal.
+          uint32_t next_d = is_junction(v) ? d : d + 1;
+          if (next_d > options_.tuple_radius) continue;
+          if (options_.max_expand_degree != 0 &&
+              graph_.Degree(v) > options_.max_expand_degree) {
+            continue;
+          }
+          auto it = dist.find(v);
+          if (it == dist.end() || next_d < it->second) {
+            dist[v] = next_d;
+            if (next_d == d) {
+              queue.push_front(v);
+            } else {
+              queue.push_back(v);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  double total = 0;
+  for (const auto& [node, c] : counts) total += c;
+
+  TopK<NodeId> top(options_.list_size);
+  for (const auto& [node, c] : counts) top.Add(c, node);
+
+  std::vector<SimilarTerm> out;
+  out.reserve(options_.list_size);
+  for (auto& [node, score] : top.TakeSorted()) {
+    out.push_back(SimilarTerm{graph_.TermOfNode(node),
+                              total > 0 ? score / total : 0.0});
+  }
+  return out;
+}
+
+SimilarityIndex CooccurrenceSimilarity::BuildIndex(
+    const std::vector<TermId>& terms) const {
+  SimilarityIndex index;
+  for (TermId t : terms) {
+    index.Insert(t, TopSimilar(t));
+  }
+  return index;
+}
+
+}  // namespace kqr

@@ -1,0 +1,65 @@
+// Co-occurrence similarity baseline ([15] in the paper): two terms are
+// similar in proportion to how often they appear in the same *virtual
+// document* — the joined neighborhood of a tuple. On a normalized schema
+// (junction tables like `writes`), same-tuple co-occurrence alone sees
+// almost nothing, so the baseline expands each seed tuple over foreign-key
+// edges up to a small radius with geometric decay; radius 0 restricts to
+// strict same-tuple counts.
+//
+// The paper uses this both as the standalone case-study comparison
+// (Table II — "can only find the collaborators") and as the similarity
+// source of the "Co-occurrence reformulation" arm (Sec. VI-B).
+
+#ifndef KQR_WALK_COOCCURRENCE_H_
+#define KQR_WALK_COOCCURRENCE_H_
+
+#include <vector>
+
+#include "graph/tat_graph.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+
+struct CooccurrenceOptions {
+  /// Similar terms kept per term.
+  size_t list_size = 20;
+  /// Text-bearing FK hops a virtual document spans from a seed tuple.
+  /// Junction tuples (no term labels, e.g. `writes`) are free hops —
+  /// they are join plumbing, not document content — so radius 2 covers
+  /// one join-tree: a paper with its authors and venue, or an author
+  /// with their papers and co-authors.
+  size_t tuple_radius = 2;
+  /// Per-hop weight decay: a term found at text-hop distance d from the
+  /// seed tuple counts decay^d.
+  double decay = 0.3;
+  /// Do not expand *through* tuples with more than this many neighbors
+  /// (hubs like venues make everything co-occur with everything; their own
+  /// term labels are still counted when reached). 0 disables the cut.
+  size_t max_expand_degree = 64;
+};
+
+/// \brief Counts same-class co-occurrence inside FK-bounded virtual
+/// documents of the TAT graph.
+class CooccurrenceSimilarity {
+ public:
+  explicit CooccurrenceSimilarity(const TatGraph& graph,
+                                  CooccurrenceOptions options = {})
+      : graph_(graph), options_(options) {}
+
+  /// \brief Top co-occurring terms of the same class (field) as `term`,
+  /// scored by normalized decayed co-occurrence count.
+  std::vector<SimilarTerm> TopSimilar(TermId term) const;
+
+  /// \brief Full SimilarityIndex over `terms` using co-occurrence scores —
+  /// drop-in replacement for the random-walk index in the reformulation
+  /// pipeline.
+  SimilarityIndex BuildIndex(const std::vector<TermId>& terms) const;
+
+ private:
+  const TatGraph& graph_;
+  CooccurrenceOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_WALK_COOCCURRENCE_H_

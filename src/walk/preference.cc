@@ -1,0 +1,84 @@
+#include "walk/preference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace kqr {
+
+void PreferenceVector::Normalize() {
+  double total = 0;
+  for (const auto& [node, w] : entries) total += w;
+  if (total <= 0) return;
+  for (auto& [node, w] : entries) w /= total;
+}
+
+PreferenceVector MakeBasicPreference(NodeId start) {
+  PreferenceVector r;
+  r.entries.emplace_back(start, 1.0);
+  return r;
+}
+
+PreferenceVector MakeContextualPreference(
+    const TatGraph& graph, const GraphStats& stats, NodeId start,
+    ContextualPreferenceOptions options) {
+  // Group context nodes (direct neighbors, Def. 6) by field/class and
+  // count per-field cardinality |F_i|.
+  std::unordered_map<NodeClass, size_t> field_cardinality;
+  for (const Arc& arc : graph.Neighbors(start)) {
+    ++field_cardinality[stats.ClassOf(arc.target)];
+  }
+
+  struct Weighted {
+    NodeId node;
+    NodeClass cls;
+    double weight;
+  };
+  std::vector<Weighted> context;
+  context.reserve(graph.Degree(start));
+  for (const Arc& arc : graph.Neighbors(start)) {
+    NodeClass cls = stats.ClassOf(arc.target);
+    double field_weight =
+        1.0 / static_cast<double>(field_cardinality[cls]);
+    double node_weight =
+        static_cast<double>(arc.weight) * stats.Idf(arc.target);
+    context.push_back(Weighted{arc.target, cls, field_weight * node_weight});
+  }
+
+  if (options.max_nodes_per_field > 0) {
+    // Keep the top-weighted nodes within each field.
+    std::stable_sort(context.begin(), context.end(),
+                     [](const Weighted& a, const Weighted& b) {
+                       if (a.cls != b.cls) return a.cls < b.cls;
+                       return a.weight > b.weight;
+                     });
+    std::vector<Weighted> kept;
+    kept.reserve(context.size());
+    size_t run = 0;
+    for (size_t i = 0; i < context.size(); ++i) {
+      if (i > 0 && context[i].cls != context[i - 1].cls) run = 0;
+      if (run < options.max_nodes_per_field) kept.push_back(context[i]);
+      ++run;
+    }
+    context = std::move(kept);
+  }
+
+  PreferenceVector r;
+  double context_total = 0;
+  for (const Weighted& c : context) context_total += c.weight;
+
+  if (context_total <= 0) {
+    // Isolated node: fall back to the basic preference.
+    return MakeBasicPreference(start);
+  }
+
+  double self = std::clamp(options.self_weight, 0.0, 1.0);
+  r.entries.reserve(context.size() + 1);
+  if (self > 0) r.entries.emplace_back(start, self);
+  for (const Weighted& c : context) {
+    r.entries.emplace_back(c.node,
+                           (1.0 - self) * c.weight / context_total);
+  }
+  return r;
+}
+
+}  // namespace kqr

@@ -1,0 +1,51 @@
+// Preference (restart) vectors for the personalized random walk.
+//
+// Two constructions from the paper:
+//  - Basic (Sec. IV-B.1): one-hot on the starting node — the "individual
+//    random walk" that the paper shows is locally sensitive.
+//  - Contextual (Sec. IV-B.2, Algorithm 1): mass spread over the starting
+//    node's context nodes, weighted by 1/|F_i| * freq(v_c, t0) * idf(v_c),
+//    where F_i groups the context nodes by field (node class).
+
+#ifndef KQR_WALK_PREFERENCE_H_
+#define KQR_WALK_PREFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_stats.h"
+#include "graph/tat_graph.h"
+
+namespace kqr {
+
+/// \brief Sparse preference vector: (node, weight) entries summing to 1.
+struct PreferenceVector {
+  std::vector<std::pair<NodeId, double>> entries;
+
+  /// Scales weights to sum to 1. No-op on an all-zero vector.
+  void Normalize();
+};
+
+/// \brief One-hot preference on `start`.
+PreferenceVector MakeBasicPreference(NodeId start);
+
+struct ContextualPreferenceOptions {
+  /// Keep at most this many context nodes per field (top by weight);
+  /// 0 keeps all.
+  size_t max_nodes_per_field = 0;
+  /// Mass reserved for the starting node itself, so the walk stays
+  /// anchored; the remaining mass goes to context nodes.
+  double self_weight = 0.2;
+};
+
+/// \brief Contextual biased preference of Algorithm 1 (lines 1–6): the
+/// context nodes are `start`'s direct neighbors (Def. 6); each context node
+/// c in field F_i gets weight 1/|F_i| * freq(c, start) * idf(c), where
+/// freq(c, start) is the connecting edge weight.
+PreferenceVector MakeContextualPreference(
+    const TatGraph& graph, const GraphStats& stats, NodeId start,
+    ContextualPreferenceOptions options = {});
+
+}  // namespace kqr
+
+#endif  // KQR_WALK_PREFERENCE_H_

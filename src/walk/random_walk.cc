@@ -1,0 +1,62 @@
+#include "walk/random_walk.h"
+
+#include <cmath>
+
+namespace kqr {
+
+RandomWalkResult RandomWalkEngine::Run(
+    const PreferenceVector& preference) const {
+  const size_t n = graph_.num_nodes();
+  RandomWalkResult result;
+  result.scores.assign(n, 0.0);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> r(n, 0.0);
+  for (const auto& [node, w] : preference.entries) r[node] = w;
+
+  // Start from the restart distribution.
+  std::vector<double>& p = result.scores;
+  p = r;
+  std::vector<double> next(n, 0.0);
+
+  const double lambda = options_.damping;
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    // Push step: distribute each node's mass over its out-arcs.
+    for (NodeId u = 0; u < n; ++u) {
+      double mass = p[u];
+      if (mass == 0.0) continue;
+      double wdeg = graph_.WeightedDegree(u);
+      if (wdeg <= 0.0) {
+        dangling += mass;
+        continue;
+      }
+      double scale = lambda * mass / wdeg;
+      for (const Arc& arc : graph_.Neighbors(u)) {
+        next[arc.target] += scale * arc.weight;
+      }
+    }
+    // Restart mass: (1-λ) of everything plus λ of the dangling mass goes
+    // back through r.
+    double restart = (1.0 - lambda) + lambda * dangling;
+    for (const auto& [node, w] : preference.entries) {
+      next[node] += restart * w;
+    }
+
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - p[i]);
+    p.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options_.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace kqr

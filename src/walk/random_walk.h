@@ -1,0 +1,53 @@
+// RandomWalkEngine: personalized random walk with restart over the TAT
+// graph — Eq. 1 of the paper, p = λ·A·p + (1−λ)·r, iterated to convergence.
+
+#ifndef KQR_WALK_RANDOM_WALK_H_
+#define KQR_WALK_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "graph/tat_graph.h"
+#include "walk/preference.h"
+
+namespace kqr {
+
+struct RandomWalkOptions {
+  /// Damping λ: probability of following an edge vs. restarting.
+  double damping = 0.85;
+  /// L1 convergence threshold ε (Algorithm 1 line 9). With damping λ the
+  /// residual decays like λ^t, so 1e-6 is reached within ~90 iterations at
+  /// the default λ = 0.85 — tight enough that top-k rankings are stable.
+  double epsilon = 1e-6;
+  /// Hard cap on iterations ("or predefined iteration times").
+  size_t max_iterations = 100;
+};
+
+/// \brief Outcome of one walk.
+struct RandomWalkResult {
+  std::vector<double> scores;  // stationary vector p, indexed by NodeId
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Sparse power iteration. Transition follows out-going edges
+/// proportionally to edge weight; mass at dangling nodes restarts.
+class RandomWalkEngine {
+ public:
+  explicit RandomWalkEngine(const TatGraph& graph,
+                            RandomWalkOptions options = {})
+      : graph_(graph), options_(options) {}
+
+  /// \brief Runs the walk with restart distribution `preference` (must be
+  /// normalized; see PreferenceVector::Normalize).
+  RandomWalkResult Run(const PreferenceVector& preference) const;
+
+  const RandomWalkOptions& options() const { return options_; }
+
+ private:
+  const TatGraph& graph_;
+  RandomWalkOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_WALK_RANDOM_WALK_H_

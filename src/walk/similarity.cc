@@ -1,0 +1,44 @@
+#include "walk/similarity.h"
+
+#include <cmath>
+
+#include "common/top_k.h"
+
+namespace kqr {
+
+RandomWalkResult SimilarityExtractor::Walk(NodeId start) const {
+  PreferenceVector r =
+      options_.mode == PreferenceMode::kBasic
+          ? MakeBasicPreference(start)
+          : MakeContextualPreference(graph_, stats_, start,
+                                     options_.context);
+  r.Normalize();
+  RandomWalkEngine engine(graph_, options_.walk);
+  return engine.Run(r);
+}
+
+std::vector<ScoredNode> SimilarityExtractor::TopSimilar(NodeId start,
+                                                        size_t k) const {
+  RandomWalkResult walk = Walk(start);
+  const NodeClass target_class = stats_.ClassOf(start);
+  const double alpha = options_.popularity_discount;
+  TopK<NodeId> top(k);
+  for (NodeId v = 0; v < walk.scores.size(); ++v) {
+    if (v == start || walk.scores[v] <= 0.0) continue;
+    if (stats_.ClassOf(v) != target_class) continue;
+    double score = walk.scores[v];
+    if (alpha > 0.0) {
+      double freq = stats_.Freq(v);
+      if (freq > 0.0) score /= std::pow(freq, alpha);
+    }
+    top.Add(score, v);
+  }
+  std::vector<ScoredNode> out;
+  out.reserve(k);
+  for (auto& [node, score] : top.TakeSorted()) {
+    out.push_back(ScoredNode{node, score});
+  }
+  return out;
+}
+
+}  // namespace kqr

@@ -1,0 +1,66 @@
+// Similarity extraction: ranks nodes of the *same class* as the starting
+// node by their stationary random-walk score (Eq. 2). Two modes mirror the
+// paper's comparison: basic (one-hot restart) and contextual (Algorithm 1).
+
+#ifndef KQR_WALK_SIMILARITY_H_
+#define KQR_WALK_SIMILARITY_H_
+
+#include <vector>
+
+#include "graph/graph_stats.h"
+#include "graph/tat_graph.h"
+#include "walk/random_walk.h"
+
+namespace kqr {
+
+/// \brief One similar node with its score.
+struct ScoredNode {
+  NodeId node = kInvalidNodeId;
+  double score = 0.0;
+};
+
+enum class PreferenceMode {
+  kBasic,       ///< one-hot restart on the start node (Sec. IV-B.1)
+  kContextual,  ///< contextual biased preference (Sec. IV-B.2, Alg. 1)
+};
+
+struct SimilarityOptions {
+  PreferenceMode mode = PreferenceMode::kContextual;
+  RandomWalkOptions walk;
+  ContextualPreferenceOptions context;
+  /// Popularity discount α: candidates are ranked by p[t] / freq(t)^α
+  /// instead of the raw stationary score (Eq. 2 is α = 0). Personalized
+  /// walks systematically over-score globally frequent hub terms
+  /// ("efficient", "data", ...); dividing by a power of global frequency
+  /// is the walk-side analogue of the idf weighting the paper already
+  /// applies in the contextual preference (Sec. IV-B.2).
+  double popularity_discount = 0.5;
+};
+
+/// \brief Runs Algorithm 1 end to end for one starting node.
+class SimilarityExtractor {
+ public:
+  SimilarityExtractor(const TatGraph& graph, const GraphStats& stats,
+                      SimilarityOptions options = {})
+      : graph_(graph), stats_(stats), options_(options) {}
+
+  /// \brief Top `k` nodes of the same class as `start`, ranked by walk
+  /// score, excluding `start` itself. Scores are the raw stationary
+  /// probabilities (callers normalize as needed).
+  std::vector<ScoredNode> TopSimilar(NodeId start, size_t k) const;
+
+  /// \brief Full stationary vector for `start` under the configured
+  /// preference mode (exposed for tests and diagnostics).
+  RandomWalkResult Walk(NodeId start) const;
+
+  const SimilarityOptions& options() const { return options_; }
+
+ private:
+  const TatGraph& graph_;
+  const GraphStats& stats_;
+  SimilarityOptions options_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_WALK_SIMILARITY_H_

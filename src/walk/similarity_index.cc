@@ -1,0 +1,52 @@
+#include "walk/similarity_index.h"
+
+namespace kqr {
+
+SimilarityIndex SimilarityIndex::Build(const TatGraph& graph,
+                                       const GraphStats& stats,
+                                       SimilarityIndexOptions options) {
+  std::vector<TermId> terms;
+  const Vocabulary& vocab = graph.vocab();
+  terms.reserve(vocab.size());
+  for (TermId t = 0; t < vocab.size(); ++t) terms.push_back(t);
+  return BuildFor(graph, stats, terms, options);
+}
+
+SimilarityIndex SimilarityIndex::BuildFor(
+    const TatGraph& graph, const GraphStats& stats,
+    const std::vector<TermId>& terms, SimilarityIndexOptions options) {
+  SimilarityIndex index;
+  SimilarityExtractor extractor(graph, stats, options.similarity);
+  for (TermId term : terms) {
+    NodeId node = graph.NodeOfTerm(term);
+    if (graph.Degree(node) < options.min_degree) continue;
+    std::vector<ScoredNode> similar =
+        extractor.TopSimilar(node, options.list_size);
+    std::vector<SimilarTerm> list;
+    list.reserve(similar.size());
+    for (const ScoredNode& s : similar) {
+      list.push_back(SimilarTerm{graph.TermOfNode(s.node), s.score});
+    }
+    index.lists_.emplace(term, std::move(list));
+  }
+  return index;
+}
+
+const std::vector<SimilarTerm>& SimilarityIndex::Lookup(TermId term) const {
+  static const std::vector<SimilarTerm> kEmpty;
+  auto it = lists_.find(term);
+  return it == lists_.end() ? kEmpty : it->second;
+}
+
+double SimilarityIndex::SimilarityOf(TermId a, TermId b) const {
+  double best = 0.0;
+  for (const SimilarTerm& s : Lookup(a)) {
+    if (s.term == b && s.score > best) best = s.score;
+  }
+  for (const SimilarTerm& s : Lookup(b)) {
+    if (s.term == a && s.score > best) best = s.score;
+  }
+  return best;
+}
+
+}  // namespace kqr

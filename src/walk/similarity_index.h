@@ -1,0 +1,71 @@
+// SimilarityIndex: the offline stage's product — for each term, its ranked
+// list of similar terms, precomputed so online reformulation is a lookup.
+
+#ifndef KQR_WALK_SIMILARITY_INDEX_H_
+#define KQR_WALK_SIMILARITY_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "text/vocabulary.h"
+#include "walk/similarity.h"
+
+namespace kqr {
+
+/// \brief A term and its similarity to some reference term.
+struct SimilarTerm {
+  TermId term = kInvalidTermId;
+  double score = 0.0;
+};
+
+struct SimilarityIndexOptions {
+  /// Similar terms stored per term.
+  size_t list_size = 20;
+  /// Only terms whose graph node has at least this degree get an entry
+  /// (degree-0 terms were cut from the graph; degree-1 terms have trivial
+  /// context).
+  size_t min_degree = 1;
+  SimilarityOptions similarity;
+};
+
+/// \brief Precomputed term → similar-term lists.
+class SimilarityIndex {
+ public:
+  /// \brief Runs the similarity extractor for every eligible term.
+  /// This is the heavyweight offline step (one personalized walk per term).
+  static SimilarityIndex Build(const TatGraph& graph,
+                               const GraphStats& stats,
+                               SimilarityIndexOptions options = {});
+
+  /// \brief Builds entries only for `terms` (used by tests and by online
+  /// fallback for out-of-index query terms).
+  static SimilarityIndex BuildFor(const TatGraph& graph,
+                                  const GraphStats& stats,
+                                  const std::vector<TermId>& terms,
+                                  SimilarityIndexOptions options = {});
+
+  /// Ranked similar terms; empty if the term has no entry.
+  const std::vector<SimilarTerm>& Lookup(TermId term) const;
+
+  bool Contains(TermId term) const { return lists_.count(term) > 0; }
+  size_t size() const { return lists_.size(); }
+
+  /// Similarity between two specific terms per the index (0 when absent
+  /// from the list). Symmetric max of both directions.
+  double SimilarityOf(TermId a, TermId b) const;
+
+  /// \brief Installs (or replaces) a term's list. Used by alternative
+  /// similarity providers (e.g. the co-occurrence baseline) to assemble an
+  /// index with the same interface.
+  void Insert(TermId term, std::vector<SimilarTerm> list) {
+    lists_[term] = std::move(list);
+  }
+
+ private:
+  std::unordered_map<TermId, std::vector<SimilarTerm>> lists_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_WALK_SIMILARITY_INDEX_H_

@@ -1,0 +1,75 @@
+#include "text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace kqr {
+namespace {
+
+TEST(Analyzer, SegmentedPipelineFull) {
+  Analyzer a;
+  auto terms = a.AnalyzeSegmented("Efficient Processing of XML Queries");
+  // "of" is a stopword; the rest are stemmed.
+  ASSERT_EQ(terms.size(), 4u);
+  EXPECT_EQ(terms[0], "effici");
+  EXPECT_EQ(terms[1], "process");
+  EXPECT_EQ(terms[2], "xml");
+  EXPECT_EQ(terms[3], "queri");
+}
+
+TEST(Analyzer, PreservesDuplicatesForTf) {
+  Analyzer a;
+  auto terms = a.AnalyzeSegmented("query query query");
+  EXPECT_EQ(terms.size(), 3u);
+}
+
+TEST(Analyzer, StemmingToggle) {
+  AnalyzerOptions opts;
+  opts.stem = false;
+  Analyzer a(opts);
+  auto terms = a.AnalyzeSegmented("indexing queries");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "indexing");
+  EXPECT_EQ(terms[1], "queries");
+}
+
+TEST(Analyzer, StopwordToggle) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  Analyzer a(opts);
+  auto terms = a.AnalyzeSegmented("the data");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "the");
+}
+
+TEST(Analyzer, AtomicNormalizesWhitespaceAndCase) {
+  Analyzer a;
+  EXPECT_EQ(a.AnalyzeAtomic("  Christian  S.   Jensen "),
+            "christian s. jensen");
+  EXPECT_EQ(a.AnalyzeAtomic("VLDB"), "vldb");
+  EXPECT_EQ(a.AnalyzeAtomic(""), "");
+  EXPECT_EQ(a.AnalyzeAtomic("   "), "");
+}
+
+TEST(Analyzer, AtomicKeepsPunctuation) {
+  Analyzer a;
+  // Names keep dots/hyphens — they are part of the atom.
+  EXPECT_EQ(a.AnalyzeAtomic("J.-P. Martin"), "j.-p. martin");
+}
+
+TEST(Analyzer, DispatchByRole) {
+  Analyzer a;
+  EXPECT_TRUE(a.Analyze("anything", TextRole::kNone).empty());
+  auto seg = a.Analyze("two words", TextRole::kSegmented);
+  EXPECT_EQ(seg.size(), 2u);
+  auto atom = a.Analyze("Two Words", TextRole::kAtomic);
+  ASSERT_EQ(atom.size(), 1u);
+  EXPECT_EQ(atom[0], "two words");
+}
+
+TEST(Analyzer, AtomicBlankYieldsNothing) {
+  Analyzer a;
+  EXPECT_TRUE(a.Analyze("   ", TextRole::kAtomic).empty());
+}
+
+}  // namespace
+}  // namespace kqr

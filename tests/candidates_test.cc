@@ -1,0 +1,110 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+namespace kqr {
+namespace {
+
+SimilarityIndex MakeIndex() {
+  SimilarityIndex index;
+  index.Insert(0, {SimilarTerm{10, 0.9}, SimilarTerm{11, 0.5},
+                   SimilarTerm{12, 0.3}});
+  index.Insert(1, {SimilarTerm{20, 0.7}});
+  index.Insert(2, {});
+  return index;
+}
+
+TEST(Candidates, OriginalStateFirstWithTopScore) {
+  SimilarityIndex index = MakeIndex();
+  CandidateBuilder builder(index);
+  auto states = builder.BuildFor(0);
+  ASSERT_FALSE(states.empty());
+  EXPECT_TRUE(states[0].is_original);
+  EXPECT_EQ(states[0].term, 0u);
+  EXPECT_DOUBLE_EQ(states[0].similarity, 0.9);
+}
+
+TEST(Candidates, SimilarTermsFollowInOrder) {
+  SimilarityIndex index = MakeIndex();
+  CandidateBuilder builder(index);
+  auto states = builder.BuildFor(0);
+  ASSERT_EQ(states.size(), 4u);  // original + 3 similar
+  EXPECT_EQ(states[1].term, 10u);
+  EXPECT_EQ(states[2].term, 11u);
+  EXPECT_EQ(states[3].term, 12u);
+  EXPECT_FALSE(states[1].is_original);
+}
+
+TEST(Candidates, PerTermTruncates) {
+  CandidateOptions options;
+  options.per_term = 2;
+  SimilarityIndex index = MakeIndex();
+  CandidateBuilder builder(index, options);
+  auto states = builder.BuildFor(0);
+  EXPECT_EQ(states.size(), 3u);  // original + 2
+}
+
+TEST(Candidates, NoOriginalWhenDisabled) {
+  CandidateOptions options;
+  options.include_original = false;
+  SimilarityIndex index = MakeIndex();
+  CandidateBuilder builder(index, options);
+  auto states = builder.BuildFor(0);
+  ASSERT_EQ(states.size(), 3u);
+  for (const auto& s : states) EXPECT_FALSE(s.is_original);
+}
+
+TEST(Candidates, VoidStateAppendedWhenEnabled) {
+  CandidateOptions options;
+  options.include_void = true;
+  SimilarityIndex index = MakeIndex();
+  CandidateBuilder builder(index, options);
+  auto states = builder.BuildFor(0);
+  ASSERT_EQ(states.size(), 5u);
+  const CandidateState& v = states.back();
+  EXPECT_TRUE(v.is_void);
+  EXPECT_EQ(v.term, kInvalidTermId);
+  EXPECT_GT(v.similarity, 0.0);
+  EXPECT_LT(v.similarity, states[0].similarity);
+}
+
+TEST(Candidates, EmptyListStillYieldsOriginal) {
+  SimilarityIndex index = MakeIndex();
+  CandidateBuilder builder(index);
+  auto states = builder.BuildFor(2);
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_TRUE(states[0].is_original);
+  EXPECT_DOUBLE_EQ(states[0].similarity, 1.0);
+}
+
+TEST(Candidates, UnknownTermYieldsOriginalOnly) {
+  SimilarityIndex index = MakeIndex();
+  CandidateBuilder builder(index);
+  auto states = builder.BuildFor(999);
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_TRUE(states[0].is_original);
+}
+
+TEST(Candidates, OriginalInSimilarListNotDuplicated) {
+  SimilarityIndex index;
+  index.Insert(5, {SimilarTerm{5, 1.0}, SimilarTerm{6, 0.4}});
+  CandidateBuilder builder(index);
+  auto states = builder.BuildFor(5);
+  size_t count_5 = 0;
+  for (const auto& s : states) {
+    if (s.term == 5) ++count_5;
+  }
+  EXPECT_EQ(count_5, 1u);
+}
+
+TEST(Candidates, BuildForWholeQuery) {
+  SimilarityIndex index = MakeIndex();
+  CandidateBuilder builder(index);
+  auto all = builder.Build({0, 1});
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].size(), 4u);
+  EXPECT_EQ(all[1].size(), 2u);
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,132 @@
+#include "closeness/closeness.h"
+
+#include <gtest/gtest.h>
+
+#include "closeness/closeness_index.h"
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class ClosenessTest : public ::testing::Test {
+ protected:
+  ClosenessTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+    extractor_ = std::make_unique<ClosenessExtractor>(*graph_);
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<ClosenessExtractor> extractor_;
+};
+
+TEST_F(ClosenessTest, PairCloseness) {
+  double c = extractor_->Closeness(corpus_.Title("uncertain"),
+                                   corpus_.Title("query"));
+  EXPECT_GT(c, 0.0);
+  EXPECT_EQ(extractor_->Closeness(corpus_.Title("uncertain"),
+                                  corpus_.Title("uncertain")),
+            0.0);
+}
+
+TEST_F(ClosenessTest, CooccurringCloserThanIndirect) {
+  TermId uncertain = corpus_.Title("uncertain");
+  double direct =
+      extractor_->Closeness(uncertain, corpus_.Title("query"));
+  double indirect =
+      extractor_->Closeness(uncertain, corpus_.Title("probabilistic"));
+  EXPECT_GT(direct, indirect);
+  EXPECT_GT(indirect, 0.0);
+}
+
+TEST_F(ClosenessTest, TopCloseReturnsTermsOnly) {
+  auto close = extractor_->TopClose(corpus_.Title("uncertain"), 20);
+  ASSERT_FALSE(close.empty());
+  for (const CloseTerm& c : close) {
+    EXPECT_NE(c.term, corpus_.Title("uncertain"));
+    EXPECT_GT(c.closeness, 0.0);
+    EXPECT_GT(c.distance, 0u);
+  }
+}
+
+TEST_F(ClosenessTest, TopCloseFieldFilter) {
+  auto vfield = corpus_.vocab.FindField("venues", "name");
+  ASSERT_TRUE(vfield.has_value());
+  auto close = extractor_->TopClose(corpus_.Title("uncertain"), 10, *vfield);
+  ASSERT_FALSE(close.empty());
+  for (const CloseTerm& c : close) {
+    EXPECT_EQ(corpus_.vocab.field_of(c.term), *vfield);
+  }
+}
+
+TEST_F(ClosenessTest, TopCloseBoundedByK) {
+  auto close = extractor_->TopClose(corpus_.Title("query"), 3);
+  EXPECT_LE(close.size(), 3u);
+}
+
+TEST_F(ClosenessTest, DistanceDelegates) {
+  EXPECT_EQ(extractor_->Distance(corpus_.Title("uncertain"),
+                                 corpus_.Title("query")),
+            2);
+  EXPECT_EQ(extractor_->Distance(corpus_.Title("uncertain"),
+                                 corpus_.Title("probabilistic")),
+            4);
+}
+
+TEST_F(ClosenessTest, IndexBuildAndPairLookup) {
+  std::vector<TermId> terms = {corpus_.Title("uncertain"),
+                               corpus_.Title("query")};
+  ClosenessIndex index = ClosenessIndex::BuildFor(*graph_, terms);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.Contains(corpus_.Title("uncertain")));
+  EXPECT_FALSE(index.Contains(corpus_.Title("mining")));
+
+  double c = index.ClosenessOf(corpus_.Title("uncertain"),
+                               corpus_.Title("query"));
+  EXPECT_GT(c, 0.0);
+  // Pair lookup is symmetric.
+  EXPECT_EQ(c, index.ClosenessOf(corpus_.Title("query"),
+                                 corpus_.Title("uncertain")));
+}
+
+TEST_F(ClosenessTest, IndexDistanceOf) {
+  ClosenessIndex index =
+      ClosenessIndex::BuildFor(*graph_, {corpus_.Title("uncertain")});
+  EXPECT_EQ(index.DistanceOf(corpus_.Title("uncertain"),
+                             corpus_.Title("query")),
+            2);
+  EXPECT_EQ(index.DistanceOf(corpus_.Title("mining"),
+                             corpus_.Title("pattern")),
+            -1);  // neither indexed
+}
+
+TEST_F(ClosenessTest, IndexUnknownPairIsZero) {
+  ClosenessIndex index;
+  EXPECT_EQ(index.ClosenessOf(1, 2), 0.0);
+  EXPECT_TRUE(index.Lookup(1).empty());
+}
+
+TEST_F(ClosenessTest, IndexListSizeTruncates) {
+  ClosenessIndexOptions options;
+  options.list_size = 2;
+  ClosenessIndex index = ClosenessIndex::BuildFor(
+      *graph_, {corpus_.Title("uncertain")}, options);
+  EXPECT_LE(index.Lookup(corpus_.Title("uncertain")).size(), 2u);
+}
+
+TEST_F(ClosenessTest, IndexInsertKeepsBestPair) {
+  ClosenessIndex index;
+  index.Insert(1, {CloseTerm{2, 0.5, 2}});
+  index.Insert(2, {CloseTerm{1, 0.9, 2}});
+  EXPECT_DOUBLE_EQ(index.ClosenessOf(1, 2), 0.9);
+}
+
+}  // namespace
+}  // namespace kqr

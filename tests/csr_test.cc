@@ -1,0 +1,68 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+namespace kqr {
+namespace {
+
+TEST(Csr, EmptyGraph) {
+  CsrGraph g = CsrGraph::FromUndirectedEdges(3, {});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_TRUE(g.Neighbors(1).empty());
+}
+
+TEST(Csr, UndirectedEdgeVisibleFromBothEnds) {
+  CsrGraph g = CsrGraph::FromUndirectedEdges(2, {{0, 1, 2.0f}});
+  ASSERT_EQ(g.Degree(0), 1u);
+  ASSERT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].target, 1u);
+  EXPECT_FLOAT_EQ(g.Neighbors(0)[0].weight, 2.0f);
+  EXPECT_EQ(g.Neighbors(1)[0].target, 0u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(Csr, ParallelEdgesMerged) {
+  CsrGraph g =
+      CsrGraph::FromUndirectedEdges(2, {{0, 1, 1.0f}, {0, 1, 3.0f}});
+  ASSERT_EQ(g.Degree(0), 1u);
+  EXPECT_FLOAT_EQ(g.Neighbors(0)[0].weight, 4.0f);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 4.0);
+}
+
+TEST(Csr, NeighborsSortedByTarget) {
+  CsrGraph g = CsrGraph::FromUndirectedEdges(
+      4, {{2, 0, 1.0f}, {2, 3, 1.0f}, {2, 1, 1.0f}});
+  auto n = g.Neighbors(2);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0].target, 0u);
+  EXPECT_EQ(n[1].target, 1u);
+  EXPECT_EQ(n[2].target, 3u);
+}
+
+TEST(Csr, WeightedDegreeSumsArcs) {
+  CsrGraph g = CsrGraph::FromUndirectedEdges(
+      3, {{0, 1, 1.5f}, {0, 2, 2.5f}});
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 4.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 1.5);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(2), 2.5);
+}
+
+TEST(Csr, SelfLoopCountsTwice) {
+  // A self edge is materialized as two identical arcs that merge.
+  CsrGraph g = CsrGraph::FromUndirectedEdges(1, {{0, 0, 1.0f}});
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_FLOAT_EQ(g.Neighbors(0)[0].weight, 2.0f);
+}
+
+TEST(Csr, IsolatedNodesHaveEmptyNeighborhoods) {
+  CsrGraph g = CsrGraph::FromUndirectedEdges(5, {{1, 3, 1.0f}});
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_EQ(g.Degree(2), 0u);
+  EXPECT_EQ(g.Degree(4), 0u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,153 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace kqr {
+namespace {
+
+Schema TestSchema() {
+  return std::move(Schema::Make("t",
+                                {Column("id", ValueType::kInt64),
+                                 Column("name", ValueType::kString),
+                                 Column("score", ValueType::kDouble)},
+                                "id"))
+      .ValueOrDie();
+}
+
+TEST(CsvParse, PlainFields) {
+  auto f = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->size(), 3u);
+  EXPECT_EQ((*f)[0], "a");
+  EXPECT_EQ((*f)[2], "c");
+}
+
+TEST(CsvParse, EmptyFields) {
+  auto f = ParseCsvLine(",,");
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->size(), 3u);
+  for (const auto& s : *f) EXPECT_EQ(s, "");
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  auto f = ParseCsvLine("1,\"hello, world\",2");
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->size(), 3u);
+  EXPECT_EQ((*f)[1], "hello, world");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  auto f = ParseCsvLine("\"she said \"\"hi\"\"\"");
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->size(), 1u);
+  EXPECT_EQ((*f)[0], "she said \"hi\"");
+}
+
+TEST(CsvParse, TrailingCrStripped) {
+  auto f = ParseCsvLine("a,b\r");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)[1], "b");
+}
+
+TEST(CsvParse, RejectsUnterminatedQuote) {
+  EXPECT_TRUE(ParseCsvLine("\"oops").status().IsCorruption());
+}
+
+TEST(CsvParse, RejectsQuoteMidField) {
+  EXPECT_TRUE(ParseCsvLine("ab\"cd\"").status().IsCorruption());
+}
+
+TEST(CsvFormat, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(FormatCsvLine({"a", "b"}), "a,b");
+  EXPECT_EQ(FormatCsvLine({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(FormatCsvLine({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(FormatCsvLine({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(CsvFormat, RoundTripsThroughParse) {
+  std::vector<std::string> fields = {"plain", "with,comma", "with\"quote",
+                                     ""};
+  auto parsed = ParseCsvLine(FormatCsvLine(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+TEST(CsvLoad, LoadsTypedRows) {
+  Table t(TestSchema());
+  std::istringstream in("id,name,score\n1,alice,2.5\n2,bob,3.25\n");
+  ASSERT_TRUE(LoadCsvInto(in, &t).ok());
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.row(0).at(1).AsString(), "alice");
+  EXPECT_DOUBLE_EQ(t.row(1).at(2).AsDouble(), 3.25);
+}
+
+TEST(CsvLoad, EmptyCellsBecomeNull) {
+  Table t(TestSchema());
+  std::istringstream in("id,name,score\n1,,\n");
+  ASSERT_TRUE(LoadCsvInto(in, &t).ok());
+  EXPECT_TRUE(t.row(0).at(1).is_null());
+  EXPECT_TRUE(t.row(0).at(2).is_null());
+}
+
+TEST(CsvLoad, SkipsBlankLines) {
+  Table t(TestSchema());
+  std::istringstream in("id,name,score\n1,a,1.0\n\n2,b,2.0\n");
+  ASSERT_TRUE(LoadCsvInto(in, &t).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(CsvLoad, RejectsMissingHeader) {
+  Table t(TestSchema());
+  std::istringstream in("");
+  EXPECT_TRUE(LoadCsvInto(in, &t).IsCorruption());
+}
+
+TEST(CsvLoad, RejectsWrongHeader) {
+  Table t(TestSchema());
+  std::istringstream in("id,wrong,score\n");
+  EXPECT_TRUE(LoadCsvInto(in, &t).IsCorruption());
+}
+
+TEST(CsvLoad, RejectsArityMismatch) {
+  Table t(TestSchema());
+  std::istringstream in("id,name,score\n1,a\n");
+  EXPECT_TRUE(LoadCsvInto(in, &t).IsCorruption());
+}
+
+TEST(CsvLoad, RejectsBadInt) {
+  Table t(TestSchema());
+  std::istringstream in("id,name,score\nxyz,a,1.0\n");
+  EXPECT_TRUE(LoadCsvInto(in, &t).IsCorruption());
+}
+
+TEST(CsvLoad, RejectsBadDouble) {
+  Table t(TestSchema());
+  std::istringstream in("id,name,score\n1,a,notnum\n");
+  EXPECT_TRUE(LoadCsvInto(in, &t).IsCorruption());
+}
+
+TEST(CsvDump, RoundTripsTable) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value("a,b"), Value(1.5)}).ok());
+  ASSERT_TRUE(
+      t.Insert({Value(int64_t{2}), Value::Null(), Value(2.5)}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(DumpCsv(t, out).ok());
+
+  Table t2(TestSchema());
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadCsvInto(in, &t2).ok());
+  ASSERT_EQ(t2.num_rows(), 2u);
+  EXPECT_EQ(t2.row(0).at(1).AsString(), "a,b");
+  EXPECT_TRUE(t2.row(1).at(1).is_null());
+}
+
+TEST(CsvFile, MissingFileIsIOError) {
+  Table t(TestSchema());
+  EXPECT_TRUE(LoadCsvFileInto("/nonexistent/path.csv", &t).IsIOError());
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,226 @@
+#include "datagen/dblp_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/ecommerce_gen.h"
+
+namespace kqr {
+namespace {
+
+DblpOptions SmallOptions() {
+  DblpOptions o;
+  o.num_authors = 80;
+  o.num_papers = 200;
+  o.num_venues = 24;
+  o.seed = 7;
+  return o;
+}
+
+TEST(DblpGen, SchemaShape) {
+  auto corpus = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  const Database& db = corpus->db;
+  ASSERT_NE(db.FindTable("venues"), nullptr);
+  ASSERT_NE(db.FindTable("authors"), nullptr);
+  ASSERT_NE(db.FindTable("papers"), nullptr);
+  ASSERT_NE(db.FindTable("writes"), nullptr);
+  EXPECT_EQ(db.FindTable("venues")->num_rows(), 24u);
+  EXPECT_EQ(db.FindTable("authors")->num_rows(), 80u);
+  EXPECT_EQ(db.FindTable("papers")->num_rows(), 200u);
+  EXPECT_GE(db.FindTable("writes")->num_rows(), 200u);  // ≥1 author/paper
+}
+
+TEST(DblpGen, ReferentialIntegrityHolds) {
+  auto corpus = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_TRUE(corpus->db.ValidateIntegrity().ok());
+}
+
+TEST(DblpGen, DeterministicForSeed) {
+  auto a = GenerateDblp(SmallOptions());
+  auto b = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const Table* pa = a->db.FindTable("papers");
+  const Table* pb = b->db.FindTable("papers");
+  ASSERT_EQ(pa->num_rows(), pb->num_rows());
+  for (size_t r = 0; r < pa->num_rows(); ++r) {
+    EXPECT_EQ(pa->row(static_cast<RowIndex>(r)),
+              pb->row(static_cast<RowIndex>(r)));
+  }
+}
+
+TEST(DblpGen, DifferentSeedsDiffer) {
+  DblpOptions other = SmallOptions();
+  other.seed = 8;
+  auto a = GenerateDblp(SmallOptions());
+  auto b = GenerateDblp(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool differs = false;
+  const Table* pa = a->db.FindTable("papers");
+  const Table* pb = b->db.FindTable("papers");
+  for (size_t r = 0; r < pa->num_rows() && !differs; ++r) {
+    if (!(pa->row(static_cast<RowIndex>(r)) ==
+          pb->row(static_cast<RowIndex>(r)))) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DblpGen, GroundTruthSizesMatch) {
+  auto corpus = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->author_topics.size(), 80u);
+  EXPECT_EQ(corpus->venue_topic.size(), 24u);
+  EXPECT_EQ(corpus->paper_topic.size(), 200u);
+  EXPECT_EQ(corpus->paper_subtopic.size(), 200u);
+  EXPECT_EQ(corpus->author_names.size(), 80u);
+  EXPECT_EQ(corpus->venue_names.size(), 24u);
+}
+
+TEST(DblpGen, AuthorNamesUnique) {
+  auto corpus = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  std::set<std::string> names(corpus->author_names.begin(),
+                              corpus->author_names.end());
+  EXPECT_EQ(names.size(), corpus->author_names.size());
+}
+
+TEST(DblpGen, EveryTopicHasVenues) {
+  auto corpus = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  std::set<size_t> covered(corpus->venue_topic.begin(),
+                           corpus->venue_topic.end());
+  EXPECT_EQ(covered.size(), corpus->topics->num_topics());
+}
+
+TEST(DblpGen, PapersMostlyInTopicVenues) {
+  auto corpus = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  const Table* papers = corpus->db.FindTable("papers");
+  size_t venue_col = *papers->schema().FindColumn("venue_id");
+  size_t matches = 0;
+  for (size_t p = 0; p < papers->num_rows(); ++p) {
+    int64_t venue =
+        papers->row(static_cast<RowIndex>(p)).at(venue_col).AsInt64();
+    if (corpus->venue_topic[venue] == corpus->paper_topic[p]) ++matches;
+  }
+  // venue_noise is 5%; allow slack.
+  EXPECT_GT(matches, papers->num_rows() * 8 / 10);
+}
+
+TEST(DblpGen, TitleWordsMostlyFromPaperTopic) {
+  auto corpus = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  const Table* papers = corpus->db.FindTable("papers");
+  size_t title_col = *papers->schema().FindColumn("title");
+  size_t in_topic = 0, total = 0;
+  for (size_t p = 0; p < papers->num_rows(); ++p) {
+    const std::string& title =
+        papers->row(static_cast<RowIndex>(p)).at(title_col).AsString();
+    size_t topic = corpus->paper_topic[p];
+    std::string word;
+    for (char c : title + " ") {
+      if (c == ' ') {
+        if (!word.empty()) {
+          auto topics = corpus->topics->TopicsOfWord(word);
+          ++total;
+          if (std::find(topics.begin(), topics.end(), topic) !=
+              topics.end()) {
+            ++in_topic;
+          }
+          word.clear();
+        }
+      } else {
+        word.push_back(c);
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // ~30% of slots are topic-free generic filler and ~8% cross-topic
+  // noise; the remainder must come from the paper's own topic.
+  EXPECT_GT(static_cast<double>(in_topic) / total, 0.55);
+}
+
+TEST(DblpGen, GenericFillerPresent) {
+  auto corpus = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  const Table* papers = corpus->db.FindTable("papers");
+  size_t title_col = *papers->schema().FindColumn("title");
+  size_t generic = 0;
+  const auto& generics = GenericTitleWords();
+  for (size_t p = 0; p < papers->num_rows(); ++p) {
+    const std::string& title =
+        papers->row(static_cast<RowIndex>(p)).at(title_col).AsString();
+    for (const std::string& g : generics) {
+      if (title.find(g) != std::string::npos) {
+        ++generic;
+        break;
+      }
+    }
+  }
+  // With a 30% per-slot rate nearly every title holds some filler.
+  EXPECT_GT(generic, papers->num_rows() / 2);
+  // Generic words belong to no topic — that is their defining property.
+  EXPECT_TRUE(corpus->TopicsOf(generics.front()).empty());
+}
+
+TEST(DblpGen, TopicsOfResolvesAllSurfaceKinds) {
+  auto corpus = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  // Author name (case-insensitive).
+  EXPECT_EQ(corpus->TopicsOf(corpus->author_names[0]),
+            corpus->author_topics[0]);
+  // Venue name.
+  EXPECT_EQ(corpus->TopicsOf(corpus->venue_names[3]),
+            std::vector<size_t>{corpus->venue_topic[3]});
+  // Title word and its stem.
+  EXPECT_FALSE(corpus->TopicsOf("probabilistic").empty());
+  EXPECT_FALSE(corpus->TopicsOf("probabilist").empty());  // stemmed form
+  EXPECT_TRUE(corpus->TopicsOf("qqqq").empty());
+}
+
+TEST(DblpGen, RejectsZeroSizes) {
+  DblpOptions o = SmallOptions();
+  o.num_papers = 0;
+  EXPECT_TRUE(GenerateDblp(o).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.min_title_terms = 9;
+  o.max_title_terms = 5;
+  EXPECT_TRUE(GenerateDblp(o).status().IsInvalidArgument());
+}
+
+TEST(DblpGen, SyntheticTopicsSupported) {
+  DblpOptions o = SmallOptions();
+  o.topics = std::make_shared<const TopicModel>(
+      TopicModel::Synthetic(4, 20));
+  auto corpus = GenerateDblp(o);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->topics->num_topics(), 4u);
+}
+
+TEST(EcommerceGen, BuildsValidCorpus) {
+  EcommerceOptions o;
+  o.num_products = 120;
+  o.num_reviews = 200;
+  auto corpus = GenerateEcommerce(o);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_TRUE(corpus->db.ValidateIntegrity().ok());
+  EXPECT_EQ(corpus->db.FindTable("products")->num_rows(), 120u);
+  EXPECT_EQ(corpus->db.FindTable("reviews")->num_rows(), 200u);
+  EXPECT_EQ(corpus->product_topic.size(), 120u);
+}
+
+TEST(EcommerceGen, RejectsZeroSizes) {
+  EcommerceOptions o;
+  o.num_brands = 0;
+  EXPECT_TRUE(GenerateEcommerce(o).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace kqr

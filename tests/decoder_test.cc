@@ -1,0 +1,225 @@
+// Tests of the two top-k decoders (Algorithms 2 and 3) against brute
+// force and against each other — the central correctness property of the
+// online stage.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/astar_topk.h"
+#include "core/viterbi_topk.h"
+
+namespace kqr {
+namespace {
+
+// Builds a random m-position, n-state HMM with given zero fraction in the
+// transition matrix (zeros stress the pruning paths).
+HmmModel RandomModel(size_t m, size_t n, uint64_t seed,
+                     double zero_fraction = 0.0) {
+  Rng rng(seed);
+  HmmModel model;
+  model.states.assign(m, std::vector<CandidateState>(n));
+  model.pi.resize(n);
+  model.emission.assign(m, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) model.pi[i] = 0.1 + rng.NextDouble();
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      model.states[c][i].term = static_cast<TermId>(c * n + i);
+      model.emission[c][i] = 0.05 + rng.NextDouble();
+    }
+  }
+  model.trans.assign(
+      m > 0 ? m - 1 : 0,
+      std::vector<std::vector<double>>(n, std::vector<double>(n)));
+  for (size_t c = 0; c + 1 < m; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        model.trans[c][i][j] =
+            rng.NextDouble() < zero_fraction ? 0.0 : 0.05 + rng.NextDouble();
+      }
+    }
+  }
+  return model;
+}
+
+// Exhaustive top-k by enumerating all n^m paths.
+std::vector<DecodedPath> BruteForceTopK(const HmmModel& model, size_t k) {
+  const size_t m = model.num_positions();
+  std::vector<DecodedPath> all;
+  std::vector<int> path(m, 0);
+  while (true) {
+    double score = model.PathScore(path);
+    all.push_back(DecodedPath{path, score});
+    // Increment the mixed-radix counter.
+    size_t c = 0;
+    while (c < m) {
+      if (static_cast<size_t>(++path[c]) < model.num_states(c)) break;
+      path[c] = 0;
+      ++c;
+    }
+    if (c == m) break;
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const DecodedPath& a, const DecodedPath& b) {
+                     return a.score > b.score;
+                   });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+struct SweepParam {
+  size_t m, n, k;
+  uint64_t seed;
+  double zeros;
+};
+
+class DecoderSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DecoderSweep, ViterbiTopKMatchesBruteForce) {
+  const SweepParam& p = GetParam();
+  HmmModel model = RandomModel(p.m, p.n, p.seed, p.zeros);
+  auto expected = BruteForceTopK(model, p.k);
+  auto got = ViterbiTopK(model, p.k);
+  // Both decoders only emit positive-probability paths (a zero-score
+  // "reformulation" is meaningless; real models are smoothed positive).
+  size_t positive = 0;
+  for (const auto& path : expected) {
+    if (path.score > 0) ++positive;
+  }
+  ASSERT_GE(got.size(), std::min(positive, p.k));
+  for (size_t i = 0; i < std::min(positive, got.size()); ++i) {
+    EXPECT_NEAR(got[i].score, expected[i].score, 1e-12)
+        << "rank " << i;
+    EXPECT_NEAR(model.PathScore(got[i].states), got[i].score, 1e-12);
+  }
+}
+
+TEST_P(DecoderSweep, AStarMatchesBruteForce) {
+  const SweepParam& p = GetParam();
+  HmmModel model = RandomModel(p.m, p.n, p.seed, p.zeros);
+  auto expected = BruteForceTopK(model, p.k);
+  // Zero-heavy models may have fewer than k nonzero paths; A* only emits
+  // reachable (positive) paths.
+  AStarStats stats;
+  auto got = AStarTopK(model, p.k, &stats);
+  size_t positive = 0;
+  for (const auto& path : expected) {
+    if (path.score > 0) ++positive;
+  }
+  ASSERT_GE(got.size(), std::min(positive, p.k));
+  for (size_t i = 0; i < std::min(positive, got.size()); ++i) {
+    EXPECT_NEAR(got[i].score, expected[i].score, 1e-12)
+        << "rank " << i;
+    EXPECT_NEAR(model.PathScore(got[i].states), got[i].score, 1e-12);
+  }
+  if (positive > 0) EXPECT_GT(stats.nodes_expanded, 0u);
+  EXPECT_GE(stats.nodes_generated, got.size());
+}
+
+TEST_P(DecoderSweep, AlgorithmsAgreeWithEachOther) {
+  const SweepParam& p = GetParam();
+  HmmModel model = RandomModel(p.m, p.n, p.seed, p.zeros);
+  auto viterbi = ViterbiTopK(model, p.k);
+  auto astar = AStarTopK(model, p.k);
+  size_t n = std::min(viterbi.size(), astar.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(viterbi[i].score, astar[i].score, 1e-12) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallModels, DecoderSweep,
+    ::testing::Values(SweepParam{1, 4, 3, 11, 0.0},
+                      SweepParam{2, 3, 5, 12, 0.0},
+                      SweepParam{3, 4, 10, 13, 0.0},
+                      SweepParam{4, 3, 8, 14, 0.0},
+                      SweepParam{5, 3, 20, 15, 0.0},
+                      SweepParam{6, 2, 10, 16, 0.0},
+                      SweepParam{3, 5, 7, 17, 0.3},
+                      SweepParam{4, 4, 12, 18, 0.5},
+                      SweepParam{5, 3, 15, 19, 0.7},
+                      SweepParam{2, 6, 36, 20, 0.2}));
+
+TEST(ViterbiDecode, Top1MatchesTopKFirst) {
+  HmmModel model = RandomModel(5, 6, 99);
+  ViterbiOutcome outcome = ViterbiDecode(model);
+  auto topk = ViterbiTopK(model, 3);
+  ASSERT_FALSE(topk.empty());
+  EXPECT_NEAR(outcome.best.score, topk[0].score, 1e-12);
+  EXPECT_EQ(outcome.best.states, topk[0].states);
+}
+
+TEST(ViterbiDecode, DeltaIsMonotoneUpperBoundPerCell) {
+  HmmModel model = RandomModel(4, 5, 7);
+  ViterbiOutcome outcome = ViterbiDecode(model);
+  ASSERT_EQ(outcome.delta.size(), 4u);
+  // delta[c][i] must equal the best brute-force prefix ending at (c, i).
+  for (size_t i = 0; i < model.num_states(0); ++i) {
+    EXPECT_NEAR(outcome.delta[0][i], model.pi[i] * model.emission[0][i],
+                1e-12);
+  }
+}
+
+TEST(Decoders, EmptyModel) {
+  HmmModel model;
+  EXPECT_TRUE(ViterbiTopK(model, 5).empty());
+  EXPECT_TRUE(AStarTopK(model, 5).empty());
+}
+
+TEST(Decoders, KZero) {
+  HmmModel model = RandomModel(3, 3, 1);
+  EXPECT_TRUE(ViterbiTopK(model, 0).empty());
+  EXPECT_TRUE(AStarTopK(model, 0).empty());
+}
+
+TEST(Decoders, KLargerThanPathSpace) {
+  HmmModel model = RandomModel(2, 2, 5);
+  auto viterbi = ViterbiTopK(model, 100);
+  EXPECT_EQ(viterbi.size(), 4u);  // 2^2 paths exist
+  auto astar = AStarTopK(model, 100);
+  EXPECT_EQ(astar.size(), 4u);
+}
+
+TEST(Decoders, SinglePosition) {
+  HmmModel model = RandomModel(1, 5, 31);
+  auto viterbi = ViterbiTopK(model, 3);
+  auto astar = AStarTopK(model, 3);
+  ASSERT_EQ(viterbi.size(), 3u);
+  ASSERT_EQ(astar.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(viterbi[i].score, astar[i].score, 1e-12);
+    EXPECT_NEAR(viterbi[i].score,
+                model.PathScore(viterbi[i].states), 1e-12);
+  }
+  EXPECT_GE(viterbi[0].score, viterbi[1].score);
+}
+
+TEST(Decoders, ScoresDescendWithinResult) {
+  HmmModel model = RandomModel(4, 5, 77);
+  for (auto& result : {ViterbiTopK(model, 10), AStarTopK(model, 10)}) {
+    for (size_t i = 1; i < result.size(); ++i) {
+      EXPECT_GE(result[i - 1].score, result[i].score);
+    }
+  }
+}
+
+TEST(Decoders, PathsAreDistinct) {
+  HmmModel model = RandomModel(3, 4, 55);
+  auto result = ViterbiTopK(model, 20);
+  for (size_t i = 0; i < result.size(); ++i) {
+    for (size_t j = i + 1; j < result.size(); ++j) {
+      EXPECT_NE(result[i].states, result[j].states);
+    }
+  }
+  auto astar = AStarTopK(model, 20);
+  for (size_t i = 0; i < astar.size(); ++i) {
+    for (size_t j = i + 1; j < astar.size(); ++j) {
+      EXPECT_NE(astar[i].states, astar[j].states);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,110 @@
+// Reproducibility guarantees: identical inputs must produce identical
+// engines, offline products, and online suggestions — the property the
+// whole bench harness depends on.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "datagen/dblp_gen.h"
+
+namespace kqr {
+namespace {
+
+DblpOptions SmallCorpus() {
+  DblpOptions options;
+  options.num_authors = 150;
+  options.num_papers = 500;
+  options.num_venues = 24;
+  options.seed = 99;
+  return options;
+}
+
+std::unique_ptr<ReformulationEngine> MakeEngine() {
+  auto corpus = GenerateDblp(SmallCorpus());
+  KQR_CHECK(corpus.ok());
+  auto engine = ReformulationEngine::Build(std::move(corpus->db));
+  KQR_CHECK(engine.ok());
+  return std::move(engine).ValueOrDie();
+}
+
+TEST(Determinism, VocabularyIdentical) {
+  auto a = MakeEngine();
+  auto b = MakeEngine();
+  ASSERT_EQ(a->vocab().size(), b->vocab().size());
+  for (TermId t = 0; t < a->vocab().size(); ++t) {
+    EXPECT_EQ(a->vocab().text(t), b->vocab().text(t));
+    EXPECT_EQ(a->vocab().field_of(t), b->vocab().field_of(t));
+  }
+}
+
+TEST(Determinism, GraphIdentical) {
+  auto a = MakeEngine();
+  auto b = MakeEngine();
+  ASSERT_EQ(a->graph().num_nodes(), b->graph().num_nodes());
+  ASSERT_EQ(a->graph().num_edges(), b->graph().num_edges());
+  for (NodeId v = 0; v < a->graph().num_nodes(); v += 97) {
+    auto na = a->graph().Neighbors(v);
+    auto nb = b->graph().Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << v;
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].target, nb[i].target);
+      EXPECT_EQ(na[i].weight, nb[i].weight);
+    }
+  }
+}
+
+TEST(Determinism, OfflineProductsIdentical) {
+  auto a = MakeEngine();
+  auto b = MakeEngine();
+  auto terms = a->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  for (TermId t : *terms) {
+    a->EnsureTerm(t);
+    b->EnsureTerm(t);
+    const auto& sa = a->similarity_index().Lookup(t);
+    const auto& sb = b->similarity_index().Lookup(t);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].term, sb[i].term);
+      EXPECT_DOUBLE_EQ(sa[i].score, sb[i].score);
+    }
+    const auto& ca = a->closeness_index().Lookup(t);
+    const auto& cb = b->closeness_index().Lookup(t);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_EQ(ca[i].term, cb[i].term);
+      EXPECT_DOUBLE_EQ(ca[i].closeness, cb[i].closeness);
+    }
+  }
+}
+
+TEST(Determinism, SuggestionsIdenticalAcrossEnginesAndCalls) {
+  auto a = MakeEngine();
+  auto b = MakeEngine();
+  auto ra = a->Reformulate("probabilistic query", 8);
+  auto rb = b->Reformulate("probabilistic query", 8);
+  auto ra2 = a->Reformulate("probabilistic query", 8);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_TRUE(ra2.ok());
+  ASSERT_EQ(ra->size(), rb->size());
+  ASSERT_EQ(ra->size(), ra2->size());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i].terms, (*rb)[i].terms);
+    EXPECT_DOUBLE_EQ((*ra)[i].score, (*rb)[i].score);
+    EXPECT_EQ((*ra)[i].terms, (*ra2)[i].terms);
+  }
+}
+
+TEST(Determinism, SearchCountsStable) {
+  auto a = MakeEngine();
+  auto b = MakeEngine();
+  auto terms = a->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  EXPECT_EQ(a->CountResults(*terms), b->CountResults(*terms));
+  EXPECT_EQ(a->CountTrees(*terms), b->CountTrees(*terms));
+}
+
+}  // namespace
+}  // namespace kqr

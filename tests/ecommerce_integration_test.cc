@@ -1,0 +1,113 @@
+// End-to-end integration on the second (e-commerce) schema: proves no
+// component assumes the bibliographic schema.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "core/facets.h"
+#include "datagen/ecommerce_gen.h"
+
+namespace kqr {
+namespace {
+
+class EcommerceIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    EcommerceOptions options;
+    options.num_products = 400;
+    options.num_reviews = 800;
+    auto corpus = GenerateEcommerce(options);
+    KQR_CHECK(corpus.ok());
+    auto engine = ReformulationEngine::Build(std::move(corpus->db));
+    KQR_CHECK(engine.ok());
+    engine_ = std::move(*engine).release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static ReformulationEngine* engine_;
+};
+
+ReformulationEngine* EcommerceIntegration::engine_ = nullptr;
+
+TEST_F(EcommerceIntegration, GraphCoversAllTables) {
+  // 4 tables of tuples plus term nodes.
+  EXPECT_EQ(engine_->graph().space().num_tables(), 4u);
+  EXPECT_GT(engine_->graph().num_edges(), 0u);
+  EXPECT_GT(engine_->vocab().num_fields(), 3u);
+}
+
+TEST_F(EcommerceIntegration, ReformulatesProductQuery) {
+  auto result = engine_->Reformulate("wireless bluetooth", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->empty());
+  for (const auto& q : *result) {
+    EXPECT_EQ(q.terms.size(), 2u);
+    EXPECT_GT(q.score, 0.0);
+  }
+}
+
+TEST_F(EcommerceIntegration, DomainSimilarityIsTopical) {
+  // Similar terms of "camping" should contain outdoor vocabulary.
+  auto terms = engine_->ResolveQuery("camping");
+  ASSERT_TRUE(terms.ok());
+  engine_->EnsureTerm((*terms)[0]);
+  const auto& similar =
+      engine_->similarity_index().Lookup((*terms)[0]);
+  ASSERT_FALSE(similar.empty());
+  TopicModel retail = TopicModel::Retail();
+  auto camping_topics = retail.TopicsOfStem("camp");
+  ASSERT_FALSE(camping_topics.empty());
+  size_t matched = 0, judged = 0;
+  PorterStemmer stemmer;
+  for (const SimilarTerm& s : similar) {
+    auto topics =
+        retail.TopicsOfStem(engine_->vocab().text(s.term));
+    if (topics.empty()) continue;
+    ++judged;
+    if (std::find(topics.begin(), topics.end(), camping_topics[0]) !=
+        topics.end()) {
+      ++matched;
+    }
+  }
+  ASSERT_GT(judged, 0u);
+  EXPECT_GT(static_cast<double>(matched) / judged, 0.5);
+}
+
+TEST_F(EcommerceIntegration, SearchAcrossBrandAndTitle) {
+  // A brand name + product word query connects via the products table.
+  const Table* brands = engine_->db().FindTable("brands");
+  ASSERT_NE(brands, nullptr);
+  std::string brand = brands->row(0).at(1).AsString();
+  auto outcome = engine_->Search(brand);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome->total_results, 0u);
+}
+
+TEST_F(EcommerceIntegration, FacetsGroupSuggestions) {
+  auto terms = engine_->ResolveQuery("yoga mat");
+  ASSERT_TRUE(terms.ok());
+  auto suggestions = engine_->ReformulateTerms(*terms, 8);
+  ASSERT_FALSE(suggestions.empty());
+  auto facets = GroupByFacets(*terms, suggestions, engine_->vocab());
+  ASSERT_FALSE(facets.empty());
+  size_t total = 0;
+  for (const auto& f : facets) total += f.suggestions.size();
+  EXPECT_EQ(total, suggestions.size());
+}
+
+TEST_F(EcommerceIntegration, ReviewsContributeTerms) {
+  auto field = engine_->vocab().FindField("reviews", "body");
+  ASSERT_TRUE(field.has_value());
+  size_t review_terms = 0;
+  for (TermId t = 0; t < engine_->vocab().size(); ++t) {
+    if (engine_->vocab().field_of(t) == *field) ++review_terms;
+  }
+  EXPECT_GT(review_terms, 0u);
+}
+
+}  // namespace
+}  // namespace kqr

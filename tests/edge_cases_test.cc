@@ -1,0 +1,145 @@
+// Edge cases across module boundaries that the focused suites don't
+// cover: degenerate queries, empty structures, boundary options.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "eval/metrics.h"
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+TEST(EdgeCases, EmptyDatabaseEngine) {
+  Database db("empty");
+  auto engine = ReformulationEngine::Build(std::move(db));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->vocab().size(), 0u);
+  EXPECT_EQ((*engine)->graph().num_nodes(), 0u);
+  EXPECT_TRUE((*engine)->ResolveQuery("anything").status().IsNotFound());
+}
+
+TEST(EdgeCases, TextlessTablesOnly) {
+  Database db("textless");
+  auto schema = Schema::Make("numbers",
+                             {Column("id", ValueType::kInt64),
+                              Column("value", ValueType::kDouble)},
+                             "id");
+  ASSERT_TRUE(schema.ok());
+  Table* t = *db.CreateTable(std::move(*schema));
+  ASSERT_TRUE(t->Insert({Value(int64_t{1}), Value(3.5)}).ok());
+  auto engine = ReformulationEngine::Build(std::move(db));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->vocab().size(), 0u);
+  // Tuple nodes exist, term nodes do not.
+  EXPECT_EQ((*engine)->graph().space().num_term_nodes(), 0u);
+  EXPECT_EQ((*engine)->graph().space().num_tuple_nodes(), 1u);
+}
+
+TEST(EdgeCases, SimilarityIndexBuildWholeVocabulary) {
+  MicroCorpus corpus = MicroCorpus::Make();
+  auto graph =
+      BuildTatGraph(corpus.db, corpus.vocab, corpus.index,
+                    TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats(*graph);
+  SimilarityIndex index = SimilarityIndex::Build(*graph, stats);
+  // Every graph-connected term got an entry.
+  size_t connected = 0;
+  for (TermId t = 0; t < corpus.vocab.size(); ++t) {
+    if (graph->Degree(graph->NodeOfTerm(t)) > 0) {
+      ++connected;
+      EXPECT_TRUE(index.Contains(t)) << corpus.vocab.Describe(t);
+    }
+  }
+  EXPECT_EQ(index.size(), connected);
+}
+
+TEST(EdgeCases, MinDegreeSkipsIsolatedTerms) {
+  MicroCorpus corpus = MicroCorpus::Make();
+  TatBuilderOptions cut;
+  cut.max_doc_frequency_fraction = 0.12;  // isolates df>=2 terms
+  auto graph = BuildTatGraph(corpus.db, corpus.vocab, corpus.index, cut);
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats(*graph);
+  SimilarityIndex index = SimilarityIndex::Build(*graph, stats);
+  TermId isolated = corpus.Title("uncertain");
+  EXPECT_FALSE(index.Contains(isolated));
+}
+
+TEST(EdgeCases, MeanQueryDistanceEmptyInputs) {
+  MicroCorpus corpus = MicroCorpus::Make();
+  auto graph =
+      BuildTatGraph(corpus.db, corpus.vocab, corpus.index,
+                    TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(MeanQueryDistance(*graph, {}, {}), 0.0);
+  std::vector<std::vector<TermId>> originals = {{corpus.Title("query")}};
+  std::vector<std::vector<ReformulatedQuery>> rankings = {{}};
+  EXPECT_DOUBLE_EQ(MeanQueryDistance(*graph, originals, rankings), 0.0);
+}
+
+TEST(EdgeCases, MeanQueryDistanceIdenticalQueryIsZero) {
+  MicroCorpus corpus = MicroCorpus::Make();
+  auto graph =
+      BuildTatGraph(corpus.db, corpus.vocab, corpus.index,
+                    TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::vector<TermId>> originals = {
+      {corpus.Title("query"), corpus.Title("uncertain")}};
+  ReformulatedQuery same;
+  same.terms = originals[0];
+  std::vector<std::vector<ReformulatedQuery>> rankings = {{same}};
+  EXPECT_DOUBLE_EQ(MeanQueryDistance(*graph, originals, rankings), 0.0);
+}
+
+TEST(EdgeCases, QueryParserAtomSpanLimit) {
+  MicroCorpus corpus = MicroCorpus::Make();
+  QueryParserOptions options;
+  options.max_atom_words = 1;  // disable multi-word atoms
+  QueryParser parser(corpus.analyzer, corpus.vocab, options);
+  KeywordQuery q = parser.Parse("alice smith");
+  // Without multi-word matching, "alice" and "smith" stay separate (and
+  // unresolved — no such single terms exist).
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.FullyResolved());
+}
+
+TEST(EdgeCases, ReformulateSingleCharacterAndStopwordQuery) {
+  Database db = testing_fixtures::MakeMicroDblp();
+  auto engine = ReformulationEngine::Build(std::move(db));
+  ASSERT_TRUE(engine.ok());
+  // Pure-stopword input tokenizes to nothing resolvable.
+  EXPECT_FALSE((*engine)->Reformulate("the of and", 5).ok());
+  EXPECT_FALSE((*engine)->Reformulate("a", 5).ok());
+}
+
+TEST(EdgeCases, LongQueryAgainstTinyCorpus) {
+  Database db = testing_fixtures::MakeMicroDblp();
+  auto engine = ReformulationEngine::Build(std::move(db));
+  ASSERT_TRUE(engine.ok());
+  auto result =
+      (*engine)->Reformulate("uncertain query mining pattern data", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const auto& q : *result) {
+    EXPECT_EQ(q.terms.size(), 5u);
+  }
+}
+
+TEST(EdgeCases, NodeSpaceEmptyTables) {
+  NodeSpace space({0, 0, 3}, 2);
+  EXPECT_EQ(space.num_tuple_nodes(), 3u);
+  EXPECT_EQ(space.num_term_nodes(), 2u);
+  TupleRef ref{2, 1};
+  EXPECT_EQ(space.ToTuple(space.FromTuple(ref)), ref);
+  EXPECT_EQ(space.KindOf(space.FromTerm(0)), NodeKind::kTerm);
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,136 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+std::unique_ptr<ReformulationEngine> MakeEngine(EngineOptions options = {}) {
+  auto engine = ReformulationEngine::Build(
+      testing_fixtures::MakeMicroDblp(), options);
+  KQR_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(engine).ValueOrDie();
+}
+
+TEST(Engine, BuildsAllComponents) {
+  auto engine = MakeEngine();
+  EXPECT_GT(engine->vocab().size(), 0u);
+  EXPECT_GT(engine->graph().num_nodes(), 0u);
+  EXPECT_GT(engine->graph().num_edges(), 0u);
+  EXPECT_EQ(engine->stats().num_nodes(), engine->graph().num_nodes());
+  EXPECT_EQ(engine->db().name(), "micro");
+}
+
+TEST(Engine, RejectsCorruptDatabase) {
+  Database db = testing_fixtures::MakeMicroDblp();
+  Table* writes = db.FindTable("writes");
+  ASSERT_TRUE(writes
+                  ->Insert({Value(int64_t{99}), Value(int64_t{77}),
+                            Value(int64_t{0})})
+                  .ok());  // author 77 does not exist
+  auto engine = ReformulationEngine::Build(std::move(db));
+  EXPECT_TRUE(engine.status().IsCorruption());
+}
+
+TEST(Engine, ResolveQueryPicksTerms) {
+  auto engine = MakeEngine();
+  auto terms = engine->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok()) << terms.status().ToString();
+  EXPECT_EQ(terms->size(), 2u);
+}
+
+TEST(Engine, ResolveQueryFailsOnUnknownKeyword) {
+  auto engine = MakeEngine();
+  EXPECT_TRUE(engine->ResolveQuery("zebra").status().IsNotFound());
+  EXPECT_TRUE(engine->ResolveQuery("").status().IsInvalidArgument());
+}
+
+TEST(Engine, EndToEndReformulate) {
+  auto engine = MakeEngine();
+  auto result = engine->Reformulate("uncertain query", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->empty());
+  for (const auto& q : *result) {
+    EXPECT_EQ(q.terms.size(), 2u);
+    EXPECT_GT(q.score, 0.0);
+  }
+}
+
+TEST(Engine, LazyOfflineMatchesEagerResults) {
+  auto lazy = MakeEngine();
+  EngineOptions eager_options;
+  eager_options.precompute_offline = true;
+  auto eager = MakeEngine(eager_options);
+  auto a = lazy->Reformulate("uncertain query", 5);
+  auto b = eager->Reformulate("uncertain query", 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].terms, (*b)[i].terms);
+    EXPECT_NEAR((*a)[i].score, (*b)[i].score, 1e-12);
+  }
+}
+
+TEST(Engine, EnsureTermIdempotent) {
+  auto engine = MakeEngine();
+  auto terms = engine->ResolveQuery("uncertain");
+  ASSERT_TRUE(terms.ok());
+  engine->EnsureTerm((*terms)[0]);
+  size_t size_after_first = engine->similarity_index().size();
+  engine->EnsureTerm((*terms)[0]);
+  EXPECT_EQ(engine->similarity_index().size(), size_after_first);
+}
+
+TEST(Engine, CooccurrenceModeBuilds) {
+  EngineOptions options;
+  options.use_cooccurrence_similarity = true;
+  auto engine = MakeEngine(options);
+  auto result = engine->Reformulate("uncertain query", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->empty());
+}
+
+TEST(Engine, SearchEndToEnd) {
+  auto engine = MakeEngine();
+  auto outcome = engine->Search("uncertain query");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome->total_results, 0u);
+}
+
+TEST(Engine, SearchUnknownKeywordFails) {
+  auto engine = MakeEngine();
+  EXPECT_TRUE(engine->Search("zebra").status().IsNotFound());
+}
+
+TEST(Engine, CountResultsSkipsVoidPositions) {
+  auto engine = MakeEngine();
+  auto terms = engine->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  std::vector<TermId> with_void = *terms;
+  with_void.push_back(kInvalidTermId);
+  EXPECT_EQ(engine->CountResults(with_void),
+            engine->CountResults(*terms));
+}
+
+TEST(Engine, QueryFromTermsRoundTrip) {
+  auto engine = MakeEngine();
+  auto terms = engine->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  KeywordQuery q = engine->QueryFromTerms(*terms);
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.FullyResolved());
+}
+
+TEST(Engine, MultiWordAuthorQueryReformulates) {
+  auto engine = MakeEngine();
+  auto result = engine->Reformulate("alice smith mining", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Candidates exist (carol wu collaborates via p3).
+  EXPECT_FALSE(result->empty());
+}
+
+}  // namespace
+}  // namespace kqr

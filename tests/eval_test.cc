@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "eval/experiment.h"
+#include "eval/judge.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+
+namespace kqr {
+namespace {
+
+TEST(Metrics, PrecisionAtN) {
+  std::vector<bool> judgments = {true, false, true, true};
+  EXPECT_DOUBLE_EQ(PrecisionAtN(judgments, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(judgments, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(judgments, 4), 0.75);
+  // Short rankings count missing slots as misses.
+  EXPECT_DOUBLE_EQ(PrecisionAtN(judgments, 8), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(judgments, 0), 0.0);
+}
+
+TEST(Metrics, MeanPrecisionAtN) {
+  std::vector<std::vector<bool>> per_query = {{true, true},
+                                              {false, false}};
+  EXPECT_DOUBLE_EQ(MeanPrecisionAtN(per_query, 2), 0.5);
+  EXPECT_DOUBLE_EQ(MeanPrecisionAtN({}, 2), 0.0);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow({"short", "1"});
+  printer.AddRow({"a much longer cell", "23456"});
+  std::ostringstream out;
+  printer.Print(out);
+  std::string s = out.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("a much longer cell"), std::string::npos);
+  // Header separator lines present.
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatSeconds(2.5), "2.50 s");
+  EXPECT_EQ(FormatSeconds(0.0125), "12.50 ms");
+  EXPECT_EQ(FormatSeconds(0.0000451), "45.1 us");
+}
+
+class EvalIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpOptions dblp;
+    dblp.num_authors = 150;
+    dblp.num_papers = 500;
+    dblp.num_venues = 24;
+    auto ctx = MakeDblpContext(dblp);
+    KQR_CHECK(ctx.ok()) << ctx.status().ToString();
+    ctx_ = new ExperimentContext(std::move(*ctx));
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    ctx_ = nullptr;
+  }
+
+  static ExperimentContext* ctx_;
+};
+
+ExperimentContext* EvalIntegration::ctx_ = nullptr;
+
+TEST_F(EvalIntegration, SamplerProducesResolvableQueries) {
+  QuerySampler sampler(*ctx_->engine, 42);
+  for (size_t len = 1; len <= 4; ++len) {
+    auto queries = sampler.SampleQueries(5, len);
+    ASSERT_EQ(queries.size(), 5u);
+    for (const auto& q : queries) {
+      EXPECT_EQ(q.size(), len);
+      for (TermId t : q) {
+        EXPECT_LT(t, ctx_->engine->vocab().size());
+      }
+      // Distinct terms within one query.
+      for (size_t i = 0; i < q.size(); ++i) {
+        for (size_t j = i + 1; j < q.size(); ++j) {
+          EXPECT_NE(q[i], q[j]);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(EvalIntegration, SamplerDeterministic) {
+  QuerySampler a(*ctx_->engine, 42);
+  QuerySampler b(*ctx_->engine, 42);
+  EXPECT_EQ(a.SampleQuery(3), b.SampleQuery(3));
+}
+
+TEST_F(EvalIntegration, MixedSetShapes) {
+  QuerySampler sampler(*ctx_->engine, 42);
+  auto queries = sampler.SampleMixedSet(10);
+  ASSERT_EQ(queries.size(), 10u);
+  for (const auto& q : queries) {
+    EXPECT_GE(q.size(), 2u);
+    EXPECT_LE(q.size(), 3u);
+  }
+}
+
+TEST_F(EvalIntegration, TitleQueriesComeFromPapers) {
+  QuerySampler sampler(*ctx_->engine, 42);
+  auto queries = sampler.SampleTitleQueries(19);
+  ASSERT_EQ(queries.size(), 19u);
+  const Vocabulary& vocab = ctx_->engine->vocab();
+  auto title_field = vocab.FindField("papers", "title");
+  ASSERT_TRUE(title_field.has_value());
+  for (const auto& q : queries) {
+    EXPECT_GE(q.size(), 2u);
+    EXPECT_LE(q.size(), 4u);
+    for (TermId t : q) EXPECT_EQ(vocab.field_of(t), *title_field);
+  }
+}
+
+TEST_F(EvalIntegration, JudgeAcceptsTopicalReformulation) {
+  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  QuerySampler sampler(*ctx_->engine, 123);
+  auto query = sampler.SampleQuery(2);
+  auto results = ctx_->engine->ReformulateTerms(query, 10);
+  ASSERT_FALSE(results.empty());
+  auto judgments = judge.JudgeRanking(query, results);
+  EXPECT_EQ(judgments.size(), results.size());
+  // At least one reformulation of a topical query should be judged
+  // relevant at these corpus sizes.
+  bool any = false;
+  for (bool b : judgments) any = any || b;
+  EXPECT_TRUE(any);
+}
+
+TEST_F(EvalIntegration, JudgeRejectsIdentityAndMismatchedArity) {
+  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  QuerySampler sampler(*ctx_->engine, 99);
+  auto query = sampler.SampleQuery(2);
+  ReformulatedQuery identity;
+  identity.terms = query;
+  identity.is_identity = true;
+  EXPECT_FALSE(judge.IsRelevant(query, identity));
+
+  ReformulatedQuery wrong_arity;
+  wrong_arity.terms = {query[0]};
+  EXPECT_FALSE(judge.IsRelevant(query, wrong_arity));
+}
+
+TEST_F(EvalIntegration, JudgeTopicAlignment) {
+  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  // Two stems of the same topic align.
+  auto terms = ctx_->engine->ResolveQuery("probabilistic uncertain");
+  ASSERT_TRUE(terms.ok());
+  EXPECT_TRUE(judge.TopicallyAligned((*terms)[0], (*terms)[1]));
+  auto cross = ctx_->engine->ResolveQuery("probabilistic camping");
+  if (cross.ok()) {
+    EXPECT_FALSE(judge.TopicallyAligned((*cross)[0], (*cross)[1]));
+  }
+}
+
+TEST_F(EvalIntegration, ResultSizeMetricPositiveForRealQueries) {
+  QuerySampler sampler(*ctx_->engine, 7);
+  auto queries = sampler.SampleQueries(3, 2);
+  std::vector<std::vector<ReformulatedQuery>> per_query;
+  for (const auto& q : queries) {
+    per_query.push_back(ctx_->engine->ReformulateTerms(q, 5));
+  }
+  double mean = MeanResultSize(*ctx_->engine, per_query);
+  EXPECT_GE(mean, 0.0);
+}
+
+TEST_F(EvalIntegration, QueryDistanceMetricInRange) {
+  QuerySampler sampler(*ctx_->engine, 7);
+  auto queries = sampler.SampleQueries(3, 2);
+  std::vector<std::vector<ReformulatedQuery>> per_query;
+  for (const auto& q : queries) {
+    per_query.push_back(ctx_->engine->ReformulateTerms(q, 5));
+  }
+  double dist = MeanQueryDistance(ctx_->engine->graph(), queries,
+                                  per_query);
+  EXPECT_GE(dist, 0.0);
+  EXPECT_LE(dist, 8.0);
+}
+
+}  // namespace
+}  // namespace kqr

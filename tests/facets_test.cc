@@ -1,0 +1,145 @@
+#include "core/facets.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+class FacetsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto engine =
+        ReformulationEngine::Build(testing_fixtures::MakeMicroDblp());
+    KQR_CHECK(engine.ok());
+    engine_ = std::move(*engine).release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  ReformulatedQuery MakeQuery(std::vector<TermId> terms,
+                              bool identity = false) {
+    ReformulatedQuery q;
+    q.terms = std::move(terms);
+    q.is_identity = identity;
+    q.score = 0.5;
+    return q;
+  }
+
+  static ReformulationEngine* engine_;
+};
+
+ReformulationEngine* FacetsTest::engine_ = nullptr;
+
+TEST_F(FacetsTest, GroupsBySubstitutedField) {
+  const Vocabulary& vocab = engine_->vocab();
+  auto title = vocab.FindField("papers", "title");
+  ASSERT_TRUE(title.has_value());
+  PorterStemmer st;
+  TermId uncertain = *vocab.Find(*title, st.Stem("uncertain"));
+  TermId query = *vocab.Find(*title, st.Stem("query"));
+  TermId probabilistic = *vocab.Find(*title, st.Stem("probabilistic"));
+  TermId mining = *vocab.Find(*title, st.Stem("mining"));
+
+  std::vector<TermId> original = {uncertain, query};
+  std::vector<ReformulatedQuery> ranking;
+  ranking.push_back(MakeQuery({probabilistic, query}));  // title change
+  ranking.push_back(MakeQuery({uncertain, mining}));     // title change
+  ranking.push_back(MakeQuery({uncertain, query}, /*identity=*/true));
+  ranking.push_back(MakeQuery({uncertain, kInvalidTermId}));  // deletion
+
+  auto facets = GroupByFacets(original, ranking, vocab);
+  ASSERT_EQ(facets.size(), 2u);
+  EXPECT_EQ(facets[0].label, "papers.title");
+  EXPECT_EQ(facets[0].suggestions.size(), 2u);
+  EXPECT_EQ(facets[1].label, "deletions");
+  EXPECT_EQ(facets[1].suggestions.size(), 1u);
+}
+
+TEST_F(FacetsTest, MultiFieldFacetLabeled) {
+  const Vocabulary& vocab = engine_->vocab();
+  auto title = vocab.FindField("papers", "title");
+  auto author = vocab.FindField("authors", "name");
+  ASSERT_TRUE(title.has_value() && author.has_value());
+  PorterStemmer st;
+  TermId uncertain = *vocab.Find(*title, st.Stem("uncertain"));
+  TermId mining = *vocab.Find(*title, st.Stem("mining"));
+  TermId alice = *vocab.Find(*author, "alice smith");
+  TermId carol = *vocab.Find(*author, "carol wu");
+
+  std::vector<TermId> original = {alice, uncertain};
+  std::vector<ReformulatedQuery> ranking;
+  ranking.push_back(MakeQuery({carol, mining}));
+
+  auto facets = GroupByFacets(original, ranking, vocab);
+  ASSERT_EQ(facets.size(), 1u);
+  EXPECT_NE(facets[0].label.find("authors.name"), std::string::npos);
+  EXPECT_NE(facets[0].label.find("papers.title"), std::string::npos);
+  EXPECT_EQ(facets[0].fields.size(), 2u);
+}
+
+TEST_F(FacetsTest, GroupsOrderedByBestSuggestion) {
+  const Vocabulary& vocab = engine_->vocab();
+  auto title = vocab.FindField("papers", "title");
+  PorterStemmer st;
+  TermId uncertain = *vocab.Find(*title, st.Stem("uncertain"));
+  TermId query = *vocab.Find(*title, st.Stem("query"));
+  TermId mining = *vocab.Find(*title, st.Stem("mining"));
+
+  std::vector<TermId> original = {uncertain, query};
+  std::vector<ReformulatedQuery> ranking;
+  ranking.push_back(MakeQuery({uncertain, kInvalidTermId}));  // deletions
+  ranking.push_back(MakeQuery({mining, query}));              // title
+
+  auto facets = GroupByFacets(original, ranking, vocab);
+  ASSERT_EQ(facets.size(), 2u);
+  EXPECT_EQ(facets[0].label, "deletions");  // rank-0 suggestion first
+}
+
+TEST_F(FacetsTest, EmptyRanking) {
+  EXPECT_TRUE(GroupByFacets({1, 2}, {}, engine_->vocab()).empty());
+}
+
+TEST_F(FacetsTest, ExplainMarksKeptDroppedAndSubstituted) {
+  auto terms = engine_->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  auto suggestions = engine_->ReformulateTerms(*terms, 3);
+  ASSERT_FALSE(suggestions.empty());
+
+  ReformulatedQuery custom;
+  custom.terms = {(*terms)[0], kInvalidTermId};
+  auto explained = ExplainReformulation(*engine_, *terms, custom);
+  ASSERT_EQ(explained.size(), 2u);
+  EXPECT_TRUE(explained[0].kept);
+  EXPECT_EQ(explained[1].to, kInvalidTermId);
+  EXPECT_NE(explained[0].ToString(engine_->vocab()).find("keep"),
+            std::string::npos);
+  EXPECT_NE(explained[1].ToString(engine_->vocab()).find("drop"),
+            std::string::npos);
+}
+
+TEST_F(FacetsTest, ExplainRealSuggestionHasSimilarity) {
+  auto terms = engine_->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  auto suggestions = engine_->ReformulateTerms(*terms, 3);
+  ASSERT_FALSE(suggestions.empty());
+  auto explained =
+      ExplainReformulation(*engine_, *terms, suggestions[0]);
+  ASSERT_EQ(explained.size(), 2u);
+  bool any_substitution = false;
+  for (const auto& e : explained) {
+    if (!e.kept && e.to != kInvalidTermId) {
+      any_substitution = true;
+      EXPECT_GT(e.similarity, 0.0);
+      EXPECT_NE(e.ToString(engine_->vocab()).find("->"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(any_substitution);
+}
+
+}  // namespace
+}  // namespace kqr

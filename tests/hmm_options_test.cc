@@ -1,0 +1,145 @@
+// Tests of the HMM construction options: log compression, emission and
+// transition log-linear weights — the knobs DESIGN.md §5 documents.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/hmm.h"
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class HmmOptionsTest : public ::testing::Test {
+ protected:
+  HmmOptionsTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+    stats_ = std::make_unique<GraphStats>(*graph_);
+    std::vector<TermId> all;
+    for (TermId t = 0; t < corpus_.vocab.size(); ++t) all.push_back(t);
+    similarity_ = SimilarityIndex::BuildFor(*graph_, *stats_, all);
+    closeness_ = ClosenessIndex::BuildFor(*graph_, all);
+  }
+
+  HmmModel Build(HmmOptions options) {
+    CandidateBuilder builder(similarity_);
+    auto candidates = builder.Build(
+        {corpus_.Title("uncertain"), corpus_.Title("query")});
+    HmmBuilder hmm(closeness_, *stats_, *graph_, options);
+    return hmm.Build(candidates);
+  }
+
+  static void ExpectNormalized(const HmmModel& model) {
+    double pi = std::accumulate(model.pi.begin(), model.pi.end(), 0.0);
+    EXPECT_NEAR(pi, 1.0, 1e-9);
+    for (const auto& e : model.emission) {
+      EXPECT_NEAR(std::accumulate(e.begin(), e.end(), 0.0), 1.0, 1e-9);
+    }
+    for (const auto& layer : model.trans) {
+      for (const auto& row : layer) {
+        EXPECT_NEAR(std::accumulate(row.begin(), row.end(), 0.0), 1.0,
+                    1e-9);
+      }
+    }
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<GraphStats> stats_;
+  SimilarityIndex similarity_;
+  ClosenessIndex closeness_;
+};
+
+TEST_F(HmmOptionsTest, AllVariantsStayNormalized) {
+  for (bool compress : {false, true}) {
+    for (double ew : {1.0, 2.0, 3.0}) {
+      for (double tw : {0.5, 1.0}) {
+        HmmOptions options;
+        options.log_compress = compress;
+        options.emission_weight = ew;
+        options.transition_weight = tw;
+        ExpectNormalized(Build(options));
+      }
+    }
+  }
+}
+
+TEST_F(HmmOptionsTest, LogCompressFlattensPi) {
+  HmmOptions raw;
+  raw.log_compress = false;
+  HmmOptions compressed;
+  compressed.log_compress = true;
+  HmmModel a = Build(raw);
+  HmmModel b = Build(compressed);
+  // Compression shrinks the ratio between the largest and smallest π.
+  auto ratio = [](const std::vector<double>& pi) {
+    double lo = 1e300, hi = 0;
+    for (double p : pi) {
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+    return hi / lo;
+  };
+  EXPECT_LT(ratio(b.pi), ratio(a.pi) + 1e-12);
+}
+
+TEST_F(HmmOptionsTest, EmissionWeightSharpensDistribution) {
+  HmmOptions flat;
+  flat.emission_weight = 1.0;
+  HmmOptions sharp;
+  sharp.emission_weight = 3.0;
+  HmmModel a = Build(flat);
+  HmmModel b = Build(sharp);
+  // Max emission probability grows with the weight.
+  auto peak = [](const std::vector<double>& e) {
+    double hi = 0;
+    for (double x : e) hi = std::max(hi, x);
+    return hi;
+  };
+  EXPECT_GE(peak(b.emission[0]), peak(a.emission[0]) - 1e-12);
+}
+
+TEST_F(HmmOptionsTest, TransitionWeightBelowOneFlattensRows) {
+  HmmOptions plain;
+  plain.transition_weight = 1.0;
+  HmmOptions soft;
+  soft.transition_weight = 0.25;
+  HmmModel a = Build(plain);
+  HmmModel b = Build(soft);
+  auto spread = [](const std::vector<double>& row) {
+    double lo = 1e300, hi = 0;
+    for (double x : row) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    return hi - lo;
+  };
+  // Softened transitions are closer to uniform on the same row.
+  EXPECT_LE(spread(b.trans[0][0]), spread(a.trans[0][0]) + 1e-12);
+}
+
+TEST_F(HmmOptionsTest, PathScoreConsistentAcrossOptions) {
+  // Whatever the options, PathScore must equal the explicit product.
+  for (double ew : {1.0, 2.0}) {
+    HmmOptions options;
+    options.emission_weight = ew;
+    HmmModel model = Build(options);
+    std::vector<int> path = {1 % int(model.num_states(0)),
+                             2 % int(model.num_states(1))};
+    double expected = model.pi[path[0]] * model.emission[0][path[0]] *
+                      model.trans[0][path[0]][path[1]] *
+                      model.emission[1][path[1]];
+    EXPECT_NEAR(model.PathScore(path), expected, 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,143 @@
+#include "core/hmm.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class HmmTest : public ::testing::Test {
+ protected:
+  HmmTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+    stats_ = std::make_unique<GraphStats>(*graph_);
+
+    std::vector<TermId> all;
+    for (TermId t = 0; t < corpus_.vocab.size(); ++t) all.push_back(t);
+    similarity_ = SimilarityIndex::BuildFor(*graph_, *stats_, all);
+    closeness_ = ClosenessIndex::BuildFor(*graph_, all);
+  }
+
+  std::vector<std::vector<CandidateState>> CandidatesFor(
+      std::vector<TermId> query) {
+    CandidateBuilder builder(similarity_);
+    return builder.Build(query);
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<GraphStats> stats_;
+  SimilarityIndex similarity_;
+  ClosenessIndex closeness_;
+};
+
+TEST_F(HmmTest, DistributionsAreNormalized) {
+  auto candidates = CandidatesFor(
+      {corpus_.Title("uncertain"), corpus_.Title("query")});
+  HmmBuilder builder(closeness_, *stats_, *graph_);
+  HmmModel model = builder.Build(candidates);
+
+  ASSERT_EQ(model.num_positions(), 2u);
+  double pi_sum = std::accumulate(model.pi.begin(), model.pi.end(), 0.0);
+  EXPECT_NEAR(pi_sum, 1.0, 1e-9);
+  for (size_t c = 0; c < 2; ++c) {
+    double e_sum = std::accumulate(model.emission[c].begin(),
+                                   model.emission[c].end(), 0.0);
+    EXPECT_NEAR(e_sum, 1.0, 1e-9);
+  }
+  for (const auto& row : model.trans[0]) {
+    double sum = std::accumulate(row.begin(), row.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(HmmTest, PiFollowsFrequency) {
+  // π (Eq. 7) is proportional to term frequency: the frequent "uncertain"
+  // outweighs the rare "probabilistic" among first-position candidates.
+  auto candidates = CandidatesFor({corpus_.Title("uncertain")});
+  HmmBuilder builder(closeness_, *stats_, *graph_);
+  HmmModel model = builder.Build(candidates);
+  // Locate the original (uncertain, freq 2) and probabilistic (freq 1).
+  double pi_uncertain = -1, pi_prob = -1;
+  for (size_t i = 0; i < model.states[0].size(); ++i) {
+    if (model.states[0][i].term == corpus_.Title("uncertain")) {
+      pi_uncertain = model.pi[i];
+    }
+    if (model.states[0][i].term == corpus_.Title("probabilistic")) {
+      pi_prob = model.pi[i];
+    }
+  }
+  ASSERT_GE(pi_uncertain, 0.0);
+  if (pi_prob >= 0.0) EXPECT_GT(pi_uncertain, pi_prob);
+}
+
+TEST_F(HmmTest, EmissionOrderFollowsSimilarity) {
+  auto candidates = CandidatesFor({corpus_.Title("uncertain")});
+  HmmBuilder builder(closeness_, *stats_, *graph_);
+  HmmModel model = builder.Build(candidates);
+  // States come ordered by similarity (original first); smoothing must
+  // preserve that order within the emission vector.
+  for (size_t i = 1; i < model.emission[0].size(); ++i) {
+    EXPECT_GE(model.emission[0][i - 1], model.emission[0][i] - 1e-12);
+  }
+}
+
+TEST_F(HmmTest, SmoothingLiftsZeroTransitions) {
+  auto candidates = CandidatesFor(
+      {corpus_.Title("uncertain"), corpus_.Title("pattern")});
+  HmmOptions options;
+  options.smoothing.lambda = 0.8;
+  HmmBuilder builder(closeness_, *stats_, *graph_, options);
+  HmmModel model = builder.Build(candidates);
+  // Every transition is strictly positive post-smoothing+normalization
+  // (rows that had any mass get the mean share; empty rows go uniform).
+  for (const auto& row : model.trans[0]) {
+    for (double v : row) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST_F(HmmTest, PathScoreMultipliesComponents) {
+  auto candidates = CandidatesFor(
+      {corpus_.Title("uncertain"), corpus_.Title("query")});
+  HmmBuilder builder(closeness_, *stats_, *graph_);
+  HmmModel model = builder.Build(candidates);
+  std::vector<int> path = {0, 0};
+  double expected = model.pi[0] * model.emission[0][0] *
+                    model.trans[0][0][0] * model.emission[1][0];
+  EXPECT_NEAR(model.PathScore(path), expected, 1e-15);
+}
+
+TEST_F(HmmTest, VoidStatesGetTransitionMass) {
+  CandidateOptions copt;
+  copt.include_void = true;
+  CandidateBuilder cbuilder(similarity_, copt);
+  auto candidates = cbuilder.Build(
+      {corpus_.Title("uncertain"), corpus_.Title("query")});
+  HmmBuilder builder(closeness_, *stats_, *graph_);
+  HmmModel model = builder.Build(candidates);
+  // The void state is the last at each position; its row must be a valid
+  // distribution.
+  const auto& void_row = model.trans[0].back();
+  double sum = std::accumulate(void_row.begin(), void_row.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(HmmTest, EmptyCandidatesGiveEmptyModel) {
+  HmmBuilder builder(closeness_, *stats_, *graph_);
+  HmmModel model = builder.Build({});
+  EXPECT_EQ(model.num_positions(), 0u);
+}
+
+}  // namespace
+}  // namespace kqr

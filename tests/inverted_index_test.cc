@@ -1,0 +1,120 @@
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+TEST(InvertedIndex, RegistersAllTextFields) {
+  MicroCorpus c = MicroCorpus::Make();
+  EXPECT_TRUE(c.vocab.FindField("venues", "name").has_value());
+  EXPECT_TRUE(c.vocab.FindField("authors", "name").has_value());
+  EXPECT_TRUE(c.vocab.FindField("papers", "title").has_value());
+  // writes has no text columns.
+  EXPECT_FALSE(c.vocab.FindField("writes", "write_id").has_value());
+}
+
+TEST(InvertedIndex, PostingsForSharedTerm) {
+  MicroCorpus c = MicroCorpus::Make();
+  // "uncertain" appears in p0 and p3.
+  TermId t = c.Title("uncertain");
+  const auto& postings = c.index.Lookup(t);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0].tuple.table, 2);  // papers is the 3rd table
+  EXPECT_EQ(postings[0].tuple.row, 0u);
+  EXPECT_EQ(postings[1].tuple.row, 3u);
+  EXPECT_EQ(c.index.DocFreq(t), 2u);
+  EXPECT_EQ(c.index.TotalFreq(t), 2u);
+}
+
+TEST(InvertedIndex, SingleOccurrenceTerm) {
+  MicroCorpus c = MicroCorpus::Make();
+  TermId t = c.Title("probabilistic");
+  EXPECT_EQ(c.index.DocFreq(t), 1u);
+}
+
+TEST(InvertedIndex, AtomicTermsIndexed) {
+  MicroCorpus c = MicroCorpus::Make();
+  TermId alice = c.Author("alice smith");
+  const auto& postings = c.index.Lookup(alice);
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].tuple.table, 1);  // authors table
+  EXPECT_EQ(postings[0].tuple.row, 0u);
+}
+
+TEST(InvertedIndex, QueryIsStemmedIntoVocabulary) {
+  MicroCorpus c = MicroCorpus::Make();
+  // "query" stems to "queri"; appears in p0 and p1.
+  EXPECT_EQ(c.index.DocFreq(c.Title("query")), 2u);
+}
+
+TEST(InvertedIndex, UnknownTermEmpty) {
+  MicroCorpus c = MicroCorpus::Make();
+  EXPECT_TRUE(c.index.Lookup(999999).empty());
+  EXPECT_TRUE(c.index.Lookup(kInvalidTermId).empty());
+  EXPECT_EQ(c.index.TotalFreq(kInvalidTermId), 0u);
+}
+
+TEST(InvertedIndex, CorpusCounters) {
+  MicroCorpus c = MicroCorpus::Make();
+  // Tables with text columns: venues(2) + authors(3) + papers(4) = 9.
+  EXPECT_EQ(c.index.num_corpus_tuples(), 9u);
+  EXPECT_EQ(c.index.num_indexed_tuples(), 9u);
+  EXPECT_GT(c.index.num_terms(), 0u);
+}
+
+TEST(InvertedIndex, TermFrequencyCounted) {
+  Database db("tf");
+  auto schema = Schema::Make(
+      "docs",
+      {Column("id", ValueType::kInt64),
+       Column("body", ValueType::kString, TextRole::kSegmented)},
+      "id");
+  ASSERT_TRUE(schema.ok());
+  Table* docs = *db.CreateTable(std::move(*schema));
+  ASSERT_TRUE(
+      docs->Insert({Value(int64_t{0}), Value("graph graph graph walk")})
+          .ok());
+  Analyzer analyzer;
+  Vocabulary vocab;
+  auto index = InvertedIndex::Build(db, analyzer, &vocab);
+  ASSERT_TRUE(index.ok());
+  FieldId f = *vocab.FindField("docs", "body");
+  TermId graph = *vocab.Find(f, "graph");
+  ASSERT_EQ(index->Lookup(graph).size(), 1u);
+  EXPECT_EQ(index->Lookup(graph)[0].freq, 3u);
+  EXPECT_EQ(index->TotalFreq(graph), 3u);
+}
+
+TEST(InvertedIndex, NullCellsSkipped) {
+  Database db("nulls");
+  auto schema = Schema::Make(
+      "docs",
+      {Column("id", ValueType::kInt64),
+       Column("body", ValueType::kString, TextRole::kSegmented)},
+      "id");
+  ASSERT_TRUE(schema.ok());
+  Table* docs = *db.CreateTable(std::move(*schema));
+  ASSERT_TRUE(docs->Insert({Value(int64_t{0}), Value::Null()}).ok());
+  Analyzer analyzer;
+  Vocabulary vocab;
+  auto index = InvertedIndex::Build(db, analyzer, &vocab);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_indexed_tuples(), 0u);
+  EXPECT_EQ(index->num_corpus_tuples(), 1u);
+  EXPECT_EQ(vocab.size(), 0u);
+}
+
+TEST(InvertedIndex, NullVocabRejected) {
+  Database db("x");
+  Analyzer analyzer;
+  auto index = InvertedIndex::Build(db, analyzer, nullptr);
+  EXPECT_TRUE(index.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,132 @@
+// Unit tests for the intent-based judging logic (QueryIntent majority
+// vote and its interaction with IsRelevant) on a corpus with known
+// ground truth.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "eval/experiment.h"
+#include "eval/judge.h"
+
+namespace kqr {
+namespace {
+
+class JudgeIntentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpOptions dblp;
+    dblp.num_authors = 200;
+    dblp.num_papers = 800;
+    dblp.num_venues = 24;
+    auto ctx = MakeDblpContext(dblp);
+    KQR_CHECK(ctx.ok());
+    ctx_ = new ExperimentContext(std::move(*ctx));
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    ctx_ = nullptr;
+  }
+
+  TermId Title(const std::string& word) {
+    auto terms = ctx_->engine->ResolveQuery(word);
+    KQR_CHECK(terms.ok()) << word;
+    return (*terms)[0];
+  }
+
+  static ExperimentContext* ctx_;
+};
+
+ExperimentContext* JudgeIntentTest::ctx_ = nullptr;
+
+TEST_F(JudgeIntentTest, IntentIsMajorityTopic) {
+  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  // "twig" and "xpath" are unambiguous semistructured-topic words; the
+  // majority topic must be theirs even with an ambiguous third term.
+  std::vector<TermId> query = {Title("twig"), Title("xpath"),
+                               Title("ranking")};
+  auto intent = judge.QueryIntent(query);
+  auto twig_topics = ctx_->corpus.TopicsOf("twig");
+  ASSERT_EQ(twig_topics.size(), 1u);
+  ASSERT_EQ(intent.size(), 1u);
+  EXPECT_EQ(intent[0], twig_topics[0]);
+}
+
+TEST_F(JudgeIntentTest, IntentOfEmptyQueryEmpty) {
+  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  EXPECT_TRUE(judge.QueryIntent({}).empty());
+  EXPECT_TRUE(judge.QueryIntent({kInvalidTermId}).empty());
+}
+
+TEST_F(JudgeIntentTest, SubstituteInsideIntentIsRelevant) {
+  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  std::vector<TermId> query = {Title("twig"), Title("xpath")};
+  ReformulatedQuery suggestion;
+  suggestion.terms = {Title("xquery"), Title("xpath")};
+  EXPECT_TRUE(judge.IsRelevant(query, suggestion));
+}
+
+TEST_F(JudgeIntentTest, SubstituteOutsideIntentIsIrrelevant) {
+  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  std::vector<TermId> query = {Title("twig"), Title("xpath")};
+  // A mining-topic word is outside the semistructured intent.
+  ReformulatedQuery suggestion;
+  suggestion.terms = {Title("itemset"), Title("xpath")};
+  EXPECT_FALSE(judge.IsRelevant(query, suggestion));
+}
+
+TEST_F(JudgeIntentTest, KeepingOriginalAlwaysAcceptable) {
+  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  std::vector<TermId> query = {Title("twig"), Title("ranking")};
+  // "ranking" is multi-topic; keeping it must not fail alignment even if
+  // the intent resolves elsewhere.
+  ReformulatedQuery suggestion;
+  suggestion.terms = {Title("xpath"), Title("ranking")};
+  JudgeOptions lax;
+  lax.require_cohesion = false;
+  TopicJudge lax_judge(ctx_->corpus, *ctx_->engine, lax);
+  EXPECT_TRUE(lax_judge.IsRelevant(query, suggestion));
+}
+
+TEST_F(JudgeIntentTest, GenericSubstituteIsIrrelevant) {
+  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  std::vector<TermId> query = {Title("twig"), Title("xpath")};
+  // Generic filler belongs to no topic — substituting it must fail.
+  auto generic = ctx_->engine->ResolveQuery("efficient");
+  if (!generic.ok()) GTEST_SKIP() << "generic word not in corpus";
+  ReformulatedQuery suggestion;
+  suggestion.terms = {(*generic)[0], Title("xpath")};
+  EXPECT_FALSE(judge.IsRelevant(query, suggestion));
+}
+
+TEST_F(JudgeIntentTest, PerPositionModeStillAvailable) {
+  JudgeOptions options;
+  options.use_query_intent = false;
+  options.require_cohesion = false;
+  TopicJudge judge(ctx_->corpus, *ctx_->engine, options);
+  std::vector<TermId> query = {Title("twig"), Title("itemset")};
+  // Per-position: each substitute judged against its own slot.
+  ReformulatedQuery ok_suggestion;
+  ok_suggestion.terms = {Title("xpath"), Title("frequent")};
+  EXPECT_TRUE(judge.IsRelevant(query, ok_suggestion));
+  ReformulatedQuery crossed;
+  crossed.terms = {Title("frequent"), Title("xpath")};
+  EXPECT_FALSE(judge.IsRelevant(query, crossed));
+}
+
+TEST_F(JudgeIntentTest, MinAlignedFractionRelaxes) {
+  JudgeOptions options;
+  options.min_aligned_fraction = 0.5;
+  options.require_cohesion = false;
+  TopicJudge judge(ctx_->corpus, *ctx_->engine, options);
+  std::vector<TermId> query = {Title("twig"), Title("xpath")};
+  ReformulatedQuery half_good;
+  half_good.terms = {Title("xquery"), Title("itemset")};
+  EXPECT_TRUE(judge.IsRelevant(query, half_good));
+  JudgeOptions strict;
+  strict.require_cohesion = false;
+  TopicJudge strict_judge(ctx_->corpus, *ctx_->engine, strict);
+  EXPECT_FALSE(strict_judge.IsRelevant(query, half_good));
+}
+
+}  // namespace
+}  // namespace kqr

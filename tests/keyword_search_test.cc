@@ -1,0 +1,142 @@
+#include "search/keyword_search.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class KeywordSearchTest : public ::testing::Test {
+ protected:
+  KeywordSearchTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+    search_ = std::make_unique<KeywordSearch>(*graph_, corpus_.index);
+  }
+
+  KeywordQuery QueryOf(std::vector<TermId> terms) {
+    KeywordQuery q;
+    for (TermId t : terms) {
+      q.keywords.push_back(
+          QueryKeyword{corpus_.vocab.text(t), {t}});
+    }
+    return q;
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<KeywordSearch> search_;
+};
+
+TEST_F(KeywordSearchTest, SingleKeywordFindsContainingTuples) {
+  SearchOutcome out =
+      search_->Search(QueryOf({corpus_.Title("uncertain")}));
+  // "uncertain" is in p0 and p3; roots reachable within the radius also
+  // connect, but the matching papers themselves must rank first.
+  ASSERT_GE(out.total_results, 2u);
+  ASSERT_FALSE(out.results.empty());
+  EXPECT_DOUBLE_EQ(out.results[0].score, 1.0);  // distance 0 root
+}
+
+TEST_F(KeywordSearchTest, TwoCooccurringKeywordsShareRoot) {
+  SearchOutcome out = search_->Search(
+      QueryOf({corpus_.Title("uncertain"), corpus_.Title("query")}));
+  ASSERT_GT(out.total_results, 0u);
+  // p0 contains both → a perfect root with score 1.
+  EXPECT_DOUBLE_EQ(out.results[0].score, 1.0);
+  EXPECT_EQ(out.results[0].paths.size(), 2u);
+}
+
+TEST_F(KeywordSearchTest, IndirectConnectionFound) {
+  // "uncertain" (p0/p3) and "probabilistic" (p1) connect through venue v0.
+  SearchOutcome out = search_->Search(QueryOf(
+      {corpus_.Title("uncertain"), corpus_.Title("probabilistic")}));
+  EXPECT_GT(out.total_results, 0u);
+  ASSERT_FALSE(out.results.empty());
+  EXPECT_LT(out.results[0].score, 1.0);  // no single tuple holds both
+}
+
+TEST_F(KeywordSearchTest, AuthorPlusTopicQuery) {
+  SearchOutcome out = search_->Search(QueryOf(
+      {corpus_.Author("alice smith"), corpus_.Title("mining")}));
+  // Alice wrote p3 ("uncertain mining").
+  EXPECT_GT(out.total_results, 0u);
+}
+
+TEST_F(KeywordSearchTest, UnmatchedKeywordYieldsNoResults) {
+  KeywordQuery q = QueryOf({corpus_.Title("uncertain")});
+  q.keywords.push_back(QueryKeyword{"ghost", {}});
+  SearchOutcome out = search_->Search(q);
+  EXPECT_EQ(out.total_results, 0u);
+  EXPECT_TRUE(out.results.empty());
+}
+
+TEST_F(KeywordSearchTest, EmptyQueryYieldsNothing) {
+  SearchOutcome out = search_->Search(KeywordQuery{});
+  EXPECT_EQ(out.total_results, 0u);
+}
+
+TEST_F(KeywordSearchTest, CountMatchesSearchTotal) {
+  KeywordQuery q =
+      QueryOf({corpus_.Title("uncertain"), corpus_.Title("query")});
+  EXPECT_EQ(search_->CountResults(q), search_->Search(q).total_results);
+}
+
+TEST_F(KeywordSearchTest, RadiusZeroRequiresSameTuple) {
+  SearchOptions options;
+  options.max_radius = 0;
+  KeywordSearch tight(*graph_, corpus_.index, options);
+  EXPECT_GT(tight.CountResults(QueryOf({corpus_.Title("uncertain"),
+                                        corpus_.Title("query")})),
+            0u);
+  EXPECT_EQ(tight.CountResults(QueryOf({corpus_.Title("uncertain"),
+                                        corpus_.Title("probabilistic")})),
+            0u);
+}
+
+TEST_F(KeywordSearchTest, LargerRadiusFindsAtLeastAsMuch) {
+  KeywordQuery q = QueryOf(
+      {corpus_.Title("uncertain"), corpus_.Title("probabilistic")});
+  size_t counts[4];
+  for (size_t r = 0; r < 4; ++r) {
+    SearchOptions options;
+    options.max_radius = r;
+    counts[r] = KeywordSearch(*graph_, corpus_.index, options)
+                    .CountResults(q);
+  }
+  for (size_t r = 1; r < 4; ++r) EXPECT_GE(counts[r], counts[r - 1]);
+}
+
+TEST_F(KeywordSearchTest, TopKBoundsMaterializedResults) {
+  SearchOptions options;
+  options.top_k = 1;
+  KeywordSearch limited(*graph_, corpus_.index, options);
+  SearchOutcome out =
+      limited.Search(QueryOf({corpus_.Title("uncertain")}));
+  EXPECT_LE(out.results.size(), 1u);
+  EXPECT_GE(out.total_results, 2u);
+}
+
+TEST_F(KeywordSearchTest, PathsStartAtRoot) {
+  SearchOutcome out = search_->Search(QueryOf(
+      {corpus_.Title("uncertain"), corpus_.Title("probabilistic")}));
+  ASSERT_FALSE(out.results.empty());
+  const ResultTree& tree = out.results[0];
+  for (const auto& path : tree.paths) {
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), tree.root);
+  }
+  EXPECT_GT(tree.NumNodes(), 0u);
+  EXPECT_EQ(tree.TotalLength() > 0, tree.score < 1.0);
+  EXPECT_FALSE(tree.ToString(*graph_).empty());
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace kqr {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(Logging, SuppressedLevelsDoNotCrash) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  KQR_LOG(Debug) << "below threshold " << 42;
+  KQR_LOG(Info) << "also below threshold";
+  SetLogLevel(before);
+}
+
+TEST(Logging, CheckPassesOnTrue) {
+  KQR_CHECK(1 + 1 == 2) << "never printed";
+  KQR_CHECK_OK(Status::OK());
+}
+
+TEST(Logging, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ KQR_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(Logging, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ KQR_CHECK_OK(Status::Internal("bad")); }, "Internal");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  // Burn a bit of CPU deterministically.
+  volatile double x = 1.0;
+  for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+  double first = t.ElapsedSeconds();
+  EXPECT_GT(first, 0.0);
+  EXPECT_GE(t.ElapsedSeconds(), first);
+  EXPECT_NEAR(t.ElapsedMillis(), t.ElapsedSeconds() * 1e3,
+              t.ElapsedSeconds() * 1e3);  // loose self-consistency
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  volatile double x = 1.0;
+  for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+  double before = t.ElapsedSeconds();
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), before + 1.0);  // sanity
+}
+
+}  // namespace
+}  // namespace kqr

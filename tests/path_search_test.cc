@@ -1,0 +1,155 @@
+#include "closeness/path_search.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class PathSearchTest : public ::testing::Test {
+ protected:
+  PathSearchTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+  }
+
+  const ReachedNode* Find(const std::vector<ReachedNode>& reached,
+                          NodeId node) {
+    for (const ReachedNode& r : reached) {
+      if (r.node == node) return &r;
+    }
+    return nullptr;
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+};
+
+TEST_F(PathSearchTest, DirectNeighborsAtDistanceOne) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  auto reached = SearchPaths(*graph_, start);
+  NodeId p0 = graph_->NodeOfTuple({2, 0});
+  const ReachedNode* r = Find(reached, p0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->shortest, 1u);
+}
+
+TEST_F(PathSearchTest, StartNeverReported) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  auto reached = SearchPaths(*graph_, start);
+  EXPECT_EQ(Find(reached, start), nullptr);
+}
+
+TEST_F(PathSearchTest, SameTitleTermsAtDistanceTwo) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  auto reached = SearchPaths(*graph_, start);
+  NodeId query = graph_->NodeOfTerm(corpus_.Title("query"));
+  const ReachedNode* r = Find(reached, query);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->shortest, 2u);
+  EXPECT_GT(r->closeness, 0.0);
+}
+
+TEST_F(PathSearchTest, CrossPaperTermsAtDistanceFour) {
+  // "uncertain" (p0,p3) and "probabilistic" (p1) connect via the shared
+  // "query" term or venue v0: shortest path length 4.
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  auto reached = SearchPaths(*graph_, start);
+  NodeId prob = graph_->NodeOfTerm(corpus_.Title("probabilistic"));
+  const ReachedNode* r = Find(reached, prob);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->shortest, 4u);
+}
+
+TEST_F(PathSearchTest, MaxLengthBoundsReach) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  PathSearchOptions options;
+  options.max_length = 1;
+  auto reached = SearchPaths(*graph_, start, options);
+  for (const ReachedNode& r : reached) {
+    EXPECT_EQ(r.shortest, 1u);
+    EXPECT_EQ(graph_->KindOf(r.node), NodeKind::kTuple);
+  }
+}
+
+TEST_F(PathSearchTest, ClosenessAccumulatesAcrossLengths) {
+  // More/shorter paths ⇒ larger closeness. "query" (2 shared-tuple paths
+  // to uncertain at len 2... actually one per shared paper) vs
+  // "probabilistic" (len-4 paths only).
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  auto reached = SearchPaths(*graph_, start);
+  const ReachedNode* query =
+      Find(reached, graph_->NodeOfTerm(corpus_.Title("query")));
+  const ReachedNode* prob =
+      Find(reached, graph_->NodeOfTerm(corpus_.Title("probabilistic")));
+  ASSERT_NE(query, nullptr);
+  ASSERT_NE(prob, nullptr);
+  EXPECT_GT(query->closeness, prob->closeness);
+}
+
+TEST_F(PathSearchTest, ResultsSortedByCloseness) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("query"));
+  auto reached = SearchPaths(*graph_, start);
+  for (size_t i = 1; i < reached.size(); ++i) {
+    EXPECT_GE(reached[i - 1].closeness, reached[i].closeness);
+  }
+}
+
+TEST_F(PathSearchTest, BeamPruningLimitsFrontier) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  PathSearchOptions tight;
+  tight.beam_width = 2;
+  auto pruned = SearchPaths(*graph_, start, tight);
+  PathSearchOptions loose;
+  loose.beam_width = 0;
+  auto full = SearchPaths(*graph_, start, loose);
+  EXPECT_LE(pruned.size(), full.size());
+  EXPECT_FALSE(full.empty());
+}
+
+TEST_F(PathSearchTest, WeightedCountsUseEdgeWeights) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  PathSearchOptions weighted;
+  weighted.weighted = true;
+  auto reached = SearchPaths(*graph_, start, weighted);
+  EXPECT_FALSE(reached.empty());
+}
+
+TEST_F(PathSearchTest, ShortestDistanceBasics) {
+  NodeId u = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  NodeId q = graph_->NodeOfTerm(corpus_.Title("query"));
+  NodeId p = graph_->NodeOfTerm(corpus_.Title("probabilistic"));
+  EXPECT_EQ(ShortestDistance(*graph_, u, u, 8), 0);
+  EXPECT_EQ(ShortestDistance(*graph_, u, q, 8), 2);
+  EXPECT_EQ(ShortestDistance(*graph_, u, p, 8), 4);
+  // Symmetric.
+  EXPECT_EQ(ShortestDistance(*graph_, q, u, 8), 2);
+}
+
+TEST_F(PathSearchTest, ShortestDistanceRespectsCap) {
+  NodeId u = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  NodeId p = graph_->NodeOfTerm(corpus_.Title("probabilistic"));
+  EXPECT_LT(ShortestDistance(*graph_, u, p, 3), 0);  // needs 4
+}
+
+TEST_F(PathSearchTest, UnreachableIsNegative) {
+  TatBuilderOptions options;
+  options.max_doc_frequency_fraction = 0.12;
+  auto graph =
+      BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index, options);
+  ASSERT_TRUE(graph.ok());
+  NodeId isolated = graph->NodeOfTerm(corpus_.Title("uncertain"));
+  NodeId other = graph->NodeOfTerm(corpus_.Title("probabilistic"));
+  EXPECT_LT(ShortestDistance(*graph, isolated, other, 8), 0);
+  EXPECT_TRUE(SearchPaths(*graph, isolated).empty());
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,137 @@
+#include "text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace kqr {
+namespace {
+
+// Known vectors from Porter's paper and the reference implementation.
+struct Vector {
+  const char* in;
+  const char* out;
+};
+
+class PorterVectors : public ::testing::TestWithParam<Vector> {};
+
+TEST_P(PorterVectors, StemsToReference) {
+  PorterStemmer s;
+  EXPECT_EQ(s.Stem(GetParam().in), GetParam().out)
+      << "input: " << GetParam().in;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, PorterVectors,
+    ::testing::Values(Vector{"caresses", "caress"}, Vector{"ponies", "poni"},
+                      Vector{"caress", "caress"}, Vector{"cats", "cat"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, PorterVectors,
+    ::testing::Values(Vector{"feed", "feed"}, Vector{"agreed", "agre"},
+                      Vector{"plastered", "plaster"},
+                      Vector{"bled", "bled"}, Vector{"motoring", "motor"},
+                      Vector{"sing", "sing"}, Vector{"conflated", "conflat"},
+                      Vector{"troubled", "troubl"}, Vector{"sized", "size"},
+                      Vector{"hopping", "hop"}, Vector{"tanned", "tan"},
+                      Vector{"falling", "fall"}, Vector{"hissing", "hiss"},
+                      Vector{"fizzed", "fizz"}, Vector{"failing", "fail"},
+                      Vector{"filing", "file"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1c, PorterVectors,
+    ::testing::Values(Vector{"happy", "happi"}, Vector{"sky", "sky"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterVectors,
+    ::testing::Values(Vector{"relational", "relat"},
+                      Vector{"conditional", "condit"},
+                      Vector{"rational", "ration"},
+                      Vector{"valenci", "valenc"},
+                      Vector{"digitizer", "digit"},
+                      Vector{"operator", "oper"},
+                      Vector{"feudalism", "feudal"},
+                      Vector{"decisiveness", "decis"},
+                      Vector{"hopefulness", "hope"},
+                      Vector{"formaliti", "formal"},
+                      Vector{"sensitiviti", "sensit"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterVectors,
+    ::testing::Values(Vector{"triplicate", "triplic"},
+                      Vector{"formative", "form"},
+                      Vector{"formalize", "formal"},
+                      Vector{"electriciti", "electr"},
+                      Vector{"electrical", "electr"},
+                      Vector{"hopeful", "hope"}, Vector{"goodness", "good"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterVectors,
+    ::testing::Values(Vector{"revival", "reviv"},
+                      Vector{"allowance", "allow"},
+                      Vector{"inference", "infer"}, Vector{"airliner", "airlin"},
+                      Vector{"gyroscopic", "gyroscop"},
+                      Vector{"adjustable", "adjust"},
+                      Vector{"defensible", "defens"},
+                      Vector{"irritant", "irrit"},
+                      Vector{"replacement", "replac"},
+                      Vector{"adjustment", "adjust"},
+                      Vector{"dependent", "depend"},
+                      Vector{"adoption", "adopt"}, Vector{"homologou", "homolog"},
+                      Vector{"communism", "commun"},
+                      Vector{"activate", "activ"},
+                      Vector{"angulariti", "angular"},
+                      Vector{"homologous", "homolog"},
+                      Vector{"effective", "effect"},
+                      Vector{"bowdlerize", "bowdler"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterVectors,
+    ::testing::Values(Vector{"probate", "probat"}, Vector{"rate", "rate"},
+                      Vector{"cease", "ceas"}, Vector{"controll", "control"},
+                      Vector{"roll", "roll"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainWords, PorterVectors,
+    ::testing::Values(Vector{"probabilistic", "probabilist"},
+                      Vector{"indexing", "index"},
+                      Vector{"queries", "queri"},
+                      Vector{"clustering", "cluster"},
+                      Vector{"databases", "databas"},
+                      Vector{"mining", "mine"},
+                      Vector{"uncertain", "uncertain"},
+                      Vector{"xml", "xml"}));
+
+TEST(PorterStemmer, ShortWordsUnchanged) {
+  PorterStemmer s;
+  EXPECT_EQ(s.Stem("ab"), "ab");
+  EXPECT_EQ(s.Stem("a"), "a");
+  EXPECT_EQ(s.Stem(""), "");
+}
+
+TEST(PorterStemmer, NonLowercaseInputUnchanged) {
+  PorterStemmer s;
+  EXPECT_EQ(s.Stem("Running"), "Running");
+  EXPECT_EQ(s.Stem("web2"), "web2");
+}
+
+TEST(PorterStemmer, IdempotentOnItsOutputs) {
+  PorterStemmer s;
+  for (const char* w :
+       {"relational", "probabilistic", "clustering", "mining", "queries",
+        "effective", "happy", "generalization"}) {
+    std::string once = s.Stem(w);
+    std::string twice = s.Stem(once);
+    // Porter is not strictly idempotent in general, but for these common
+    // corpus words the fixed point is reached after one application.
+    EXPECT_EQ(once, twice) << w;
+  }
+}
+
+TEST(PorterStemmer, MergesInflectionFamilies) {
+  PorterStemmer s;
+  EXPECT_EQ(s.Stem("index"), s.Stem("indexing"));
+  EXPECT_EQ(s.Stem("cluster"), s.Stem("clustering"));
+  EXPECT_EQ(s.Stem("clusters"), s.Stem("clustering"));
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,154 @@
+// Focused tests of the contextual preference construction (Algorithm 1
+// lines 1–6): field grouping, idf weighting, self mass, truncation.
+
+#include "walk/preference.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class PreferenceTest : public ::testing::Test {
+ protected:
+  PreferenceTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+    stats_ = std::make_unique<GraphStats>(*graph_);
+  }
+
+  double WeightOf(const PreferenceVector& r, NodeId node) {
+    for (const auto& [n, w] : r.entries) {
+      if (n == node) return w;
+    }
+    return 0.0;
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<GraphStats> stats_;
+};
+
+TEST_F(PreferenceTest, BasicIsOneHot) {
+  PreferenceVector r = MakeBasicPreference(42);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].first, 42u);
+  EXPECT_DOUBLE_EQ(r.entries[0].second, 1.0);
+}
+
+TEST_F(PreferenceTest, NormalizeScalesToOne) {
+  PreferenceVector r;
+  r.entries = {{0, 2.0}, {1, 6.0}};
+  r.Normalize();
+  EXPECT_DOUBLE_EQ(r.entries[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(r.entries[1].second, 0.75);
+}
+
+TEST_F(PreferenceTest, NormalizeZeroVectorNoop) {
+  PreferenceVector r;
+  r.entries = {{0, 0.0}};
+  r.Normalize();
+  EXPECT_DOUBLE_EQ(r.entries[0].second, 0.0);
+}
+
+TEST_F(PreferenceTest, SelfWeightHonored) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  for (double self : {0.0, 0.2, 0.7}) {
+    ContextualPreferenceOptions options;
+    options.self_weight = self;
+    PreferenceVector r =
+        MakeContextualPreference(*graph_, *stats_, start, options);
+    EXPECT_NEAR(WeightOf(r, start), self, 1e-12) << "self=" << self;
+  }
+}
+
+TEST_F(PreferenceTest, ContextWeightsFollowEdgeWeightTimesIdf) {
+  // "query" appears once in p0 and once in p1 (equal edge weights), so
+  // the context split between the two papers follows their idf; the
+  // rarer-connected paper gets at least as much mass.
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("query"));
+  PreferenceVector r = MakeContextualPreference(*graph_, *stats_, start);
+  NodeId p0 = graph_->NodeOfTuple({2, 0});
+  NodeId p1 = graph_->NodeOfTuple({2, 1});
+  double w0 = WeightOf(r, p0);
+  double w1 = WeightOf(r, p1);
+  ASSERT_GT(w0, 0.0);
+  ASSERT_GT(w1, 0.0);
+  double idf0 = stats_->Idf(p0);
+  double idf1 = stats_->Idf(p1);
+  // Same field, same frequency ⇒ ratio of weights == ratio of idfs.
+  EXPECT_NEAR(w0 / w1, idf0 / idf1, 1e-9);
+}
+
+TEST_F(PreferenceTest, TupleContextSpansFields) {
+  // A tuple node's context mixes classes: its terms and FK neighbors.
+  NodeId paper = graph_->NodeOfTuple({2, 0});
+  PreferenceVector r = MakeContextualPreference(*graph_, *stats_, paper);
+  bool has_term = false, has_tuple = false;
+  for (const auto& [node, w] : r.entries) {
+    if (node == paper) continue;
+    if (graph_->KindOf(node) == NodeKind::kTerm) has_term = true;
+    if (graph_->KindOf(node) == NodeKind::kTuple) has_tuple = true;
+  }
+  EXPECT_TRUE(has_term);
+  EXPECT_TRUE(has_tuple);
+}
+
+TEST_F(PreferenceTest, FieldCardinalityDownweightsCrowdedFields) {
+  // For paper p0: its 3 title terms share one field (|F| = 3), its venue
+  // and writes are their own classes. Per-entry mass in the crowded
+  // field must reflect the 1/|F| factor: total title-term mass is
+  // comparable to a single venue-tuple's, not 3×.
+  NodeId paper = graph_->NodeOfTuple({2, 0});
+  ContextualPreferenceOptions options;
+  options.self_weight = 0.0;
+  PreferenceVector r =
+      MakeContextualPreference(*graph_, *stats_, paper, options);
+  double title_mass = 0.0;
+  size_t title_terms = 0;
+  for (const auto& [node, w] : r.entries) {
+    if (graph_->KindOf(node) == NodeKind::kTerm) {
+      title_mass += w;
+      ++title_terms;
+    }
+  }
+  ASSERT_EQ(title_terms, 3u);  // "uncertain data query"
+  // Without the 1/|F_i| factor title terms would hold ~3× the weight of
+  // each singleton-field neighbor; with it, they stay bounded.
+  EXPECT_LT(title_mass, 0.8);
+}
+
+TEST_F(PreferenceTest, MaxNodesPerFieldKeepsTopWeighted) {
+  NodeId paper = graph_->NodeOfTuple({2, 0});
+  ContextualPreferenceOptions unlimited;
+  unlimited.self_weight = 0.0;
+  PreferenceVector full =
+      MakeContextualPreference(*graph_, *stats_, paper, unlimited);
+
+  ContextualPreferenceOptions limited = unlimited;
+  limited.max_nodes_per_field = 1;
+  PreferenceVector truncated =
+      MakeContextualPreference(*graph_, *stats_, paper, limited);
+  EXPECT_LT(truncated.entries.size(), full.entries.size());
+
+  // Every retained node must be the max-weight representative of its
+  // class in the full vector.
+  for (const auto& [node, w] : truncated.entries) {
+    NodeClass cls = stats_->ClassOf(node);
+    for (const auto& [other, ow] : full.entries) {
+      if (stats_->ClassOf(other) != cls) continue;
+      EXPECT_GE(WeightOf(full, node), ow * (1.0 - 1e-9))
+          << "node " << node << " vs " << other;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,95 @@
+#include "search/query.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class QueryParserTest : public ::testing::Test {
+ protected:
+  QueryParserTest()
+      : corpus_(MicroCorpus::Make()),
+        parser_(corpus_.analyzer, corpus_.vocab) {}
+
+  MicroCorpus corpus_;
+  QueryParser parser_;
+};
+
+TEST_F(QueryParserTest, SingleTitleWordResolves) {
+  KeywordQuery q = parser_.Parse("uncertain");
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.keywords[0].resolved());
+  EXPECT_EQ(q.keywords[0].terms[0], corpus_.Title("uncertain"));
+  EXPECT_TRUE(q.FullyResolved());
+}
+
+TEST_F(QueryParserTest, InflectedFormResolvesViaStemming) {
+  KeywordQuery q = parser_.Parse("queries");
+  ASSERT_EQ(q.size(), 1u);
+  ASSERT_TRUE(q.keywords[0].resolved());
+  EXPECT_EQ(q.keywords[0].terms[0], corpus_.Title("query"));
+}
+
+TEST_F(QueryParserTest, MultiWordAuthorNameGreedyMatch) {
+  KeywordQuery q = parser_.Parse("alice smith uncertain");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.keywords[0].surface, "alice smith");
+  ASSERT_TRUE(q.keywords[0].resolved());
+  EXPECT_EQ(q.keywords[0].terms[0], corpus_.Author("alice smith"));
+  EXPECT_EQ(q.keywords[1].terms[0], corpus_.Title("uncertain"));
+}
+
+TEST_F(QueryParserTest, CaseInsensitiveAtomMatch) {
+  KeywordQuery q = parser_.Parse("Alice Smith");
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.keywords[0].resolved());
+}
+
+TEST_F(QueryParserTest, VenueNameResolves) {
+  KeywordQuery q = parser_.Parse("vldb mining");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.keywords[0].terms[0], corpus_.Venue("vldb"));
+  EXPECT_EQ(q.keywords[1].terms[0], corpus_.Title("mining"));
+}
+
+TEST_F(QueryParserTest, UnknownKeywordUnresolved) {
+  KeywordQuery q = parser_.Parse("blockchain uncertain");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.keywords[0].resolved());
+  EXPECT_TRUE(q.keywords[1].resolved());
+  EXPECT_FALSE(q.FullyResolved());
+}
+
+TEST_F(QueryParserTest, EmptyQuery) {
+  KeywordQuery q = parser_.Parse("");
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.FullyResolved());
+}
+
+TEST_F(QueryParserTest, ToStringShowsKeywords) {
+  KeywordQuery q = parser_.Parse("uncertain query");
+  EXPECT_EQ(q.ToString(), "[uncertain] [query]");
+}
+
+TEST_F(QueryParserTest, SameTextInMultipleFieldsReturnsAll) {
+  // Add a venue literally named "uncertain" to create the ambiguity.
+  Database db = testing_fixtures::MakeMicroDblp();
+  Table* venues = db.FindTable("venues");
+  ASSERT_TRUE(
+      venues->Insert({Value(int64_t{2}), Value("uncertain")}).ok());
+  Analyzer analyzer;
+  Vocabulary vocab;
+  auto index = InvertedIndex::Build(db, analyzer, &vocab);
+  ASSERT_TRUE(index.ok());
+  QueryParser parser(analyzer, vocab);
+  KeywordQuery q = parser.Parse("uncertain");
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.keywords[0].terms.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,141 @@
+#include "walk/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/graph_stats.h"
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class RandomWalkTest : public ::testing::Test {
+ protected:
+  RandomWalkTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+};
+
+TEST_F(RandomWalkTest, ConvergesOnMicroGraph) {
+  RandomWalkEngine engine(*graph_);
+  PreferenceVector r = MakeBasicPreference(
+      graph_->NodeOfTerm(corpus_.Title("uncertain")));
+  RandomWalkResult result = engine.Run(r);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 1u);
+}
+
+TEST_F(RandomWalkTest, ScoresFormDistribution) {
+  RandomWalkEngine engine(*graph_);
+  PreferenceVector r = MakeBasicPreference(
+      graph_->NodeOfTerm(corpus_.Title("query")));
+  RandomWalkResult result = engine.Run(r);
+  double total = std::accumulate(result.scores.begin(),
+                                 result.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (double s : result.scores) EXPECT_GE(s, 0.0);
+}
+
+TEST_F(RandomWalkTest, StartNodeHasHighestScoreUnderOneHot) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  RandomWalkEngine engine(*graph_);
+  PreferenceVector r = MakeBasicPreference(start);
+  RandomWalkResult result = engine.Run(r);
+  for (NodeId v = 0; v < result.scores.size(); ++v) {
+    if (v == start) continue;
+    EXPECT_LE(result.scores[v], result.scores[start]);
+  }
+}
+
+TEST_F(RandomWalkTest, CloserNodesScoreHigher) {
+  // From "uncertain": its own papers (p0, p3) should outscore the
+  // unrelated paper p2's venue-mate terms.
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  RandomWalkEngine engine(*graph_);
+  PreferenceVector r = MakeBasicPreference(start);
+  RandomWalkResult result = engine.Run(r);
+  NodeId p0 = graph_->NodeOfTuple({2, 0});
+  NodeId p1 = graph_->NodeOfTuple({2, 1});
+  EXPECT_GT(result.scores[p0], result.scores[p1]);
+}
+
+TEST_F(RandomWalkTest, DampingOneNeverRestarts) {
+  RandomWalkOptions options;
+  options.damping = 1.0;
+  options.max_iterations = 200;
+  options.epsilon = 1e-10;
+  RandomWalkEngine engine(*graph_, options);
+  PreferenceVector r = MakeBasicPreference(
+      graph_->NodeOfTerm(corpus_.Title("uncertain")));
+  RandomWalkResult result = engine.Run(r);
+  // Mass is preserved even with no restart.
+  double total = std::accumulate(result.scores.begin(),
+                                 result.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST_F(RandomWalkTest, DampingZeroReturnsPreference) {
+  RandomWalkOptions options;
+  options.damping = 0.0;
+  RandomWalkEngine engine(*graph_, options);
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  PreferenceVector r = MakeBasicPreference(start);
+  RandomWalkResult result = engine.Run(r);
+  EXPECT_NEAR(result.scores[start], 1.0, 1e-9);
+}
+
+TEST_F(RandomWalkTest, MaxIterationsRespected) {
+  RandomWalkOptions options;
+  options.max_iterations = 3;
+  options.epsilon = 0.0;  // never converge by epsilon
+  RandomWalkEngine engine(*graph_, options);
+  PreferenceVector r = MakeBasicPreference(
+      graph_->NodeOfTerm(corpus_.Title("uncertain")));
+  RandomWalkResult result = engine.Run(r);
+  EXPECT_EQ(result.iterations, 3u);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(RandomWalk, EmptyGraph) {
+  Database db("empty");
+  Vocabulary vocab;
+  Analyzer analyzer;
+  auto index = InvertedIndex::Build(db, analyzer, &vocab);
+  ASSERT_TRUE(index.ok());
+  auto graph = BuildTatGraph(db, vocab, *index);
+  ASSERT_TRUE(graph.ok());
+  RandomWalkEngine engine(*graph);
+  RandomWalkResult result = engine.Run(PreferenceVector{});
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.scores.empty());
+}
+
+TEST_F(RandomWalkTest, DanglingMassRedistributed) {
+  // Build a graph where the start has an isolated companion: walk from an
+  // isolated node keeps all mass there via restart.
+  TatBuilderOptions options;
+  options.max_doc_frequency_fraction = 0.12;  // cuts df>=2 terms
+  auto graph =
+      BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index, options);
+  ASSERT_TRUE(graph.ok());
+  NodeId isolated = graph->NodeOfTerm(corpus_.Title("uncertain"));
+  ASSERT_EQ(graph->Degree(isolated), 0u);
+  RandomWalkEngine engine(*graph);
+  PreferenceVector r = MakeBasicPreference(isolated);
+  RandomWalkResult result = engine.Run(r);
+  EXPECT_NEAR(result.scores[isolated], 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace kqr

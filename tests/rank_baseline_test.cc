@@ -1,0 +1,97 @@
+#include "core/rank_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace kqr {
+namespace {
+
+std::vector<std::vector<CandidateState>> MakeCandidates(
+    std::vector<std::vector<double>> sims) {
+  std::vector<std::vector<CandidateState>> out;
+  TermId next = 0;
+  for (const auto& position : sims) {
+    std::vector<CandidateState> states;
+    for (double s : position) {
+      CandidateState c;
+      c.term = next++;
+      c.similarity = s;
+      states.push_back(c);
+    }
+    out.push_back(std::move(states));
+  }
+  return out;
+}
+
+TEST(RankBaseline, BestCombinationFirst) {
+  auto candidates = MakeCandidates({{0.9, 0.5}, {0.8, 0.7}});
+  auto result = RankBaselineTopK(candidates, 4);
+  ASSERT_EQ(result.size(), 4u);
+  EXPECT_NEAR(result[0].score, 0.72, 1e-12);  // 0.9 * 0.8
+  EXPECT_EQ(result[0].states, (std::vector<int>{0, 0}));
+}
+
+TEST(RankBaseline, ScoresDescend) {
+  auto candidates = MakeCandidates({{0.9, 0.5, 0.1}, {0.8, 0.7, 0.2}});
+  auto result = RankBaselineTopK(candidates, 9);
+  ASSERT_EQ(result.size(), 9u);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(result[i - 1].score, result[i].score);
+  }
+}
+
+TEST(RankBaseline, MatchesBruteForce) {
+  auto candidates =
+      MakeCandidates({{0.9, 0.45, 0.3}, {0.6, 0.5}, {0.8, 0.35, 0.2}});
+  auto result = RankBaselineTopK(candidates, 18);
+  // Brute force all 18 combinations.
+  std::vector<double> all;
+  for (double a : {0.9, 0.45, 0.3}) {
+    for (double b : {0.6, 0.5}) {
+      for (double c : {0.8, 0.35, 0.2}) all.push_back(a * b * c);
+    }
+  }
+  std::sort(all.rbegin(), all.rend());
+  ASSERT_EQ(result.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_NEAR(result[i].score, all[i], 1e-12) << "rank " << i;
+  }
+}
+
+TEST(RankBaseline, UnsortedInputHandled) {
+  // Candidates need not arrive sorted by similarity.
+  auto candidates = MakeCandidates({{0.1, 0.9, 0.5}});
+  auto result = RankBaselineTopK(candidates, 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].states[0], 1);  // index of 0.9 in original order
+  EXPECT_EQ(result[1].states[0], 2);
+  EXPECT_EQ(result[2].states[0], 0);
+}
+
+TEST(RankBaseline, KBoundsOutput) {
+  auto candidates = MakeCandidates({{0.9, 0.5}, {0.8, 0.7}});
+  EXPECT_EQ(RankBaselineTopK(candidates, 2).size(), 2u);
+  EXPECT_EQ(RankBaselineTopK(candidates, 100).size(), 4u);
+  EXPECT_TRUE(RankBaselineTopK(candidates, 0).empty());
+}
+
+TEST(RankBaseline, EmptyInputs) {
+  EXPECT_TRUE(RankBaselineTopK({}, 5).empty());
+  auto with_empty_position = MakeCandidates({{0.9}, {}});
+  EXPECT_TRUE(RankBaselineTopK(with_empty_position, 5).empty());
+}
+
+TEST(RankBaseline, DistinctCombinations) {
+  auto candidates = MakeCandidates({{0.5, 0.5}, {0.5, 0.5}});
+  auto result = RankBaselineTopK(candidates, 4);
+  ASSERT_EQ(result.size(), 4u);
+  for (size_t i = 0; i < result.size(); ++i) {
+    for (size_t j = i + 1; j < result.size(); ++j) {
+      EXPECT_NE(result[i].states, result[j].states);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kqr

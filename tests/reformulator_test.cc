@@ -1,0 +1,183 @@
+#include "core/reformulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class ReformulatorTest : public ::testing::Test {
+ protected:
+  ReformulatorTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+    stats_ = std::make_unique<GraphStats>(*graph_);
+    std::vector<TermId> all;
+    for (TermId t = 0; t < corpus_.vocab.size(); ++t) all.push_back(t);
+    similarity_ = SimilarityIndex::BuildFor(*graph_, *stats_, all);
+    closeness_ = ClosenessIndex::BuildFor(*graph_, all);
+  }
+
+  Reformulator Make(ReformulatorOptions options = {}) {
+    return Reformulator(similarity_, closeness_, *stats_, *graph_,
+                        options);
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<GraphStats> stats_;
+  SimilarityIndex similarity_;
+  ClosenessIndex closeness_;
+};
+
+TEST_F(ReformulatorTest, ProducesScoredQueries) {
+  Reformulator r = Make();
+  auto result = r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 5);
+  ASSERT_FALSE(result.empty());
+  for (const auto& q : result) {
+    EXPECT_EQ(q.terms.size(), 2u);
+    EXPECT_GT(q.score, 0.0);
+    EXPECT_FALSE(q.is_identity);
+  }
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(result[i - 1].score, result[i].score);
+  }
+}
+
+TEST_F(ReformulatorTest, IdentityDroppedByDefault) {
+  Reformulator r = Make();
+  auto result = r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 10);
+  for (const auto& q : result) {
+    EXPECT_FALSE(q.terms[0] == corpus_.Title("uncertain") &&
+                 q.terms[1] == corpus_.Title("query"));
+  }
+}
+
+TEST_F(ReformulatorTest, IdentityKeptWhenConfigured) {
+  ReformulatorOptions options;
+  options.drop_identity = false;
+  Reformulator r = Make(options);
+  auto result = r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 30);
+  bool saw_identity = false;
+  for (const auto& q : result) {
+    if (q.is_identity) saw_identity = true;
+  }
+  EXPECT_TRUE(saw_identity);
+}
+
+TEST_F(ReformulatorTest, AllAlgorithmsProduceResults) {
+  for (TopKAlgorithm algorithm :
+       {TopKAlgorithm::kExtendedViterbi, TopKAlgorithm::kViterbiAStar,
+        TopKAlgorithm::kRankBaseline}) {
+    ReformulatorOptions options;
+    options.algorithm = algorithm;
+    Reformulator r = Make(options);
+    auto result = r.Reformulate(
+        {corpus_.Title("uncertain"), corpus_.Title("query")}, 3);
+    EXPECT_FALSE(result.empty())
+        << "algorithm " << TopKAlgorithmName(algorithm);
+  }
+}
+
+TEST_F(ReformulatorTest, HmmAlgorithmsAgreeOnRanking) {
+  ReformulatorOptions viterbi_options;
+  viterbi_options.algorithm = TopKAlgorithm::kExtendedViterbi;
+  ReformulatorOptions astar_options;
+  astar_options.algorithm = TopKAlgorithm::kViterbiAStar;
+  auto a = Make(viterbi_options)
+               .Reformulate({corpus_.Title("uncertain"),
+                             corpus_.Title("query")},
+                            5);
+  auto b = Make(astar_options)
+               .Reformulate({corpus_.Title("uncertain"),
+                             corpus_.Title("query")},
+                            5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Scores must agree rank-for-rank; term sequences may swap between
+    // equal-score ties, so compare them as multisets.
+    EXPECT_NEAR(a[i].score, b[i].score, 1e-12);
+  }
+  auto key = [](const ReformulatedQuery& q) { return q.terms; };
+  std::vector<std::vector<TermId>> ta, tb;
+  for (const auto& q : a) ta.push_back(key(q));
+  for (const auto& q : b) tb.push_back(key(q));
+  std::sort(ta.begin(), ta.end());
+  std::sort(tb.begin(), tb.end());
+  EXPECT_EQ(ta, tb);
+}
+
+TEST_F(ReformulatorTest, TimingsPopulated) {
+  Reformulator r = Make();
+  ReformulationTimings timings;
+  r.Reformulate({corpus_.Title("uncertain"), corpus_.Title("query")}, 5,
+                &timings);
+  EXPECT_GE(timings.candidate_seconds, 0.0);
+  EXPECT_GE(timings.model_seconds, 0.0);
+  EXPECT_GE(timings.decode_seconds, 0.0);
+  EXPECT_GT(timings.TotalSeconds(), 0.0);
+}
+
+TEST_F(ReformulatorTest, KBoundsResults) {
+  Reformulator r = Make();
+  auto result = r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 2);
+  EXPECT_LE(result.size(), 2u);
+}
+
+TEST_F(ReformulatorTest, EmptyQueryOrZeroK) {
+  Reformulator r = Make();
+  EXPECT_TRUE(r.Reformulate({}, 5).empty());
+  EXPECT_TRUE(
+      r.Reformulate({corpus_.Title("uncertain")}, 0).empty());
+}
+
+TEST_F(ReformulatorTest, SingleKeywordQuery) {
+  Reformulator r = Make();
+  auto result = r.Reformulate({corpus_.Title("uncertain")}, 3);
+  ASSERT_FALSE(result.empty());
+  // Substitutes must come from the similar list — same field class.
+  for (const auto& q : result) {
+    ASSERT_EQ(q.terms.size(), 1u);
+    EXPECT_NE(q.terms[0], corpus_.Title("uncertain"));
+  }
+}
+
+TEST_F(ReformulatorTest, VoidStateCanDeleteTerms) {
+  ReformulatorOptions options;
+  options.candidates.include_void = true;
+  options.candidates.void_similarity = 10.0;  // force deletions up
+  Reformulator r = Make(options);
+  auto result = r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 20);
+  bool saw_void = false;
+  for (const auto& q : result) {
+    for (TermId t : q.terms) {
+      if (t == kInvalidTermId) saw_void = true;
+    }
+  }
+  EXPECT_TRUE(saw_void);
+}
+
+TEST_F(ReformulatorTest, ToStringRendersTerms) {
+  ReformulatedQuery q;
+  q.terms = {corpus_.Title("uncertain"), kInvalidTermId};
+  std::string s = q.ToString(corpus_.vocab);
+  EXPECT_NE(s.find("uncertain"), std::string::npos);
+  EXPECT_NE(s.find("∅"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,119 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace kqr {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(Rng, NextBoundedCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.NextBounded(5)];
+  for (int count : seen) EXPECT_GT(count, 100);  // roughly uniform
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, SampleWeightedRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 9.0, 1.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.SampleWeighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(Rng, SampleWeightedAllZeroReturnsLast) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.SampleWeighted(weights), 2u);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(23);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextZipf(20, 1.0)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[19]);
+  // Every rank should still be reachable.
+  int total = std::accumulate(counts.begin(), counts.end(), 0);
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(Rng, ZipfSingleElement) {
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextZipf(1, 1.0), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 5);
+}
+
+}  // namespace
+}  // namespace kqr

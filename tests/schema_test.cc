@@ -1,0 +1,128 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace kqr {
+namespace {
+
+Schema MakeValid() {
+  auto s = Schema::Make(
+      "papers",
+      {Column("paper_id", ValueType::kInt64),
+       Column("title", ValueType::kString, TextRole::kSegmented),
+       Column("venue_id", ValueType::kInt64)},
+      "paper_id", {ForeignKey{"venue_id", "venues"}});
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(s).ValueOrDie();
+}
+
+TEST(Schema, MakeValidSchema) {
+  Schema s = MakeValid();
+  EXPECT_EQ(s.table_name(), "papers");
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.primary_key(), "paper_id");
+  EXPECT_EQ(s.primary_key_index(), 0u);
+  ASSERT_EQ(s.foreign_keys().size(), 1u);
+  EXPECT_EQ(s.foreign_keys()[0].parent_table, "venues");
+}
+
+TEST(Schema, FindColumn) {
+  Schema s = MakeValid();
+  EXPECT_EQ(*s.FindColumn("title"), 1u);
+  EXPECT_FALSE(s.FindColumn("nope").has_value());
+}
+
+TEST(Schema, TextColumns) {
+  Schema s = MakeValid();
+  auto text = s.TextColumns();
+  ASSERT_EQ(text.size(), 1u);
+  EXPECT_EQ(text[0], 1u);
+}
+
+TEST(Schema, RejectsEmptyTableName) {
+  auto s = Schema::Make("", {Column("id", ValueType::kInt64)}, "id");
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsNoColumns) {
+  auto s = Schema::Make("t", {}, "id");
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsDuplicateColumn) {
+  auto s = Schema::Make("t",
+                        {Column("id", ValueType::kInt64),
+                         Column("id", ValueType::kString)},
+                        "id");
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsMissingPrimaryKey) {
+  auto s = Schema::Make("t", {Column("a", ValueType::kInt64)}, "id");
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsNonIntPrimaryKey) {
+  auto s = Schema::Make("t", {Column("id", ValueType::kString)}, "id");
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsTextRoleOnNonString) {
+  auto s = Schema::Make(
+      "t",
+      {Column("id", ValueType::kInt64),
+       Column("n", ValueType::kInt64, TextRole::kSegmented)},
+      "id");
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsUnknownFkColumn) {
+  auto s = Schema::Make("t", {Column("id", ValueType::kInt64)}, "id",
+                        {ForeignKey{"ghost", "other"}});
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsNonIntFkColumn) {
+  auto s = Schema::Make("t",
+                        {Column("id", ValueType::kInt64),
+                         Column("ref", ValueType::kString)},
+                        "id", {ForeignKey{"ref", "other"}});
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(Schema, ValidateRowAcceptsMatching) {
+  Schema s = MakeValid();
+  EXPECT_TRUE(
+      s.ValidateRow({Value(int64_t{1}), Value("t"), Value(int64_t{2})})
+          .ok());
+}
+
+TEST(Schema, ValidateRowAcceptsNullNonPk) {
+  Schema s = MakeValid();
+  EXPECT_TRUE(
+      s.ValidateRow({Value(int64_t{1}), Value::Null(), Value::Null()})
+          .ok());
+}
+
+TEST(Schema, ValidateRowRejectsNullPk) {
+  Schema s = MakeValid();
+  Status st =
+      s.ValidateRow({Value::Null(), Value("t"), Value(int64_t{2})});
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(Schema, ValidateRowRejectsArityMismatch) {
+  Schema s = MakeValid();
+  EXPECT_TRUE(
+      s.ValidateRow({Value(int64_t{1}), Value("t")}).IsInvalidArgument());
+}
+
+TEST(Schema, ValidateRowRejectsTypeMismatch) {
+  Schema s = MakeValid();
+  EXPECT_TRUE(s.ValidateRow({Value(int64_t{1}), Value(int64_t{9}),
+                             Value(int64_t{2})})
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace kqr

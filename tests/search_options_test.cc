@@ -1,0 +1,125 @@
+// Tests of the search-quality options (root-degree cap, hub-skip BFS) and
+// the Def. 3 tree counting that back the Table III metric and the judge's
+// strict cohesion check.
+
+#include <gtest/gtest.h>
+
+#include "graph/tat_builder.h"
+#include "search/keyword_search.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class SearchOptionsTest : public ::testing::Test {
+ protected:
+  SearchOptionsTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+  }
+
+  KeywordQuery QueryOf(std::vector<TermId> terms) {
+    KeywordQuery q;
+    for (TermId t : terms) {
+      q.keywords.push_back(QueryKeyword{corpus_.vocab.text(t), {t}});
+    }
+    return q;
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+};
+
+TEST_F(SearchOptionsTest, RootDegreeCapFiltersHubRoots) {
+  KeywordQuery q = QueryOf(
+      {corpus_.Title("uncertain"), corpus_.Title("probabilistic")});
+  SearchOptions open;
+  size_t unrestricted =
+      KeywordSearch(*graph_, corpus_.index, open).CountResults(q);
+  SearchOptions capped;
+  capped.max_root_degree = 1;  // every tuple in the fixture exceeds this
+  size_t restricted =
+      KeywordSearch(*graph_, corpus_.index, capped).CountResults(q);
+  EXPECT_GT(unrestricted, 0u);
+  EXPECT_EQ(restricted, 0u);
+}
+
+TEST_F(SearchOptionsTest, HubSkipBlocksTunnelling) {
+  // uncertain (p0,p3) and probabilistic (p1) connect only through
+  // venue v0 or shared terms; on the tuple graph the venue is the bridge.
+  KeywordQuery q = QueryOf(
+      {corpus_.Title("uncertain"), corpus_.Title("probabilistic")});
+  SearchOptions open;
+  open.max_radius = 3;
+  EXPECT_GT(KeywordSearch(*graph_, corpus_.index, open).CountResults(q),
+            0u);
+  SearchOptions blocked = open;
+  // Venue v0 has degree 3 (p0, p1 + name term): neither tunnel through
+  // hubs nor let them root results.
+  blocked.max_expand_degree = 2;
+  blocked.max_root_degree = 2;
+  EXPECT_EQ(
+      KeywordSearch(*graph_, corpus_.index, blocked).CountResults(q),
+      0u);
+}
+
+TEST_F(SearchOptionsTest, HubStillReachableAsEndpoint) {
+  // The venue itself can still be reached (it just cannot be traversed
+  // through): a query matching the venue name and a title word of one of
+  // its papers connects.
+  KeywordQuery q =
+      QueryOf({corpus_.Venue("vldb"), corpus_.Title("uncertain")});
+  SearchOptions blocked;
+  blocked.max_expand_degree = 2;
+  EXPECT_GT(
+      KeywordSearch(*graph_, corpus_.index, blocked).CountResults(q),
+      0u);
+}
+
+TEST_F(SearchOptionsTest, CountTreesSingleKeyword) {
+  KeywordSearch search(*graph_, corpus_.index);
+  // Trees for one keyword = reachable roots weighted by origin counts ≥
+  // plain root count.
+  KeywordQuery q = QueryOf({corpus_.Title("uncertain")});
+  EXPECT_GE(search.CountTrees(q), search.CountResults(q));
+}
+
+TEST_F(SearchOptionsTest, CountTreesMultipliesLeafChoices) {
+  // "query" appears in p0 and p1, both share venue v0 and the root v0
+  // reaches both: a ("query","query-ish") style pair multiplies.
+  // Here: uncertain (p0,p3) and mining (p2,p3): root p3 holds both
+  // (1×1), root a0 (alice: p0,p3) reaches uncertain{p0,p3} and
+  // mining{p3} → 2×1 trees, etc. Total must exceed the root count.
+  KeywordQuery q =
+      QueryOf({corpus_.Title("uncertain"), corpus_.Title("mining")});
+  KeywordSearch search(*graph_, corpus_.index);
+  EXPECT_GT(search.CountTrees(q), search.CountResults(q));
+}
+
+TEST_F(SearchOptionsTest, CountTreesZeroForUnconnected) {
+  KeywordQuery q = QueryOf({corpus_.Title("uncertain")});
+  q.keywords.push_back(QueryKeyword{"ghost", {}});
+  KeywordSearch search(*graph_, corpus_.index);
+  EXPECT_EQ(search.CountTrees(q), 0u);
+  EXPECT_EQ(search.CountTrees(KeywordQuery{}), 0u);
+}
+
+TEST_F(SearchOptionsTest, CountTreesRespectsRootCap) {
+  KeywordQuery q = QueryOf(
+      {corpus_.Title("uncertain"), corpus_.Title("probabilistic")});
+  SearchOptions open;
+  SearchOptions capped;
+  capped.max_root_degree = 1;
+  EXPECT_GT(KeywordSearch(*graph_, corpus_.index, open).CountTrees(q),
+            0u);
+  EXPECT_EQ(KeywordSearch(*graph_, corpus_.index, capped).CountTrees(q),
+            0u);
+}
+
+}  // namespace
+}  // namespace kqr

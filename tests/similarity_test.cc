@@ -1,0 +1,213 @@
+#include "walk/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+#include "walk/cooccurrence.h"
+#include "walk/preference.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class SimilarityTest : public ::testing::Test {
+ protected:
+  SimilarityTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+    stats_ = std::make_unique<GraphStats>(*graph_);
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<GraphStats> stats_;
+};
+
+TEST_F(SimilarityTest, ContextualPreferencePointsAtNeighbors) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  PreferenceVector r = MakeContextualPreference(*graph_, *stats_, start);
+  ASSERT_FALSE(r.entries.empty());
+  double total = 0;
+  bool has_self = false;
+  for (const auto& [node, w] : r.entries) {
+    EXPECT_GT(w, 0.0);
+    total += w;
+    if (node == start) {
+      has_self = true;
+    } else {
+      // Context nodes are direct neighbors (Def. 6): the papers
+      // containing the term.
+      EXPECT_EQ(graph_->KindOf(node), NodeKind::kTuple);
+    }
+  }
+  EXPECT_TRUE(has_self);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(SimilarityTest, ContextualPreferenceIsolatedFallsBackToBasic) {
+  TatBuilderOptions options;
+  options.max_doc_frequency_fraction = 0.12;
+  auto graph =
+      BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index, options);
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats(*graph);
+  NodeId isolated = graph->NodeOfTerm(corpus_.Title("uncertain"));
+  PreferenceVector r = MakeContextualPreference(*graph, stats, isolated);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].first, isolated);
+}
+
+TEST_F(SimilarityTest, MaxNodesPerFieldTruncates) {
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  ContextualPreferenceOptions options;
+  options.max_nodes_per_field = 1;
+  PreferenceVector r =
+      MakeContextualPreference(*graph_, *stats_, start, options);
+  // Start + at most 1 context node per field (papers only here).
+  EXPECT_LE(r.entries.size(), 2u);
+}
+
+TEST_F(SimilarityTest, TopSimilarReturnsSameClassOnly) {
+  SimilarityExtractor extractor(*graph_, *stats_);
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  auto similar = extractor.TopSimilar(start, 10);
+  ASSERT_FALSE(similar.empty());
+  for (const ScoredNode& s : similar) {
+    EXPECT_NE(s.node, start);
+    EXPECT_EQ(graph_->ClassOf(s.node), graph_->ClassOf(start));
+    EXPECT_GT(s.score, 0.0);
+  }
+}
+
+TEST_F(SimilarityTest, ScoresDescending) {
+  SimilarityExtractor extractor(*graph_, *stats_);
+  auto similar = extractor.TopSimilar(
+      graph_->NodeOfTerm(corpus_.Title("query")), 10);
+  for (size_t i = 1; i < similar.size(); ++i) {
+    EXPECT_GE(similar[i - 1].score, similar[i].score);
+  }
+}
+
+TEST_F(SimilarityTest, UncertainFindsProbabilisticViaContext) {
+  // The paper's motivating pair: they never co-occur in a title but share
+  // venue + "query". The walk must surface "probabilistic" among the top
+  // similar title terms of "uncertain".
+  SimilarityExtractor extractor(*graph_, *stats_);
+  auto similar = extractor.TopSimilar(
+      graph_->NodeOfTerm(corpus_.Title("uncertain")), 10);
+  NodeId probabilistic =
+      graph_->NodeOfTerm(corpus_.Title("probabilistic"));
+  bool found = false;
+  for (const ScoredNode& s : similar) {
+    if (s.node == probabilistic) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SimilarityTest, KBoundsOutput) {
+  SimilarityExtractor extractor(*graph_, *stats_);
+  auto similar = extractor.TopSimilar(
+      graph_->NodeOfTerm(corpus_.Title("query")), 2);
+  EXPECT_LE(similar.size(), 2u);
+}
+
+TEST_F(SimilarityTest, BasicModeRuns) {
+  SimilarityOptions options;
+  options.mode = PreferenceMode::kBasic;
+  SimilarityExtractor extractor(*graph_, *stats_, options);
+  auto similar = extractor.TopSimilar(
+      graph_->NodeOfTerm(corpus_.Title("uncertain")), 5);
+  EXPECT_FALSE(similar.empty());
+}
+
+TEST_F(SimilarityTest, SimilarityIndexBuildForAndLookup) {
+  std::vector<TermId> terms = {corpus_.Title("uncertain"),
+                               corpus_.Title("query")};
+  SimilarityIndex index =
+      SimilarityIndex::BuildFor(*graph_, *stats_, terms);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.Contains(corpus_.Title("uncertain")));
+  EXPECT_FALSE(index.Contains(corpus_.Title("mining")));
+  EXPECT_FALSE(index.Lookup(corpus_.Title("uncertain")).empty());
+  EXPECT_TRUE(index.Lookup(corpus_.Title("mining")).empty());
+}
+
+TEST_F(SimilarityTest, SimilarityOfSymmetricLookup) {
+  std::vector<TermId> terms = {corpus_.Title("uncertain")};
+  SimilarityIndex index =
+      SimilarityIndex::BuildFor(*graph_, *stats_, terms);
+  TermId u = corpus_.Title("uncertain");
+  TermId q = corpus_.Title("query");
+  double forward = index.SimilarityOf(u, q);
+  double backward = index.SimilarityOf(q, u);
+  EXPECT_EQ(forward, backward);
+  EXPECT_GT(forward, 0.0);
+}
+
+TEST_F(SimilarityTest, IndexInsertOverrides) {
+  SimilarityIndex index;
+  TermId t = corpus_.Title("query");
+  index.Insert(t, {SimilarTerm{corpus_.Title("uncertain"), 0.5}});
+  ASSERT_EQ(index.Lookup(t).size(), 1u);
+  index.Insert(t, {});
+  EXPECT_TRUE(index.Lookup(t).empty());
+}
+
+TEST_F(SimilarityTest, CooccurrenceFindsDirectCooccurringTerms) {
+  CooccurrenceOptions options;
+  options.tuple_radius = 0;  // strict same-tuple
+  CooccurrenceSimilarity cooc(*graph_, options);
+  auto similar = cooc.TopSimilar(corpus_.Title("uncertain"));
+  // Same-title terms: data, query (p0), mining (p3).
+  ASSERT_FALSE(similar.empty());
+  bool has_query = false, has_probabilistic = false;
+  for (const SimilarTerm& s : similar) {
+    if (s.term == corpus_.Title("query")) has_query = true;
+    if (s.term == corpus_.Title("probabilistic")) has_probabilistic = true;
+  }
+  EXPECT_TRUE(has_query);
+  // "probabilistic" never co-occurs with "uncertain" in a tuple.
+  EXPECT_FALSE(has_probabilistic);
+}
+
+TEST_F(SimilarityTest, CooccurrenceAuthorsReachCollaboratorsAtRadius4) {
+  CooccurrenceOptions options;
+  options.tuple_radius = 4;
+  options.max_expand_degree = 0;
+  CooccurrenceSimilarity cooc(*graph_, options);
+  auto similar = cooc.TopSimilar(corpus_.Author("alice smith"));
+  // Alice co-authored p3 with Carol; Bob never collaborated with her.
+  bool has_carol = false;
+  for (const SimilarTerm& s : similar) {
+    if (s.term == corpus_.Author("carol wu")) has_carol = true;
+    EXPECT_NE(s.term, corpus_.Author("alice smith"));
+  }
+  EXPECT_TRUE(has_carol);
+}
+
+TEST_F(SimilarityTest, CooccurrenceScoresNormalized) {
+  CooccurrenceSimilarity cooc(*graph_);
+  auto similar = cooc.TopSimilar(corpus_.Title("query"));
+  double total = 0;
+  for (const SimilarTerm& s : similar) {
+    EXPECT_GT(s.score, 0.0);
+    total += s.score;
+  }
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST_F(SimilarityTest, CooccurrenceBuildIndex) {
+  CooccurrenceSimilarity cooc(*graph_);
+  SimilarityIndex index = cooc.BuildIndex({corpus_.Title("uncertain")});
+  EXPECT_TRUE(index.Contains(corpus_.Title("uncertain")));
+  EXPECT_FALSE(index.Lookup(corpus_.Title("uncertain")).empty());
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,33 @@
+// End-to-end smoke: generate a small corpus, build the engine, reformulate
+// a query. Exercises the whole pipeline in one place.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/dblp_gen.h"
+
+namespace kqr {
+namespace {
+
+TEST(Smoke, EndToEndReformulation) {
+  DblpOptions dblp;
+  dblp.num_authors = 120;
+  dblp.num_papers = 400;
+  dblp.num_venues = 24;
+  auto corpus = GenerateDblp(dblp);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  auto engine = ReformulationEngine::Build(std::move(corpus->db));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto result = (*engine)->Reformulate("query index", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->size(), 0u);
+  for (const auto& q : *result) {
+    EXPECT_EQ(q.terms.size(), 2u);
+    EXPECT_GT(q.score, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace kqr

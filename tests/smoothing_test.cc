@@ -1,0 +1,90 @@
+#include "core/smoothing.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace kqr {
+namespace {
+
+TEST(Smoothing, PreservesSum) {
+  std::vector<double> v = {4.0, 0.0, 2.0, 0.0};
+  double before = std::accumulate(v.begin(), v.end(), 0.0);
+  SmoothToMean(&v, 0.7);
+  double after = std::accumulate(v.begin(), v.end(), 0.0);
+  EXPECT_NEAR(before, after, 1e-12);
+}
+
+TEST(Smoothing, LiftsZeros) {
+  std::vector<double> v = {4.0, 0.0};
+  SmoothToMean(&v, 0.5);
+  EXPECT_GT(v[1], 0.0);
+  EXPECT_GT(v[0], v[1]);  // order preserved
+}
+
+TEST(Smoothing, LambdaOneIsIdentity) {
+  std::vector<double> v = {3.0, 1.0, 0.0};
+  std::vector<double> orig = v;
+  SmoothToMean(&v, 1.0);
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Smoothing, LambdaZeroIsUniform) {
+  std::vector<double> v = {6.0, 0.0, 0.0};
+  SmoothToMean(&v, 0.0);
+  for (double x : v) EXPECT_NEAR(x, 2.0, 1e-12);
+}
+
+TEST(Smoothing, AllZeroUntouched) {
+  std::vector<double> v = {0.0, 0.0};
+  SmoothToMean(&v, 0.5);
+  EXPECT_EQ(v[0], 0.0);
+  EXPECT_EQ(v[1], 0.0);
+}
+
+TEST(Smoothing, EmptyVectorNoop) {
+  std::vector<double> v;
+  SmoothToMean(&v, 0.5);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Smoothing, RowsSmoothedIndependently) {
+  std::vector<std::vector<double>> rows = {{2.0, 0.0}, {0.0, 0.0}};
+  SmoothRowsToMean(&rows, 0.5);
+  EXPECT_GT(rows[0][1], 0.0);
+  EXPECT_EQ(rows[1][0], 0.0);
+}
+
+TEST(Normalize, SumsToOne) {
+  std::vector<double> v = {1.0, 3.0};
+  NormalizeToDistribution(&v);
+  EXPECT_NEAR(v[0], 0.25, 1e-12);
+  EXPECT_NEAR(v[1], 0.75, 1e-12);
+}
+
+TEST(Normalize, AllZeroBecomesUniform) {
+  std::vector<double> v = {0.0, 0.0, 0.0, 0.0};
+  NormalizeToDistribution(&v);
+  for (double x : v) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(Normalize, EmptyNoop) {
+  std::vector<double> v;
+  NormalizeToDistribution(&v);
+  EXPECT_TRUE(v.empty());
+}
+
+class SmoothingLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SmoothingLambdaSweep, MonotoneOrderPreserved) {
+  // Smoothing toward the mean never reorders entries.
+  std::vector<double> v = {9.0, 5.0, 3.0, 1.0, 0.0};
+  SmoothToMean(&v, GetParam());
+  for (size_t i = 1; i < v.size(); ++i) EXPECT_GE(v[i - 1], v[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, SmoothingLambdaSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,139 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+std::unique_ptr<ReformulationEngine> MakeEngine() {
+  auto engine =
+      ReformulationEngine::Build(testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(engine.ok());
+  return std::move(engine).ValueOrDie();
+}
+
+TEST(Snapshot, FingerprintStableAcrossIdenticalBuilds) {
+  auto a = MakeEngine();
+  auto b = MakeEngine();
+  EXPECT_EQ(EngineFingerprint(*a), EngineFingerprint(*b));
+}
+
+TEST(Snapshot, RoundTripPreservesOfflineProducts) {
+  auto source = MakeEngine();
+  // Prepare a couple of terms.
+  auto terms = source->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  source->ReformulateTerms(*terms, 5);
+  ASSERT_FALSE(source->PreparedTerms().empty());
+
+  std::ostringstream out;
+  ASSERT_TRUE(SaveOfflineSnapshot(*source, out).ok());
+
+  auto target = MakeEngine();
+  std::istringstream in(out.str());
+  Status st = LoadOfflineSnapshot(target.get(), in);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  EXPECT_EQ(target->PreparedTerms(), source->PreparedTerms());
+  for (TermId t : source->PreparedTerms()) {
+    const auto& src_list = source->similarity_index().Lookup(t);
+    const auto& dst_list = target->similarity_index().Lookup(t);
+    ASSERT_EQ(src_list.size(), dst_list.size());
+    for (size_t i = 0; i < src_list.size(); ++i) {
+      EXPECT_EQ(src_list[i].term, dst_list[i].term);
+      EXPECT_NEAR(src_list[i].score, dst_list[i].score, 1e-9);
+    }
+    const auto& src_clos = source->closeness_index().Lookup(t);
+    const auto& dst_clos = target->closeness_index().Lookup(t);
+    ASSERT_EQ(src_clos.size(), dst_clos.size());
+  }
+}
+
+TEST(Snapshot, LoadedEngineProducesSameReformulations) {
+  auto source = MakeEngine();
+  auto terms = source->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  auto expected = source->ReformulateTerms(*terms, 5);
+
+  std::ostringstream out;
+  ASSERT_TRUE(SaveOfflineSnapshot(*source, out).ok());
+  auto target = MakeEngine();
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadOfflineSnapshot(target.get(), in).ok());
+
+  auto got = target->ReformulateTerms(*terms, 5);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].terms, expected[i].terms);
+    EXPECT_NEAR(got[i].score, expected[i].score, 1e-9);
+  }
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  auto engine = MakeEngine();
+  std::istringstream in("not-a-snapshot\n");
+  EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+}
+
+TEST(Snapshot, RejectsWrongFingerprint) {
+  auto engine = MakeEngine();
+  std::istringstream in("kqr-offline-v1\nfingerprint deadbeef\n");
+  EXPECT_TRUE(
+      LoadOfflineSnapshot(engine.get(), in).IsInvalidArgument());
+}
+
+TEST(Snapshot, RejectsMalformedRecords) {
+  auto engine = MakeEngine();
+  std::ostringstream header;
+  header << "kqr-offline-v1\nfingerprint " << std::hex
+         << EngineFingerprint(*engine) << "\n";
+  {
+    std::istringstream in(header.str() + "sim notanumber 0\n");
+    EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+  }
+  {
+    std::istringstream in(header.str() + "bogus 0 0\n");
+    EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+  }
+  {
+    // clos without preceding sim.
+    std::istringstream in(header.str() + "clos 0 0\n");
+    EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+  }
+  {
+    // Term id out of range.
+    std::istringstream in(header.str() + "sim 999999 0\n");
+    EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+  }
+}
+
+TEST(Snapshot, NullEngineRejected) {
+  std::istringstream in("kqr-offline-v1\n");
+  EXPECT_TRUE(LoadOfflineSnapshot(nullptr, in).IsInvalidArgument());
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  auto source = MakeEngine();
+  auto terms = source->ResolveQuery("uncertain");
+  ASSERT_TRUE(terms.ok());
+  source->ReformulateTerms(*terms, 3);
+  std::string path = ::testing::TempDir() + "/kqr_snapshot_test.txt";
+  ASSERT_TRUE(SaveOfflineSnapshotFile(*source, path).ok());
+  auto target = MakeEngine();
+  EXPECT_TRUE(LoadOfflineSnapshotFile(target.get(), path).ok());
+  EXPECT_EQ(target->PreparedTerms(), source->PreparedTerms());
+}
+
+TEST(Snapshot, MissingFileIsIOError) {
+  auto engine = MakeEngine();
+  EXPECT_TRUE(LoadOfflineSnapshotFile(engine.get(), "/no/such/file")
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,107 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace kqr {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad k");
+}
+
+TEST(Status, AllFactoriesMapToTheirCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(Status, CopyIsCheapAndShared) {
+  Status s = Status::IOError("disk gone");
+  Status t = s;
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), "disk gone");
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  auto fail = []() -> Status { return Status::NotFound("missing"); };
+  auto wrapper = [&]() -> Status {
+    KQR_RETURN_NOT_OK(fail());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsNotFound());
+}
+
+TEST(Status, ReturnNotOkMacroPassesThroughOk) {
+  auto ok = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    KQR_RETURN_NOT_OK(ok());
+    return Status::Internal("reached end");
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("no such"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(42), 42);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto make = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::OutOfRange("nope");
+  };
+  auto use = [&](bool ok) -> Status {
+    KQR_ASSIGN_OR_RETURN(int v, make(ok));
+    EXPECT_EQ(v, 5);
+    return Status::OK();
+  };
+  EXPECT_TRUE(use(true).ok());
+  EXPECT_TRUE(use(false).IsOutOfRange());
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace kqr

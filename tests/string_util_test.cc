@@ -1,0 +1,79 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace kqr {
+namespace {
+
+TEST(StringUtil, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("Hello World"), "hello world");
+  EXPECT_EQ(ToLowerAscii("ABC123xyz"), "abc123xyz");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, SplitEmptyString) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtil, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringUtil, SplitWhitespaceAllBlank) {
+  EXPECT_TRUE(SplitWhitespace("   \t\n ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtil, IsAlnumAscii) {
+  EXPECT_TRUE(IsAlnumAscii("abc123"));
+  EXPECT_FALSE(IsAlnumAscii("abc 123"));
+  EXPECT_FALSE(IsAlnumAscii("abc-123"));
+  EXPECT_FALSE(IsAlnumAscii(""));
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,157 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/database.h"
+
+namespace kqr {
+namespace {
+
+Schema TwoColSchema(const std::string& name = "t") {
+  return std::move(Schema::Make(name,
+                                {Column("id", ValueType::kInt64),
+                                 Column("txt", ValueType::kString)},
+                                "id"))
+      .ValueOrDie();
+}
+
+TEST(Table, InsertAndFetch) {
+  Table t(TwoColSchema());
+  auto r = t.Insert({Value(int64_t{10}), Value("a")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row(0).at(1).AsString(), "a");
+  EXPECT_EQ(t.PrimaryKeyOf(0), 10);
+}
+
+TEST(Table, FindByPk) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value(int64_t{5}), Value("x")}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{9}), Value("y")}).ok());
+  EXPECT_EQ(*t.FindByPk(9), 1u);
+  EXPECT_EQ(*t.FindByPk(5), 0u);
+  EXPECT_FALSE(t.FindByPk(7).has_value());
+}
+
+TEST(Table, RejectsDuplicatePk) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value("a")}).ok());
+  auto dup = t.Insert({Value(int64_t{1}), Value("b")});
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, RejectsBadRow) {
+  Table t(TwoColSchema());
+  EXPECT_TRUE(t.Insert({Value(int64_t{1})}).status().IsInvalidArgument());
+  EXPECT_TRUE(t.Insert({Value("not int"), Value("b")})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Tuple, ToStringJoinsCells) {
+  Tuple t({Value(int64_t{1}), Value("x"), Value::Null()});
+  EXPECT_EQ(t.ToString(), "1 | x | ");
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(Catalog, CreateAndFind) {
+  Catalog c;
+  auto t = c.CreateTable(TwoColSchema("alpha"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(c.FindTable("alpha"), *t);
+  EXPECT_EQ(c.FindTable("beta"), nullptr);
+  EXPECT_EQ(c.num_tables(), 1u);
+}
+
+TEST(Catalog, TablePointerStaysValidAcrossCreates) {
+  Catalog c;
+  Table* first = *c.CreateTable(TwoColSchema("t0"));
+  ASSERT_TRUE(first->Insert({Value(int64_t{1}), Value("a")}).ok());
+  for (int i = 1; i < 20; ++i) {
+    ASSERT_TRUE(c.CreateTable(TwoColSchema("t" + std::to_string(i))).ok());
+  }
+  // The regression this guards: CreateTable once keyed tables by a
+  // dangling moved-from name, corrupting the registry.
+  EXPECT_EQ(c.FindTable("t0"), first);
+  EXPECT_EQ(first->num_rows(), 1u);
+  EXPECT_EQ(c.num_tables(), 20u);
+}
+
+TEST(Catalog, RejectsDuplicateName) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable(TwoColSchema("dup")).ok());
+  EXPECT_TRUE(c.CreateTable(TwoColSchema("dup")).status().IsAlreadyExists());
+}
+
+TEST(Catalog, TablesInCreationOrder) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable(TwoColSchema("zz")).ok());
+  ASSERT_TRUE(c.CreateTable(TwoColSchema("aa")).ok());
+  auto tables = c.tables();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0]->name(), "zz");
+  EXPECT_EQ(tables[1]->name(), "aa");
+}
+
+TEST(Catalog, ValidateForeignKeyTargets) {
+  Catalog c;
+  Schema child = std::move(Schema::Make("child",
+                                        {Column("id", ValueType::kInt64),
+                                         Column("pid", ValueType::kInt64)},
+                                        "id",
+                                        {ForeignKey{"pid", "parent"}}))
+                     .ValueOrDie();
+  ASSERT_TRUE(c.CreateTable(std::move(child)).ok());
+  EXPECT_TRUE(c.ValidateForeignKeyTargets().IsInvalidArgument());
+  ASSERT_TRUE(c.CreateTable(TwoColSchema("parent")).ok());
+  EXPECT_TRUE(c.ValidateForeignKeyTargets().ok());
+}
+
+TEST(Database, ValidateIntegrityCatchesDanglingFk) {
+  Database db("test");
+  Schema parent = TwoColSchema("parent");
+  Schema child = std::move(Schema::Make("child",
+                                        {Column("id", ValueType::kInt64),
+                                         Column("pid", ValueType::kInt64)},
+                                        "id",
+                                        {ForeignKey{"pid", "parent"}}))
+                     .ValueOrDie();
+  Table* pt = *db.CreateTable(std::move(parent));
+  Table* ct = *db.CreateTable(std::move(child));
+  ASSERT_TRUE(pt->Insert({Value(int64_t{1}), Value("p")}).ok());
+  ASSERT_TRUE(ct->Insert({Value(int64_t{1}), Value(int64_t{1})}).ok());
+  EXPECT_TRUE(db.ValidateIntegrity().ok());
+
+  ASSERT_TRUE(ct->Insert({Value(int64_t{2}), Value(int64_t{99})}).ok());
+  EXPECT_TRUE(db.ValidateIntegrity().IsCorruption());
+}
+
+TEST(Database, NullFkIsAllowed) {
+  Database db("test");
+  ASSERT_TRUE(db.CreateTable(TwoColSchema("parent")).ok());
+  Schema child = std::move(Schema::Make("child",
+                                        {Column("id", ValueType::kInt64),
+                                         Column("pid", ValueType::kInt64)},
+                                        "id",
+                                        {ForeignKey{"pid", "parent"}}))
+                     .ValueOrDie();
+  Table* ct = *db.CreateTable(std::move(child));
+  ASSERT_TRUE(ct->Insert({Value(int64_t{1}), Value::Null()}).ok());
+  EXPECT_TRUE(db.ValidateIntegrity().ok());
+}
+
+TEST(Database, TotalRows) {
+  Database db("test");
+  Table* a = *db.CreateTable(TwoColSchema("a"));
+  Table* b = *db.CreateTable(TwoColSchema("b"));
+  ASSERT_TRUE(a->Insert({Value(int64_t{1}), Value("x")}).ok());
+  ASSERT_TRUE(b->Insert({Value(int64_t{1}), Value("y")}).ok());
+  ASSERT_TRUE(b->Insert({Value(int64_t{2}), Value("z")}).ok());
+  EXPECT_EQ(db.TotalRows(), 3u);
+}
+
+}  // namespace
+}  // namespace kqr

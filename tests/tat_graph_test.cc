@@ -1,0 +1,138 @@
+#include "graph/tat_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+#include "graph/tat_builder.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using testing_fixtures::MicroCorpus;
+
+class TatGraphTest : public ::testing::Test {
+ protected:
+  TatGraphTest() : corpus_(MicroCorpus::Make()) {
+    auto graph =
+        BuildTatGraph(corpus_.db, corpus_.vocab, corpus_.index,
+                      TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+  }
+
+  MicroCorpus corpus_;
+  std::unique_ptr<TatGraph> graph_;
+};
+
+TEST_F(TatGraphTest, NodeCounts) {
+  // Tuple nodes: 2 venues + 3 authors + 4 papers + 5 writes = 14.
+  EXPECT_EQ(graph_->space().num_tuple_nodes(), 14u);
+  EXPECT_EQ(graph_->space().num_term_nodes(), corpus_.vocab.size());
+  EXPECT_EQ(graph_->num_nodes(),
+            14u + corpus_.vocab.size());
+}
+
+TEST_F(TatGraphTest, NodeSpaceRoundTrip) {
+  const NodeSpace& space = graph_->space();
+  for (uint16_t t = 0; t < 4; ++t) {
+    TupleRef ref{t, 0};
+    EXPECT_EQ(space.ToTuple(space.FromTuple(ref)), ref);
+  }
+  TupleRef last{3, 4};  // writes row 4
+  EXPECT_EQ(space.ToTuple(space.FromTuple(last)), last);
+  for (TermId term = 0; term < corpus_.vocab.size(); ++term) {
+    EXPECT_EQ(space.ToTerm(space.FromTerm(term)), term);
+    EXPECT_EQ(space.KindOf(space.FromTerm(term)), NodeKind::kTerm);
+  }
+  EXPECT_EQ(space.KindOf(space.FromTuple({0, 0})), NodeKind::kTuple);
+}
+
+TEST_F(TatGraphTest, FkEdgesPresent) {
+  // Paper p0 (papers row 0) references venue v0 (venues row 0).
+  NodeId paper = graph_->NodeOfTuple({2, 0});
+  NodeId venue = graph_->NodeOfTuple({0, 0});
+  bool found = false;
+  for (const Arc& arc : graph_->Neighbors(paper)) {
+    if (arc.target == venue) found = true;
+  }
+  EXPECT_TRUE(found) << "FK edge paper->venue missing";
+}
+
+TEST_F(TatGraphTest, TermEdgesPresent) {
+  TermId uncertain = corpus_.Title("uncertain");
+  NodeId term_node = graph_->NodeOfTerm(uncertain);
+  // Connected to papers p0 and p3.
+  EXPECT_EQ(graph_->Degree(term_node), 2u);
+  for (const Arc& arc : graph_->Neighbors(term_node)) {
+    EXPECT_EQ(graph_->KindOf(arc.target), NodeKind::kTuple);
+    TupleRef ref = graph_->TupleOfNode(arc.target);
+    EXPECT_EQ(ref.table, 2);
+    EXPECT_TRUE(ref.row == 0 || ref.row == 3);
+  }
+}
+
+TEST_F(TatGraphTest, ClassesSeparateTablesAndFields) {
+  NodeId venue_tuple = graph_->NodeOfTuple({0, 0});
+  NodeId author_tuple = graph_->NodeOfTuple({1, 0});
+  EXPECT_NE(graph_->ClassOf(venue_tuple), graph_->ClassOf(author_tuple));
+
+  NodeId title_term = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  NodeId author_term =
+      graph_->NodeOfTerm(corpus_.Author("alice smith"));
+  EXPECT_NE(graph_->ClassOf(title_term), graph_->ClassOf(author_term));
+  // Same-field terms share a class.
+  NodeId other_title = graph_->NodeOfTerm(corpus_.Title("mining"));
+  EXPECT_EQ(graph_->ClassOf(title_term), graph_->ClassOf(other_title));
+}
+
+TEST_F(TatGraphTest, DescribeNode) {
+  EXPECT_EQ(graph_->DescribeNode(graph_->NodeOfTuple({2, 1})), "papers#1");
+  NodeId term = graph_->NodeOfTerm(corpus_.Title("mining"));
+  EXPECT_EQ(graph_->DescribeNode(term), "mine@papers.title");
+}
+
+TEST(TatBuilder, GenericTermCutRemovesHighDfTerms) {
+  MicroCorpus corpus = MicroCorpus::Make();
+  // With a very low cap every term exceeding 1/9 of the corpus (df >= 2)
+  // is cut from the graph.
+  TatBuilderOptions options;
+  options.max_doc_frequency_fraction = 0.12;  // df cap = 1
+  auto graph = BuildTatGraph(corpus.db, corpus.vocab, corpus.index, options);
+  ASSERT_TRUE(graph.ok());
+  // "uncertain" (df 2) is cut: its node is isolated.
+  EXPECT_EQ(graph->Degree(graph->NodeOfTerm(corpus.Title("uncertain"))),
+            0u);
+  // "probabilistic" (df 1) stays.
+  EXPECT_EQ(
+      graph->Degree(graph->NodeOfTerm(corpus.Title("probabilistic"))),
+      1u);
+}
+
+TEST(TatBuilder, RejectsNonPositiveDfCap) {
+  MicroCorpus corpus = MicroCorpus::Make();
+  TatBuilderOptions options;
+  options.max_doc_frequency_fraction = 0.0;
+  auto graph = BuildTatGraph(corpus.db, corpus.vocab, corpus.index, options);
+  EXPECT_TRUE(graph.status().IsInvalidArgument());
+}
+
+TEST(GraphStats, FreqAndIdfShape) {
+  MicroCorpus corpus = MicroCorpus::Make();
+  auto graph =
+      BuildTatGraph(corpus.db, corpus.vocab, corpus.index,
+                    TatBuilderOptions{.max_doc_frequency_fraction = 1.0});
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats(*graph);
+  ASSERT_EQ(stats.num_nodes(), graph->num_nodes());
+
+  NodeId common = graph->NodeOfTerm(corpus.Title("uncertain"));   // df 2
+  NodeId rare = graph->NodeOfTerm(corpus.Title("probabilistic"));  // df 1
+  EXPECT_GT(stats.Freq(common), stats.Freq(rare));
+  EXPECT_LT(stats.Idf(common), stats.Idf(rare));
+  EXPECT_GT(stats.Idf(common), 0.0);
+  EXPECT_EQ(stats.ClassOf(common), graph->ClassOf(common));
+}
+
+}  // namespace
+}  // namespace kqr

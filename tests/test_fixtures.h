@@ -1,0 +1,156 @@
+// Shared hand-built micro-corpus with fully known structure, used by the
+// graph, walk, closeness, search and core tests.
+//
+// venues:  v0 "vldb", v1 "icdm"
+// authors: a0 "alice smith", a1 "bob jones", a2 "carol wu"
+// papers:
+//   p0 "uncertain data query"            venue v0, by a0
+//   p1 "probabilistic query processing"  venue v0, by a1
+//   p2 "mining frequent pattern"         venue v1, by a2
+//   p3 "uncertain mining"                venue v1, by a0 and a2
+//
+// Deliberate structure: "uncertain" and "probabilistic" never co-occur in
+// a title but share venue v0 and the word "query" — the paper's motivating
+// phenomenon in miniature.
+
+#ifndef KQR_TESTS_TEST_FIXTURES_H_
+#define KQR_TESTS_TEST_FIXTURES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/database.h"
+#include "text/analyzer.h"
+#include "text/inverted_index.h"
+#include "text/vocabulary.h"
+
+namespace kqr {
+namespace testing_fixtures {
+
+inline Database MakeMicroDblp() {
+  Database db("micro");
+  auto venues_schema = Schema::Make(
+      "venues",
+      {Column("venue_id", ValueType::kInt64),
+       Column("name", ValueType::kString, TextRole::kAtomic)},
+      "venue_id");
+  KQR_CHECK(venues_schema.ok());
+  auto authors_schema = Schema::Make(
+      "authors",
+      {Column("author_id", ValueType::kInt64),
+       Column("name", ValueType::kString, TextRole::kAtomic)},
+      "author_id");
+  KQR_CHECK(authors_schema.ok());
+  auto papers_schema = Schema::Make(
+      "papers",
+      {Column("paper_id", ValueType::kInt64),
+       Column("title", ValueType::kString, TextRole::kSegmented),
+       Column("venue_id", ValueType::kInt64)},
+      "paper_id", {ForeignKey{"venue_id", "venues"}});
+  KQR_CHECK(papers_schema.ok());
+  auto writes_schema = Schema::Make(
+      "writes",
+      {Column("write_id", ValueType::kInt64),
+       Column("author_id", ValueType::kInt64),
+       Column("paper_id", ValueType::kInt64)},
+      "write_id",
+      {ForeignKey{"author_id", "authors"},
+       ForeignKey{"paper_id", "papers"}});
+  KQR_CHECK(writes_schema.ok());
+
+  Table* venues = *db.CreateTable(std::move(*venues_schema));
+  Table* authors = *db.CreateTable(std::move(*authors_schema));
+  Table* papers = *db.CreateTable(std::move(*papers_schema));
+  Table* writes = *db.CreateTable(std::move(*writes_schema));
+
+  KQR_CHECK(venues->Insert({Value(int64_t{0}), Value("vldb")}).ok());
+  KQR_CHECK(venues->Insert({Value(int64_t{1}), Value("icdm")}).ok());
+
+  KQR_CHECK(
+      authors->Insert({Value(int64_t{0}), Value("alice smith")}).ok());
+  KQR_CHECK(authors->Insert({Value(int64_t{1}), Value("bob jones")}).ok());
+  KQR_CHECK(authors->Insert({Value(int64_t{2}), Value("carol wu")}).ok());
+
+  KQR_CHECK(papers
+                ->Insert({Value(int64_t{0}), Value("uncertain data query"),
+                          Value(int64_t{0})})
+                .ok());
+  KQR_CHECK(papers
+                ->Insert({Value(int64_t{1}),
+                          Value("probabilistic query processing"),
+                          Value(int64_t{0})})
+                .ok());
+  KQR_CHECK(papers
+                ->Insert({Value(int64_t{2}),
+                          Value("mining frequent pattern"),
+                          Value(int64_t{1})})
+                .ok());
+  KQR_CHECK(papers
+                ->Insert({Value(int64_t{3}), Value("uncertain mining"),
+                          Value(int64_t{1})})
+                .ok());
+
+  int64_t w = 0;
+  auto write = [&](int64_t author, int64_t paper) {
+    KQR_CHECK(
+        writes->Insert({Value(w++), Value(author), Value(paper)}).ok());
+  };
+  write(0, 0);
+  write(1, 1);
+  write(2, 2);
+  write(0, 3);
+  write(2, 3);
+
+  KQR_CHECK_OK(db.ValidateIntegrity());
+  return db;
+}
+
+/// Database + analyzer + vocabulary + inverted index bundle.
+struct MicroCorpus {
+  Database db;
+  Analyzer analyzer;
+  Vocabulary vocab;
+  InvertedIndex index;
+
+  static MicroCorpus Make() {
+    Database db = MakeMicroDblp();
+    Analyzer analyzer;
+    Vocabulary vocab;
+    auto index = InvertedIndex::Build(db, analyzer, &vocab);
+    KQR_CHECK(index.ok());
+    return MicroCorpus{std::move(db), std::move(analyzer),
+                       std::move(vocab), std::move(*index)};
+  }
+
+  /// Stemmed title term id, e.g. Title("uncertain").
+  TermId Title(const std::string& word) const {
+    PorterStemmer stemmer;
+    auto field = vocab.FindField("papers", "title");
+    KQR_CHECK(field.has_value());
+    auto id = vocab.Find(*field, stemmer.Stem(word));
+    KQR_CHECK(id.has_value()) << "no title term for " << word;
+    return *id;
+  }
+
+  TermId Author(const std::string& name) const {
+    auto field = vocab.FindField("authors", "name");
+    KQR_CHECK(field.has_value());
+    auto id = vocab.Find(*field, name);
+    KQR_CHECK(id.has_value()) << "no author term for " << name;
+    return *id;
+  }
+
+  TermId Venue(const std::string& name) const {
+    auto field = vocab.FindField("venues", "name");
+    KQR_CHECK(field.has_value());
+    auto id = vocab.Find(*field, name);
+    KQR_CHECK(id.has_value()) << "no venue term for " << name;
+    return *id;
+  }
+};
+
+}  // namespace testing_fixtures
+}  // namespace kqr
+
+#endif  // KQR_TESTS_TEST_FIXTURES_H_

@@ -1,0 +1,99 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace kqr {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  Tokenizer t;
+  auto toks = t.Tokenize("Efficient XML Query Processing");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "efficient");
+  EXPECT_EQ(toks[1], "xml");
+  EXPECT_EQ(toks[3], "processing");
+}
+
+TEST(Tokenizer, SplitsOnPunctuation) {
+  Tokenizer t;
+  auto toks = t.Tokenize("spatio-temporal, data/streams; (uncertain)");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0], "spatio");
+  EXPECT_EQ(toks[1], "temporal");
+  EXPECT_EQ(toks[4], "uncertain");
+}
+
+TEST(Tokenizer, DropsShortTokens) {
+  Tokenizer t;  // min length 2
+  auto toks = t.Tokenize("a x of db");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "of");
+  EXPECT_EQ(toks[1], "db");
+}
+
+TEST(Tokenizer, DropsPureNumbers) {
+  Tokenizer t;
+  auto toks = t.Tokenize("top 10 results 2012");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "top");
+  EXPECT_EQ(toks[1], "results");
+}
+
+TEST(Tokenizer, KeepsAlphanumericMixes) {
+  Tokenizer t;
+  auto toks = t.Tokenize("web2 k3b");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "web2");
+}
+
+TEST(Tokenizer, NumericKeepableWhenConfigured) {
+  TokenizerOptions opts;
+  opts.drop_numeric = false;
+  Tokenizer t(opts);
+  auto toks = t.Tokenize("top 10");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1], "10");
+}
+
+TEST(Tokenizer, MinLengthConfigurable) {
+  TokenizerOptions opts;
+  opts.min_token_length = 4;
+  Tokenizer t(opts);
+  auto toks = t.Tokenize("the data base system");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "data");
+}
+
+TEST(Tokenizer, EmptyAndWhitespaceOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  \t\n ...!!! ").empty());
+}
+
+TEST(Stopwords, DefaultListCatchesCommonWords) {
+  StopwordFilter f;
+  EXPECT_TRUE(f.IsStopword("the"));
+  EXPECT_TRUE(f.IsStopword("and"));
+  EXPECT_TRUE(f.IsStopword("of"));
+  EXPECT_FALSE(f.IsStopword("database"));
+  EXPECT_FALSE(f.IsStopword("xml"));
+}
+
+TEST(Stopwords, DomainBoilerplateIncluded) {
+  StopwordFilter f;
+  EXPECT_TRUE(f.IsStopword("towards"));
+  EXPECT_TRUE(f.IsStopword("approach"));
+}
+
+TEST(Stopwords, CustomListAndAdd) {
+  StopwordFilter f(std::unordered_set<std::string>{"foo"});
+  EXPECT_TRUE(f.IsStopword("foo"));
+  EXPECT_FALSE(f.IsStopword("the"));
+  f.Add("bar");
+  EXPECT_TRUE(f.IsStopword("bar"));
+}
+
+}  // namespace
+}  // namespace kqr

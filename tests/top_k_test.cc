@@ -1,0 +1,116 @@
+#include "common/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kqr {
+namespace {
+
+TEST(TopK, KeepsHighestScores) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.Add(i, i);
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, 9);
+  EXPECT_EQ(sorted[1].first, 8);
+  EXPECT_EQ(sorted[2].first, 7);
+}
+
+TEST(TopK, SortedDescending) {
+  TopK<std::string> top(5);
+  top.Add(0.5, "mid");
+  top.Add(0.9, "high");
+  top.Add(0.1, "low");
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, "high");
+  EXPECT_EQ(sorted[1].first, "mid");
+  EXPECT_EQ(sorted[2].first, "low");
+  EXPECT_DOUBLE_EQ(sorted[0].second, 0.9);
+}
+
+TEST(TopK, ZeroCapacityRejectsEverything) {
+  TopK<int> top(0);
+  EXPECT_FALSE(top.Add(1.0, 1));
+  EXPECT_TRUE(top.TakeSorted().empty());
+}
+
+TEST(TopK, AddReportsRetention) {
+  TopK<int> top(2);
+  EXPECT_TRUE(top.Add(1.0, 1));
+  EXPECT_TRUE(top.Add(2.0, 2));
+  EXPECT_FALSE(top.Add(0.5, 3));  // below the floor
+  EXPECT_TRUE(top.Add(3.0, 4));   // evicts 1.0
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, 4);
+  EXPECT_EQ(sorted[1].first, 2);
+}
+
+TEST(TopK, TieKeepsEarlierItem) {
+  TopK<int> top(1);
+  top.Add(1.0, 100);
+  EXPECT_FALSE(top.Add(1.0, 200));  // same score: earlier wins
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].first, 100);
+}
+
+TEST(TopK, StableOrderAmongTies) {
+  TopK<int> top(4);
+  top.Add(1.0, 1);
+  top.Add(1.0, 2);
+  top.Add(1.0, 3);
+  top.Add(2.0, 4);
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].first, 4);
+  // Insertion order preserved among the 1.0 ties.
+  EXPECT_EQ(sorted[1].first, 1);
+  EXPECT_EQ(sorted[2].first, 2);
+  EXPECT_EQ(sorted[3].first, 3);
+}
+
+TEST(TopK, MinScoreTracksFloor) {
+  TopK<int> top(2);
+  top.Add(5.0, 1);
+  top.Add(7.0, 2);
+  EXPECT_TRUE(top.full());
+  EXPECT_DOUBLE_EQ(top.MinScore(), 5.0);
+  top.Add(6.0, 3);
+  EXPECT_DOUBLE_EQ(top.MinScore(), 6.0);
+}
+
+class TopKSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKSweep, MatchesFullSortForRandomInput) {
+  const size_t k = GetParam();
+  // Deterministic pseudo-random scores.
+  std::vector<double> scores;
+  uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 200; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    scores.push_back(static_cast<double>(x % 10007));
+  }
+  TopK<int> top(k);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    top.Add(scores[i], static_cast<int>(i));
+  }
+  auto got = top.TakeSorted();
+
+  std::vector<double> sorted = scores;
+  std::sort(sorted.rbegin(), sorted.rend());
+  ASSERT_EQ(got.size(), std::min(k, scores.size()));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].second, sorted[i]) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, TopKSweep,
+                         ::testing::Values(1, 2, 5, 10, 50, 200, 500));
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,131 @@
+#include "datagen/topic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kqr {
+namespace {
+
+TEST(TopicModel, StandardHasPaperCaseStudyTerms) {
+  TopicModel tm = TopicModel::Standard();
+  EXPECT_GE(tm.num_topics(), 10u);
+  // The case-study words of Tables I/II must exist.
+  EXPECT_FALSE(tm.TopicsOfWord("xml").empty());
+  EXPECT_FALSE(tm.TopicsOfWord("probabilistic").empty());
+  EXPECT_FALSE(tm.TopicsOfWord("uncertain").empty());
+  EXPECT_FALSE(tm.TopicsOfWord("association").empty());
+}
+
+TEST(TopicModel, QuasiSynonymsShareTopic) {
+  TopicModel tm = TopicModel::Standard();
+  auto prob = tm.TopicsOfWord("probabilistic");
+  auto unc = tm.TopicsOfWord("uncertain");
+  ASSERT_FALSE(prob.empty());
+  EXPECT_EQ(prob, unc);
+  auto xml = tm.TopicsOfWord("xml");
+  auto semi = tm.TopicsOfWord("semistructured");
+  EXPECT_EQ(xml, semi);
+}
+
+TEST(TopicModel, UnknownWordHasNoTopics) {
+  TopicModel tm = TopicModel::Standard();
+  EXPECT_TRUE(tm.TopicsOfWord("zeppelin").empty());
+  EXPECT_TRUE(tm.TopicsOfStem("zeppelin").empty());
+}
+
+TEST(TopicModel, StemLookupMatchesInflections) {
+  TopicModel tm = TopicModel::Standard();
+  PorterStemmer stemmer;
+  // "mining" is in the datamining topic; its stem resolves there too.
+  auto direct = tm.TopicsOfWord("mining");
+  auto via_stem = tm.TopicsOfStem(stemmer.Stem("mining"));
+  ASSERT_FALSE(direct.empty());
+  for (size_t t : direct) {
+    EXPECT_NE(std::find(via_stem.begin(), via_stem.end(), t),
+              via_stem.end());
+  }
+}
+
+TEST(TopicModel, SharedWordsBelongToMultipleTopics) {
+  TopicModel tm = TopicModel::Standard();
+  // "ranking" appears in databases, uncertainty and retrieval lists.
+  auto topics = tm.TopicsOfWord("ranking");
+  EXPECT_GE(topics.size(), 2u);
+}
+
+TEST(TopicModel, SampleTermStaysInTopic) {
+  TopicModel tm = TopicModel::Standard();
+  Rng rng(5);
+  for (size_t t = 0; t < tm.num_topics(); ++t) {
+    for (int i = 0; i < 50; ++i) {
+      const std::string& w = tm.SampleTerm(t, &rng);
+      auto topics = tm.TopicsOfWord(w);
+      EXPECT_NE(std::find(topics.begin(), topics.end(), t), topics.end())
+          << w << " not in topic " << t;
+    }
+  }
+}
+
+TEST(TopicModel, SampleTermSkewedTowardHead) {
+  TopicModel tm = TopicModel::Standard();
+  Rng rng(7);
+  const std::string& head = tm.topic(0).terms[0];
+  int head_count = 0;
+  const int draws = 2000;
+  for (int i = 0; i < draws; ++i) {
+    if (tm.SampleTerm(0, &rng) == head) ++head_count;
+  }
+  // Zipf s=1 over ~28 terms gives the head ~25%; uniform would be ~3.6%.
+  EXPECT_GT(head_count, draws / 10);
+}
+
+TEST(TopicModel, SubtopicSamplingRespectsPartition) {
+  TopicModel tm = TopicModel::Standard();
+  Rng rng(11);
+  const size_t kSubtopics = 3;
+  for (size_t sub = 0; sub < kSubtopics; ++sub) {
+    for (int i = 0; i < 30; ++i) {
+      const std::string& w =
+          tm.SampleTermInSubtopic(0, sub, kSubtopics, &rng);
+      // Find the word's index in topic 0 and check its partition.
+      const auto& terms = tm.topic(0).terms;
+      auto it = std::find(terms.begin(), terms.end(), w);
+      ASSERT_NE(it, terms.end());
+      size_t index = static_cast<size_t>(it - terms.begin());
+      EXPECT_EQ(TopicModel::SubtopicOfIndex(index, kSubtopics), sub);
+    }
+  }
+}
+
+TEST(TopicModel, SubtopicOneFallsBackToWholeTopic) {
+  TopicModel tm = TopicModel::Standard();
+  Rng rng(13);
+  const std::string& w = tm.SampleTermInSubtopic(1, 0, 1, &rng);
+  EXPECT_FALSE(tm.TopicsOfWord(w).empty());
+}
+
+TEST(TopicModel, SyntheticShapes) {
+  TopicModel tm = TopicModel::Synthetic(5, 12);
+  EXPECT_EQ(tm.num_topics(), 5u);
+  for (size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(tm.topic(t).terms.size(), 12u);
+  }
+  // Words are distinct across topics.
+  std::set<std::string> all;
+  for (size_t t = 0; t < 5; ++t) {
+    for (const auto& w : tm.topic(t).terms) {
+      EXPECT_TRUE(all.insert(w).second) << "duplicate " << w;
+    }
+  }
+  EXPECT_EQ(tm.TopicsOfWord("zq0w0"), std::vector<size_t>{0});
+}
+
+TEST(TopicModel, RetailDomainsExist) {
+  TopicModel tm = TopicModel::Retail();
+  EXPECT_GE(tm.num_topics(), 4u);
+  EXPECT_FALSE(tm.TopicsOfWord("bluetooth").empty());
+}
+
+}  // namespace
+}  // namespace kqr

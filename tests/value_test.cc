@@ -1,0 +1,75 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace kqr {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(Value, Int64RoundTrip) {
+  Value v(int64_t{42});
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(Value, DoubleRoundTrip) {
+  Value v(2.5);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(Value, StringRoundTrip) {
+  Value v(std::string("hello"));
+  EXPECT_EQ(v.type(), ValueType::kString);
+  EXPECT_EQ(v.AsString(), "hello");
+  EXPECT_EQ(v.ToString(), "hello");
+  Value w("char literal");
+  EXPECT_EQ(w.AsString(), "char literal");
+}
+
+TEST(Value, CompareWithinTypes) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.0), Value(1.5));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+}
+
+TEST(Value, IntAndDoubleCompareNumerically) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+}
+
+TEST(Value, CrossTypeOrdering) {
+  // null < numeric < string
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{999}), Value("a"));
+  EXPECT_LT(Value::Null(), Value(""));
+}
+
+TEST(Value, NullsCompareEqual) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(5.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(Value, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,80 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace kqr {
+namespace {
+
+TEST(Vocabulary, RegisterFieldIdempotent) {
+  Vocabulary v;
+  FieldId a = v.RegisterField("papers", "title", TextRole::kSegmented);
+  FieldId b = v.RegisterField("papers", "title", TextRole::kSegmented);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.num_fields(), 1u);
+  EXPECT_EQ(v.field(a).Label(), "papers.title");
+  EXPECT_EQ(v.field(a).role, TextRole::kSegmented);
+}
+
+TEST(Vocabulary, FindField) {
+  Vocabulary v;
+  FieldId a = v.RegisterField("authors", "name", TextRole::kAtomic);
+  EXPECT_EQ(*v.FindField("authors", "name"), a);
+  EXPECT_FALSE(v.FindField("authors", "ghost").has_value());
+}
+
+TEST(Vocabulary, InternDedupes) {
+  Vocabulary v;
+  FieldId f = v.RegisterField("papers", "title", TextRole::kSegmented);
+  TermId a = v.Intern(f, "xml");
+  TermId b = v.Intern(f, "xml");
+  TermId c = v.Intern(f, "tree");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.text(a), "xml");
+  EXPECT_EQ(v.field_of(a), f);
+}
+
+TEST(Vocabulary, SameTextDifferentFieldsAreDistinctTerms) {
+  // Def. 5: "term nodes with same text extracted from different fields are
+  // considered as different".
+  Vocabulary v;
+  FieldId title = v.RegisterField("papers", "title", TextRole::kSegmented);
+  FieldId vname = v.RegisterField("venues", "name", TextRole::kAtomic);
+  TermId a = v.Intern(title, "database");
+  TermId b = v.Intern(vname, "database");
+  EXPECT_NE(a, b);
+  auto all = v.FindAllFields("database");
+  ASSERT_EQ(all.size(), 2u);
+}
+
+TEST(Vocabulary, FindByFieldAndText) {
+  Vocabulary v;
+  FieldId f = v.RegisterField("papers", "title", TextRole::kSegmented);
+  TermId a = v.Intern(f, "graph");
+  EXPECT_EQ(*v.Find(f, "graph"), a);
+  EXPECT_FALSE(v.Find(f, "missing").has_value());
+}
+
+TEST(Vocabulary, FindAllFieldsUnknownText) {
+  Vocabulary v;
+  EXPECT_TRUE(v.FindAllFields("ghost").empty());
+}
+
+TEST(Vocabulary, Describe) {
+  Vocabulary v;
+  FieldId f = v.RegisterField("papers", "title", TextRole::kSegmented);
+  TermId a = v.Intern(f, "twig");
+  EXPECT_EQ(v.Describe(a), "twig@papers.title");
+}
+
+TEST(Vocabulary, DenseIdsInInsertionOrder) {
+  Vocabulary v;
+  FieldId f = v.RegisterField("t", "c", TextRole::kSegmented);
+  EXPECT_EQ(v.Intern(f, "a"), 0u);
+  EXPECT_EQ(v.Intern(f, "b"), 1u);
+  EXPECT_EQ(v.Intern(f, "c"), 2u);
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,128 @@
+// Property tests of the random-walk engine over randomized graphs:
+// invariants that must hold for any topology.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "graph/csr.h"
+#include "graph/tat_graph.h"
+#include "walk/random_walk.h"
+
+namespace kqr {
+namespace {
+
+// Random connected-ish undirected graph wrapped in a TatGraph shell
+// (all nodes "tuples" of a single fake table; fine for walk mechanics).
+struct RandomWorld {
+  Database db{"walkprop"};
+  Vocabulary vocab;
+  std::unique_ptr<TatGraph> graph;
+};
+
+std::unique_ptr<TatGraph> MakeRandomGraph(size_t n, size_t extra_edges,
+                                          uint64_t seed,
+                                          const Vocabulary* vocab,
+                                          const Database* db) {
+  Rng rng(seed);
+  std::vector<std::tuple<uint32_t, uint32_t, float>> edges;
+  // Random spanning tree first so everything connects.
+  for (uint32_t v = 1; v < n; ++v) {
+    uint32_t u = static_cast<uint32_t>(rng.NextBounded(v));
+    edges.emplace_back(u, v, 1.0f + float(rng.NextDouble()));
+  }
+  for (size_t e = 0; e < extra_edges; ++e) {
+    uint32_t u = static_cast<uint32_t>(rng.NextBounded(n));
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+    if (u == v) continue;
+    edges.emplace_back(u, v, 1.0f + float(rng.NextDouble()));
+  }
+  NodeSpace space({n}, 0);
+  CsrGraph adjacency = CsrGraph::FromUndirectedEdges(n, std::move(edges));
+  return std::make_unique<TatGraph>(std::move(space),
+                                    std::move(adjacency), vocab, db);
+}
+
+class WalkProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  WalkProperty() {
+    graph_ = MakeRandomGraph(60, 90, GetParam(), &world_.vocab,
+                             &world_.db);
+  }
+  RandomWorld world_;
+  std::unique_ptr<TatGraph> graph_;
+};
+
+TEST_P(WalkProperty, MassConserved) {
+  RandomWalkEngine engine(*graph_);
+  PreferenceVector r = MakeBasicPreference(
+      static_cast<NodeId>(GetParam() % graph_->num_nodes()));
+  RandomWalkResult result = engine.Run(r);
+  double total = std::accumulate(result.scores.begin(),
+                                 result.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (double s : result.scores) EXPECT_GE(s, 0.0);
+}
+
+TEST_P(WalkProperty, Converges) {
+  RandomWalkEngine engine(*graph_);
+  PreferenceVector r = MakeBasicPreference(0);
+  EXPECT_TRUE(engine.Run(r).converged);
+}
+
+TEST_P(WalkProperty, SplitPreferenceIsConvexCombination) {
+  // Linearity of PPR: p(½r_a + ½r_b) = ½p(r_a) + ½p(r_b).
+  NodeId a = static_cast<NodeId>(GetParam() % graph_->num_nodes());
+  NodeId b = static_cast<NodeId>((GetParam() / 3 + 17) %
+                                 graph_->num_nodes());
+  if (a == b) b = (b + 1) % graph_->num_nodes();
+
+  RandomWalkOptions tight;
+  tight.epsilon = 1e-12;
+  tight.max_iterations = 400;
+  RandomWalkEngine engine(*graph_, tight);
+
+  PreferenceVector ra = MakeBasicPreference(a);
+  PreferenceVector rb = MakeBasicPreference(b);
+  PreferenceVector mix;
+  mix.entries = {{a, 0.5}, {b, 0.5}};
+
+  auto pa = engine.Run(ra).scores;
+  auto pb = engine.Run(rb).scores;
+  auto pm = engine.Run(mix).scores;
+  for (size_t v = 0; v < pm.size(); ++v) {
+    EXPECT_NEAR(pm[v], 0.5 * pa[v] + 0.5 * pb[v], 1e-8) << "node " << v;
+  }
+}
+
+TEST_P(WalkProperty, HigherDampingSpreadsMass) {
+  // With larger λ less mass stays at the restart node.
+  NodeId start = static_cast<NodeId>(GetParam() % graph_->num_nodes());
+  PreferenceVector r = MakeBasicPreference(start);
+  double previous = 1.1;
+  for (double damping : {0.3, 0.6, 0.9}) {
+    RandomWalkOptions options;
+    options.damping = damping;
+    options.epsilon = 1e-10;
+    options.max_iterations = 500;
+    RandomWalkEngine engine(*graph_, options);
+    double at_start = engine.Run(r).scores[start];
+    EXPECT_LT(at_start, previous);
+    previous = at_start;
+  }
+}
+
+TEST_P(WalkProperty, DeterministicAcrossRuns) {
+  RandomWalkEngine engine(*graph_);
+  PreferenceVector r = MakeBasicPreference(3 % graph_->num_nodes());
+  auto a = engine.Run(r).scores;
+  auto b = engine.Run(r).scores;
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace kqr
