@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_states.dir/fig10_states.cc.o"
+  "CMakeFiles/fig10_states.dir/fig10_states.cc.o.d"
+  "fig10_states"
+  "fig10_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_precision.dir/fig5_precision.cc.o"
+  "CMakeFiles/fig5_precision.dir/fig5_precision.cc.o.d"
+  "fig5_precision"
+  "fig5_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

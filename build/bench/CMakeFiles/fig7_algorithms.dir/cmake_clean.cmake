@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_algorithms.dir/fig7_algorithms.cc.o"
+  "CMakeFiles/fig7_algorithms.dir/fig7_algorithms.cc.o.d"
+  "fig7_algorithms"
+  "fig7_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_topk.dir/fig9_topk.cc.o"
+  "CMakeFiles/fig9_topk.dir/fig9_topk.cc.o.d"
+  "fig9_topk"
+  "fig9_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_offline.dir/scaling_offline.cc.o"
+  "CMakeFiles/scaling_offline.dir/scaling_offline.cc.o.d"
+  "scaling_offline"
+  "scaling_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_close_terms.dir/table1_close_terms.cc.o"
+  "CMakeFiles/table1_close_terms.dir/table1_close_terms.cc.o.d"
+  "table1_close_terms"
+  "table1_close_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_close_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

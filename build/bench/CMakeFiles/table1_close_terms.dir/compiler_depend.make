@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_close_terms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_similar_terms.dir/table2_similar_terms.cc.o"
+  "CMakeFiles/table2_similar_terms.dir/table2_similar_terms.cc.o.d"
+  "table2_similar_terms"
+  "table2_similar_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_similar_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_search.dir/ecommerce_search.cpp.o"
+  "CMakeFiles/ecommerce_search.dir/ecommerce_search.cpp.o.d"
+  "ecommerce_search"
+  "ecommerce_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kqr_cli.dir/kqr_cli.cpp.o"
+  "CMakeFiles/kqr_cli.dir/kqr_cli.cpp.o.d"
+  "kqr_cli"
+  "kqr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kqr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

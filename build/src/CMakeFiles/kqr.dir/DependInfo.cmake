@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/closeness/closeness.cc" "src/CMakeFiles/kqr.dir/closeness/closeness.cc.o" "gcc" "src/CMakeFiles/kqr.dir/closeness/closeness.cc.o.d"
+  "/root/repo/src/closeness/closeness_index.cc" "src/CMakeFiles/kqr.dir/closeness/closeness_index.cc.o" "gcc" "src/CMakeFiles/kqr.dir/closeness/closeness_index.cc.o.d"
+  "/root/repo/src/closeness/path_search.cc" "src/CMakeFiles/kqr.dir/closeness/path_search.cc.o" "gcc" "src/CMakeFiles/kqr.dir/closeness/path_search.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/kqr.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/kqr.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/kqr.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/kqr.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/kqr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/kqr.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/kqr.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/kqr.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/astar_topk.cc" "src/CMakeFiles/kqr.dir/core/astar_topk.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/astar_topk.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/CMakeFiles/kqr.dir/core/candidates.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/candidates.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/kqr.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/facets.cc" "src/CMakeFiles/kqr.dir/core/facets.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/facets.cc.o.d"
+  "/root/repo/src/core/hmm.cc" "src/CMakeFiles/kqr.dir/core/hmm.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/hmm.cc.o.d"
+  "/root/repo/src/core/rank_baseline.cc" "src/CMakeFiles/kqr.dir/core/rank_baseline.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/rank_baseline.cc.o.d"
+  "/root/repo/src/core/reformulator.cc" "src/CMakeFiles/kqr.dir/core/reformulator.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/reformulator.cc.o.d"
+  "/root/repo/src/core/smoothing.cc" "src/CMakeFiles/kqr.dir/core/smoothing.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/smoothing.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/kqr.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/viterbi_topk.cc" "src/CMakeFiles/kqr.dir/core/viterbi_topk.cc.o" "gcc" "src/CMakeFiles/kqr.dir/core/viterbi_topk.cc.o.d"
+  "/root/repo/src/datagen/dblp_gen.cc" "src/CMakeFiles/kqr.dir/datagen/dblp_gen.cc.o" "gcc" "src/CMakeFiles/kqr.dir/datagen/dblp_gen.cc.o.d"
+  "/root/repo/src/datagen/ecommerce_gen.cc" "src/CMakeFiles/kqr.dir/datagen/ecommerce_gen.cc.o" "gcc" "src/CMakeFiles/kqr.dir/datagen/ecommerce_gen.cc.o.d"
+  "/root/repo/src/datagen/name_pool.cc" "src/CMakeFiles/kqr.dir/datagen/name_pool.cc.o" "gcc" "src/CMakeFiles/kqr.dir/datagen/name_pool.cc.o.d"
+  "/root/repo/src/datagen/topic_model.cc" "src/CMakeFiles/kqr.dir/datagen/topic_model.cc.o" "gcc" "src/CMakeFiles/kqr.dir/datagen/topic_model.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/kqr.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/kqr.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/judge.cc" "src/CMakeFiles/kqr.dir/eval/judge.cc.o" "gcc" "src/CMakeFiles/kqr.dir/eval/judge.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/kqr.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/kqr.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/CMakeFiles/kqr.dir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/kqr.dir/eval/table_printer.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/CMakeFiles/kqr.dir/graph/csr.cc.o" "gcc" "src/CMakeFiles/kqr.dir/graph/csr.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/kqr.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/kqr.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/node.cc" "src/CMakeFiles/kqr.dir/graph/node.cc.o" "gcc" "src/CMakeFiles/kqr.dir/graph/node.cc.o.d"
+  "/root/repo/src/graph/tat_builder.cc" "src/CMakeFiles/kqr.dir/graph/tat_builder.cc.o" "gcc" "src/CMakeFiles/kqr.dir/graph/tat_builder.cc.o.d"
+  "/root/repo/src/graph/tat_graph.cc" "src/CMakeFiles/kqr.dir/graph/tat_graph.cc.o" "gcc" "src/CMakeFiles/kqr.dir/graph/tat_graph.cc.o.d"
+  "/root/repo/src/search/keyword_search.cc" "src/CMakeFiles/kqr.dir/search/keyword_search.cc.o" "gcc" "src/CMakeFiles/kqr.dir/search/keyword_search.cc.o.d"
+  "/root/repo/src/search/query.cc" "src/CMakeFiles/kqr.dir/search/query.cc.o" "gcc" "src/CMakeFiles/kqr.dir/search/query.cc.o.d"
+  "/root/repo/src/search/result_tree.cc" "src/CMakeFiles/kqr.dir/search/result_tree.cc.o" "gcc" "src/CMakeFiles/kqr.dir/search/result_tree.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/kqr.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/kqr.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/kqr.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/kqr.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/kqr.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/kqr.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/kqr.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/kqr.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/kqr.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/kqr.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/kqr.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/kqr.dir/storage/tuple.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/kqr.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/kqr.dir/storage/value.cc.o.d"
+  "/root/repo/src/text/analyzer.cc" "src/CMakeFiles/kqr.dir/text/analyzer.cc.o" "gcc" "src/CMakeFiles/kqr.dir/text/analyzer.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/CMakeFiles/kqr.dir/text/inverted_index.cc.o" "gcc" "src/CMakeFiles/kqr.dir/text/inverted_index.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/CMakeFiles/kqr.dir/text/porter_stemmer.cc.o" "gcc" "src/CMakeFiles/kqr.dir/text/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/kqr.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/kqr.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/kqr.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/kqr.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/kqr.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/kqr.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/walk/cooccurrence.cc" "src/CMakeFiles/kqr.dir/walk/cooccurrence.cc.o" "gcc" "src/CMakeFiles/kqr.dir/walk/cooccurrence.cc.o.d"
+  "/root/repo/src/walk/preference.cc" "src/CMakeFiles/kqr.dir/walk/preference.cc.o" "gcc" "src/CMakeFiles/kqr.dir/walk/preference.cc.o.d"
+  "/root/repo/src/walk/random_walk.cc" "src/CMakeFiles/kqr.dir/walk/random_walk.cc.o" "gcc" "src/CMakeFiles/kqr.dir/walk/random_walk.cc.o.d"
+  "/root/repo/src/walk/similarity.cc" "src/CMakeFiles/kqr.dir/walk/similarity.cc.o" "gcc" "src/CMakeFiles/kqr.dir/walk/similarity.cc.o.d"
+  "/root/repo/src/walk/similarity_index.cc" "src/CMakeFiles/kqr.dir/walk/similarity_index.cc.o" "gcc" "src/CMakeFiles/kqr.dir/walk/similarity_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

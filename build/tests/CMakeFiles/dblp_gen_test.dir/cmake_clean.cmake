@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_gen_test.dir/dblp_gen_test.cc.o"
+  "CMakeFiles/dblp_gen_test.dir/dblp_gen_test.cc.o.d"
+  "dblp_gen_test"
+  "dblp_gen_test.pdb"
+  "dblp_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_integration_test.dir/ecommerce_integration_test.cc.o"
+  "CMakeFiles/ecommerce_integration_test.dir/ecommerce_integration_test.cc.o.d"
+  "ecommerce_integration_test"
+  "ecommerce_integration_test.pdb"
+  "ecommerce_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facets_test.dir/facets_test.cc.o"
+  "CMakeFiles/facets_test.dir/facets_test.cc.o.d"
+  "facets_test"
+  "facets_test.pdb"
+  "facets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

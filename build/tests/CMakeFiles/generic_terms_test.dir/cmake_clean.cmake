@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_terms_test.dir/generic_terms_test.cc.o"
+  "CMakeFiles/generic_terms_test.dir/generic_terms_test.cc.o.d"
+  "generic_terms_test"
+  "generic_terms_test.pdb"
+  "generic_terms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_terms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

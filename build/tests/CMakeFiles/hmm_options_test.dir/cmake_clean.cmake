@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_options_test.dir/hmm_options_test.cc.o"
+  "CMakeFiles/hmm_options_test.dir/hmm_options_test.cc.o.d"
+  "hmm_options_test"
+  "hmm_options_test.pdb"
+  "hmm_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

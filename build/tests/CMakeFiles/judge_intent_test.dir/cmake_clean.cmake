@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/judge_intent_test.dir/judge_intent_test.cc.o"
+  "CMakeFiles/judge_intent_test.dir/judge_intent_test.cc.o.d"
+  "judge_intent_test"
+  "judge_intent_test.pdb"
+  "judge_intent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/judge_intent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

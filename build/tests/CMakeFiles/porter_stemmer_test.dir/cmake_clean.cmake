@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porter_stemmer_test.dir/porter_stemmer_test.cc.o"
+  "CMakeFiles/porter_stemmer_test.dir/porter_stemmer_test.cc.o.d"
+  "porter_stemmer_test"
+  "porter_stemmer_test.pdb"
+  "porter_stemmer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porter_stemmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_baseline_test.dir/rank_baseline_test.cc.o"
+  "CMakeFiles/rank_baseline_test.dir/rank_baseline_test.cc.o.d"
+  "rank_baseline_test"
+  "rank_baseline_test.pdb"
+  "rank_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reformulator_test.dir/reformulator_test.cc.o"
+  "CMakeFiles/reformulator_test.dir/reformulator_test.cc.o.d"
+  "reformulator_test"
+  "reformulator_test.pdb"
+  "reformulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reformulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tat_graph_test.dir/tat_graph_test.cc.o"
+  "CMakeFiles/tat_graph_test.dir/tat_graph_test.cc.o.d"
+  "tat_graph_test"
+  "tat_graph_test.pdb"
+  "tat_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tat_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

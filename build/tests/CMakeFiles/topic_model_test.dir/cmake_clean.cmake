@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_model_test.dir/topic_model_test.cc.o"
+  "CMakeFiles/topic_model_test.dir/topic_model_test.cc.o.d"
+  "topic_model_test"
+  "topic_model_test.pdb"
+  "topic_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

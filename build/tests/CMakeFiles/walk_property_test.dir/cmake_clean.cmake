@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_property_test.dir/walk_property_test.cc.o"
+  "CMakeFiles/walk_property_test.dir/walk_property_test.cc.o.d"
+  "walk_property_test"
+  "walk_property_test.pdb"
+  "walk_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
