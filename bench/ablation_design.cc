@@ -36,7 +36,7 @@ void AblateContextualPreference(ExperimentContext* ctx) {
   SimilarityExtractor basic_extractor(graph, stats, basic);
   const Vocabulary& vocab = engine.vocab();
 
-  auto same_topic_fraction = [&](const SimilarityExtractor& extractor,
+  auto same_topic_fraction = [&](SimilarityExtractor& extractor,
                                  TermId probe) {
     std::vector<size_t> probe_topics =
         ctx->corpus.TopicsOf(vocab.text(probe));
@@ -61,7 +61,7 @@ void AblateContextualPreference(ExperimentContext* ctx) {
   // Reach: mean shortest graph distance to the top-10 similar terms —
   // the paper's claim is that the one-hot walk is "locally sensitive"
   // while the contextual walk explores the surrounding context.
-  auto mean_reach = [&](const SimilarityExtractor& extractor,
+  auto mean_reach = [&](SimilarityExtractor& extractor,
                         TermId probe) {
     NodeId start = graph.NodeOfTerm(probe);
     auto similar = extractor.TopSimilar(start, 10);

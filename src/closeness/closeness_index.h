@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "closeness/closeness.h"
+#include "common/offline_stats.h"
 
 namespace kqr {
 
@@ -16,16 +17,22 @@ struct ClosenessIndexOptions {
   /// Close terms stored per term ("we maintain top ones and prune less
   /// frequent").
   size_t list_size = 64;
+  /// Worker threads for the batch build. 0 = auto: the KQR_THREADS
+  /// environment variable when set, else the hardware concurrency. The
+  /// built index is identical for every thread count.
+  size_t num_threads = 0;
   ClosenessOptions closeness;
 };
 
 /// \brief Precomputed term → close-term lists with O(1) pair lookup.
 class ClosenessIndex {
  public:
-  /// \brief Runs one path search per term in `terms`.
+  /// \brief Runs one path search per term in `terms`, sharded across
+  /// `options.num_threads` workers. Fills `build_stats` when given.
   static ClosenessIndex BuildFor(const TatGraph& graph,
                                  const std::vector<TermId>& terms,
-                                 ClosenessIndexOptions options = {});
+                                 ClosenessIndexOptions options = {},
+                                 OfflineBuildStats* build_stats = nullptr);
 
   /// Ranked close terms; empty when the term has no entry.
   const std::vector<CloseTerm>& Lookup(TermId term) const;

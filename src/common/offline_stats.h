@@ -1,0 +1,25 @@
+// OfflineBuildStats: per-stage counters surfaced by the offline index
+// builders (SimilarityIndex, ClosenessIndex) so benches and operators can
+// report threads-vs-throughput without instrumenting the builders.
+
+#ifndef KQR_COMMON_OFFLINE_STATS_H_
+#define KQR_COMMON_OFFLINE_STATS_H_
+
+#include <cstddef>
+
+namespace kqr {
+
+/// \brief Counters for one offline batch-build pass.
+struct OfflineBuildStats {
+  size_t terms_total = 0;      ///< terms requested
+  size_t terms_built = 0;      ///< lists actually built
+  size_t terms_skipped = 0;    ///< dropped by the degree floor
+  size_t walks_run = 0;        ///< personalized walks executed
+  size_t walk_iterations = 0;  ///< power-iteration steps summed over walks
+  size_t threads = 0;          ///< worker threads used
+  double wall_ms = 0.0;        ///< wall-clock build time
+};
+
+}  // namespace kqr
+
+#endif  // KQR_COMMON_OFFLINE_STATS_H_

@@ -1,0 +1,51 @@
+#include "common/parallel_for.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace kqr {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("KQR_THREADS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ParallelFor(size_t num_items, size_t num_workers,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (num_items == 0) return;
+  size_t workers = ResolveThreadCount(num_workers);
+  if (workers > num_items) workers = num_items;
+  if (workers == 1) {
+    for (size_t item = 0; item < num_items; ++item) fn(0, item);
+    return;
+  }
+
+  // Item-at-a-time claiming: per-item work here is a whole random walk or
+  // path search (milliseconds), so counter contention is negligible and
+  // fine-grained claiming gives the best balance.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t worker = 0; worker < workers; ++worker) {
+    pool.emplace_back([worker, num_items, &next, &fn] {
+      for (size_t item = next.fetch_add(1, std::memory_order_relaxed);
+           item < num_items;
+           item = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(worker, item);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace kqr

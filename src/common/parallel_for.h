@@ -1,0 +1,36 @@
+// ParallelFor: minimal worker-pool fan-out used by the offline stage.
+// Workers claim items off a shared atomic counter, so load balances even
+// when per-item cost varies (walks on hub terms run longer). Callers that
+// want deterministic output write per-item results into disjoint,
+// pre-sized slots and merge them in item order afterwards — then the
+// output is independent of how items were scheduled across workers.
+
+#ifndef KQR_COMMON_PARALLEL_FOR_H_
+#define KQR_COMMON_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace kqr {
+
+/// \brief Resolves a requested worker count to the count actually used.
+///
+/// `requested` > 0 is taken as-is. 0 means auto: the `KQR_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// hardware concurrency (never less than 1).
+size_t ResolveThreadCount(size_t requested);
+
+/// \brief Runs `fn(worker, item)` exactly once for every item in
+/// [0, num_items), sharded across `num_workers` threads.
+///
+/// `worker` is a dense index in [0, num_workers) identifying the calling
+/// thread — use it to address per-worker scratch state. `num_workers` is
+/// resolved via ResolveThreadCount and clamped to `num_items`; with one
+/// worker the loop runs inline on the calling thread. `fn` must be safe
+/// to call concurrently for distinct items and must not throw.
+void ParallelFor(size_t num_items, size_t num_workers,
+                 const std::function<void(size_t worker, size_t item)>& fn);
+
+}  // namespace kqr
+
+#endif  // KQR_COMMON_PARALLEL_FOR_H_

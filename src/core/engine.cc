@@ -35,7 +35,27 @@ Status ReformulationEngine::Init() {
     std::vector<TermId> all;
     all.reserve(vocab_.size());
     for (TermId t = 0; t < vocab_.size(); ++t) all.push_back(t);
-    PrecomputeFor(all);
+    if (options_.use_cooccurrence_similarity) {
+      PrecomputeFor(all);
+    } else {
+      // Batch builders shard the per-term work across threads
+      // (options_.similarity.num_threads / options_.closeness.num_threads)
+      // and produce the same lists EnsureTerm would, in any thread count.
+      similarity_ =
+          SimilarityIndex::Build(*graph_, *stats_, options_.similarity);
+      std::vector<TermId> eligible;
+      eligible.reserve(all.size());
+      for (TermId t : all) {
+        // EnsureTerm gates closeness on the same degree floor.
+        if (graph_->Degree(graph_->NodeOfTerm(t)) >=
+            options_.similarity.min_degree) {
+          eligible.push_back(t);
+        }
+      }
+      closeness_ =
+          ClosenessIndex::BuildFor(*graph_, eligible, options_.closeness);
+      prepared_.insert(all.begin(), all.end());
+    }
   }
   return Status::OK();
 }

@@ -4,31 +4,51 @@
 
 namespace kqr {
 
-RandomWalkResult RandomWalkEngine::Run(
-    const PreferenceVector& preference) const {
+RandomWalkResult RandomWalkEngine::Run(const PreferenceVector& preference) {
   const size_t n = graph_.num_nodes();
   RandomWalkResult result;
-  result.scores.assign(n, 0.0);
   if (n == 0) {
     result.converged = true;
     return result;
   }
 
-  std::vector<double> r(n, 0.0);
-  for (const auto& [node, w] : preference.entries) r[node] = w;
+  // Validate the preference before touching the dense arrays: an entry
+  // whose node lies outside the graph would be a silent out-of-bounds
+  // write, and an unnormalized vector would leak (or invent) probability
+  // mass through the restart term every iteration. Invalid entries are
+  // dropped; the survivors are rescaled to sum to 1.
+  restart_.clear();
+  double total = 0.0;
+  for (const auto& [node, w] : preference.entries) {
+    if (node >= n || !std::isfinite(w) || w <= 0.0) continue;
+    restart_.emplace_back(node, w);
+    total += w;
+  }
+  if (restart_.empty() || total <= 0.0) {
+    // No usable restart mass: there is no walk to run. Return the all-zero
+    // vector rather than inventing a distribution.
+    result.scores.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+  if (total != 1.0) {
+    const double inv = 1.0 / total;
+    for (auto& [node, w] : restart_) w *= inv;
+  }
 
-  // Start from the restart distribution.
-  std::vector<double>& p = result.scores;
-  p = r;
-  std::vector<double> next(n, 0.0);
+  // Start from the restart distribution. p_/next_ are engine scratch,
+  // reused across walks so a batch of walks allocates once.
+  p_.assign(n, 0.0);
+  for (const auto& [node, w] : restart_) p_[node] += w;
+  next_.assign(n, 0.0);
 
   const double lambda = options_.damping;
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
-    std::fill(next.begin(), next.end(), 0.0);
+    std::fill(next_.begin(), next_.end(), 0.0);
     double dangling = 0.0;
     // Push step: distribute each node's mass over its out-arcs.
     for (NodeId u = 0; u < n; ++u) {
-      double mass = p[u];
+      double mass = p_[u];
       if (mass == 0.0) continue;
       double wdeg = graph_.WeightedDegree(u);
       if (wdeg <= 0.0) {
@@ -37,25 +57,27 @@ RandomWalkResult RandomWalkEngine::Run(
       }
       double scale = lambda * mass / wdeg;
       for (const Arc& arc : graph_.Neighbors(u)) {
-        next[arc.target] += scale * arc.weight;
+        next_[arc.target] += scale * arc.weight;
       }
     }
     // Restart mass: (1-λ) of everything plus λ of the dangling mass goes
-    // back through r.
+    // back through the (normalized) restart distribution.
     double restart = (1.0 - lambda) + lambda * dangling;
-    for (const auto& [node, w] : preference.entries) {
-      next[node] += restart * w;
+    for (const auto& [node, w] : restart_) {
+      next_[node] += restart * w;
     }
 
     double delta = 0.0;
-    for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - p[i]);
-    p.swap(next);
+    for (size_t i = 0; i < n; ++i) delta += std::fabs(next_[i] - p_[i]);
+    p_.swap(next_);
     result.iterations = iter + 1;
     if (delta < options_.epsilon) {
       result.converged = true;
       break;
     }
   }
+  // Copy (not move) out so the scratch keeps its capacity for the next walk.
+  result.scores = p_;
   return result;
 }
 

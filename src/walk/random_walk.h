@@ -4,6 +4,7 @@
 #ifndef KQR_WALK_RANDOM_WALK_H_
 #define KQR_WALK_RANDOM_WALK_H_
 
+#include <utility>
 #include <vector>
 
 #include "graph/tat_graph.h"
@@ -37,15 +38,30 @@ class RandomWalkEngine {
                             RandomWalkOptions options = {})
       : graph_(graph), options_(options) {}
 
-  /// \brief Runs the walk with restart distribution `preference` (must be
-  /// normalized; see PreferenceVector::Normalize).
-  RandomWalkResult Run(const PreferenceVector& preference) const;
+  /// \brief Runs the walk with restart distribution `preference`.
+  ///
+  /// The preference is validated and defensively normalized: entries whose
+  /// node lies outside the graph or whose weight is non-positive or
+  /// non-finite are dropped, and the remaining weights are rescaled to sum
+  /// to 1, so the iteration conserves probability mass even on
+  /// unnormalized input. When no valid entry remains the result is the
+  /// all-zero vector (converged, zero iterations).
+  ///
+  /// Non-const: the engine reuses internal scratch buffers across calls so
+  /// batch walks don't reallocate per term. One engine must therefore not
+  /// be shared across threads — give each worker its own.
+  RandomWalkResult Run(const PreferenceVector& preference);
 
   const RandomWalkOptions& options() const { return options_; }
 
  private:
   const TatGraph& graph_;
   RandomWalkOptions options_;
+  // Scratch reused across Run calls: validated restart entries plus the
+  // two dense iteration vectors.
+  std::vector<std::pair<NodeId, double>> restart_;
+  std::vector<double> p_;
+  std::vector<double> next_;
 };
 
 }  // namespace kqr

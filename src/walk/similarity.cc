@@ -6,19 +6,21 @@
 
 namespace kqr {
 
-RandomWalkResult SimilarityExtractor::Walk(NodeId start) const {
+RandomWalkResult SimilarityExtractor::Walk(NodeId start) {
   PreferenceVector r =
       options_.mode == PreferenceMode::kBasic
           ? MakeBasicPreference(start)
           : MakeContextualPreference(graph_, stats_, start,
                                      options_.context);
   r.Normalize();
-  RandomWalkEngine engine(graph_, options_.walk);
-  return engine.Run(r);
+  RandomWalkResult result = engine_.Run(r);
+  ++walks_run_;
+  walk_iterations_ += result.iterations;
+  return result;
 }
 
 std::vector<ScoredNode> SimilarityExtractor::TopSimilar(NodeId start,
-                                                        size_t k) const {
+                                                        size_t k) {
   RandomWalkResult walk = Walk(start);
   const NodeClass target_class = stats_.ClassOf(start);
   const double alpha = options_.popularity_discount;

@@ -38,20 +38,32 @@ struct SimilarityOptions {
 };
 
 /// \brief Runs Algorithm 1 end to end for one starting node.
+///
+/// Owns a RandomWalkEngine whose scratch buffers are reused across walks,
+/// so an extractor is cheap to drive over a whole vocabulary but must not
+/// be shared across threads — batch builders create one per worker.
 class SimilarityExtractor {
  public:
   SimilarityExtractor(const TatGraph& graph, const GraphStats& stats,
                       SimilarityOptions options = {})
-      : graph_(graph), stats_(stats), options_(options) {}
+      : graph_(graph),
+        stats_(stats),
+        options_(options),
+        engine_(graph, options.walk) {}
 
   /// \brief Top `k` nodes of the same class as `start`, ranked by walk
   /// score, excluding `start` itself. Scores are the raw stationary
   /// probabilities (callers normalize as needed).
-  std::vector<ScoredNode> TopSimilar(NodeId start, size_t k) const;
+  std::vector<ScoredNode> TopSimilar(NodeId start, size_t k);
 
   /// \brief Full stationary vector for `start` under the configured
   /// preference mode (exposed for tests and diagnostics).
-  RandomWalkResult Walk(NodeId start) const;
+  RandomWalkResult Walk(NodeId start);
+
+  /// Walks executed by this extractor so far (offline stats).
+  size_t walks_run() const { return walks_run_; }
+  /// Power-iteration steps summed over those walks.
+  size_t walk_iterations() const { return walk_iterations_; }
 
   const SimilarityOptions& options() const { return options_; }
 
@@ -59,6 +71,9 @@ class SimilarityExtractor {
   const TatGraph& graph_;
   const GraphStats& stats_;
   SimilarityOptions options_;
+  RandomWalkEngine engine_;
+  size_t walks_run_ = 0;
+  size_t walk_iterations_ = 0;
 };
 
 }  // namespace kqr

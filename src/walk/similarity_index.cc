@@ -1,33 +1,79 @@
 #include "walk/similarity_index.h"
 
+#include <algorithm>
+
+#include "common/parallel_for.h"
+#include "common/timer.h"
+
 namespace kqr {
 
 SimilarityIndex SimilarityIndex::Build(const TatGraph& graph,
                                        const GraphStats& stats,
-                                       SimilarityIndexOptions options) {
+                                       SimilarityIndexOptions options,
+                                       OfflineBuildStats* build_stats) {
   std::vector<TermId> terms;
   const Vocabulary& vocab = graph.vocab();
   terms.reserve(vocab.size());
   for (TermId t = 0; t < vocab.size(); ++t) terms.push_back(t);
-  return BuildFor(graph, stats, terms, options);
+  return BuildFor(graph, stats, terms, options, build_stats);
 }
 
 SimilarityIndex SimilarityIndex::BuildFor(
     const TatGraph& graph, const GraphStats& stats,
-    const std::vector<TermId>& terms, SimilarityIndexOptions options) {
+    const std::vector<TermId>& terms, SimilarityIndexOptions options,
+    OfflineBuildStats* build_stats) {
+  Timer timer;
   SimilarityIndex index;
-  SimilarityExtractor extractor(graph, stats, options.similarity);
-  for (TermId term : terms) {
-    NodeId node = graph.NodeOfTerm(term);
-    if (graph.Degree(node) < options.min_degree) continue;
+  const size_t workers = std::max<size_t>(
+      1, std::min(ResolveThreadCount(options.num_threads),
+                  std::max<size_t>(terms.size(), 1)));
+
+  // One extractor per worker: each owns a walk engine whose scratch
+  // buffers are reused across that worker's walks, and each walk is
+  // independent, so results don't depend on which worker ran them.
+  std::vector<SimilarityExtractor> extractors;
+  extractors.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    extractors.emplace_back(graph, stats, options.similarity);
+  }
+
+  // Per-term result slots, merged in term order below — the index contents
+  // are therefore identical to a serial build for any worker count.
+  std::vector<std::vector<SimilarTerm>> lists(terms.size());
+  std::vector<char> built(terms.size(), 0);
+  ParallelFor(terms.size(), workers, [&](size_t worker, size_t i) {
+    NodeId node = graph.NodeOfTerm(terms[i]);
+    if (graph.Degree(node) < options.min_degree) return;
     std::vector<ScoredNode> similar =
-        extractor.TopSimilar(node, options.list_size);
+        extractors[worker].TopSimilar(node, options.list_size);
     std::vector<SimilarTerm> list;
     list.reserve(similar.size());
     for (const ScoredNode& s : similar) {
       list.push_back(SimilarTerm{graph.TermOfNode(s.node), s.score});
     }
-    index.lists_.emplace(term, std::move(list));
+    lists[i] = std::move(list);
+    built[i] = 1;
+  });
+
+  size_t built_count = 0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (!built[i]) continue;
+    ++built_count;
+    index.lists_.emplace(terms[i], std::move(lists[i]));
+  }
+
+  if (build_stats != nullptr) {
+    build_stats->terms_total = terms.size();
+    build_stats->terms_built = built_count;
+    build_stats->terms_skipped = terms.size() - built_count;
+    build_stats->walks_run = 0;
+    build_stats->walk_iterations = 0;
+    for (const SimilarityExtractor& e : extractors) {
+      build_stats->walks_run += e.walks_run();
+      build_stats->walk_iterations += e.walk_iterations();
+    }
+    build_stats->threads = workers;
+    build_stats->wall_ms = timer.ElapsedMillis();
   }
   return index;
 }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/offline_stats.h"
 #include "common/result.h"
 #include "text/vocabulary.h"
 #include "walk/similarity.h"
@@ -26,6 +27,10 @@ struct SimilarityIndexOptions {
   /// (degree-0 terms were cut from the graph; degree-1 terms have trivial
   /// context).
   size_t min_degree = 1;
+  /// Worker threads for the batch build. 0 = auto: the KQR_THREADS
+  /// environment variable when set, else the hardware concurrency. The
+  /// built index is bit-for-bit identical for every thread count.
+  size_t num_threads = 0;
   SimilarityOptions similarity;
 };
 
@@ -33,17 +38,21 @@ struct SimilarityIndexOptions {
 class SimilarityIndex {
  public:
   /// \brief Runs the similarity extractor for every eligible term.
-  /// This is the heavyweight offline step (one personalized walk per term).
+  /// This is the heavyweight offline step (one personalized walk per
+  /// term), sharded across `options.num_threads` workers. Fills
+  /// `build_stats` when given.
   static SimilarityIndex Build(const TatGraph& graph,
                                const GraphStats& stats,
-                               SimilarityIndexOptions options = {});
+                               SimilarityIndexOptions options = {},
+                               OfflineBuildStats* build_stats = nullptr);
 
   /// \brief Builds entries only for `terms` (used by tests and by online
   /// fallback for out-of-index query terms).
   static SimilarityIndex BuildFor(const TatGraph& graph,
                                   const GraphStats& stats,
                                   const std::vector<TermId>& terms,
-                                  SimilarityIndexOptions options = {});
+                                  SimilarityIndexOptions options = {},
+                                  OfflineBuildStats* build_stats = nullptr);
 
   /// Ranked similar terms; empty if the term has no entry.
   const std::vector<SimilarTerm>& Lookup(TermId term) const;

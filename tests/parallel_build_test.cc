@@ -1,0 +1,166 @@
+// The tentpole guarantee of the parallel offline stage: building with N
+// worker threads produces bit-for-bit the same indexes as the serial
+// build, and per-worker scratch reuse never leaks state between walks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "closeness/closeness_index.h"
+#include "common/logging.h"
+#include "datagen/dblp_gen.h"
+#include "graph/graph_stats.h"
+#include "graph/tat_builder.h"
+#include "text/inverted_index.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+namespace {
+
+class ParallelBuildTest : public ::testing::Test {
+ protected:
+  ParallelBuildTest() {
+    DblpOptions options;
+    options.num_authors = 150;
+    options.num_papers = 500;
+    options.num_venues = 24;
+    options.seed = 99;
+    auto corpus = GenerateDblp(options);
+    KQR_CHECK(corpus.ok());
+    db_ = std::make_unique<Database>(std::move(corpus->db));
+    auto index = InvertedIndex::Build(*db_, analyzer_, &vocab_);
+    KQR_CHECK(index.ok());
+    index_ = std::make_unique<InvertedIndex>(std::move(*index));
+    auto graph = BuildTatGraph(*db_, vocab_, *index_);
+    KQR_CHECK(graph.ok());
+    graph_ = std::make_unique<TatGraph>(std::move(*graph));
+    stats_ = std::make_unique<GraphStats>(*graph_);
+  }
+
+  std::vector<TermId> AllTerms() const {
+    std::vector<TermId> all;
+    all.reserve(vocab_.size());
+    for (TermId t = 0; t < vocab_.size(); ++t) all.push_back(t);
+    return all;
+  }
+
+  Analyzer analyzer_;
+  Vocabulary vocab_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<GraphStats> stats_;
+};
+
+void ExpectIdentical(const Vocabulary& vocab, const SimilarityIndex& a,
+                     const SimilarityIndex& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (TermId t = 0; t < vocab.size(); ++t) {
+    ASSERT_EQ(a.Contains(t), b.Contains(t)) << "term " << t;
+    const auto& la = a.Lookup(t);
+    const auto& lb = b.Lookup(t);
+    ASSERT_EQ(la.size(), lb.size()) << "term " << t;
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].term, lb[i].term) << "term " << t << " rank " << i;
+      // Bit-for-bit: exact double equality, not a tolerance.
+      EXPECT_EQ(la[i].score, lb[i].score) << "term " << t << " rank " << i;
+    }
+  }
+}
+
+TEST_F(ParallelBuildTest, SimilarityIndexIdenticalAcrossThreadCounts) {
+  SimilarityIndexOptions serial;
+  serial.num_threads = 1;
+  SimilarityIndex reference =
+      SimilarityIndex::BuildFor(*graph_, *stats_, AllTerms(), serial);
+  ASSERT_GT(reference.size(), 0u);
+
+  for (size_t threads : {2, 3, 4, 8}) {
+    SimilarityIndexOptions options;
+    options.num_threads = threads;
+    SimilarityIndex built =
+        SimilarityIndex::BuildFor(*graph_, *stats_, AllTerms(), options);
+    ExpectIdentical(vocab_, reference, built);
+  }
+}
+
+TEST_F(ParallelBuildTest, ClosenessIndexIdenticalAcrossThreadCounts) {
+  std::vector<TermId> terms = AllTerms();
+  terms.resize(std::min<size_t>(terms.size(), 300));
+
+  ClosenessIndexOptions serial;
+  serial.num_threads = 1;
+  ClosenessIndex reference =
+      ClosenessIndex::BuildFor(*graph_, terms, serial);
+
+  ClosenessIndexOptions parallel;
+  parallel.num_threads = 4;
+  ClosenessIndex built = ClosenessIndex::BuildFor(*graph_, terms, parallel);
+
+  ASSERT_EQ(reference.size(), built.size());
+  for (TermId t : terms) {
+    const auto& la = reference.Lookup(t);
+    const auto& lb = built.Lookup(t);
+    ASSERT_EQ(la.size(), lb.size()) << "term " << t;
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].term, lb[i].term);
+      EXPECT_EQ(la[i].closeness, lb[i].closeness);
+      EXPECT_EQ(la[i].distance, lb[i].distance);
+      EXPECT_EQ(reference.ClosenessOf(t, la[i].term),
+                built.ClosenessOf(t, la[i].term));
+    }
+  }
+}
+
+TEST_F(ParallelBuildTest, ExtractorScratchReuseDoesNotLeakBetweenWalks) {
+  // Drive one extractor over many consecutive terms (reusing its engine
+  // scratch) and compare each list against a fresh extractor's.
+  SimilarityExtractor reused(*graph_, *stats_);
+  size_t compared = 0;
+  for (TermId t = 0; t < vocab_.size() && compared < 25; ++t) {
+    NodeId node = graph_->NodeOfTerm(t);
+    if (graph_->Degree(node) == 0) continue;
+    auto warm = reused.TopSimilar(node, 20);
+    SimilarityExtractor fresh(*graph_, *stats_);
+    auto cold = fresh.TopSimilar(node, 20);
+    ASSERT_EQ(warm.size(), cold.size()) << "term " << t;
+    for (size_t i = 0; i < warm.size(); ++i) {
+      EXPECT_EQ(warm[i].node, cold[i].node) << "term " << t;
+      EXPECT_EQ(warm[i].score, cold[i].score) << "term " << t;
+    }
+    ++compared;
+  }
+  EXPECT_GE(compared, 10u);
+}
+
+TEST_F(ParallelBuildTest, BuildStatsAreFilled) {
+  SimilarityIndexOptions options;
+  options.num_threads = 2;
+  OfflineBuildStats stats;
+  SimilarityIndex built =
+      SimilarityIndex::BuildFor(*graph_, *stats_, AllTerms(), options,
+                                &stats);
+  EXPECT_EQ(stats.terms_total, vocab_.size());
+  EXPECT_EQ(stats.terms_built + stats.terms_skipped, stats.terms_total);
+  EXPECT_EQ(stats.terms_built, built.size());
+  EXPECT_EQ(stats.walks_run, stats.terms_built);
+  EXPECT_GT(stats.walk_iterations, stats.walks_run);
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_GT(stats.wall_ms, 0.0);
+
+  OfflineBuildStats close_stats;
+  std::vector<TermId> some(AllTerms());
+  some.resize(std::min<size_t>(some.size(), 50));
+  ClosenessIndexOptions close_options;
+  close_options.num_threads = 2;
+  ClosenessIndex::BuildFor(*graph_, some, close_options, &close_stats);
+  EXPECT_EQ(close_stats.terms_total, some.size());
+  EXPECT_EQ(close_stats.terms_built, some.size());
+  EXPECT_EQ(close_stats.threads, 2u);
+  EXPECT_GT(close_stats.wall_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,88 @@
+// ParallelFor / ResolveThreadCount: the worker-pool primitive under the
+// offline batch builders.
+
+#include "common/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace kqr {
+namespace {
+
+TEST(ParallelFor, EveryItemVisitedExactlyOnce) {
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v.store(0);
+  ParallelFor(n, 4, [&](size_t, size_t item) {
+    visits[item].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ParallelFor, WorkerIndexStaysInRange) {
+  const size_t workers = 4;
+  std::atomic<size_t> max_worker{0};
+  ParallelFor(256, workers, [&](size_t worker, size_t) {
+    size_t seen = max_worker.load(std::memory_order_relaxed);
+    while (worker > seen &&
+           !max_worker.compare_exchange_weak(seen, worker)) {
+    }
+  });
+  EXPECT_LT(max_worker.load(), workers);
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop) {
+  bool called = false;
+  ParallelFor(0, 8, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MoreWorkersThanItems) {
+  std::vector<std::atomic<int>> visits(3);
+  for (auto& v : visits) v.store(0);
+  ParallelFor(3, 16, [&](size_t, size_t item) {
+    visits[item].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, SingleWorkerRunsInlineInOrder) {
+  std::thread::id main_id = std::this_thread::get_id();
+  std::vector<size_t> order;
+  ParallelFor(5, 1, [&](size_t worker, size_t item) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+    order.push_back(item);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  setenv("KQR_THREADS", "7", 1);
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+  unsetenv("KQR_THREADS");
+}
+
+TEST(ResolveThreadCount, EnvVarSuppliesDefault) {
+  setenv("KQR_THREADS", "5", 1);
+  EXPECT_EQ(ResolveThreadCount(0), 5u);
+  unsetenv("KQR_THREADS");
+}
+
+TEST(ResolveThreadCount, BadEnvValueFallsBackToHardware) {
+  setenv("KQR_THREADS", "not-a-number", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  setenv("KQR_THREADS", "-2", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  unsetenv("KQR_THREADS");
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+}
+
+}  // namespace
+}  // namespace kqr

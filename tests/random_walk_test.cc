@@ -121,6 +121,93 @@ TEST(RandomWalk, EmptyGraph) {
   EXPECT_TRUE(result.scores.empty());
 }
 
+TEST_F(RandomWalkTest, OutOfRangePreferenceEntryIgnored) {
+  // Regression: an entry pointing past the node space used to be a silent
+  // out-of-bounds write. It must be dropped, leaving the walk identical to
+  // one run on the valid remainder.
+  RandomWalkEngine engine(*graph_);
+  NodeId start = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  NodeId oob = static_cast<NodeId>(graph_->num_nodes() + 100);
+
+  PreferenceVector with_oob;
+  with_oob.entries = {{start, 0.5}, {oob, 0.5}};
+  RandomWalkResult got = engine.Run(with_oob);
+
+  RandomWalkEngine clean_engine(*graph_);
+  RandomWalkResult expected = clean_engine.Run(MakeBasicPreference(start));
+  ASSERT_EQ(got.scores.size(), expected.scores.size());
+  for (size_t v = 0; v < got.scores.size(); ++v) {
+    EXPECT_DOUBLE_EQ(got.scores[v], expected.scores[v]) << "node " << v;
+  }
+  double total = std::accumulate(got.scores.begin(), got.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST_F(RandomWalkTest, AllEntriesOutOfRangeYieldsZeroVector) {
+  RandomWalkEngine engine(*graph_);
+  PreferenceVector r;
+  r.entries = {{static_cast<NodeId>(graph_->num_nodes()), 1.0}};
+  RandomWalkResult result = engine.Run(r);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+  ASSERT_EQ(result.scores.size(), graph_->num_nodes());
+  for (double s : result.scores) EXPECT_EQ(s, 0.0);
+}
+
+TEST_F(RandomWalkTest, UnnormalizedPreferenceConservesMass) {
+  // Regression: the restart-mass computation assumed Σw = 1; an
+  // unnormalized vector leaked (or invented) mass every iteration. Run
+  // must normalize defensively.
+  NodeId a = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  NodeId b = graph_->NodeOfTerm(corpus_.Title("query"));
+
+  PreferenceVector unnormalized;
+  unnormalized.entries = {{a, 2.0}, {b, 3.0}};
+  RandomWalkEngine engine(*graph_);
+  RandomWalkResult got = engine.Run(unnormalized);
+  double total = std::accumulate(got.scores.begin(), got.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+
+  PreferenceVector normalized;
+  normalized.entries = {{a, 0.4}, {b, 0.6}};
+  RandomWalkEngine clean_engine(*graph_);
+  RandomWalkResult expected = clean_engine.Run(normalized);
+  for (size_t v = 0; v < got.scores.size(); ++v) {
+    EXPECT_DOUBLE_EQ(got.scores[v], expected.scores[v]) << "node " << v;
+  }
+}
+
+TEST_F(RandomWalkTest, NonPositiveWeightEntriesDropped) {
+  NodeId a = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  NodeId b = graph_->NodeOfTerm(corpus_.Title("query"));
+
+  PreferenceVector noisy;
+  noisy.entries = {{a, 1.0}, {b, -2.0}, {b, 0.0}};
+  RandomWalkEngine engine(*graph_);
+  RandomWalkResult got = engine.Run(noisy);
+
+  RandomWalkEngine clean_engine(*graph_);
+  RandomWalkResult expected = clean_engine.Run(MakeBasicPreference(a));
+  for (size_t v = 0; v < got.scores.size(); ++v) {
+    EXPECT_DOUBLE_EQ(got.scores[v], expected.scores[v]) << "node " << v;
+  }
+}
+
+TEST_F(RandomWalkTest, ScratchReuseDoesNotLeakAcrossWalks) {
+  // One engine run back-to-back must match a fresh engine per walk.
+  NodeId a = graph_->NodeOfTerm(corpus_.Title("uncertain"));
+  NodeId b = graph_->NodeOfTerm(corpus_.Title("mining"));
+
+  RandomWalkEngine reused(*graph_);
+  reused.Run(MakeBasicPreference(a));
+  RandomWalkResult second = reused.Run(MakeBasicPreference(b));
+
+  RandomWalkEngine fresh(*graph_);
+  RandomWalkResult expected = fresh.Run(MakeBasicPreference(b));
+  EXPECT_EQ(second.scores, expected.scores);
+  EXPECT_EQ(second.iterations, expected.iterations);
+}
+
 TEST_F(RandomWalkTest, DanglingMassRedistributed) {
   // Build a graph where the start has an isolated companion: walk from an
   // isolated node keeps all mass there via restart.

@@ -65,6 +65,28 @@ TEST_P(WalkProperty, MassConserved) {
   for (double s : result.scores) EXPECT_GE(s, 0.0);
 }
 
+TEST_P(WalkProperty, MassConservedOnUnnormalizedPreference) {
+  // Run normalizes defensively, so any random non-negative preference —
+  // including ones with out-of-range and non-positive entries mixed in —
+  // must still yield a probability distribution.
+  Rng rng(GetParam() * 7919 + 1);
+  PreferenceVector r;
+  const size_t n = graph_->num_nodes();
+  for (size_t e = 0; e < 12; ++e) {
+    r.entries.emplace_back(static_cast<NodeId>(rng.NextBounded(n)),
+                           rng.NextDouble() * 10.0);
+  }
+  r.entries.emplace_back(static_cast<NodeId>(n + rng.NextBounded(50)), 3.0);
+  r.entries.emplace_back(static_cast<NodeId>(rng.NextBounded(n)), -1.0);
+
+  RandomWalkEngine engine(*graph_);
+  RandomWalkResult result = engine.Run(r);
+  double total = std::accumulate(result.scores.begin(),
+                                 result.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (double s : result.scores) EXPECT_GE(s, 0.0);
+}
+
 TEST_P(WalkProperty, Converges) {
   RandomWalkEngine engine(*graph_);
   PreferenceVector r = MakeBasicPreference(0);
