@@ -22,9 +22,9 @@ constexpr size_t kTopK = 10;
 void AblateContextualPreference(ExperimentContext* ctx) {
   bench::PrintHeader(
       "Ablation 1: contextual vs basic (one-hot) preference vector");
-  ReformulationEngine& engine = *ctx->engine;
-  const TatGraph& graph = engine.graph();
-  const GraphStats& stats = engine.stats();
+  const ServingModel& model = *ctx->model;
+  const TatGraph& graph = model.graph();
+  const GraphStats& stats = model.stats();
 
   // Quality of the similar-term lists against the generative ground
   // truth: fraction of each probe's top-10 similar terms sharing a
@@ -34,7 +34,7 @@ void AblateContextualPreference(ExperimentContext* ctx) {
   basic.mode = PreferenceMode::kBasic;
   SimilarityExtractor ctx_extractor(graph, stats, contextual);
   SimilarityExtractor basic_extractor(graph, stats, basic);
-  const Vocabulary& vocab = engine.vocab();
+  const Vocabulary& vocab = model.vocab();
 
   auto same_topic_fraction = [&](SimilarityExtractor& extractor,
                                  TermId probe) {
@@ -78,7 +78,7 @@ void AblateContextualPreference(ExperimentContext* ctx) {
     return counted == 0 ? -1.0 : total / double(counted);
   };
 
-  QuerySampler sampler(engine, /*seed=*/31, {}, &ctx->corpus);
+  QuerySampler sampler(model, /*seed=*/31, {}, &ctx->corpus);
   double ctx_topical = 0, basic_topical = 0;
   double ctx_reach = 0, basic_reach = 0;
   size_t probes = 0;
@@ -117,9 +117,9 @@ void AblateContextualPreference(ExperimentContext* ctx) {
 
 void AblateVoidStates(ExperimentContext* ctx) {
   bench::PrintHeader("Ablation 2: void/original candidate states");
-  ReformulationEngine& engine = *ctx->engine;
-  TopicJudge judge(ctx->corpus, engine);
-  QuerySampler sampler(engine, /*seed=*/32, {}, &ctx->corpus);
+  const ServingModel& model = *ctx->model;
+  TopicJudge judge(ctx->corpus, model);
+  QuerySampler sampler(model, /*seed=*/32, {}, &ctx->corpus);
   auto queries = sampler.SampleMixedSet(10);
 
   TablePrinter table({"variant", "Precision@5", "mean suggestions"});
@@ -132,29 +132,27 @@ void AblateVoidStates(ExperimentContext* ctx) {
        {Variant{"original+similars (default)", true, false},
         Variant{"with void state", true, true},
         Variant{"similars only", false, false}}) {
-    auto* candidates =
-        &engine.mutable_options()->reformulator.candidates;
-    candidates->include_original = v.original;
-    candidates->include_void = v.include_void;
+    ReformulatorOptions opts = model.options().reformulator;
+    opts.candidates.include_original = v.original;
+    opts.candidates.include_void = v.include_void;
     std::vector<std::vector<bool>> judged;
     double suggestions = 0;
     for (const auto& q : queries) {
-      auto ranking = engine.ReformulateTerms(q, kTopK);
+      auto ranking = model.ReformulateTermsWith(opts, q, kTopK);
       suggestions += double(ranking.size());
       judged.push_back(judge.JudgeRanking(q, ranking));
     }
     table.AddRow({v.name, FormatDouble(MeanPrecisionAtN(judged, 5), 3),
                   FormatDouble(suggestions / double(queries.size()), 1)});
   }
-  engine.mutable_options()->reformulator.candidates = CandidateOptions{};
   table.Print(std::cout);
 }
 
 void AblateClosenessBounds(ExperimentContext* ctx) {
   bench::PrintHeader(
       "Ablation 3: closeness path bound / beam width (time per term)");
-  const TatGraph& graph = ctx->engine->graph();
-  QuerySampler sampler(*ctx->engine, /*seed=*/33);
+  const TatGraph& graph = ctx->model->graph();
+  QuerySampler sampler(*ctx->model, /*seed=*/33);
   auto probes = sampler.SampleQueries(20, 1);
 
   TablePrinter table({"max path length", "beam", "mean time (ms)",

@@ -40,22 +40,22 @@ inline ExperimentContext MustMakeContext(DblpOptions dblp,
   KQR_CHECK(ctx.ok()) << ctx.status().ToString();
   std::printf("# corpus: %zu tuples, %zu graph nodes, %zu edges, "
               "%zu terms (built in %.2fs)\n",
-              ctx->engine->db().TotalRows(),
-              ctx->engine->graph().num_nodes(),
-              ctx->engine->graph().num_edges(),
-              ctx->engine->vocab().size(), timer.ElapsedSeconds());
+              ctx->model->db().TotalRows(),
+              ctx->model->graph().num_nodes(),
+              ctx->model->graph().num_edges(),
+              ctx->model->vocab().size(), timer.ElapsedSeconds());
   return std::move(*ctx);
 }
 
 /// Runs each query once untimed so every lazily-computed offline product
 /// (similar lists, closeness lists) is cached — timed passes then measure
 /// only the online stage, as the paper does.
-inline void WarmUp(ReformulationEngine* engine,
+inline void WarmUp(const ServingModel& model,
                    const std::vector<std::vector<TermId>>& queries,
                    size_t k) {
   Timer timer;
   for (const auto& q : queries) {
-    engine->ReformulateTerms(q, k);
+    model.ReformulateTerms(q, k);
   }
   std::printf("# offline warm-up for %zu queries: %.2fs\n", queries.size(),
               timer.ElapsedSeconds());

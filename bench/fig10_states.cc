@@ -22,21 +22,23 @@ void Run() {
   options.reformulator.candidates.per_term = 40;
   ExperimentContext ctx =
       bench::MustMakeContext(bench::DefaultCorpus(), options);
-  ReformulationEngine& engine = *ctx.engine;
+  const ServingModel& model = *ctx.model;
 
-  QuerySampler sampler(engine, /*seed=*/403);
+  QuerySampler sampler(model, /*seed=*/403);
   auto queries = sampler.SampleQueries(kNumQueries, kQueryLength);
-  bench::WarmUp(&engine, queries, kTopK);
+  bench::WarmUp(model, queries, kTopK);
+  RequestContext rc;
 
   TablePrinter table({"n (states per term)", "whole call (us)",
                       "decode stage (us)"});
   std::vector<double> totals;
   for (size_t n : kStateSizes) {
-    engine.mutable_options()->reformulator.candidates.per_term = n;
+    ReformulatorOptions opts = model.options().reformulator;
+    opts.candidates.per_term = n;
     double total_us = 0, decode_us = 0;
     for (const auto& q : queries) {
       ReformulationTimings timings;
-      engine.ReformulateTerms(q, kTopK, &timings);
+      model.ReformulateTermsWith(opts, q, kTopK, &rc, &timings);
       total_us += timings.TotalSeconds() * 1e6;
       decode_us += timings.decode_seconds * 1e6;
     }

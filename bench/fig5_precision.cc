@@ -24,11 +24,12 @@ constexpr size_t kTopK = 10;
 const size_t kCutoffs[] = {1, 3, 5, 7, 10};
 
 std::vector<std::vector<bool>> JudgeMethod(
-    ReformulationEngine* engine, const TopicJudge& judge,
+    const ServingModel& model, const ReformulatorOptions& opts,
+    const TopicJudge& judge,
     const std::vector<std::vector<TermId>>& queries) {
   std::vector<std::vector<bool>> per_query;
   for (const auto& q : queries) {
-    auto ranking = engine->ReformulateTerms(q, kTopK);
+    auto ranking = model.ReformulateTermsWith(opts, q, kTopK);
     per_query.push_back(judge.JudgeRanking(q, ranking));
   }
   return per_query;
@@ -37,7 +38,7 @@ std::vector<std::vector<bool>> JudgeMethod(
 void Run() {
   bench::PrintHeader(
       "Figure 5: Precision@N of TAT-based / Rank-based / Co-occurrence");
-  // TAT-based and Rank-based share one engine (same similarity source).
+  // TAT-based and Rank-based share one model (same similarity source).
   ExperimentContext tat_ctx =
       bench::MustMakeContext(bench::DefaultCorpus());
   // Co-occurrence arm: identical corpus, co-occurrence similarity.
@@ -46,7 +47,7 @@ void Run() {
   ExperimentContext cooc_ctx =
       bench::MustMakeContext(bench::DefaultCorpus(), cooc_options);
 
-  QuerySampler sampler(*tat_ctx.engine, /*seed=*/2012, {},
+  QuerySampler sampler(*tat_ctx.model, /*seed=*/2012, {},
                        &tat_ctx.corpus);
   std::vector<std::vector<TermId>> queries =
       sampler.SampleMixedSet(kNumQueries);
@@ -54,23 +55,25 @@ void Run() {
               "venue+topic)\n",
               queries.size());
 
-  TopicJudge tat_judge(tat_ctx.corpus, *tat_ctx.engine);
-  TopicJudge cooc_judge(cooc_ctx.corpus, *cooc_ctx.engine);
+  TopicJudge tat_judge(tat_ctx.corpus, *tat_ctx.model);
+  TopicJudge cooc_judge(cooc_ctx.corpus, *cooc_ctx.model);
 
   // TAT-based (HMM + A*, RW similarity).
-  auto tat = JudgeMethod(tat_ctx.engine.get(), tat_judge, queries);
+  const ReformulatorOptions tat_opts =
+      tat_ctx.model->options().reformulator;
+  auto tat = JudgeMethod(*tat_ctx.model, tat_opts, tat_judge, queries);
 
   // Rank-based (same similarity, similarity-only combination).
-  tat_ctx.engine->mutable_options()->reformulator.algorithm =
-      TopKAlgorithm::kRankBaseline;
-  auto rank = JudgeMethod(tat_ctx.engine.get(), tat_judge, queries);
-  tat_ctx.engine->mutable_options()->reformulator.algorithm =
-      TopKAlgorithm::kViterbiAStar;
+  ReformulatorOptions rank_opts = tat_opts;
+  rank_opts.algorithm = TopKAlgorithm::kRankBaseline;
+  auto rank = JudgeMethod(*tat_ctx.model, rank_opts, tat_judge, queries);
 
   // Co-occurrence reformulation (HMM, co-occurrence similarity).
-  // Queries transfer verbatim: both engines index the identical corpus,
+  // Queries transfer verbatim: both models index the identical corpus,
   // so TermIds coincide.
-  auto cooc = JudgeMethod(cooc_ctx.engine.get(), cooc_judge, queries);
+  auto cooc = JudgeMethod(*cooc_ctx.model,
+                          cooc_ctx.model->options().reformulator,
+                          cooc_judge, queries);
 
   TablePrinter table({"N", "TAT-based", "Rank-based", "Co-occurrence"});
   for (size_t n : kCutoffs) {
@@ -93,9 +96,10 @@ void Run() {
   bench::PrintHeader("Ablation: smoothing lambda (Eqs. 5-6)");
   TablePrinter ablation({"lambda", "Precision@5"});
   for (double lambda : {1.0, 0.9, 0.8, 0.6, 0.4, 0.2}) {
-    tat_ctx.engine->mutable_options()
-        ->reformulator.hmm.smoothing.lambda = lambda;
-    auto judged = JudgeMethod(tat_ctx.engine.get(), tat_judge, queries);
+    ReformulatorOptions lambda_opts = tat_opts;
+    lambda_opts.hmm.smoothing.lambda = lambda;
+    auto judged = JudgeMethod(*tat_ctx.model, lambda_opts, tat_judge,
+                              queries);
     ablation.AddRow({FormatDouble(lambda, 1),
                      FormatDouble(MeanPrecisionAtN(judged, 5), 3)});
   }

@@ -17,16 +17,21 @@ void Run() {
       "Figure 7: Algorithm 2 (extended Viterbi) vs Algorithm 3 "
       "(Viterbi+A*) by query length");
   ExperimentContext ctx = bench::MustMakeContext(bench::DefaultCorpus());
-  ReformulationEngine& engine = *ctx.engine;
+  const ServingModel& model = *ctx.model;
 
-  QuerySampler sampler(engine, /*seed=*/400);
+  QuerySampler sampler(model, /*seed=*/400);
   std::vector<std::vector<std::vector<TermId>>> by_length;
   std::vector<std::vector<TermId>> all;
   for (size_t len = 1; len <= kMaxLength; ++len) {
     by_length.push_back(sampler.SampleQueries(kQueriesPerLength, len));
     for (const auto& q : by_length.back()) all.push_back(q);
   }
-  bench::WarmUp(&engine, all, kTopK);
+  bench::WarmUp(model, all, kTopK);
+  ReformulatorOptions viterbi_opts = model.options().reformulator;
+  viterbi_opts.algorithm = TopKAlgorithm::kExtendedViterbi;
+  ReformulatorOptions astar_opts = model.options().reformulator;
+  astar_opts.algorithm = TopKAlgorithm::kViterbiAStar;
+  RequestContext rc;
 
   TablePrinter table({"query length", "Algorithm 2 (ms)",
                       "Algorithm 3 (ms)", "speedup"});
@@ -34,16 +39,16 @@ void Run() {
   for (size_t len = 1; len <= kMaxLength; ++len) {
     const auto& queries = by_length[len - 1];
 
-    engine.mutable_options()->reformulator.algorithm =
-        TopKAlgorithm::kExtendedViterbi;
     Timer t2;
-    for (const auto& q : queries) engine.ReformulateTerms(q, kTopK);
+    for (const auto& q : queries) {
+      model.ReformulateTermsWith(viterbi_opts, q, kTopK, &rc);
+    }
     double ms2 = t2.ElapsedMillis() / double(queries.size());
 
-    engine.mutable_options()->reformulator.algorithm =
-        TopKAlgorithm::kViterbiAStar;
     Timer t3;
-    for (const auto& q : queries) engine.ReformulateTerms(q, kTopK);
+    for (const auto& q : queries) {
+      model.ReformulateTermsWith(astar_opts, q, kTopK, &rc);
+    }
     double ms3 = t3.ElapsedMillis() / double(queries.size());
 
     total2 += ms2;

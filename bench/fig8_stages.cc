@@ -16,16 +16,17 @@ void Run() {
   bench::PrintHeader(
       "Figure 8: Algorithm 3 stage breakdown (Viterbi init vs A* search)");
   ExperimentContext ctx = bench::MustMakeContext(bench::DefaultCorpus());
-  ReformulationEngine& engine = *ctx.engine;
+  const ServingModel& model = *ctx.model;
 
-  QuerySampler sampler(engine, /*seed=*/401);
+  QuerySampler sampler(model, /*seed=*/401);
   std::vector<std::vector<std::vector<TermId>>> by_length;
   std::vector<std::vector<TermId>> all;
   for (size_t len = 1; len <= kMaxLength; ++len) {
     by_length.push_back(sampler.SampleQueries(kQueriesPerLength, len));
     for (const auto& q : by_length.back()) all.push_back(q);
   }
-  bench::WarmUp(&engine, all, kTopK);
+  bench::WarmUp(model, all, kTopK);
+  RequestContext rc;
 
   TablePrinter table({"query length", "Viterbi stage (us)",
                       "A* stage (us)", "whole call (us)"});
@@ -33,7 +34,7 @@ void Run() {
     double viterbi_us = 0, astar_us = 0, total_us = 0;
     for (const auto& q : by_length[len - 1]) {
       ReformulationTimings timings;
-      engine.ReformulateTerms(q, kTopK, &timings);
+      model.ReformulateTerms(q, kTopK, &rc, &timings);
       viterbi_us += timings.astar.viterbi_seconds * 1e6;
       astar_us += timings.astar.astar_seconds * 1e6;
       total_us += timings.TotalSeconds() * 1e6;

@@ -16,11 +16,12 @@ void Run() {
   bench::PrintHeader(
       "Figure 9: time vs number of returned queries k (length 6)");
   ExperimentContext ctx = bench::MustMakeContext(bench::DefaultCorpus());
-  ReformulationEngine& engine = *ctx.engine;
+  const ServingModel& model = *ctx.model;
 
-  QuerySampler sampler(engine, /*seed=*/402);
+  QuerySampler sampler(model, /*seed=*/402);
   auto queries = sampler.SampleQueries(kNumQueries, kQueryLength);
-  bench::WarmUp(&engine, queries, 50);
+  bench::WarmUp(model, queries, 50);
+  RequestContext rc;
 
   TablePrinter table({"k", "Viterbi stage (us)", "A* stage (us)",
                       "whole call (us)"});
@@ -29,7 +30,7 @@ void Run() {
     double viterbi_us = 0, astar_us = 0, total_us = 0;
     for (const auto& q : queries) {
       ReformulationTimings timings;
-      engine.ReformulateTerms(q, k, &timings);
+      model.ReformulateTerms(q, k, &rc, &timings);
       viterbi_us += timings.astar.viterbi_seconds * 1e6;
       astar_us += timings.astar.astar_seconds * 1e6;
       total_us += timings.TotalSeconds() * 1e6;

@@ -1,0 +1,218 @@
+// Online-serving scaling: QPS vs thread count for concurrent reformulation
+// against one shared ServingModel (not in the paper — the paper reports
+// single-request latency; this is the ROADMAP's concurrent-traffic
+// north star). The model is built eagerly (frozen indexes, lock-free
+// reads); every thread owns a RequestContext, so the only shared state on
+// the hot path is immutable.
+//
+// Every configuration serves the exact same request set, and every
+// result is checked against a serial-run fingerprint — aggregate QPS must
+// come from concurrency, never from divergent work or divergent answers.
+//
+// Emits BENCH_scaling_online.json next to the table output.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/latency.h"
+
+namespace kqr {
+namespace {
+
+constexpr size_t kNumQueries = 64;
+constexpr size_t kRounds = 40;  // total requests per config = 64 × 40
+constexpr size_t kTopK = 10;
+const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Order- and bit-exact fingerprint of one ranking (terms + score bits).
+uint64_t Fingerprint(const std::vector<ReformulatedQuery>& ranking) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1a(h, ranking.size());
+  for (const ReformulatedQuery& q : ranking) {
+    for (TermId t : q.terms) h = Fnv1a(h, t);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(q.score));
+    __builtin_memcpy(&bits, &q.score, sizeof(bits));
+    h = Fnv1a(h, bits);
+  }
+  return h;
+}
+
+struct ConfigOutcome {
+  size_t threads = 0;
+  size_t requests = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double speedup = 1.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double scratch_hit_rate = 0.0;
+  size_t mismatches = 0;
+};
+
+ConfigOutcome RunConfig(const ServingModel& model,
+                        const std::vector<std::vector<TermId>>& queries,
+                        const std::vector<uint64_t>& reference,
+                        size_t num_threads) {
+  std::vector<LatencyRecorder> recorders(num_threads);
+  std::vector<RequestStats> stats(num_threads);
+  std::atomic<size_t> mismatches{0};
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    threads.emplace_back([&, w]() {
+      RequestContext ctx;
+      // Round-robin split: across all threads each round covers the whole
+      // query set exactly once, so total work is identical per config.
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (size_t i = w; i < queries.size(); i += num_threads) {
+          Timer request;
+          auto ranking = model.ReformulateTerms(queries[i], kTopK, &ctx);
+          recorders[w].Add(request.ElapsedSeconds());
+          if (Fingerprint(ranking) != reference[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      stats[w] = ctx.stats;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ConfigOutcome out;
+  out.threads = num_threads;
+  out.wall_seconds = wall.ElapsedSeconds();
+  LatencyRecorder merged;
+  RequestStats total;
+  for (size_t w = 0; w < num_threads; ++w) {
+    merged.Merge(recorders[w]);
+    total.MergeFrom(stats[w]);
+  }
+  out.requests = merged.count();
+  out.qps = out.wall_seconds > 0 ? double(out.requests) / out.wall_seconds
+                                 : 0.0;
+  out.p50_us = merged.Percentile(50) * 1e6;
+  out.p95_us = merged.Percentile(95) * 1e6;
+  out.p99_us = merged.Percentile(99) * 1e6;
+  out.scratch_hit_rate = total.ScratchHitRate();
+  out.mismatches = mismatches.load();
+  return out;
+}
+
+void WriteJson(const std::vector<ConfigOutcome>& outcomes) {
+  FILE* f = std::fopen("BENCH_scaling_online.json", "w");
+  if (f == nullptr) {
+    std::printf("# could not open BENCH_scaling_online.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scaling_online\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"queries\": %zu,\n  \"rounds\": %zu,\n  \"k\": %zu,\n",
+               kNumQueries, kRounds, kTopK);
+  std::fprintf(f, "  \"configs\": [\n");
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const ConfigOutcome& o = outcomes[i];
+    std::fprintf(
+        f,
+        "    {\"threads\": %zu, \"requests\": %zu, \"wall_seconds\": %.6f, "
+        "\"qps\": %.1f, \"speedup\": %.3f, \"p50_us\": %.1f, "
+        "\"p95_us\": %.1f, \"p99_us\": %.1f, \"scratch_hit_rate\": %.4f, "
+        "\"mismatches\": %zu}%s\n",
+        o.threads, o.requests, o.wall_seconds, o.qps, o.speedup, o.p50_us,
+        o.p95_us, o.p99_us, o.scratch_hit_rate, o.mismatches,
+        i + 1 < outcomes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_scaling_online.json\n");
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Scaling: online reformulation QPS vs serving threads");
+  std::printf("# hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+
+  // Eager build: the model is fully prepared and frozen, so the serving
+  // hot path takes no locks at all.
+  EngineOptions options;
+  options.precompute_offline = true;
+  ExperimentContext ctx =
+      bench::MustMakeContext(bench::DefaultCorpus(), options);
+  const ServingModel& model = *ctx.model;
+
+  QuerySampler sampler(model, /*seed=*/808);
+  std::vector<std::vector<TermId>> queries;
+  for (size_t len : {2, 3, 4}) {
+    for (auto& q : sampler.SampleQueries(kNumQueries / 3, len)) {
+      queries.push_back(std::move(q));
+    }
+  }
+  while (queries.size() < kNumQueries) {
+    queries.push_back(sampler.SampleQuery(2));
+  }
+  std::printf("# %zu sampled queries (lengths 2-4), %zu requests per "
+              "config\n",
+              queries.size(), queries.size() * kRounds);
+
+  // Serial reference fingerprints: every threaded result must match these
+  // bit for bit.
+  std::vector<uint64_t> reference;
+  reference.reserve(queries.size());
+  {
+    RequestContext ctx_serial;
+    for (const auto& q : queries) {
+      reference.push_back(
+          Fingerprint(model.ReformulateTerms(q, kTopK, &ctx_serial)));
+    }
+  }
+
+  TablePrinter table({"threads", "QPS", "speedup", "p50 (us)", "p95 (us)",
+                      "p99 (us)", "scratch hits", "serial-identical"});
+  std::vector<ConfigOutcome> outcomes;
+  double base_qps = 0.0;
+  for (size_t threads : kThreadCounts) {
+    ConfigOutcome o = RunConfig(model, queries, reference, threads);
+    if (threads == 1) base_qps = o.qps;
+    o.speedup = base_qps > 0 ? o.qps / base_qps : 0.0;
+    table.AddRow({std::to_string(o.threads), FormatDouble(o.qps, 0),
+                  FormatDouble(o.speedup, 2) + "x",
+                  FormatDouble(o.p50_us, 1), FormatDouble(o.p95_us, 1),
+                  FormatDouble(o.p99_us, 1),
+                  FormatDouble(o.scratch_hit_rate * 100, 1) + "%",
+                  o.mismatches == 0 ? "yes" : "NO"});
+    outcomes.push_back(o);
+  }
+  table.Print(std::cout);
+
+  const ConfigOutcome& last = outcomes.back();
+  std::printf(
+      "shape: outputs serial-identical at every width: %s | 8-thread "
+      "speedup %.2fx (needs >= 8 hardware threads to express; %u "
+      "available)\n",
+      last.mismatches == 0 ? "HOLDS" : "VIOLATED",
+      last.speedup, std::thread::hardware_concurrency());
+  WriteJson(outcomes);
+}
+
+}  // namespace
+}  // namespace kqr
+
+int main() {
+  kqr::Run();
+  return 0;
+}

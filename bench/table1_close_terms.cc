@@ -14,15 +14,15 @@ void Run() {
   bench::PrintHeader(
       "Table I: close terms / close venues per target term");
   ExperimentContext ctx = bench::MustMakeContext(bench::DefaultCorpus());
-  ReformulationEngine& engine = *ctx.engine;
+  const ServingModel& model = *ctx.model;
 
   // Rank display lists by per-occurrence closeness so informative close
   // terms surface above generic corpus-wide filler (stored closeness
   // values are the raw Eq. 3 sums either way).
   ClosenessOptions display;
   display.rank_normalized = true;
-  ClosenessExtractor extractor(engine.graph(), display);
-  const Vocabulary& vocab = engine.vocab();
+  ClosenessExtractor extractor(model.graph(), display);
+  const Vocabulary& vocab = model.vocab();
   auto title_field = vocab.FindField("papers", "title");
   auto venue_field = vocab.FindField("venues", "name");
   KQR_CHECK(title_field.has_value() && venue_field.has_value());
@@ -64,8 +64,8 @@ void Run() {
     if (close_venues.size() >= 2) {
       TermId nearest = close_venues.front().term;
       TermId farthest = close_venues.back().term;
-      size_t near_count = engine.CountResults({*prob, nearest});
-      size_t far_count = engine.CountResults({*prob, farthest});
+      size_t near_count = model.CountResults({*prob, nearest});
+      size_t far_count = model.CountResults({*prob, farthest});
       std::printf("results(probabilistic + %s) = %zu\n",
                   vocab.text(nearest).c_str(), near_count);
       std::printf("results(probabilistic + %s) = %zu\n",

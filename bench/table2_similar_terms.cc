@@ -26,11 +26,11 @@ void Run() {
   bench::PrintHeader(
       "Table II: similar term extraction, co-occurrence vs contextual RW");
   ExperimentContext ctx = bench::MustMakeContext(bench::DefaultCorpus());
-  ReformulationEngine& engine = *ctx.engine;
-  const Vocabulary& vocab = engine.vocab();
-  const TatGraph& graph = engine.graph();
+  const ServingModel& model = *ctx.model;
+  const Vocabulary& vocab = model.vocab();
+  const TatGraph& graph = model.graph();
 
-  SimilarityExtractor walk(graph, engine.stats());
+  SimilarityExtractor walk(graph, model.stats());
   CooccurrenceSimilarity cooc(graph);
   PorterStemmer stemmer;
   auto title_field = vocab.FindField("papers", "title");
@@ -68,7 +68,7 @@ void Run() {
   size_t best_degree = 0;
   for (TermId t = 0; t < vocab.size(); ++t) {
     if (vocab.field_of(t) != *author_field) continue;
-    const auto& postings = engine.index().Lookup(t);
+    const auto& postings = model.index().Lookup(t);
     if (postings.empty()) continue;
     size_t deg = graph.Degree(graph.NodeOfTuple(postings[0].tuple));
     if (deg > best_degree) {

@@ -25,13 +25,15 @@ struct MethodOutcome {
   double relevant_fraction = 0;
 };
 
-MethodOutcome Evaluate(ReformulationEngine* engine, const TopicJudge& judge,
+MethodOutcome Evaluate(const ServingModel& model,
+                       const ReformulatorOptions& opts,
+                       const TopicJudge& judge,
                        const std::vector<std::vector<TermId>>& queries) {
   std::vector<std::vector<ReformulatedQuery>> per_query;
   std::vector<std::vector<ReformulatedQuery>> relevant_only;
   size_t kept = 0, produced = 0;
   for (const auto& q : queries) {
-    auto ranking = engine->ReformulateTerms(q, kTopK);
+    auto ranking = model.ReformulateTermsWith(opts, q, kTopK);
     std::vector<ReformulatedQuery> relevant;
     for (const ReformulatedQuery& r : ranking) {
       if (judge.IsRelevant(q, r)) relevant.push_back(r);
@@ -42,12 +44,12 @@ MethodOutcome Evaluate(ReformulationEngine* engine, const TopicJudge& judge,
     relevant_only.push_back(std::move(relevant));
   }
   MethodOutcome outcome;
-  outcome.result_size = MeanResultSize(*engine, per_query);
+  outcome.result_size = MeanResultSize(model, per_query);
   outcome.query_distance =
-      MeanQueryDistance(engine->graph(), queries, per_query);
-  outcome.relevant_result_size = MeanResultSize(*engine, relevant_only);
+      MeanQueryDistance(model.graph(), queries, per_query);
+  outcome.relevant_result_size = MeanResultSize(model, relevant_only);
   outcome.relevant_query_distance =
-      MeanQueryDistance(engine->graph(), queries, relevant_only);
+      MeanQueryDistance(model.graph(), queries, relevant_only);
   outcome.relevant_fraction =
       produced == 0 ? 0.0
                     : static_cast<double>(kept) /
@@ -76,23 +78,27 @@ void Run() {
   ExperimentContext cooc_ctx =
       bench::MustMakeContext(bench::DefaultCorpus(), cooc_options);
 
-  QuerySampler sampler(*tat_ctx.engine, /*seed=*/1994);
+  QuerySampler sampler(*tat_ctx.model, /*seed=*/1994);
   auto queries = sampler.SampleTitleQueries(kNumQueries);
   std::printf("# %zu title-derived queries (2-4 informative terms each)\n",
               queries.size());
 
-  TopicJudge tat_judge(tat_ctx.corpus, *tat_ctx.engine);
-  TopicJudge cooc_judge(cooc_ctx.corpus, *cooc_ctx.engine);
+  TopicJudge tat_judge(tat_ctx.corpus, *tat_ctx.model);
+  TopicJudge cooc_judge(cooc_ctx.corpus, *cooc_ctx.model);
 
-  MethodOutcome tat = Evaluate(tat_ctx.engine.get(), tat_judge, queries);
+  const ReformulatorOptions tat_opts =
+      tat_ctx.model->options().reformulator;
+  MethodOutcome tat = Evaluate(*tat_ctx.model, tat_opts, tat_judge,
+                               queries);
 
-  tat_ctx.engine->mutable_options()->reformulator.algorithm =
-      TopKAlgorithm::kRankBaseline;
-  MethodOutcome rank = Evaluate(tat_ctx.engine.get(), tat_judge, queries);
-  tat_ctx.engine->mutable_options()->reformulator.algorithm =
-      TopKAlgorithm::kViterbiAStar;
+  ReformulatorOptions rank_opts = tat_opts;
+  rank_opts.algorithm = TopKAlgorithm::kRankBaseline;
+  MethodOutcome rank = Evaluate(*tat_ctx.model, rank_opts, tat_judge,
+                                queries);
 
-  MethodOutcome cooc = Evaluate(cooc_ctx.engine.get(), cooc_judge, queries);
+  MethodOutcome cooc = Evaluate(*cooc_ctx.model,
+                                cooc_ctx.model->options().reformulator,
+                                cooc_judge, queries);
 
   TablePrinter table(
       {"", "TAT based", "Rank based", "Co-occurrence based"});

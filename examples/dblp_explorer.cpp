@@ -9,17 +9,17 @@
 
 #include <cstdio>
 
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "datagen/dblp_gen.h"
 
 using namespace kqr;
 
 namespace {
 
-void RunQuery(ReformulationEngine* engine, const std::string& query) {
+void RunQuery(const ServingModel& model, const std::string& query) {
   std::printf("\n=== query: \"%s\" ===\n", query.c_str());
 
-  auto outcome = engine->Search(query);
+  auto outcome = model.Search(query);
   if (!outcome.ok()) {
     std::printf("  [search] %s\n", outcome.status().ToString().c_str());
   } else {
@@ -28,11 +28,11 @@ void RunQuery(ReformulationEngine* engine, const std::string& query) {
     for (const ResultTree& tree : outcome->results) {
       if (shown++ >= 3) break;
       std::printf("    %.2f  %s\n", tree.score,
-                  tree.ToString(engine->graph()).c_str());
+                  tree.ToString(model.graph()).c_str());
     }
   }
 
-  auto suggestions = engine->Reformulate(query, 8);
+  auto suggestions = model.Reformulate(query, 8);
   if (!suggestions.ok()) {
     std::printf("  [reformulate] %s\n",
                 suggestions.status().ToString().c_str());
@@ -41,7 +41,7 @@ void RunQuery(ReformulationEngine* engine, const std::string& query) {
   std::printf("  [reformulated queries]\n");
   for (const ReformulatedQuery& q : *suggestions) {
     std::printf("    %-48s %.3g\n",
-                q.ToString(engine->vocab()).c_str(), q.score);
+                q.ToString(model.vocab()).c_str(), q.score);
   }
 }
 
@@ -59,18 +59,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto engine = ReformulationEngine::Build(std::move(corpus->db));
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+  auto built = EngineBuilder().Build(std::move(corpus->db));
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
   }
-  std::printf("engine ready: %zu tuples, %zu graph nodes, %zu terms\n",
-              (*engine)->db().TotalRows(),
-              (*engine)->graph().num_nodes(), (*engine)->vocab().size());
+  std::shared_ptr<const ServingModel> model = std::move(*built);
+  std::printf("model ready: %zu tuples, %zu graph nodes, %zu terms\n",
+              model->db().TotalRows(), model->graph().num_nodes(),
+              model->vocab().size());
 
   if (argc > 1) {
     for (int i = 1; i < argc; ++i) {
-      RunQuery(engine->get(), argv[i]);
+      RunQuery(*model, argv[i]);
     }
     return 0;
   }
@@ -80,14 +81,14 @@ int main(int argc, char** argv) {
   for (const char* query :
        {"uncertain query", "probabilistic ranking", "xml tree",
         "association rule mining"}) {
-    RunQuery(engine->get(), query);
+    RunQuery(*model, query);
   }
 
   // Author + topic: pick a real author name from the corpus.
-  const Table* authors = (*engine)->db().FindTable("authors");
+  const Table* authors = model->db().FindTable("authors");
   if (authors != nullptr && authors->num_rows() > 0) {
     std::string name = authors->row(0).at(1).AsString();
-    RunQuery(engine->get(), name + " mining");
+    RunQuery(*model, name + " mining");
   }
   return 0;
 }

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "datagen/ecommerce_gen.h"
 
 using namespace kqr;
@@ -20,12 +20,12 @@ int main() {
     return 1;
   }
 
-  auto engine = ReformulationEngine::Build(std::move(corpus->db));
+  auto engine = EngineBuilder().Build(std::move(corpus->db));
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("engine ready: %zu tuples, %zu graph nodes, %zu terms\n\n",
+  std::printf("model ready: %zu tuples, %zu graph nodes, %zu terms\n\n",
               (*engine)->db().TotalRows(),
               (*engine)->graph().num_nodes(), (*engine)->vocab().size());
 

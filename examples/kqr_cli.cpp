@@ -21,7 +21,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "core/facets.h"
 #include "datagen/dblp_gen.h"
 #include "storage/csv.h"
@@ -124,34 +124,34 @@ Result<Database> LoadFromSchemaFile(const std::string& path) {
   return db;
 }
 
-int RunQuery(ReformulationEngine* engine, const std::string& query,
+int RunQuery(const ServingModel& model, const std::string& query,
              size_t k) {
-  auto resolved = engine->ResolveQuery(query);
+  auto resolved = model.ResolveQuery(query);
   if (!resolved.ok()) {
     std::fprintf(stderr, "cannot resolve query: %s\n",
                  resolved.status().ToString().c_str());
     return 1;
   }
-  auto suggestions = engine->ReformulateTerms(*resolved, k);
+  auto suggestions = model.ReformulateTerms(*resolved, k);
   std::printf("query: \"%s\" — %zu suggestions\n", query.c_str(),
               suggestions.size());
-  auto facets = GroupByFacets(*resolved, suggestions, engine->vocab());
+  auto facets = GroupByFacets(*resolved, suggestions, model.vocab());
   for (const SuggestionFacet& facet : facets) {
     std::printf("[facet: %s]\n", facet.label.c_str());
     for (size_t idx : facet.suggestions) {
       const ReformulatedQuery& q = suggestions[idx];
       std::printf("  %-44s %.3g\n",
-                  q.ToString(engine->vocab()).c_str(), q.score);
+                  q.ToString(model.vocab()).c_str(), q.score);
       for (const auto& e :
-           ExplainReformulation(*engine, *resolved, q)) {
+           ExplainReformulation(model, *resolved, q)) {
         if (!e.kept) {
           std::printf("      %s\n",
-                      e.ToString(engine->vocab()).c_str());
+                      e.ToString(model.vocab()).c_str());
         }
       }
     }
   }
-  auto outcome = engine->Search(query);
+  auto outcome = model.Search(query);
   if (outcome.ok()) {
     std::printf("keyword search results: %zu\n", outcome->total_results);
   }
@@ -188,13 +188,13 @@ int main(int argc, char** argv) {
     db = std::move(*loaded);
   }
 
-  auto engine = ReformulationEngine::Build(std::move(db));
+  auto engine = EngineBuilder().Build(std::move(db));
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("engine: %zu tuples, %zu terms, %zu graph nodes\n",
+  std::printf("model: %zu tuples, %zu terms, %zu graph nodes\n",
               (*engine)->db().TotalRows(), (*engine)->vocab().size(),
               (*engine)->graph().num_nodes());
-  return RunQuery(engine->get(), query, k);
+  return RunQuery(**engine, query, k);
 }

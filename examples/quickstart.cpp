@@ -1,12 +1,12 @@
-// Quickstart: build a tiny bibliographic database by hand, stand up the
-// reformulation engine, and reformulate a query — the 60-second tour of
-// the public API.
+// Quickstart: build a tiny bibliographic database by hand, run the
+// offline build with EngineBuilder, and serve reformulations from the
+// immutable ServingModel — the 60-second tour of the public API.
 //
 //   $ ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/engine.h"
+#include "core/engine_builder.h"
 
 using namespace kqr;
 
@@ -54,22 +54,28 @@ int main() {
     (void)papers->Insert({Value(id++), Value(r.title), Value(r.venue)});
   }
 
-  // 3. Build the engine: analyzer -> inverted index -> TAT graph ->
-  //    offline term-relation extraction (lazy by default).
-  auto engine = ReformulationEngine::Build(std::move(db));
-  if (!engine.ok()) {
+  // 3. Offline stage: EngineBuilder runs analyzer -> inverted index ->
+  //    TAT graph -> term-relation extraction and returns an immutable
+  //    ServingModel (shared_ptr<const>). Every method on the model is
+  //    const and safe to call from any number of threads.
+  auto built = EngineBuilder().Build(std::move(db));
+  if (!built.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
-                 engine.status().ToString().c_str());
+                 built.status().ToString().c_str());
     return 1;
   }
+  std::shared_ptr<const ServingModel> model = std::move(*built);
 
   std::printf("graph: %zu nodes, %zu edges, %zu terms\n",
-              (*engine)->graph().num_nodes(),
-              (*engine)->graph().num_edges(), (*engine)->vocab().size());
+              model->graph().num_nodes(), model->graph().num_edges(),
+              model->vocab().size());
 
-  // 4. Reformulate a keyword query.
+  // 4. Online stage: reformulate a keyword query. The RequestContext is
+  //    optional per-thread scratch — reusing one across requests skips
+  //    reallocating the candidate trellis and decoder buffers.
+  RequestContext ctx;
   const char* query = "uncertain ranking";
-  auto suggestions = (*engine)->Reformulate(query, 5);
+  auto suggestions = model->Reformulate(query, 5, &ctx);
   if (!suggestions.ok()) {
     std::fprintf(stderr, "reformulation failed: %s\n",
                  suggestions.status().ToString().c_str());
@@ -78,18 +84,18 @@ int main() {
   std::printf("query: \"%s\"\nsuggestions:\n", query);
   for (const ReformulatedQuery& q : *suggestions) {
     std::printf("  %-40s (score %.3g)\n",
-                q.ToString((*engine)->vocab()).c_str(), q.score);
+                q.ToString(model->vocab()).c_str(), q.score);
   }
 
-  // 5. Keyword search still works on the same engine (Def. 3 results).
-  auto outcome = (*engine)->Search(query);
+  // 5. Keyword search works on the same model (Def. 3 results).
+  auto outcome = model->Search(query);
   if (outcome.ok()) {
     std::printf("keyword search: %zu results, best: %s\n",
                 outcome->total_results,
                 outcome->results.empty()
                     ? "(none)"
                     : outcome->results[0]
-                          .ToString((*engine)->graph())
+                          .ToString(model->graph())
                           .c_str());
   }
   return 0;

@@ -1,11 +1,39 @@
 #include "closeness/closeness_index.h"
 
 #include <algorithm>
+#include <mutex>
 
+#include "common/logging.h"
 #include "common/parallel_for.h"
 #include "common/timer.h"
 
 namespace kqr {
+
+ClosenessIndex::ClosenessIndex()
+    : list_shards_(std::make_unique<ListShard[]>(kNumShards)),
+      pair_shards_(std::make_unique<PairShard[]>(kNumShards)) {}
+
+ClosenessIndex::ClosenessIndex(ClosenessIndex&& other) noexcept
+    : list_shards_(std::move(other.list_shards_)),
+      pair_shards_(std::move(other.pair_shards_)),
+      frozen_(other.frozen_.load(std::memory_order_relaxed)) {
+  other.list_shards_ = std::make_unique<ListShard[]>(kNumShards);
+  other.pair_shards_ = std::make_unique<PairShard[]>(kNumShards);
+  other.frozen_.store(false, std::memory_order_relaxed);
+}
+
+ClosenessIndex& ClosenessIndex::operator=(ClosenessIndex&& other) noexcept {
+  if (this != &other) {
+    list_shards_ = std::move(other.list_shards_);
+    pair_shards_ = std::move(other.pair_shards_);
+    frozen_.store(other.frozen_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    other.list_shards_ = std::make_unique<ListShard[]>(kNumShards);
+    other.pair_shards_ = std::make_unique<PairShard[]>(kNumShards);
+    other.frozen_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
 
 ClosenessIndex ClosenessIndex::BuildFor(const TatGraph& graph,
                                         const std::vector<TermId>& terms,
@@ -19,8 +47,8 @@ ClosenessIndex ClosenessIndex::BuildFor(const TatGraph& graph,
 
   // The extractor is stateless (path searches allocate locally), so one
   // shared instance serves all workers. Results land in per-term slots and
-  // are inserted in term order below, which reproduces the serial build's
-  // pair-map merge exactly.
+  // are inserted in term order below; Insert's pair merge is additionally
+  // order-independent, so any insertion order would give the same index.
   ClosenessExtractor extractor(graph, options.closeness);
   std::vector<std::vector<CloseTerm>> lists(terms.size());
   ParallelFor(terms.size(), workers, [&](size_t, size_t i) {
@@ -43,30 +71,89 @@ ClosenessIndex ClosenessIndex::BuildFor(const TatGraph& graph,
 }
 
 void ClosenessIndex::Insert(TermId term, std::vector<CloseTerm> list) {
+  KQR_CHECK(!frozen()) << "Insert into a frozen ClosenessIndex";
+  // Merge pairs first, one shard lock at a time (never nested — no
+  // deadlock regardless of which threads insert which terms). The merge
+  // rule is commutative: keep the larger closeness, break ties by the
+  // smaller distance, so the final pair values do not depend on insertion
+  // order even when two terms' lists cover the same pair.
   for (const CloseTerm& c : list) {
     uint64_t key = PairKey(term, c.term);
-    auto it = pairs_.find(key);
-    if (it == pairs_.end() || c.closeness > it->second.closeness) {
-      pairs_[key] = c;
+    PairShard& ps = pair_shard(key);
+    std::unique_lock lock(ps.mu);
+    auto [it, inserted] =
+        ps.pairs.try_emplace(key, PairEntry{c.closeness, c.distance});
+    if (!inserted) {
+      PairEntry& cur = it->second;
+      if (c.closeness > cur.closeness ||
+          (c.closeness == cur.closeness && c.distance < cur.distance)) {
+        cur = PairEntry{c.closeness, c.distance};
+      }
     }
   }
-  lists_[term] = std::move(list);
+  ListShard& ls = list_shard(term);
+  std::unique_lock lock(ls.mu);
+  auto [it, inserted] = ls.lists.try_emplace(term, std::move(list));
+  if (!inserted) it->second = std::move(list);
 }
 
 const std::vector<CloseTerm>& ClosenessIndex::Lookup(TermId term) const {
   static const std::vector<CloseTerm> kEmpty;
-  auto it = lists_.find(term);
-  return it == lists_.end() ? kEmpty : it->second;
+  const ListShard& ls = list_shard(term);
+  if (frozen()) {
+    auto it = ls.lists.find(term);
+    return it == ls.lists.end() ? kEmpty : it->second;
+  }
+  std::shared_lock lock(ls.mu);
+  auto it = ls.lists.find(term);
+  // The reference outlives the lock: entries are node-stable and never
+  // erased, and the serving layer never replaces a term's list once a
+  // reader can reach it.
+  return it == ls.lists.end() ? kEmpty : it->second;
+}
+
+bool ClosenessIndex::Contains(TermId term) const {
+  const ListShard& ls = list_shard(term);
+  if (frozen()) return ls.lists.count(term) > 0;
+  std::shared_lock lock(ls.mu);
+  return ls.lists.count(term) > 0;
+}
+
+size_t ClosenessIndex::size() const {
+  size_t total = 0;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    if (frozen()) {
+      total += list_shards_[i].lists.size();
+    } else {
+      std::shared_lock lock(list_shards_[i].mu);
+      total += list_shards_[i].lists.size();
+    }
+  }
+  return total;
 }
 
 double ClosenessIndex::ClosenessOf(TermId a, TermId b) const {
-  auto it = pairs_.find(PairKey(a, b));
-  return it == pairs_.end() ? 0.0 : it->second.closeness;
+  uint64_t key = PairKey(a, b);
+  const PairShard& ps = pair_shard(key);
+  if (frozen()) {
+    auto it = ps.pairs.find(key);
+    return it == ps.pairs.end() ? 0.0 : it->second.closeness;
+  }
+  std::shared_lock lock(ps.mu);
+  auto it = ps.pairs.find(key);
+  return it == ps.pairs.end() ? 0.0 : it->second.closeness;
 }
 
 int ClosenessIndex::DistanceOf(TermId a, TermId b) const {
-  auto it = pairs_.find(PairKey(a, b));
-  return it == pairs_.end() ? -1 : static_cast<int>(it->second.distance);
+  uint64_t key = PairKey(a, b);
+  const PairShard& ps = pair_shard(key);
+  if (frozen()) {
+    auto it = ps.pairs.find(key);
+    return it == ps.pairs.end() ? -1 : static_cast<int>(it->second.distance);
+  }
+  std::shared_lock lock(ps.mu);
+  auto it = ps.pairs.find(key);
+  return it == ps.pairs.end() ? -1 : static_cast<int>(it->second.distance);
 }
 
 }  // namespace kqr

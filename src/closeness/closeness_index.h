@@ -1,10 +1,23 @@
 // ClosenessIndex: offline-precomputed per-term close-term lists ("we
 // summarize the target corpus by term pair coverage", Sec. IV-C), so the
 // online HMM can read transition weights without touching the graph.
+//
+// Thread-safety mirrors SimilarityIndex: term lists and the pair map are
+// sharded, each shard behind a reader-writer lock, so the serving layer's
+// lazy per-term preparation can Insert while other threads read. Lookup
+// references stay valid across concurrent inserts (node-stable storage,
+// entries never erased). The pair map merges with an order-independent
+// rule (max closeness, then min distance), so the final pair values do not
+// depend on the order in which terms were prepared — the determinism
+// argument in DESIGN.md "Serving architecture" relies on this. Freeze()
+// marks the index complete and makes every read lock-free.
 
 #ifndef KQR_CLOSENESS_CLOSENESS_INDEX_H_
 #define KQR_CLOSENESS_CLOSENESS_INDEX_H_
 
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +40,12 @@ struct ClosenessIndexOptions {
 /// \brief Precomputed term → close-term lists with O(1) pair lookup.
 class ClosenessIndex {
  public:
+  ClosenessIndex();
+  ClosenessIndex(ClosenessIndex&& other) noexcept;
+  ClosenessIndex& operator=(ClosenessIndex&& other) noexcept;
+  ClosenessIndex(const ClosenessIndex&) = delete;
+  ClosenessIndex& operator=(const ClosenessIndex&) = delete;
+
   /// \brief Runs one path search per term in `terms`, sharded across
   /// `options.num_threads` workers. Fills `build_stats` when given.
   static ClosenessIndex BuildFor(const TatGraph& graph,
@@ -34,11 +53,12 @@ class ClosenessIndex {
                                  ClosenessIndexOptions options = {},
                                  OfflineBuildStats* build_stats = nullptr);
 
-  /// Ranked close terms; empty when the term has no entry.
+  /// Ranked close terms; empty when the term has no entry. The returned
+  /// reference stays valid across concurrent Inserts of other terms.
   const std::vector<CloseTerm>& Lookup(TermId term) const;
 
-  bool Contains(TermId term) const { return lists_.count(term) > 0; }
-  size_t size() const { return lists_.size(); }
+  bool Contains(TermId term) const;
+  size_t size() const;
 
   /// clos(a, b) per the index: max of the two stored directions, 0 when
   /// the pair was pruned everywhere.
@@ -47,18 +67,51 @@ class ClosenessIndex {
   /// Shortest distance recorded for the pair, or -1 when unknown.
   int DistanceOf(TermId a, TermId b) const;
 
-  /// \brief Installs a term's list directly (testing / alternative
-  /// providers).
+  /// \brief Installs a term's list (serving-layer lazy preparation,
+  /// testing, alternative providers). Checks against Freeze().
   void Insert(TermId term, std::vector<CloseTerm> list);
 
+  /// \brief Declares the index complete: no further Insert is allowed and
+  /// reads stop taking locks (eager builds).
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
  private:
+  static constexpr size_t kNumShards = 16;
+
+  /// What pair lookups actually read; the direction-specific term id of
+  /// the stored CloseTerm is deliberately dropped so the merged value is
+  /// independent of which endpoint's list supplied it.
+  struct PairEntry {
+    double closeness = 0.0;
+    uint32_t distance = 0;
+  };
+
+  struct ListShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<TermId, std::vector<CloseTerm>> lists;
+  };
+  struct PairShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, PairEntry> pairs;
+  };
+
   static uint64_t PairKey(TermId a, TermId b) {
     if (a > b) std::swap(a, b);
     return (static_cast<uint64_t>(a) << 32) | b;
   }
 
-  std::unordered_map<TermId, std::vector<CloseTerm>> lists_;
-  std::unordered_map<uint64_t, CloseTerm> pairs_;
+  ListShard& list_shard(TermId term) const {
+    return list_shards_[term % kNumShards];
+  }
+  PairShard& pair_shard(uint64_t key) const {
+    // Mix the halves so sharding does not collapse to `b % kNumShards`.
+    return pair_shards_[(key ^ (key >> 32)) % kNumShards];
+  }
+
+  std::unique_ptr<ListShard[]> list_shards_;
+  std::unique_ptr<PairShard[]> pair_shards_;
+  std::atomic<bool> frozen_{false};
 };
 
 }  // namespace kqr

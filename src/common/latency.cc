@@ -1,0 +1,34 @@
+#include "common/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kqr {
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+double LatencyRecorder::TotalSeconds() const {
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total;
+}
+
+double LatencyRecorder::MeanSeconds() const {
+  return samples_.empty() ? 0.0 : TotalSeconds() / samples_.size();
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;  // nearest-rank, 1-based → index
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  std::nth_element(sorted.begin(), sorted.begin() + rank, sorted.end());
+  return sorted[rank];
+}
+
+}  // namespace kqr

@@ -1,0 +1,33 @@
+// Latency aggregation for serving benches: collect per-request wall times
+// on each thread, merge, and report percentiles.
+
+#ifndef KQR_COMMON_LATENCY_H_
+#define KQR_COMMON_LATENCY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kqr {
+
+/// \brief Accumulates request latencies; percentiles on demand.
+/// Not thread-safe: use one recorder per thread and Merge.
+class LatencyRecorder {
+ public:
+  void Add(double seconds) { samples_.push_back(seconds); }
+  void Merge(const LatencyRecorder& other);
+
+  size_t count() const { return samples_.size(); }
+  double TotalSeconds() const;
+  double MeanSeconds() const;
+
+  /// \brief Percentile in [0, 100] by nearest-rank over a sorted copy;
+  /// 0 when no samples.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace kqr
+
+#endif  // KQR_COMMON_LATENCY_H_

@@ -1,8 +1,6 @@
 #include "core/astar_topk.h"
 
 #include <algorithm>
-#include <memory>
-#include <queue>
 
 #include "common/timer.h"
 
@@ -10,66 +8,69 @@ namespace kqr {
 
 namespace {
 
-// A suffix path (positions c..m−1) stored as a shared linked list so that
-// augmenting does not copy the tail (IP holds many overlapping suffixes).
-struct SuffixNode {
-  int state;
-  std::shared_ptr<const SuffixNode> next;  // toward position m−1
-};
-
-struct Frontier {
-  double f;       // g × h — exact upper bound on any completion
-  double g;       // suffix mass: emissions c..m−1, transitions c..m−2
-  size_t c;       // position of the suffix head
-  std::shared_ptr<const SuffixNode> path;
-
-  bool operator<(const Frontier& other) const { return f < other.f; }
-};
+// Max-f heap order for std::push_heap/pop_heap.
+inline bool FrontierLess(const AStarFrontier& a, const AStarFrontier& b) {
+  return a.f < b.f;
+}
 
 }  // namespace
 
 std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
-                                   AStarStats* stats) {
+                                   AStarStats* stats, AStarScratch* scratch) {
   std::vector<DecodedPath> out;
   const size_t m = model.num_positions();
   if (m == 0 || k == 0) return out;
 
+  AStarScratch local;
+  AStarScratch& s = scratch != nullptr ? *scratch : local;
+
   Timer timer;
   // Stage 1: Viterbi; δ[c][i] is the exact best prefix mass ending at
   // state i of position c (emission at c included).
-  ViterbiOutcome viterbi = ViterbiDecode(model);
-  const auto& delta = viterbi.delta;
+  ViterbiDecodeInto(model, &s.viterbi, &s.viterbi_best);
+  const auto& delta = s.viterbi.delta;
   if (stats != nullptr) stats->viterbi_seconds = timer.ElapsedSeconds();
   timer.Reset();
 
   // h(c, s): best achievable mass of positions 0..c−1 plus the bridge
   // transition into state s at position c. For c = 0 it is π(s).
-  auto bridge = [&](size_t c, int s) -> double {
-    if (c == 0) return model.pi[s];
+  auto bridge = [&](size_t c, int st) -> double {
+    if (c == 0) return model.pi[st];
     double best = 0.0;
     for (size_t j = 0; j < model.num_states(c - 1); ++j) {
-      double v = delta[c - 1][j] * model.trans[c - 1][j][s];
+      double v = delta[c - 1][j] * model.trans[c - 1][j][st];
       if (v > best) best = v;
     }
     return best;
   };
 
-  std::priority_queue<Frontier> ip;  // incomplete paths, max-f first
+  // Incomplete paths, max-f first. The pool is append-only for the whole
+  // run, so frontier entries can hold plain indices into it.
+  auto& pool = s.pool;
+  auto& ip = s.heap;
+  pool.clear();
+  ip.clear();
+
+  auto push = [&](double f, double g, size_t c, int state, int32_t tail) {
+    pool.push_back(AStarSuffix{state, tail});
+    ip.push_back(
+        AStarFrontier{f, g, c, static_cast<int32_t>(pool.size() - 1)});
+    std::push_heap(ip.begin(), ip.end(), FrontierLess);
+    if (stats != nullptr) ++stats->nodes_generated;
+  };
 
   // Seed: single-state suffixes at the last position.
   for (size_t i = 0; i < model.num_states(m - 1); ++i) {
     double g = model.emission[m - 1][i];
     double h = bridge(m - 1, static_cast<int>(i));
     if (g * h <= 0.0 && m > 1) continue;  // dead state
-    auto node = std::make_shared<SuffixNode>(
-        SuffixNode{static_cast<int>(i), nullptr});
-    ip.push(Frontier{g * h, g, m - 1, std::move(node)});
-    if (stats != nullptr) ++stats->nodes_generated;
+    push(g * h, g, m - 1, static_cast<int>(i), -1);
   }
 
   while (!ip.empty() && out.size() < k) {
-    Frontier top = ip.top();
-    ip.pop();
+    std::pop_heap(ip.begin(), ip.end(), FrontierLess);
+    AStarFrontier top = ip.back();
+    ip.pop_back();
     if (stats != nullptr) ++stats->nodes_expanded;
 
     if (top.c == 0) {
@@ -77,9 +78,8 @@ std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
       DecodedPath path;
       path.score = top.f;
       path.states.reserve(m);
-      for (const SuffixNode* n = top.path.get(); n != nullptr;
-           n = n->next.get()) {
-        path.states.push_back(n->state);
+      for (int32_t n = top.path; n >= 0; n = pool[n].next) {
+        path.states.push_back(pool[n].state);
       }
       out.push_back(std::move(path));
       continue;
@@ -87,16 +87,13 @@ std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
 
     // Augment with every state of the previous position.
     size_t c = top.c - 1;
-    int head = top.path->state;
+    int head = pool[top.path].state;
     for (size_t j = 0; j < model.num_states(c); ++j) {
       double g = top.g * model.trans[c][j][head] * model.emission[c][j];
       if (g <= 0.0) continue;
       double h = bridge(c, static_cast<int>(j));
       if (h <= 0.0) continue;
-      auto node = std::make_shared<SuffixNode>(
-          SuffixNode{static_cast<int>(j), top.path});
-      ip.push(Frontier{g * h, g, c, std::move(node)});
-      if (stats != nullptr) ++stats->nodes_generated;
+      push(g * h, g, c, static_cast<int>(j), top.path);
     }
   }
 

@@ -4,10 +4,17 @@
 // a suffix; its g-score is the exact suffix mass and its h-score is the
 // δ-derived optimal completion, so f = g·h is an exact upper bound and
 // completed paths pop out of the frontier in true top-k order.
+//
+// Suffixes live in an index-based pool (AStarScratch) instead of
+// shared-pointer linked lists: augmenting a suffix appends one pool entry
+// pointing at the shared tail, and the whole pool plus the frontier heap
+// can be reused across requests by a serving thread. Passing a null
+// scratch allocates locally and is equivalent.
 
 #ifndef KQR_CORE_ASTAR_TOPK_H_
 #define KQR_CORE_ASTAR_TOPK_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/viterbi_topk.h"
@@ -22,10 +29,35 @@ struct AStarStats {
   size_t nodes_generated = 0;    // augmentations pushed
 };
 
+/// \brief One pooled suffix link: a state plus the pool index of the rest
+/// of the suffix (toward position m−1); −1 terminates.
+struct AStarSuffix {
+  int state;
+  int32_t next;
+};
+
+/// \brief An incomplete path on the A* frontier.
+struct AStarFrontier {
+  double f;      // g × h — exact upper bound on any completion
+  double g;      // suffix mass: emissions c..m−1, transitions c..m−2
+  size_t c;      // position of the suffix head
+  int32_t path;  // pool index of the suffix head
+};
+
+/// \brief Reusable buffers for AStarTopK: the stage-1 Viterbi tables, the
+/// suffix pool, and the frontier heap. Cleared (not shrunk) per call.
+struct AStarScratch {
+  ViterbiScratch viterbi;
+  DecodedPath viterbi_best;
+  std::vector<AStarSuffix> pool;
+  std::vector<AStarFrontier> heap;
+};
+
 /// \brief Top-k sequences by Eq. 10, best first — identical output contract
 /// to ViterbiTopK, different cost profile.
 std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
-                                   AStarStats* stats = nullptr);
+                                   AStarStats* stats = nullptr,
+                                   AStarScratch* scratch = nullptr);
 
 }  // namespace kqr
 

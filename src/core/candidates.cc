@@ -2,11 +2,11 @@
 
 namespace kqr {
 
-std::vector<CandidateState> CandidateBuilder::BuildFor(
-    TermId query_term) const {
+void CandidateBuilder::BuildForInto(TermId query_term,
+                                    std::vector<CandidateState>* out) const {
   const std::vector<SimilarTerm>& similar = index_.Lookup(query_term);
-  std::vector<CandidateState> states;
-  states.reserve(options_.per_term + 2);
+  out->clear();
+  out->reserve(options_.per_term + 2);
 
   double top_score = similar.empty() ? 1.0 : similar.front().score;
 
@@ -15,7 +15,7 @@ std::vector<CandidateState> CandidateBuilder::BuildFor(
     original.term = query_term;
     original.similarity = top_score;
     original.is_original = true;
-    states.push_back(original);
+    out->push_back(original);
   }
 
   for (size_t i = 0; i < similar.size() && i < options_.per_term; ++i) {
@@ -23,23 +23,37 @@ std::vector<CandidateState> CandidateBuilder::BuildFor(
     CandidateState s;
     s.term = similar[i].term;
     s.similarity = similar[i].score;
-    states.push_back(s);
+    out->push_back(s);
   }
 
   if (options_.include_void) {
     CandidateState v;
     v.is_void = true;
     v.similarity = options_.void_similarity * top_score;
-    states.push_back(v);
+    out->push_back(v);
   }
+}
+
+std::vector<CandidateState> CandidateBuilder::BuildFor(
+    TermId query_term) const {
+  std::vector<CandidateState> states;
+  BuildForInto(query_term, &states);
   return states;
+}
+
+void CandidateBuilder::BuildInto(
+    const std::vector<TermId>& query_terms,
+    std::vector<std::vector<CandidateState>>* out) const {
+  out->resize(query_terms.size());
+  for (size_t c = 0; c < query_terms.size(); ++c) {
+    BuildForInto(query_terms[c], &(*out)[c]);
+  }
 }
 
 std::vector<std::vector<CandidateState>> CandidateBuilder::Build(
     const std::vector<TermId>& query_terms) const {
   std::vector<std::vector<CandidateState>> out;
-  out.reserve(query_terms.size());
-  for (TermId t : query_terms) out.push_back(BuildFor(t));
+  BuildInto(query_terms, &out);
   return out;
 }
 

@@ -53,6 +53,15 @@ class CandidateBuilder {
   std::vector<std::vector<CandidateState>> Build(
       const std::vector<TermId>& query_terms) const;
 
+  /// \brief Like BuildFor, but fills `*out` in place (cleared first) so a
+  /// serving thread can reuse its capacity across requests.
+  void BuildForInto(TermId query_term, std::vector<CandidateState>* out) const;
+
+  /// \brief Like Build into caller-owned per-position lists. `out->size()`
+  /// is set to the query length; inner vectors keep their capacity.
+  void BuildInto(const std::vector<TermId>& query_terms,
+                 std::vector<std::vector<CandidateState>>* out) const;
+
   const CandidateOptions& options() const { return options_; }
 
  private:

@@ -71,7 +71,7 @@ std::string SubstitutionExplanation::ToString(
 }
 
 std::vector<SubstitutionExplanation> ExplainReformulation(
-    const ReformulationEngine& engine, const std::vector<TermId>& original,
+    const ServingModel& model, const std::vector<TermId>& original,
     const ReformulatedQuery& suggestion) {
   std::vector<SubstitutionExplanation> out;
   const size_t m =
@@ -86,12 +86,12 @@ std::vector<SubstitutionExplanation> ExplainReformulation(
     if (e.to != kInvalidTermId) {
       if (!e.kept) {
         e.similarity =
-            engine.similarity_index().SimilarityOf(e.from, e.to);
-        e.distance = engine.closeness_index().DistanceOf(e.from, e.to);
+            model.similarity_index().SimilarityOf(e.from, e.to);
+        e.distance = model.closeness_index().DistanceOf(e.from, e.to);
       }
       if (previous_kept != kInvalidTermId) {
         e.closeness_to_previous =
-            engine.closeness_index().ClosenessOf(previous_kept, e.to);
+            model.closeness_index().ClosenessOf(previous_kept, e.to);
       }
       previous_kept = e.to;
     }

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/serving_model.h"
 #include "core/reformulator.h"
 
 namespace kqr {
@@ -57,10 +57,10 @@ struct SubstitutionExplanation {
 };
 
 /// \brief Explains every position of `suggestion` against `original`
-/// using the engine's offline indexes (terms must be prepared, which they
-/// are for any suggestion the engine itself produced).
+/// using the model's offline indexes (terms must be prepared, which they
+/// are for any suggestion the model itself produced).
 std::vector<SubstitutionExplanation> ExplainReformulation(
-    const ReformulationEngine& engine, const std::vector<TermId>& original,
+    const ServingModel& model, const std::vector<TermId>& original,
     const ReformulatedQuery& suggestion);
 
 }  // namespace kqr

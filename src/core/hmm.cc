@@ -27,56 +27,66 @@ double HmmBuilder::TransitionAffinity(const CandidateState& from,
   return clos;
 }
 
-HmmModel HmmBuilder::Build(
-    const std::vector<std::vector<CandidateState>>& candidates) const {
-  HmmModel model;
-  model.states = candidates;
-  const size_t m = model.states.size();
-  if (m == 0) return model;
+void HmmBuilder::BuildInto(
+    const std::vector<std::vector<CandidateState>>& candidates,
+    HmmModel* model) const {
+  // Copy-assign reuses the inner vectors' capacity when `model` served a
+  // previous request.
+  model->states = candidates;
+  const size_t m = model->states.size();
+  model->pi.clear();
+  model->emission.resize(m);
+  model->trans.resize(m >= 1 ? m - 1 : 0);
+  if (m == 0) return;
 
   // π (Eq. 7): frequency of each first-position candidate, normalized.
-  model.pi.reserve(model.states[0].size());
-  for (const CandidateState& s : model.states[0]) {
+  model->pi.reserve(model->states[0].size());
+  for (const CandidateState& s : model->states[0]) {
     double freq = s.is_void
                       ? 1.0
                       : stats_.Freq(graph_.NodeOfTerm(s.term));
-    model.pi.push_back(options_.log_compress ? std::log1p(freq) : freq);
+    model->pi.push_back(options_.log_compress ? std::log1p(freq) : freq);
   }
-  NormalizeToDistribution(&model.pi);
+  NormalizeToDistribution(&model->pi);
 
   // Emissions (Eq. 9): similarity, smoothed (Eq. 5) then normalized per
   // position.
-  model.emission.resize(m);
   for (size_t c = 0; c < m; ++c) {
-    model.emission[c].reserve(model.states[c].size());
-    for (const CandidateState& s : model.states[c]) {
+    model->emission[c].clear();
+    model->emission[c].reserve(model->states[c].size());
+    for (const CandidateState& s : model->states[c]) {
       double b = s.similarity;
       if (options_.emission_weight != 1.0 && b > 0.0) {
         b = std::pow(b, options_.emission_weight);
       }
-      model.emission[c].push_back(b);
+      model->emission[c].push_back(b);
     }
-    SmoothToMean(&model.emission[c], options_.smoothing.lambda);
-    NormalizeToDistribution(&model.emission[c]);
+    SmoothToMean(&model->emission[c], options_.smoothing.lambda);
+    NormalizeToDistribution(&model->emission[c]);
   }
 
   // Transitions (Eq. 8): closeness, row-smoothed (Eq. 6) then row-
   // normalized.
-  model.trans.resize(m >= 1 ? m - 1 : 0);
   for (size_t c = 0; c + 1 < m; ++c) {
-    const auto& from_states = model.states[c];
-    const auto& to_states = model.states[c + 1];
-    model.trans[c].assign(from_states.size(),
-                          std::vector<double>(to_states.size(), 0.0));
+    const auto& from_states = model->states[c];
+    const auto& to_states = model->states[c + 1];
+    model->trans[c].resize(from_states.size());
     for (size_t i = 0; i < from_states.size(); ++i) {
+      model->trans[c][i].assign(to_states.size(), 0.0);
       for (size_t j = 0; j < to_states.size(); ++j) {
-        model.trans[c][i][j] =
+        model->trans[c][i][j] =
             TransitionAffinity(from_states[i], to_states[j]);
       }
-      SmoothToMean(&model.trans[c][i], options_.smoothing.lambda);
-      NormalizeToDistribution(&model.trans[c][i]);
+      SmoothToMean(&model->trans[c][i], options_.smoothing.lambda);
+      NormalizeToDistribution(&model->trans[c][i]);
     }
   }
+}
+
+HmmModel HmmBuilder::Build(
+    const std::vector<std::vector<CandidateState>>& candidates) const {
+  HmmModel model;
+  BuildInto(candidates, &model);
   return model;
 }
 

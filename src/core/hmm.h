@@ -78,6 +78,12 @@ class HmmBuilder {
   HmmModel Build(
       const std::vector<std::vector<CandidateState>>& candidates) const;
 
+  /// \brief Like Build, but fills `*model` in place so a serving thread
+  /// can reuse the matrices' capacity across requests. All fields are
+  /// overwritten.
+  void BuildInto(const std::vector<std::vector<CandidateState>>& candidates,
+                 HmmModel* model) const;
+
  private:
   double TransitionAffinity(const CandidateState& from,
                             const CandidateState& to) const;

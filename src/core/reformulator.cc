@@ -27,20 +27,32 @@ std::string ReformulatedQuery::ToString(const Vocabulary& vocab) const {
 
 std::vector<ReformulatedQuery> Reformulator::Reformulate(
     const std::vector<TermId>& query_terms, size_t k,
-    ReformulationTimings* timings) const {
+    ReformulationTimings* timings, RequestContext* ctx) const {
   std::vector<ReformulatedQuery> out;
   if (query_terms.empty() || k == 0) return out;
 
+  // Without a caller-provided context, all scratch lives on this frame —
+  // same results, just cold buffers every call.
+  RequestContext local;
+  RequestContext& c = ctx != nullptr ? *ctx : local;
+  ReformulationTimings local_timings;
+  ReformulationTimings& t = timings != nullptr ? *timings : local_timings;
+
+  // Scratch-reuse accounting (one coarse capacity probe per stage): warm
+  // buffers mean this request pays no stage-level allocations.
+  const bool warm_candidates = c.candidates.capacity() >= query_terms.size() &&
+                               !c.candidates.empty();
+  const bool warm_model = !c.model.emission.empty();
+  bool warm_decode = false;
+
   Timer timer;
   CandidateBuilder builder(similarity_, options_.candidates);
-  std::vector<std::vector<CandidateState>> candidates =
-      builder.Build(query_terms);
+  builder.BuildInto(query_terms, &c.candidates);
+  const auto& candidates = c.candidates;
   for (const auto& list : candidates) {
     if (list.empty()) return out;  // unresolvable position
   }
-  if (timings != nullptr) {
-    timings->candidate_seconds = timer.ElapsedSeconds();
-  }
+  t.candidate_seconds = timer.ElapsedSeconds();
   timer.Reset();
 
   // The identity query may occupy one result slot before we drop it, so
@@ -48,32 +60,43 @@ std::vector<ReformulatedQuery> Reformulator::Reformulate(
   const size_t fetch = options_.drop_identity ? k + 1 : k;
 
   std::vector<DecodedPath> paths;
-  HmmModel model;
   switch (options_.algorithm) {
     case TopKAlgorithm::kRankBaseline: {
-      if (timings != nullptr) timings->model_seconds = 0.0;
+      t.model_seconds = 0.0;
       timer.Reset();
       paths = RankBaselineTopK(candidates, fetch);
+      warm_decode = warm_model;  // no decoder scratch; mirror the model bit
       break;
     }
     case TopKAlgorithm::kExtendedViterbi:
     case TopKAlgorithm::kViterbiAStar: {
       HmmBuilder hmm_builder(closeness_, stats_, graph_, options_.hmm);
-      model = hmm_builder.Build(candidates);
-      if (timings != nullptr) {
-        timings->model_seconds = timer.ElapsedSeconds();
-      }
+      hmm_builder.BuildInto(candidates, &c.model);
+      t.model_seconds = timer.ElapsedSeconds();
       timer.Reset();
       if (options_.algorithm == TopKAlgorithm::kExtendedViterbi) {
-        paths = ViterbiTopK(model, fetch);
+        warm_decode = !c.viterbi.cells.empty();
+        paths = ViterbiTopK(c.model, fetch, &c.viterbi);
       } else {
-        paths = AStarTopK(model, fetch,
-                          timings != nullptr ? &timings->astar : nullptr);
+        warm_decode = !c.astar.viterbi.delta.empty();
+        paths = AStarTopK(c.model, fetch, &t.astar, &c.astar);
       }
       break;
     }
   }
-  if (timings != nullptr) timings->decode_seconds = timer.ElapsedSeconds();
+  t.decode_seconds = timer.ElapsedSeconds();
+
+  if (ctx != nullptr) {
+    RequestStats& stats = ctx->stats;
+    ++stats.requests;
+    stats.candidate_seconds += t.candidate_seconds;
+    stats.model_seconds += t.model_seconds;
+    stats.decode_seconds += t.decode_seconds;
+    stats.scratch_hits += (warm_candidates ? 1 : 0) + (warm_model ? 1 : 0) +
+                          (warm_decode ? 1 : 0);
+    stats.scratch_misses += (warm_candidates ? 0 : 1) +
+                            (warm_model ? 0 : 1) + (warm_decode ? 0 : 1);
+  }
 
   out.reserve(paths.size());
   for (const DecodedPath& path : paths) {

@@ -13,6 +13,7 @@
 #include "core/candidates.h"
 #include "core/hmm.h"
 #include "core/rank_baseline.h"
+#include "core/request_context.h"
 #include "core/viterbi_topk.h"
 #include "walk/similarity_index.h"
 
@@ -59,6 +60,10 @@ struct ReformulatorOptions {
 };
 
 /// \brief Online query reformulation against prebuilt offline indexes.
+///
+/// Options are fixed at construction (the object is immutable and safe to
+/// share across threads); to serve with different options, construct
+/// another Reformulator — construction is a few pointer copies.
 class Reformulator {
  public:
   Reformulator(const SimilarityIndex& similarity,
@@ -72,12 +77,15 @@ class Reformulator {
 
   /// \brief Top-k reformulations of `query_terms` (one TermId per input
   /// keyword). `timings`, when non-null, receives the stage breakdown.
+  /// `ctx`, when non-null, supplies reusable scratch buffers and
+  /// accumulates per-request stats; results are identical with or
+  /// without it.
   std::vector<ReformulatedQuery> Reformulate(
       const std::vector<TermId>& query_terms, size_t k,
-      ReformulationTimings* timings = nullptr) const;
+      ReformulationTimings* timings = nullptr,
+      RequestContext* ctx = nullptr) const;
 
   const ReformulatorOptions& options() const { return options_; }
-  ReformulatorOptions* mutable_options() { return &options_; }
 
  private:
   const SimilarityIndex& similarity_;

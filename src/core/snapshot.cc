@@ -6,7 +6,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "core/engine.h"
+#include "core/serving_model.h"
 
 namespace kqr {
 
@@ -22,30 +22,30 @@ uint64_t Fnv1a(uint64_t h, uint64_t v) {
 }
 }  // namespace
 
-uint64_t EngineFingerprint(const ReformulationEngine& engine) {
+uint64_t ModelFingerprint(const ServingModel& model) {
   uint64_t h = 0xcbf29ce484222325ULL;
-  h = Fnv1a(h, engine.vocab().size());
-  h = Fnv1a(h, engine.graph().num_nodes());
-  h = Fnv1a(h, engine.graph().num_edges());
-  h = Fnv1a(h, engine.db().TotalRows());
-  for (char c : engine.db().name()) h = Fnv1a(h, uint64_t(c));
+  h = Fnv1a(h, model.vocab().size());
+  h = Fnv1a(h, model.graph().num_nodes());
+  h = Fnv1a(h, model.graph().num_edges());
+  h = Fnv1a(h, model.db().TotalRows());
+  for (char c : model.db().name()) h = Fnv1a(h, uint64_t(c));
   return h;
 }
 
-Status SaveOfflineSnapshot(const ReformulationEngine& engine,
+Status SaveOfflineSnapshot(const ServingModel& model,
                            std::ostream& out) {
   out.precision(17);  // round-trip doubles exactly
   out << kMagic << "\n";
-  out << "fingerprint " << std::hex << EngineFingerprint(engine)
+  out << "fingerprint " << std::hex << ModelFingerprint(model)
       << std::dec << "\n";
-  for (TermId term : engine.PreparedTerms()) {
-    const auto& sim = engine.similarity_index().Lookup(term);
+  for (TermId term : model.PreparedTerms()) {
+    const auto& sim = model.similarity_index().Lookup(term);
     out << "sim " << term << " " << sim.size();
     for (const SimilarTerm& s : sim) {
       out << " " << s.term << " " << s.score;
     }
     out << "\n";
-    const auto& clos = engine.closeness_index().Lookup(term);
+    const auto& clos = model.closeness_index().Lookup(term);
     out << "clos " << term << " " << clos.size();
     for (const CloseTerm& c : clos) {
       out << " " << c.term << " " << c.closeness << " " << c.distance;
@@ -56,16 +56,16 @@ Status SaveOfflineSnapshot(const ReformulationEngine& engine,
   return Status::OK();
 }
 
-Status SaveOfflineSnapshotFile(const ReformulationEngine& engine,
+Status SaveOfflineSnapshotFile(const ServingModel& model,
                                const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open '" + path + "' to write");
-  return SaveOfflineSnapshot(engine, out);
+  return SaveOfflineSnapshot(model, out);
 }
 
-Status LoadOfflineSnapshot(ReformulationEngine* engine, std::istream& in) {
-  if (engine == nullptr) {
-    return Status::InvalidArgument("engine must be non-null");
+Status LoadOfflineSnapshot(const ServingModel* model, std::istream& in) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must be non-null");
   }
   std::string line;
   if (!std::getline(in, line) || line != kMagic) {
@@ -82,7 +82,7 @@ Status LoadOfflineSnapshot(ReformulationEngine* engine, std::istream& in) {
     if (!fp || tag != "fingerprint") {
       return Status::Corruption("malformed fingerprint line");
     }
-    if (value != EngineFingerprint(*engine)) {
+    if (value != ModelFingerprint(*model)) {
       return Status::InvalidArgument(
           "snapshot fingerprint does not match this corpus");
     }
@@ -95,7 +95,7 @@ Status LoadOfflineSnapshot(ReformulationEngine* engine, std::istream& in) {
   bool has_sim = false;
   auto flush = [&]() {
     if (pending_term != kInvalidTermId && has_sim) {
-      engine->ImportTermRelations(pending_term, std::move(pending_sim),
+      model->ImportTermRelations(pending_term, std::move(pending_sim),
                                   {});
     }
     pending_sim.clear();
@@ -103,7 +103,7 @@ Status LoadOfflineSnapshot(ReformulationEngine* engine, std::istream& in) {
     pending_term = kInvalidTermId;
   };
 
-  const size_t num_terms = engine->vocab().size();
+  const size_t num_terms = model->vocab().size();
   size_t line_no = 2;
   while (std::getline(in, line)) {
     ++line_no;
@@ -151,7 +151,7 @@ Status LoadOfflineSnapshot(ReformulationEngine* engine, std::istream& in) {
             ": clos record without preceding sim for term " +
             std::to_string(term));
       }
-      engine->ImportTermRelations(term, std::move(pending_sim),
+      model->ImportTermRelations(term, std::move(pending_sim),
                                   std::move(close));
       pending_sim.clear();
       has_sim = false;
@@ -165,11 +165,11 @@ Status LoadOfflineSnapshot(ReformulationEngine* engine, std::istream& in) {
   return Status::OK();
 }
 
-Status LoadOfflineSnapshotFile(ReformulationEngine* engine,
+Status LoadOfflineSnapshotFile(const ServingModel* model,
                                const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "' to read");
-  return LoadOfflineSnapshot(engine, in);
+  return LoadOfflineSnapshot(model, in);
 }
 
 }  // namespace kqr

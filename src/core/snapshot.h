@@ -6,7 +6,7 @@
 //
 // Format (line-oriented text, version-tagged):
 //   kqr-offline-v1
-//   fingerprint <hex>          -- engine/corpus fingerprint
+//   fingerprint <hex>          -- model/corpus fingerprint
 //   sim <term> <n> [<term> <score>]{n}
 //   clos <term> <n> [<term> <closeness> <distance>]{n}
 //
@@ -25,22 +25,22 @@
 
 namespace kqr {
 
-class ReformulationEngine;
+class ServingModel;
 
-/// \brief Stable fingerprint of an engine's corpus-derived state.
-uint64_t EngineFingerprint(const ReformulationEngine& engine);
+/// \brief Stable fingerprint of a model's corpus-derived state.
+uint64_t ModelFingerprint(const ServingModel& model);
 
 /// \brief Writes every term's offline products currently cached in the
-/// engine.
-Status SaveOfflineSnapshot(const ReformulationEngine& engine,
-                           std::ostream& out);
-Status SaveOfflineSnapshotFile(const ReformulationEngine& engine,
+/// model.
+Status SaveOfflineSnapshot(const ServingModel& model, std::ostream& out);
+Status SaveOfflineSnapshotFile(const ServingModel& model,
                                const std::string& path);
 
-/// \brief Loads offline products into the engine (merging with whatever
-/// is already cached). Fails on version or fingerprint mismatch.
-Status LoadOfflineSnapshot(ReformulationEngine* engine, std::istream& in);
-Status LoadOfflineSnapshotFile(ReformulationEngine* engine,
+/// \brief Loads offline products into the model (merging with whatever is
+/// already cached; already-prepared terms keep their lists). Fails on
+/// version or fingerprint mismatch.
+Status LoadOfflineSnapshot(const ServingModel* model, std::istream& in);
+Status LoadOfflineSnapshotFile(const ServingModel* model,
                                const std::string& path);
 
 }  // namespace kqr

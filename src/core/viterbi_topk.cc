@@ -7,34 +7,33 @@
 
 namespace kqr {
 
-namespace {
-/// Backtracking record for the widened DP: which (prev_state, prev_rank)
-/// produced the rank-r path ending at this cell.
-struct CellPath {
-  double score;
-  int prev_state;  // -1 at position 0
-  int prev_rank;
-};
-}  // namespace
-
-std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k) {
+std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k,
+                                     ViterbiScratch* scratch) {
   const size_t m = model.num_positions();
   std::vector<DecodedPath> out;
   if (m == 0 || k == 0) return out;
 
-  // L[c][i] = up to k best paths ending at state i of position c,
-  // sorted descending.
-  std::vector<std::vector<std::vector<CellPath>>> L(m);
+  ViterbiScratch local;
+  ViterbiScratch& s = scratch != nullptr ? *scratch : local;
 
-  L[0].resize(model.num_states(0));
+  // L[c][i] = up to k best paths ending at state i of position c, sorted
+  // descending. Positions/states beyond this request's shape may hold
+  // stale data from a previous request; every loop below is bounded by
+  // the current model's shape, so that data is never read.
+  auto& L = s.cells;
+  if (L.size() < m) L.resize(m);
+
+  if (L[0].size() < model.num_states(0)) L[0].resize(model.num_states(0));
   for (size_t i = 0; i < model.num_states(0); ++i) {
+    L[0][i].clear();
     L[0][i].push_back(
-        CellPath{model.pi[i] * model.emission[0][i], -1, -1});
+        ViterbiCell{model.pi[i] * model.emission[0][i], -1, -1});
   }
 
   for (size_t c = 1; c < m; ++c) {
-    L[c].resize(model.num_states(c));
+    if (L[c].size() < model.num_states(c)) L[c].resize(model.num_states(c));
     for (size_t i = 0; i < model.num_states(c); ++i) {
+      L[c][i].clear();
       TopK<std::pair<int, int>> top(k);
       for (size_t j = 0; j < model.num_states(c - 1); ++j) {
         double edge = model.trans[c - 1][j][i] * model.emission[c][i];
@@ -45,7 +44,7 @@ std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k) {
         }
       }
       for (auto& [prev, score] : top.TakeSorted()) {
-        L[c][i].push_back(CellPath{score, prev.first, prev.second});
+        L[c][i].push_back(ViterbiCell{score, prev.first, prev.second});
       }
     }
   }
@@ -67,7 +66,7 @@ std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k) {
     int rank = end.second;
     for (size_t c = m; c-- > 0;) {
       path.states[c] = state;
-      const CellPath& cell = L[c][state][rank];
+      const ViterbiCell& cell = L[c][state][rank];
       state = cell.prev_state;
       rank = cell.prev_rank;
     }
@@ -76,16 +75,20 @@ std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k) {
   return out;
 }
 
-ViterbiOutcome ViterbiDecode(const HmmModel& model) {
-  ViterbiOutcome outcome;
+void ViterbiDecodeInto(const HmmModel& model, ViterbiScratch* scratch,
+                       DecodedPath* best) {
+  KQR_CHECK(scratch != nullptr && best != nullptr);
+  best->states.clear();
+  best->score = 0.0;
   const size_t m = model.num_positions();
-  if (m == 0) return outcome;
+  if (m == 0) return;
 
-  auto& delta = outcome.delta;
-  delta.resize(m);
-  std::vector<std::vector<int>> back(m);
+  auto& delta = scratch->delta;
+  auto& back = scratch->back;
+  if (delta.size() < m) delta.resize(m);
+  if (back.size() < m) back.resize(m);
 
-  delta[0].resize(model.num_states(0));
+  delta[0].assign(model.num_states(0), 0.0);
   back[0].assign(model.num_states(0), -1);
   for (size_t i = 0; i < model.num_states(0); ++i) {
     delta[0][i] = model.pi[i] * model.emission[0][i];
@@ -94,16 +97,16 @@ ViterbiOutcome ViterbiDecode(const HmmModel& model) {
     delta[c].assign(model.num_states(c), 0.0);
     back[c].assign(model.num_states(c), -1);
     for (size_t i = 0; i < model.num_states(c); ++i) {
-      double best = 0.0;
+      double best_score = 0.0;
       int arg = -1;
       for (size_t j = 0; j < model.num_states(c - 1); ++j) {
         double s = delta[c - 1][j] * model.trans[c - 1][j][i];
-        if (s > best) {
-          best = s;
+        if (s > best_score) {
+          best_score = s;
           arg = static_cast<int>(j);
         }
       }
-      delta[c][i] = best * model.emission[c][i];
+      delta[c][i] = best_score * model.emission[c][i];
       back[c][i] = arg;
     }
   }
@@ -111,17 +114,17 @@ ViterbiOutcome ViterbiDecode(const HmmModel& model) {
   // Backtrack the single best path.
   size_t last = m - 1;
   int arg = 0;
-  double best = -1.0;
+  double best_score = -1.0;
   for (size_t i = 0; i < model.num_states(last); ++i) {
-    if (delta[last][i] > best) {
-      best = delta[last][i];
+    if (delta[last][i] > best_score) {
+      best_score = delta[last][i];
       arg = static_cast<int>(i);
     }
   }
-  outcome.best.score = best;
-  outcome.best.states.assign(m, 0);
+  best->score = best_score;
+  best->states.assign(m, 0);
   for (size_t c = m; c-- > 0;) {
-    outcome.best.states[c] = arg;
+    best->states[c] = arg;
     arg = back[c][arg];
     if (arg < 0 && c > 0) {
       // Unreachable state chain (can happen if every transition into the
@@ -129,6 +132,15 @@ ViterbiOutcome ViterbiDecode(const HmmModel& model) {
       arg = 0;
     }
   }
+}
+
+ViterbiOutcome ViterbiDecode(const HmmModel& model) {
+  ViterbiOutcome outcome;
+  ViterbiScratch scratch;
+  ViterbiDecodeInto(model, &scratch, &outcome.best);
+  // The scratch was freshly allocated, so delta holds exactly
+  // num_positions rows — safe to hand out as the outcome table.
+  outcome.delta = std::move(scratch.delta);
   return outcome;
 }
 

@@ -1,6 +1,10 @@
 // Algorithm 2: extended Viterbi for top-k hidden sequences. The classical
 // DP is widened so each (position, state) cell keeps its k best incoming
 // paths; complexity O(m·n²·k·log k), as analyzed in Sec. V-C.
+//
+// Both decoders accept an optional ViterbiScratch so a serving thread can
+// reuse the DP tables across requests instead of reallocating them per
+// call; passing nullptr allocates locally and is equivalent.
 
 #ifndef KQR_CORE_VITERBI_TOPK_H_
 #define KQR_CORE_VITERBI_TOPK_H_
@@ -18,8 +22,34 @@ struct DecodedPath {
   double score = 0.0;
 };
 
+/// \brief Backtracking record for the widened DP: which
+/// (prev_state, prev_rank) produced the rank-r path ending at this cell.
+struct ViterbiCell {
+  double score;
+  int prev_state;  // -1 at position 0
+  int prev_rank;
+};
+
+/// \brief Reusable DP tables for the Viterbi decoders. Contents are
+/// overwritten on every call; only capacity carries over between requests.
+struct ViterbiScratch {
+  /// delta[c][i] = max prefix score ending in state i at position c.
+  std::vector<std::vector<double>> delta;
+  /// back[c][i] = argmax predecessor state (-1 at position 0).
+  std::vector<std::vector<int>> back;
+  /// cells[c][i] = up to k best paths ending at (position c, state i).
+  std::vector<std::vector<std::vector<ViterbiCell>>> cells;
+};
+
 /// \brief Top-k sequences by Eq. 10, best first. `k` ≥ 1.
-std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k);
+std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k,
+                                     ViterbiScratch* scratch = nullptr);
+
+/// \brief Classical Viterbi (top-1) into caller-owned scratch. Fills
+/// `scratch->delta` / `scratch->back` (Algorithm 3 reuses delta as its A*
+/// heuristic) and writes the best path into `*best`.
+void ViterbiDecodeInto(const HmmModel& model, ViterbiScratch* scratch,
+                       DecodedPath* best);
 
 /// \brief Classical Viterbi (top-1); also returns the full δ table
 /// (delta[c][i] = max prefix score ending in state i at position c), which

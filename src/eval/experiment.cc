@@ -11,18 +11,17 @@ Result<ExperimentContext> MakeDblpContext(DblpOptions dblp,
   ExperimentContext ctx;
   KQR_ASSIGN_OR_RETURN(ctx.corpus, GenerateDblp(dblp));
   KQR_ASSIGN_OR_RETURN(
-      ctx.engine,
-      ReformulationEngine::Build(std::move(ctx.corpus.db),
-                                 engine_options));
+      ctx.model,
+      EngineBuilder(engine_options).Build(std::move(ctx.corpus.db)));
   return ctx;
 }
 
-QuerySampler::QuerySampler(const ReformulationEngine& engine, uint64_t seed,
+QuerySampler::QuerySampler(const ServingModel& model, uint64_t seed,
                            QuerySamplerOptions options,
                            const DblpCorpus* corpus)
-    : engine_(engine), corpus_(corpus), rng_(seed), options_(options) {
-  const Vocabulary& vocab = engine.vocab();
-  const InvertedIndex& index = engine.index();
+    : model_(model), corpus_(corpus), rng_(seed), options_(options) {
+  const Vocabulary& vocab = model.vocab();
+  const InvertedIndex& index = model.index();
 
   // Classify vocabulary terms by the role/table of their field.
   for (TermId t = 0; t < vocab.size(); ++t) {
@@ -67,7 +66,7 @@ QuerySampler::QuerySampler(const ReformulationEngine& engine, uint64_t seed,
   }
 
   // Per-paper informative title terms, for the Table III workload.
-  const Table* papers = engine.db().FindTable("papers");
+  const Table* papers = model.db().FindTable("papers");
   if (papers != nullptr) {
     auto title_col = papers->schema().FindColumn("title");
     if (title_col.has_value()) {
@@ -79,7 +78,7 @@ QuerySampler::QuerySampler(const ReformulationEngine& engine, uint64_t seed,
             papers->row(static_cast<RowIndex>(r)).at(*title_col);
         if (!cell.is_null() && field.has_value()) {
           for (const std::string& w :
-               engine.analyzer().AnalyzeSegmented(cell.AsString())) {
+               model.analyzer().AnalyzeSegmented(cell.AsString())) {
             auto id = vocab.Find(*field, w);
             if (id.has_value() &&
                 index.DocFreq(*id) >= options_.min_title_docfreq &&

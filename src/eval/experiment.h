@@ -1,4 +1,4 @@
-// Shared experiment scaffolding for the bench binaries: corpus + engine
+// Shared experiment scaffolding for the bench binaries: corpus + model
 // construction and query-set sampling matching the paper's workloads
 // (Sec. VI: 10 mixed-format queries; 400 sampled queries of lengths 1–8
 // from author/title/venue fields; 19 title-derived queries).
@@ -12,17 +12,17 @@
 
 #include "common/result.h"
 #include "common/rng.h"
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "datagen/dblp_gen.h"
 
 namespace kqr {
 
-/// \brief A corpus and the engine built over it. The engine owns the
-/// database; `corpus.db` is moved-from and must not be touched, but the
-/// corpus's ground-truth vectors stay valid for the judge.
+/// \brief A corpus and the serving model built over it. The model owns
+/// the database; `corpus.db` is moved-from and must not be touched, but
+/// the corpus's ground-truth vectors stay valid for the judge.
 struct ExperimentContext {
   DblpCorpus corpus;
-  std::unique_ptr<ReformulationEngine> engine;
+  std::shared_ptr<const ServingModel> model;
 };
 
 /// \brief Builds the default experiment context (deterministic).
@@ -50,7 +50,7 @@ struct QuerySamplerOptions {
 /// paper's real user queries ("Christian S. Jensen spatio-temporal").
 class QuerySampler {
  public:
-  QuerySampler(const ReformulationEngine& engine, uint64_t seed,
+  QuerySampler(const ServingModel& model, uint64_t seed,
                QuerySamplerOptions options = {},
                const DblpCorpus* corpus = nullptr);
 
@@ -77,7 +77,7 @@ class QuerySampler {
   /// to an unconstrained draw when the topic has no such terms.
   TermId SampleTopicTerm(KeywordSource source, size_t topic);
 
-  const ReformulationEngine& engine_;
+  const ServingModel& model_;
   const DblpCorpus* corpus_;
   Rng rng_;
   QuerySamplerOptions options_;

@@ -6,7 +6,7 @@
 namespace kqr {
 
 std::vector<size_t> TopicJudge::TopicsOfTerm(TermId term) const {
-  return corpus_.TopicsOf(engine_.vocab().text(term));
+  return corpus_.TopicsOf(model_.vocab().text(term));
 }
 
 bool TopicJudge::TopicallyAligned(TermId a, TermId b) const {
@@ -79,9 +79,9 @@ bool TopicJudge::IsRelevant(const std::vector<TermId>& original,
     for (TermId t : reformulated.terms) {
       if (t != kInvalidTermId) kept_terms.push_back(t);
     }
-    KeywordSearch strict(engine_.graph(), engine_.index(),
+    KeywordSearch strict(model_.graph(), model_.index(),
                          options_.cohesion_search);
-    if (strict.CountResults(engine_.QueryFromTerms(kept_terms)) == 0) {
+    if (strict.CountResults(model_.QueryFromTerms(kept_terms)) == 0) {
       return false;
     }
   }

@@ -12,7 +12,7 @@
 
 #include <vector>
 
-#include "core/engine.h"
+#include "core/serving_model.h"
 #include "core/reformulator.h"
 #include "datagen/dblp_gen.h"
 #include "search/keyword_search.h"
@@ -44,9 +44,9 @@ struct JudgeOptions {
 /// \brief Ground-truth relevance judgments over one corpus/engine pair.
 class TopicJudge {
  public:
-  TopicJudge(const DblpCorpus& corpus, const ReformulationEngine& engine,
+  TopicJudge(const DblpCorpus& corpus, const ServingModel& model,
              JudgeOptions options = {})
-      : corpus_(corpus), engine_(engine), options_(options) {}
+      : corpus_(corpus), model_(model), options_(options) {}
 
   /// \brief Latent topics of a term node (by surface text + generation
   /// record). Empty for pure-noise terms.
@@ -70,7 +70,7 @@ class TopicJudge {
 
  private:
   const DblpCorpus& corpus_;
-  const ReformulationEngine& engine_;
+  const ServingModel& model_;
   JudgeOptions options_;
 };
 

@@ -25,7 +25,7 @@ double MeanPrecisionAtN(const std::vector<std::vector<bool>>& per_query,
 }
 
 double MeanResultSize(
-    const ReformulationEngine& engine,
+    const ServingModel& model,
     const std::vector<std::vector<ReformulatedQuery>>& per_query) {
   size_t queries = 0;
   double sum = 0;
@@ -35,7 +35,7 @@ double MeanResultSize(
       for (TermId t : q.terms) {
         if (t != kInvalidTermId) kept.push_back(t);
       }
-      sum += static_cast<double>(engine.CountTrees(kept));
+      sum += static_cast<double>(model.CountTrees(kept));
       ++queries;
     }
   }

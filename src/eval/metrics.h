@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "closeness/closeness.h"
-#include "core/engine.h"
+#include "core/serving_model.h"
 #include "core/reformulator.h"
 
 namespace kqr {
@@ -23,10 +23,10 @@ double MeanPrecisionAtN(const std::vector<std::vector<bool>>& per_query,
                         size_t n);
 
 /// \brief Table III "Result size": mean keyword-search result-tree count
-/// (Def. 3 trees, via ReformulationEngine::CountTrees) over every
+/// (Def. 3 trees, via ServingModel::CountTrees) over every
 /// reformulated query of every input query.
 double MeanResultSize(
-    const ReformulationEngine& engine,
+    const ServingModel& model,
     const std::vector<std::vector<ReformulatedQuery>>& per_query);
 
 /// \brief Table III "Query distance": mean over reformulated queries of

@@ -1,11 +1,35 @@
 #include "walk/similarity_index.h"
 
 #include <algorithm>
+#include <mutex>
 
+#include "common/logging.h"
 #include "common/parallel_for.h"
 #include "common/timer.h"
 
 namespace kqr {
+
+SimilarityIndex::SimilarityIndex()
+    : shards_(std::make_unique<Shard[]>(kNumShards)) {}
+
+SimilarityIndex::SimilarityIndex(SimilarityIndex&& other) noexcept
+    : shards_(std::move(other.shards_)),
+      frozen_(other.frozen_.load(std::memory_order_relaxed)) {
+  other.shards_ = std::make_unique<Shard[]>(kNumShards);
+  other.frozen_.store(false, std::memory_order_relaxed);
+}
+
+SimilarityIndex& SimilarityIndex::operator=(
+    SimilarityIndex&& other) noexcept {
+  if (this != &other) {
+    shards_ = std::move(other.shards_);
+    frozen_.store(other.frozen_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    other.shards_ = std::make_unique<Shard[]>(kNumShards);
+    other.frozen_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
 
 SimilarityIndex SimilarityIndex::Build(const TatGraph& graph,
                                        const GraphStats& stats,
@@ -59,7 +83,7 @@ SimilarityIndex SimilarityIndex::BuildFor(
   for (size_t i = 0; i < terms.size(); ++i) {
     if (!built[i]) continue;
     ++built_count;
-    index.lists_.emplace(terms[i], std::move(lists[i]));
+    index.Insert(terms[i], std::move(lists[i]));
   }
 
   if (build_stats != nullptr) {
@@ -80,8 +104,37 @@ SimilarityIndex SimilarityIndex::BuildFor(
 
 const std::vector<SimilarTerm>& SimilarityIndex::Lookup(TermId term) const {
   static const std::vector<SimilarTerm> kEmpty;
-  auto it = lists_.find(term);
-  return it == lists_.end() ? kEmpty : it->second;
+  const Shard& s = shard(term);
+  if (frozen()) {
+    auto it = s.lists.find(term);
+    return it == s.lists.end() ? kEmpty : it->second;
+  }
+  std::shared_lock lock(s.mu);
+  auto it = s.lists.find(term);
+  // The reference outlives the lock: entries are node-stable and never
+  // erased, and the serving layer never replaces a term's list once a
+  // reader can reach it.
+  return it == s.lists.end() ? kEmpty : it->second;
+}
+
+bool SimilarityIndex::Contains(TermId term) const {
+  const Shard& s = shard(term);
+  if (frozen()) return s.lists.count(term) > 0;
+  std::shared_lock lock(s.mu);
+  return s.lists.count(term) > 0;
+}
+
+size_t SimilarityIndex::size() const {
+  size_t total = 0;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    if (frozen()) {
+      total += shards_[i].lists.size();
+    } else {
+      std::shared_lock lock(shards_[i].mu);
+      total += shards_[i].lists.size();
+    }
+  }
+  return total;
 }
 
 double SimilarityIndex::SimilarityOf(TermId a, TermId b) const {
@@ -93,6 +146,14 @@ double SimilarityIndex::SimilarityOf(TermId a, TermId b) const {
     if (s.term == a && s.score > best) best = s.score;
   }
   return best;
+}
+
+void SimilarityIndex::Insert(TermId term, std::vector<SimilarTerm> list) {
+  KQR_CHECK(!frozen()) << "Insert into a frozen SimilarityIndex";
+  Shard& s = shard(term);
+  std::unique_lock lock(s.mu);
+  auto [it, inserted] = s.lists.try_emplace(term, std::move(list));
+  if (!inserted) it->second = std::move(list);
 }
 
 }  // namespace kqr

@@ -1,9 +1,22 @@
 // SimilarityIndex: the offline stage's product — for each term, its ranked
 // list of similar terms, precomputed so online reformulation is a lookup.
+//
+// Thread-safety: the index is a memoization target for the serving layer's
+// lazy per-term preparation, so Lookup/Contains/SimilarityOf and Insert may
+// be called concurrently from many threads. Storage is sharded by term id;
+// each shard pairs a reader-writer lock with a node-stable hash map, so a
+// reference returned by Lookup stays valid while other threads insert
+// (entries are never erased; Insert on an existing term replaces the list
+// contents in place and is only safe when no reader holds that term's
+// reference — the serving layer inserts each term at most once). Freeze()
+// marks the index complete, after which every read skips locking entirely.
 
 #ifndef KQR_WALK_SIMILARITY_INDEX_H_
 #define KQR_WALK_SIMILARITY_INDEX_H_
 
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +50,12 @@ struct SimilarityIndexOptions {
 /// \brief Precomputed term → similar-term lists.
 class SimilarityIndex {
  public:
+  SimilarityIndex();
+  SimilarityIndex(SimilarityIndex&& other) noexcept;
+  SimilarityIndex& operator=(SimilarityIndex&& other) noexcept;
+  SimilarityIndex(const SimilarityIndex&) = delete;
+  SimilarityIndex& operator=(const SimilarityIndex&) = delete;
+
   /// \brief Runs the similarity extractor for every eligible term.
   /// This is the heavyweight offline step (one personalized walk per
   /// term), sharded across `options.num_threads` workers. Fills
@@ -54,25 +73,43 @@ class SimilarityIndex {
                                   SimilarityIndexOptions options = {},
                                   OfflineBuildStats* build_stats = nullptr);
 
-  /// Ranked similar terms; empty if the term has no entry.
+  /// Ranked similar terms; empty if the term has no entry. The returned
+  /// reference stays valid across concurrent Inserts of other terms.
   const std::vector<SimilarTerm>& Lookup(TermId term) const;
 
-  bool Contains(TermId term) const { return lists_.count(term) > 0; }
-  size_t size() const { return lists_.size(); }
+  bool Contains(TermId term) const;
+  size_t size() const;
 
   /// Similarity between two specific terms per the index (0 when absent
   /// from the list). Symmetric max of both directions.
   double SimilarityOf(TermId a, TermId b) const;
 
-  /// \brief Installs (or replaces) a term's list. Used by alternative
-  /// similarity providers (e.g. the co-occurrence baseline) to assemble an
-  /// index with the same interface.
-  void Insert(TermId term, std::vector<SimilarTerm> list) {
-    lists_[term] = std::move(list);
-  }
+  /// \brief Installs (or replaces) a term's list. Used by the serving
+  /// layer's lazy per-term preparation and by alternative similarity
+  /// providers (e.g. the co-occurrence baseline). Checks against Freeze().
+  void Insert(TermId term, std::vector<SimilarTerm> list);
+
+  /// \brief Declares the index complete: no further Insert is allowed and
+  /// reads stop taking locks. Called once the offline stage has prepared
+  /// every term (eager builds).
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
 
  private:
-  std::unordered_map<TermId, std::vector<SimilarTerm>> lists_;
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<TermId, std::vector<SimilarTerm>> lists;
+  };
+
+  Shard& shard(TermId term) const { return shards_[term % kNumShards]; }
+
+  // unique_ptr keeps shards at stable addresses and makes moves cheap
+  // (moving is NOT thread-safe; it happens only while single-threaded,
+  // before a model is shared).
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<bool> frozen_{false};
 };
 
 }  // namespace kqr

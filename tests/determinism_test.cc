@@ -1,11 +1,11 @@
 // Reproducibility guarantees: identical inputs must produce identical
-// engines, offline products, and online suggestions — the property the
+// models, offline products, and online suggestions — the property the
 // whole bench harness depends on.
 
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "datagen/dblp_gen.h"
 
 namespace kqr {
@@ -20,17 +20,17 @@ DblpOptions SmallCorpus() {
   return options;
 }
 
-std::unique_ptr<ReformulationEngine> MakeEngine() {
+std::shared_ptr<const ServingModel> MakeModel() {
   auto corpus = GenerateDblp(SmallCorpus());
   KQR_CHECK(corpus.ok());
-  auto engine = ReformulationEngine::Build(std::move(corpus->db));
-  KQR_CHECK(engine.ok());
-  return std::move(engine).ValueOrDie();
+  auto model = EngineBuilder().Build(std::move(corpus->db));
+  KQR_CHECK(model.ok());
+  return std::move(model).ValueOrDie();
 }
 
 TEST(Determinism, VocabularyIdentical) {
-  auto a = MakeEngine();
-  auto b = MakeEngine();
+  auto a = MakeModel();
+  auto b = MakeModel();
   ASSERT_EQ(a->vocab().size(), b->vocab().size());
   for (TermId t = 0; t < a->vocab().size(); ++t) {
     EXPECT_EQ(a->vocab().text(t), b->vocab().text(t));
@@ -39,8 +39,8 @@ TEST(Determinism, VocabularyIdentical) {
 }
 
 TEST(Determinism, GraphIdentical) {
-  auto a = MakeEngine();
-  auto b = MakeEngine();
+  auto a = MakeModel();
+  auto b = MakeModel();
   ASSERT_EQ(a->graph().num_nodes(), b->graph().num_nodes());
   ASSERT_EQ(a->graph().num_edges(), b->graph().num_edges());
   for (NodeId v = 0; v < a->graph().num_nodes(); v += 97) {
@@ -55,8 +55,8 @@ TEST(Determinism, GraphIdentical) {
 }
 
 TEST(Determinism, OfflineProductsIdentical) {
-  auto a = MakeEngine();
-  auto b = MakeEngine();
+  auto a = MakeModel();
+  auto b = MakeModel();
   auto terms = a->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
   for (TermId t : *terms) {
@@ -79,9 +79,41 @@ TEST(Determinism, OfflineProductsIdentical) {
   }
 }
 
-TEST(Determinism, SuggestionsIdenticalAcrossEnginesAndCalls) {
-  auto a = MakeEngine();
-  auto b = MakeEngine();
+TEST(Determinism, LazyAndEagerOfflineProductsIdentical) {
+  auto lazy = MakeModel();
+  EngineOptions eager_options;
+  eager_options.precompute_offline = true;
+  auto corpus = GenerateDblp(SmallCorpus());
+  KQR_CHECK(corpus.ok());
+  auto built = EngineBuilder(eager_options).Build(std::move(corpus->db));
+  KQR_CHECK(built.ok());
+  auto eager = std::move(built).ValueOrDie();
+
+  auto terms = lazy->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  for (TermId t : *terms) {
+    lazy->EnsureTerm(t);
+    const auto& sl = lazy->similarity_index().Lookup(t);
+    const auto& se = eager->similarity_index().Lookup(t);
+    ASSERT_EQ(sl.size(), se.size());
+    for (size_t i = 0; i < sl.size(); ++i) {
+      EXPECT_EQ(sl[i].term, se[i].term);
+      EXPECT_DOUBLE_EQ(sl[i].score, se[i].score);
+    }
+    const auto& cl = lazy->closeness_index().Lookup(t);
+    const auto& ce = eager->closeness_index().Lookup(t);
+    ASSERT_EQ(cl.size(), ce.size());
+    for (size_t i = 0; i < cl.size(); ++i) {
+      EXPECT_EQ(cl[i].term, ce[i].term);
+      EXPECT_DOUBLE_EQ(cl[i].closeness, ce[i].closeness);
+      EXPECT_EQ(cl[i].distance, ce[i].distance);
+    }
+  }
+}
+
+TEST(Determinism, SuggestionsIdenticalAcrossModelsAndCalls) {
+  auto a = MakeModel();
+  auto b = MakeModel();
   auto ra = a->Reformulate("probabilistic query", 8);
   auto rb = b->Reformulate("probabilistic query", 8);
   auto ra2 = a->Reformulate("probabilistic query", 8);
@@ -98,8 +130,8 @@ TEST(Determinism, SuggestionsIdenticalAcrossEnginesAndCalls) {
 }
 
 TEST(Determinism, SearchCountsStable) {
-  auto a = MakeEngine();
-  auto b = MakeEngine();
+  auto a = MakeModel();
+  auto b = MakeModel();
   auto terms = a->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
   EXPECT_EQ(a->CountResults(*terms), b->CountResults(*terms));

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "core/facets.h"
 #include "datagen/ecommerce_gen.h"
 
@@ -19,19 +19,18 @@ class EcommerceIntegration : public ::testing::Test {
     options.num_reviews = 800;
     auto corpus = GenerateEcommerce(options);
     KQR_CHECK(corpus.ok());
-    auto engine = ReformulationEngine::Build(std::move(corpus->db));
+    auto engine = EngineBuilder().Build(std::move(corpus->db));
     KQR_CHECK(engine.ok());
-    engine_ = std::move(*engine).release();
+    engine_ = std::move(*engine);
   }
   static void TearDownTestSuite() {
-    delete engine_;
-    engine_ = nullptr;
+    engine_.reset();
   }
 
-  static ReformulationEngine* engine_;
+  static std::shared_ptr<const ServingModel> engine_;
 };
 
-ReformulationEngine* EcommerceIntegration::engine_ = nullptr;
+std::shared_ptr<const ServingModel> EcommerceIntegration::engine_;
 
 TEST_F(EcommerceIntegration, GraphCoversAllTables) {
   // 4 tables of tuples plus term nodes.

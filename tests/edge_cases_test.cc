@@ -5,7 +5,7 @@
 
 #include <sstream>
 
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "eval/metrics.h"
 #include "graph/tat_builder.h"
 #include "test_fixtures.h"
@@ -18,7 +18,7 @@ using testing_fixtures::MicroCorpus;
 
 TEST(EdgeCases, EmptyDatabaseEngine) {
   Database db("empty");
-  auto engine = ReformulationEngine::Build(std::move(db));
+  auto engine = EngineBuilder().Build(std::move(db));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ((*engine)->vocab().size(), 0u);
   EXPECT_EQ((*engine)->graph().num_nodes(), 0u);
@@ -34,7 +34,7 @@ TEST(EdgeCases, TextlessTablesOnly) {
   ASSERT_TRUE(schema.ok());
   Table* t = *db.CreateTable(std::move(*schema));
   ASSERT_TRUE(t->Insert({Value(int64_t{1}), Value(3.5)}).ok());
-  auto engine = ReformulationEngine::Build(std::move(db));
+  auto engine = EngineBuilder().Build(std::move(db));
   ASSERT_TRUE(engine.ok());
   EXPECT_EQ((*engine)->vocab().size(), 0u);
   // Tuple nodes exist, term nodes do not.
@@ -113,7 +113,7 @@ TEST(EdgeCases, QueryParserAtomSpanLimit) {
 
 TEST(EdgeCases, ReformulateSingleCharacterAndStopwordQuery) {
   Database db = testing_fixtures::MakeMicroDblp();
-  auto engine = ReformulationEngine::Build(std::move(db));
+  auto engine = EngineBuilder().Build(std::move(db));
   ASSERT_TRUE(engine.ok());
   // Pure-stopword input tokenizes to nothing resolvable.
   EXPECT_FALSE((*engine)->Reformulate("the of and", 5).ok());
@@ -122,7 +122,7 @@ TEST(EdgeCases, ReformulateSingleCharacterAndStopwordQuery) {
 
 TEST(EdgeCases, LongQueryAgainstTinyCorpus) {
   Database db = testing_fixtures::MakeMicroDblp();
-  auto engine = ReformulationEngine::Build(std::move(db));
+  auto engine = EngineBuilder().Build(std::move(db));
   ASSERT_TRUE(engine.ok());
   auto result =
       (*engine)->Reformulate("uncertain query mining pattern data", 5);

@@ -1,26 +1,25 @@
-#include "core/engine.h"
-
 #include <gtest/gtest.h>
 
+#include "core/engine_builder.h"
 #include "test_fixtures.h"
 
 namespace kqr {
 namespace {
 
-std::unique_ptr<ReformulationEngine> MakeEngine(EngineOptions options = {}) {
-  auto engine = ReformulationEngine::Build(
-      testing_fixtures::MakeMicroDblp(), options);
-  KQR_CHECK(engine.ok()) << engine.status().ToString();
-  return std::move(engine).ValueOrDie();
+std::shared_ptr<const ServingModel> MakeModel(EngineOptions options = {}) {
+  auto model =
+      EngineBuilder(options).Build(testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(model.ok()) << model.status().ToString();
+  return std::move(model).ValueOrDie();
 }
 
 TEST(Engine, BuildsAllComponents) {
-  auto engine = MakeEngine();
-  EXPECT_GT(engine->vocab().size(), 0u);
-  EXPECT_GT(engine->graph().num_nodes(), 0u);
-  EXPECT_GT(engine->graph().num_edges(), 0u);
-  EXPECT_EQ(engine->stats().num_nodes(), engine->graph().num_nodes());
-  EXPECT_EQ(engine->db().name(), "micro");
+  auto model = MakeModel();
+  EXPECT_GT(model->vocab().size(), 0u);
+  EXPECT_GT(model->graph().num_nodes(), 0u);
+  EXPECT_GT(model->graph().num_edges(), 0u);
+  EXPECT_EQ(model->stats().num_nodes(), model->graph().num_nodes());
+  EXPECT_EQ(model->db().name(), "micro");
 }
 
 TEST(Engine, RejectsCorruptDatabase) {
@@ -30,26 +29,26 @@ TEST(Engine, RejectsCorruptDatabase) {
                   ->Insert({Value(int64_t{99}), Value(int64_t{77}),
                             Value(int64_t{0})})
                   .ok());  // author 77 does not exist
-  auto engine = ReformulationEngine::Build(std::move(db));
-  EXPECT_TRUE(engine.status().IsCorruption());
+  auto model = EngineBuilder().Build(std::move(db));
+  EXPECT_TRUE(model.status().IsCorruption());
 }
 
 TEST(Engine, ResolveQueryPicksTerms) {
-  auto engine = MakeEngine();
-  auto terms = engine->ResolveQuery("uncertain query");
+  auto model = MakeModel();
+  auto terms = model->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok()) << terms.status().ToString();
   EXPECT_EQ(terms->size(), 2u);
 }
 
 TEST(Engine, ResolveQueryFailsOnUnknownKeyword) {
-  auto engine = MakeEngine();
-  EXPECT_TRUE(engine->ResolveQuery("zebra").status().IsNotFound());
-  EXPECT_TRUE(engine->ResolveQuery("").status().IsInvalidArgument());
+  auto model = MakeModel();
+  EXPECT_TRUE(model->ResolveQuery("zebra").status().IsNotFound());
+  EXPECT_TRUE(model->ResolveQuery("").status().IsInvalidArgument());
 }
 
 TEST(Engine, EndToEndReformulate) {
-  auto engine = MakeEngine();
-  auto result = engine->Reformulate("uncertain query", 5);
+  auto model = MakeModel();
+  auto result = model->Reformulate("uncertain query", 5);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_FALSE(result->empty());
   for (const auto& q : *result) {
@@ -59,10 +58,12 @@ TEST(Engine, EndToEndReformulate) {
 }
 
 TEST(Engine, LazyOfflineMatchesEagerResults) {
-  auto lazy = MakeEngine();
+  auto lazy = MakeModel();
   EngineOptions eager_options;
   eager_options.precompute_offline = true;
-  auto eager = MakeEngine(eager_options);
+  auto eager = MakeModel(eager_options);
+  EXPECT_FALSE(lazy->fully_prepared());
+  EXPECT_TRUE(eager->fully_prepared());
   auto a = lazy->Reformulate("uncertain query", 5);
   auto b = eager->Reformulate("uncertain query", 5);
   ASSERT_TRUE(a.ok());
@@ -75,61 +76,83 @@ TEST(Engine, LazyOfflineMatchesEagerResults) {
 }
 
 TEST(Engine, EnsureTermIdempotent) {
-  auto engine = MakeEngine();
-  auto terms = engine->ResolveQuery("uncertain");
+  auto model = MakeModel();
+  auto terms = model->ResolveQuery("uncertain");
   ASSERT_TRUE(terms.ok());
-  engine->EnsureTerm((*terms)[0]);
-  size_t size_after_first = engine->similarity_index().size();
-  engine->EnsureTerm((*terms)[0]);
-  EXPECT_EQ(engine->similarity_index().size(), size_after_first);
+  EXPECT_TRUE(model->EnsureTerm((*terms)[0]));
+  size_t size_after_first = model->similarity_index().size();
+  EXPECT_FALSE(model->EnsureTerm((*terms)[0]));
+  EXPECT_EQ(model->similarity_index().size(), size_after_first);
+}
+
+TEST(Engine, EagerModelReportsAllTermsPrepared) {
+  EngineOptions options;
+  options.precompute_offline = true;
+  auto model = MakeModel(options);
+  EXPECT_EQ(model->PreparedTerms().size(), model->vocab().size());
+  // EnsureTerm on a fully-prepared model never prepares anything new.
+  EXPECT_FALSE(model->EnsureTerm(0));
 }
 
 TEST(Engine, CooccurrenceModeBuilds) {
   EngineOptions options;
   options.use_cooccurrence_similarity = true;
-  auto engine = MakeEngine(options);
-  auto result = engine->Reformulate("uncertain query", 5);
+  auto model = MakeModel(options);
+  auto result = model->Reformulate("uncertain query", 5);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_FALSE(result->empty());
 }
 
 TEST(Engine, SearchEndToEnd) {
-  auto engine = MakeEngine();
-  auto outcome = engine->Search("uncertain query");
+  auto model = MakeModel();
+  auto outcome = model->Search("uncertain query");
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_GT(outcome->total_results, 0u);
 }
 
 TEST(Engine, SearchUnknownKeywordFails) {
-  auto engine = MakeEngine();
-  EXPECT_TRUE(engine->Search("zebra").status().IsNotFound());
+  auto model = MakeModel();
+  EXPECT_TRUE(model->Search("zebra").status().IsNotFound());
 }
 
 TEST(Engine, CountResultsSkipsVoidPositions) {
-  auto engine = MakeEngine();
-  auto terms = engine->ResolveQuery("uncertain query");
+  auto model = MakeModel();
+  auto terms = model->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
   std::vector<TermId> with_void = *terms;
   with_void.push_back(kInvalidTermId);
-  EXPECT_EQ(engine->CountResults(with_void),
-            engine->CountResults(*terms));
+  EXPECT_EQ(model->CountResults(with_void), model->CountResults(*terms));
 }
 
 TEST(Engine, QueryFromTermsRoundTrip) {
-  auto engine = MakeEngine();
-  auto terms = engine->ResolveQuery("uncertain query");
+  auto model = MakeModel();
+  auto terms = model->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
-  KeywordQuery q = engine->QueryFromTerms(*terms);
+  KeywordQuery q = model->QueryFromTerms(*terms);
   ASSERT_EQ(q.size(), 2u);
   EXPECT_TRUE(q.FullyResolved());
 }
 
 TEST(Engine, MultiWordAuthorQueryReformulates) {
-  auto engine = MakeEngine();
-  auto result = engine->Reformulate("alice smith mining", 5);
+  auto model = MakeModel();
+  auto result = model->Reformulate("alice smith mining", 5);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // Candidates exist (carol wu collaborates via p3).
   EXPECT_FALSE(result->empty());
+}
+
+TEST(Engine, ReformulateTermsWithOverridesOptions) {
+  auto model = MakeModel();
+  auto terms = model->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  ReformulatorOptions narrow = model->options().reformulator;
+  narrow.candidates.per_term = 1;
+  auto defaults = model->ReformulateTerms(*terms, 5);
+  auto narrowed = model->ReformulateTermsWith(narrow, *terms, 5);
+  // per_term = 1 leaves only the identity candidate at each position.
+  EXPECT_LE(narrowed.size(), defaults.size());
+  // The shared model's own options are untouched.
+  EXPECT_NE(model->options().reformulator.candidates.per_term, 1u);
 }
 
 }  // namespace

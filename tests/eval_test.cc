@@ -72,14 +72,14 @@ class EvalIntegration : public ::testing::Test {
 ExperimentContext* EvalIntegration::ctx_ = nullptr;
 
 TEST_F(EvalIntegration, SamplerProducesResolvableQueries) {
-  QuerySampler sampler(*ctx_->engine, 42);
+  QuerySampler sampler(*ctx_->model, 42);
   for (size_t len = 1; len <= 4; ++len) {
     auto queries = sampler.SampleQueries(5, len);
     ASSERT_EQ(queries.size(), 5u);
     for (const auto& q : queries) {
       EXPECT_EQ(q.size(), len);
       for (TermId t : q) {
-        EXPECT_LT(t, ctx_->engine->vocab().size());
+        EXPECT_LT(t, ctx_->model->vocab().size());
       }
       // Distinct terms within one query.
       for (size_t i = 0; i < q.size(); ++i) {
@@ -92,13 +92,13 @@ TEST_F(EvalIntegration, SamplerProducesResolvableQueries) {
 }
 
 TEST_F(EvalIntegration, SamplerDeterministic) {
-  QuerySampler a(*ctx_->engine, 42);
-  QuerySampler b(*ctx_->engine, 42);
+  QuerySampler a(*ctx_->model, 42);
+  QuerySampler b(*ctx_->model, 42);
   EXPECT_EQ(a.SampleQuery(3), b.SampleQuery(3));
 }
 
 TEST_F(EvalIntegration, MixedSetShapes) {
-  QuerySampler sampler(*ctx_->engine, 42);
+  QuerySampler sampler(*ctx_->model, 42);
   auto queries = sampler.SampleMixedSet(10);
   ASSERT_EQ(queries.size(), 10u);
   for (const auto& q : queries) {
@@ -108,10 +108,10 @@ TEST_F(EvalIntegration, MixedSetShapes) {
 }
 
 TEST_F(EvalIntegration, TitleQueriesComeFromPapers) {
-  QuerySampler sampler(*ctx_->engine, 42);
+  QuerySampler sampler(*ctx_->model, 42);
   auto queries = sampler.SampleTitleQueries(19);
   ASSERT_EQ(queries.size(), 19u);
-  const Vocabulary& vocab = ctx_->engine->vocab();
+  const Vocabulary& vocab = ctx_->model->vocab();
   auto title_field = vocab.FindField("papers", "title");
   ASSERT_TRUE(title_field.has_value());
   for (const auto& q : queries) {
@@ -122,10 +122,10 @@ TEST_F(EvalIntegration, TitleQueriesComeFromPapers) {
 }
 
 TEST_F(EvalIntegration, JudgeAcceptsTopicalReformulation) {
-  TopicJudge judge(ctx_->corpus, *ctx_->engine);
-  QuerySampler sampler(*ctx_->engine, 123);
+  TopicJudge judge(ctx_->corpus, *ctx_->model);
+  QuerySampler sampler(*ctx_->model, 123);
   auto query = sampler.SampleQuery(2);
-  auto results = ctx_->engine->ReformulateTerms(query, 10);
+  auto results = ctx_->model->ReformulateTerms(query, 10);
   ASSERT_FALSE(results.empty());
   auto judgments = judge.JudgeRanking(query, results);
   EXPECT_EQ(judgments.size(), results.size());
@@ -137,8 +137,8 @@ TEST_F(EvalIntegration, JudgeAcceptsTopicalReformulation) {
 }
 
 TEST_F(EvalIntegration, JudgeRejectsIdentityAndMismatchedArity) {
-  TopicJudge judge(ctx_->corpus, *ctx_->engine);
-  QuerySampler sampler(*ctx_->engine, 99);
+  TopicJudge judge(ctx_->corpus, *ctx_->model);
+  QuerySampler sampler(*ctx_->model, 99);
   auto query = sampler.SampleQuery(2);
   ReformulatedQuery identity;
   identity.terms = query;
@@ -151,36 +151,36 @@ TEST_F(EvalIntegration, JudgeRejectsIdentityAndMismatchedArity) {
 }
 
 TEST_F(EvalIntegration, JudgeTopicAlignment) {
-  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  TopicJudge judge(ctx_->corpus, *ctx_->model);
   // Two stems of the same topic align.
-  auto terms = ctx_->engine->ResolveQuery("probabilistic uncertain");
+  auto terms = ctx_->model->ResolveQuery("probabilistic uncertain");
   ASSERT_TRUE(terms.ok());
   EXPECT_TRUE(judge.TopicallyAligned((*terms)[0], (*terms)[1]));
-  auto cross = ctx_->engine->ResolveQuery("probabilistic camping");
+  auto cross = ctx_->model->ResolveQuery("probabilistic camping");
   if (cross.ok()) {
     EXPECT_FALSE(judge.TopicallyAligned((*cross)[0], (*cross)[1]));
   }
 }
 
 TEST_F(EvalIntegration, ResultSizeMetricPositiveForRealQueries) {
-  QuerySampler sampler(*ctx_->engine, 7);
+  QuerySampler sampler(*ctx_->model, 7);
   auto queries = sampler.SampleQueries(3, 2);
   std::vector<std::vector<ReformulatedQuery>> per_query;
   for (const auto& q : queries) {
-    per_query.push_back(ctx_->engine->ReformulateTerms(q, 5));
+    per_query.push_back(ctx_->model->ReformulateTerms(q, 5));
   }
-  double mean = MeanResultSize(*ctx_->engine, per_query);
+  double mean = MeanResultSize(*ctx_->model, per_query);
   EXPECT_GE(mean, 0.0);
 }
 
 TEST_F(EvalIntegration, QueryDistanceMetricInRange) {
-  QuerySampler sampler(*ctx_->engine, 7);
+  QuerySampler sampler(*ctx_->model, 7);
   auto queries = sampler.SampleQueries(3, 2);
   std::vector<std::vector<ReformulatedQuery>> per_query;
   for (const auto& q : queries) {
-    per_query.push_back(ctx_->engine->ReformulateTerms(q, 5));
+    per_query.push_back(ctx_->model->ReformulateTerms(q, 5));
   }
-  double dist = MeanQueryDistance(ctx_->engine->graph(), queries,
+  double dist = MeanQueryDistance(ctx_->model->graph(), queries,
                                   per_query);
   EXPECT_GE(dist, 0.0);
   EXPECT_LE(dist, 8.0);

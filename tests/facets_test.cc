@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/engine_builder.h"
 #include "test_fixtures.h"
 
 namespace kqr {
@@ -11,13 +12,12 @@ class FacetsTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     auto engine =
-        ReformulationEngine::Build(testing_fixtures::MakeMicroDblp());
+        EngineBuilder().Build(testing_fixtures::MakeMicroDblp());
     KQR_CHECK(engine.ok());
-    engine_ = std::move(*engine).release();
+    engine_ = std::move(*engine);
   }
   static void TearDownTestSuite() {
-    delete engine_;
-    engine_ = nullptr;
+    engine_.reset();
   }
 
   ReformulatedQuery MakeQuery(std::vector<TermId> terms,
@@ -29,10 +29,10 @@ class FacetsTest : public ::testing::Test {
     return q;
   }
 
-  static ReformulationEngine* engine_;
+  static std::shared_ptr<const ServingModel> engine_;
 };
 
-ReformulationEngine* FacetsTest::engine_ = nullptr;
+std::shared_ptr<const ServingModel> FacetsTest::engine_;
 
 TEST_F(FacetsTest, GroupsBySubstitutedField) {
   const Vocabulary& vocab = engine_->vocab();

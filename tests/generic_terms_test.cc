@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "datagen/dblp_gen.h"
 #include "text/porter_stemmer.h"
 
@@ -22,13 +22,12 @@ class GenericTermsTest : public ::testing::Test {
     options.num_venues = 24;
     auto corpus = GenerateDblp(options);
     KQR_CHECK(corpus.ok());
-    auto engine = ReformulationEngine::Build(std::move(corpus->db));
+    auto engine = EngineBuilder().Build(std::move(corpus->db));
     KQR_CHECK(engine.ok());
-    engine_ = std::move(*engine).release();
+    engine_ = std::move(*engine);
   }
   static void TearDownTestSuite() {
-    delete engine_;
-    engine_ = nullptr;
+    engine_.reset();
   }
 
   static bool IsGeneric(const std::string& stem) {
@@ -39,10 +38,10 @@ class GenericTermsTest : public ::testing::Test {
     return false;
   }
 
-  static ReformulationEngine* engine_;
+  static std::shared_ptr<const ServingModel> engine_;
 };
 
-ReformulationEngine* GenericTermsTest::engine_ = nullptr;
+std::shared_ptr<const ServingModel> GenericTermsTest::engine_;
 
 TEST_F(GenericTermsTest, GenericWordsAreInTheIndex) {
   // The df cut removes hub terms from the *graph*, never the index.

@@ -28,7 +28,7 @@ class JudgeIntentTest : public ::testing::Test {
   }
 
   TermId Title(const std::string& word) {
-    auto terms = ctx_->engine->ResolveQuery(word);
+    auto terms = ctx_->model->ResolveQuery(word);
     KQR_CHECK(terms.ok()) << word;
     return (*terms)[0];
   }
@@ -39,7 +39,7 @@ class JudgeIntentTest : public ::testing::Test {
 ExperimentContext* JudgeIntentTest::ctx_ = nullptr;
 
 TEST_F(JudgeIntentTest, IntentIsMajorityTopic) {
-  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  TopicJudge judge(ctx_->corpus, *ctx_->model);
   // "twig" and "xpath" are unambiguous semistructured-topic words; the
   // majority topic must be theirs even with an ambiguous third term.
   std::vector<TermId> query = {Title("twig"), Title("xpath"),
@@ -52,13 +52,13 @@ TEST_F(JudgeIntentTest, IntentIsMajorityTopic) {
 }
 
 TEST_F(JudgeIntentTest, IntentOfEmptyQueryEmpty) {
-  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  TopicJudge judge(ctx_->corpus, *ctx_->model);
   EXPECT_TRUE(judge.QueryIntent({}).empty());
   EXPECT_TRUE(judge.QueryIntent({kInvalidTermId}).empty());
 }
 
 TEST_F(JudgeIntentTest, SubstituteInsideIntentIsRelevant) {
-  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  TopicJudge judge(ctx_->corpus, *ctx_->model);
   std::vector<TermId> query = {Title("twig"), Title("xpath")};
   ReformulatedQuery suggestion;
   suggestion.terms = {Title("xquery"), Title("xpath")};
@@ -66,7 +66,7 @@ TEST_F(JudgeIntentTest, SubstituteInsideIntentIsRelevant) {
 }
 
 TEST_F(JudgeIntentTest, SubstituteOutsideIntentIsIrrelevant) {
-  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  TopicJudge judge(ctx_->corpus, *ctx_->model);
   std::vector<TermId> query = {Title("twig"), Title("xpath")};
   // A mining-topic word is outside the semistructured intent.
   ReformulatedQuery suggestion;
@@ -75,7 +75,7 @@ TEST_F(JudgeIntentTest, SubstituteOutsideIntentIsIrrelevant) {
 }
 
 TEST_F(JudgeIntentTest, KeepingOriginalAlwaysAcceptable) {
-  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  TopicJudge judge(ctx_->corpus, *ctx_->model);
   std::vector<TermId> query = {Title("twig"), Title("ranking")};
   // "ranking" is multi-topic; keeping it must not fail alignment even if
   // the intent resolves elsewhere.
@@ -83,15 +83,15 @@ TEST_F(JudgeIntentTest, KeepingOriginalAlwaysAcceptable) {
   suggestion.terms = {Title("xpath"), Title("ranking")};
   JudgeOptions lax;
   lax.require_cohesion = false;
-  TopicJudge lax_judge(ctx_->corpus, *ctx_->engine, lax);
+  TopicJudge lax_judge(ctx_->corpus, *ctx_->model, lax);
   EXPECT_TRUE(lax_judge.IsRelevant(query, suggestion));
 }
 
 TEST_F(JudgeIntentTest, GenericSubstituteIsIrrelevant) {
-  TopicJudge judge(ctx_->corpus, *ctx_->engine);
+  TopicJudge judge(ctx_->corpus, *ctx_->model);
   std::vector<TermId> query = {Title("twig"), Title("xpath")};
   // Generic filler belongs to no topic — substituting it must fail.
-  auto generic = ctx_->engine->ResolveQuery("efficient");
+  auto generic = ctx_->model->ResolveQuery("efficient");
   if (!generic.ok()) GTEST_SKIP() << "generic word not in corpus";
   ReformulatedQuery suggestion;
   suggestion.terms = {(*generic)[0], Title("xpath")};
@@ -102,7 +102,7 @@ TEST_F(JudgeIntentTest, PerPositionModeStillAvailable) {
   JudgeOptions options;
   options.use_query_intent = false;
   options.require_cohesion = false;
-  TopicJudge judge(ctx_->corpus, *ctx_->engine, options);
+  TopicJudge judge(ctx_->corpus, *ctx_->model, options);
   std::vector<TermId> query = {Title("twig"), Title("itemset")};
   // Per-position: each substitute judged against its own slot.
   ReformulatedQuery ok_suggestion;
@@ -117,14 +117,14 @@ TEST_F(JudgeIntentTest, MinAlignedFractionRelaxes) {
   JudgeOptions options;
   options.min_aligned_fraction = 0.5;
   options.require_cohesion = false;
-  TopicJudge judge(ctx_->corpus, *ctx_->engine, options);
+  TopicJudge judge(ctx_->corpus, *ctx_->model, options);
   std::vector<TermId> query = {Title("twig"), Title("xpath")};
   ReformulatedQuery half_good;
   half_good.terms = {Title("xquery"), Title("itemset")};
   EXPECT_TRUE(judge.IsRelevant(query, half_good));
   JudgeOptions strict;
   strict.require_cohesion = false;
-  TopicJudge strict_judge(ctx_->corpus, *ctx_->engine, strict);
+  TopicJudge strict_judge(ctx_->corpus, *ctx_->model, strict);
   EXPECT_FALSE(strict_judge.IsRelevant(query, half_good));
 }
 

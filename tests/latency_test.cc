@@ -1,0 +1,73 @@
+#include "common/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace kqr {
+namespace {
+
+TEST(Latency, EmptyRecorderIsZero) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.TotalSeconds(), 0.0);
+  EXPECT_EQ(r.MeanSeconds(), 0.0);
+  EXPECT_EQ(r.Percentile(50), 0.0);
+}
+
+TEST(Latency, MeanAndTotal) {
+  LatencyRecorder r;
+  r.Add(1.0);
+  r.Add(2.0);
+  r.Add(3.0);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_DOUBLE_EQ(r.TotalSeconds(), 6.0);
+  EXPECT_DOUBLE_EQ(r.MeanSeconds(), 2.0);
+}
+
+TEST(Latency, NearestRankPercentiles) {
+  LatencyRecorder r;
+  // 10 samples, inserted out of order: 1..10.
+  for (double s : {7.0, 1.0, 10.0, 3.0, 5.0, 2.0, 9.0, 4.0, 8.0, 6.0}) {
+    r.Add(s);
+  }
+  // Nearest-rank: ceil(p/100 * 10) → that order statistic.
+  EXPECT_DOUBLE_EQ(r.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(90), 9.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(95), 10.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(99), 10.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(0), 1.0);
+}
+
+TEST(Latency, SingleSample) {
+  LatencyRecorder r;
+  r.Add(0.25);
+  EXPECT_DOUBLE_EQ(r.Percentile(1), 0.25);
+  EXPECT_DOUBLE_EQ(r.Percentile(50), 0.25);
+  EXPECT_DOUBLE_EQ(r.Percentile(99), 0.25);
+}
+
+TEST(Latency, MergeCombinesSamples) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(3.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.TotalSeconds(), 10.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(100), 4.0);
+  // Merge leaves the source untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Latency, PercentileDoesNotMutateRecorder) {
+  LatencyRecorder r;
+  for (double s : {3.0, 1.0, 2.0}) r.Add(s);
+  (void)r.Percentile(50);
+  EXPECT_DOUBLE_EQ(r.TotalSeconds(), 6.0);
+  EXPECT_EQ(r.count(), 3u);
+}
+
+}  // namespace
+}  // namespace kqr

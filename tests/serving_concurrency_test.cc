@@ -1,0 +1,274 @@
+// Concurrency contract of the serving layer: N threads hammering one
+// shared ServingModel — lazy preparation racing included — produce
+// results bit-identical to a serial run, and per-thread RequestContext
+// reuse changes speed, never answers. Run under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/engine_builder.h"
+#include "datagen/dblp_gen.h"
+#include "eval/experiment.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+// Small corpus so the test stays quick under ThreadSanitizer.
+DblpOptions SmallCorpus() {
+  DblpOptions options;
+  options.num_authors = 80;
+  options.num_papers = 260;
+  options.num_venues = 8;
+  options.seed = 7;
+  return options;
+}
+
+struct Workload {
+  ExperimentContext ctx;
+  std::vector<std::vector<TermId>> queries;
+};
+
+Workload MakeWorkload(EngineOptions engine = {}) {
+  Workload w;
+  auto ctx = MakeDblpContext(SmallCorpus(), engine);
+  KQR_CHECK(ctx.ok()) << ctx.status().ToString();
+  w.ctx = std::move(*ctx);
+  QuerySampler sampler(*w.ctx.model, /*seed=*/99);
+  for (size_t len : {2, 3}) {
+    for (auto& q : sampler.SampleQueries(8, len)) {
+      w.queries.push_back(std::move(q));
+    }
+  }
+  return w;
+}
+
+bool SameRanking(const std::vector<ReformulatedQuery>& a,
+                 const std::vector<ReformulatedQuery>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].terms != b[i].terms) return false;
+    // Bit-identical, not approximately equal: concurrency must not
+    // perturb any floating-point path.
+    if (std::memcmp(&a[i].score, &b[i].score, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// M threads × all queries against one shared lazy model must reproduce a
+// serial run exactly, even though the threads race to prepare terms.
+TEST(ServingConcurrency, ThreadedMatchesSerialBitExact) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kTopK = 5;
+
+  // Serial reference from its own fresh model (so the threaded model's
+  // preparation order can't leak into the reference).
+  Workload serial = MakeWorkload();
+  std::vector<std::vector<ReformulatedQuery>> reference;
+  for (const auto& q : serial.queries) {
+    reference.push_back(serial.ctx.model->ReformulateTerms(q, kTopK));
+  }
+
+  Workload threaded = MakeWorkload();
+  ASSERT_EQ(threaded.queries.size(), serial.queries.size());
+  const ServingModel& model = *threaded.ctx.model;
+  // Pre-prepare a subset so some lazy lookups hit and others race.
+  for (size_t i = 0; i < threaded.queries.size(); i += 3) {
+    model.EnsureTerm(threaded.queries[i][0]);
+  }
+
+  std::atomic<size_t> divergent{0};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&]() {
+      RequestContext ctx;
+      for (size_t i = 0; i < threaded.queries.size(); ++i) {
+        auto ranking =
+            model.ReformulateTerms(threaded.queries[i], kTopK, &ctx);
+        if (!SameRanking(ranking, reference[i])) {
+          divergent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(divergent.load(), 0u);
+}
+
+// Same contract for an eager (frozen, lock-free) model.
+TEST(ServingConcurrency, EagerModelThreadedMatchesSerial) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kTopK = 5;
+  EngineOptions eager;
+  eager.precompute_offline = true;
+  Workload w = MakeWorkload(eager);
+  const ServingModel& model = *w.ctx.model;
+  ASSERT_TRUE(model.fully_prepared());
+
+  std::vector<std::vector<ReformulatedQuery>> reference;
+  for (const auto& q : w.queries) {
+    reference.push_back(model.ReformulateTerms(q, kTopK));
+  }
+
+  std::atomic<size_t> divergent{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      RequestContext ctx;
+      for (size_t i = 0; i < w.queries.size(); ++i) {
+        if (!SameRanking(model.ReformulateTerms(w.queries[i], kTopK, &ctx),
+                         reference[i])) {
+          divergent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(divergent.load(), 0u);
+}
+
+// Concurrent EnsureTerm on the same terms: exactly one caller prepares
+// each term, and the resulting index state matches serial preparation.
+TEST(ServingConcurrency, EnsureTermRaceIsIdempotent) {
+  constexpr size_t kThreads = 8;
+  Workload w = MakeWorkload();
+  const ServingModel& model = *w.ctx.model;
+  std::vector<TermId> terms;
+  for (const auto& q : w.queries) {
+    terms.insert(terms.end(), q.begin(), q.end());
+  }
+
+  std::atomic<size_t> prepared{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (TermId term : terms) {
+        if (model.EnsureTerm(term)) {
+          prepared.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<TermId> unique = terms;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  // Every distinct term was prepared by exactly one winner.
+  EXPECT_EQ(prepared.load(), unique.size());
+  for (TermId term : unique) {
+    EXPECT_FALSE(model.EnsureTerm(term));
+  }
+}
+
+// A reused RequestContext serves warm (scratch hits) with answers
+// bit-identical to cold contexts.
+TEST(ServingConcurrency, WarmContextMatchesColdBitExact) {
+  constexpr size_t kTopK = 5;
+  Workload w = MakeWorkload();
+  const ServingModel& model = *w.ctx.model;
+
+  RequestContext warm;
+  std::vector<std::vector<ReformulatedQuery>> first_pass;
+  for (const auto& q : w.queries) {
+    first_pass.push_back(model.ReformulateTerms(q, kTopK, &warm));
+  }
+  EXPECT_EQ(warm.stats.requests, w.queries.size());
+
+  size_t misses_after_first = warm.stats.scratch_misses;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    // Second pass: warm scratch vs a cold per-request context vs no
+    // context at all — identical rankings.
+    auto warm_ranking = model.ReformulateTerms(w.queries[i], kTopK, &warm);
+    RequestContext cold;
+    auto cold_ranking = model.ReformulateTerms(w.queries[i], kTopK, &cold);
+    auto no_ctx_ranking = model.ReformulateTerms(w.queries[i], kTopK);
+    EXPECT_TRUE(SameRanking(warm_ranking, first_pass[i])) << "query " << i;
+    EXPECT_TRUE(SameRanking(cold_ranking, first_pass[i])) << "query " << i;
+    EXPECT_TRUE(SameRanking(no_ctx_ranking, first_pass[i]))
+        << "query " << i;
+  }
+  EXPECT_EQ(warm.stats.requests, 2 * w.queries.size());
+  EXPECT_GT(warm.stats.scratch_hits, 0u);
+  // The warm second pass over the same queries adds no capacity misses.
+  EXPECT_EQ(warm.stats.scratch_misses, misses_after_first);
+  EXPECT_GT(warm.stats.ScratchHitRate(), 0.0);
+}
+
+// ReformulateTermsWith under the model's own options must equal
+// ReformulateTerms, concurrently.
+TEST(ServingConcurrency, WithOptionsMatchesBuiltInConcurrently) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kTopK = 5;
+  Workload w = MakeWorkload();
+  const ServingModel& model = *w.ctx.model;
+  const ReformulatorOptions opts = model.options().reformulator;
+
+  std::vector<std::vector<ReformulatedQuery>> reference;
+  for (const auto& q : w.queries) {
+    reference.push_back(model.ReformulateTerms(q, kTopK));
+  }
+
+  std::atomic<size_t> divergent{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      RequestContext ctx;
+      for (size_t i = 0; i < w.queries.size(); ++i) {
+        auto ranking =
+            model.ReformulateTermsWith(opts, w.queries[i], kTopK, &ctx);
+        if (!SameRanking(ranking, reference[i])) {
+          divergent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(divergent.load(), 0u);
+}
+
+// Micro-fixture smoke: concurrent mixed traffic (reformulate + search +
+// count) on a tiny lazy model.
+TEST(ServingConcurrency, MixedTrafficOnMicroCorpus) {
+  auto built = EngineBuilder().Build(testing_fixtures::MakeMicroDblp());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  std::shared_ptr<const ServingModel> model = std::move(*built);
+  auto terms = model->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+
+  auto serial = model->ReformulateTerms(*terms, 5);
+  std::atomic<size_t> divergent{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t]() {
+      RequestContext ctx;
+      for (int round = 0; round < 20; ++round) {
+        if (t % 3 == 0) {
+          auto outcome = model->Search("uncertain query");
+          if (!outcome.ok() || outcome->total_results == 0) {
+            divergent.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (t % 3 == 1) {
+          if (model->CountResults(*terms) == 0) {
+            divergent.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (!SameRanking(model->ReformulateTerms(*terms, 5, &ctx),
+                                serial)) {
+          divergent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(divergent.load(), 0u);
+}
+
+}  // namespace
+}  // namespace kqr

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "datagen/dblp_gen.h"
 
 namespace kqr {
@@ -17,7 +17,7 @@ TEST(Smoke, EndToEndReformulation) {
   auto corpus = GenerateDblp(dblp);
   ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
 
-  auto engine = ReformulationEngine::Build(std::move(corpus->db));
+  auto engine = EngineBuilder().Build(std::move(corpus->db));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
 
   auto result = (*engine)->Reformulate("query index", 5);

@@ -4,27 +4,26 @@
 
 #include <sstream>
 
-#include "core/engine.h"
+#include "core/engine_builder.h"
 #include "test_fixtures.h"
 
 namespace kqr {
 namespace {
 
-std::unique_ptr<ReformulationEngine> MakeEngine() {
-  auto engine =
-      ReformulationEngine::Build(testing_fixtures::MakeMicroDblp());
-  KQR_CHECK(engine.ok());
-  return std::move(engine).ValueOrDie();
+std::shared_ptr<const ServingModel> MakeModel() {
+  auto model = EngineBuilder().Build(testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(model.ok());
+  return std::move(model).ValueOrDie();
 }
 
 TEST(Snapshot, FingerprintStableAcrossIdenticalBuilds) {
-  auto a = MakeEngine();
-  auto b = MakeEngine();
-  EXPECT_EQ(EngineFingerprint(*a), EngineFingerprint(*b));
+  auto a = MakeModel();
+  auto b = MakeModel();
+  EXPECT_EQ(ModelFingerprint(*a), ModelFingerprint(*b));
 }
 
 TEST(Snapshot, RoundTripPreservesOfflineProducts) {
-  auto source = MakeEngine();
+  auto source = MakeModel();
   // Prepare a couple of terms.
   auto terms = source->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
@@ -34,7 +33,7 @@ TEST(Snapshot, RoundTripPreservesOfflineProducts) {
   std::ostringstream out;
   ASSERT_TRUE(SaveOfflineSnapshot(*source, out).ok());
 
-  auto target = MakeEngine();
+  auto target = MakeModel();
   std::istringstream in(out.str());
   Status st = LoadOfflineSnapshot(target.get(), in);
   ASSERT_TRUE(st.ok()) << st.ToString();
@@ -54,15 +53,15 @@ TEST(Snapshot, RoundTripPreservesOfflineProducts) {
   }
 }
 
-TEST(Snapshot, LoadedEngineProducesSameReformulations) {
-  auto source = MakeEngine();
+TEST(Snapshot, LoadedModelProducesSameReformulations) {
+  auto source = MakeModel();
   auto terms = source->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
   auto expected = source->ReformulateTerms(*terms, 5);
 
   std::ostringstream out;
   ASSERT_TRUE(SaveOfflineSnapshot(*source, out).ok());
-  auto target = MakeEngine();
+  auto target = MakeModel();
   std::istringstream in(out.str());
   ASSERT_TRUE(LoadOfflineSnapshot(target.get(), in).ok());
 
@@ -75,64 +74,103 @@ TEST(Snapshot, LoadedEngineProducesSameReformulations) {
 }
 
 TEST(Snapshot, RejectsBadMagic) {
-  auto engine = MakeEngine();
+  auto model = MakeModel();
   std::istringstream in("not-a-snapshot\n");
-  EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+  EXPECT_TRUE(LoadOfflineSnapshot(model.get(), in).IsCorruption());
 }
 
 TEST(Snapshot, RejectsWrongFingerprint) {
-  auto engine = MakeEngine();
+  auto model = MakeModel();
   std::istringstream in("kqr-offline-v1\nfingerprint deadbeef\n");
-  EXPECT_TRUE(
-      LoadOfflineSnapshot(engine.get(), in).IsInvalidArgument());
+  EXPECT_TRUE(LoadOfflineSnapshot(model.get(), in).IsInvalidArgument());
 }
 
 TEST(Snapshot, RejectsMalformedRecords) {
-  auto engine = MakeEngine();
+  auto model = MakeModel();
   std::ostringstream header;
   header << "kqr-offline-v1\nfingerprint " << std::hex
-         << EngineFingerprint(*engine) << "\n";
+         << ModelFingerprint(*model) << "\n";
   {
     std::istringstream in(header.str() + "sim notanumber 0\n");
-    EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+    EXPECT_TRUE(LoadOfflineSnapshot(model.get(), in).IsCorruption());
   }
   {
     std::istringstream in(header.str() + "bogus 0 0\n");
-    EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+    EXPECT_TRUE(LoadOfflineSnapshot(model.get(), in).IsCorruption());
   }
   {
     // clos without preceding sim.
     std::istringstream in(header.str() + "clos 0 0\n");
-    EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+    EXPECT_TRUE(LoadOfflineSnapshot(model.get(), in).IsCorruption());
   }
   {
     // Term id out of range.
     std::istringstream in(header.str() + "sim 999999 0\n");
-    EXPECT_TRUE(LoadOfflineSnapshot(engine.get(), in).IsCorruption());
+    EXPECT_TRUE(LoadOfflineSnapshot(model.get(), in).IsCorruption());
   }
 }
 
-TEST(Snapshot, NullEngineRejected) {
+TEST(Snapshot, NullModelRejected) {
   std::istringstream in("kqr-offline-v1\n");
   EXPECT_TRUE(LoadOfflineSnapshot(nullptr, in).IsInvalidArgument());
 }
 
 TEST(Snapshot, FileRoundTrip) {
-  auto source = MakeEngine();
+  auto source = MakeModel();
   auto terms = source->ResolveQuery("uncertain");
   ASSERT_TRUE(terms.ok());
   source->ReformulateTerms(*terms, 3);
   std::string path = ::testing::TempDir() + "/kqr_snapshot_test.txt";
   ASSERT_TRUE(SaveOfflineSnapshotFile(*source, path).ok());
-  auto target = MakeEngine();
+  auto target = MakeModel();
   EXPECT_TRUE(LoadOfflineSnapshotFile(target.get(), path).ok());
   EXPECT_EQ(target->PreparedTerms(), source->PreparedTerms());
 }
 
+TEST(Snapshot, BuilderLoadsSnapshotAtBuildTime) {
+  auto source = MakeModel();
+  auto terms = source->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  auto expected = source->ReformulateTerms(*terms, 5);
+  std::string path = ::testing::TempDir() + "/kqr_snapshot_builder.txt";
+  ASSERT_TRUE(SaveOfflineSnapshotFile(*source, path).ok());
+
+  auto built = EngineBuilder()
+                   .LoadSnapshotFrom(path)
+                   .Build(testing_fixtures::MakeMicroDblp());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto target = std::move(built).ValueOrDie();
+  EXPECT_EQ(target->PreparedTerms(), source->PreparedTerms());
+  auto got = target->ReformulateTerms(*terms, 5);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].terms, expected[i].terms);
+    EXPECT_NEAR(got[i].score, expected[i].score, 1e-9);
+  }
+}
+
+TEST(Snapshot, ImportSkipsAlreadyPreparedTerms) {
+  auto model = MakeModel();
+  auto terms = model->ResolveQuery("uncertain");
+  ASSERT_TRUE(terms.ok());
+  TermId t = (*terms)[0];
+  model->EnsureTerm(t);
+  const auto before = model->similarity_index().Lookup(t);
+  // An import for a prepared term must not replace lists a concurrent
+  // reader might already hold a reference to.
+  model->ImportTermRelations(t, {SimilarTerm{t, 0.123}}, {});
+  const auto& after = model->similarity_index().Lookup(t);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].term, before[i].term);
+    EXPECT_DOUBLE_EQ(after[i].score, before[i].score);
+  }
+}
+
 TEST(Snapshot, MissingFileIsIOError) {
-  auto engine = MakeEngine();
-  EXPECT_TRUE(LoadOfflineSnapshotFile(engine.get(), "/no/such/file")
-                  .IsIOError());
+  auto model = MakeModel();
+  EXPECT_TRUE(
+      LoadOfflineSnapshotFile(model.get(), "/no/such/file").IsIOError());
 }
 
 }  // namespace
