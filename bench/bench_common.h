@@ -5,8 +5,7 @@
 // reports; absolute timings differ from the paper's 2012 Java/C# testbed,
 // but the shapes are what the reproduction tracks (EXPERIMENTS.md).
 
-#ifndef KQR_BENCH_BENCH_COMMON_H_
-#define KQR_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <cstdio>
 #include <iostream>
@@ -70,4 +69,3 @@ inline void PrintHeader(const std::string& title) {
 }  // namespace bench
 }  // namespace kqr
 
-#endif  // KQR_BENCH_BENCH_COMMON_H_

@@ -12,14 +12,20 @@
 // Usage:
 //   $ ./build/examples/kqr_cli <schema-file> "<query>" [k]
 //   $ ./build/examples/kqr_cli --demo "<query>"    # built-in demo corpus
+//   $ ./build/examples/kqr_cli --audit <schema-file>|--demo
 //
 // With --demo the synthetic DBLP corpus is used, e.g.:
 //   $ ./build/examples/kqr_cli --demo "probabilistic query" 5
+//
+// --audit builds the model eagerly (full offline precompute) and runs
+// ModelAuditor over every frozen structure, printing the per-check report.
+// Exit status 0 when every invariant holds, 1 otherwise.
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "audit/model_auditor.h"
 #include "common/string_util.h"
 #include "core/engine_builder.h"
 #include "core/facets.h"
@@ -160,16 +166,27 @@ int RunQuery(const ServingModel& model, const std::string& query,
 
 }  // namespace
 
+int RunAudit(const ServingModel& model) {
+  const AuditReport report = ModelAuditor().Audit(model);
+  std::printf("%s", report.ToString().c_str());
+  std::printf("%s\n", report.Summary().c_str());
+  return report.ok() ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
+  const bool audit = argc >= 2 && std::string(argv[1]) == "--audit";
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <schema-file>|--demo \"<query>\" [k]\n",
-                 argv[0]);
+                 "usage: %s <schema-file>|--demo \"<query>\" [k]\n"
+                 "       %s --audit <schema-file>|--demo\n",
+                 argv[0], argv[0]);
     return 2;
   }
-  std::string source = argv[1];
-  std::string query = argv[2];
-  size_t k = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 8;
+  std::string source = argv[audit ? 2 : 1];
+  std::string query = audit ? "" : argv[2];
+  size_t k = !audit && argc > 3
+                 ? static_cast<size_t>(std::atoi(argv[3]))
+                 : 8;
 
   Database db("empty");
   if (source == "--demo") {
@@ -188,7 +205,10 @@ int main(int argc, char** argv) {
     db = std::move(*loaded);
   }
 
-  auto engine = EngineBuilder().Build(std::move(db));
+  EngineOptions options;
+  // The audit covers the per-term offline lists, so build them all.
+  options.precompute_offline = audit;
+  auto engine = EngineBuilder(options).Build(std::move(db));
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
@@ -196,5 +216,6 @@ int main(int argc, char** argv) {
   std::printf("model: %zu tuples, %zu terms, %zu graph nodes\n",
               (*engine)->db().TotalRows(), (*engine)->vocab().size(),
               (*engine)->graph().num_nodes());
+  if (audit) return RunAudit(**engine);
   return RunQuery(**engine, query, k);
 }

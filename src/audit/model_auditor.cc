@@ -1,0 +1,553 @@
+#include "audit/model_auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/candidates.h"
+#include "core/serving_model.h"
+
+namespace kqr {
+
+namespace {
+
+/// Incremental builder for one AuditCheck: counts units, keeps the first
+/// violation as the worst offender.
+class CheckRecorder {
+ public:
+  explicit CheckRecorder(std::string name) { check_.name = std::move(name); }
+
+  void CountUnit() { ++check_.checked; }
+  void CountUnits(size_t n) { check_.checked += n; }
+
+  /// Records a violation. `severity` picks the worst offender kept in
+  /// the report: the highest-severity violation wins, first-come on ties.
+  void Violation(const std::string& what, double severity = 0.0) {
+    ++check_.violations;
+    check_.passed = false;
+    if (check_.worst.empty() || severity > worst_severity_) {
+      check_.worst = what;
+      worst_severity_ = severity;
+    }
+  }
+
+  AuditCheck Take() { return std::move(check_); }
+
+ private:
+  AuditCheck check_;
+  double worst_severity_ = 0.0;
+};
+
+bool NearOne(double mass, double epsilon) {
+  return std::isfinite(mass) && std::abs(mass - 1.0) <= epsilon;
+}
+
+std::string Str(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+/// Validates the CSR frame (offset monotonicity and bounds) so the other
+/// checks can walk rows without risking out-of-range reads on corrupted
+/// input. Returns false when the frame itself is broken.
+bool FrameIsSound(const CsrGraph& graph, CheckRecorder* rec) {
+  const auto offsets = graph.offsets();
+  const auto arcs = graph.arcs();
+  if (offsets.empty()) {
+    if (!arcs.empty()) rec->Violation("arcs present but offsets empty");
+    return arcs.empty();
+  }
+  if (offsets.front() != 0) {
+    rec->Violation("offsets[0] = " + std::to_string(offsets.front()) +
+                   ", want 0");
+    return false;
+  }
+  if (offsets.back() != arcs.size()) {
+    rec->Violation("offsets.back() = " + std::to_string(offsets.back()) +
+                   " does not frame " + std::to_string(arcs.size()) +
+                   " arcs");
+    return false;
+  }
+  for (size_t u = 0; u + 1 < offsets.size(); ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      rec->Violation("offsets not monotone at node " + std::to_string(u));
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string AuditCheck::ToString() const {
+  std::ostringstream out;
+  out << name << ": ";
+  if (passed) {
+    out << "OK (" << checked << " checked)";
+  } else {
+    out << "FAIL (" << violations << " violation"
+        << (violations == 1 ? "" : "s") << " over " << checked
+        << " checked): " << worst;
+  }
+  return out.str();
+}
+
+bool AuditReport::ok() const {
+  return std::all_of(checks.begin(), checks.end(),
+                     [](const AuditCheck& c) { return c.passed; });
+}
+
+size_t AuditReport::total_violations() const {
+  size_t n = 0;
+  for (const AuditCheck& c : checks) n += c.violations;
+  return n;
+}
+
+const AuditCheck* AuditReport::Find(std::string_view name) const {
+  for (const AuditCheck& c : checks) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string AuditReport::ToString() const {
+  std::string out;
+  for (const AuditCheck& c : checks) {
+    out += c.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AuditReport::Summary() const {
+  if (ok()) {
+    return "audit OK (" + std::to_string(checks.size()) + " checks)";
+  }
+  std::string out = "audit FAILED:";
+  for (const AuditCheck& c : checks) {
+    if (!c.passed) {
+      out += ' ';
+      out += c.name;
+    }
+  }
+  return out;
+}
+
+AuditCheck ModelAuditor::CheckAdjacency(const CsrGraph& graph) const {
+  CheckRecorder rec("csr-adjacency");
+  const size_t num_nodes = graph.num_nodes();
+  const auto offsets = graph.offsets();
+  const auto arcs = graph.arcs();
+
+  if (graph.weighted_degrees().size() != num_nodes) {
+    rec.Violation("weighted-degree table has " +
+                  std::to_string(graph.weighted_degrees().size()) +
+                  " entries for " + std::to_string(num_nodes) + " nodes");
+  }
+  if (!FrameIsSound(graph, &rec)) return rec.Take();
+
+  for (size_t u = 0; u < num_nodes; ++u) {
+    rec.CountUnit();
+    uint32_t prev_target = 0;
+    bool first = true;
+    for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const Arc& arc = arcs[i];
+      if (arc.target >= num_nodes) {
+        // Worst possible defect: walking this arc is out-of-bounds UB, so
+        // it outranks the sort/symmetry violations it also causes.
+        rec.Violation("node " + std::to_string(u) + " has arc to " +
+                          std::to_string(arc.target) + " outside " +
+                          std::to_string(num_nodes) + " nodes",
+                      INFINITY);
+        continue;
+      }
+      if (!first && arc.target <= prev_target) {
+        rec.Violation("node " + std::to_string(u) +
+                      " adjacency not strictly sorted at target " +
+                      std::to_string(arc.target));
+      }
+      prev_target = arc.target;
+      first = false;
+      if (!std::isfinite(arc.weight) || arc.weight <= 0.0f) {
+        rec.Violation("arc " + std::to_string(u) + "→" +
+                      std::to_string(arc.target) +
+                      " has non-positive or non-finite weight " +
+                      Str(arc.weight));
+        continue;
+      }
+      // Undirected symmetry: the reverse arc exists with equal weight.
+      const auto row = arcs.subspan(
+          offsets[arc.target], offsets[arc.target + 1] - offsets[arc.target]);
+      const auto it = std::lower_bound(
+          row.begin(), row.end(), static_cast<uint32_t>(u),
+          [](const Arc& a, uint32_t t) { return a.target < t; });
+      if (it == row.end() || it->target != u) {
+        rec.Violation("arc " + std::to_string(u) + "→" +
+                      std::to_string(arc.target) + " has no reverse arc");
+      } else if (it->weight != arc.weight) {
+        rec.Violation("arc " + std::to_string(u) + "→" +
+                      std::to_string(arc.target) +
+                      " weight mismatch with reverse: " + Str(arc.weight) +
+                      " vs " + Str(it->weight));
+      }
+    }
+  }
+  return rec.Take();
+}
+
+AuditCheck ModelAuditor::CheckWalkRows(const CsrGraph& graph) const {
+  CheckRecorder rec("walk-row-mass");
+  if (!FrameIsSound(graph, &rec)) return rec.Take();
+  const auto offsets = graph.offsets();
+  const auto arcs = graph.arcs();
+  const auto degrees = graph.weighted_degrees();
+  const size_t num_nodes = graph.num_nodes();
+  if (degrees.size() != num_nodes) {
+    rec.Violation("weighted-degree table has " +
+                  std::to_string(degrees.size()) + " entries for " +
+                  std::to_string(num_nodes) + " nodes");
+    return rec.Take();
+  }
+  for (size_t u = 0; u < num_nodes; ++u) {
+    rec.CountUnit();
+    double sum = 0.0;
+    for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      sum += arcs[i].weight;
+    }
+    const double normalizer = degrees[u];
+    if (!std::isfinite(normalizer)) {
+      rec.Violation(
+          "node " + std::to_string(u) + " has non-finite weighted degree",
+          INFINITY);
+      continue;
+    }
+    // The walk's transition row is weight/normalizer: row mass is
+    // sum/normalizer and must be 1 within tolerance (0/0 for dangling
+    // nodes is fine — the walk restarts there).
+    if (normalizer == 0.0 && sum == 0.0) continue;
+    const double mass = normalizer > 0.0 ? sum / normalizer : INFINITY;
+    if (!NearOne(mass, options_.epsilon)) {
+      rec.Violation("node " + std::to_string(u) +
+                        " transition row mass " + Str(mass),
+                    std::abs(mass - 1.0));
+    }
+  }
+  return rec.Take();
+}
+
+AuditCheck ModelAuditor::CheckPreferenceMass(
+    const TatGraph& graph, const GraphStats& stats,
+    const ContextualPreferenceOptions& pref_options) const {
+  CheckRecorder rec("preference-mass");
+  const size_t num_terms = graph.space().num_term_nodes();
+  if (options_.preference_samples == 0 || num_terms == 0) return rec.Take();
+  const size_t step =
+      std::max<size_t>(1, num_terms / options_.preference_samples);
+  for (size_t t = 0; t < num_terms; t += step) {
+    rec.CountUnit();
+    const NodeId start = graph.NodeOfTerm(static_cast<TermId>(t));
+    const PreferenceVector pref =
+        MakeContextualPreference(graph, stats, start, pref_options);
+    double mass = 0.0;
+    for (const auto& [node, weight] : pref.entries) {
+      if (node >= graph.num_nodes()) {
+        rec.Violation("preference of term " + std::to_string(t) +
+                      " names node " + std::to_string(node) +
+                      " outside the graph");
+      }
+      if (!std::isfinite(weight) || weight <= 0.0) {
+        rec.Violation("preference of term " + std::to_string(t) +
+                      " has non-positive weight " + Str(weight));
+      }
+      mass += weight;
+    }
+    if (!NearOne(mass, options_.epsilon)) {
+      rec.Violation("preference of term " + std::to_string(t) +
+                    " has mass " + Str(mass));
+    }
+  }
+  return rec.Take();
+}
+
+AuditCheck ModelAuditor::CheckNodeMapping(const TatGraph& graph) const {
+  CheckRecorder rec("vocab-node-mapping");
+  const NodeSpace& space = graph.space();
+  if (space.num_tuple_nodes() + space.num_term_nodes() !=
+      space.num_nodes()) {
+    rec.Violation("node space partitions to " +
+                  std::to_string(space.num_tuple_nodes()) + "+" +
+                  std::to_string(space.num_term_nodes()) +
+                  " nodes but claims " + std::to_string(space.num_nodes()));
+  }
+  if (graph.vocab().size() != space.num_term_nodes()) {
+    rec.Violation("vocabulary has " + std::to_string(graph.vocab().size()) +
+                  " terms but the node space has " +
+                  std::to_string(space.num_term_nodes()) + " term nodes");
+  }
+  if (graph.adjacency().num_nodes() != space.num_nodes()) {
+    rec.Violation("adjacency covers " +
+                  std::to_string(graph.adjacency().num_nodes()) +
+                  " nodes but the node space has " +
+                  std::to_string(space.num_nodes()));
+  }
+  for (size_t t = 0; t < space.num_term_nodes(); ++t) {
+    rec.CountUnit();
+    const TermId term = static_cast<TermId>(t);
+    const NodeId id = graph.NodeOfTerm(term);
+    if (id >= space.num_nodes()) {
+      rec.Violation("term " + std::to_string(t) + " maps to node " +
+                    std::to_string(id) + " outside the node space");
+      continue;
+    }
+    if (graph.KindOf(id) != NodeKind::kTerm) {
+      rec.Violation("term " + std::to_string(t) + " maps to node " +
+                    std::to_string(id) + " of tuple kind");
+      continue;
+    }
+    if (graph.TermOfNode(id) != term) {
+      rec.Violation("term " + std::to_string(t) +
+                    " does not round-trip through node " +
+                    std::to_string(id));
+    }
+  }
+  for (size_t n = 0; n < space.num_tuple_nodes(); ++n) {
+    rec.CountUnit();
+    const NodeId id = static_cast<NodeId>(n);
+    if (graph.KindOf(id) != NodeKind::kTuple) {
+      rec.Violation("node " + std::to_string(n) +
+                    " in the tuple range reports term kind");
+      continue;
+    }
+    const TupleRef ref = graph.TupleOfNode(id);
+    if (graph.NodeOfTuple(ref) != id) {
+      rec.Violation("tuple node " + std::to_string(n) +
+                    " does not round-trip through its TupleRef");
+    }
+  }
+  return rec.Take();
+}
+
+AuditCheck ModelAuditor::CheckSimilarityLists(
+    const SimilarityIndex& index, const std::vector<TermId>& terms,
+    size_t vocab_size, size_t max_list_size) const {
+  CheckRecorder rec("similarity-lists");
+  for (TermId term : terms) {
+    rec.CountUnit();
+    const auto& list = index.Lookup(term);
+    if (max_list_size > 0 && list.size() > max_list_size) {
+      rec.Violation("term " + std::to_string(term) + " has " +
+                    std::to_string(list.size()) +
+                    " similar terms, cap is " +
+                    std::to_string(max_list_size));
+    }
+    const Status st = ValidateSimilarList(term, list, vocab_size);
+    if (!st.ok()) rec.Violation(st.message());
+  }
+  return rec.Take();
+}
+
+AuditCheck ModelAuditor::CheckClosenessLists(
+    const ClosenessIndex& index, const std::vector<TermId>& terms,
+    size_t vocab_size, size_t max_list_size, bool check_order) const {
+  CheckRecorder rec("closeness-lists");
+  for (TermId term : terms) {
+    rec.CountUnit();
+    const auto& list = index.Lookup(term);
+    if (max_list_size > 0 && list.size() > max_list_size) {
+      rec.Violation("term " + std::to_string(term) + " has " +
+                    std::to_string(list.size()) + " close terms, cap is " +
+                    std::to_string(max_list_size));
+    }
+    const Status st = ValidateCloseList(term, list, vocab_size);
+    if (!st.ok()) rec.Violation(st.message());
+    if (check_order) {
+      for (size_t i = 1; i < list.size(); ++i) {
+        if (list[i].closeness > list[i - 1].closeness) {
+          rec.Violation("term " + std::to_string(term) +
+                        " close list not sorted at rank " +
+                        std::to_string(i) + ": " + Str(list[i].closeness) +
+                        " after " + Str(list[i - 1].closeness));
+          break;
+        }
+      }
+    }
+  }
+  return rec.Take();
+}
+
+AuditCheck ModelAuditor::CheckHmm(const HmmModel& model) const {
+  CheckRecorder rec("hmm-stochastic");
+  const size_t m = model.num_positions();
+  auto check_row = [&](const std::vector<double>& row,
+                       const std::string& what, size_t want_size) {
+    rec.CountUnit();
+    if (row.size() != want_size) {
+      rec.Violation(what + " has " + std::to_string(row.size()) +
+                    " entries, want " + std::to_string(want_size));
+      return;
+    }
+    if (row.empty()) return;
+    double mass = 0.0;
+    for (double p : row) {
+      if (!std::isfinite(p) || p < 0.0) {
+        rec.Violation(what + " has invalid probability " + Str(p));
+        return;
+      }
+      mass += p;
+    }
+    if (!NearOne(mass, options_.epsilon)) {
+      rec.Violation(what + " leaks mass: sums to " + Str(mass));
+    }
+  };
+
+  if (m == 0) return rec.Take();
+  check_row(model.pi, "pi", model.num_states(0));
+  if (model.emission.size() != m) {
+    rec.Violation("emission has " + std::to_string(model.emission.size()) +
+                  " rows for " + std::to_string(m) + " positions");
+    return rec.Take();
+  }
+  for (size_t c = 0; c < m; ++c) {
+    check_row(model.emission[c], "emission row " + std::to_string(c),
+              model.num_states(c));
+  }
+  if (model.trans.size() + 1 != m) {
+    rec.Violation("transition tensor has " +
+                  std::to_string(model.trans.size()) + " slices for " +
+                  std::to_string(m) + " positions");
+    return rec.Take();
+  }
+  for (size_t c = 0; c + 1 < m; ++c) {
+    if (model.trans[c].size() != model.num_states(c)) {
+      rec.Violation("transition slice " + std::to_string(c) + " has " +
+                    std::to_string(model.trans[c].size()) +
+                    " rows, want " + std::to_string(model.num_states(c)));
+      continue;
+    }
+    for (size_t i = 0; i < model.trans[c].size(); ++i) {
+      check_row(model.trans[c][i],
+                "transition row " + std::to_string(c) + "/" +
+                    std::to_string(i),
+                model.num_states(c + 1));
+    }
+  }
+  return rec.Take();
+}
+
+AuditReport ModelAuditor::Audit(const ServingModel& model) const {
+  AuditReport report;
+  const CsrGraph& adjacency = model.graph().adjacency();
+  report.checks.push_back(CheckAdjacency(adjacency));
+  report.checks.push_back(CheckWalkRows(adjacency));
+  report.checks.push_back(CheckNodeMapping(model.graph()));
+  report.checks.push_back(
+      CheckPreferenceMass(model.graph(), model.stats(),
+                          model.options().similarity.similarity.context));
+
+  // The probe prepares a few terms on a lazy model so the list and HMM
+  // checks never run against an empty cache.
+  if (options_.hmm_probe_terms > 0) {
+    const size_t probe_count =
+        std::min<size_t>(options_.hmm_probe_terms, model.vocab().size());
+    for (size_t t = 0; t < probe_count; ++t) {
+      model.EnsureTerm(static_cast<TermId>(t));
+    }
+  }
+
+  const std::vector<TermId> prepared = model.PreparedTerms();
+  const size_t vocab_size = model.vocab().size();
+  const EngineOptions& opts = model.options();
+  const size_t similarity_cap = opts.use_cooccurrence_similarity
+                                    ? opts.cooccurrence.list_size
+                                    : opts.similarity.list_size;
+  report.checks.push_back(CheckSimilarityLists(
+      model.similarity_index(), prepared, vocab_size, similarity_cap));
+  // Normalized-closeness ranking reorders lists by closeness/freq, so raw
+  // closeness monotonicity only holds for the default ranking.
+  const bool check_order = !opts.closeness.closeness.rank_normalized;
+  report.checks.push_back(
+      CheckClosenessLists(model.closeness_index(), prepared, vocab_size,
+                          opts.closeness.list_size, check_order));
+
+  if (options_.hmm_probe_terms > 0 && !prepared.empty()) {
+    std::vector<TermId> probe;
+    for (TermId term : prepared) {
+      probe.push_back(term);
+      if (probe.size() >= options_.hmm_probe_terms) break;
+    }
+    const CandidateBuilder builder(model.similarity_index(),
+                                   opts.reformulator.candidates);
+    const HmmBuilder hmm_builder(model.closeness_index(), model.stats(),
+                                 model.graph(), opts.reformulator.hmm);
+    const HmmModel hmm = hmm_builder.Build(builder.Build(probe));
+    report.checks.push_back(CheckHmm(hmm));
+  }
+  return report;
+}
+
+Status ValidateSimilarList(TermId term,
+                           const std::vector<SimilarTerm>& list,
+                           size_t vocab_size) {
+  std::unordered_set<TermId> seen;
+  seen.reserve(list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    const SimilarTerm& entry = list[i];
+    const std::string at = "similar list of term " + std::to_string(term) +
+                           " rank " + std::to_string(i);
+    if (entry.term >= vocab_size) {
+      return Status::Corruption(at + ": term id " +
+                                std::to_string(entry.term) +
+                                " outside vocabulary of " +
+                                std::to_string(vocab_size));
+    }
+    if (!std::isfinite(entry.score) || entry.score < 0.0 ||
+        entry.score > 1.0) {
+      return Status::Corruption(at + ": score " + Str(entry.score) +
+                                " outside [0,1]");
+    }
+    if (i > 0 && entry.score > list[i - 1].score) {
+      return Status::Corruption(at + ": not sorted, score " +
+                                Str(entry.score) + " after " +
+                                Str(list[i - 1].score));
+    }
+    if (!seen.insert(entry.term).second) {
+      return Status::Corruption(at + ": duplicate term id " +
+                                std::to_string(entry.term));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateCloseList(TermId term, const std::vector<CloseTerm>& list,
+                         size_t vocab_size) {
+  std::unordered_set<TermId> seen;
+  seen.reserve(list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    const CloseTerm& entry = list[i];
+    const std::string at = "close list of term " + std::to_string(term) +
+                           " rank " + std::to_string(i);
+    if (entry.term >= vocab_size) {
+      return Status::Corruption(at + ": term id " +
+                                std::to_string(entry.term) +
+                                " outside vocabulary of " +
+                                std::to_string(vocab_size));
+    }
+    if (!std::isfinite(entry.closeness) || entry.closeness < 0.0) {
+      return Status::Corruption(at + ": closeness " + Str(entry.closeness) +
+                                " negative or non-finite");
+    }
+    if (entry.distance == 0) {
+      return Status::Corruption(at + ": zero distance to a distinct term");
+    }
+    if (!seen.insert(entry.term).second) {
+      return Status::Corruption(at + ": duplicate term id " +
+                                std::to_string(entry.term));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kqr

@@ -1,0 +1,160 @@
+// ModelAuditor: structural invariant verification for frozen serving
+// artifacts. The paper's correctness rests on invariants the type system
+// cannot see — random-walk transition rows must be stochastic (Sec. IV),
+// similarity scores are probabilities, the HMM trellis (Sec. V) silently
+// mis-ranks if an emission row leaks mass — and a model loaded from disk
+// is one bit-flip away from violating all of them. The auditor walks a
+// ServingModel and proves every frozen structure well-formed, returning a
+// structured per-check report instead of aborting, so callers decide
+// whether a violation is fatal (EngineBuilder in debug builds), a load
+// error (snapshot import), or a diagnostic (kqr_cli --audit).
+//
+// Checks (stable names, used by tests and report consumers):
+//   csr-adjacency      CSR framing: offsets monotone and arc-bounded,
+//                      targets in-bounds and strictly sorted per row,
+//                      weights finite/positive, undirected symmetry.
+//   walk-row-mass      Per-node transition row of the random walk sums to
+//                      1 (weighted degree equals the sum of arc weights).
+//   preference-mass    Sampled contextual preference vectors are valid
+//                      restart distributions (in-bounds, mass 1±ε).
+//   vocab-node-mapping TermId↔NodeId↔TupleRef cross-references are
+//                      bijective and kind-consistent.
+//   similarity-lists   Similar-term lists: ids in-vocab, scores finite in
+//                      [0,1], sorted non-increasing, no duplicates,
+//                      within the configured list size.
+//   closeness-lists    Close-term lists: ids in-vocab, closeness finite
+//                      and non-negative, distances sane, sorted (when the
+//                      ranking is raw closeness), no duplicates.
+//   hmm-stochastic     A probe trellis built from the model's own indexes
+//                      has stochastic π, emission and transition rows.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "closeness/closeness_index.h"
+#include "common/status.h"
+#include "core/hmm.h"
+#include "graph/csr.h"
+#include "graph/graph_stats.h"
+#include "graph/tat_graph.h"
+#include "walk/preference.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+
+class ServingModel;
+
+struct AuditOptions {
+  /// Tolerance for stochastic-row mass checks (|mass − 1| ≤ epsilon).
+  double epsilon = 1e-6;
+  /// Term nodes sampled for the preference-mass check (evenly spaced over
+  /// the vocabulary). 0 disables the check.
+  size_t preference_samples = 64;
+  /// Query length of the HMM probe trellis (drawn from prepared terms).
+  /// 0 disables the check.
+  size_t hmm_probe_terms = 3;
+};
+
+/// \brief Outcome of one invariant check.
+struct AuditCheck {
+  std::string name;
+  bool passed = true;
+  /// Units examined (rows, entries, terms — per-check granularity).
+  size_t checked = 0;
+  size_t violations = 0;
+  /// Description of the worst offender (first/largest violation).
+  std::string worst;
+
+  /// "name: OK (n checked)" or "name: FAIL (v/n): worst".
+  std::string ToString() const;
+};
+
+/// \brief Aggregated audit outcome: one entry per check that ran.
+struct AuditReport {
+  std::vector<AuditCheck> checks;
+
+  bool ok() const;
+  size_t total_violations() const;
+  const AuditCheck* Find(std::string_view name) const;
+  /// Multi-line, one check per line.
+  std::string ToString() const;
+  /// One line: "audit OK (7 checks)" or the failing check names.
+  std::string Summary() const;
+};
+
+/// \brief Walks a ServingModel and validates every frozen structure.
+///
+/// Stateless apart from options; safe to share. The structure-level
+/// entry points are public so tests can aim a check at a hand-built
+/// (deliberately corrupted) structure without a full model.
+class ModelAuditor {
+ public:
+  explicit ModelAuditor(AuditOptions options = {}) : options_(options) {}
+
+  /// \brief Runs every check against the model. For lazy models only the
+  /// currently prepared terms' lists are audited (the HMM probe prepares
+  /// a few terms on demand).
+  AuditReport Audit(const ServingModel& model) const;
+
+  // -- Structure-level checks ------------------------------------------
+
+  /// CSR framing, bounds, per-row ordering, weight sanity, symmetry.
+  AuditCheck CheckAdjacency(const CsrGraph& graph) const;
+
+  /// Transition-row mass: WeightedDegree(u) == Σ weights(u) within ε.
+  AuditCheck CheckWalkRows(const CsrGraph& graph) const;
+
+  /// Contextual preference vectors for up to `preference_samples` term
+  /// nodes are valid restart distributions, built under the model's own
+  /// preference options.
+  AuditCheck CheckPreferenceMass(
+      const TatGraph& graph, const GraphStats& stats,
+      const ContextualPreferenceOptions& pref_options = {}) const;
+
+  /// Term↔node↔tuple id cross-references are bijective.
+  AuditCheck CheckNodeMapping(const TatGraph& graph) const;
+
+  /// Similar-term lists for `terms` hold sorted in-range probabilities.
+  AuditCheck CheckSimilarityLists(const SimilarityIndex& index,
+                                  const std::vector<TermId>& terms,
+                                  size_t vocab_size,
+                                  size_t max_list_size) const;
+
+  /// Close-term lists for `terms` are well-formed. `check_order` is off
+  /// when lists are ranked by normalized closeness (rank_normalized), in
+  /// which case raw closeness need not be monotone.
+  AuditCheck CheckClosenessLists(const ClosenessIndex& index,
+                                 const std::vector<TermId>& terms,
+                                 size_t vocab_size, size_t max_list_size,
+                                 bool check_order) const;
+
+  /// π, emission rows and transition rows of `model` are stochastic.
+  AuditCheck CheckHmm(const HmmModel& model) const;
+
+  const AuditOptions& options() const { return options_; }
+
+ private:
+  AuditOptions options_;
+};
+
+// -- Record-level validators ------------------------------------------
+// Shared with the snapshot loader so imports are audited before they are
+// installed, not trusted and discovered corrupt at serving time.
+
+/// \brief Validates one similar-term list (ids in [0, vocab_size), scores
+/// finite in [0,1], non-increasing, no duplicate ids).
+Status ValidateSimilarList(TermId term, const std::vector<SimilarTerm>& list,
+                           size_t vocab_size);
+
+/// \brief Validates one close-term list (ids in [0, vocab_size),
+/// closeness finite and ≥ 0, no duplicate ids). Ordering is not required
+/// here: ranking may be normalized (see ClosenessOptions).
+Status ValidateCloseList(TermId term, const std::vector<CloseTerm>& list,
+                         size_t vocab_size);
+
+}  // namespace kqr
+

@@ -2,8 +2,7 @@
 // over bounded-length paths — a proxy for the two terms' joint keyword-
 // search result coverage.
 
-#ifndef KQR_CLOSENESS_CLOSENESS_H_
-#define KQR_CLOSENESS_CLOSENESS_H_
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -62,4 +61,3 @@ class ClosenessExtractor {
 
 }  // namespace kqr
 
-#endif  // KQR_CLOSENESS_CLOSENESS_H_

@@ -12,8 +12,7 @@
 // argument in DESIGN.md "Serving architecture" relies on this. Freeze()
 // marks the index complete and makes every read lock-free.
 
-#ifndef KQR_CLOSENESS_CLOSENESS_INDEX_H_
-#define KQR_CLOSENESS_CLOSENESS_INDEX_H_
+#pragma once
 
 #include <atomic>
 #include <memory>
@@ -116,4 +115,3 @@ class ClosenessIndex {
 
 }  // namespace kqr
 
-#endif  // KQR_CLOSENESS_CLOSENESS_INDEX_H_

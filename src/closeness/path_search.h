@@ -9,8 +9,7 @@
 // which coincides with simple paths for the short bounds (≤4) used here in
 // the bipartite-ish TAT topology, and is linear-time per level.
 
-#ifndef KQR_CLOSENESS_PATH_SEARCH_H_
-#define KQR_CLOSENESS_PATH_SEARCH_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -55,4 +54,3 @@ int ShortestDistance(const TatGraph& graph, NodeId a, NodeId b,
 
 }  // namespace kqr
 
-#endif  // KQR_CLOSENESS_PATH_SEARCH_H_

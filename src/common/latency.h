@@ -1,8 +1,7 @@
 // Latency aggregation for serving benches: collect per-request wall times
 // on each thread, merge, and report percentiles.
 
-#ifndef KQR_COMMON_LATENCY_H_
-#define KQR_COMMON_LATENCY_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -30,4 +29,3 @@ class LatencyRecorder {
 
 }  // namespace kqr
 
-#endif  // KQR_COMMON_LATENCY_H_

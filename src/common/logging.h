@@ -1,7 +1,6 @@
 // Minimal leveled logging plus CHECK macros (Arrow DCHECK idiom).
 
-#ifndef KQR_COMMON_LOGGING_H_
-#define KQR_COMMON_LOGGING_H_
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -62,4 +61,3 @@ class LogMessage {
 #define KQR_DCHECK(cond) KQR_CHECK(cond)
 #endif
 
-#endif  // KQR_COMMON_LOGGING_H_

@@ -2,8 +2,7 @@
 // builders (SimilarityIndex, ClosenessIndex) so benches and operators can
 // report threads-vs-throughput without instrumenting the builders.
 
-#ifndef KQR_COMMON_OFFLINE_STATS_H_
-#define KQR_COMMON_OFFLINE_STATS_H_
+#pragma once
 
 #include <cstddef>
 
@@ -22,4 +21,3 @@ struct OfflineBuildStats {
 
 }  // namespace kqr
 
-#endif  // KQR_COMMON_OFFLINE_STATS_H_

@@ -5,8 +5,7 @@
 // pre-sized slots and merge them in item order afterwards — then the
 // output is independent of how items were scheduled across workers.
 
-#ifndef KQR_COMMON_PARALLEL_FOR_H_
-#define KQR_COMMON_PARALLEL_FOR_H_
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -33,4 +32,3 @@ void ParallelFor(size_t num_items, size_t num_workers,
 
 }  // namespace kqr
 
-#endif  // KQR_COMMON_PARALLEL_FOR_H_

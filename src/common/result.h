@@ -1,7 +1,6 @@
 // Result<T>: value-or-Status, the return type of fallible factories.
 
-#ifndef KQR_COMMON_RESULT_H_
-#define KQR_COMMON_RESULT_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -69,4 +68,3 @@ class Result {
 
 }  // namespace kqr
 
-#endif  // KQR_COMMON_RESULT_H_

@@ -2,8 +2,7 @@
 // randomized tests. A fixed seed reproduces a corpus bit-for-bit, which the
 // benchmark harness relies on.
 
-#ifndef KQR_COMMON_RNG_H_
-#define KQR_COMMON_RNG_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -52,4 +51,3 @@ class Rng {
 
 }  // namespace kqr
 
-#endif  // KQR_COMMON_RNG_H_

@@ -4,8 +4,7 @@
 // (or a Result<T>, see result.h) instead of throwing. Exceptions are not
 // used across module boundaries.
 
-#ifndef KQR_COMMON_STATUS_H_
-#define KQR_COMMON_STATUS_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -124,4 +123,3 @@ class Status {
   if (!result_name.ok()) return result_name.status();      \
   lhs = std::move(result_name).ValueUnsafe();
 
-#endif  // KQR_COMMON_STATUS_H_

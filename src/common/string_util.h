@@ -1,7 +1,6 @@
 // Small string helpers shared across modules.
 
-#ifndef KQR_COMMON_STRING_UTIL_H_
-#define KQR_COMMON_STRING_UTIL_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -32,4 +31,3 @@ bool IsAlnumAscii(std::string_view s);
 
 }  // namespace kqr
 
-#endif  // KQR_COMMON_STRING_UTIL_H_

@@ -1,7 +1,6 @@
 // Wall-clock stopwatch used by the bench harness and online-stage timing.
 
-#ifndef KQR_COMMON_TIMER_H_
-#define KQR_COMMON_TIMER_H_
+#pragma once
 
 #include <chrono>
 
@@ -28,4 +27,3 @@ class Timer {
 
 }  // namespace kqr
 
-#endif  // KQR_COMMON_TIMER_H_

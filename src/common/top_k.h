@@ -1,8 +1,7 @@
 // Bounded top-k accumulator, used everywhere a ranked prefix of a large
 // candidate set is needed (similar-term lists, closeness lists, path lists).
 
-#ifndef KQR_COMMON_TOP_K_H_
-#define KQR_COMMON_TOP_K_H_
+#pragma once
 
 #include <algorithm>
 #include <cstddef>
@@ -81,4 +80,3 @@ class TopK {
 
 }  // namespace kqr
 
-#endif  // KQR_COMMON_TOP_K_H_

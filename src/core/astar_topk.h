@@ -11,8 +11,7 @@
 // can be reused across requests by a serving thread. Passing a null
 // scratch allocates locally and is equivalent.
 
-#ifndef KQR_CORE_ASTAR_TOPK_H_
-#define KQR_CORE_ASTAR_TOPK_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -61,4 +60,3 @@ std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
 
 }  // namespace kqr
 
-#endif  // KQR_CORE_ASTAR_TOPK_H_

@@ -3,8 +3,7 @@
 // with the *original* state (keep the input term) and a *void* state
 // (delete the term), exactly as the paper allows.
 
-#ifndef KQR_CORE_CANDIDATES_H_
-#define KQR_CORE_CANDIDATES_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -71,4 +70,3 @@ class CandidateBuilder {
 
 }  // namespace kqr
 
-#endif  // KQR_CORE_CANDIDATES_H_

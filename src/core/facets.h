@@ -8,8 +8,7 @@
 // Also provides per-substitution explanations (similarity, closeness,
 // graph distance) so a suggestion can be justified to the user.
 
-#ifndef KQR_CORE_FACETS_H_
-#define KQR_CORE_FACETS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -65,4 +64,3 @@ std::vector<SubstitutionExplanation> ExplainReformulation(
 
 }  // namespace kqr
 
-#endif  // KQR_CORE_FACETS_H_

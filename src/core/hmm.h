@@ -4,8 +4,7 @@
 // similarity (Eq. 9), all smoothed per Eqs. 5–6 and normalized into
 // distributions.
 
-#ifndef KQR_CORE_HMM_H_
-#define KQR_CORE_HMM_H_
+#pragma once
 
 #include <vector>
 
@@ -96,4 +95,3 @@ class HmmBuilder {
 
 }  // namespace kqr
 
-#endif  // KQR_CORE_HMM_H_

@@ -3,8 +3,7 @@
 // similarity scores with original query" — i.e. maximize the aggregated
 // similarity, ignoring closeness/cohesion entirely.
 
-#ifndef KQR_CORE_RANK_BASELINE_H_
-#define KQR_CORE_RANK_BASELINE_H_
+#pragma once
 
 #include <vector>
 
@@ -21,4 +20,3 @@ std::vector<DecodedPath> RankBaselineTopK(
 
 }  // namespace kqr
 
-#endif  // KQR_CORE_RANK_BASELINE_H_

@@ -104,8 +104,8 @@ std::vector<ReformulatedQuery> Reformulator::Reformulate(
     query.score = path.score;
     query.terms.reserve(path.states.size());
     bool identity = true;
-    for (size_t c = 0; c < path.states.size(); ++c) {
-      const CandidateState& s = candidates[c][path.states[c]];
+    for (size_t pos = 0; pos < path.states.size(); ++pos) {
+      const CandidateState& s = candidates[pos][path.states[pos]];
       query.terms.push_back(s.is_void ? kInvalidTermId : s.term);
       if (!s.is_original) identity = false;
     }

@@ -2,8 +2,7 @@
 // query, builds the candidate trellis from the offline indexes, decodes
 // top-k substitutive queries, and reports per-stage timings.
 
-#ifndef KQR_CORE_REFORMULATOR_H_
-#define KQR_CORE_REFORMULATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -97,4 +96,3 @@ class Reformulator {
 
 }  // namespace kqr
 
-#endif  // KQR_CORE_REFORMULATOR_H_

@@ -8,8 +8,7 @@
 // mean (sum preserved), transition rows toward their row mean (row sums
 // preserved).
 
-#ifndef KQR_CORE_SMOOTHING_H_
-#define KQR_CORE_SMOOTHING_H_
+#pragma once
 
 #include <vector>
 
@@ -36,4 +35,3 @@ void NormalizeToDistribution(std::vector<double>* v);
 
 }  // namespace kqr
 
-#endif  // KQR_CORE_SMOOTHING_H_

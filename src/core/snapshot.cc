@@ -6,52 +6,89 @@
 #include <ostream>
 #include <sstream>
 
+#include "audit/model_auditor.h"
 #include "core/serving_model.h"
 
 namespace kqr {
 
 namespace {
-constexpr const char kMagic[] = "kqr-offline-v1";
+constexpr const char kMagic[] = "kqr-offline-v2";
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+uint64_t FnvByte(uint64_t h, uint8_t b) {
+  h ^= b;
+  h *= 0x100000001b3ULL;
+  return h;
+}
 
 uint64_t Fnv1a(uint64_t h, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xff;
-    h *= 0x100000001b3ULL;
+    h = FnvByte(h, static_cast<uint8_t>((v >> (i * 8)) & 0xff));
   }
   return h;
+}
+
+/// Folds one record line (as written, newline included) into the running
+/// content checksum the trailer certifies.
+uint64_t HashLine(uint64_t h, const std::string& line) {
+  for (char ch : line) h = FnvByte(h, static_cast<uint8_t>(ch));
+  return FnvByte(h, '\n');
+}
+
+Status CorruptAt(size_t line_no, const std::string& what) {
+  return Status::Corruption("snapshot line " + std::to_string(line_no) +
+                            ": " + what);
 }
 }  // namespace
 
 uint64_t ModelFingerprint(const ServingModel& model) {
-  uint64_t h = 0xcbf29ce484222325ULL;
+  uint64_t h = kFnvBasis;
   h = Fnv1a(h, model.vocab().size());
   h = Fnv1a(h, model.graph().num_nodes());
   h = Fnv1a(h, model.graph().num_edges());
   h = Fnv1a(h, model.db().TotalRows());
-  for (char c : model.db().name()) h = Fnv1a(h, uint64_t(c));
+  for (char c : model.db().name()) {
+    h = Fnv1a(h, static_cast<uint64_t>(c));
+  }
   return h;
 }
 
 Status SaveOfflineSnapshot(const ServingModel& model,
                            std::ostream& out) {
-  out.precision(17);  // round-trip doubles exactly
   out << kMagic << "\n";
   out << "fingerprint " << std::hex << ModelFingerprint(model)
       << std::dec << "\n";
+  uint64_t checksum = kFnvBasis;
+  size_t records = 0;
+  auto emit = [&](const std::string& line) {
+    checksum = HashLine(checksum, line);
+    ++records;
+    out << line << "\n";
+  };
   for (TermId term : model.PreparedTerms()) {
+    std::ostringstream line;
+    line.precision(17);  // round-trip doubles exactly
+    line << "sim " << term;
     const auto& sim = model.similarity_index().Lookup(term);
-    out << "sim " << term << " " << sim.size();
+    line << " " << sim.size();
     for (const SimilarTerm& s : sim) {
-      out << " " << s.term << " " << s.score;
+      line << " " << s.term << " " << s.score;
     }
-    out << "\n";
+    emit(line.str());
+
+    line.str({});
+    line << "clos " << term;
     const auto& clos = model.closeness_index().Lookup(term);
-    out << "clos " << term << " " << clos.size();
+    line << " " << clos.size();
     for (const CloseTerm& c : clos) {
-      out << " " << c.term << " " << c.closeness << " " << c.distance;
+      line << " " << c.term << " " << c.closeness << " " << c.distance;
     }
-    out << "\n";
+    emit(line.str());
   }
+  // The trailer certifies completeness (record count) and content (FNV-1a
+  // over the record bytes): a truncated or bit-flipped file cannot load.
+  out << "end " << records << " " << std::hex << checksum << std::dec
+      << "\n";
   if (!out) return Status::IOError("snapshot write failed");
   return Status::OK();
 }
@@ -79,7 +116,8 @@ Status LoadOfflineSnapshot(const ServingModel* model, std::istream& in) {
     std::string tag;
     uint64_t value = 0;
     fp >> tag >> std::hex >> value;
-    if (!fp || tag != "fingerprint") {
+    std::string extra;
+    if (!fp || tag != "fingerprint" || (fp >> extra)) {
       return Status::Corruption("malformed fingerprint line");
     }
     if (value != ModelFingerprint(*model)) {
@@ -88,80 +126,139 @@ Status LoadOfflineSnapshot(const ServingModel* model, std::istream& in) {
     }
   }
 
-  // Accumulate sim/clos pairs per term; install when both seen (a trailing
-  // sim without clos installs with empty closeness at EOF).
-  std::vector<SimilarTerm> pending_sim;
-  TermId pending_term = kInvalidTermId;
-  bool has_sim = false;
-  auto flush = [&]() {
-    if (pending_term != kInvalidTermId && has_sim) {
-      model->ImportTermRelations(pending_term, std::move(pending_sim),
-                                  {});
-    }
-    pending_sim.clear();
-    has_sim = false;
-    pending_term = kInvalidTermId;
+  // Phase 1: parse and audit the whole file into memory. Nothing is
+  // installed until the trailer proves the byte stream complete and every
+  // record passes the same validators ModelAuditor applies to live
+  // structures — an import is never trusted.
+  struct TermRecord {
+    TermId term = kInvalidTermId;
+    std::vector<SimilarTerm> sim;
+    std::vector<CloseTerm> close;
   };
+  std::vector<TermRecord> parsed;
+  std::vector<bool> seen(model->vocab().size(), false);
+  TermRecord pending;
+  bool has_pending = false;
 
   const size_t num_terms = model->vocab().size();
+  uint64_t checksum = kFnvBasis;
+  size_t records = 0;
+  bool saw_trailer = false;
   size_t line_no = 2;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    if (saw_trailer) {
+      return CorruptAt(line_no, "trailing data after the end trailer");
+    }
     std::istringstream row(line);
     std::string kind;
+    row >> kind;
+    if (kind == "end") {
+      size_t claimed_records = 0;
+      uint64_t claimed_checksum = 0;
+      std::string extra;
+      row >> claimed_records >> std::hex >> claimed_checksum;
+      if (!row || (row >> extra)) {
+        return CorruptAt(line_no, "malformed end trailer");
+      }
+      if (claimed_records != records) {
+        return CorruptAt(line_no,
+                         "trailer claims " +
+                             std::to_string(claimed_records) +
+                             " records, file has " +
+                             std::to_string(records) + " — truncated?");
+      }
+      if (claimed_checksum != checksum) {
+        return CorruptAt(line_no,
+                         "content checksum mismatch — snapshot bytes "
+                         "were altered");
+      }
+      saw_trailer = true;
+      continue;
+    }
+
+    checksum = HashLine(checksum, line);
+    ++records;
     TermId term = 0;
     size_t n = 0;
-    row >> kind >> term >> n;
+    row >> term >> n;
     if (!row || term >= num_terms) {
-      return Status::Corruption("snapshot line " + std::to_string(line_no) +
-                                " malformed");
+      return CorruptAt(line_no, "malformed record");
+    }
+    // Lists are deduplicated term sets: anything longer than the
+    // vocabulary is corrupt, and bounding n here keeps a bit-flipped
+    // length from driving a huge allocation.
+    if (n > num_terms) {
+      return CorruptAt(line_no, "implausible list length " +
+                                    std::to_string(n) + " for " +
+                                    std::to_string(num_terms) + " terms");
     }
     if (kind == "sim") {
-      flush();
-      pending_term = term;
-      has_sim = true;
-      pending_sim.reserve(n);
+      if (has_pending) {
+        return CorruptAt(line_no,
+                         "sim record while term " +
+                             std::to_string(pending.term) +
+                             " is missing its clos record");
+      }
+      if (seen[term]) {
+        return CorruptAt(line_no, "duplicate records for term " +
+                                      std::to_string(term));
+      }
+      pending.term = term;
+      pending.sim.clear();
+      pending.sim.reserve(n);
       for (size_t i = 0; i < n; ++i) {
         SimilarTerm s;
         row >> s.term >> s.score;
-        if (!row || s.term >= num_terms) {
-          return Status::Corruption("snapshot line " +
-                                    std::to_string(line_no) +
-                                    " has bad sim entry");
-        }
-        pending_sim.push_back(s);
+        if (!row) return CorruptAt(line_no, "bad sim entry");
+        pending.sim.push_back(s);
       }
+      std::string extra;
+      if (row >> extra) return CorruptAt(line_no, "trailing tokens");
+      Status st = ValidateSimilarList(term, pending.sim, num_terms);
+      if (!st.ok()) return CorruptAt(line_no, st.message());
+      has_pending = true;
     } else if (kind == "clos") {
-      std::vector<CloseTerm> close;
-      close.reserve(n);
+      if (!has_pending || term != pending.term) {
+        return CorruptAt(line_no,
+                         "clos record without matching sim for term " +
+                             std::to_string(term));
+      }
+      pending.close.clear();
+      pending.close.reserve(n);
       for (size_t i = 0; i < n; ++i) {
         CloseTerm c;
         row >> c.term >> c.closeness >> c.distance;
-        if (!row || c.term >= num_terms) {
-          return Status::Corruption("snapshot line " +
-                                    std::to_string(line_no) +
-                                    " has bad clos entry");
-        }
-        close.push_back(c);
+        if (!row) return CorruptAt(line_no, "bad clos entry");
+        pending.close.push_back(c);
       }
-      if (term != pending_term || !has_sim) {
-        return Status::Corruption(
-            "snapshot line " + std::to_string(line_no) +
-            ": clos record without preceding sim for term " +
-            std::to_string(term));
-      }
-      model->ImportTermRelations(term, std::move(pending_sim),
-                                  std::move(close));
-      pending_sim.clear();
-      has_sim = false;
-      pending_term = kInvalidTermId;
+      std::string extra;
+      if (row >> extra) return CorruptAt(line_no, "trailing tokens");
+      Status st = ValidateCloseList(term, pending.close, num_terms);
+      if (!st.ok()) return CorruptAt(line_no, st.message());
+      seen[term] = true;
+      parsed.push_back(std::move(pending));
+      pending = TermRecord{};
+      has_pending = false;
     } else {
-      return Status::Corruption("snapshot line " + std::to_string(line_no) +
-                                " has unknown kind '" + kind + "'");
+      return CorruptAt(line_no, "unknown kind '" + kind + "'");
     }
   }
-  flush();
+  if (has_pending) {
+    return Status::Corruption("snapshot truncated: term " +
+                              std::to_string(pending.term) +
+                              " has sim but no clos record");
+  }
+  if (!saw_trailer) {
+    return Status::Corruption(
+        "snapshot truncated: missing the end trailer");
+  }
+
+  // Phase 2: everything validated — install.
+  for (TermRecord& record : parsed) {
+    model->ImportTermRelations(record.term, std::move(record.sim),
+                               std::move(record.close));
+  }
   return Status::OK();
 }
 

@@ -13,8 +13,7 @@
 // TermIds are deterministic for a given (database, analyzer) pair, so the
 // fingerprint guards against loading a snapshot into a different corpus.
 
-#ifndef KQR_CORE_SNAPSHOT_H_
-#define KQR_CORE_SNAPSHOT_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -45,4 +44,3 @@ Status LoadOfflineSnapshotFile(const ServingModel* model,
 
 }  // namespace kqr
 
-#endif  // KQR_CORE_SNAPSHOT_H_

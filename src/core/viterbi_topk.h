@@ -6,8 +6,7 @@
 // reuse the DP tables across requests instead of reallocating them per
 // call; passing nullptr allocates locally and is equivalent.
 
-#ifndef KQR_CORE_VITERBI_TOPK_H_
-#define KQR_CORE_VITERBI_TOPK_H_
+#pragma once
 
 #include <vector>
 
@@ -63,4 +62,3 @@ ViterbiOutcome ViterbiDecode(const HmmModel& model);
 
 }  // namespace kqr
 
-#endif  // KQR_CORE_VITERBI_TOPK_H_

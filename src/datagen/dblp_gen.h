@@ -15,8 +15,7 @@
 // rate) — so semantically related terms share venues/authors without
 // necessarily co-occurring in any title.
 
-#ifndef KQR_DATAGEN_DBLP_GEN_H_
-#define KQR_DATAGEN_DBLP_GEN_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -92,4 +91,3 @@ Result<DblpCorpus> GenerateDblp(const DblpOptions& options = {});
 
 }  // namespace kqr
 
-#endif  // KQR_DATAGEN_DBLP_GEN_H_

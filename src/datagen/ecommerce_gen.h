@@ -11,8 +11,7 @@
 //   reviews(review_id, body, rating, product_id → products)
 //                                                     body: segmented
 
-#ifndef KQR_DATAGEN_ECOMMERCE_GEN_H_
-#define KQR_DATAGEN_ECOMMERCE_GEN_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -45,4 +44,3 @@ Result<EcommerceCorpus> GenerateEcommerce(
 
 }  // namespace kqr
 
-#endif  // KQR_DATAGEN_ECOMMERCE_GEN_H_

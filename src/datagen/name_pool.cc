@@ -71,7 +71,8 @@ std::string NamePool::MakeVenueName(const std::string& topic_phrase,
   const size_t kNumForms = sizeof(kForms) / sizeof(kForms[0]);
   std::string name = std::string(kForms[index % kNumForms]) + topic_phrase;
   if (index >= kNumForms) {
-    name += " " + std::to_string(index / kNumForms + 1);
+    name += ' ';
+    name += std::to_string(index / kNumForms + 1);
   }
   return name;
 }
@@ -88,7 +89,8 @@ std::vector<std::string> NamePool::MakeBrandNames(size_t count,
         brand_roots_[rng->NextBounded(brand_roots_.size())] + " " +
         kSuffixes[rng->NextBounded(6)];
     if (!used.insert(name).second) {
-      name += " " + std::to_string(names.size());
+      name += ' ';
+      name += std::to_string(names.size());
       if (!used.insert(name).second) continue;
     }
     names.push_back(std::move(name));

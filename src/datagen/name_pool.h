@@ -1,8 +1,7 @@
 // NamePool: deterministic person and venue name generation for the
 // synthetic corpora.
 
-#ifndef KQR_DATAGEN_NAME_POOL_H_
-#define KQR_DATAGEN_NAME_POOL_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -37,4 +36,3 @@ class NamePool {
 
 }  // namespace kqr
 
-#endif  // KQR_DATAGEN_NAME_POOL_H_

@@ -6,8 +6,7 @@
 // drive venue and author behavior. The topic is the ground truth the
 // evaluation judge uses in place of the paper's human assessors.
 
-#ifndef KQR_DATAGEN_TOPIC_MODEL_H_
-#define KQR_DATAGEN_TOPIC_MODEL_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -81,4 +80,3 @@ class TopicModel {
 
 }  // namespace kqr
 
-#endif  // KQR_DATAGEN_TOPIC_MODEL_H_

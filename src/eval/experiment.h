@@ -3,8 +3,7 @@
 // (Sec. VI: 10 mixed-format queries; 400 sampled queries of lengths 1–8
 // from author/title/venue fields; 19 title-derived queries).
 
-#ifndef KQR_EVAL_EXPERIMENT_H_
-#define KQR_EVAL_EXPERIMENT_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -93,4 +92,3 @@ class QuerySampler {
 
 }  // namespace kqr
 
-#endif  // KQR_EVAL_EXPERIMENT_H_

@@ -7,8 +7,7 @@
 // keyword-search result coverage). See DESIGN.md §1 for the substitution
 // argument.
 
-#ifndef KQR_EVAL_JUDGE_H_
-#define KQR_EVAL_JUDGE_H_
+#pragma once
 
 #include <vector>
 
@@ -76,4 +75,3 @@ class TopicJudge {
 
 }  // namespace kqr
 
-#endif  // KQR_EVAL_JUDGE_H_

@@ -1,8 +1,7 @@
 // Evaluation metrics: Precision@N (Fig. 5), result size and query distance
 // (Table III).
 
-#ifndef KQR_EVAL_METRICS_H_
-#define KQR_EVAL_METRICS_H_
+#pragma once
 
 #include <vector>
 
@@ -41,4 +40,3 @@ double MeanQueryDistance(
 
 }  // namespace kqr
 
-#endif  // KQR_EVAL_METRICS_H_

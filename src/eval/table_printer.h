@@ -1,8 +1,7 @@
 // TablePrinter: fixed-width ASCII tables shared by every bench binary, so
 // the harness output visually matches the paper's tables/series.
 
-#ifndef KQR_EVAL_TABLE_PRINTER_H_
-#define KQR_EVAL_TABLE_PRINTER_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -32,4 +31,3 @@ std::string FormatSeconds(double seconds);
 
 }  // namespace kqr
 
-#endif  // KQR_EVAL_TABLE_PRINTER_H_

@@ -44,4 +44,14 @@ CsrGraph CsrGraph::FromUndirectedEdges(
   return g;
 }
 
+CsrGraph CsrGraph::FromParts(std::vector<uint64_t> offsets,
+                             std::vector<Arc> arcs,
+                             std::vector<double> weighted_degree) {
+  CsrGraph g;
+  g.offsets_ = std::move(offsets);
+  g.arcs_ = std::move(arcs);
+  g.weighted_degree_ = std::move(weighted_degree);
+  return g;
+}
+
 }  // namespace kqr

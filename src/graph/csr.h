@@ -1,8 +1,7 @@
 // Compressed sparse row adjacency with edge weights. Undirected graphs
 // store both directions.
 
-#ifndef KQR_GRAPH_CSR_H_
-#define KQR_GRAPH_CSR_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -29,6 +28,14 @@ class CsrGraph {
       size_t num_nodes, std::vector<std::tuple<uint32_t, uint32_t, float>>
                             edges);
 
+  /// \brief Assembles a graph from pre-built raw parts without any
+  /// validation (deserialized or externally produced adjacency). Callers
+  /// that do not control the provenance of the parts must prove
+  /// well-formedness with ModelAuditor::CheckAdjacency before walking.
+  static CsrGraph FromParts(std::vector<uint64_t> offsets,
+                            std::vector<Arc> arcs,
+                            std::vector<double> weighted_degree);
+
   size_t num_nodes() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }
@@ -48,6 +55,15 @@ class CsrGraph {
     return weighted_degree_[node];
   }
 
+  // Raw structure views for auditing and serialization. offsets() has
+  // num_nodes()+1 entries framing arcs(); weighted_degrees() has one
+  // entry per node.
+  std::span<const uint64_t> offsets() const { return offsets_; }
+  std::span<const Arc> arcs() const { return arcs_; }
+  std::span<const double> weighted_degrees() const {
+    return weighted_degree_;
+  }
+
  private:
   std::vector<uint64_t> offsets_;  // size num_nodes + 1
   std::vector<Arc> arcs_;
@@ -56,4 +72,3 @@ class CsrGraph {
 
 }  // namespace kqr
 
-#endif  // KQR_GRAPH_CSR_H_

@@ -2,8 +2,7 @@
 // the contextual preference weighting (Sec. IV-B.2): freq(t0), idf(v), and
 // per-class grouping of a node's context.
 
-#ifndef KQR_GRAPH_GRAPH_STATS_H_
-#define KQR_GRAPH_GRAPH_STATS_H_
+#pragma once
 
 #include <vector>
 
@@ -38,4 +37,3 @@ class GraphStats {
 
 }  // namespace kqr
 
-#endif  // KQR_GRAPH_GRAPH_STATS_H_

@@ -6,8 +6,7 @@
 // same-class filtering during similar-node extraction (Sec. IV-B: "we only
 // extract similar nodes belonging to same classes of the initial node").
 
-#ifndef KQR_GRAPH_NODE_H_
-#define KQR_GRAPH_NODE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -75,4 +74,3 @@ class NodeSpace {
 
 }  // namespace kqr
 
-#endif  // KQR_GRAPH_NODE_H_

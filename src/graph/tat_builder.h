@@ -5,8 +5,7 @@
 //  - tuple—tuple (foreign key): 1.0 per reference.
 //  - tuple—term: the term's frequency in the tuple (from the posting).
 
-#ifndef KQR_GRAPH_TAT_BUILDER_H_
-#define KQR_GRAPH_TAT_BUILDER_H_
+#pragma once
 
 #include "common/result.h"
 #include "graph/tat_graph.h"
@@ -30,4 +29,3 @@ Result<TatGraph> BuildTatGraph(const Database& db, const Vocabulary& vocab,
 
 }  // namespace kqr
 
-#endif  // KQR_GRAPH_TAT_BUILDER_H_

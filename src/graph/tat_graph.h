@@ -2,8 +2,7 @@
 // data structure. Tuple nodes connect via foreign-key references (the tuple
 // graph, Def. 1); term nodes connect to the tuples containing them.
 
-#ifndef KQR_GRAPH_TAT_GRAPH_H_
-#define KQR_GRAPH_TAT_GRAPH_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -69,4 +68,3 @@ class TatGraph {
 
 }  // namespace kqr
 
-#endif  // KQR_GRAPH_TAT_GRAPH_H_

@@ -7,8 +7,7 @@
 // "subtree connecting the matching nodes" and supplies the result-size
 // statistics of Table III.
 
-#ifndef KQR_SEARCH_KEYWORD_SEARCH_H_
-#define KQR_SEARCH_KEYWORD_SEARCH_H_
+#pragma once
 
 #include <vector>
 
@@ -75,4 +74,3 @@ class KeywordSearch {
 
 }  // namespace kqr
 
-#endif  // KQR_SEARCH_KEYWORD_SEARCH_H_

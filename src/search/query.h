@@ -3,8 +3,7 @@
 // names) are recognized by greedy longest match, so "christian s. jensen
 // spatio temporal" parses as [author-name][word][word].
 
-#ifndef KQR_SEARCH_QUERY_H_
-#define KQR_SEARCH_QUERY_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -59,4 +58,3 @@ class QueryParser {
 
 }  // namespace kqr
 
-#endif  // KQR_SEARCH_QUERY_H_

@@ -1,8 +1,7 @@
 // Query results (Def. 3): a result is a minimal subtree of the tuple graph
 // connecting tuples that jointly match all query keywords.
 
-#ifndef KQR_SEARCH_RESULT_TREE_H_
-#define KQR_SEARCH_RESULT_TREE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -32,4 +31,3 @@ struct ResultTree {
 
 }  // namespace kqr
 
-#endif  // KQR_SEARCH_RESULT_TREE_H_

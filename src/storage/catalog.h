@@ -1,7 +1,6 @@
 // Catalog: name → table registry with FK target resolution.
 
-#ifndef KQR_STORAGE_CATALOG_H_
-#define KQR_STORAGE_CATALOG_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -46,4 +45,3 @@ class Catalog {
 
 }  // namespace kqr
 
-#endif  // KQR_STORAGE_CATALOG_H_

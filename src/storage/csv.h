@@ -1,8 +1,7 @@
 // CSV import/export for tables: lets examples persist and reload the
 // synthetic corpora, and lets users bring their own structured data.
 
-#ifndef KQR_STORAGE_CSV_H_
-#define KQR_STORAGE_CSV_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -36,4 +35,3 @@ Status DumpCsvFile(const Table& table, const std::string& path);
 
 }  // namespace kqr
 
-#endif  // KQR_STORAGE_CSV_H_

@@ -1,8 +1,7 @@
 // Database: the catalog plus whole-database integrity checks. This is the
 // structured-data source the paper's offline stage consumes.
 
-#ifndef KQR_STORAGE_DATABASE_H_
-#define KQR_STORAGE_DATABASE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -48,4 +47,3 @@ class Database {
 
 }  // namespace kqr
 
-#endif  // KQR_STORAGE_DATABASE_H_

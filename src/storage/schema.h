@@ -2,8 +2,7 @@
 // of each column (Sec. IV-A of the paper distinguishes segmented fields like
 // paper titles from atomic fields like author names).
 
-#ifndef KQR_STORAGE_SCHEMA_H_
-#define KQR_STORAGE_SCHEMA_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -90,4 +89,3 @@ class Schema {
 
 }  // namespace kqr
 
-#endif  // KQR_STORAGE_SCHEMA_H_

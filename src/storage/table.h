@@ -1,7 +1,6 @@
 // Table: an in-memory relation with a primary-key index.
 
-#ifndef KQR_STORAGE_TABLE_H_
-#define KQR_STORAGE_TABLE_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -52,4 +51,3 @@ class Table {
 
 }  // namespace kqr
 
-#endif  // KQR_STORAGE_TABLE_H_

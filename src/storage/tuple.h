@@ -2,8 +2,7 @@
 // primary key. Kept as a plain value vector; the owning Table provides
 // schema context.
 
-#ifndef KQR_STORAGE_TUPLE_H_
-#define KQR_STORAGE_TUPLE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -37,4 +36,3 @@ class Tuple {
 
 }  // namespace kqr
 
-#endif  // KQR_STORAGE_TUPLE_H_

@@ -1,7 +1,6 @@
 // Value: the typed cell of the relational substrate.
 
-#ifndef KQR_STORAGE_VALUE_H_
-#define KQR_STORAGE_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -68,4 +67,3 @@ class Value {
 
 }  // namespace kqr
 
-#endif  // KQR_STORAGE_VALUE_H_

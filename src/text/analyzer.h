@@ -2,8 +2,7 @@
 // per the column's TextRole. This is the component that turns raw cell
 // text into the term vocabulary of the TAT graph.
 
-#ifndef KQR_TEXT_ANALYZER_H_
-#define KQR_TEXT_ANALYZER_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -55,4 +54,3 @@ class Analyzer {
 
 }  // namespace kqr
 
-#endif  // KQR_TEXT_ANALYZER_H_

@@ -2,8 +2,7 @@
 // substitute. Built once offline; consumed by the TAT graph builder and by
 // keyword search.
 
-#ifndef KQR_TEXT_INVERTED_INDEX_H_
-#define KQR_TEXT_INVERTED_INDEX_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -75,4 +74,3 @@ class InvertedIndex {
 
 }  // namespace kqr
 
-#endif  // KQR_TEXT_INVERTED_INDEX_H_

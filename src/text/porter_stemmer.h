@@ -3,8 +3,7 @@
 // unify across morphological variants, as Lucene's analyzer did for the
 // paper's corpus.
 
-#ifndef KQR_TEXT_PORTER_STEMMER_H_
-#define KQR_TEXT_PORTER_STEMMER_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -20,4 +19,3 @@ class PorterStemmer {
 
 }  // namespace kqr
 
-#endif  // KQR_TEXT_PORTER_STEMMER_H_

@@ -1,7 +1,6 @@
 // Stopword filter with the standard English list plus domain additions.
 
-#ifndef KQR_TEXT_STOPWORDS_H_
-#define KQR_TEXT_STOPWORDS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -32,4 +31,3 @@ class StopwordFilter {
 
 }  // namespace kqr
 
-#endif  // KQR_TEXT_STOPWORDS_H_

@@ -1,8 +1,7 @@
 // Tokenizer: splits segmented text fields (e.g. paper titles) into raw
 // word tokens. ASCII-oriented, matching the paper's DBLP corpus.
 
-#ifndef KQR_TEXT_TOKENIZER_H_
-#define KQR_TEXT_TOKENIZER_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -31,4 +30,3 @@ class Tokenizer {
 
 }  // namespace kqr
 
-#endif  // KQR_TEXT_TOKENIZER_H_

@@ -4,8 +4,7 @@
 // different fields are considered as different; we label them with field
 // identifiers". A field is a (table, column) pair.
 
-#ifndef KQR_TEXT_VOCABULARY_H_
-#define KQR_TEXT_VOCABULARY_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -85,4 +84,3 @@ class Vocabulary {
 
 }  // namespace kqr
 
-#endif  // KQR_TEXT_VOCABULARY_H_

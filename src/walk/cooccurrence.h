@@ -10,8 +10,7 @@
 // (Table II — "can only find the collaborators") and as the similarity
 // source of the "Co-occurrence reformulation" arm (Sec. VI-B).
 
-#ifndef KQR_WALK_COOCCURRENCE_H_
-#define KQR_WALK_COOCCURRENCE_H_
+#pragma once
 
 #include <vector>
 
@@ -62,4 +61,3 @@ class CooccurrenceSimilarity {
 
 }  // namespace kqr
 
-#endif  // KQR_WALK_COOCCURRENCE_H_

@@ -7,8 +7,7 @@
 //    node's context nodes, weighted by 1/|F_i| * freq(v_c, t0) * idf(v_c),
 //    where F_i groups the context nodes by field (node class).
 
-#ifndef KQR_WALK_PREFERENCE_H_
-#define KQR_WALK_PREFERENCE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -48,4 +47,3 @@ PreferenceVector MakeContextualPreference(
 
 }  // namespace kqr
 
-#endif  // KQR_WALK_PREFERENCE_H_

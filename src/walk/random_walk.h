@@ -1,8 +1,7 @@
 // RandomWalkEngine: personalized random walk with restart over the TAT
 // graph — Eq. 1 of the paper, p = λ·A·p + (1−λ)·r, iterated to convergence.
 
-#ifndef KQR_WALK_RANDOM_WALK_H_
-#define KQR_WALK_RANDOM_WALK_H_
+#pragma once
 
 #include <utility>
 #include <vector>
@@ -66,4 +65,3 @@ class RandomWalkEngine {
 
 }  // namespace kqr
 
-#endif  // KQR_WALK_RANDOM_WALK_H_

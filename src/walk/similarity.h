@@ -2,8 +2,7 @@
 // node by their stationary random-walk score (Eq. 2). Two modes mirror the
 // paper's comparison: basic (one-hot restart) and contextual (Algorithm 1).
 
-#ifndef KQR_WALK_SIMILARITY_H_
-#define KQR_WALK_SIMILARITY_H_
+#pragma once
 
 #include <vector>
 
@@ -78,4 +77,3 @@ class SimilarityExtractor {
 
 }  // namespace kqr
 
-#endif  // KQR_WALK_SIMILARITY_H_

@@ -11,8 +11,7 @@
 // reference — the serving layer inserts each term at most once). Freeze()
 // marks the index complete, after which every read skips locking entirely.
 
-#ifndef KQR_WALK_SIMILARITY_INDEX_H_
-#define KQR_WALK_SIMILARITY_INDEX_H_
+#pragma once
 
 #include <atomic>
 #include <memory>
@@ -114,4 +113,3 @@ class SimilarityIndex {
 
 }  // namespace kqr
 
-#endif  // KQR_WALK_SIMILARITY_INDEX_H_

@@ -1,0 +1,314 @@
+#include "audit/model_auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine_builder.h"
+#include "core/serving_model.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+std::shared_ptr<const ServingModel> MakeModel(bool precompute = false) {
+  EngineOptions options;
+  options.precompute_offline = precompute;
+  auto model =
+      EngineBuilder(options).Build(testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+/// Copies a CsrGraph's raw parts into mutable vectors so a test can
+/// corrupt exactly one invariant and reassemble with FromParts.
+struct RawParts {
+  std::vector<uint64_t> offsets;
+  std::vector<Arc> arcs;
+  std::vector<double> degrees;
+
+  explicit RawParts(const CsrGraph& g)
+      : offsets(g.offsets().begin(), g.offsets().end()),
+        arcs(g.arcs().begin(), g.arcs().end()),
+        degrees(g.weighted_degrees().begin(), g.weighted_degrees().end()) {}
+
+  CsrGraph Assemble() {
+    return CsrGraph::FromParts(offsets, arcs, degrees);
+  }
+};
+
+CsrGraph MakeCleanGraph() {
+  return CsrGraph::FromUndirectedEdges(
+      5, {{0, 1, 1.0f}, {1, 2, 2.0f}, {2, 3, 0.5f}, {0, 3, 1.0f},
+          {3, 4, 1.5f}, {0, 4, 0.25f}});
+}
+
+// ---------------------------------------------------------------------
+// Clean structures pass.
+
+TEST(ModelAuditor, CleanGraphPassesStructureChecks) {
+  const CsrGraph g = MakeCleanGraph();
+  ModelAuditor auditor;
+  const AuditCheck adjacency = auditor.CheckAdjacency(g);
+  EXPECT_TRUE(adjacency.passed) << adjacency.ToString();
+  EXPECT_EQ(adjacency.checked, g.num_nodes());
+  const AuditCheck mass = auditor.CheckWalkRows(g);
+  EXPECT_TRUE(mass.passed) << mass.ToString();
+}
+
+TEST(ModelAuditor, CleanLazyModelPassesFullAudit) {
+  auto model = MakeModel();
+  const AuditReport report = ModelAuditor().Audit(*model);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // Every advertised check ran.
+  for (const char* name :
+       {"csr-adjacency", "walk-row-mass", "preference-mass",
+        "vocab-node-mapping", "similarity-lists", "closeness-lists",
+        "hmm-stochastic"}) {
+    const AuditCheck* check = report.Find(name);
+    ASSERT_NE(check, nullptr) << "missing check " << name;
+    EXPECT_TRUE(check->passed) << check->ToString();
+    EXPECT_GT(check->checked, 0u) << name << " checked nothing";
+  }
+  EXPECT_EQ(report.total_violations(), 0u);
+  EXPECT_NE(report.Summary().find("audit OK"), std::string::npos);
+}
+
+TEST(ModelAuditor, CleanEagerModelPassesFullAudit) {
+  auto model = MakeModel(/*precompute=*/true);
+  ASSERT_TRUE(model->fully_prepared());
+  const AuditReport report = ModelAuditor().Audit(*model);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Seeded corruption: each invariant class, checked by exactly its check.
+
+TEST(ModelAuditor, DetectsDenormalizedWalkRow) {
+  RawParts parts(MakeCleanGraph());
+  Rng rng(1001);
+  const size_t victim = rng.NextBounded(parts.degrees.size());
+  parts.degrees[victim] *= 2.0;  // row weights no longer sum to the degree
+  const CsrGraph g = parts.Assemble();
+
+  ModelAuditor auditor;
+  const AuditCheck mass = auditor.CheckWalkRows(g);
+  EXPECT_FALSE(mass.passed);
+  EXPECT_GT(mass.violations, 0u);
+  EXPECT_NE(mass.worst.find("transition row mass"), std::string::npos)
+      << mass.ToString();
+  // The adjacency itself is untouched and must still pass.
+  EXPECT_TRUE(auditor.CheckAdjacency(g).passed);
+}
+
+TEST(ModelAuditor, WalkRowWorstOffenderIsLargestError) {
+  RawParts parts(MakeCleanGraph());
+  parts.degrees[0] *= 1.5;  // mass 0.666…
+  parts.degrees[2] *= 8.0;  // mass 0.125 — worse
+  const AuditCheck mass = ModelAuditor().CheckWalkRows(parts.Assemble());
+  ASSERT_FALSE(mass.passed);
+  EXPECT_EQ(mass.violations, 2u);
+  EXPECT_NE(mass.worst.find("node 2"), std::string::npos)
+      << mass.ToString();
+}
+
+TEST(ModelAuditor, DetectsOutOfBoundsCsrEdge) {
+  RawParts parts(MakeCleanGraph());
+  Rng rng(1002);
+  const size_t victim = rng.NextBounded(parts.arcs.size());
+  parts.arcs[victim].target =
+      static_cast<uint32_t>(parts.offsets.size() + 40);
+  const AuditCheck adjacency =
+      ModelAuditor().CheckAdjacency(parts.Assemble());
+  EXPECT_FALSE(adjacency.passed);
+  EXPECT_NE(adjacency.worst.find("outside"), std::string::npos)
+      << adjacency.ToString();
+}
+
+TEST(ModelAuditor, DetectsUnsortedAdjacencyRow) {
+  RawParts parts(MakeCleanGraph());
+  // Node 0 has three neighbors (1, 3, 4); swapping two breaks the strict
+  // per-row ordering the binary-searched symmetry probe depends on.
+  ASSERT_GE(parts.offsets[1] - parts.offsets[0], 2u);
+  std::swap(parts.arcs[parts.offsets[0]], parts.arcs[parts.offsets[0] + 1]);
+  const AuditCheck adjacency =
+      ModelAuditor().CheckAdjacency(parts.Assemble());
+  EXPECT_FALSE(adjacency.passed);
+  EXPECT_NE(adjacency.worst.find("not strictly sorted"), std::string::npos)
+      << adjacency.ToString();
+}
+
+TEST(ModelAuditor, DetectsAsymmetricArcWeight) {
+  RawParts parts(MakeCleanGraph());
+  parts.arcs[parts.offsets[0]].weight += 0.5f;  // forward ≠ reverse
+  const AuditCheck adjacency =
+      ModelAuditor().CheckAdjacency(parts.Assemble());
+  EXPECT_FALSE(adjacency.passed);
+  EXPECT_NE(adjacency.worst.find("mismatch"), std::string::npos)
+      << adjacency.ToString();
+}
+
+TEST(ModelAuditor, DetectsBrokenCsrFraming) {
+  RawParts parts(MakeCleanGraph());
+  parts.offsets.back() += 3;  // frames arcs that do not exist
+  const AuditCheck adjacency =
+      ModelAuditor().CheckAdjacency(parts.Assemble());
+  EXPECT_FALSE(adjacency.passed);
+  // A broken frame must fail fast, not walk out of bounds.
+  const AuditCheck mass = ModelAuditor().CheckWalkRows(parts.Assemble());
+  EXPECT_FALSE(mass.passed);
+}
+
+TEST(ModelAuditor, DetectsNaNSimilarityScore) {
+  SimilarityIndex index;
+  index.Insert(0, {{1, 0.9},
+                   {2, std::numeric_limits<double>::quiet_NaN()}});
+  const AuditCheck check =
+      ModelAuditor().CheckSimilarityLists(index, {0}, /*vocab_size=*/8,
+                                          /*max_list_size=*/16);
+  EXPECT_FALSE(check.passed);
+  EXPECT_NE(check.worst.find("outside [0,1]"), std::string::npos)
+      << check.ToString();
+}
+
+TEST(ModelAuditor, DetectsOutOfRangeSimilarityScore) {
+  SimilarityIndex index;
+  index.Insert(3, {{1, 1.5}});  // similarity is a probability
+  const AuditCheck check =
+      ModelAuditor().CheckSimilarityLists(index, {3}, 8, 16);
+  EXPECT_FALSE(check.passed);
+}
+
+TEST(ModelAuditor, DetectsUnsortedTopKList) {
+  SimilarityIndex index;
+  index.Insert(0, {{1, 0.2}, {2, 0.8}});  // ascending — not a top-k list
+  const AuditCheck check =
+      ModelAuditor().CheckSimilarityLists(index, {0}, 8, 16);
+  EXPECT_FALSE(check.passed);
+  EXPECT_NE(check.worst.find("not sorted"), std::string::npos)
+      << check.ToString();
+}
+
+TEST(ModelAuditor, DetectsDuplicateAndOutOfVocabEntries) {
+  SimilarityIndex dup;
+  dup.Insert(0, {{1, 0.5}, {1, 0.5}});
+  EXPECT_FALSE(ModelAuditor().CheckSimilarityLists(dup, {0}, 8, 16).passed);
+
+  SimilarityIndex oob;
+  oob.Insert(0, {{99, 0.5}});
+  EXPECT_FALSE(ModelAuditor().CheckSimilarityLists(oob, {0}, 8, 16).passed);
+}
+
+TEST(ModelAuditor, DetectsOversizeSimilarityList) {
+  SimilarityIndex index;
+  index.Insert(0, {{1, 0.9}, {2, 0.8}, {3, 0.7}});
+  const AuditCheck check =
+      ModelAuditor().CheckSimilarityLists(index, {0}, 8,
+                                          /*max_list_size=*/2);
+  EXPECT_FALSE(check.passed);
+  EXPECT_NE(check.worst.find("cap"), std::string::npos);
+}
+
+TEST(ModelAuditor, DetectsBadClosenessEntries) {
+  ClosenessIndex negative;
+  negative.Insert(0, {{1, -0.5, 1}});
+  EXPECT_FALSE(ModelAuditor()
+                   .CheckClosenessLists(negative, {0}, 8, 16,
+                                        /*check_order=*/false)
+                   .passed);
+
+  ClosenessIndex zero_dist;
+  zero_dist.Insert(0, {{1, 0.5, 0}});
+  EXPECT_FALSE(ModelAuditor()
+                   .CheckClosenessLists(zero_dist, {0}, 8, 16, false)
+                   .passed);
+
+  ClosenessIndex unsorted;
+  unsorted.Insert(0, {{1, 0.2, 1}, {2, 0.9, 1}});
+  EXPECT_FALSE(ModelAuditor()
+                   .CheckClosenessLists(unsorted, {0}, 8, 16,
+                                        /*check_order=*/true)
+                   .passed);
+  // The same list is acceptable under normalized ranking, where raw
+  // closeness need not be monotone.
+  EXPECT_TRUE(ModelAuditor()
+                  .CheckClosenessLists(unsorted, {0}, 8, 16,
+                                       /*check_order=*/false)
+                  .passed);
+}
+
+TEST(ModelAuditor, DetectsLeakyHmmRow) {
+  HmmModel hmm;
+  hmm.states.assign(2, std::vector<CandidateState>(2));
+  hmm.pi = {0.5, 0.5};
+  hmm.emission = {{0.25, 0.75}, {1.0, 0.0}};
+  hmm.trans = {{{0.5, 0.5}, {0.9, 0.1}}};
+  EXPECT_TRUE(ModelAuditor().CheckHmm(hmm).passed);
+
+  HmmModel leaky = hmm;
+  leaky.trans[0][1] = {0.9, 0.3};  // row sums to 1.2
+  const AuditCheck check = ModelAuditor().CheckHmm(leaky);
+  EXPECT_FALSE(check.passed);
+  EXPECT_NE(check.worst.find("leaks mass"), std::string::npos)
+      << check.ToString();
+
+  HmmModel bad_pi = hmm;
+  bad_pi.pi = {0.5, 0.4};
+  EXPECT_FALSE(ModelAuditor().CheckHmm(bad_pi).passed);
+
+  HmmModel ragged = hmm;
+  ragged.emission[1] = {1.0};  // wrong row width
+  EXPECT_FALSE(ModelAuditor().CheckHmm(ragged).passed);
+}
+
+// ---------------------------------------------------------------------
+// Report plumbing and validators shared with the snapshot loader.
+
+TEST(ModelAuditor, ReportFormatsFailuresUsefully) {
+  RawParts parts(MakeCleanGraph());
+  parts.degrees[1] = 123.0;
+  const AuditCheck mass = ModelAuditor().CheckWalkRows(parts.Assemble());
+  ASSERT_FALSE(mass.passed);
+  const std::string text = mass.ToString();
+  EXPECT_NE(text.find("walk-row-mass"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("node 1"), std::string::npos);
+
+  AuditReport report;
+  report.checks.push_back(mass);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.Summary().find("walk-row-mass"), std::string::npos);
+  EXPECT_NE(report.Find("walk-row-mass"), nullptr);
+  EXPECT_EQ(report.Find("no-such-check"), nullptr);
+}
+
+TEST(ModelAuditor, ValidatorsRejectWhatTheLoaderMustNotImport) {
+  EXPECT_TRUE(ValidateSimilarList(0, {{1, 0.9}, {2, 0.1}}, 8).ok());
+  EXPECT_TRUE(ValidateSimilarList(0, {{1, -0.1}}, 8).IsCorruption());
+  EXPECT_TRUE(ValidateSimilarList(0, {{9, 0.5}}, 8).IsCorruption());
+  EXPECT_TRUE(ValidateCloseList(0, {{1, 2.5, 3}}, 8).ok());
+  EXPECT_TRUE(ValidateCloseList(0, {{1, 2.5, 0}}, 8).IsCorruption());
+  EXPECT_TRUE(
+      ValidateCloseList(0, {{1, 1.0, 1}, {1, 1.0, 1}}, 8).IsCorruption());
+}
+
+TEST(ModelAuditor, BuilderDebugAuditAcceptsCleanModels) {
+  // In debug builds EngineBuilder::Build runs the auditor on every model;
+  // a clean fixture must keep building (in release this is a no-op).
+  EngineOptions options;
+  options.debug_audit = true;
+  auto model =
+      EngineBuilder(options).Build(testing_fixtures::MakeMicroDblp());
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+
+  options.debug_audit = false;
+  auto opted_out =
+      EngineBuilder(options).Build(testing_fixtures::MakeMicroDblp());
+  EXPECT_TRUE(opted_out.ok());
+}
+
+}  // namespace
+}  // namespace kqr

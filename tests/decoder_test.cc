@@ -114,7 +114,9 @@ TEST_P(DecoderSweep, AStarMatchesBruteForce) {
         << "rank " << i;
     EXPECT_NEAR(model.PathScore(got[i].states), got[i].score, 1e-12);
   }
-  if (positive > 0) EXPECT_GT(stats.nodes_expanded, 0u);
+  if (positive > 0) {
+    EXPECT_GT(stats.nodes_expanded, 0u);
+  }
   EXPECT_GE(stats.nodes_generated, got.size());
 }
 

@@ -61,7 +61,6 @@ TEST_F(EcommerceIntegration, DomainSimilarityIsTopical) {
   auto camping_topics = retail.TopicsOfStem("camp");
   ASSERT_FALSE(camping_topics.empty());
   size_t matched = 0, judged = 0;
-  PorterStemmer stemmer;
   for (const SimilarTerm& s : similar) {
     auto topics =
         retail.TopicsOfStem(engine_->vocab().text(s.term));

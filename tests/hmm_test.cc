@@ -79,7 +79,9 @@ TEST_F(HmmTest, PiFollowsFrequency) {
     }
   }
   ASSERT_GE(pi_uncertain, 0.0);
-  if (pi_prob >= 0.0) EXPECT_GT(pi_uncertain, pi_prob);
+  if (pi_prob >= 0.0) {
+    EXPECT_GT(pi_uncertain, pi_prob);
+  }
 }
 
 TEST_F(HmmTest, EmissionOrderFollowsSimilarity) {

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "common/rng.h"
 #include "core/engine_builder.h"
 #include "test_fixtures.h"
 
@@ -81,14 +82,20 @@ TEST(Snapshot, RejectsBadMagic) {
 
 TEST(Snapshot, RejectsWrongFingerprint) {
   auto model = MakeModel();
-  std::istringstream in("kqr-offline-v1\nfingerprint deadbeef\n");
+  std::istringstream in("kqr-offline-v2\nfingerprint deadbeef\n");
   EXPECT_TRUE(LoadOfflineSnapshot(model.get(), in).IsInvalidArgument());
+}
+
+TEST(Snapshot, RejectsOldFormatVersion) {
+  auto model = MakeModel();
+  std::istringstream in("kqr-offline-v1\nfingerprint deadbeef\n");
+  EXPECT_TRUE(LoadOfflineSnapshot(model.get(), in).IsCorruption());
 }
 
 TEST(Snapshot, RejectsMalformedRecords) {
   auto model = MakeModel();
   std::ostringstream header;
-  header << "kqr-offline-v1\nfingerprint " << std::hex
+  header << "kqr-offline-v2\nfingerprint " << std::hex
          << ModelFingerprint(*model) << "\n";
   {
     std::istringstream in(header.str() + "sim notanumber 0\n");
@@ -111,8 +118,72 @@ TEST(Snapshot, RejectsMalformedRecords) {
 }
 
 TEST(Snapshot, NullModelRejected) {
-  std::istringstream in("kqr-offline-v1\n");
+  std::istringstream in("kqr-offline-v2\n");
   EXPECT_TRUE(LoadOfflineSnapshot(nullptr, in).IsInvalidArgument());
+}
+
+// A prepared snapshot text for the corruption tests: several terms'
+// offline products plus the checksummed end trailer.
+std::string MakeSnapshotText(const std::shared_ptr<const ServingModel>& m) {
+  auto terms = m->ResolveQuery("uncertain query data");
+  KQR_CHECK(terms.ok());
+  m->ReformulateTerms(*terms, 5);
+  std::ostringstream out;
+  KQR_CHECK(SaveOfflineSnapshot(*m, out).ok());
+  return out.str();
+}
+
+TEST(Snapshot, TruncationAlwaysDetected) {
+  auto source = MakeModel();
+  const std::string text = MakeSnapshotText(source);
+  ASSERT_GT(text.size(), 64u);
+  // Any proper prefix — whether it cuts mid-line or at a clean line
+  // boundary — must fail to load: the end trailer certifies completeness.
+  Rng rng(20260806);
+  std::vector<size_t> cuts;
+  for (int i = 0; i < 16; ++i) {
+    cuts.push_back(static_cast<size_t>(rng.NextBounded(text.size())));
+  }
+  // Also every line boundary (the historically dangerous cuts: the v1
+  // format loaded "successfully" from a file truncated between records).
+  for (size_t pos = 0; pos < text.size(); ++pos) {
+    if (text[pos] == '\n') cuts.push_back(pos + 1);
+  }
+  for (size_t cut : cuts) {
+    if (cut >= text.size()) continue;
+    auto target = MakeModel();
+    // Debug builds pre-prepare a few probe terms during the build audit;
+    // a failed load must add nothing beyond that baseline.
+    const auto before = target->PreparedTerms();
+    std::istringstream in(text.substr(0, cut));
+    Status st = LoadOfflineSnapshot(target.get(), in);
+    EXPECT_FALSE(st.ok()) << "prefix of " << cut << " bytes loaded";
+    EXPECT_EQ(target->PreparedTerms(), before)
+        << "truncated load at " << cut << " partially imported";
+  }
+}
+
+TEST(Snapshot, SingleBitFlipsAlwaysDetected) {
+  auto source = MakeModel();
+  const std::string text = MakeSnapshotText(source);
+  Rng rng(987654321);
+  for (int trial = 0; trial < 64; ++trial) {
+    const size_t pos = static_cast<size_t>(rng.NextBounded(text.size()));
+    const uint8_t mask =
+        static_cast<uint8_t>(1u << rng.NextBounded(8));  // nonzero → changes
+    std::string corrupted = text;
+    corrupted[pos] = static_cast<char>(
+        static_cast<uint8_t>(corrupted[pos]) ^ mask);
+    auto target = MakeModel();
+    const auto before = target->PreparedTerms();
+    std::istringstream in(corrupted);
+    Status st = LoadOfflineSnapshot(target.get(), in);
+    EXPECT_FALSE(st.ok())
+        << "bit flip at byte " << pos << " (mask " << int(mask)
+        << ") loaded as a valid snapshot";
+    EXPECT_EQ(target->PreparedTerms(), before)
+        << "corrupt load at byte " << pos << " partially imported";
+  }
 }
 
 TEST(Snapshot, FileRoundTrip) {

@@ -71,7 +71,9 @@ TEST(Catalog, TablePointerStaysValidAcrossCreates) {
   Table* first = *c.CreateTable(TwoColSchema("t0"));
   ASSERT_TRUE(first->Insert({Value(int64_t{1}), Value("a")}).ok());
   for (int i = 1; i < 20; ++i) {
-    ASSERT_TRUE(c.CreateTable(TwoColSchema("t" + std::to_string(i))).ok());
+    std::string name = "t";
+    name += std::to_string(i);
+    ASSERT_TRUE(c.CreateTable(TwoColSchema(name)).ok());
   }
   // The regression this guards: CreateTable once keyed tables by a
   // dangling moved-from name, corrupting the registry.

@@ -13,8 +13,7 @@
 // a title but share venue v0 and the word "query" — the paper's motivating
 // phenomenon in miniature.
 
-#ifndef KQR_TESTS_TEST_FIXTURES_H_
-#define KQR_TESTS_TEST_FIXTURES_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -153,4 +152,3 @@ struct MicroCorpus {
 }  // namespace testing_fixtures
 }  // namespace kqr
 
-#endif  // KQR_TESTS_TEST_FIXTURES_H_

@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""kqr repo linter: project-specific rules the generic tools can't check.
+
+Rules (suppress one occurrence with a `// lint:allow <rule>` comment on
+the same line):
+
+  pragma-once       every header uses `#pragma once` (no include guards)
+  rng-discipline    no rand()/srand()/std::random_device outside
+                    common/rng — all randomness flows through the seeded,
+                    deterministic kqr::Rng so corpora and walks reproduce
+                    bit-for-bit
+  mutable-global    no mutable namespace-scope state in src/ — the serving
+                    model is shared across threads and all shared state
+                    must live behind its const facade
+  options-mutation  no mutable_options outside EngineBuilder and no
+                    const_cast in src/ — options on a shared model are
+                    immutable by design (a const_cast around that was the
+                    root of a real data race)
+  include-cycle     the quoted-include graph over src/ headers is acyclic
+
+Usage: python3 tools/lint.py [--root REPO_ROOT]
+Exits 0 when clean, 1 with findings on stderr.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+HEADER_DIRS = ("src", "tests", "bench", "examples")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w-]+)")
+
+
+def find_files(root, dirs, exts):
+    for d in dirs:
+        base = os.path.join(root, d)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure, so structural rules don't trip on prose or literals."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.findings = []
+
+    def report(self, path, line_no, rule, message, raw_line=""):
+        if ALLOW_RE.search(raw_line) and rule in ALLOW_RE.search(raw_line).group(1):
+            return
+        rel = os.path.relpath(path, self.root)
+        self.findings.append(f"{rel}:{line_no}: [{rule}] {message}")
+
+    # -- pragma-once ----------------------------------------------------
+
+    def check_pragma_once(self):
+        for path in find_files(self.root, HEADER_DIRS, (".h", ".hpp")):
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            if "#pragma once" not in text:
+                self.report(path, 1, "pragma-once",
+                            "header must use '#pragma once'")
+            guard = re.search(r"^#ifndef\s+(\w*_H_?)\s*$", text, re.M)
+            if guard:
+                line_no = text[: guard.start()].count("\n") + 1
+                self.report(path, line_no, "pragma-once",
+                            f"include guard '{guard.group(1)}' — use "
+                            "'#pragma once' instead")
+
+    # -- rng-discipline -------------------------------------------------
+
+    RNG_RE = re.compile(r"std::random_device|(?<![\w.:>])s?rand\s*\(")
+
+    def check_rng(self):
+        for path in find_files(self.root, SOURCE_DIRS, (".h", ".cc", ".cpp")):
+            rel = os.path.relpath(path, self.root)
+            if rel.startswith(os.path.join("src", "common", "rng")):
+                continue
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            stripped = strip_comments_and_strings("\n".join(raw_lines))
+            for line_no, line in enumerate(stripped.splitlines(), 1):
+                if self.RNG_RE.search(line):
+                    self.report(path, line_no, "rng-discipline",
+                                "use the seeded kqr::Rng (common/rng) "
+                                "instead of ad-hoc randomness",
+                                raw_lines[line_no - 1])
+
+    # -- mutable-global -------------------------------------------------
+
+    DECL_SKIP_RE = re.compile(
+        r"^\s*(const\b|constexpr\b|using\b|typedef\b|namespace\b|template\b"
+        r"|friend\b|return\b|struct\b|class\b|enum\b|extern\s+const\b"
+        r"|static\s+const\b|static\s+constexpr\b|inline\s+const\b"
+        r"|inline\s+constexpr\b|static_assert\b|#|\})")
+    DECL_VAR_RE = re.compile(
+        r"^\s*(?:static\s+|inline\s+)*[A-Za-z_][\w:<>,*&\s]*?"
+        r"\s[*&]?([A-Za-z_]\w*)(\s*\[[^\]]*\])?\s*(=[^=].*)?;\s*$")
+
+    def check_mutable_globals(self):
+        for path in find_files(self.root, ("src",), (".h", ".cc")):
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            stripped = strip_comments_and_strings("\n".join(raw_lines))
+            # Scope stack entries: "ns" (namespace/extern block) or "other"
+            # (class/struct/enum/function/initializer). Declarations are
+            # only inspected while every open brace is a namespace.
+            stack = []
+            pending = ""  # statement text accumulated since the last ; or }
+            for line_no, line in enumerate(stripped.splitlines(), 1):
+                at_ns_scope = all(kind == "ns" for kind in stack)
+                if (at_ns_scope and "{" not in line and "(" not in line
+                        and not pending.strip()):
+                    m = self.DECL_VAR_RE.match(line)
+                    if m and not self.DECL_SKIP_RE.match(line):
+                        self.report(path, line_no, "mutable-global",
+                                    f"namespace-scope variable "
+                                    f"'{m.group(1)}' must be const/"
+                                    "constexpr (shared-model code is "
+                                    "concurrent)",
+                                    raw_lines[line_no - 1])
+                for ch in line:
+                    if ch == "{":
+                        head = pending.strip()
+                        is_ns = bool(re.search(
+                            r"(^|\s)namespace(\s|$)|^extern\s", head))
+                        stack.append("ns" if is_ns else "other")
+                        pending = ""
+                    elif ch == "}":
+                        if stack:
+                            stack.pop()
+                        pending = ""
+                    elif ch == ";":
+                        pending = ""
+                    else:
+                        pending += ch
+                pending += " "
+
+    # -- options-mutation -----------------------------------------------
+
+    def check_options_mutation(self):
+        for path in find_files(self.root, SOURCE_DIRS, (".h", ".cc", ".cpp")):
+            rel = os.path.relpath(path, self.root)
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            stripped = strip_comments_and_strings("\n".join(raw_lines))
+            for line_no, line in enumerate(stripped.splitlines(), 1):
+                if ("mutable_options" in line
+                        and rel != os.path.join("src", "core",
+                                                "engine_builder.h")):
+                    self.report(path, line_no, "options-mutation",
+                                "mutable_options is builder-only; serve "
+                                "with ReformulateTermsWith(opts, ...)",
+                                raw_lines[line_no - 1])
+                if "const_cast" in line and rel.startswith("src" + os.sep):
+                    self.report(path, line_no, "options-mutation",
+                                "const_cast is banned in src/ — mutation "
+                                "behind the shared-model const facade "
+                                "races with serving",
+                                raw_lines[line_no - 1])
+
+    # -- include-cycle --------------------------------------------------
+
+    INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
+
+    def check_include_cycles(self):
+        src = os.path.join(self.root, "src")
+        graph = {}
+        for path in find_files(self.root, ("src",), (".h",)):
+            rel = os.path.relpath(path, src)
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            deps = []
+            for inc in self.INCLUDE_RE.findall(text):
+                if os.path.exists(os.path.join(src, inc)):
+                    deps.append(inc)
+            graph[rel] = deps
+
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in graph}
+        stack = []
+
+        def visit(node):
+            color[node] = GRAY
+            stack.append(node)
+            for dep in graph.get(node, ()):
+                if color.get(dep, BLACK) == GRAY:
+                    cycle = stack[stack.index(dep):] + [dep]
+                    self.report(os.path.join(src, node), 1, "include-cycle",
+                                "header include cycle: " + " -> ".join(cycle))
+                elif color.get(dep, BLACK) == WHITE:
+                    visit(dep)
+            stack.pop()
+            color[node] = BLACK
+
+        for node in sorted(graph):
+            if color[node] == WHITE:
+                visit(node)
+
+    def run(self):
+        self.check_pragma_once()
+        self.check_rng()
+        self.check_mutable_globals()
+        self.check_options_mutation()
+        self.check_include_cycles()
+        return self.findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root)
+    args = parser.parse_args()
+
+    findings = Linter(args.root).run()
+    if findings:
+        for f in findings:
+            print(f, file=sys.stderr)
+        print(f"tools/lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("tools/lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
