@@ -43,6 +43,12 @@ inline ExperimentContext MustMakeContext(DblpOptions dblp,
               ctx->model->graph().num_nodes(),
               ctx->model->graph().num_edges(),
               ctx->model->vocab().size(), timer.ElapsedSeconds());
+  // Per-stage offline breakdown from the model's build trace (empty when
+  // the model was built with enable_metrics = false).
+  for (const TraceSpan& span : ctx->model->build_trace().spans()) {
+    std::printf("#   build stage %-20s %8.1fms\n", span.name,
+                span.duration_seconds * 1e3);
+  }
   return std::move(*ctx);
 }
 

@@ -9,6 +9,12 @@
 // result is checked against a serial-run fingerprint — aggregate QPS must
 // come from concurrency, never from divergent work or divergent answers.
 //
+// Latency percentiles and scratch-reuse rates come from the engine's own
+// metrics registry (interval scrape around each config) rather than
+// bench-local recorders, and a final arm re-runs the single-thread config
+// against a model built with the EngineOptions::enable_metrics kill
+// switch off, reporting the observability overhead.
+//
 // Emits BENCH_scaling_online.json next to the table output.
 
 #include <atomic>
@@ -16,7 +22,7 @@
 #include <thread>
 
 #include "bench_common.h"
-#include "common/latency.h"
+#include "obs/metrics.h"
 
 namespace kqr {
 namespace {
@@ -65,9 +71,13 @@ ConfigOutcome RunConfig(const ServingModel& model,
                         const std::vector<std::vector<TermId>>& queries,
                         const std::vector<uint64_t>& reference,
                         size_t num_threads) {
-  std::vector<LatencyRecorder> recorders(num_threads);
-  std::vector<RequestStats> stats(num_threads);
   std::atomic<size_t> mismatches{0};
+
+  // Interval scrape: everything this config observes is the delta
+  // between these two registry snapshots.
+  MetricsRegistry* registry = model.metrics_registry();
+  const MetricsSnapshot before =
+      registry != nullptr ? registry->Snapshot() : MetricsSnapshot{};
 
   Timer wall;
   std::vector<std::thread> threads;
@@ -79,15 +89,12 @@ ConfigOutcome RunConfig(const ServingModel& model,
       // query set exactly once, so total work is identical per config.
       for (size_t round = 0; round < kRounds; ++round) {
         for (size_t i = w; i < queries.size(); i += num_threads) {
-          Timer request;
           auto ranking = model.ReformulateTerms(queries[i], kTopK, &ctx);
-          recorders[w].Add(request.ElapsedSeconds());
           if (Fingerprint(ranking) != reference[i]) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
         }
       }
-      stats[w] = ctx.stats;
     });
   }
   for (std::thread& t : threads) t.join();
@@ -95,24 +102,37 @@ ConfigOutcome RunConfig(const ServingModel& model,
   ConfigOutcome out;
   out.threads = num_threads;
   out.wall_seconds = wall.ElapsedSeconds();
-  LatencyRecorder merged;
-  RequestStats total;
-  for (size_t w = 0; w < num_threads; ++w) {
-    merged.Merge(recorders[w]);
-    total.MergeFrom(stats[w]);
-  }
-  out.requests = merged.count();
+  out.requests = queries.size() * kRounds;
   out.qps = out.wall_seconds > 0 ? double(out.requests) / out.wall_seconds
                                  : 0.0;
-  out.p50_us = merged.Percentile(50) * 1e6;
-  out.p95_us = merged.Percentile(95) * 1e6;
-  out.p99_us = merged.Percentile(99) * 1e6;
-  out.scratch_hit_rate = total.ScratchHitRate();
+  if (registry != nullptr) {
+    const MetricsSnapshot after = registry->Snapshot();
+    const HistogramSnapshot* req_after =
+        after.Histogram("kqr_request_seconds");
+    const HistogramSnapshot* req_before =
+        before.Histogram("kqr_request_seconds");
+    if (req_after != nullptr && req_before != nullptr) {
+      const HistogramSnapshot delta =
+          HistogramDelta(*req_after, *req_before);
+      out.p50_us = delta.Quantile(0.50) * 1e6;
+      out.p95_us = delta.Quantile(0.95) * 1e6;
+      out.p99_us = delta.Quantile(0.99) * 1e6;
+    }
+    const uint64_t hits =
+        after.CounterValue("kqr_scratch_hits_total") -
+        before.CounterValue("kqr_scratch_hits_total");
+    const uint64_t misses =
+        after.CounterValue("kqr_scratch_misses_total") -
+        before.CounterValue("kqr_scratch_misses_total");
+    out.scratch_hit_rate =
+        hits + misses == 0 ? 0.0 : double(hits) / double(hits + misses);
+  }
   out.mismatches = mismatches.load();
   return out;
 }
 
-void WriteJson(const std::vector<ConfigOutcome>& outcomes) {
+void WriteJson(const std::vector<ConfigOutcome>& outcomes,
+               double overhead_percent) {
   FILE* f = std::fopen("BENCH_scaling_online.json", "w");
   if (f == nullptr) {
     std::printf("# could not open BENCH_scaling_online.json for writing\n");
@@ -123,6 +143,8 @@ void WriteJson(const std::vector<ConfigOutcome>& outcomes) {
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"queries\": %zu,\n  \"rounds\": %zu,\n  \"k\": %zu,\n",
                kNumQueries, kRounds, kTopK);
+  std::fprintf(f, "  \"metrics_overhead_percent\": %.2f,\n",
+               overhead_percent);
   std::fprintf(f, "  \"configs\": [\n");
   for (size_t i = 0; i < outcomes.size(); ++i) {
     const ConfigOutcome& o = outcomes[i];
@@ -141,6 +163,20 @@ void WriteJson(const std::vector<ConfigOutcome>& outcomes) {
   std::printf("# wrote BENCH_scaling_online.json\n");
 }
 
+std::vector<std::vector<TermId>> SampleWorkload(const ServingModel& model) {
+  QuerySampler sampler(model, /*seed=*/808);
+  std::vector<std::vector<TermId>> queries;
+  for (size_t len : {2, 3, 4}) {
+    for (auto& q : sampler.SampleQueries(kNumQueries / 3, len)) {
+      queries.push_back(std::move(q));
+    }
+  }
+  while (queries.size() < kNumQueries) {
+    queries.push_back(sampler.SampleQuery(2));
+  }
+  return queries;
+}
+
 void Run() {
   bench::PrintHeader(
       "Scaling: online reformulation QPS vs serving threads");
@@ -155,16 +191,7 @@ void Run() {
       bench::MustMakeContext(bench::DefaultCorpus(), options);
   const ServingModel& model = *ctx.model;
 
-  QuerySampler sampler(model, /*seed=*/808);
-  std::vector<std::vector<TermId>> queries;
-  for (size_t len : {2, 3, 4}) {
-    for (auto& q : sampler.SampleQueries(kNumQueries / 3, len)) {
-      queries.push_back(std::move(q));
-    }
-  }
-  while (queries.size() < kNumQueries) {
-    queries.push_back(sampler.SampleQuery(2));
-  }
+  std::vector<std::vector<TermId>> queries = SampleWorkload(model);
   std::printf("# %zu sampled queries (lengths 2-4), %zu requests per "
               "config\n",
               queries.size(), queries.size() * kRounds);
@@ -199,6 +226,29 @@ void Run() {
   }
   table.Print(std::cout);
 
+  // Observability overhead: the identical single-thread workload against
+  // a model built with the metrics kill switch off. Same corpus seed →
+  // same model content → same fingerprints.
+  std::printf("\n# metrics-overhead arm (enable_metrics = false):\n");
+  EngineOptions off_options = options;
+  off_options.enable_metrics = false;
+  ExperimentContext off_ctx =
+      bench::MustMakeContext(bench::DefaultCorpus(), off_options);
+  ConfigOutcome with_metrics =
+      RunConfig(model, queries, reference, /*num_threads=*/1);
+  ConfigOutcome without_metrics =
+      RunConfig(*off_ctx.model, queries, reference, /*num_threads=*/1);
+  const double overhead_percent =
+      without_metrics.qps > 0
+          ? (without_metrics.qps - with_metrics.qps) /
+                without_metrics.qps * 100.0
+          : 0.0;
+  std::printf("# metrics on:  %.0f QPS | metrics off: %.0f QPS | "
+              "overhead: %.2f%% (target < 3%%)\n",
+              with_metrics.qps, without_metrics.qps, overhead_percent);
+  std::printf("# kill-switch outputs serial-identical: %s\n",
+              without_metrics.mismatches == 0 ? "yes" : "NO");
+
   const ConfigOutcome& last = outcomes.back();
   std::printf(
       "shape: outputs serial-identical at every width: %s | 8-thread "
@@ -206,7 +256,7 @@ void Run() {
       "available)\n",
       last.mismatches == 0 ? "HOLDS" : "VIOLATED",
       last.speedup, std::thread::hardware_concurrency());
-  WriteJson(outcomes);
+  WriteJson(outcomes, overhead_percent);
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 //   $ ./build/examples/kqr_cli <schema-file> "<query>" [k]
 //   $ ./build/examples/kqr_cli --demo "<query>"    # built-in demo corpus
 //   $ ./build/examples/kqr_cli --audit <schema-file>|--demo
+//   $ ./build/examples/kqr_cli --stats <schema-file>|--demo "<query>" [k]
+//   $ ./build/examples/kqr_cli --stats-prom <schema-file>|--demo "<query>"
 //
 // With --demo the synthetic DBLP corpus is used, e.g.:
 //   $ ./build/examples/kqr_cli --demo "probabilistic query" 5
@@ -20,6 +22,13 @@
 // --audit builds the model eagerly (full offline precompute) and runs
 // ModelAuditor over every frozen structure, printing the per-check report.
 // Exit status 0 when every invariant holds, 1 otherwise.
+//
+// --stats serves the query, then dumps the engine's metrics registry —
+// offline build-stage timings, per-stage online latency histograms,
+// term-cache hit/miss, requests served — as JSON on stdout (the query
+// results, per-stage trace spans and progress chatter go to stderr, so
+// stdout pipes cleanly into jq or a collector). --stats-prom emits the
+// same registry in Prometheus text exposition format instead.
 
 #include <cstdio>
 #include <fstream>
@@ -30,6 +39,7 @@
 #include "core/engine_builder.h"
 #include "core/facets.h"
 #include "datagen/dblp_gen.h"
+#include "obs/export.h"
 #include "storage/csv.h"
 
 using namespace kqr;
@@ -164,6 +174,38 @@ int RunQuery(const ServingModel& model, const std::string& query,
   return 0;
 }
 
+/// Serves the query with tracing on, prints the human-readable outcome
+/// and span tree to stderr, and the scraped registry to stdout in the
+/// requested format.
+int RunStats(const ServingModel& model, const std::string& query, size_t k,
+             bool prometheus) {
+  auto resolved = model.ResolveQuery(query);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "cannot resolve query: %s\n",
+                 resolved.status().ToString().c_str());
+    return 1;
+  }
+  RequestContext ctx;
+  ctx.trace.Enable();
+  auto suggestions = model.ReformulateTerms(*resolved, k, &ctx);
+  std::fprintf(stderr, "query: \"%s\" — %zu suggestions\n", query.c_str(),
+               suggestions.size());
+  for (const ReformulatedQuery& q : suggestions) {
+    std::fprintf(stderr, "  %-44s %.3g\n",
+                 q.ToString(model.vocab()).c_str(), q.score);
+  }
+  std::fprintf(stderr, "request trace:\n%s", ctx.trace.ToString().c_str());
+  if (model.metrics_registry() == nullptr) {
+    std::fprintf(stderr, "metrics disabled on this model\n");
+    return 1;
+  }
+  const MetricsSnapshot snapshot = model.MetricsNow();
+  const std::string text =
+      prometheus ? MetricsToPrometheus(snapshot) : MetricsToJson(snapshot);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int RunAudit(const ServingModel& model) {
@@ -174,18 +216,24 @@ int RunAudit(const ServingModel& model) {
 }
 
 int main(int argc, char** argv) {
-  const bool audit = argc >= 2 && std::string(argv[1]) == "--audit";
-  if (argc < 3) {
+  const std::string mode = argc >= 2 ? argv[1] : "";
+  const bool audit = mode == "--audit";
+  const bool stats = mode == "--stats" || mode == "--stats-prom";
+  if (argc < 3 || (stats && argc < 4)) {
     std::fprintf(stderr,
                  "usage: %s <schema-file>|--demo \"<query>\" [k]\n"
-                 "       %s --audit <schema-file>|--demo\n",
-                 argv[0], argv[0]);
+                 "       %s --audit <schema-file>|--demo\n"
+                 "       %s --stats|--stats-prom <schema-file>|--demo "
+                 "\"<query>\" [k]\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
-  std::string source = argv[audit ? 2 : 1];
-  std::string query = audit ? "" : argv[2];
-  size_t k = !audit && argc > 3
-                 ? static_cast<size_t>(std::atoi(argv[3]))
+  const bool has_mode_flag = audit || stats;
+  std::string source = argv[has_mode_flag ? 2 : 1];
+  std::string query = audit ? "" : argv[has_mode_flag ? 3 : 2];
+  const int k_index = has_mode_flag ? 4 : 3;
+  size_t k = !audit && argc > k_index
+                 ? static_cast<size_t>(std::atoi(argv[k_index]))
                  : 8;
 
   Database db("empty");
@@ -213,9 +261,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("model: %zu tuples, %zu terms, %zu graph nodes\n",
-              (*engine)->db().TotalRows(), (*engine)->vocab().size(),
-              (*engine)->graph().num_nodes());
+  // In stats mode stdout must stay pure JSON / Prometheus text.
+  std::fprintf(stats ? stderr : stdout,
+               "model: %zu tuples, %zu terms, %zu graph nodes\n",
+               (*engine)->db().TotalRows(), (*engine)->vocab().size(),
+               (*engine)->graph().num_nodes());
   if (audit) return RunAudit(**engine);
+  if (stats) {
+    return RunStats(**engine, query, k, mode == "--stats-prom");
+  }
   return RunQuery(**engine, query, k);
 }

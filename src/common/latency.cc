@@ -22,6 +22,10 @@ double LatencyRecorder::MeanSeconds() const {
 
 double LatencyRecorder::Percentile(double p) const {
   if (samples_.empty()) return 0.0;
+  // Clamp before the size_t cast: a negative or NaN p would otherwise
+  // hit undefined behavior converting to an unsigned rank.
+  if (std::isnan(p)) p = 100.0;
+  p = std::min(100.0, std::max(0.0, p));
   std::vector<double> sorted = samples_;
   size_t rank = static_cast<size_t>(
       std::ceil(p / 100.0 * static_cast<double>(sorted.size())));

@@ -19,8 +19,9 @@ class LatencyRecorder {
   double TotalSeconds() const;
   double MeanSeconds() const;
 
-  /// \brief Percentile in [0, 100] by nearest-rank over a sorted copy;
-  /// 0 when no samples.
+  /// \brief Percentile by nearest-rank over a sorted copy; 0 when no
+  /// samples. `p` is clamped to [0, 100] (NaN reads as 100), so
+  /// Percentile(0) is the minimum and Percentile(100) the maximum.
   double Percentile(double p) const;
 
  private:

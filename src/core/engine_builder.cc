@@ -1,0 +1,138 @@
+#include "core/engine_builder.h"
+
+#include <vector>
+
+#include "audit/model_auditor.h"
+#include "core/snapshot.h"
+#include "obs/trace.h"
+
+namespace kqr {
+
+namespace {
+
+/// Publishes one offline batch-build's counters under a stage label
+/// (stage seconds come from the build-trace span of the same name,
+/// published at the end of Build).
+void RecordBuildStats(MetricsRegistry* registry, const char* stage,
+                      const OfflineBuildStats& stats) {
+  if (registry == nullptr) return;
+  const std::string label = std::string("{stage=\"") + stage + "\"}";
+  registry->GetGauge("kqr_build_stage_threads" + label)
+      ->Set(static_cast<double>(stats.threads));
+  registry->GetCounter("kqr_build_terms_built_total" + label)
+      ->Increment(stats.terms_built);
+  registry->GetCounter("kqr_build_terms_skipped_total" + label)
+      ->Increment(stats.terms_skipped);
+  if (stats.walks_run > 0) {
+    registry->GetCounter("kqr_build_walks_total" + label)
+        ->Increment(stats.walks_run);
+    registry->GetCounter("kqr_build_walk_iterations_total" + label)
+        ->Increment(stats.walk_iterations);
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ServingModel>> EngineBuilder::Build(
+    Database db) const {
+  KQR_RETURN_NOT_OK(db.ValidateIntegrity());
+  std::shared_ptr<ServingModel> model(
+      new ServingModel(std::move(db), options_));
+  KQR_RETURN_NOT_OK(model->Init());
+  MetricsRegistry* registry = model->metrics_registry();
+
+  if (options_.precompute_offline) {
+    std::vector<TermId> all;
+    all.reserve(model->vocab().size());
+    for (TermId t = 0; t < model->vocab().size(); ++t) all.push_back(t);
+    if (options_.use_cooccurrence_similarity) {
+      TraceScope span(&model->build_trace_, "cooccurrence-precompute");
+      model->PrecomputeFor(all);
+      span.SetItems(all.size());
+    } else {
+      // Batch builders shard the per-term work across threads
+      // (options.similarity.num_threads / options.closeness.num_threads)
+      // and produce the same lists lazy EnsureTerm would, for any thread
+      // count.
+      {
+        TraceScope span(&model->build_trace_, "similarity-index");
+        OfflineBuildStats stats;
+        model->similarity_ = SimilarityIndex::Build(
+            model->graph(), model->stats(), options_.similarity, &stats);
+        span.SetItems(stats.terms_built);
+        RecordBuildStats(registry, "similarity-index", stats);
+      }
+      std::vector<TermId> eligible;
+      eligible.reserve(all.size());
+      for (TermId t : all) {
+        // Lazy preparation gates closeness on the same degree floor.
+        if (model->graph().Degree(model->graph().NodeOfTerm(t)) >=
+            options_.similarity.min_degree) {
+          eligible.push_back(t);
+        }
+      }
+      {
+        TraceScope span(&model->build_trace_, "closeness-index");
+        OfflineBuildStats stats;
+        model->closeness_ = ClosenessIndex::BuildFor(
+            model->graph(), eligible, options_.closeness, &stats);
+        span.SetItems(stats.terms_built);
+        RecordBuildStats(registry, "closeness-index", stats);
+      }
+      for (TermId t : all) {
+        model->prepared_flags_[t].store(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (!snapshot_path_.empty()) {
+    TraceScope span(&model->build_trace_, "snapshot-import");
+    KQR_RETURN_NOT_OK(LoadOfflineSnapshotFile(model.get(), snapshot_path_));
+  }
+
+  if (options_.precompute_offline) {
+    // Everything a request could touch now exists; serving reads go
+    // lock-free from here on.
+    model->similarity_.Freeze();
+    model->closeness_.Freeze();
+    model->fully_prepared_.store(true, std::memory_order_release);
+  }
+
+#ifndef NDEBUG
+  // Debug builds prove the frozen structures well-formed before anything
+  // serves from them, so an offline-stage bug fails the build step loudly
+  // instead of surfacing as silently wrong rankings downstream.
+  if (options_.debug_audit) {
+    TraceScope span(&model->build_trace_, "debug-audit");
+    const AuditReport report = ModelAuditor().Audit(*model);
+    if (!report.ok()) {
+      return Status::Corruption("model failed its build audit: " +
+                                report.Summary() + "\n" +
+                                report.ToString());
+    }
+  }
+#endif
+
+  // Publish the per-stage build timings (Init's spans plus the blocks
+  // above) as gauges, then stop the trace: the spans are frozen once the
+  // model is shared.
+  if (registry != nullptr) {
+    for (const TraceSpan& span : model->build_trace_.spans()) {
+      registry
+          ->GetGauge(std::string("kqr_build_stage_seconds{stage=\"") +
+                     span.name + "\"}")
+          ->Set(span.duration_seconds);
+    }
+    registry->GetGauge("kqr_build_vocab_terms")
+        ->Set(static_cast<double>(model->vocab().size()));
+    registry->GetGauge("kqr_build_graph_nodes")
+        ->Set(static_cast<double>(model->graph().num_nodes()));
+    registry->GetGauge("kqr_build_graph_edges")
+        ->Set(static_cast<double>(model->graph().num_edges()));
+  }
+  model->build_trace_.Disable();
+
+  return std::shared_ptr<const ServingModel>(std::move(model));
+}
+
+}  // namespace kqr

@@ -1,0 +1,47 @@
+// EngineBuilder: the offline build layer. Configures options, runs the
+// full offline stage (Figure 2's left half — analyzer, inverted index,
+// TAT graph, stats, and optionally the batch-built similarity/closeness
+// indexes), optionally imports a persisted snapshot, and produces the
+// immutable ServingModel the online layer shares across threads.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/serving_model.h"
+#include "storage/database.h"
+
+namespace kqr {
+
+/// \brief database → shared_ptr<const ServingModel>.
+class EngineBuilder {
+ public:
+  explicit EngineBuilder(EngineOptions options = {})
+      : options_(std::move(options)) {}
+
+  const EngineOptions& options() const { return options_; }
+  EngineOptions* mutable_options() { return &options_; }
+
+  /// \brief Imports the offline snapshot at `path` into the model after
+  /// the build (merging with whatever the build itself prepared). The
+  /// build fails if the snapshot does not match the corpus.
+  EngineBuilder& LoadSnapshotFrom(std::string path) {
+    snapshot_path_ = std::move(path);
+    return *this;
+  }
+
+  /// \brief Runs the offline stage and returns the serving artifact.
+  /// With options().precompute_offline the returned model is fully
+  /// prepared and frozen (every serving read is lock-free); otherwise
+  /// per-term products are computed lazily on first use.
+  Result<std::shared_ptr<const ServingModel>> Build(Database db) const;
+
+ private:
+  EngineOptions options_;
+  std::string snapshot_path_;
+};
+
+}  // namespace kqr
+

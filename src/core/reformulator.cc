@@ -45,12 +45,26 @@ std::vector<ReformulatedQuery> Reformulator::Reformulate(
   const bool warm_model = !c.model.emission.empty();
   bool warm_decode = false;
 
+  RequestTrace* trace =
+      ctx != nullptr && ctx->trace.enabled() ? &ctx->trace : nullptr;
+  TraceScope request_span(trace, "reformulate");
+
   Timer timer;
+  TraceScope candidate_span(trace, "candidates");
   CandidateBuilder builder(similarity_, options_.candidates);
   builder.BuildInto(query_terms, &c.candidates);
   const auto& candidates = c.candidates;
+  size_t trellis_states = 0;
+  for (const auto& list : candidates) trellis_states += list.size();
+  candidate_span.SetItems(trellis_states);
+  candidate_span.End();
   for (const auto& list : candidates) {
-    if (list.empty()) return out;  // unresolvable position
+    if (list.empty()) {
+      if (metrics_ != nullptr && metrics_->unresolvable != nullptr) {
+        metrics_->unresolvable->Increment();
+      }
+      return out;  // unresolvable position
+    }
   }
   t.candidate_seconds = timer.ElapsedSeconds();
   timer.Reset();
@@ -70,21 +84,48 @@ std::vector<ReformulatedQuery> Reformulator::Reformulate(
     }
     case TopKAlgorithm::kExtendedViterbi:
     case TopKAlgorithm::kViterbiAStar: {
+      TraceScope model_span(trace, "hmm-model");
       HmmBuilder hmm_builder(closeness_, stats_, graph_, options_.hmm);
       hmm_builder.BuildInto(candidates, &c.model);
+      model_span.End();
       t.model_seconds = timer.ElapsedSeconds();
       timer.Reset();
       if (options_.algorithm == TopKAlgorithm::kExtendedViterbi) {
+        TraceScope decode_span(trace, "viterbi-topk");
         warm_decode = !c.viterbi.cells.empty();
         paths = ViterbiTopK(c.model, fetch, &c.viterbi);
+        decode_span.SetItems(paths.size());
       } else {
+        TraceScope decode_span(trace, "astar-topk");
         warm_decode = !c.astar.viterbi.delta.empty();
         paths = AStarTopK(c.model, fetch, &t.astar, &c.astar);
+        decode_span.SetItems(t.astar.nodes_expanded);
       }
       break;
     }
   }
   t.decode_seconds = timer.ElapsedSeconds();
+  request_span.SetItems(trellis_states);
+  request_span.End();
+
+  if (metrics_ != nullptr && metrics_->requests != nullptr) {
+    metrics_->requests->Increment();
+    metrics_->request_seconds->Observe(t.TotalSeconds());
+    metrics_->candidate_seconds->Observe(t.candidate_seconds);
+    metrics_->model_seconds->Observe(t.model_seconds);
+    metrics_->decode_seconds->Observe(t.decode_seconds);
+    metrics_->trellis_states->Observe(static_cast<double>(trellis_states));
+    metrics_->scratch_hits->Increment((warm_candidates ? 1 : 0) +
+                                      (warm_model ? 1 : 0) +
+                                      (warm_decode ? 1 : 0));
+    metrics_->scratch_misses->Increment((warm_candidates ? 0 : 1) +
+                                        (warm_model ? 0 : 1) +
+                                        (warm_decode ? 0 : 1));
+    if (options_.algorithm == TopKAlgorithm::kViterbiAStar) {
+      metrics_->astar_expanded->Increment(t.astar.nodes_expanded);
+      metrics_->astar_generated->Increment(t.astar.nodes_generated);
+    }
+  }
 
   if (ctx != nullptr) {
     RequestStats& stats = ctx->stats;

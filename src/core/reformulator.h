@@ -14,6 +14,7 @@
 #include "core/rank_baseline.h"
 #include "core/request_context.h"
 #include "core/viterbi_topk.h"
+#include "obs/serving_metrics.h"
 #include "walk/similarity_index.h"
 
 namespace kqr {
@@ -65,14 +66,19 @@ struct ReformulatorOptions {
 /// another Reformulator — construction is a few pointer copies.
 class Reformulator {
  public:
+  /// `metrics`, when non-null, receives per-stage observations (it must
+  /// outlive the Reformulator; ServingModel passes its own resolved
+  /// handles). Null metrics serve identically with zero recording.
   Reformulator(const SimilarityIndex& similarity,
                const ClosenessIndex& closeness, const GraphStats& stats,
-               const TatGraph& graph, ReformulatorOptions options = {})
+               const TatGraph& graph, ReformulatorOptions options = {},
+               const ServingMetrics* metrics = nullptr)
       : similarity_(similarity),
         closeness_(closeness),
         stats_(stats),
         graph_(graph),
-        options_(options) {}
+        options_(options),
+        metrics_(metrics) {}
 
   /// \brief Top-k reformulations of `query_terms` (one TermId per input
   /// keyword). `timings`, when non-null, receives the stage breakdown.
@@ -92,6 +98,7 @@ class Reformulator {
   const GraphStats& stats_;
   const TatGraph& graph_;
   ReformulatorOptions options_;
+  const ServingMetrics* metrics_;
 };
 
 }  // namespace kqr

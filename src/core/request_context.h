@@ -1,0 +1,83 @@
+// Per-request state for the online serving layer. A ServingModel is
+// immutable and shared; everything mutable during one Reformulate call
+// lives here instead, so N threads serve concurrently by giving each its
+// own RequestContext. Reusing one context across requests on the same
+// thread keeps the trellis/HMM/decoder buffers' capacity warm — the
+// allocations that used to happen per call become no-ops.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/astar_topk.h"
+#include "core/candidates.h"
+#include "core/hmm.h"
+#include "core/viterbi_topk.h"
+#include "obs/trace.h"
+
+namespace kqr {
+
+/// \brief Aggregated per-request statistics, accumulated across every
+/// request served through one RequestContext.
+struct RequestStats {
+  size_t requests = 0;
+
+  /// Stage-time sums over all requests (same breakdown as
+  /// ReformulationTimings, summed).
+  double candidate_seconds = 0.0;
+  double model_seconds = 0.0;
+  double decode_seconds = 0.0;
+
+  /// Scratch-reuse accounting: per request, each decode stage checks once
+  /// whether its buffers already had capacity (warm, a hit) or had to
+  /// allocate (cold, a miss).
+  size_t scratch_hits = 0;
+  size_t scratch_misses = 0;
+
+  /// Terms whose offline products were computed lazily on the serving
+  /// path because a request touched them first (ServingModel fills this).
+  size_t lazy_terms_prepared = 0;
+
+  double TotalSeconds() const {
+    return candidate_seconds + model_seconds + decode_seconds;
+  }
+  double ScratchHitRate() const {
+    size_t total = scratch_hits + scratch_misses;
+    return total == 0 ? 0.0 : static_cast<double>(scratch_hits) / total;
+  }
+
+  void MergeFrom(const RequestStats& other) {
+    requests += other.requests;
+    candidate_seconds += other.candidate_seconds;
+    model_seconds += other.model_seconds;
+    decode_seconds += other.decode_seconds;
+    scratch_hits += other.scratch_hits;
+    scratch_misses += other.scratch_misses;
+    lazy_terms_prepared += other.lazy_terms_prepared;
+  }
+};
+
+/// \brief Reusable per-request scratch. Not thread-safe: one context
+/// belongs to one thread at a time. Default-constructed state is valid
+/// (cold buffers); contents are overwritten on every request.
+struct RequestContext {
+  /// Candidate trellis (per-position hidden-state lists).
+  std::vector<std::vector<CandidateState>> candidates;
+  /// Materialized HMM for the current request.
+  HmmModel model;
+  /// Extended-Viterbi (Algorithm 2) DP tables.
+  ViterbiScratch viterbi;
+  /// Viterbi+A* (Algorithm 3) tables, suffix pool, and frontier heap.
+  AStarScratch astar;
+
+  RequestStats stats;
+
+  /// Per-request span recorder. Disabled by default (two branches per
+  /// stage); call trace.Enable() to capture stage spans, trace.Clear()
+  /// between requests to drop the previous request's spans.
+  RequestTrace trace;
+};
+
+}  // namespace kqr
+

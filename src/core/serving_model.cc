@@ -1,0 +1,267 @@
+#include "core/serving_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+/// One checkout's worth of offline machinery. The similarity extractor
+/// carries walk-engine scratch (reuse is what makes lazy preparation
+/// cheap), and extractor reuse is bit-deterministic: every walk starts
+/// from a fully reinitialized state.
+struct ServingModel::PrepareScratch {
+  SimilarityExtractor similarity;
+  ClosenessExtractor closeness;
+  std::unique_ptr<CooccurrenceSimilarity> cooccurrence;
+
+  PrepareScratch(const TatGraph& graph, const GraphStats& stats,
+                 const EngineOptions& options)
+      : similarity(graph, stats, options.similarity.similarity),
+        closeness(graph, options.closeness.closeness) {
+    if (options.use_cooccurrence_similarity) {
+      cooccurrence = std::make_unique<CooccurrenceSimilarity>(
+          graph, options.cooccurrence);
+    }
+  }
+};
+
+ServingModel::ServingModel(Database db, EngineOptions options)
+    : db_(std::move(db)),
+      options_(options),
+      analyzer_(options.analyzer) {
+  if (options_.enable_metrics) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    metrics_ = ServingMetrics::ResolveIn(registry_.get());
+    build_trace_.Enable();
+  }
+}
+
+ServingModel::~ServingModel() = default;
+
+Status ServingModel::Init() {
+  {
+    TraceScope span(&build_trace_, "inverted-index");
+    KQR_ASSIGN_OR_RETURN(InvertedIndex index,
+                         InvertedIndex::Build(db_, analyzer_, &vocab_));
+    index_ = std::make_unique<InvertedIndex>(std::move(index));
+    span.SetItems(vocab_.size());
+  }
+
+  {
+    TraceScope span(&build_trace_, "tat-graph");
+    KQR_ASSIGN_OR_RETURN(TatGraph graph,
+                         BuildTatGraph(db_, vocab_, *index_, options_.graph));
+    graph_ = std::make_unique<TatGraph>(std::move(graph));
+    span.SetItems(graph_->num_nodes());
+  }
+  {
+    TraceScope span(&build_trace_, "graph-stats");
+    stats_ = std::make_unique<GraphStats>(*graph_);
+  }
+  search_ = std::make_unique<KeywordSearch>(*graph_, *index_,
+                                            options_.search);
+
+  prepared_flags_ =
+      std::make_unique<std::atomic<uint8_t>[]>(std::max<size_t>(
+          vocab_.size(), 1));
+  for (size_t t = 0; t < vocab_.size(); ++t) {
+    prepared_flags_[t].store(0, std::memory_order_relaxed);
+  }
+  term_mutexes_ = std::make_unique<std::mutex[]>(kTermShards);
+  return Status::OK();
+}
+
+bool ServingModel::EnsureTerm(TermId term) const {
+  if (term >= vocab_.size()) return false;
+  if (fully_prepared_.load(std::memory_order_acquire)) return false;
+  // Fast path: already prepared. Release store below pairs with this
+  // acquire, so a reader that sees the flag also sees the inserted lists.
+  if (prepared_flags_[term].load(std::memory_order_acquire) != 0) {
+    if (metrics_.term_cache_hits != nullptr) {
+      metrics_.term_cache_hits->Increment();
+    }
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(term_mutexes_[term % kTermShards]);
+  if (prepared_flags_[term].load(std::memory_order_relaxed) != 0) {
+    if (metrics_.term_cache_hits != nullptr) {
+      metrics_.term_cache_hits->Increment();
+    }
+    return false;  // lost the race; the winner prepared it
+  }
+  if (metrics_.term_cache_misses != nullptr) {
+    metrics_.term_cache_misses->Increment();
+  }
+  PrepareTerm(term);
+  prepared_flags_[term].store(1, std::memory_order_release);
+  return true;
+}
+
+void ServingModel::PrepareTerm(TermId term) const {
+  if (graph_->Degree(graph_->NodeOfTerm(term)) <
+      options_.similarity.min_degree) {
+    return;  // isolated or cut from the graph: no lists to build
+  }
+
+  // Check out pooled offline machinery (walk engines are too heavy to
+  // construct per term and not shareable across threads).
+  std::unique_ptr<PrepareScratch> scratch;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      scratch = std::move(pool_.back());
+      pool_.pop_back();
+    }
+  }
+  if (scratch == nullptr) {
+    scratch = std::make_unique<PrepareScratch>(*graph_, *stats_, options_);
+  }
+
+  if (!similarity_.Contains(term)) {
+    if (options_.use_cooccurrence_similarity) {
+      similarity_.Insert(term, scratch->cooccurrence->TopSimilar(term));
+    } else {
+      std::vector<ScoredNode> similar = scratch->similarity.TopSimilar(
+          graph_->NodeOfTerm(term), options_.similarity.list_size);
+      std::vector<SimilarTerm> list;
+      list.reserve(similar.size());
+      for (const ScoredNode& s : similar) {
+        list.push_back(SimilarTerm{graph_->TermOfNode(s.node), s.score});
+      }
+      similarity_.Insert(term, std::move(list));
+    }
+  }
+
+  if (!closeness_.Contains(term)) {
+    closeness_.Insert(
+        term, scratch->closeness.TopClose(term, options_.closeness.list_size));
+  }
+
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_.push_back(std::move(scratch));
+}
+
+void ServingModel::PrecomputeFor(const std::vector<TermId>& terms) const {
+  for (TermId t : terms) EnsureTerm(t);
+}
+
+void ServingModel::ImportTermRelations(TermId term,
+                                       std::vector<SimilarTerm> similar,
+                                       std::vector<CloseTerm> close) const {
+  if (term >= vocab_.size()) return;
+  std::lock_guard<std::mutex> lock(term_mutexes_[term % kTermShards]);
+  if (prepared_flags_[term].load(std::memory_order_relaxed) != 0) {
+    return;  // never replace lists a live reader may hold
+  }
+  similarity_.Insert(term, std::move(similar));
+  closeness_.Insert(term, std::move(close));
+  prepared_flags_[term].store(1, std::memory_order_release);
+}
+
+std::vector<TermId> ServingModel::PreparedTerms() const {
+  std::vector<TermId> terms;
+  for (TermId t = 0; t < vocab_.size(); ++t) {
+    if (prepared_flags_[t].load(std::memory_order_acquire) != 0) {
+      terms.push_back(t);
+    }
+  }
+  return terms;
+}
+
+Result<std::vector<TermId>> ServingModel::ResolveQuery(
+    const std::string& text) const {
+  QueryParser parser(analyzer_, vocab_);
+  KeywordQuery query = parser.Parse(text);
+  if (query.keywords.empty()) {
+    return Status::InvalidArgument("query is empty: '" + text + "'");
+  }
+  std::vector<TermId> terms;
+  terms.reserve(query.keywords.size());
+  for (const QueryKeyword& keyword : query.keywords) {
+    if (!keyword.resolved()) {
+      return Status::NotFound("keyword '" + keyword.surface +
+                              "' matches no term in the corpus");
+    }
+    // Most frequent field wins.
+    TermId best = keyword.terms.front();
+    for (TermId t : keyword.terms) {
+      if (index_->DocFreq(t) > index_->DocFreq(best)) best = t;
+    }
+    terms.push_back(best);
+  }
+  return terms;
+}
+
+Result<std::vector<ReformulatedQuery>> ServingModel::Reformulate(
+    const std::string& text, size_t k, RequestContext* ctx,
+    ReformulationTimings* timings) const {
+  KQR_ASSIGN_OR_RETURN(std::vector<TermId> terms, ResolveQuery(text));
+  return ReformulateTerms(terms, k, ctx, timings);
+}
+
+std::vector<ReformulatedQuery> ServingModel::ReformulateTerms(
+    const std::vector<TermId>& query_terms, size_t k, RequestContext* ctx,
+    ReformulationTimings* timings) const {
+  return ReformulateTermsWith(options_.reformulator, query_terms, k, ctx,
+                              timings);
+}
+
+std::vector<ReformulatedQuery> ServingModel::ReformulateTermsWith(
+    const ReformulatorOptions& opts, const std::vector<TermId>& query_terms,
+    size_t k, RequestContext* ctx, ReformulationTimings* timings) const {
+  // Offline products must exist for the query terms and for every
+  // candidate substitute (the HMM reads closeness between candidates).
+  // Eagerly built models skip this entirely.
+  if (!fully_prepared_.load(std::memory_order_acquire)) {
+    size_t prepared = 0;
+    for (TermId t : query_terms) prepared += EnsureTerm(t) ? 1 : 0;
+    CandidateBuilder builder(similarity_, opts.candidates);
+    for (TermId t : query_terms) {
+      for (const CandidateState& s : builder.BuildFor(t)) {
+        if (!s.is_void) prepared += EnsureTerm(s.term) ? 1 : 0;
+      }
+    }
+    if (ctx != nullptr) ctx->stats.lazy_terms_prepared += prepared;
+    if (prepared > 0 && metrics_.lazy_terms_prepared != nullptr) {
+      metrics_.lazy_terms_prepared->Increment(prepared);
+    }
+  }
+
+  Reformulator reformulator(similarity_, closeness_, *stats_, *graph_, opts,
+                            registry_ != nullptr ? &metrics_ : nullptr);
+  return reformulator.Reformulate(query_terms, k, timings, ctx);
+}
+
+KeywordQuery ServingModel::QueryFromTerms(
+    const std::vector<TermId>& terms) const {
+  KeywordQuery query;
+  query.keywords.reserve(terms.size());
+  for (TermId t : terms) {
+    if (t == kInvalidTermId) continue;  // void position: keyword deleted
+    query.keywords.push_back(QueryKeyword{vocab_.text(t), {t}});
+  }
+  return query;
+}
+
+Result<SearchOutcome> ServingModel::Search(const std::string& text) const {
+  QueryParser parser(analyzer_, vocab_);
+  KeywordQuery query = parser.Parse(text);
+  if (!query.FullyResolved()) {
+    return Status::NotFound("query has unresolvable keywords: '" + text +
+                            "'");
+  }
+  return search_->Search(query);
+}
+
+size_t ServingModel::CountResults(
+    const std::vector<TermId>& query_terms) const {
+  return search_->CountResults(QueryFromTerms(query_terms));
+}
+
+size_t ServingModel::CountTrees(
+    const std::vector<TermId>& query_terms) const {
+  return search_->CountTrees(QueryFromTerms(query_terms));
+}
+
+}  // namespace kqr

@@ -1,0 +1,230 @@
+// ServingModel: the immutable online-serving artifact. EngineBuilder runs
+// the offline stage (database → analyzer/index/graph/stats → similarity
+// and closeness indexes) and hands back a shared_ptr<const ServingModel>;
+// from then on every entry point is const and safe to call from any
+// number of threads concurrently, with results bit-identical to serial.
+//
+// The only mutation behind the const facade is memoization: when a model
+// is built without precompute_offline, per-term offline products are
+// computed on first use behind a sharded-mutex term cache (double-checked
+// lookup, extractors drawn from a scratch pool). Each term's products are
+// a pure function of that term, and the closeness pair-map merge is
+// order-independent, so the cache converges to the same state regardless
+// of which threads prepare which terms in which order — see DESIGN.md
+// "Serving architecture".
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "closeness/closeness_index.h"
+#include "common/result.h"
+#include "core/reformulator.h"
+#include "core/request_context.h"
+#include "graph/graph_stats.h"
+#include "graph/tat_builder.h"
+#include "obs/metrics.h"
+#include "obs/serving_metrics.h"
+#include "obs/trace.h"
+#include "search/keyword_search.h"
+#include "search/query.h"
+#include "storage/database.h"
+#include "text/analyzer.h"
+#include "text/inverted_index.h"
+#include "walk/cooccurrence.h"
+#include "walk/similarity_index.h"
+
+namespace kqr {
+
+struct EngineOptions {
+  AnalyzerOptions analyzer;
+  TatBuilderOptions graph;
+  SimilarityIndexOptions similarity;
+  ClosenessIndexOptions closeness;
+  ReformulatorOptions reformulator;
+  SearchOptions search;
+  /// Use the co-occurrence baseline instead of the contextual random walk
+  /// as the similarity source (the paper's "Co-occurrence reformulation"
+  /// arm).
+  bool use_cooccurrence_similarity = false;
+  CooccurrenceOptions cooccurrence;
+  /// Run the full offline stage at build time (one walk + one path search
+  /// per vocabulary term); the indexes are then frozen and every serving
+  /// read is lock-free. When false, per-term results are computed lazily
+  /// on first use and cached — same results, pay-as-you-go.
+  bool precompute_offline = false;
+  /// In debug builds (NDEBUG undefined) EngineBuilder::Build runs a
+  /// ModelAuditor pass over the finished model and fails the build on any
+  /// invariant violation. Set false to opt out (e.g. benches on huge
+  /// corpora). Release builds never audit implicitly; call
+  /// ModelAuditor::Audit or `kqr_cli --audit` explicitly.
+  bool debug_audit = true;
+  /// Kill switch for the observability layer. When true (default) the
+  /// model owns a MetricsRegistry and every serving/build stage records
+  /// into it (lock-free on the hot path; see DESIGN.md "Observability"
+  /// for the measured overhead). When false no registry exists and every
+  /// recording site reduces to one null check.
+  bool enable_metrics = true;
+};
+
+/// \brief End-to-end keyword query reformulation over one database:
+/// the immutable product of EngineBuilder::Build.
+///
+/// Thread-safety: all public methods are const and concurrency-safe.
+/// Callers that want warm scratch buffers pass a per-thread
+/// RequestContext; passing nullptr serves from cold stack buffers.
+class ServingModel {
+ public:
+  ServingModel(const ServingModel&) = delete;
+  ServingModel& operator=(const ServingModel&) = delete;
+  ~ServingModel();
+
+  /// \brief Parses free text and picks one term node per keyword (the
+  /// most frequent field on ties). Fails if any keyword is unresolvable.
+  Result<std::vector<TermId>> ResolveQuery(const std::string& text) const;
+
+  /// \brief End-to-end online reformulation for free-text input.
+  Result<std::vector<ReformulatedQuery>> Reformulate(
+      const std::string& text, size_t k, RequestContext* ctx = nullptr,
+      ReformulationTimings* timings = nullptr) const;
+
+  /// \brief Online reformulation for pre-resolved terms, under the model's
+  /// built-in reformulator options.
+  std::vector<ReformulatedQuery> ReformulateTerms(
+      const std::vector<TermId>& query_terms, size_t k,
+      RequestContext* ctx = nullptr,
+      ReformulationTimings* timings = nullptr) const;
+
+  /// \brief Online reformulation under caller-supplied options (benches
+  /// sweep algorithms/candidate shapes this way; the old mutable_options
+  /// pattern raced with serving). Candidate preparation honors
+  /// `opts.candidates`.
+  std::vector<ReformulatedQuery> ReformulateTermsWith(
+      const ReformulatorOptions& opts,
+      const std::vector<TermId>& query_terms, size_t k,
+      RequestContext* ctx = nullptr,
+      ReformulationTimings* timings = nullptr) const;
+
+  /// \brief Makes sure the offline products (similar-term list + close-
+  /// term list) exist for `term`. Returns true when this call did the
+  /// preparation (false: already prepared). Concurrency-safe.
+  bool EnsureTerm(TermId term) const;
+
+  /// \brief Offline pass over an explicit term set (benches call this so
+  /// online timing excludes offline work).
+  void PrecomputeFor(const std::vector<TermId>& terms) const;
+
+  /// \brief Installs externally computed offline products for `term`
+  /// (snapshot loading) and marks it prepared. No-op for terms already
+  /// prepared — live lookups are never invalidated.
+  void ImportTermRelations(TermId term, std::vector<SimilarTerm> similar,
+                           std::vector<CloseTerm> close) const;
+
+  /// \brief Terms whose offline products are currently cached, in
+  /// ascending order.
+  std::vector<TermId> PreparedTerms() const;
+
+  /// True when every vocabulary term is prepared (eager builds, or a lazy
+  /// model that has by now touched everything).
+  bool fully_prepared() const {
+    return fully_prepared_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Keyword search (Def. 3) for free text.
+  Result<SearchOutcome> Search(const std::string& text) const;
+
+  /// \brief Connecting-root count for a term-level query (cohesion
+  /// signal).
+  size_t CountResults(const std::vector<TermId>& query_terms) const;
+
+  /// \brief Distinct result-tree count per Def. 3 (Table III metric).
+  size_t CountTrees(const std::vector<TermId>& query_terms) const;
+
+  /// \brief KeywordQuery from resolved terms (each keyword = one term).
+  KeywordQuery QueryFromTerms(const std::vector<TermId>& terms) const;
+
+  // Component access (read-only views for benches/tests/examples).
+  const Database& db() const { return db_; }
+  const Analyzer& analyzer() const { return analyzer_; }
+  const Vocabulary& vocab() const { return vocab_; }
+  const InvertedIndex& index() const { return *index_; }
+  const TatGraph& graph() const { return *graph_; }
+  const GraphStats& stats() const { return *stats_; }
+  const SimilarityIndex& similarity_index() const { return similarity_; }
+  const ClosenessIndex& closeness_index() const { return closeness_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// \brief The model's metrics registry; nullptr when built with
+  /// enable_metrics = false. Scraping (Snapshot) is safe concurrent with
+  /// serving; the registry's recording surfaces are thread-safe, so the
+  /// non-const pointee behind this const accessor is deliberate (same
+  /// memoization-facade argument as the term cache).
+  MetricsRegistry* metrics_registry() const { return registry_.get(); }
+
+  /// \brief Scrape-and-format convenience: current snapshot, or an empty
+  /// snapshot when metrics are disabled.
+  MetricsSnapshot MetricsNow() const {
+    return registry_ != nullptr ? registry_->Snapshot() : MetricsSnapshot{};
+  }
+
+  /// \brief Stage spans recorded while this model was built (inverted
+  /// index, TAT graph, batch index builds, snapshot import, audit).
+  /// Immutable after Build returns.
+  const RequestTrace& build_trace() const { return build_trace_; }
+
+ private:
+  friend class EngineBuilder;
+
+  /// Per-worker offline machinery for lazy preparation (the similarity
+  /// extractor owns walk-engine scratch and must not be shared across
+  /// threads). Checked out of pool_ for the duration of one PrepareTerm.
+  struct PrepareScratch;
+
+  ServingModel(Database db, EngineOptions options);
+  Status Init();
+
+  /// Slow path of EnsureTerm: caller holds the term's shard mutex.
+  void PrepareTerm(TermId term) const;
+
+  /// Number of term-shard mutexes for the lazy-preparation cache.
+  static constexpr size_t kTermShards = 64;
+
+  Database db_;
+  EngineOptions options_;
+  Analyzer analyzer_;
+  Vocabulary vocab_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<TatGraph> graph_;
+  std::unique_ptr<GraphStats> stats_;
+  std::unique_ptr<KeywordSearch> search_;
+
+  // Memoization state (mutable behind the const facade; see file header).
+  mutable SimilarityIndex similarity_;
+  mutable ClosenessIndex closeness_;
+  /// prepared_flags_[t]: 0 = unprepared, 1 = prepared. Readers check with
+  /// acquire; preparers set with release while holding t's shard mutex.
+  std::unique_ptr<std::atomic<uint8_t>[]> prepared_flags_;
+  std::unique_ptr<std::mutex[]> term_mutexes_;
+  std::atomic<bool> fully_prepared_{false};
+
+  /// Pool of reusable offline extractors for lazy preparation.
+  mutable std::mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<PrepareScratch>> pool_;
+
+  /// Observability. The registry is behind unique_ptr so const methods
+  /// can record through it (recording is thread-safe by construction);
+  /// metrics_ caches resolved handles so serving never takes the
+  /// registry mutex. Null/empty when enable_metrics is false.
+  std::unique_ptr<MetricsRegistry> registry_;
+  ServingMetrics metrics_;
+  /// Offline build spans; written single-threaded during Build, read-only
+  /// afterwards.
+  RequestTrace build_trace_;
+};
+
+}  // namespace kqr
+

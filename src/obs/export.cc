@@ -1,0 +1,179 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace kqr {
+namespace {
+
+std::string FormatNumber(double v) {
+  if (std::isnan(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string FormatCount(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Splits `name{key="value"}` into base and inner label text (no
+/// braces); labels empty when the name is plain.
+void SplitName(const std::string& name, std::string* base,
+               std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// `base` + merged label block with an extra label appended.
+std::string WithExtraLabel(const std::string& base,
+                           const std::string& labels,
+                           const std::string& extra) {
+  std::string out = base + "{";
+  if (!labels.empty()) out += labels + ",";
+  out += extra + "}";
+  return out;
+}
+
+std::string PromLine(const std::string& base, const std::string& labels,
+                     const std::string& value) {
+  std::string out = base;
+  if (!labels.empty()) out += "{" + labels + "}";
+  out += " " + value + "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(c.name) + "\": " + FormatCount(c.value);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(g.name) + "\": " + FormatNumber(g.value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    const HistogramSnapshot& hist = h.histogram;
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(h.name) + "\": {\n";
+    out += "      \"count\": " + FormatCount(hist.count) + ",\n";
+    out += "      \"sum\": " + FormatNumber(hist.sum) + ",\n";
+    out += "      \"mean\": " + FormatNumber(hist.Mean()) + ",\n";
+    out += "      \"p50\": " + FormatNumber(hist.Quantile(0.50)) + ",\n";
+    out += "      \"p95\": " + FormatNumber(hist.Quantile(0.95)) + ",\n";
+    out += "      \"p99\": " + FormatNumber(hist.Quantile(0.99)) + ",\n";
+    out += "      \"buckets\": [";
+    for (size_t b = 0; b < hist.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      const std::string le = b < hist.bounds.size()
+                                 ? FormatNumber(hist.bounds[b])
+                                 : std::string("\"+inf\"");
+      out += "{\"le\": " + le +
+             ", \"count\": " + FormatCount(hist.counts[b]) + "}";
+    }
+    out += "]\n    }";
+  }
+  out += snapshot.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string base;
+  std::string labels;
+  std::string previous_base;
+
+  for (const auto& c : snapshot.counters) {
+    SplitName(c.name, &base, &labels);
+    if (base != previous_base) {
+      out += "# TYPE " + base + " counter\n";
+      previous_base = base;
+    }
+    out += PromLine(base, labels, FormatCount(c.value));
+  }
+  previous_base.clear();
+  for (const auto& g : snapshot.gauges) {
+    SplitName(g.name, &base, &labels);
+    if (base != previous_base) {
+      out += "# TYPE " + base + " gauge\n";
+      previous_base = base;
+    }
+    out += PromLine(base, labels, FormatNumber(g.value));
+  }
+  previous_base.clear();
+  for (const auto& h : snapshot.histograms) {
+    SplitName(h.name, &base, &labels);
+    if (base != previous_base) {
+      out += "# TYPE " + base + " histogram\n";
+      previous_base = base;
+    }
+    const HistogramSnapshot& hist = h.histogram;
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < hist.counts.size(); ++b) {
+      cumulative += hist.counts[b];
+      const std::string le =
+          b < hist.bounds.size()
+              ? "le=\"" + FormatNumber(hist.bounds[b]) + "\""
+              : std::string("le=\"+Inf\"");
+      out += WithExtraLabel(base + "_bucket", labels, le) + " " +
+             FormatCount(cumulative) + "\n";
+    }
+    out += PromLine(base + "_sum", labels, FormatNumber(hist.sum));
+    out += PromLine(base + "_count", labels, FormatCount(hist.count));
+  }
+  return out;
+}
+
+}  // namespace kqr

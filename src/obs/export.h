@@ -1,0 +1,29 @@
+// Snapshot formatters: one MetricsSnapshot → JSON (operator tooling,
+// `kqr_cli --stats`) or Prometheus exposition text (`--stats-prom`, a
+// scrape endpoint). Metric names may carry a literal label block
+// (`name{key="value"}`); the Prometheus formatter folds histogram bucket
+// labels into it, the JSON formatter uses the full name as the key.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace kqr {
+
+/// \brief The snapshot as a single JSON object:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+/// sum, mean, p50, p95, p99, buckets: [{le, count}, ...]}}}.
+/// Keys are emitted in snapshot (name-sorted) order; output is
+/// deterministic for a given snapshot.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// \brief Prometheus text exposition format (type comments, cumulative
+/// `_bucket{le=...}` lines, `_sum`/`_count` per histogram).
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+
+/// \brief Escapes `text` for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace kqr

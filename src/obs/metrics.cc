@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+size_t ThisThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+std::vector<double> DefaultLatencyBounds() {
+  // 1µs … 10s, four buckets per decade (×~1.78 steps).
+  std::vector<double> bounds;
+  double decade = 1e-6;
+  for (int d = 0; d < 7; ++d) {
+    for (double m : {1.0, 1.778, 3.162, 5.623}) {
+      bounds.push_back(decade * m);
+    }
+    decade *= 10.0;
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+std::vector<double> DefaultCountBounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= double(1 << 20); b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  KQR_CHECK(bounds == other.bounds)
+      << "merging histograms with different bucket bounds";
+  KQR_CHECK(counts.size() == other.counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(std::isnan(q) ? 1.0 : q, 0.0, 1.0);
+  // Nearest rank: the ceil(q·count)-th observation, 1-based; q = 0 maps
+  // to the first.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // Overflow bucket has no finite upper bound; report the largest
+      // finite bound as the floor of the estimate.
+      return i < bounds.size() ? bounds[i]
+                               : (bounds.empty() ? 0.0 : bounds.back());
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+HistogramSnapshot HistogramDelta(const HistogramSnapshot& after,
+                                 const HistogramSnapshot& before) {
+  KQR_CHECK(after.bounds == before.bounds)
+      << "delta of histograms with different bucket bounds";
+  HistogramSnapshot delta = after;
+  for (size_t i = 0; i < delta.counts.size(); ++i) {
+    KQR_CHECK(delta.counts[i] >= before.counts[i])
+        << "histogram delta would be negative (snapshots swapped?)";
+    delta.counts[i] -= before.counts[i];
+  }
+  delta.count -= before.count;
+  delta.sum -= before.sum;
+  return delta;
+}
+
+namespace {
+
+/// fetch_add for atomic<double> without requiring C++20 library support
+/// for floating-point fetch_add on every toolchain.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double observed = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(observed, observed + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  KQR_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void LatencyHistogram::Observe(double value) {
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::Histogram(
+    const std::string& name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h.histogram;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<LatencyHistogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram->Snapshot()});
+  }
+  return snap;
+}
+
+}  // namespace kqr

@@ -1,0 +1,193 @@
+// Always-on serving metrics: sharded atomic counters, gauges, and
+// fixed-bucket latency histograms behind a MetricsRegistry. The hot path
+// (Increment/Set/Observe) is lock-free — registration and scraping take a
+// registry mutex, recording touches only relaxed atomics — so the online
+// pipeline can record per-request without perturbing the concurrency
+// profile PR 2 established. All registry-owned metric objects live as
+// long as the registry; components resolve pointers once at construction
+// and record through them thereafter.
+//
+// Metric names follow the Prometheus convention and may carry a literal
+// label block: `kqr_online_stage_seconds{stage="candidate"}`. The
+// formatters in obs/export.h understand that shape; the registry treats
+// the full string as an opaque key. See DESIGN.md "Observability" for the
+// naming scheme.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kqr {
+
+/// Stable per-thread shard index in [0, 2^64): threads enumerate
+/// themselves on first use, so counter shards spread load without any
+/// coordination on the recording path.
+size_t ThisThreadShardIndex();
+
+/// \brief Monotonic counter, sharded across cache lines so concurrent
+/// writers from different threads do not bounce one hot word.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    cells_[ThisThreadShardIndex() % kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Concurrent with writers: the total is exact once
+  /// writers quiesce, monotone-approximate while they run.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell cells_[kShards];
+};
+
+/// \brief Last-write-wins double value (build-stage timings, config
+/// facts). Set/Value are lock-free.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Value-semantic histogram state: what a scrape returns and what
+/// the property tests exercise. Merge is associative and commutative with
+/// the default-constructed-with-same-bounds snapshot as identity.
+struct HistogramSnapshot {
+  /// Upper bucket bounds, ascending; an implicit +inf bucket follows.
+  std::vector<double> bounds;
+  /// counts.size() == bounds.size() + 1; counts[i] = observations with
+  /// value <= bounds[i] (last: > bounds.back()).
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  /// \brief Adds `other` in (bounds must match; checked).
+  void MergeFrom(const HistogramSnapshot& other);
+
+  /// \brief Nearest-rank quantile estimate, q in [0, 1] (clamped).
+  /// Returns the upper bound of the bucket holding the rank-th
+  /// observation (the last finite bound for the overflow bucket), 0 when
+  /// empty. Monotone in q by construction.
+  double Quantile(double q) const;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// \brief Subtracts `before` from `after` bucket-wise (interval scrape:
+/// the histogram of everything observed between two snapshots).
+HistogramSnapshot HistogramDelta(const HistogramSnapshot& after,
+                                 const HistogramSnapshot& before);
+
+/// Default latency buckets: log-spaced 1µs … 10s, four per decade.
+std::vector<double> DefaultLatencyBounds();
+
+/// Default size buckets for count-valued histograms (trellis states,
+/// candidate list sizes): powers of two 1 … 2^20.
+std::vector<double> DefaultCountBounds();
+
+/// \brief Fixed-bucket histogram; Observe is lock-free (one relaxed
+/// fetch_add per bucket/count/sum). Bounds are fixed at construction so
+/// snapshots from any thread merge without rebinning.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::vector<double> bounds =
+                                DefaultLatencyBounds());
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Observe(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  // bounds_.size() + 1 buckets; unique_ptr keeps atomics at stable
+  // addresses (the registry never moves a metric after registration).
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief One scrape of every registered metric, in deterministic
+/// (name-sorted) order. Plain data; feed to obs/export.h formatters.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    HistogramSnapshot histogram;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Counter value by exact name; 0 when absent.
+  uint64_t CounterValue(const std::string& name) const;
+  /// Histogram by exact name; nullptr when absent.
+  const HistogramSnapshot* Histogram(const std::string& name) const;
+};
+
+/// \brief Owns every metric of one engine instance. Get-or-create is
+/// mutex-protected and idempotent (same name → same object); the
+/// returned pointers are stable for the registry's lifetime and are the
+/// hot-path handles. No global registry exists — a ServingModel owns its
+/// registry, so two models never share counters.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only on first registration of `name`.
+  LatencyHistogram* GetHistogram(
+      const std::string& name,
+      std::vector<double> bounds = DefaultLatencyBounds());
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace kqr

@@ -1,0 +1,66 @@
+// Pre-resolved metric handles for the serving and offline pipelines: the
+// names below are the engine's stable metric surface (documented in
+// DESIGN.md "Observability"); ResolveIn registers them all once so hot
+// paths never touch the registry mutex. A default-constructed
+// ServingMetrics (all null) is the kill switch — every recording site
+// checks its handle, so a model built with EngineOptions::enable_metrics
+// = false pays one null test per stage and nothing else.
+
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace kqr {
+
+struct ServingMetrics {
+  // Online serving path.
+  Counter* requests = nullptr;            ///< kqr_requests_total
+  Counter* unresolvable = nullptr;        ///< kqr_unresolvable_requests_total
+  Counter* scratch_hits = nullptr;        ///< kqr_scratch_hits_total
+  Counter* scratch_misses = nullptr;      ///< kqr_scratch_misses_total
+  Counter* astar_expanded = nullptr;      ///< kqr_astar_nodes_expanded_total
+  Counter* astar_generated = nullptr;     ///< kqr_astar_nodes_generated_total
+  LatencyHistogram* request_seconds = nullptr;    ///< kqr_request_seconds
+  LatencyHistogram* candidate_seconds = nullptr;  ///< …{stage="candidate"}
+  LatencyHistogram* model_seconds = nullptr;      ///< …{stage="model"}
+  LatencyHistogram* decode_seconds = nullptr;     ///< …{stage="decode"}
+  LatencyHistogram* trellis_states = nullptr;     ///< kqr_trellis_states
+
+  // Sharded term cache (lazy offline preparation).
+  Counter* term_cache_hits = nullptr;     ///< kqr_term_cache_hits_total
+  Counter* term_cache_misses = nullptr;   ///< kqr_term_cache_misses_total
+  Counter* lazy_terms_prepared = nullptr; ///< kqr_lazy_terms_prepared_total
+
+  /// \brief Registers every serving metric in `registry` and returns the
+  /// resolved handles. Null registry → all-null handles (disabled).
+  static ServingMetrics ResolveIn(MetricsRegistry* registry) {
+    ServingMetrics m;
+    if (registry == nullptr) return m;
+    m.requests = registry->GetCounter("kqr_requests_total");
+    m.unresolvable =
+        registry->GetCounter("kqr_unresolvable_requests_total");
+    m.scratch_hits = registry->GetCounter("kqr_scratch_hits_total");
+    m.scratch_misses = registry->GetCounter("kqr_scratch_misses_total");
+    m.astar_expanded =
+        registry->GetCounter("kqr_astar_nodes_expanded_total");
+    m.astar_generated =
+        registry->GetCounter("kqr_astar_nodes_generated_total");
+    m.request_seconds = registry->GetHistogram("kqr_request_seconds");
+    m.candidate_seconds = registry->GetHistogram(
+        "kqr_online_stage_seconds{stage=\"candidate\"}");
+    m.model_seconds = registry->GetHistogram(
+        "kqr_online_stage_seconds{stage=\"model\"}");
+    m.decode_seconds = registry->GetHistogram(
+        "kqr_online_stage_seconds{stage=\"decode\"}");
+    m.trellis_states =
+        registry->GetHistogram("kqr_trellis_states", DefaultCountBounds());
+    m.term_cache_hits = registry->GetCounter("kqr_term_cache_hits_total");
+    m.term_cache_misses =
+        registry->GetCounter("kqr_term_cache_misses_total");
+    m.lazy_terms_prepared =
+        registry->GetCounter("kqr_lazy_terms_prepared_total");
+    return m;
+  }
+};
+
+}  // namespace kqr

@@ -1,0 +1,51 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace kqr {
+
+size_t RequestTrace::BeginSpan(const char* name) {
+  if (!enabled_) return npos;
+  TraceSpan span;
+  span.name = name;
+  span.start_seconds = epoch_.ElapsedSeconds();
+  span.depth = depth_;
+  ++depth_;
+  spans_.push_back(span);
+  return spans_.size() - 1;
+}
+
+void RequestTrace::EndSpan(size_t index, uint64_t items) {
+  if (index == npos || index >= spans_.size()) return;
+  TraceSpan& span = spans_[index];
+  span.duration_seconds = epoch_.ElapsedSeconds() - span.start_seconds;
+  span.items = items;
+  if (depth_ > 0) --depth_;
+}
+
+double RequestTrace::SpanSeconds(const std::string& name) const {
+  for (const TraceSpan& span : spans_) {
+    if (name == span.name) return span.duration_seconds;
+  }
+  return 0.0;
+}
+
+std::string RequestTrace::ToString() const {
+  std::string out;
+  char line[160];
+  for (const TraceSpan& span : spans_) {
+    const int indent = 2 + 2 * span.depth;
+    if (span.items > 0) {
+      std::snprintf(line, sizeof(line), "%*s%-24s %9.3fms  (%llu items)\n",
+                    indent, "", span.name, span.duration_seconds * 1e3,
+                    static_cast<unsigned long long>(span.items));
+    } else {
+      std::snprintf(line, sizeof(line), "%*s%-24s %9.3fms\n", indent, "",
+                    span.name, span.duration_seconds * 1e3);
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace kqr

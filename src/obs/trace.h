@@ -1,0 +1,113 @@
+// Lightweight request/build tracing: a RequestTrace is a flat vector of
+// timed spans with nesting depth, owned by exactly one thread (it rides
+// in RequestContext for online requests, and in the ServingModel for the
+// offline build) — no synchronization, no allocation once the span
+// vector's capacity is warm. Disabled traces cost two branches per stage.
+//
+// Span names are static strings (stage identifiers, not formatted text)
+// so starting a span never allocates.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace kqr {
+
+/// \brief One completed pipeline stage.
+struct TraceSpan {
+  const char* name = "";
+  /// Offset from the trace epoch (Clear/enable time).
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  /// Stage-dependent payload: candidate states built, trellis cells,
+  /// frontier pops — 0 when the stage has no natural count.
+  uint64_t items = 0;
+  /// Nesting level (0 = top-level stage).
+  int depth = 0;
+};
+
+/// \brief Per-request (or per-build) span recorder. Not thread-safe: one
+/// trace belongs to one thread at a time, like the RequestContext that
+/// carries it.
+class RequestTrace {
+ public:
+  bool enabled() const { return enabled_; }
+
+  /// \brief Enables recording and resets the epoch; previously recorded
+  /// spans are kept (callers Clear() explicitly between requests).
+  void Enable() {
+    enabled_ = true;
+    epoch_.Reset();
+  }
+  void Disable() { enabled_ = false; }
+
+  /// \brief Drops all spans and resets the epoch; keeps enablement.
+  void Clear() {
+    spans_.clear();
+    depth_ = 0;
+    epoch_.Reset();
+  }
+
+  /// \brief Opens a span; returns its index for EndSpan. No-op (returns
+  /// npos) when disabled.
+  size_t BeginSpan(const char* name);
+
+  /// \brief Closes the span opened as `index`, stamping its duration and
+  /// payload count. Tolerates npos (the matching BeginSpan was a no-op).
+  void EndSpan(size_t index, uint64_t items = 0);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// Duration of the first span with `name`, or 0 when absent.
+  double SpanSeconds(const std::string& name) const;
+
+  /// \brief Indented per-span rendering, one line each:
+  /// "  candidates  1.23ms  (42 items)".
+  std::string ToString() const;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+ private:
+  bool enabled_ = false;
+  int depth_ = 0;
+  Timer epoch_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// \brief RAII span: opens on construction, closes on destruction (or at
+/// an explicit End). Null/disabled traces make every operation a no-op,
+/// so instrumented code needs no branches of its own.
+class TraceScope {
+ public:
+  TraceScope(RequestTrace* trace, const char* name)
+      : trace_(trace != nullptr && trace->enabled() ? trace : nullptr),
+        index_(trace_ != nullptr ? trace_->BeginSpan(name)
+                                 : RequestTrace::npos) {}
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() { End(); }
+
+  /// \brief Attaches the stage's item count (reported at close).
+  void SetItems(uint64_t items) { items_ = items; }
+
+  /// \brief Closes the span now (idempotent).
+  void End() {
+    if (trace_ != nullptr) {
+      trace_->EndSpan(index_, items_);
+      trace_ = nullptr;
+    }
+  }
+
+ private:
+  RequestTrace* trace_;
+  size_t index_;
+  uint64_t items_ = 0;
+};
+
+}  // namespace kqr

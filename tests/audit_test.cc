@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -293,6 +294,58 @@ TEST(ModelAuditor, ValidatorsRejectWhatTheLoaderMustNotImport) {
   EXPECT_TRUE(ValidateCloseList(0, {{1, 2.5, 0}}, 8).IsCorruption());
   EXPECT_TRUE(
       ValidateCloseList(0, {{1, 1.0, 1}, {1, 1.0, 1}}, 8).IsCorruption());
+}
+
+// ---------------------------------------------------------------------
+// Term-cache / lazy-preparation path: the audit covers exactly the terms
+// the cache marks prepared, so corruption smuggled into that cache (e.g.
+// through the snapshot-import path, which bypasses the extractors) must
+// be caught the moment the term counts as prepared.
+
+TEST(ModelAuditor, DetectsCorruptImportedTermRelations) {
+  auto model = MakeModel();
+  // Debug builds audit at Build() time, and the audit probe prepares a
+  // few terms — pick a victim the lazy cache has not prepared yet.
+  const std::vector<TermId> prepared = model->PreparedTerms();
+  TermId victim = kInvalidTermId;
+  for (TermId t = 0; t < model->vocab().size(); ++t) {
+    if (std::find(prepared.begin(), prepared.end(), t) == prepared.end()) {
+      victim = t;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidTermId) << "every term already prepared";
+  const TermId other = (victim + 1) % model->vocab().size();
+
+  // Import a NaN-scored similar list for the unprepared term; the import
+  // marks it prepared without validating.
+  model->ImportTermRelations(
+      victim, {{other, std::numeric_limits<double>::quiet_NaN()}},
+      {{other, 0.5, 1}});
+  ASSERT_EQ(model->PreparedTerms().size(), prepared.size() + 1);
+
+  const AuditReport report = ModelAuditor().Audit(*model);
+  EXPECT_FALSE(report.ok());
+  const AuditCheck* check = report.Find("similarity-lists");
+  ASSERT_NE(check, nullptr);
+  EXPECT_FALSE(check->passed) << check->ToString();
+}
+
+TEST(ModelAuditor, LazyPreparedTermsAuditCleanAndStayPinned) {
+  auto model = MakeModel();
+  auto terms = model->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  for (TermId t : *terms) model->EnsureTerm(t);
+  ASSERT_GE(model->PreparedTerms().size(), terms->size());
+  EXPECT_TRUE(ModelAuditor().Audit(*model).ok());
+
+  // A late import must not replace lists the cache already serves: the
+  // garbage is dropped and the audit stays green.
+  model->ImportTermRelations(
+      (*terms)[0], {{(*terms)[1], std::numeric_limits<double>::infinity()}},
+      {});
+  const AuditReport report = ModelAuditor().Audit(*model);
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 TEST(ModelAuditor, BuilderDebugAuditAcceptsCleanModels) {

@@ -1,0 +1,305 @@
+// Golden end-to-end regression suite: a fixed corpus, a fixed sampled
+// query set, and the checked-in top-k reformulations they must produce.
+// Any change to tokenization, graph construction, walk scoring, candidate
+// generation, smoothing, or decoding that shifts a ranking fails here
+// with a line-level diff of what moved.
+//
+// The fixture lives at tests/golden/reformulation.golden (path baked in
+// via KQR_GOLDEN_DIR). To regenerate after an intentional behavior
+// change:
+//
+//   KQR_REGENERATE_GOLDEN=1 ./build/tests/golden_reformulation_test
+//
+// which rewrites the fixture in the source tree; review the diff like any
+// other code change.
+//
+// Alongside the fixture comparison, the suite proves the two stability
+// properties the fixture relies on: rankings are bit-identical across
+// consecutive runs on one model, and bit-identical between models whose
+// offline indexes were built with 1 thread vs 8.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/engine_builder.h"
+#include "datagen/dblp_gen.h"
+#include "eval/experiment.h"
+
+#ifndef KQR_GOLDEN_DIR
+#define KQR_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace kqr {
+namespace {
+
+constexpr size_t kTopK = 8;
+constexpr uint64_t kSamplerSeed = 7001;
+
+DblpOptions GoldenCorpus() {
+  DblpOptions options;
+  options.num_authors = 150;
+  options.num_papers = 500;
+  options.num_venues = 24;
+  options.seed = 4242;
+  return options;
+}
+
+std::shared_ptr<const ServingModel> BuildModel(size_t build_threads) {
+  auto corpus = GenerateDblp(GoldenCorpus());
+  KQR_CHECK(corpus.ok());
+  EngineOptions options;
+  // Eager build: the fixture must cover the frozen offline products, not
+  // whatever subset lazy preparation happened to touch.
+  options.precompute_offline = true;
+  options.similarity.num_threads = build_threads;
+  options.closeness.num_threads = build_threads;
+  auto model = EngineBuilder(options).Build(std::move(corpus->db));
+  KQR_CHECK(model.ok()) << model.status().ToString();
+  return std::move(model).ValueOrDie();
+}
+
+/// The reference model (single-thread offline build), shared across
+/// tests — eager builds are the expensive part of this suite.
+const ServingModel& GoldenModel() {
+  static const std::shared_ptr<const ServingModel> model = BuildModel(1);
+  return *model;
+}
+
+std::vector<std::vector<TermId>> GoldenQueries(const ServingModel& model) {
+  QuerySampler sampler(model, kSamplerSeed);
+  std::vector<std::vector<TermId>> queries = sampler.SampleQueries(8, 2);
+  for (auto& q : sampler.SampleQueries(8, 3)) queries.push_back(std::move(q));
+  return queries;
+}
+
+/// Stable human-readable term token: "<field-id>:<text>". Vocabulary
+/// assignment is deterministic for a fixed corpus, and the field id
+/// disambiguates same-text terms from different columns. Void positions
+/// (deleted keywords) serialize as "-".
+std::string TermToken(const ServingModel& model, TermId t) {
+  if (t == kInvalidTermId) return "-";
+  return std::to_string(model.vocab().field_of(t)) + ":" +
+         model.vocab().text(t);
+}
+
+uint64_t ScoreBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+struct GoldenRanking {
+  double score = 0.0;
+  std::vector<std::string> terms;
+};
+
+struct GoldenEntry {
+  std::vector<std::string> query;
+  std::vector<GoldenRanking> rankings;
+};
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return out;
+}
+
+/// Runs the golden query set and serializes every ranking.
+std::vector<GoldenEntry> ComputeEntries(const ServingModel& model) {
+  std::vector<GoldenEntry> entries;
+  for (const std::vector<TermId>& query : GoldenQueries(model)) {
+    GoldenEntry entry;
+    for (TermId t : query) entry.query.push_back(TermToken(model, t));
+    for (const ReformulatedQuery& r :
+         model.ReformulateTerms(query, kTopK)) {
+      GoldenRanking ranking;
+      ranking.score = r.score;
+      for (TermId t : r.terms) ranking.terms.push_back(TermToken(model, t));
+      entry.rankings.push_back(std::move(ranking));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string GoldenPath() {
+  return std::string(KQR_GOLDEN_DIR) + "/reformulation.golden";
+}
+
+/// Fixture format (tab-separated; term tokens may contain spaces):
+///   query\t<idx>\t<term>...
+///   rank\t<i>\t<score %.17g>\t<term>...
+void WriteGolden(const std::string& path,
+                 const std::vector<GoldenEntry>& entries) {
+  std::ofstream out(path);
+  KQR_CHECK(out.good()) << "cannot write golden fixture to " << path;
+  out << "# Golden reformulation fixture — regenerate with\n"
+      << "#   KQR_REGENERATE_GOLDEN=1 ./build/tests/"
+         "golden_reformulation_test\n"
+      << "# corpus: dblp seed=4242 authors=150 papers=500 venues=24, "
+         "eager build\n"
+      << "# queries: sampler seed=" << kSamplerSeed
+      << ", 8 of length 2 + 8 of length 3, k=" << kTopK << "\n";
+  for (size_t qi = 0; qi < entries.size(); ++qi) {
+    const GoldenEntry& e = entries[qi];
+    out << "query\t" << qi;
+    for (const std::string& t : e.query) out << '\t' << t;
+    out << '\n';
+    for (size_t i = 0; i < e.rankings.size(); ++i) {
+      char score[64];
+      std::snprintf(score, sizeof(score), "%.17g", e.rankings[i].score);
+      out << "rank\t" << i << '\t' << score;
+      for (const std::string& t : e.rankings[i].terms) out << '\t' << t;
+      out << '\n';
+    }
+  }
+}
+
+std::vector<GoldenEntry> ReadGolden(const std::string& path) {
+  std::ifstream in(path);
+  KQR_CHECK(in.good()) << "cannot read golden fixture " << path
+                       << " — regenerate with KQR_REGENERATE_GOLDEN=1";
+  std::vector<GoldenEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields[0] == "query") {
+      KQR_CHECK(fields.size() >= 3) << "bad query line: " << line;
+      GoldenEntry entry;
+      entry.query.assign(fields.begin() + 2, fields.end());
+      entries.push_back(std::move(entry));
+    } else if (fields[0] == "rank") {
+      KQR_CHECK(!entries.empty() && fields.size() >= 3)
+          << "bad rank line: " << line;
+      GoldenRanking ranking;
+      ranking.score = std::strtod(fields[2].c_str(), nullptr);
+      ranking.terms.assign(fields.begin() + 3, fields.end());
+      entries.back().rankings.push_back(std::move(ranking));
+    } else {
+      KQR_CHECK(false) << "bad golden line: " << line;
+    }
+  }
+  return entries;
+}
+
+std::string Describe(const GoldenRanking& r) {
+  std::ostringstream out;
+  out << r.score << " [";
+  for (size_t i = 0; i < r.terms.size(); ++i) {
+    out << (i > 0 ? ", " : "") << r.terms[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+TEST(GoldenReformulation, MatchesCheckedInFixture) {
+  const ServingModel& model = GoldenModel();
+  const std::vector<GoldenEntry> actual = ComputeEntries(model);
+
+  if (std::getenv("KQR_REGENERATE_GOLDEN") != nullptr) {
+    WriteGolden(GoldenPath(), actual);
+    GTEST_SKIP() << "regenerated " << GoldenPath() << " ("
+                 << actual.size() << " queries) — review the diff";
+  }
+
+  const std::vector<GoldenEntry> golden = ReadGolden(GoldenPath());
+  ASSERT_EQ(golden.size(), actual.size())
+      << "query-set size changed; regenerate the fixture if intentional";
+  for (size_t qi = 0; qi < golden.size(); ++qi) {
+    const GoldenEntry& want = golden[qi];
+    const GoldenEntry& got = actual[qi];
+    // The sampler must reproduce the recorded query verbatim — if this
+    // fails, sampling (not reformulation) drifted.
+    ASSERT_EQ(want.query, got.query) << "sampled query " << qi << " drifted";
+    ASSERT_EQ(want.rankings.size(), got.rankings.size())
+        << "suggestion count changed for query " << qi;
+    for (size_t i = 0; i < want.rankings.size(); ++i) {
+      EXPECT_EQ(want.rankings[i].terms, got.rankings[i].terms)
+          << "query " << qi << " rank " << i << "\n  golden: "
+          << Describe(want.rankings[i]) << "\n  actual: "
+          << Describe(got.rankings[i]);
+      // Tolerant score comparison: the fixture must survive compiler /
+      // libm variation; ordering changes are caught by the term check.
+      EXPECT_NEAR(want.rankings[i].score, got.rankings[i].score,
+                  1e-9 * std::max(1.0, std::abs(want.rankings[i].score)))
+          << "query " << qi << " rank " << i;
+    }
+  }
+}
+
+TEST(GoldenReformulation, BitStableAcrossConsecutiveRuns) {
+  const ServingModel& model = GoldenModel();
+  const std::vector<std::vector<TermId>> queries = GoldenQueries(model);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto first = model.ReformulateTerms(queries[qi], kTopK);
+    const auto second = model.ReformulateTerms(queries[qi], kTopK);
+    ASSERT_EQ(first.size(), second.size()) << "query " << qi;
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].terms, second[i].terms)
+          << "query " << qi << " rank " << i;
+      EXPECT_EQ(ScoreBits(first[i].score), ScoreBits(second[i].score))
+          << "query " << qi << " rank " << i;
+    }
+  }
+}
+
+TEST(GoldenReformulation, BitStableAcrossBuildThreadCounts) {
+  // The acceptance bar: offline indexes built with 8 worker threads must
+  // yield rankings bit-identical to a single-threaded build.
+  const ServingModel& one = GoldenModel();
+  const std::shared_ptr<const ServingModel> eight_model = BuildModel(8);
+  const ServingModel& eight = *eight_model;
+  const std::vector<std::vector<TermId>> queries = GoldenQueries(one);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto a = one.ReformulateTerms(queries[qi], kTopK);
+    const auto b = eight.ReformulateTerms(queries[qi], kTopK);
+    ASSERT_EQ(a.size(), b.size()) << "query " << qi;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].terms, b[i].terms) << "query " << qi << " rank " << i;
+      EXPECT_EQ(ScoreBits(a[i].score), ScoreBits(b[i].score))
+          << "query " << qi << " rank " << i;
+    }
+  }
+}
+
+TEST(GoldenReformulation, TracingDoesNotPerturbResults) {
+  // The observability hooks must be write-only: serving with tracing
+  // enabled returns the same bits as serving without.
+  const ServingModel& model = GoldenModel();
+  const std::vector<std::vector<TermId>> queries = GoldenQueries(model);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    RequestContext traced;
+    traced.trace.Enable();
+    const auto plain = model.ReformulateTerms(queries[qi], kTopK);
+    const auto with_trace =
+        model.ReformulateTerms(queries[qi], kTopK, &traced);
+    ASSERT_EQ(plain.size(), with_trace.size()) << "query " << qi;
+    for (size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(plain[i].terms, with_trace[i].terms)
+          << "query " << qi << " rank " << i;
+      EXPECT_EQ(ScoreBits(plain[i].score), ScoreBits(with_trace[i].score))
+          << "query " << qi << " rank " << i;
+    }
+    EXPECT_GT(traced.trace.spans().size(), 0u) << "trace recorded nothing";
+  }
+}
+
+}  // namespace
+}  // namespace kqr

@@ -1,0 +1,144 @@
+// Concurrency suite for the observability layer: writer threads serve
+// reformulation requests against one shared model (racing its lazy
+// term-cache) while a reader thread scrapes the metrics registry the
+// whole time. Runs under the TSan CI job (see .github/workflows/ci.yml,
+// filter includes MetricsConcurrency). Beyond race-freedom, the suite
+// asserts no update is lost: after the writers quiesce, every counter and
+// histogram must account for exactly the requests that were served.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/engine_builder.h"
+#include "datagen/dblp_gen.h"
+#include "obs/metrics.h"
+
+namespace kqr {
+namespace {
+
+constexpr size_t kWriterThreads = 4;
+constexpr size_t kRequestsPerThread = 60;
+
+std::shared_ptr<const ServingModel> MakeLazyModel() {
+  DblpOptions corpus_options;
+  corpus_options.num_authors = 80;
+  corpus_options.num_papers = 240;
+  corpus_options.num_venues = 12;
+  corpus_options.seed = 21;
+  auto corpus = GenerateDblp(corpus_options);
+  KQR_CHECK(corpus.ok());
+  // Lazy build: requests race to prepare terms, which is exactly the
+  // contention the term-cache hit/miss counters must survive.
+  auto model = EngineBuilder().Build(std::move(corpus->db));
+  KQR_CHECK(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+TEST(MetricsConcurrency, NoLostUpdatesUnderConcurrentScrapes) {
+  const std::shared_ptr<const ServingModel> shared = MakeLazyModel();
+  const ServingModel& model = *shared;
+  ASSERT_NE(model.metrics_registry(), nullptr);
+
+  auto queries = model.ResolveQuery("uncertain query");
+  ASSERT_TRUE(queries.ok());
+  const std::vector<TermId> query = *queries;
+
+  const uint64_t base_requests =
+      model.MetricsNow().CounterValue("kqr_requests_total");
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> scrapes{0};
+  std::atomic<size_t> monotonicity_violations{0};
+
+  // Reader: scrape continuously while writers run; the requests-total
+  // counter may lag in-flight increments but must never move backwards.
+  std::thread reader([&]() {
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snap = model.MetricsNow();
+      const uint64_t now = snap.CounterValue("kqr_requests_total");
+      if (now < last) {
+        monotonicity_violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      last = now;
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriterThreads; ++w) {
+    writers.emplace_back([&]() {
+      RequestContext ctx;
+      for (size_t i = 0; i < kRequestsPerThread; ++i) {
+        const auto ranking = model.ReformulateTerms(query, 8, &ctx);
+        KQR_CHECK(!ranking.empty());
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(monotonicity_violations.load(), 0u);
+  EXPECT_GT(scrapes.load(), 0u);
+
+  // Writers quiesced: every shard must now be visible and sum exactly.
+  const MetricsSnapshot snap = model.MetricsNow();
+  const uint64_t served = kWriterThreads * kRequestsPerThread;
+  EXPECT_EQ(snap.CounterValue("kqr_requests_total") - base_requests,
+            served);
+
+  const HistogramSnapshot* latency = snap.Histogram("kqr_request_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->count, served);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : latency->counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, latency->count)
+      << "histogram buckets lost an observation";
+
+  // The lazy term-cache prepares each term exactly once no matter how
+  // many threads raced for it: misses == distinct prepared terms.
+  EXPECT_EQ(snap.CounterValue("kqr_term_cache_misses_total"),
+            model.PreparedTerms().size());
+}
+
+TEST(MetricsConcurrency, RawPrimitivesExactUnderContention) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("kqr_stress_total");
+  LatencyHistogram* histogram = registry.GetHistogram("kqr_stress_seconds");
+
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kOps = 20000;
+  std::atomic<bool> done{false};
+  std::thread reader([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      registry.Snapshot();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t]() {
+      for (uint64_t i = 0; i < kOps; ++i) {
+        counter->Increment();
+        histogram->Observe(1e-6 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->Value(), kThreads * kOps);
+  const HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kOps);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+}  // namespace
+}  // namespace kqr

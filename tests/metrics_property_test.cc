@@ -1,0 +1,284 @@
+// Property tests for the metrics primitives: histogram merge forms a
+// commutative monoid (associative, commutative, identity), quantiles are
+// monotone and hit the documented edge cases, interval deltas invert
+// merges, and LatencyRecorder percentiles survive degenerate inputs.
+// Randomized cases use the repo's seeded Rng, so every failure replays.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/latency.h"
+#include "common/rng.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace kqr {
+namespace {
+
+/// Random histogram state over the default latency bounds: random bucket
+/// counts with a consistent total and an arbitrary-but-plausible sum.
+HistogramSnapshot RandomSnapshot(Rng* rng) {
+  HistogramSnapshot s;
+  s.bounds = DefaultLatencyBounds();
+  s.counts.resize(s.bounds.size() + 1);
+  for (uint64_t& c : s.counts) {
+    c = rng->NextBounded(100);
+    s.count += c;
+  }
+  s.sum = static_cast<double>(s.count) * rng->NextDouble();
+  return s;
+}
+
+HistogramSnapshot Merged(const HistogramSnapshot& a,
+                         const HistogramSnapshot& b) {
+  HistogramSnapshot out = a;
+  out.MergeFrom(b);
+  return out;
+}
+
+void ExpectEqualSnapshots(const HistogramSnapshot& a,
+                          const HistogramSnapshot& b) {
+  ASSERT_EQ(a.bounds, b.bounds);
+  ASSERT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.count, b.count);
+  // Bucket counts are integers and merge exactly; `sum` is a double, so
+  // reassociating merges moves it by rounding only.
+  EXPECT_NEAR(a.sum, b.sum, 1e-9 * std::max(1.0, std::abs(a.sum)));
+}
+
+TEST(HistogramMerge, Associative) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const HistogramSnapshot a = RandomSnapshot(&rng);
+    const HistogramSnapshot b = RandomSnapshot(&rng);
+    const HistogramSnapshot c = RandomSnapshot(&rng);
+    ExpectEqualSnapshots(Merged(Merged(a, b), c), Merged(a, Merged(b, c)));
+  }
+}
+
+TEST(HistogramMerge, Commutative) {
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    const HistogramSnapshot a = RandomSnapshot(&rng);
+    const HistogramSnapshot b = RandomSnapshot(&rng);
+    ExpectEqualSnapshots(Merged(a, b), Merged(b, a));
+  }
+}
+
+TEST(HistogramMerge, EmptyIsIdentity) {
+  Rng rng(13);
+  HistogramSnapshot empty;
+  empty.bounds = DefaultLatencyBounds();
+  empty.counts.assign(empty.bounds.size() + 1, 0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const HistogramSnapshot a = RandomSnapshot(&rng);
+    ExpectEqualSnapshots(Merged(a, empty), a);
+    ExpectEqualSnapshots(Merged(empty, a), a);
+  }
+}
+
+TEST(HistogramMerge, DeltaInvertsMerge) {
+  Rng rng(14);
+  for (int trial = 0; trial < 50; ++trial) {
+    const HistogramSnapshot before = RandomSnapshot(&rng);
+    const HistogramSnapshot interval = RandomSnapshot(&rng);
+    ExpectEqualSnapshots(HistogramDelta(Merged(before, interval), before),
+                         interval);
+  }
+}
+
+TEST(HistogramQuantile, MonotoneInQ) {
+  Rng rng(15);
+  for (int trial = 0; trial < 50; ++trial) {
+    const HistogramSnapshot s = RandomSnapshot(&rng);
+    double prev = -std::numeric_limits<double>::infinity();
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+      const double v = s.Quantile(q);
+      EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+      prev = v;
+    }
+  }
+}
+
+TEST(HistogramQuantile, EdgeCases) {
+  HistogramSnapshot empty;
+  empty.bounds = DefaultLatencyBounds();
+  empty.counts.assign(empty.bounds.size() + 1, 0);
+  EXPECT_EQ(empty.Quantile(0.0), 0.0);
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_EQ(empty.Quantile(1.0), 0.0);
+  EXPECT_EQ(empty.Mean(), 0.0);
+
+  // A single observation lands every quantile in its bucket, including
+  // out-of-range and NaN q (clamped).
+  LatencyHistogram h;
+  h.Observe(3e-4);
+  const HistogramSnapshot one = h.Snapshot();
+  ASSERT_EQ(one.count, 1u);
+  const double only = one.Quantile(0.5);
+  EXPECT_GE(only, 3e-4);  // bucket upper bound at or above the sample
+  for (double q : {0.0, 1.0, -3.0, 7.0,
+                   std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_EQ(one.Quantile(q), only) << "q=" << q;
+  }
+
+  // Overflow bucket: values past the last bound report the last finite
+  // bound rather than infinity.
+  LatencyHistogram over;
+  over.Observe(1e9);
+  const HistogramSnapshot o = over.Snapshot();
+  EXPECT_EQ(o.Quantile(1.0), o.bounds.back());
+}
+
+TEST(HistogramQuantile, NearestRankAgainstExplicitCounts) {
+  // 10 observations in the first bucket, 90 in the second: p<=10% must
+  // report the first bound, anything above the second.
+  HistogramSnapshot s;
+  s.bounds = {1.0, 2.0, 4.0};
+  s.counts = {10, 90, 0, 0};
+  s.count = 100;
+  s.sum = 150.0;
+  EXPECT_EQ(s.Quantile(0.05), 1.0);
+  EXPECT_EQ(s.Quantile(0.10), 1.0);
+  EXPECT_EQ(s.Quantile(0.11), 2.0);
+  EXPECT_EQ(s.Quantile(1.0), 2.0);
+}
+
+TEST(HistogramObserve, BucketsPartitionTheLine) {
+  // Every observation lands in exactly one bucket and count/sum track.
+  Rng rng(16);
+  LatencyHistogram h;
+  double expected_sum = 0.0;
+  constexpr int kSamples = 1000;
+  for (int i = 0; i < kSamples; ++i) {
+    // Spread over ~9 decades, well past both bucket ends.
+    const double v = std::pow(10.0, -7.0 + 9.0 * rng.NextDouble());
+    h.Observe(v);
+    expected_sum += v;
+  }
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kSamples));
+  uint64_t bucket_total = 0;
+  for (uint64_t c : s.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_NEAR(s.sum, expected_sum, 1e-9 * std::abs(expected_sum));
+}
+
+TEST(Counter, ShardsSumExactly) {
+  Counter c;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(Registry, GetIsIdempotentAndSnapshotSorted) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("kqr_b_total");
+  EXPECT_EQ(a, registry.GetCounter("kqr_b_total"));
+  registry.GetCounter("kqr_a_total")->Increment(5);
+  registry.GetGauge("kqr_g")->Set(2.5);
+  registry.GetHistogram("kqr_h")->Observe(1e-3);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "kqr_a_total");  // name-sorted
+  EXPECT_EQ(snap.counters[0].value, 5u);
+  EXPECT_EQ(snap.CounterValue("kqr_a_total"), 5u);
+  EXPECT_EQ(snap.CounterValue("absent"), 0u);
+  ASSERT_NE(snap.Histogram("kqr_h"), nullptr);
+  EXPECT_EQ(snap.Histogram("kqr_h")->count, 1u);
+  EXPECT_EQ(snap.Histogram("absent"), nullptr);
+}
+
+TEST(Export, FormattersCoverEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("kqr_requests_total")->Increment(3);
+  registry.GetGauge("kqr_build_stage_seconds{stage=\"tat-graph\"}")
+      ->Set(0.25);
+  registry.GetHistogram("kqr_request_seconds")->Observe(2e-3);
+  const MetricsSnapshot snap = registry.Snapshot();
+
+  const std::string json = MetricsToJson(snap);
+  EXPECT_NE(json.find("\"kqr_requests_total\": 3"), std::string::npos);
+  EXPECT_NE(json.find("kqr_build_stage_seconds{stage=\\\"tat-graph\\\"}"),
+            std::string::npos)
+      << "label quotes must be JSON-escaped";
+  EXPECT_NE(json.find("\"kqr_request_seconds\""), std::string::npos);
+
+  const std::string prom = MetricsToPrometheus(snap);
+  EXPECT_NE(prom.find("# TYPE kqr_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("kqr_build_stage_seconds{stage=\"tat-graph\"} 0.25"),
+            std::string::npos);
+  EXPECT_NE(prom.find("kqr_request_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("kqr_request_seconds_count 1"), std::string::npos);
+}
+
+TEST(LatencyRecorderPercentile, EmptyAndSingle) {
+  LatencyRecorder empty;
+  EXPECT_EQ(empty.Percentile(50.0), 0.0);
+  EXPECT_EQ(empty.MeanSeconds(), 0.0);
+
+  LatencyRecorder one;
+  one.Add(0.125);
+  for (double p : {0.0, 50.0, 100.0, -10.0, 400.0,
+                   std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_EQ(one.Percentile(p), 0.125) << "p=" << p;
+  }
+}
+
+TEST(LatencyRecorderPercentile, BoundsAndMonotonicity) {
+  Rng rng(17);
+  LatencyRecorder r;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.NextDouble();
+    r.Add(v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_EQ(r.Percentile(0.0), lo);
+  EXPECT_EQ(r.Percentile(100.0), hi);
+  EXPECT_EQ(r.Percentile(250.0), hi);   // clamped
+  EXPECT_EQ(r.Percentile(-25.0), lo);   // clamped
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double v = r.Percentile(p);
+    EXPECT_GE(v, prev) << "percentile not monotone at p=" << p;
+    prev = v;
+  }
+}
+
+TEST(LatencyRecorderPercentile, MergeMatchesPooledSamples) {
+  Rng rng(18);
+  LatencyRecorder a;
+  LatencyRecorder b;
+  LatencyRecorder pooled;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.NextDouble();
+    (i % 2 == 0 ? a : b).Add(v);
+    pooled.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(a.TotalSeconds(), pooled.TotalSeconds());
+  for (double p : {0.0, 25.0, 50.0, 75.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), pooled.Percentile(p)) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace kqr
