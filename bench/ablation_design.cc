@@ -138,7 +138,8 @@ void AblateVoidStates(ExperimentContext* ctx) {
     std::vector<std::vector<bool>> judged;
     double suggestions = 0;
     for (const auto& q : queries) {
-      auto ranking = model.ReformulateTermsWith(opts, q, kTopK);
+      auto ranking =
+          bench::MustReformulate(model.ReformulateTermsWith(opts, q, kTopK));
       suggestions += double(ranking.size());
       judged.push_back(judge.JudgeRanking(q, ranking));
     }

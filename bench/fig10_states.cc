@@ -38,7 +38,8 @@ void Run() {
     double total_us = 0, decode_us = 0;
     for (const auto& q : queries) {
       ReformulationTimings timings;
-      model.ReformulateTermsWith(opts, q, kTopK, &rc, &timings);
+      bench::MustReformulate(
+          model.ReformulateTermsWith(opts, q, kTopK, &rc, &timings));
       total_us += timings.TotalSeconds() * 1e6;
       decode_us += timings.decode_seconds * 1e6;
     }

@@ -29,7 +29,8 @@ std::vector<std::vector<bool>> JudgeMethod(
     const std::vector<std::vector<TermId>>& queries) {
   std::vector<std::vector<bool>> per_query;
   for (const auto& q : queries) {
-    auto ranking = model.ReformulateTermsWith(opts, q, kTopK);
+    auto ranking =
+        bench::MustReformulate(model.ReformulateTermsWith(opts, q, kTopK));
     per_query.push_back(judge.JudgeRanking(q, ranking));
   }
   return per_query;

@@ -41,13 +41,15 @@ void Run() {
 
     Timer t2;
     for (const auto& q : queries) {
-      model.ReformulateTermsWith(viterbi_opts, q, kTopK, &rc);
+      bench::MustReformulate(
+          model.ReformulateTermsWith(viterbi_opts, q, kTopK, &rc));
     }
     double ms2 = t2.ElapsedMillis() / double(queries.size());
 
     Timer t3;
     for (const auto& q : queries) {
-      model.ReformulateTermsWith(astar_opts, q, kTopK, &rc);
+      bench::MustReformulate(
+          model.ReformulateTermsWith(astar_opts, q, kTopK, &rc));
     }
     double ms3 = t3.ElapsedMillis() / double(queries.size());
 

@@ -34,7 +34,7 @@ void Run() {
     double viterbi_us = 0, astar_us = 0, total_us = 0;
     for (const auto& q : by_length[len - 1]) {
       ReformulationTimings timings;
-      model.ReformulateTerms(q, kTopK, &rc, &timings);
+      bench::MustReformulate(model.ReformulateTerms(q, kTopK, &rc, &timings));
       viterbi_us += timings.astar.viterbi_seconds * 1e6;
       astar_us += timings.astar.astar_seconds * 1e6;
       total_us += timings.TotalSeconds() * 1e6;

@@ -30,7 +30,7 @@ void Run() {
     double viterbi_us = 0, astar_us = 0, total_us = 0;
     for (const auto& q : queries) {
       ReformulationTimings timings;
-      model.ReformulateTerms(q, k, &rc, &timings);
+      bench::MustReformulate(model.ReformulateTerms(q, k, &rc, &timings));
       viterbi_us += timings.astar.viterbi_seconds * 1e6;
       astar_us += timings.astar.astar_seconds * 1e6;
       total_us += timings.TotalSeconds() * 1e6;

@@ -155,10 +155,11 @@ void Run() {
     double online_us = 0;
     if (terms.ok()) {
       RequestContext rc;
-      (*model)->ReformulateTerms(*terms, 10, &rc);  // warm-up
+      bench::MustReformulate(
+          (*model)->ReformulateTerms(*terms, 10, &rc));  // warm-up
       Timer t_online;
       for (int i = 0; i < 20; ++i) {
-        (*model)->ReformulateTerms(*terms, 10, &rc);
+        bench::MustReformulate((*model)->ReformulateTerms(*terms, 10, &rc));
       }
       online_us = t_online.ElapsedMicros() / 20.0;
     }

@@ -15,13 +15,20 @@
 // against a model built with the EngineOptions::enable_metrics kill
 // switch off, reporting the observability overhead.
 //
+// Two kqr::Server arms compare per-request dispatch (max_batch=1) against
+// micro-batched dispatch (max_batch=8) at equal worker count, and an
+// open-loop offered-load sweep drives the default server config through
+// under-load, near-capacity and overload (load-shedding) regimes.
+//
 // Emits BENCH_scaling_online.json next to the table output.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
 #include "bench_common.h"
+#include "kqr.h"
 #include "obs/metrics.h"
 
 namespace kqr {
@@ -89,7 +96,8 @@ ConfigOutcome RunConfig(const ServingModel& model,
       // query set exactly once, so total work is identical per config.
       for (size_t round = 0; round < kRounds; ++round) {
         for (size_t i = w; i < queries.size(); i += num_threads) {
-          auto ranking = model.ReformulateTerms(queries[i], kTopK, &ctx);
+          auto ranking = bench::MustReformulate(
+              model.ReformulateTerms(queries[i], kTopK, &ctx));
           if (Fingerprint(ranking) != reference[i]) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
@@ -131,7 +139,171 @@ ConfigOutcome RunConfig(const ServingModel& model,
   return out;
 }
 
+// ---------------------------------------------------------------------
+// Server arms: the same request set pushed through the batched async
+// kqr::Server front-end instead of caller-owned threads.
+
+struct ServerOutcome {
+  size_t max_batch = 0;
+  size_t requests = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+  size_t mismatches = 0;
+};
+
+/// Saturation arm: submit every request up front (capacity sized so none
+/// shed), drain, measure end-to-end throughput. Callbacks fingerprint
+/// every ranking against the serial reference — batching must change
+/// scheduling, never answers.
+ServerOutcome RunServerConfig(std::shared_ptr<const ServingModel> model,
+                              const std::vector<std::vector<TermId>>& queries,
+                              const std::vector<uint64_t>& reference,
+                              size_t num_workers, size_t max_batch) {
+  ServerOptions opts;
+  opts.num_workers = num_workers;
+  opts.max_batch = max_batch;
+  opts.queue_capacity = queries.size() * kRounds;
+  auto server = Server::Create(model, opts);
+  KQR_CHECK(server.ok()) << server.status().ToString();
+
+  MetricsRegistry* registry = model->metrics_registry();
+  const MetricsSnapshot before =
+      registry != nullptr ? registry->Snapshot() : MetricsSnapshot{};
+
+  std::atomic<size_t> mismatches{0};
+  Timer wall;
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ServerRequest request;
+      request.terms = queries[i];
+      request.k = kTopK;
+      const uint64_t want = reference[i];
+      (*server)->Submit(std::move(request),
+                        [&mismatches, want](ServeResult r) {
+                          if (!r.ok() || Fingerprint(*r) != want) {
+                            mismatches.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                          }
+                        });
+    }
+  }
+  (*server)->Drain();
+
+  ServerOutcome out;
+  out.max_batch = max_batch;
+  out.requests = queries.size() * kRounds;
+  out.wall_seconds = wall.ElapsedSeconds();
+  out.qps = out.wall_seconds > 0 ? double(out.requests) / out.wall_seconds
+                                 : 0.0;
+  if (registry != nullptr) {
+    const MetricsSnapshot after = registry->Snapshot();
+    const HistogramSnapshot* ra = after.Histogram("kqr_request_seconds");
+    const HistogramSnapshot* rb = before.Histogram("kqr_request_seconds");
+    if (ra != nullptr && rb != nullptr) {
+      out.p99_us = HistogramDelta(*ra, *rb).Quantile(0.99) * 1e6;
+    }
+    const HistogramSnapshot* ba = after.Histogram("kqr_server_batch_size");
+    const HistogramSnapshot* bb = before.Histogram("kqr_server_batch_size");
+    if (ba != nullptr) {
+      out.mean_batch =
+          bb == nullptr ? ba->Mean() : HistogramDelta(*ba, *bb).Mean();
+    }
+  }
+  out.mismatches = mismatches.load();
+  return out;
+}
+
+struct LoadOutcome {
+  double offered_qps = 0.0;
+  size_t submitted = 0;
+  size_t served = 0;
+  size_t shed = 0;
+  double achieved_qps = 0.0;
+  double shed_rate = 0.0;
+  double p99_us = 0.0;
+  size_t mismatches = 0;
+};
+
+/// Open-loop arm: arrivals at a fixed offered rate that never waits for
+/// completions (the production shape — bounded queue, load shedding).
+/// Past saturation the queue fills and admission control sheds; achieved
+/// QPS plateaus while the shed rate absorbs the excess.
+LoadOutcome RunOpenLoop(std::shared_ptr<const ServingModel> model,
+                        const std::vector<std::vector<TermId>>& queries,
+                        const std::vector<uint64_t>& reference,
+                        double offered_qps, double seconds) {
+  using Clock = std::chrono::steady_clock;
+  ServerOptions opts;  // default production shape: bounded queue, batching
+  auto server = Server::Create(model, opts);
+  KQR_CHECK(server.ok()) << server.status().ToString();
+
+  MetricsRegistry* registry = model->metrics_registry();
+  const MetricsSnapshot before =
+      registry != nullptr ? registry->Snapshot() : MetricsSnapshot{};
+
+  std::atomic<size_t> served{0}, shed{0}, mismatches{0};
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / offered_qps));
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point stop =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  Clock::time_point next = start;
+  size_t submitted = 0;
+  Timer wall;
+  while (next < stop) {
+    std::this_thread::sleep_until(next);
+    const size_t i = submitted % queries.size();
+    ServerRequest request;
+    request.terms = queries[i];
+    request.k = kTopK;
+    const uint64_t want = reference[i];
+    (*server)->Submit(
+        std::move(request), [&served, &shed, &mismatches, want](
+                                ServeResult r) {
+          if (r.ok()) {
+            served.fetch_add(1, std::memory_order_relaxed);
+            if (Fingerprint(*r) != want) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (r.status().IsUnavailable()) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    ++submitted;
+    next += interval;
+  }
+  (*server)->Drain();
+
+  LoadOutcome out;
+  out.offered_qps = offered_qps;
+  out.submitted = submitted;
+  out.served = served.load();
+  out.shed = shed.load();
+  const double wall_seconds = wall.ElapsedSeconds();
+  out.achieved_qps =
+      wall_seconds > 0 ? double(out.served) / wall_seconds : 0.0;
+  out.shed_rate =
+      submitted > 0 ? double(out.shed) / double(submitted) : 0.0;
+  if (registry != nullptr) {
+    const MetricsSnapshot after = registry->Snapshot();
+    const HistogramSnapshot* ra = after.Histogram("kqr_request_seconds");
+    const HistogramSnapshot* rb = before.Histogram("kqr_request_seconds");
+    if (ra != nullptr && rb != nullptr) {
+      out.p99_us = HistogramDelta(*ra, *rb).Quantile(0.99) * 1e6;
+    }
+  }
+  out.mismatches = mismatches.load();
+  return out;
+}
+
 void WriteJson(const std::vector<ConfigOutcome>& outcomes,
+               const std::vector<ServerOutcome>& server_outcomes,
+               const std::vector<LoadOutcome>& load_outcomes,
                double overhead_percent) {
   FILE* f = std::fopen("BENCH_scaling_online.json", "w");
   if (f == nullptr) {
@@ -157,6 +329,30 @@ void WriteJson(const std::vector<ConfigOutcome>& outcomes,
         o.threads, o.requests, o.wall_seconds, o.qps, o.speedup, o.p50_us,
         o.p95_us, o.p99_us, o.scratch_hit_rate, o.mismatches,
         i + 1 < outcomes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"server_saturation\": [\n");
+  for (size_t i = 0; i < server_outcomes.size(); ++i) {
+    const ServerOutcome& o = server_outcomes[i];
+    std::fprintf(
+        f,
+        "    {\"max_batch\": %zu, \"requests\": %zu, "
+        "\"wall_seconds\": %.6f, \"qps\": %.1f, \"p99_us\": %.1f, "
+        "\"mean_batch\": %.2f, \"mismatches\": %zu}%s\n",
+        o.max_batch, o.requests, o.wall_seconds, o.qps, o.p99_us,
+        o.mean_batch, o.mismatches,
+        i + 1 < server_outcomes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"server_open_loop\": [\n");
+  for (size_t i = 0; i < load_outcomes.size(); ++i) {
+    const LoadOutcome& o = load_outcomes[i];
+    std::fprintf(
+        f,
+        "    {\"offered_qps\": %.1f, \"submitted\": %zu, \"served\": %zu, "
+        "\"shed\": %zu, \"achieved_qps\": %.1f, \"shed_rate\": %.4f, "
+        "\"p99_us\": %.1f, \"mismatches\": %zu}%s\n",
+        o.offered_qps, o.submitted, o.served, o.shed, o.achieved_qps,
+        o.shed_rate, o.p99_us, o.mismatches,
+        i + 1 < load_outcomes.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -203,8 +399,8 @@ void Run() {
   {
     RequestContext ctx_serial;
     for (const auto& q : queries) {
-      reference.push_back(
-          Fingerprint(model.ReformulateTerms(q, kTopK, &ctx_serial)));
+      reference.push_back(Fingerprint(bench::MustReformulate(
+          model.ReformulateTerms(q, kTopK, &ctx_serial))));
     }
   }
 
@@ -225,6 +421,54 @@ void Run() {
     outcomes.push_back(o);
   }
   table.Print(std::cout);
+
+  // Server arms: the same workload through the batched async front-end.
+  // max_batch=1 is per-request dispatch (queue + workers, no batching);
+  // max_batch=8 adds micro-batching with shared term preparation. Equal
+  // worker count isolates the batching effect.
+  constexpr size_t kServerWorkers = 4;
+  std::printf("\n# server arms (%zu workers, saturation submit):\n",
+              kServerWorkers);
+  TablePrinter server_table({"dispatch", "QPS", "p99 (us)", "mean batch",
+                             "serial-identical"});
+  std::vector<ServerOutcome> server_outcomes;
+  for (size_t max_batch : {size_t{1}, size_t{8}}) {
+    ServerOutcome o = RunServerConfig(ctx.model, queries, reference,
+                                      kServerWorkers, max_batch);
+    server_table.AddRow(
+        {max_batch == 1 ? "per-request" : "batched (8)",
+         FormatDouble(o.qps, 0), FormatDouble(o.p99_us, 1),
+         FormatDouble(o.mean_batch, 2), o.mismatches == 0 ? "yes" : "NO"});
+    server_outcomes.push_back(o);
+  }
+  server_table.Print(std::cout);
+  const double per_request_qps = server_outcomes[0].qps;
+  const double batched_qps = server_outcomes[1].qps;
+  std::printf("shape: batched >= per-request dispatch at equal workers: "
+              "%s (%.0f vs %.0f QPS)\n",
+              batched_qps >= per_request_qps * 0.95 ? "HOLDS" : "VIOLATED",
+              batched_qps, per_request_qps);
+
+  // Offered-load sweep: open loop against the default production config.
+  // Rates bracket the measured saturation point so the sweep shows the
+  // under-load, near-capacity and overload (shedding) regimes.
+  std::printf("\n# open-loop offered-load sweep (default server config):\n");
+  TablePrinter load_table({"offered QPS", "achieved QPS", "shed rate",
+                           "p99 (us)", "serial-identical"});
+  std::vector<LoadOutcome> load_outcomes;
+  for (double factor : {0.5, 1.0, 2.0}) {
+    const double offered = batched_qps * factor;
+    if (offered <= 0) break;
+    LoadOutcome o = RunOpenLoop(ctx.model, queries, reference, offered,
+                                /*seconds=*/1.5);
+    load_table.AddRow({FormatDouble(o.offered_qps, 0),
+                       FormatDouble(o.achieved_qps, 0),
+                       FormatDouble(o.shed_rate * 100, 1) + "%",
+                       FormatDouble(o.p99_us, 1),
+                       o.mismatches == 0 ? "yes" : "NO"});
+    load_outcomes.push_back(o);
+  }
+  load_table.Print(std::cout);
 
   // Observability overhead: the identical single-thread workload against
   // a model built with the metrics kill switch off. Same corpus seed →
@@ -256,7 +500,7 @@ void Run() {
       "available)\n",
       last.mismatches == 0 ? "HOLDS" : "VIOLATED",
       last.speedup, std::thread::hardware_concurrency());
-  WriteJson(outcomes, overhead_percent);
+  WriteJson(outcomes, server_outcomes, load_outcomes, overhead_percent);
 }
 
 }  // namespace

@@ -33,7 +33,8 @@ MethodOutcome Evaluate(const ServingModel& model,
   std::vector<std::vector<ReformulatedQuery>> relevant_only;
   size_t kept = 0, produced = 0;
   for (const auto& q : queries) {
-    auto ranking = model.ReformulateTermsWith(opts, q, kTopK);
+    auto ranking =
+        bench::MustReformulate(model.ReformulateTermsWith(opts, q, kTopK));
     std::vector<ReformulatedQuery> relevant;
     for (const ReformulatedQuery& r : ranking) {
       if (judge.IsRelevant(q, r)) relevant.push_back(r);

@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/engine_builder.h"
+#include "kqr.h"
 #include "datagen/dblp_gen.h"
 
 using namespace kqr;

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/engine_builder.h"
+#include "kqr.h"
 #include "datagen/ecommerce_gen.h"
 
 using namespace kqr;

@@ -15,6 +15,7 @@
 //   $ ./build/examples/kqr_cli --audit <schema-file>|--demo
 //   $ ./build/examples/kqr_cli --stats <schema-file>|--demo "<query>" [k]
 //   $ ./build/examples/kqr_cli --stats-prom <schema-file>|--demo "<query>"
+//   $ ./build/examples/kqr_cli --serve-bench <schema-file>|--demo [sec] [qps]
 //
 // With --demo the synthetic DBLP corpus is used, e.g.:
 //   $ ./build/examples/kqr_cli --demo "probabilistic query" 5
@@ -29,16 +30,25 @@
 // results, per-stage trace spans and progress chatter go to stderr, so
 // stdout pipes cleanly into jq or a collector). --stats-prom emits the
 // same registry in Prometheus text exposition format instead.
+//
+// --serve-bench runs an open-loop load test through the batched async
+// kqr::Server front-end: sampled keyword queries are submitted at a fixed
+// offered rate for a fixed window, then the server drains and the achieved
+// QPS, shed rate and latency percentiles are printed.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "audit/model_auditor.h"
+#include "common/rng.h"
 #include "common/string_util.h"
-#include "core/engine_builder.h"
-#include "core/facets.h"
 #include "datagen/dblp_gen.h"
+#include "kqr.h"
 #include "obs/export.h"
 #include "storage/csv.h"
 
@@ -148,7 +158,13 @@ int RunQuery(const ServingModel& model, const std::string& query,
                  resolved.status().ToString().c_str());
     return 1;
   }
-  auto suggestions = model.ReformulateTerms(*resolved, k);
+  auto reformulated = model.ReformulateTerms(*resolved, k);
+  if (!reformulated.ok()) {
+    std::fprintf(stderr, "reformulation failed: %s\n",
+                 reformulated.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<ReformulatedQuery>& suggestions = *reformulated;
   std::printf("query: \"%s\" — %zu suggestions\n", query.c_str(),
               suggestions.size());
   auto facets = GroupByFacets(*resolved, suggestions, model.vocab());
@@ -187,7 +203,13 @@ int RunStats(const ServingModel& model, const std::string& query, size_t k,
   }
   RequestContext ctx;
   ctx.trace.Enable();
-  auto suggestions = model.ReformulateTerms(*resolved, k, &ctx);
+  auto reformulated = model.ReformulateTerms(*resolved, k, &ctx);
+  if (!reformulated.ok()) {
+    std::fprintf(stderr, "reformulation failed: %s\n",
+                 reformulated.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<ReformulatedQuery>& suggestions = *reformulated;
   std::fprintf(stderr, "query: \"%s\" — %zu suggestions\n", query.c_str(),
                suggestions.size());
   for (const ReformulatedQuery& q : suggestions) {
@@ -206,6 +228,116 @@ int RunStats(const ServingModel& model, const std::string& query, size_t k,
   return 0;
 }
 
+/// Open-loop serving benchmark through the batched async front-end:
+/// submits sampled term queries at a fixed offered rate for a fixed
+/// window (arrivals never wait for completions — overload sheds instead
+/// of stalling the clock), drains, and reports achieved QPS, shed rate,
+/// and latency percentiles from the engine's own metrics registry.
+int RunServeBench(std::shared_ptr<const ServingModel> model,
+                  double seconds, double offered_qps) {
+  using Clock = std::chrono::steady_clock;
+
+  // Workload: 64 queries of 2–3 terms drawn from the frequent vocabulary
+  // (doc-freq >= 3 avoids degenerate one-document terms).
+  Rng rng(7);
+  std::vector<TermId> pool;
+  for (TermId t = 0; t < model->vocab().size(); ++t) {
+    if (model->index().DocFreq(t) >= 3) pool.push_back(t);
+  }
+  if (pool.size() < 4) {
+    std::fprintf(stderr, "corpus too small for --serve-bench\n");
+    return 1;
+  }
+  std::vector<std::vector<TermId>> queries;
+  while (queries.size() < 64) {
+    const size_t len = 2 + rng.NextBounded(2);
+    std::vector<TermId> q;
+    while (q.size() < len) {
+      TermId t = pool[rng.NextBounded(pool.size())];
+      if (std::find(q.begin(), q.end(), t) == q.end()) q.push_back(t);
+    }
+    queries.push_back(std::move(q));
+  }
+
+  ServerOptions sopts;
+  sopts.num_workers = 4;
+  sopts.queue_capacity = 256;
+  sopts.max_batch = 8;
+  auto server = Server::Create(model, sopts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  const MetricsSnapshot before = model->MetricsNow();
+  std::atomic<size_t> ok_count{0}, shed{0}, deadline{0}, errors{0};
+  auto on_done = [&](ServeResult result) {
+    if (result.ok()) {
+      ok_count.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsUnavailable()) {
+      shed.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsDeadlineExceeded()) {
+      deadline.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::fprintf(stderr,
+               "serve-bench: %.0fs window at %.0f offered QPS "
+               "(%zu workers, queue %zu, batch %zu)\n",
+               seconds, offered_qps, sopts.num_workers,
+               sopts.queue_capacity, sopts.max_batch);
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / offered_qps));
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point stop =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  Clock::time_point next_arrival = start;
+  size_t submitted = 0;
+  while (next_arrival < stop) {
+    std::this_thread::sleep_until(next_arrival);  // open loop: fixed rate
+    ServerRequest request;
+    request.terms = queries[submitted % queries.size()];
+    request.k = 8;
+    (*server)->Submit(std::move(request), on_done);
+    ++submitted;
+    next_arrival += interval;
+  }
+  (*server)->Drain();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const MetricsSnapshot after = model->MetricsNow();
+  double p50_us = 0.0, p99_us = 0.0;
+  const HistogramSnapshot* req_after =
+      after.Histogram("kqr_request_seconds");
+  const HistogramSnapshot* req_before =
+      before.Histogram("kqr_request_seconds");
+  if (req_after != nullptr && req_before != nullptr) {
+    const HistogramSnapshot delta = HistogramDelta(*req_after, *req_before);
+    p50_us = delta.Quantile(0.50) * 1e6;
+    p99_us = delta.Quantile(0.99) * 1e6;
+  }
+  const double mean_batch =
+      [&]() {
+        const HistogramSnapshot* a = after.Histogram("kqr_server_batch_size");
+        const HistogramSnapshot* b =
+            before.Histogram("kqr_server_batch_size");
+        if (a == nullptr) return 0.0;
+        return b == nullptr ? a->Mean() : HistogramDelta(*a, *b).Mean();
+      }();
+  std::printf(
+      "submitted %zu | served %zu (%.0f QPS) | shed %zu (%.1f%%) | "
+      "deadline %zu | errors %zu | p50 %.0fus p99 %.0fus | mean batch "
+      "%.2f | wall %.2fs\n",
+      submitted, ok_count.load(), ok_count.load() / wall, shed.load(),
+      submitted > 0 ? 100.0 * shed.load() / submitted : 0.0,
+      deadline.load(), errors.load(), p50_us, p99_us, mean_batch, wall);
+  return errors.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int RunAudit(const ServingModel& model) {
@@ -219,22 +351,30 @@ int main(int argc, char** argv) {
   const std::string mode = argc >= 2 ? argv[1] : "";
   const bool audit = mode == "--audit";
   const bool stats = mode == "--stats" || mode == "--stats-prom";
+  const bool serve_bench = mode == "--serve-bench";
   if (argc < 3 || (stats && argc < 4)) {
     std::fprintf(stderr,
                  "usage: %s <schema-file>|--demo \"<query>\" [k]\n"
                  "       %s --audit <schema-file>|--demo\n"
                  "       %s --stats|--stats-prom <schema-file>|--demo "
-                 "\"<query>\" [k]\n",
-                 argv[0], argv[0], argv[0]);
+                 "\"<query>\" [k]\n"
+                 "       %s --serve-bench <schema-file>|--demo "
+                 "[seconds] [offered-qps]\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
-  const bool has_mode_flag = audit || stats;
+  const bool has_mode_flag = audit || stats || serve_bench;
   std::string source = argv[has_mode_flag ? 2 : 1];
-  std::string query = audit ? "" : argv[has_mode_flag ? 3 : 2];
+  std::string query =
+      audit || serve_bench ? "" : argv[has_mode_flag ? 3 : 2];
   const int k_index = has_mode_flag ? 4 : 3;
-  size_t k = !audit && argc > k_index
+  size_t k = !audit && !serve_bench && argc > k_index
                  ? static_cast<size_t>(std::atoi(argv[k_index]))
                  : 8;
+  const double bench_seconds =
+      serve_bench && argc > 3 ? std::atof(argv[3]) : 2.0;
+  const double bench_qps =
+      serve_bench && argc > 4 ? std::atof(argv[4]) : 400.0;
 
   Database db("empty");
   if (source == "--demo") {
@@ -267,6 +407,13 @@ int main(int argc, char** argv) {
                (*engine)->db().TotalRows(), (*engine)->vocab().size(),
                (*engine)->graph().num_nodes());
   if (audit) return RunAudit(**engine);
+  if (serve_bench) {
+    if (bench_seconds <= 0.0 || bench_qps <= 0.0) {
+      std::fprintf(stderr, "seconds and offered-qps must be positive\n");
+      return 2;
+    }
+    return RunServeBench(*engine, bench_seconds, bench_qps);
+  }
   if (stats) {
     return RunStats(**engine, query, k, mode == "--stats-prom");
   }

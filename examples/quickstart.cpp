@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "core/engine_builder.h"
+#include "kqr.h"
 
 using namespace kqr;
 

@@ -1,0 +1,95 @@
+// server_demo: the batched async serving front-end in ~80 lines.
+//
+// Builds a model over the synthetic DBLP corpus, starts a kqr::Server,
+// and demonstrates the three submission styles (future, callback,
+// blocking) plus the two failure modes a production caller must handle:
+// deadline-exceeded and load-shed. Ends with a graceful drain.
+//
+//   $ ./build/examples/server_demo
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "datagen/dblp_gen.h"
+#include "kqr.h"
+
+using namespace kqr;
+
+int main() {
+  auto corpus = GenerateDblp({});
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  auto built = EngineBuilder().Build(std::move(corpus->db));
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const ServingModel> model = std::move(*built);
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  auto server = Server::Create(model, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  auto terms = model->ResolveQuery("probabilistic query");
+  if (!terms.ok()) {
+    std::fprintf(stderr, "%s\n", terms.status().ToString().c_str());
+    return 1;
+  }
+
+  // 1. Future-based submission: fire, do other work, then wait.
+  ServerRequest request;
+  request.terms = *terms;
+  request.k = 5;
+  std::future<ServeResult> pending = (*server)->Submit(std::move(request));
+  ServeResult result = pending.get();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("future submit: %zu suggestions\n", result->size());
+  for (const ReformulatedQuery& q : *result) {
+    std::printf("  %-40s %.4g\n", q.ToString(model->vocab()).c_str(),
+                q.score);
+  }
+
+  // 2. Callback-based submission: completion runs on a worker thread.
+  std::promise<size_t> count;
+  ServerRequest cb_request;
+  cb_request.terms = *terms;
+  cb_request.k = 3;
+  (*server)->Submit(std::move(cb_request), [&count](ServeResult r) {
+    count.set_value(r.ok() ? r->size() : 0);
+  });
+  std::printf("callback submit: %zu suggestions\n",
+              count.get_future().get());
+
+  // 3. Blocking wrapper with a per-request deadline. An impossible
+  // deadline fails with a typed status — never a partial ranking.
+  ServeResult tight =
+      (*server)->Reformulate(*terms, 5, /*deadline_seconds=*/1e-9);
+  std::printf("impossible deadline -> %s\n",
+              tight.status().ToString().c_str());
+  ServeResult relaxed =
+      (*server)->Reformulate(*terms, 5, /*deadline_seconds=*/10.0);
+  std::printf("relaxed deadline   -> %s (%zu suggestions)\n",
+              relaxed.ok() ? "OK" : relaxed.status().ToString().c_str(),
+              relaxed.ok() ? relaxed->size() : 0);
+
+  // Graceful shutdown: everything admitted completes, then workers join.
+  (*server)->Drain();
+
+  // Post-drain submissions are refused with kUnavailable (load-shed
+  // path — the same status a full queue returns under overload).
+  ServeResult refused = (*server)->Reformulate(*terms, 5);
+  std::printf("after drain        -> %s\n",
+              refused.status().ToString().c_str());
+  return 0;
+}

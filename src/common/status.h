@@ -23,6 +23,10 @@ enum class StatusCode : int {
   kCorruption = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  /// The serving front-end refused admission (queue full / draining).
+  kUnavailable = 9,
+  /// The request's deadline passed before the pipeline finished.
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Human-readable name of a status code, e.g. "Invalid argument".
@@ -68,6 +72,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -88,6 +98,10 @@ class Status {
     return code() == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;

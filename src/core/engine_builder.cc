@@ -35,6 +35,7 @@ void RecordBuildStats(MetricsRegistry* registry, const char* stage,
 
 Result<std::shared_ptr<const ServingModel>> EngineBuilder::Build(
     Database db) const {
+  KQR_RETURN_NOT_OK(options_.Validate());
   KQR_RETURN_NOT_OK(db.ValidateIntegrity());
   std::shared_ptr<ServingModel> model(
       new ServingModel(std::move(db), options_));

@@ -16,6 +16,26 @@ const char* TopKAlgorithmName(TopKAlgorithm algorithm) {
   return "?";
 }
 
+Status ReformulatorOptions::Validate() const {
+  if (candidates.per_term == 0 && !candidates.include_original &&
+      !candidates.include_void) {
+    return Status::InvalidArgument(
+        "candidate options admit no states (per_term == 0, no original, "
+        "no void)");
+  }
+  if (candidates.void_similarity < 0.0) {
+    return Status::InvalidArgument("void_similarity must be >= 0");
+  }
+  if (hmm.void_transition < 0.0) {
+    return Status::InvalidArgument("void_transition must be >= 0");
+  }
+  if (hmm.transition_weight < 0.0 || hmm.emission_weight < 0.0) {
+    return Status::InvalidArgument(
+        "HMM component weights must be >= 0 (log-linear exponents)");
+  }
+  return Status::OK();
+}
+
 std::string ReformulatedQuery::ToString(const Vocabulary& vocab) const {
   std::string out;
   for (size_t i = 0; i < terms.size(); ++i) {
@@ -25,11 +45,14 @@ std::string ReformulatedQuery::ToString(const Vocabulary& vocab) const {
   return out;
 }
 
-std::vector<ReformulatedQuery> Reformulator::Reformulate(
+Result<std::vector<ReformulatedQuery>> Reformulator::Reformulate(
     const std::vector<TermId>& query_terms, size_t k,
     ReformulationTimings* timings, RequestContext* ctx) const {
   std::vector<ReformulatedQuery> out;
-  if (query_terms.empty() || k == 0) return out;
+  if (query_terms.empty()) {
+    return Status::InvalidArgument("query has no terms");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
 
   // Without a caller-provided context, all scratch lives on this frame —
   // same results, just cold buffers every call.
@@ -58,16 +81,23 @@ std::vector<ReformulatedQuery> Reformulator::Reformulate(
   for (const auto& list : candidates) trellis_states += list.size();
   candidate_span.SetItems(trellis_states);
   candidate_span.End();
-  for (const auto& list : candidates) {
-    if (list.empty()) {
+  for (size_t pos = 0; pos < candidates.size(); ++pos) {
+    if (candidates[pos].empty()) {
       if (metrics_ != nullptr && metrics_->unresolvable != nullptr) {
         metrics_->unresolvable->Increment();
       }
-      return out;  // unresolvable position
+      return Status::NotFound("no candidate states at query position " +
+                              std::to_string(pos));
     }
   }
   t.candidate_seconds = timer.ElapsedSeconds();
   timer.Reset();
+
+  // Deadline gate between candidate generation and HMM assembly (the
+  // server's admission deadline propagates here through the context).
+  if (c.DeadlineExpired()) {
+    return Status::DeadlineExceeded("deadline passed after candidate stage");
+  }
 
   // The identity query may occupy one result slot before we drop it, so
   // over-fetch by one.
@@ -90,6 +120,10 @@ std::vector<ReformulatedQuery> Reformulator::Reformulate(
       model_span.End();
       t.model_seconds = timer.ElapsedSeconds();
       timer.Reset();
+      // Deadline gate between HMM assembly and top-k decode.
+      if (c.DeadlineExpired()) {
+        return Status::DeadlineExceeded("deadline passed after model stage");
+      }
       if (options_.algorithm == TopKAlgorithm::kExtendedViterbi) {
         TraceScope decode_span(trace, "viterbi-topk");
         warm_decode = !c.viterbi.cells.empty();

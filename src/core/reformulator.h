@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "closeness/closeness_index.h"
+#include "common/result.h"
 #include "core/astar_topk.h"
 #include "core/candidates.h"
 #include "core/hmm.h"
@@ -57,6 +58,11 @@ struct ReformulatorOptions {
   TopKAlgorithm algorithm = TopKAlgorithm::kViterbiAStar;
   /// Drop the identity reformulation from the output.
   bool drop_identity = true;
+
+  /// \brief Rejects configurations that cannot serve (no candidate
+  /// states, negative affinities/weights). Checked at construction
+  /// boundaries: EngineBuilder::Build and ReformulateTermsWith.
+  Status Validate() const;
 };
 
 /// \brief Online query reformulation against prebuilt offline indexes.
@@ -84,8 +90,14 @@ class Reformulator {
   /// keyword). `timings`, when non-null, receives the stage breakdown.
   /// `ctx`, when non-null, supplies reusable scratch buffers and
   /// accumulates per-request stats; results are identical with or
-  /// without it.
-  std::vector<ReformulatedQuery> Reformulate(
+  /// without it. When `ctx` carries a deadline it is checked between
+  /// pipeline stages.
+  ///
+  /// Errors (never a partial result):
+  ///   kInvalidArgument   empty query or k == 0
+  ///   kNotFound          a position has no candidate states
+  ///   kDeadlineExceeded  ctx->deadline passed mid-pipeline
+  Result<std::vector<ReformulatedQuery>> Reformulate(
       const std::vector<TermId>& query_terms, size_t k,
       ReformulationTimings* timings = nullptr,
       RequestContext* ctx = nullptr) const;

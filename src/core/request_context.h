@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
@@ -77,6 +78,23 @@ struct RequestContext {
   /// stage); call trace.Enable() to capture stage spans, trace.Clear()
   /// between requests to drop the previous request's spans.
   RequestTrace trace;
+
+  /// Absolute deadline for the current request. The default (epoch) means
+  /// no deadline. The online pipeline checks it between stages (after
+  /// lazy preparation, candidate generation, and HMM assembly) and fails
+  /// the request with StatusCode::kDeadlineExceeded — never a partial
+  /// result. The serving front-end (kqr::Server) sets and clears this per
+  /// request; direct callers may set it by hand.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+  /// True when a deadline is set and has passed. Costs one clock read
+  /// when a deadline is set, one comparison otherwise.
+  bool DeadlineExpired() const {
+    return has_deadline() && std::chrono::steady_clock::now() >= deadline;
+  }
 };
 
 }  // namespace kqr

@@ -26,6 +26,24 @@ struct ServingModel::PrepareScratch {
   }
 };
 
+Status EngineOptions::Validate() const {
+  KQR_RETURN_NOT_OK(reformulator.Validate());
+  if (similarity.list_size == 0) {
+    return Status::InvalidArgument(
+        "similarity.list_size must be positive (no similar lists means no "
+        "candidates)");
+  }
+  if (closeness.list_size == 0) {
+    return Status::InvalidArgument("closeness.list_size must be positive");
+  }
+  if (reformulator.hmm.smoothing.lambda < 0.0 ||
+      reformulator.hmm.smoothing.lambda > 1.0) {
+    return Status::InvalidArgument(
+        "smoothing lambda must be in [0, 1] (it is a mixture weight)");
+  }
+  return Status::OK();
+}
+
 ServingModel::ServingModel(Database db, EngineOptions options)
     : db_(std::move(db)),
       options_(options),
@@ -146,6 +164,46 @@ void ServingModel::PrecomputeFor(const std::vector<TermId>& terms) const {
   for (TermId t : terms) EnsureTerm(t);
 }
 
+size_t ServingModel::PrepareTermsBatch(
+    const std::vector<TermId>& terms) const {
+  if (fully_prepared_.load(std::memory_order_acquire)) return 0;
+
+  // Dedup the batch's query terms so shared terms get one double-checked
+  // lookup (and at most one preparation) for the whole batch.
+  std::vector<TermId> unique = terms;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  size_t prepared = 0;
+  for (TermId t : unique) {
+    if (t < vocab_.size()) prepared += EnsureTerm(t) ? 1 : 0;
+  }
+
+  // The online pipeline also reads closeness between candidates, so the
+  // preparation closure includes every candidate substitute. Expanding
+  // from the deduped term set means a candidate shared by many requests
+  // is expanded and prepared once per batch, not once per request.
+  CandidateBuilder builder(similarity_, options_.reformulator.candidates);
+  std::vector<TermId> substitutes;
+  for (TermId t : unique) {
+    if (t >= vocab_.size()) continue;
+    for (const CandidateState& s : builder.BuildFor(t)) {
+      if (!s.is_void) substitutes.push_back(s.term);
+    }
+  }
+  std::sort(substitutes.begin(), substitutes.end());
+  substitutes.erase(std::unique(substitutes.begin(), substitutes.end()),
+                    substitutes.end());
+  for (TermId t : substitutes) {
+    prepared += EnsureTerm(t) ? 1 : 0;
+  }
+
+  if (prepared > 0 && metrics_.lazy_terms_prepared != nullptr) {
+    metrics_.lazy_terms_prepared->Increment(prepared);
+  }
+  return prepared;
+}
+
 void ServingModel::ImportTermRelations(TermId term,
                                        std::vector<SimilarTerm> similar,
                                        std::vector<CloseTerm> close) const {
@@ -200,19 +258,29 @@ Result<std::vector<ReformulatedQuery>> ServingModel::Reformulate(
   return ReformulateTerms(terms, k, ctx, timings);
 }
 
-std::vector<ReformulatedQuery> ServingModel::ReformulateTerms(
+Result<std::vector<ReformulatedQuery>> ServingModel::ReformulateTerms(
     const std::vector<TermId>& query_terms, size_t k, RequestContext* ctx,
     ReformulationTimings* timings) const {
   return ReformulateTermsWith(options_.reformulator, query_terms, k, ctx,
                               timings);
 }
 
-std::vector<ReformulatedQuery> ServingModel::ReformulateTermsWith(
+Result<std::vector<ReformulatedQuery>> ServingModel::ReformulateTermsWith(
     const ReformulatorOptions& opts, const std::vector<TermId>& query_terms,
     size_t k, RequestContext* ctx, ReformulationTimings* timings) const {
+  KQR_RETURN_NOT_OK(opts.Validate());
+  for (TermId t : query_terms) {
+    if (t == kInvalidTermId || t >= vocab_.size()) {
+      return Status::InvalidArgument("query term id " + std::to_string(t) +
+                                     " is outside the vocabulary");
+    }
+  }
+
   // Offline products must exist for the query terms and for every
   // candidate substitute (the HMM reads closeness between candidates).
-  // Eagerly built models skip this entirely.
+  // Eagerly built models skip this entirely; server micro-batches mostly
+  // skip it too because PrepareTermsBatch ran first (every check below
+  // then hits its prepared flag).
   if (!fully_prepared_.load(std::memory_order_acquire)) {
     size_t prepared = 0;
     for (TermId t : query_terms) prepared += EnsureTerm(t) ? 1 : 0;
@@ -226,11 +294,33 @@ std::vector<ReformulatedQuery> ServingModel::ReformulateTermsWith(
     if (prepared > 0 && metrics_.lazy_terms_prepared != nullptr) {
       metrics_.lazy_terms_prepared->Increment(prepared);
     }
+    // Deadline gate after lazy preparation (first-touch preparation can
+    // dwarf the online stages).
+    if (ctx != nullptr && ctx->DeadlineExpired()) {
+      return Status::DeadlineExceeded(
+          "deadline passed after lazy term preparation");
+    }
   }
 
   Reformulator reformulator(similarity_, closeness_, *stats_, *graph_, opts,
                             registry_ != nullptr ? &metrics_ : nullptr);
   return reformulator.Reformulate(query_terms, k, timings, ctx);
+}
+
+std::vector<ReformulatedQuery> ServingModel::ReformulateTermsOrEmpty(
+    const std::vector<TermId>& query_terms, size_t k, RequestContext* ctx,
+    ReformulationTimings* timings) const {
+  auto result = ReformulateTerms(query_terms, k, ctx, timings);
+  return result.ok() ? std::move(result).ValueUnsafe()
+                     : std::vector<ReformulatedQuery>{};
+}
+
+std::vector<ReformulatedQuery> ServingModel::ReformulateTermsWithOrEmpty(
+    const ReformulatorOptions& opts, const std::vector<TermId>& query_terms,
+    size_t k, RequestContext* ctx, ReformulationTimings* timings) const {
+  auto result = ReformulateTermsWith(opts, query_terms, k, ctx, timings);
+  return result.ok() ? std::move(result).ValueUnsafe()
+                     : std::vector<ReformulatedQuery>{};
 }
 
 KeywordQuery ServingModel::QueryFromTerms(

@@ -69,6 +69,11 @@ struct EngineOptions {
   /// for the measured overhead). When false no registry exists and every
   /// recording site reduces to one null check.
   bool enable_metrics = true;
+
+  /// \brief Rejects configurations that cannot build or serve. Called by
+  /// EngineBuilder::Build before any offline work starts; also validates
+  /// the nested ReformulatorOptions.
+  Status Validate() const;
 };
 
 /// \brief End-to-end keyword query reformulation over one database:
@@ -94,7 +99,12 @@ class ServingModel {
 
   /// \brief Online reformulation for pre-resolved terms, under the model's
   /// built-in reformulator options.
-  std::vector<ReformulatedQuery> ReformulateTerms(
+  ///
+  /// Errors (never a partial result):
+  ///   kInvalidArgument   empty query, k == 0, or a term outside the vocab
+  ///   kNotFound          a position has no candidate states
+  ///   kDeadlineExceeded  ctx->deadline passed mid-pipeline
+  Result<std::vector<ReformulatedQuery>> ReformulateTerms(
       const std::vector<TermId>& query_terms, size_t k,
       RequestContext* ctx = nullptr,
       ReformulationTimings* timings = nullptr) const;
@@ -102,8 +112,27 @@ class ServingModel {
   /// \brief Online reformulation under caller-supplied options (benches
   /// sweep algorithms/candidate shapes this way; the old mutable_options
   /// pattern raced with serving). Candidate preparation honors
-  /// `opts.candidates`.
-  std::vector<ReformulatedQuery> ReformulateTermsWith(
+  /// `opts.candidates`. Same error contract as ReformulateTerms, plus
+  /// kInvalidArgument when `opts` fails Validate().
+  Result<std::vector<ReformulatedQuery>> ReformulateTermsWith(
+      const ReformulatorOptions& opts,
+      const std::vector<TermId>& query_terms, size_t k,
+      RequestContext* ctx = nullptr,
+      ReformulationTimings* timings = nullptr) const;
+
+  /// \brief Pre-Result shim: empty vector on any error. Deprecated for
+  /// one PR; migrate to ReformulateTerms and check the Status.
+  [[deprecated("use ReformulateTerms; it reports errors as Status")]]
+  std::vector<ReformulatedQuery> ReformulateTermsOrEmpty(
+      const std::vector<TermId>& query_terms, size_t k,
+      RequestContext* ctx = nullptr,
+      ReformulationTimings* timings = nullptr) const;
+
+  /// \brief Pre-Result shim: empty vector on any error. Deprecated for
+  /// one PR; migrate to ReformulateTermsWith and check the Status.
+  [[deprecated(
+      "use ReformulateTermsWith; it reports errors as Status")]]
+  std::vector<ReformulatedQuery> ReformulateTermsWithOrEmpty(
       const ReformulatorOptions& opts,
       const std::vector<TermId>& query_terms, size_t k,
       RequestContext* ctx = nullptr,
@@ -117,6 +146,17 @@ class ServingModel {
   /// \brief Offline pass over an explicit term set (benches call this so
   /// online timing excludes offline work).
   void PrecomputeFor(const std::vector<TermId>& terms) const;
+
+  /// \brief Batched lazy preparation: ensures offline products exist for
+  /// every term in `terms` AND for every candidate substitute those terms
+  /// generate (the closure the online pipeline needs), visiting each
+  /// unique term exactly once. A server micro-batch calls this with the
+  /// union of its requests' terms, so terms shared across requests get
+  /// one shared prep pass instead of per-request double-checked misses.
+  /// Returns the number of terms this call prepared. No-op (returns 0) on
+  /// fully prepared models. Concurrency-safe and order-independent: the
+  /// cache converges to the same state as per-request preparation.
+  size_t PrepareTermsBatch(const std::vector<TermId>& terms) const;
 
   /// \brief Installs externally computed offline products for `term`
   /// (snapshot loading) and marks it prepared. No-op for terms already

@@ -1,0 +1,33 @@
+// kqr.h — the supported public surface of the library, in one include.
+//
+// Downstream code (examples, benches, external users) includes this
+// facade instead of reaching into per-module headers; tools/lint.py
+// enforces it for examples/ and bench/ (rule `facade-include`, with an
+// allowlist for benches that deliberately exercise internals). What the
+// facade exports is the API we keep stable across PRs:
+//
+//   Status / Result<T>       error signalling (common/status.h, result.h)
+//   EngineBuilder            offline stage: Database -> ServingModel
+//   EngineOptions            every knob, with Validate()
+//   ServingModel             immutable, thread-safe serving artifact
+//   Reformulator             the online pipeline (advanced direct use)
+//   RequestContext           per-thread scratch + deadline carrier
+//   Server / ServerOptions   batched async serving front-end
+//   Snapshot save/load       persisted offline products
+//   Facets / explanations    suggestion grouping for presentation
+//
+// Everything else under src/ (walk engines, graph internals, storage,
+// text analysis) is implementation: stable enough to test against, not
+// part of the supported surface.
+
+#pragma once
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine_builder.h"
+#include "core/facets.h"
+#include "core/reformulator.h"
+#include "core/request_context.h"
+#include "core/serving_model.h"
+#include "core/snapshot.h"
+#include "server/server.h"

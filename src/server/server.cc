@@ -1,0 +1,255 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kqr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point DeadlineFor(double relative_seconds,
+                              Clock::time_point now) {
+  if (relative_seconds <= 0.0) return Clock::time_point{};
+  return now + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(relative_seconds));
+}
+
+}  // namespace
+
+Status ServerOptions::Validate() const {
+  if (num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "queue_capacity must be positive (a zero-capacity queue sheds "
+        "everything)");
+  }
+  if (max_batch == 0) {
+    return Status::InvalidArgument("max_batch must be positive");
+  }
+  if (default_deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "default_deadline_seconds must be >= 0 (0 disables)");
+  }
+  return Status::OK();
+}
+
+ServerMetrics ServerMetrics::ResolveIn(MetricsRegistry* registry) {
+  ServerMetrics m;
+  if (registry == nullptr) return m;
+  m.submitted = registry->GetCounter("kqr_server_submitted_total");
+  m.shed = registry->GetCounter("kqr_server_shed_total");
+  m.deadline_exceeded =
+      registry->GetCounter("kqr_server_deadline_exceeded_total");
+  m.completed = registry->GetCounter("kqr_server_completed_total");
+  m.errors = registry->GetCounter("kqr_server_errors_total");
+  m.batch_terms_prepared =
+      registry->GetCounter("kqr_server_batch_terms_prepared_total");
+  m.queue_depth = registry->GetGauge("kqr_server_queue_depth");
+  m.batch_size =
+      registry->GetHistogram("kqr_server_batch_size", DefaultCountBounds());
+  m.queue_wait_seconds =
+      registry->GetHistogram("kqr_server_queue_wait_seconds");
+  return m;
+}
+
+Result<std::unique_ptr<Server>> Server::Create(
+    std::shared_ptr<const ServingModel> model, ServerOptions options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("server needs a model to serve");
+  }
+  KQR_RETURN_NOT_OK(options.Validate());
+  return std::unique_ptr<Server>(new Server(std::move(model), options));
+}
+
+Server::Server(std::shared_ptr<const ServingModel> model,
+               ServerOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      metrics_(ServerMetrics::ResolveIn(model_->metrics_registry())) {
+  workers_.reserve(options_.num_workers);
+  for (size_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+Server::~Server() { Drain(); }
+
+void Server::Submit(ServerRequest request, ServeCallback callback) {
+  if (metrics_.submitted != nullptr) metrics_.submitted->Increment();
+
+  if (request.deadline_seconds < 0.0) {
+    callback(Status::InvalidArgument("deadline_seconds must be >= 0"));
+    return;
+  }
+  const Clock::time_point now = Clock::now();
+  Pending pending;
+  pending.deadline = DeadlineFor(request.deadline_seconds > 0.0
+                                     ? request.deadline_seconds
+                                     : options_.default_deadline_seconds,
+                                 now);
+  pending.enqueued = now;
+  pending.request = std::move(request);
+  pending.done = std::move(callback);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (draining_) {
+      lock.unlock();
+      if (metrics_.shed != nullptr) metrics_.shed->Increment();
+      pending.done(Status::Unavailable("server is draining"));
+      return;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      // Admission control: shed instead of buffering without bound. The
+      // caller sees a typed kUnavailable immediately and can back off.
+      lock.unlock();
+      if (metrics_.shed != nullptr) metrics_.shed->Increment();
+      pending.done(
+          Status::Unavailable("request queue is full (load shed)"));
+      return;
+    }
+    queue_.push_back(std::move(pending));
+    if (metrics_.queue_depth != nullptr) {
+      metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+}
+
+std::future<ServeResult> Server::Submit(ServerRequest request) {
+  auto promise = std::make_shared<std::promise<ServeResult>>();
+  std::future<ServeResult> future = promise->get_future();
+  Submit(std::move(request),
+         [promise](ServeResult result) {
+           promise->set_value(std::move(result));
+         });
+  return future;
+}
+
+ServeResult Server::Reformulate(const std::vector<TermId>& terms, size_t k,
+                                double deadline_seconds) {
+  ServerRequest request;
+  request.terms = terms;
+  request.k = k;
+  request.deadline_seconds = deadline_seconds;
+  return Submit(std::move(request)).get();
+}
+
+void Server::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Server::WorkerLoop() {
+  // Per-worker warm scratch: the whole point of a worker pool is that
+  // trellis/HMM/decoder buffers stay warm across every request the
+  // worker serves (identical results either way).
+  RequestContext ctx;
+  std::vector<TermId> term_scratch;
+  std::vector<Pending> batch;
+
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left to serve
+      // Micro-batch: take up to max_batch requests in one queue
+      // round-trip. FIFO order; admission order is completion order
+      // within one worker.
+      const size_t take = std::min(options_.max_batch, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (metrics_.queue_depth != nullptr) {
+        metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+      }
+    }
+    ServeBatch(&batch, &ctx, &term_scratch);
+  }
+}
+
+void Server::ServeBatch(std::vector<Pending>* batch, RequestContext* ctx,
+                        std::vector<TermId>* term_scratch) {
+  if (metrics_.batch_size != nullptr) {
+    metrics_.batch_size->Observe(static_cast<double>(batch->size()));
+  }
+
+  // One shared preparation pass across the batch: terms (and candidate
+  // expansions) shared by several requests are prepared once, instead of
+  // each request paying its own double-checked misses. Skipped entirely
+  // for eager (fully prepared) models.
+  if (!model_->fully_prepared()) {
+    term_scratch->clear();
+    for (const Pending& p : *batch) {
+      // Respect the cheapest deadline rule: a request already past its
+      // deadline contributes no preparation work.
+      if (p.deadline != Clock::time_point{} &&
+          Clock::now() >= p.deadline) {
+        continue;
+      }
+      term_scratch->insert(term_scratch->end(), p.request.terms.begin(),
+                           p.request.terms.end());
+    }
+    const size_t prepared = model_->PrepareTermsBatch(*term_scratch);
+    if (prepared > 0 && metrics_.batch_terms_prepared != nullptr) {
+      metrics_.batch_terms_prepared->Increment(prepared);
+    }
+  }
+
+  for (Pending& p : *batch) {
+    const Clock::time_point start = Clock::now();
+    if (metrics_.queue_wait_seconds != nullptr) {
+      metrics_.queue_wait_seconds->Observe(
+          std::chrono::duration<double>(start - p.enqueued).count());
+    }
+    // Dequeue-time deadline gate: a request that expired while queued is
+    // failed without touching the pipeline at all.
+    if (p.deadline != Clock::time_point{} && start >= p.deadline) {
+      if (metrics_.deadline_exceeded != nullptr) {
+        metrics_.deadline_exceeded->Increment();
+      }
+      p.done(Status::DeadlineExceeded("deadline passed while queued"));
+      continue;
+    }
+
+    ctx->deadline = p.deadline;  // propagates into the stage gates
+    ServeResult result =
+        model_->ReformulateTerms(p.request.terms, p.request.k, ctx);
+    ctx->deadline = {};
+
+    if (result.ok()) {
+      if (metrics_.completed != nullptr) metrics_.completed->Increment();
+    } else if (result.status().IsDeadlineExceeded()) {
+      if (metrics_.deadline_exceeded != nullptr) {
+        metrics_.deadline_exceeded->Increment();
+      }
+    } else if (metrics_.errors != nullptr) {
+      metrics_.errors->Increment();
+    }
+    p.done(std::move(result));
+  }
+}
+
+}  // namespace kqr

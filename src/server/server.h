@@ -1,0 +1,163 @@
+// kqr::Server — the asynchronous, batching serving front-end over an
+// immutable ServingModel (DESIGN.md §7 "Serving front-end").
+//
+// Systems serving keyword search over structured data at scale put an
+// admission-controlled query front-end between clients and the engine;
+// this is ours. Clients Submit requests; a bounded MPMC queue applies
+// admission control (reject with kUnavailable when full — load shedding,
+// never unbounded buffering); a worker pool dequeues micro-batches,
+// dedups lazy term-cache preparation across each batch
+// (ServingModel::PrepareTermsBatch), serves every request with a warm
+// per-worker RequestContext, and completes the caller's future or
+// callback. Per-request deadlines propagate into the online pipeline
+// through RequestContext and are checked between stages — an expired
+// request fails with kDeadlineExceeded, never a partial result.
+//
+// Results are bit-identical to direct Reformulator/ServingModel calls:
+// batching changes scheduling, never answers (server_test.cc proves it).
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/serving_model.h"
+#include "obs/metrics.h"
+
+namespace kqr {
+
+struct ServerOptions {
+  /// Worker threads serving dequeued requests.
+  size_t num_workers = 4;
+  /// Admission bound: requests beyond this many queued are shed with
+  /// kUnavailable instead of buffered (bounded memory, bounded latency).
+  size_t queue_capacity = 256;
+  /// Micro-batch bound: a worker dequeues up to this many requests at
+  /// once and shares one term-preparation pass across them.
+  size_t max_batch = 8;
+  /// Relative deadline applied to requests that do not carry their own;
+  /// 0 disables the default deadline.
+  double default_deadline_seconds = 0.0;
+
+  /// \brief Rejects configurations that cannot serve: zero workers, zero
+  /// queue capacity, zero batch size, negative deadline.
+  Status Validate() const;
+};
+
+/// \brief One unit of admission: pre-resolved query terms plus ranking
+/// depth and an optional relative deadline.
+struct ServerRequest {
+  std::vector<TermId> terms;
+  size_t k = 10;
+  /// Deadline in seconds from Submit time. 0 = use the server default;
+  /// negative is rejected with kInvalidArgument.
+  double deadline_seconds = 0.0;
+};
+
+using ServeResult = Result<std::vector<ReformulatedQuery>>;
+/// Completion callback; runs on a worker thread (or inline on the
+/// submitting thread when the request is shed at admission).
+using ServeCallback = std::function<void(ServeResult)>;
+
+/// Pre-resolved handles for the server's metric surface, registered in
+/// the model's MetricsRegistry (same names-in-registry convention as
+/// ServingMetrics; all-null when metrics are disabled).
+struct ServerMetrics {
+  Counter* submitted = nullptr;  ///< kqr_server_submitted_total
+  Counter* shed = nullptr;       ///< kqr_server_shed_total
+  Counter* deadline_exceeded =
+      nullptr;                   ///< kqr_server_deadline_exceeded_total
+  Counter* completed = nullptr;  ///< kqr_server_completed_total (ok only)
+  Counter* errors = nullptr;     ///< kqr_server_errors_total (other errors)
+  Counter* batch_terms_prepared =
+      nullptr;  ///< kqr_server_batch_terms_prepared_total
+  Gauge* queue_depth = nullptr;  ///< kqr_server_queue_depth
+  LatencyHistogram* batch_size = nullptr;  ///< kqr_server_batch_size
+  LatencyHistogram* queue_wait_seconds =
+      nullptr;  ///< kqr_server_queue_wait_seconds
+
+  static ServerMetrics ResolveIn(MetricsRegistry* registry);
+};
+
+/// \brief Batched async front-end over one shared ServingModel.
+///
+/// Thread-safety: Submit/Reformulate are safe from any number of threads
+/// concurrently with each other and with Drain. Every admitted request
+/// is completed (served, or failed with a typed Status) before Drain
+/// returns, and the destructor drains — no future is ever abandoned.
+class Server {
+ public:
+  /// \brief Validates `options`, registers the server metrics in the
+  /// model's registry, and starts the worker pool.
+  static Result<std::unique_ptr<Server>> Create(
+      std::shared_ptr<const ServingModel> model, ServerOptions options = {});
+
+  ~Server();  // drains
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \brief Asynchronous submission. The returned future completes with
+  /// the ranking or a typed error:
+  ///   kUnavailable       queue full (load shed) or server draining
+  ///   kDeadlineExceeded  deadline passed while queued or mid-pipeline
+  ///   kInvalidArgument   negative deadline, bad terms/k
+  ///   kNotFound          a position has no candidate states
+  /// Shed requests complete immediately; nothing is partially served.
+  std::future<ServeResult> Submit(ServerRequest request);
+
+  /// \brief Callback form of Submit. `callback` runs exactly once: on a
+  /// worker thread after serving, or inline when shed at admission.
+  void Submit(ServerRequest request, ServeCallback callback);
+
+  /// \brief Blocking convenience wrapper: Submit + wait. Do not call
+  /// from inside a ServeCallback (it would deadlock a worker on itself).
+  ServeResult Reformulate(const std::vector<TermId>& terms, size_t k,
+                          double deadline_seconds = 0.0);
+
+  /// \brief Graceful shutdown: stop admitting (new Submits are shed with
+  /// kUnavailable), serve everything already queued, complete every
+  /// outstanding future, join the workers. Idempotent.
+  void Drain();
+
+  bool draining() const;
+  /// Requests currently queued (not yet dequeued into a batch).
+  size_t queue_depth() const;
+  const ServerOptions& options() const { return options_; }
+  const ServingModel& model() const { return *model_; }
+
+ private:
+  Server(std::shared_ptr<const ServingModel> model, ServerOptions options);
+
+  struct Pending {
+    ServerRequest request;
+    /// Absolute deadline (epoch = none), fixed at admission.
+    std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point enqueued{};
+    ServeCallback done;
+  };
+
+  void WorkerLoop();
+  /// Serves one dequeued batch on the calling worker thread.
+  void ServeBatch(std::vector<Pending>* batch, RequestContext* ctx,
+                  std::vector<TermId>* term_scratch);
+
+  std::shared_ptr<const ServingModel> model_;
+  ServerOptions options_;
+  ServerMetrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kqr

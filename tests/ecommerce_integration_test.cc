@@ -89,12 +89,13 @@ TEST_F(EcommerceIntegration, FacetsGroupSuggestions) {
   auto terms = engine_->ResolveQuery("yoga mat");
   ASSERT_TRUE(terms.ok());
   auto suggestions = engine_->ReformulateTerms(*terms, 8);
-  ASSERT_FALSE(suggestions.empty());
-  auto facets = GroupByFacets(*terms, suggestions, engine_->vocab());
+  ASSERT_TRUE(suggestions.ok()) << suggestions.status().ToString();
+  ASSERT_FALSE(suggestions->empty());
+  auto facets = GroupByFacets(*terms, *suggestions, engine_->vocab());
   ASSERT_FALSE(facets.empty());
   size_t total = 0;
   for (const auto& f : facets) total += f.suggestions.size();
-  EXPECT_EQ(total, suggestions.size());
+  EXPECT_EQ(total, suggestions->size());
 }
 
 TEST_F(EcommerceIntegration, ReviewsContributeTerms) {

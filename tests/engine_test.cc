@@ -33,6 +33,39 @@ TEST(Engine, RejectsCorruptDatabase) {
   EXPECT_TRUE(model.status().IsCorruption());
 }
 
+TEST(Engine, BuildRejectsInvalidOptions) {
+  // Validate() runs at the construction boundary: a bad configuration
+  // fails the build with kInvalidArgument instead of building a model
+  // that cannot serve.
+  EngineOptions no_states;
+  no_states.reformulator.candidates.per_term = 0;
+  no_states.reformulator.candidates.include_original = false;
+  no_states.reformulator.candidates.include_void = false;
+  auto build = EngineBuilder(no_states).Build(
+      testing_fixtures::MakeMicroDblp());
+  ASSERT_FALSE(build.ok());
+  EXPECT_TRUE(build.status().IsInvalidArgument())
+      << build.status().ToString();
+
+  EngineOptions empty_lists;
+  empty_lists.similarity.list_size = 0;
+  EXPECT_TRUE(EngineBuilder(empty_lists)
+                  .Build(testing_fixtures::MakeMicroDblp())
+                  .status()
+                  .IsInvalidArgument());
+
+  EngineOptions bad_lambda;
+  bad_lambda.reformulator.hmm.smoothing.lambda = 1.5;
+  EXPECT_TRUE(EngineBuilder(bad_lambda)
+                  .Build(testing_fixtures::MakeMicroDblp())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Engine, EngineOptionsValidateAcceptsDefaults) {
+  EXPECT_TRUE(EngineOptions{}.Validate().ok());
+}
+
 TEST(Engine, ResolveQueryPicksTerms) {
   auto model = MakeModel();
   auto terms = model->ResolveQuery("uncertain query");
@@ -149,8 +182,10 @@ TEST(Engine, ReformulateTermsWithOverridesOptions) {
   narrow.candidates.per_term = 1;
   auto defaults = model->ReformulateTerms(*terms, 5);
   auto narrowed = model->ReformulateTermsWith(narrow, *terms, 5);
+  ASSERT_TRUE(defaults.ok()) << defaults.status().ToString();
+  ASSERT_TRUE(narrowed.ok()) << narrowed.status().ToString();
   // per_term = 1 leaves only the identity candidate at each position.
-  EXPECT_LE(narrowed.size(), defaults.size());
+  EXPECT_LE(narrowed->size(), defaults->size());
   // The shared model's own options are untouched.
   EXPECT_NE(model->options().reformulator.candidates.per_term, 1u);
 }

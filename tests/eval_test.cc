@@ -126,9 +126,10 @@ TEST_F(EvalIntegration, JudgeAcceptsTopicalReformulation) {
   QuerySampler sampler(*ctx_->model, 123);
   auto query = sampler.SampleQuery(2);
   auto results = ctx_->model->ReformulateTerms(query, 10);
-  ASSERT_FALSE(results.empty());
-  auto judgments = judge.JudgeRanking(query, results);
-  EXPECT_EQ(judgments.size(), results.size());
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_FALSE(results->empty());
+  auto judgments = judge.JudgeRanking(query, *results);
+  EXPECT_EQ(judgments.size(), results->size());
   // At least one reformulation of a topical query should be judged
   // relevant at these corpus sizes.
   bool any = false;
@@ -167,7 +168,9 @@ TEST_F(EvalIntegration, ResultSizeMetricPositiveForRealQueries) {
   auto queries = sampler.SampleQueries(3, 2);
   std::vector<std::vector<ReformulatedQuery>> per_query;
   for (const auto& q : queries) {
-    per_query.push_back(ctx_->model->ReformulateTerms(q, 5));
+    auto ranking = ctx_->model->ReformulateTerms(q, 5);
+    ASSERT_TRUE(ranking.ok()) << ranking.status().ToString();
+    per_query.push_back(std::move(*ranking));
   }
   double mean = MeanResultSize(*ctx_->model, per_query);
   EXPECT_GE(mean, 0.0);
@@ -178,7 +181,9 @@ TEST_F(EvalIntegration, QueryDistanceMetricInRange) {
   auto queries = sampler.SampleQueries(3, 2);
   std::vector<std::vector<ReformulatedQuery>> per_query;
   for (const auto& q : queries) {
-    per_query.push_back(ctx_->model->ReformulateTerms(q, 5));
+    auto ranking = ctx_->model->ReformulateTerms(q, 5);
+    ASSERT_TRUE(ranking.ok()) << ranking.status().ToString();
+    per_query.push_back(std::move(*ranking));
   }
   double dist = MeanQueryDistance(ctx_->model->graph(), queries,
                                   per_query);

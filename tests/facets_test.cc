@@ -107,7 +107,8 @@ TEST_F(FacetsTest, ExplainMarksKeptDroppedAndSubstituted) {
   auto terms = engine_->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
   auto suggestions = engine_->ReformulateTerms(*terms, 3);
-  ASSERT_FALSE(suggestions.empty());
+  ASSERT_TRUE(suggestions.ok()) << suggestions.status().ToString();
+  ASSERT_FALSE(suggestions->empty());
 
   ReformulatedQuery custom;
   custom.terms = {(*terms)[0], kInvalidTermId};
@@ -125,9 +126,10 @@ TEST_F(FacetsTest, ExplainRealSuggestionHasSimilarity) {
   auto terms = engine_->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
   auto suggestions = engine_->ReformulateTerms(*terms, 3);
-  ASSERT_FALSE(suggestions.empty());
+  ASSERT_TRUE(suggestions.ok()) << suggestions.status().ToString();
+  ASSERT_FALSE(suggestions->empty());
   auto explained =
-      ExplainReformulation(*engine_, *terms, suggestions[0]);
+      ExplainReformulation(*engine_, *terms, (*suggestions)[0]);
   ASSERT_EQ(explained.size(), 2u);
   bool any_substitution = false;
   for (const auto& e : explained) {

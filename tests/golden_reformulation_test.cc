@@ -126,8 +126,9 @@ std::vector<GoldenEntry> ComputeEntries(const ServingModel& model) {
   for (const std::vector<TermId>& query : GoldenQueries(model)) {
     GoldenEntry entry;
     for (TermId t : query) entry.query.push_back(TermToken(model, t));
-    for (const ReformulatedQuery& r :
-         model.ReformulateTerms(query, kTopK)) {
+    auto served = model.ReformulateTerms(query, kTopK);
+    KQR_CHECK(served.ok()) << served.status().ToString();
+    for (const ReformulatedQuery& r : *served) {
       GoldenRanking ranking;
       ranking.score = r.score;
       for (TermId t : r.terms) ranking.terms.push_back(TermToken(model, t));
@@ -248,8 +249,11 @@ TEST(GoldenReformulation, BitStableAcrossConsecutiveRuns) {
   const ServingModel& model = GoldenModel();
   const std::vector<std::vector<TermId>> queries = GoldenQueries(model);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    const auto first = model.ReformulateTerms(queries[qi], kTopK);
-    const auto second = model.ReformulateTerms(queries[qi], kTopK);
+    const auto first_result = model.ReformulateTerms(queries[qi], kTopK);
+    const auto second_result = model.ReformulateTerms(queries[qi], kTopK);
+    ASSERT_TRUE(first_result.ok() && second_result.ok()) << "query " << qi;
+    const auto& first = *first_result;
+    const auto& second = *second_result;
     ASSERT_EQ(first.size(), second.size()) << "query " << qi;
     for (size_t i = 0; i < first.size(); ++i) {
       EXPECT_EQ(first[i].terms, second[i].terms)
@@ -268,8 +272,11 @@ TEST(GoldenReformulation, BitStableAcrossBuildThreadCounts) {
   const ServingModel& eight = *eight_model;
   const std::vector<std::vector<TermId>> queries = GoldenQueries(one);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    const auto a = one.ReformulateTerms(queries[qi], kTopK);
-    const auto b = eight.ReformulateTerms(queries[qi], kTopK);
+    const auto a_result = one.ReformulateTerms(queries[qi], kTopK);
+    const auto b_result = eight.ReformulateTerms(queries[qi], kTopK);
+    ASSERT_TRUE(a_result.ok() && b_result.ok()) << "query " << qi;
+    const auto& a = *a_result;
+    const auto& b = *b_result;
     ASSERT_EQ(a.size(), b.size()) << "query " << qi;
     for (size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i].terms, b[i].terms) << "query " << qi << " rank " << i;
@@ -287,9 +294,12 @@ TEST(GoldenReformulation, TracingDoesNotPerturbResults) {
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     RequestContext traced;
     traced.trace.Enable();
-    const auto plain = model.ReformulateTerms(queries[qi], kTopK);
-    const auto with_trace =
+    const auto plain_result = model.ReformulateTerms(queries[qi], kTopK);
+    const auto traced_result =
         model.ReformulateTerms(queries[qi], kTopK, &traced);
+    ASSERT_TRUE(plain_result.ok() && traced_result.ok()) << "query " << qi;
+    const auto& plain = *plain_result;
+    const auto& with_trace = *traced_result;
     ASSERT_EQ(plain.size(), with_trace.size()) << "query " << qi;
     for (size_t i = 0; i < plain.size(); ++i) {
       EXPECT_EQ(plain[i].terms, with_trace[i].terms)

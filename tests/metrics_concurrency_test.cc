@@ -75,7 +75,8 @@ TEST(MetricsConcurrency, NoLostUpdatesUnderConcurrentScrapes) {
       RequestContext ctx;
       for (size_t i = 0; i < kRequestsPerThread; ++i) {
         const auto ranking = model.ReformulateTerms(query, 8, &ctx);
-        KQR_CHECK(!ranking.empty());
+        KQR_CHECK(ranking.ok()) << ranking.status().ToString();
+        KQR_CHECK(!ranking->empty());
       }
     });
   }

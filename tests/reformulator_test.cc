@@ -32,6 +32,14 @@ class ReformulatorTest : public ::testing::Test {
                         options);
   }
 
+  /// Unwraps a reformulation Result for the happy-path tests; the error
+  /// contract itself is tested in EmptyQueryOrZeroK / ValidateRejects*.
+  static std::vector<ReformulatedQuery> Unwrap(
+      Result<std::vector<ReformulatedQuery>> result) {
+    KQR_CHECK(result.ok()) << result.status().ToString();
+    return std::move(result).ValueUnsafe();
+  }
+
   MicroCorpus corpus_;
   std::unique_ptr<TatGraph> graph_;
   std::unique_ptr<GraphStats> stats_;
@@ -41,8 +49,8 @@ class ReformulatorTest : public ::testing::Test {
 
 TEST_F(ReformulatorTest, ProducesScoredQueries) {
   Reformulator r = Make();
-  auto result = r.Reformulate(
-      {corpus_.Title("uncertain"), corpus_.Title("query")}, 5);
+  auto result = Unwrap(r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 5));
   ASSERT_FALSE(result.empty());
   for (const auto& q : result) {
     EXPECT_EQ(q.terms.size(), 2u);
@@ -56,8 +64,8 @@ TEST_F(ReformulatorTest, ProducesScoredQueries) {
 
 TEST_F(ReformulatorTest, IdentityDroppedByDefault) {
   Reformulator r = Make();
-  auto result = r.Reformulate(
-      {corpus_.Title("uncertain"), corpus_.Title("query")}, 10);
+  auto result = Unwrap(r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 10));
   for (const auto& q : result) {
     EXPECT_FALSE(q.terms[0] == corpus_.Title("uncertain") &&
                  q.terms[1] == corpus_.Title("query"));
@@ -68,8 +76,8 @@ TEST_F(ReformulatorTest, IdentityKeptWhenConfigured) {
   ReformulatorOptions options;
   options.drop_identity = false;
   Reformulator r = Make(options);
-  auto result = r.Reformulate(
-      {corpus_.Title("uncertain"), corpus_.Title("query")}, 30);
+  auto result = Unwrap(r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 30));
   bool saw_identity = false;
   for (const auto& q : result) {
     if (q.is_identity) saw_identity = true;
@@ -84,8 +92,8 @@ TEST_F(ReformulatorTest, AllAlgorithmsProduceResults) {
     ReformulatorOptions options;
     options.algorithm = algorithm;
     Reformulator r = Make(options);
-    auto result = r.Reformulate(
-        {corpus_.Title("uncertain"), corpus_.Title("query")}, 3);
+    auto result = Unwrap(r.Reformulate(
+        {corpus_.Title("uncertain"), corpus_.Title("query")}, 3));
     EXPECT_FALSE(result.empty())
         << "algorithm " << TopKAlgorithmName(algorithm);
   }
@@ -96,14 +104,14 @@ TEST_F(ReformulatorTest, HmmAlgorithmsAgreeOnRanking) {
   viterbi_options.algorithm = TopKAlgorithm::kExtendedViterbi;
   ReformulatorOptions astar_options;
   astar_options.algorithm = TopKAlgorithm::kViterbiAStar;
-  auto a = Make(viterbi_options)
-               .Reformulate({corpus_.Title("uncertain"),
-                             corpus_.Title("query")},
-                            5);
-  auto b = Make(astar_options)
-               .Reformulate({corpus_.Title("uncertain"),
-                             corpus_.Title("query")},
-                            5);
+  auto a = Unwrap(Make(viterbi_options)
+                      .Reformulate({corpus_.Title("uncertain"),
+                                    corpus_.Title("query")},
+                                   5));
+  auto b = Unwrap(Make(astar_options)
+                      .Reformulate({corpus_.Title("uncertain"),
+                                    corpus_.Title("query")},
+                                   5));
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     // Scores must agree rank-for-rank; term sequences may swap between
@@ -122,8 +130,8 @@ TEST_F(ReformulatorTest, HmmAlgorithmsAgreeOnRanking) {
 TEST_F(ReformulatorTest, TimingsPopulated) {
   Reformulator r = Make();
   ReformulationTimings timings;
-  r.Reformulate({corpus_.Title("uncertain"), corpus_.Title("query")}, 5,
-                &timings);
+  Unwrap(r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 5, &timings));
   EXPECT_GE(timings.candidate_seconds, 0.0);
   EXPECT_GE(timings.model_seconds, 0.0);
   EXPECT_GE(timings.decode_seconds, 0.0);
@@ -132,21 +140,27 @@ TEST_F(ReformulatorTest, TimingsPopulated) {
 
 TEST_F(ReformulatorTest, KBoundsResults) {
   Reformulator r = Make();
-  auto result = r.Reformulate(
-      {corpus_.Title("uncertain"), corpus_.Title("query")}, 2);
+  auto result = Unwrap(r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 2));
   EXPECT_LE(result.size(), 2u);
 }
 
 TEST_F(ReformulatorTest, EmptyQueryOrZeroK) {
+  // Degenerate inputs are typed errors now, not silently empty results.
   Reformulator r = Make();
-  EXPECT_TRUE(r.Reformulate({}, 5).empty());
-  EXPECT_TRUE(
-      r.Reformulate({corpus_.Title("uncertain")}, 0).empty());
+  auto empty_query = r.Reformulate({}, 5);
+  ASSERT_FALSE(empty_query.ok());
+  EXPECT_TRUE(empty_query.status().IsInvalidArgument())
+      << empty_query.status().ToString();
+  auto zero_k = r.Reformulate({corpus_.Title("uncertain")}, 0);
+  ASSERT_FALSE(zero_k.ok());
+  EXPECT_TRUE(zero_k.status().IsInvalidArgument())
+      << zero_k.status().ToString();
 }
 
 TEST_F(ReformulatorTest, SingleKeywordQuery) {
   Reformulator r = Make();
-  auto result = r.Reformulate({corpus_.Title("uncertain")}, 3);
+  auto result = Unwrap(r.Reformulate({corpus_.Title("uncertain")}, 3));
   ASSERT_FALSE(result.empty());
   // Substitutes must come from the similar list — same field class.
   for (const auto& q : result) {
@@ -160,8 +174,8 @@ TEST_F(ReformulatorTest, VoidStateCanDeleteTerms) {
   options.candidates.include_void = true;
   options.candidates.void_similarity = 10.0;  // force deletions up
   Reformulator r = Make(options);
-  auto result = r.Reformulate(
-      {corpus_.Title("uncertain"), corpus_.Title("query")}, 20);
+  auto result = Unwrap(r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 20));
   bool saw_void = false;
   for (const auto& q : result) {
     for (TermId t : q.terms) {
@@ -169,6 +183,41 @@ TEST_F(ReformulatorTest, VoidStateCanDeleteTerms) {
     }
   }
   EXPECT_TRUE(saw_void);
+}
+
+TEST_F(ReformulatorTest, ValidateRejectsUnservableOptions) {
+  ReformulatorOptions ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  ReformulatorOptions no_states;
+  no_states.candidates.per_term = 0;
+  no_states.candidates.include_original = false;
+  no_states.candidates.include_void = false;
+  EXPECT_TRUE(no_states.Validate().IsInvalidArgument());
+
+  // per_term = 0 is fine as long as some candidate source remains.
+  ReformulatorOptions identity_only;
+  identity_only.candidates.per_term = 0;
+  EXPECT_TRUE(identity_only.Validate().ok());
+
+  ReformulatorOptions negative_void;
+  negative_void.candidates.void_similarity = -0.5;
+  EXPECT_TRUE(negative_void.Validate().IsInvalidArgument());
+
+  ReformulatorOptions negative_transition;
+  negative_transition.hmm.void_transition = -1.0;
+  EXPECT_TRUE(negative_transition.Validate().IsInvalidArgument());
+}
+
+TEST_F(ReformulatorTest, ReformulateRejectsInvalidOptionsAtCallTime) {
+  ReformulatorOptions no_states;
+  no_states.candidates.per_term = 0;
+  no_states.candidates.include_original = false;
+  no_states.candidates.include_void = false;
+  Reformulator r = Make(no_states);
+  auto result = r.Reformulate(
+      {corpus_.Title("uncertain"), corpus_.Title("query")}, 5);
+  ASSERT_FALSE(result.ok());
 }
 
 TEST_F(ReformulatorTest, ToStringRendersTerms) {

@@ -1,0 +1,212 @@
+// Concurrency contract of the kqr::Server front-end: many submitter
+// threads racing against the worker pool (and against Drain) must get
+// rankings bit-identical to a serial run, and every submission must
+// resolve to exactly one definite outcome. Run under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/engine_builder.h"
+#include "datagen/dblp_gen.h"
+#include "eval/experiment.h"
+#include "server/server.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+// Small corpus so the test stays quick under ThreadSanitizer.
+DblpOptions SmallCorpus() {
+  DblpOptions options;
+  options.num_authors = 80;
+  options.num_papers = 260;
+  options.num_venues = 8;
+  options.seed = 7;
+  return options;
+}
+
+struct Workload {
+  ExperimentContext ctx;
+  std::vector<std::vector<TermId>> queries;
+};
+
+Workload MakeWorkload(EngineOptions engine = {}) {
+  Workload w;
+  auto ctx = MakeDblpContext(SmallCorpus(), engine);
+  KQR_CHECK(ctx.ok()) << ctx.status().ToString();
+  w.ctx = std::move(*ctx);
+  QuerySampler sampler(*w.ctx.model, /*seed=*/99);
+  for (size_t len : {2, 3}) {
+    for (auto& q : sampler.SampleQueries(8, len)) {
+      w.queries.push_back(std::move(q));
+    }
+  }
+  return w;
+}
+
+bool SameRanking(const std::vector<ReformulatedQuery>& a,
+                 const std::vector<ReformulatedQuery>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].terms != b[i].terms) return false;
+    if (std::memcmp(&a[i].score, &b[i].score, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// N submitter threads × all queries through one batching server (lazy
+// model, so workers also race through batched term preparation) must
+// reproduce a serial run on a fresh model bit for bit.
+TEST(ServerConcurrency, ConcurrentSubmittersMatchSerialBitExact) {
+  constexpr size_t kSubmitters = 6;
+  constexpr size_t kTopK = 5;
+
+  Workload serial = MakeWorkload();
+  std::vector<std::vector<ReformulatedQuery>> reference;
+  for (const auto& q : serial.queries) {
+    auto r = serial.ctx.model->ReformulateTerms(q, kTopK);
+    KQR_CHECK(r.ok()) << r.status().ToString();
+    reference.push_back(std::move(*r));
+  }
+
+  Workload threaded = MakeWorkload();
+  ASSERT_EQ(threaded.queries.size(), serial.queries.size());
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.max_batch = 4;
+  opts.queue_capacity = kSubmitters * threaded.queries.size() + 8;
+  auto server = Server::Create(threaded.ctx.model, opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::atomic<size_t> divergent{0}, failed{0};
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&]() {
+      std::vector<std::future<ServeResult>> futures;
+      for (const auto& q : threaded.queries) {
+        ServerRequest request;
+        request.terms = q;
+        request.k = kTopK;
+        futures.push_back((*server)->Submit(std::move(request)));
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        auto result = futures[i].get();
+        if (!result.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        } else if (!SameRanking(*result, reference[i])) {
+          divergent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_EQ(divergent.load(), 0u);
+}
+
+// Submissions racing a concurrent Drain: every request resolves exactly
+// once — served ok, or shed with kUnavailable. No hangs, no lost futures.
+TEST(ServerConcurrency, SubmitRacingDrainResolvesEveryRequest) {
+  auto model = [] {
+    auto built =
+        EngineBuilder().Build(testing_fixtures::MakeMicroDblp());
+    KQR_CHECK(built.ok());
+    return std::move(built).ValueOrDie();
+  }();
+  auto terms = model->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 64;
+  auto server = Server::Create(model, opts);
+  ASSERT_TRUE(server.ok());
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 50;
+  std::atomic<size_t> resolved{0}, bad_status{0};
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&]() {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        ServerRequest request;
+        request.terms = *terms;
+        request.k = 5;
+        auto result = (*server)->Submit(std::move(request)).get();
+        resolved.fetch_add(1, std::memory_order_relaxed);
+        if (!result.ok() && !result.status().IsUnavailable()) {
+          bad_status.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Drain while submitters are still pushing.
+  (*server)->Drain();
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(resolved.load(), kThreads * kPerThread);
+  EXPECT_EQ(bad_status.load(), 0u);
+  EXPECT_EQ((*server)->queue_depth(), 0u);
+}
+
+// Overload from many threads against a tiny queue: accounting stays
+// exact (every submission either serves or sheds; counters agree).
+TEST(ServerConcurrency, OverloadAccountingStaysExact) {
+  auto model = [] {
+    auto built =
+        EngineBuilder().Build(testing_fixtures::MakeMicroDblp());
+    KQR_CHECK(built.ok());
+    return std::move(built).ValueOrDie();
+  }();
+  auto terms = model->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 2;
+  opts.max_batch = 2;
+  auto server = Server::Create(model, opts);
+  ASSERT_TRUE(server.ok());
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 100;
+  std::atomic<size_t> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&]() {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        ServerRequest request;
+        request.terms = *terms;
+        request.k = 5;
+        auto result = (*server)->Submit(std::move(request)).get();
+        if (result.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (result.status().IsUnavailable()) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          other.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  (*server)->Drain();
+
+  EXPECT_EQ(ok.load() + shed.load(), kThreads * kPerThread);
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_GT(ok.load(), 0u);
+  const MetricsSnapshot snap = model->MetricsNow();
+  EXPECT_EQ(snap.CounterValue("kqr_server_submitted_total"),
+            kThreads * kPerThread);
+  EXPECT_EQ(snap.CounterValue("kqr_server_shed_total"), shed.load());
+  EXPECT_EQ(snap.CounterValue("kqr_server_completed_total"), ok.load());
+}
+
+}  // namespace
+}  // namespace kqr

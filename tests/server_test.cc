@@ -1,0 +1,351 @@
+// Functional contract of the kqr::Server front-end: options validation,
+// bit-identical batched results, deadline propagation (queued and
+// mid-pipeline), load shedding, and graceful drain. The concurrency
+// contract (many submitters racing) lives in server_concurrency_test.cc.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "core/engine_builder.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+std::shared_ptr<const ServingModel> MakeModel(EngineOptions options = {}) {
+  auto model =
+      EngineBuilder(options).Build(testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(model.ok()) << model.status().ToString();
+  return std::move(model).ValueOrDie();
+}
+
+std::vector<TermId> QueryTerms(const ServingModel& model) {
+  auto terms = model.ResolveQuery("uncertain query");
+  KQR_CHECK(terms.ok()) << terms.status().ToString();
+  return std::move(terms).ValueOrDie();
+}
+
+bool SameRanking(const std::vector<ReformulatedQuery>& a,
+                 const std::vector<ReformulatedQuery>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].terms != b[i].terms) return false;
+    // Bit-identical: batching must change scheduling, never answers.
+    if (std::memcmp(&a[i].score, &b[i].score, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t CounterNow(const ServingModel& model, const std::string& name) {
+  return model.MetricsNow().CounterValue(name);
+}
+
+TEST(Server, OptionsValidate) {
+  EXPECT_TRUE(ServerOptions{}.Validate().ok());
+
+  ServerOptions no_workers;
+  no_workers.num_workers = 0;
+  EXPECT_TRUE(no_workers.Validate().IsInvalidArgument());
+
+  ServerOptions no_queue;
+  no_queue.queue_capacity = 0;
+  EXPECT_TRUE(no_queue.Validate().IsInvalidArgument());
+
+  ServerOptions no_batch;
+  no_batch.max_batch = 0;
+  EXPECT_TRUE(no_batch.Validate().IsInvalidArgument());
+
+  ServerOptions negative_deadline;
+  negative_deadline.default_deadline_seconds = -1.0;
+  EXPECT_TRUE(negative_deadline.Validate().IsInvalidArgument());
+}
+
+TEST(Server, CreateRejectsBadInputs) {
+  ServerOptions bad;
+  bad.num_workers = 0;
+  EXPECT_TRUE(MakeModel() != nullptr);
+  EXPECT_TRUE(Server::Create(MakeModel(), bad).status().IsInvalidArgument());
+  EXPECT_TRUE(Server::Create(nullptr, ServerOptions{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Server, BlockingReformulateMatchesDirectCall) {
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  auto direct = model->ReformulateTerms(terms, 5);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  auto server = Server::Create(model);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto served = (*server)->Reformulate(terms, 5);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(SameRanking(*served, *direct));
+}
+
+TEST(Server, BatchedResultsBitIdenticalToSequential) {
+  // Two fresh lazy models: the server one races its workers through
+  // batched term preparation; the reference one prepares serially. The
+  // rankings must still agree bit for bit.
+  auto reference_model = MakeModel();
+  auto server_model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*reference_model);
+
+  // A few distinct queries so batches mix terms.
+  std::vector<std::vector<TermId>> queries = {
+      terms, {terms[0]}, {terms[1]}, {terms[1], terms[0]}};
+  std::vector<std::vector<ReformulatedQuery>> expected;
+  for (const auto& q : queries) {
+    auto r = reference_model->ReformulateTerms(q, 5);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(std::move(*r));
+  }
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 4;
+  auto server = Server::Create(server_model, opts);
+  ASSERT_TRUE(server.ok());
+
+  constexpr size_t kRounds = 25;
+  std::vector<std::future<ServeResult>> futures;
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (const auto& q : queries) {
+      ServerRequest request;
+      request.terms = q;
+      request.k = 5;
+      futures.push_back((*server)->Submit(std::move(request)));
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(SameRanking(*result, expected[i % queries.size()]))
+        << "request " << i;
+  }
+}
+
+TEST(Server, ExpiredDeadlineFailsMidPipelineNeverPartial) {
+  // The pipeline-level gate, independent of queueing: a context whose
+  // deadline already passed fails between stages with kDeadlineExceeded.
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  RequestContext ctx;
+  ctx.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  auto result = model->ReformulateTerms(terms, 5, &ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+}
+
+TEST(Server, RequestDeadlinePropagatesIntoPipeline) {
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  auto server = Server::Create(model);
+  ASSERT_TRUE(server.ok());
+  // A deadline far too tight to serve: whether it expires while queued or
+  // between pipeline stages, the caller sees kDeadlineExceeded.
+  auto result = (*server)->Reformulate(terms, 5, /*deadline_seconds=*/1e-9);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  // A generous deadline serves normally.
+  auto relaxed = (*server)->Reformulate(terms, 5, /*deadline_seconds=*/30.0);
+  EXPECT_TRUE(relaxed.ok()) << relaxed.status().ToString();
+}
+
+TEST(Server, DefaultDeadlineAppliesToRequestsWithoutOne) {
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  ServerOptions opts;
+  opts.default_deadline_seconds = 1e-9;
+  auto server = Server::Create(model, opts);
+  ASSERT_TRUE(server.ok());
+  auto result = (*server)->Reformulate(terms, 5);  // no per-request deadline
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+TEST(Server, NegativeDeadlineRejected) {
+  auto model = MakeModel();
+  auto server = Server::Create(model);
+  ASSERT_TRUE(server.ok());
+  ServerRequest request;
+  request.terms = QueryTerms(*model);
+  request.k = 5;
+  request.deadline_seconds = -0.5;
+  auto result = (*server)->Submit(std::move(request)).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(Server, BadQueryReturnsTypedStatusThroughServer) {
+  auto model = MakeModel();
+  auto server = Server::Create(model);
+  ASSERT_TRUE(server.ok());
+  auto empty = (*server)->Reformulate({}, 5);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_TRUE(empty.status().IsInvalidArgument());
+  auto zero_k = (*server)->Reformulate(QueryTerms(*model), 0);
+  ASSERT_FALSE(zero_k.ok());
+  EXPECT_TRUE(zero_k.status().IsInvalidArgument());
+}
+
+TEST(Server, ShedsWithUnavailableWhenQueueFull) {
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  opts.max_batch = 1;
+  auto server = Server::Create(model, opts);
+  ASSERT_TRUE(server.ok());
+
+  // Enqueueing is orders of magnitude faster than serving, so a burst
+  // against a one-slot queue must shed.
+  constexpr size_t kBurst = 400;
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(kBurst);
+  for (size_t i = 0; i < kBurst; ++i) {
+    ServerRequest request;
+    request.terms = terms;
+    request.k = 5;
+    futures.push_back((*server)->Submit(std::move(request)));
+  }
+  size_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    auto result = f.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      // Shed requests carry a typed status and no partial results.
+      ASSERT_TRUE(result.status().IsUnavailable())
+          << result.status().ToString();
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(ok, 0u);  // admission still serves what it admits
+  EXPECT_EQ(CounterNow(*model, "kqr_server_shed_total"), shed);
+
+  // The server still serves normally after the overload burst.
+  auto after = (*server)->Reformulate(terms, 5);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(Server, DrainCompletesInFlightAndRefusesNewWork) {
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 128;
+  auto server = Server::Create(model, opts);
+  ASSERT_TRUE(server.ok());
+
+  std::vector<std::future<ServeResult>> futures;
+  for (size_t i = 0; i < 64; ++i) {
+    ServerRequest request;
+    request.terms = terms;
+    request.k = 5;
+    futures.push_back((*server)->Submit(std::move(request)));
+  }
+  (*server)->Drain();
+  EXPECT_TRUE((*server)->draining());
+  EXPECT_EQ((*server)->queue_depth(), 0u);
+
+  // Every admitted request completed with a definite outcome.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    auto result = f.get();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  // Post-drain submissions are shed with kUnavailable.
+  ServerRequest late;
+  late.terms = terms;
+  late.k = 5;
+  auto refused = (*server)->Submit(std::move(late)).get();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsUnavailable());
+
+  (*server)->Drain();  // idempotent
+}
+
+TEST(Server, MetricsAccountForEveryOutcome) {
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  auto server = Server::Create(model);
+  ASSERT_TRUE(server.ok());
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*server)->Reformulate(terms, 5).ok());
+  }
+  ASSERT_TRUE((*server)
+                  ->Reformulate(terms, 5, /*deadline_seconds=*/1e-9)
+                  .status()
+                  .IsDeadlineExceeded());
+  (*server)->Drain();
+
+  EXPECT_EQ(CounterNow(*model, "kqr_server_submitted_total"), 6u);
+  EXPECT_EQ(CounterNow(*model, "kqr_server_completed_total"), 5u);
+  EXPECT_EQ(CounterNow(*model, "kqr_server_deadline_exceeded_total"), 1u);
+  EXPECT_EQ(CounterNow(*model, "kqr_server_errors_total"), 0u);
+  const MetricsSnapshot snap = model->MetricsNow();
+  const HistogramSnapshot* batches = snap.Histogram("kqr_server_batch_size");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_GT(batches->count, 0u);
+}
+
+TEST(Server, CallbackSubmitRunsExactlyOnce) {
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  auto server = Server::Create(model);
+  ASSERT_TRUE(server.ok());
+  std::promise<ServeResult> done;
+  auto future = done.get_future();
+  ServerRequest request;
+  request.terms = terms;
+  request.k = 5;
+  (*server)->Submit(std::move(request), [&done](ServeResult result) {
+    done.set_value(std::move(result));  // throws if invoked twice
+  });
+  auto result = future.get();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  (*server)->Drain();
+}
+
+TEST(Server, DestructorDrainsOutstandingWork) {
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  std::vector<std::future<ServeResult>> futures;
+  {
+    auto server = Server::Create(model);
+    ASSERT_TRUE(server.ok());
+    for (size_t i = 0; i < 16; ++i) {
+      ServerRequest request;
+      request.terms = terms;
+      request.k = 5;
+      futures.push_back((*server)->Submit(std::move(request)));
+    }
+    // Server destroyed here with work still queued.
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
+}
+
+}  // namespace
+}  // namespace kqr

@@ -48,6 +48,15 @@ Workload MakeWorkload(EngineOptions engine = {}) {
   return w;
 }
 
+/// Unwraps a reformulation Result; the fixed workloads here must all
+/// serve, so any error is a test bug worth dying on (thread-safe, unlike
+/// ASSERT_*, so it can run inside worker threads).
+std::vector<ReformulatedQuery> Unwrap(
+    Result<std::vector<ReformulatedQuery>> result) {
+  KQR_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueUnsafe();
+}
+
 bool SameRanking(const std::vector<ReformulatedQuery>& a,
                  const std::vector<ReformulatedQuery>& b) {
   if (a.size() != b.size()) return false;
@@ -73,7 +82,7 @@ TEST(ServingConcurrency, ThreadedMatchesSerialBitExact) {
   Workload serial = MakeWorkload();
   std::vector<std::vector<ReformulatedQuery>> reference;
   for (const auto& q : serial.queries) {
-    reference.push_back(serial.ctx.model->ReformulateTerms(q, kTopK));
+    reference.push_back(Unwrap(serial.ctx.model->ReformulateTerms(q, kTopK)));
   }
 
   Workload threaded = MakeWorkload();
@@ -90,8 +99,8 @@ TEST(ServingConcurrency, ThreadedMatchesSerialBitExact) {
     threads.emplace_back([&]() {
       RequestContext ctx;
       for (size_t i = 0; i < threaded.queries.size(); ++i) {
-        auto ranking =
-            model.ReformulateTerms(threaded.queries[i], kTopK, &ctx);
+        auto ranking = Unwrap(
+            model.ReformulateTerms(threaded.queries[i], kTopK, &ctx));
         if (!SameRanking(ranking, reference[i])) {
           divergent.fetch_add(1, std::memory_order_relaxed);
         }
@@ -114,7 +123,7 @@ TEST(ServingConcurrency, EagerModelThreadedMatchesSerial) {
 
   std::vector<std::vector<ReformulatedQuery>> reference;
   for (const auto& q : w.queries) {
-    reference.push_back(model.ReformulateTerms(q, kTopK));
+    reference.push_back(Unwrap(model.ReformulateTerms(q, kTopK)));
   }
 
   std::atomic<size_t> divergent{0};
@@ -123,8 +132,9 @@ TEST(ServingConcurrency, EagerModelThreadedMatchesSerial) {
     threads.emplace_back([&]() {
       RequestContext ctx;
       for (size_t i = 0; i < w.queries.size(); ++i) {
-        if (!SameRanking(model.ReformulateTerms(w.queries[i], kTopK, &ctx),
-                         reference[i])) {
+        if (!SameRanking(
+                Unwrap(model.ReformulateTerms(w.queries[i], kTopK, &ctx)),
+                reference[i])) {
           divergent.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -188,7 +198,7 @@ TEST(ServingConcurrency, WarmContextMatchesColdBitExact) {
   RequestContext warm;
   std::vector<std::vector<ReformulatedQuery>> first_pass;
   for (const auto& q : w.queries) {
-    first_pass.push_back(model.ReformulateTerms(q, kTopK, &warm));
+    first_pass.push_back(Unwrap(model.ReformulateTerms(q, kTopK, &warm)));
   }
   EXPECT_EQ(warm.stats.requests, w.queries.size());
 
@@ -196,10 +206,12 @@ TEST(ServingConcurrency, WarmContextMatchesColdBitExact) {
   for (size_t i = 0; i < w.queries.size(); ++i) {
     // Second pass: warm scratch vs a cold per-request context vs no
     // context at all — identical rankings.
-    auto warm_ranking = model.ReformulateTerms(w.queries[i], kTopK, &warm);
+    auto warm_ranking =
+        Unwrap(model.ReformulateTerms(w.queries[i], kTopK, &warm));
     RequestContext cold;
-    auto cold_ranking = model.ReformulateTerms(w.queries[i], kTopK, &cold);
-    auto no_ctx_ranking = model.ReformulateTerms(w.queries[i], kTopK);
+    auto cold_ranking =
+        Unwrap(model.ReformulateTerms(w.queries[i], kTopK, &cold));
+    auto no_ctx_ranking = Unwrap(model.ReformulateTerms(w.queries[i], kTopK));
     EXPECT_TRUE(SameRanking(warm_ranking, first_pass[i])) << "query " << i;
     EXPECT_TRUE(SameRanking(cold_ranking, first_pass[i])) << "query " << i;
     EXPECT_TRUE(SameRanking(no_ctx_ranking, first_pass[i]))
@@ -223,7 +235,7 @@ TEST(ServingConcurrency, WithOptionsMatchesBuiltInConcurrently) {
 
   std::vector<std::vector<ReformulatedQuery>> reference;
   for (const auto& q : w.queries) {
-    reference.push_back(model.ReformulateTerms(q, kTopK));
+    reference.push_back(Unwrap(model.ReformulateTerms(q, kTopK)));
   }
 
   std::atomic<size_t> divergent{0};
@@ -232,8 +244,8 @@ TEST(ServingConcurrency, WithOptionsMatchesBuiltInConcurrently) {
     threads.emplace_back([&]() {
       RequestContext ctx;
       for (size_t i = 0; i < w.queries.size(); ++i) {
-        auto ranking =
-            model.ReformulateTermsWith(opts, w.queries[i], kTopK, &ctx);
+        auto ranking = Unwrap(
+            model.ReformulateTermsWith(opts, w.queries[i], kTopK, &ctx));
         if (!SameRanking(ranking, reference[i])) {
           divergent.fetch_add(1, std::memory_order_relaxed);
         }
@@ -253,7 +265,7 @@ TEST(ServingConcurrency, MixedTrafficOnMicroCorpus) {
   auto terms = model->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
 
-  auto serial = model->ReformulateTerms(*terms, 5);
+  auto serial = Unwrap(model->ReformulateTerms(*terms, 5));
   std::atomic<size_t> divergent{0};
   std::vector<std::thread> threads;
   for (size_t t = 0; t < 6; ++t) {
@@ -269,8 +281,9 @@ TEST(ServingConcurrency, MixedTrafficOnMicroCorpus) {
           if (model->CountResults(*terms) == 0) {
             divergent.fetch_add(1, std::memory_order_relaxed);
           }
-        } else if (!SameRanking(model->ReformulateTerms(*terms, 5, &ctx),
-                                serial)) {
+        } else if (!SameRanking(
+                       Unwrap(model->ReformulateTerms(*terms, 5, &ctx)),
+                       serial)) {
           divergent.fetch_add(1, std::memory_order_relaxed);
         }
       }

@@ -28,7 +28,7 @@ TEST(Snapshot, RoundTripPreservesOfflineProducts) {
   // Prepare a couple of terms.
   auto terms = source->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
-  source->ReformulateTerms(*terms, 5);
+  ASSERT_TRUE(source->ReformulateTerms(*terms, 5).ok());
   ASSERT_FALSE(source->PreparedTerms().empty());
 
   std::ostringstream out;
@@ -58,7 +58,9 @@ TEST(Snapshot, LoadedModelProducesSameReformulations) {
   auto source = MakeModel();
   auto terms = source->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
-  auto expected = source->ReformulateTerms(*terms, 5);
+  auto expected_result = source->ReformulateTerms(*terms, 5);
+  ASSERT_TRUE(expected_result.ok()) << expected_result.status().ToString();
+  const auto& expected = *expected_result;
 
   std::ostringstream out;
   ASSERT_TRUE(SaveOfflineSnapshot(*source, out).ok());
@@ -66,7 +68,9 @@ TEST(Snapshot, LoadedModelProducesSameReformulations) {
   std::istringstream in(out.str());
   ASSERT_TRUE(LoadOfflineSnapshot(target.get(), in).ok());
 
-  auto got = target->ReformulateTerms(*terms, 5);
+  auto got_result = target->ReformulateTerms(*terms, 5);
+  ASSERT_TRUE(got_result.ok()) << got_result.status().ToString();
+  const auto& got = *got_result;
   ASSERT_EQ(got.size(), expected.size());
   for (size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i].terms, expected[i].terms);
@@ -127,7 +131,7 @@ TEST(Snapshot, NullModelRejected) {
 std::string MakeSnapshotText(const std::shared_ptr<const ServingModel>& m) {
   auto terms = m->ResolveQuery("uncertain query data");
   KQR_CHECK(terms.ok());
-  m->ReformulateTerms(*terms, 5);
+  KQR_CHECK(m->ReformulateTerms(*terms, 5).ok());
   std::ostringstream out;
   KQR_CHECK(SaveOfflineSnapshot(*m, out).ok());
   return out.str();
@@ -190,7 +194,7 @@ TEST(Snapshot, FileRoundTrip) {
   auto source = MakeModel();
   auto terms = source->ResolveQuery("uncertain");
   ASSERT_TRUE(terms.ok());
-  source->ReformulateTerms(*terms, 3);
+  ASSERT_TRUE(source->ReformulateTerms(*terms, 3).ok());
   std::string path = ::testing::TempDir() + "/kqr_snapshot_test.txt";
   ASSERT_TRUE(SaveOfflineSnapshotFile(*source, path).ok());
   auto target = MakeModel();
@@ -202,7 +206,9 @@ TEST(Snapshot, BuilderLoadsSnapshotAtBuildTime) {
   auto source = MakeModel();
   auto terms = source->ResolveQuery("uncertain query");
   ASSERT_TRUE(terms.ok());
-  auto expected = source->ReformulateTerms(*terms, 5);
+  auto expected_result = source->ReformulateTerms(*terms, 5);
+  ASSERT_TRUE(expected_result.ok()) << expected_result.status().ToString();
+  const auto& expected = *expected_result;
   std::string path = ::testing::TempDir() + "/kqr_snapshot_builder.txt";
   ASSERT_TRUE(SaveOfflineSnapshotFile(*source, path).ok());
 
@@ -212,7 +218,9 @@ TEST(Snapshot, BuilderLoadsSnapshotAtBuildTime) {
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   auto target = std::move(built).ValueOrDie();
   EXPECT_EQ(target->PreparedTerms(), source->PreparedTerms());
-  auto got = target->ReformulateTerms(*terms, 5);
+  auto got_result = target->ReformulateTerms(*terms, 5);
+  ASSERT_TRUE(got_result.ok()) << got_result.status().ToString();
+  const auto& got = *got_result;
   ASSERT_EQ(got.size(), expected.size());
   for (size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i].terms, expected[i].terms);

@@ -17,6 +17,11 @@ the same line):
                     immutable by design (a const_cast around that was the
                     root of a real data race)
   include-cycle     the quoted-include graph over src/ headers is acyclic
+  facade-include    examples/ and bench/ include the public surface via
+                    src/kqr.h, never per-module core/* headers — downstream
+                    code demonstrates the supported API, and the facade is
+                    what stays stable across PRs (allowlist for benches
+                    that deliberately exercise internals)
 
 Usage: python3 tools/lint.py [--root REPO_ROOT]
 Exits 0 when clean, 1 with findings on stderr.
@@ -192,6 +197,34 @@ class Linter:
                                 "races with serving",
                                 raw_lines[line_no - 1])
 
+    # -- facade-include -------------------------------------------------
+
+    # Files allowed to reach into core/* directly: benches that measure
+    # internal stages the facade deliberately does not export.
+    FACADE_ALLOWLIST = frozenset({
+        os.path.join("bench", "micro_kernels.cc"),
+    })
+    FACADE_INCLUDE_RE = re.compile(r'^\s*#include\s+"(core/[^"]+)"')
+
+    def check_facade_includes(self):
+        for path in find_files(self.root, ("examples", "bench"),
+                               (".h", ".cc", ".cpp")):
+            rel = os.path.relpath(path, self.root)
+            if rel in self.FACADE_ALLOWLIST:
+                continue
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            # Match raw lines: the include path is a string literal, which
+            # strip_comments_and_strings would blank out.
+            for line_no, line in enumerate(raw_lines, 1):
+                m = self.FACADE_INCLUDE_RE.match(line)
+                if m:
+                    self.report(path, line_no, "facade-include",
+                                f'include "{m.group(1)}" from the public '
+                                'facade "kqr.h" instead — examples and '
+                                "benches must use the supported surface",
+                                raw_lines[line_no - 1])
+
     # -- include-cycle --------------------------------------------------
 
     INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
@@ -235,6 +268,7 @@ class Linter:
         self.check_rng()
         self.check_mutable_globals()
         self.check_options_mutation()
+        self.check_facade_includes()
         self.check_include_cycles()
         return self.findings
 
