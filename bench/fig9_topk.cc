@@ -24,23 +24,33 @@ void Run() {
   RequestContext rc;
 
   TablePrinter table({"k", "Viterbi stage (us)", "A* stage (us)",
-                      "whole call (us)"});
+                      "whole call (us)", "nodes exp", "nodes gen",
+                      "nodes pruned"});
   std::vector<double> astar_series;
   for (size_t k : kReturnSizes) {
     double viterbi_us = 0, astar_us = 0, total_us = 0;
+    double expanded = 0, generated = 0, pruned = 0;
     for (const auto& q : queries) {
       ReformulationTimings timings;
       bench::MustReformulate(model.ReformulateTerms(q, k, &rc, &timings));
       viterbi_us += timings.astar.viterbi_seconds * 1e6;
       astar_us += timings.astar.astar_seconds * 1e6;
       total_us += timings.TotalSeconds() * 1e6;
+      expanded += double(timings.astar.nodes_expanded);
+      generated += double(timings.astar.nodes_generated);
+      pruned += double(timings.astar.nodes_pruned);
     }
     viterbi_us /= double(kNumQueries);
     astar_us /= double(kNumQueries);
     total_us /= double(kNumQueries);
+    expanded /= double(kNumQueries);
+    generated /= double(kNumQueries);
+    pruned /= double(kNumQueries);
     astar_series.push_back(astar_us);
     table.AddRow({std::to_string(k), FormatDouble(viterbi_us, 1),
-                  FormatDouble(astar_us, 1), FormatDouble(total_us, 1)});
+                  FormatDouble(astar_us, 1), FormatDouble(total_us, 1),
+                  FormatDouble(expanded, 1), FormatDouble(generated, 1),
+                  FormatDouble(pruned, 1)});
   }
   table.Print(std::cout);
   std::printf(

@@ -167,21 +167,35 @@ HmmModel RandomModel(size_t m, size_t n, uint64_t seed) {
   return model;
 }
 
+// Decoder arms: range(0) = query length m, range(1) = bound-based pruning
+// off/on. Results are identical either way (see DESIGN.md "Bound-based
+// pruning"); the arm pair measures what the bound saves on the hot path.
 void BM_ViterbiTopK(benchmark::State& state) {
   HmmModel model = RandomModel(state.range(0), 20, 7);
+  const bool prune = state.range(1) != 0;
+  ViterbiScratch scratch;
+  ViterbiStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ViterbiTopK(model, 10));
+    benchmark::DoNotOptimize(
+        ViterbiTopK(model, 10, &scratch, &stats, prune));
   }
+  state.counters["extensions_scored"] = double(stats.extensions_scored);
+  state.counters["extensions_pruned"] = double(stats.extensions_pruned);
 }
-BENCHMARK(BM_ViterbiTopK)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_ViterbiTopK)->ArgsProduct({{2, 4, 8}, {0, 1}});
 
 void BM_AStarTopK(benchmark::State& state) {
   HmmModel model = RandomModel(state.range(0), 20, 7);
+  const bool prune = state.range(1) != 0;
+  AStarScratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(AStarTopK(model, 10));
+    AStarStats stats;
+    benchmark::DoNotOptimize(AStarTopK(model, 10, &stats, &scratch, prune));
+    state.counters["nodes_generated"] = double(stats.nodes_generated);
+    state.counters["nodes_pruned"] = double(stats.nodes_pruned);
   }
 }
-BENCHMARK(BM_AStarTopK)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_AStarTopK)->ArgsProduct({{2, 4, 8}, {0, 1}});
 
 }  // namespace
 }  // namespace kqr

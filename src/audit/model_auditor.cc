@@ -434,6 +434,52 @@ AuditCheck ModelAuditor::CheckHmm(const HmmModel& model) const {
                 model.num_states(c + 1));
     }
   }
+
+  // Decode-pruning bounds: builder-produced models must carry bounds that
+  // match the current matrices exactly (recomputing them is the same
+  // arithmetic, so equality is bit-exact). Stale bounds would silently
+  // void the pruned decoders' exactness argument.
+  if (model.bounds_ready()) {
+    for (size_t c = 0; c < m; ++c) {
+      rec.CountUnit();
+      double best = 0.0;
+      for (double e : model.emission[c]) {
+        if (e > best) best = e;
+      }
+      if (model.emission_max[c] != best) {
+        rec.Violation("emission_max[" + std::to_string(c) + "] is " +
+                      Str(model.emission_max[c]) + ", row max is " +
+                      Str(best));
+      }
+    }
+    for (size_t c = 0; c + 1 < m; ++c) {
+      rec.CountUnit();
+      double best = 0.0;
+      for (const std::vector<double>& row : model.trans[c]) {
+        for (double a : row) {
+          if (a > best) best = a;
+        }
+      }
+      if (model.trans_max[c] != best) {
+        rec.Violation("trans_max[" + std::to_string(c) + "] is " +
+                      Str(model.trans_max[c]) + ", slice max is " +
+                      Str(best));
+      }
+    }
+    if (model.suffix_bound[m - 1] != 1.0) {
+      rec.Violation("suffix_bound at the last position is " +
+                    Str(model.suffix_bound[m - 1]) + ", want 1");
+    }
+    for (size_t c = m - 1; c-- > 0;) {
+      const double expect = model.trans_max[c] * model.emission_max[c + 1] *
+                            model.suffix_bound[c + 1];
+      if (model.suffix_bound[c] != expect) {
+        rec.Violation("suffix_bound[" + std::to_string(c) +
+                      "] breaks the backward recurrence: " +
+                      Str(model.suffix_bound[c]) + " vs " + Str(expect));
+      }
+    }
+  }
   return rec.Take();
 }
 

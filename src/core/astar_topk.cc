@@ -8,18 +8,27 @@ namespace kqr {
 
 namespace {
 
-// Max-f heap order for std::push_heap/pop_heap.
+// Max-f heap order for std::push_heap/pop_heap. Ties on f break toward
+// the smaller pool index (FIFO): (f, path) is a strict total order, so
+// the pop sequence is fully determined by which nodes exist — pruning
+// removes nodes without reordering the survivors, which is what keeps the
+// output bit-identical with pruning on or off even through score ties.
 inline bool FrontierLess(const AStarFrontier& a, const AStarFrontier& b) {
-  return a.f < b.f;
+  return a.f < b.f || (a.f == b.f && a.path > b.path);
 }
 
 }  // namespace
 
 std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
-                                   AStarStats* stats, AStarScratch* scratch) {
+                                   AStarStats* stats, AStarScratch* scratch,
+                                   bool prune) {
   std::vector<DecodedPath> out;
   const size_t m = model.num_positions();
   if (m == 0 || k == 0) return out;
+  for (size_t c = 0; c < m; ++c) {
+    // A position with no candidate states admits no complete path.
+    if (model.num_states(c) == 0) return out;
+  }
 
   AStarScratch local;
   AStarScratch& s = scratch != nullptr ? *scratch : local;
@@ -46,25 +55,61 @@ std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
 
   // Incomplete paths, max-f first. The pool is append-only for the whole
   // run, so frontier entries can hold plain indices into it.
-  auto& pool = s.pool;
+  auto& pool_state = s.pool_state;
+  auto& pool_next = s.pool_next;
   auto& ip = s.heap;
-  pool.clear();
+  pool_state.clear();
+  pool_next.clear();
   ip.clear();
 
   auto push = [&](double f, double g, size_t c, int state, int32_t tail) {
-    pool.push_back(AStarSuffix{state, tail});
-    ip.push_back(
-        AStarFrontier{f, g, c, static_cast<int32_t>(pool.size() - 1)});
+    pool_state.push_back(static_cast<int32_t>(state));
+    pool_next.push_back(tail);
+    ip.push_back(AStarFrontier{f, g, c,
+                               static_cast<int32_t>(pool_state.size() - 1)});
     std::push_heap(ip.begin(), ip.end(), FrontierLess);
     if (stats != nullptr) ++stats->nodes_generated;
   };
 
-  // Seed: single-state suffixes at the last position.
+  // θ = k-th largest positive seed f. Each seed f equals δ[m−1][i] (an
+  // achievable complete-path score, one distinct path per last-position
+  // state), so the k best seeds certify that the final k-th best score is
+  // at least θ — any node with f strictly below θ can never complete into
+  // the output and need not be generated. Comparisons use
+  // theta_cut = θ·kDecodeThetaSlack: augmented f = g·h re-associates the
+  // products behind δ, so it can land an ulp below θ for a path that
+  // actually ties the k-th best (see viterbi_topk.h).
+  double theta = 0.0;
+  double theta_cut = 0.0;
+  if (prune) {
+    auto& seeds = s.seeds;
+    seeds.clear();
+    for (size_t i = 0; i < model.num_states(m - 1); ++i) {
+      const double f = delta[m - 1][i];
+      if (f > 0.0) seeds.push_back(f);
+    }
+    if (seeds.size() >= k) {
+      std::nth_element(seeds.begin(), seeds.begin() + (k - 1), seeds.end(),
+                       std::greater<double>());
+      theta = seeds[k - 1];
+      theta_cut = theta * kDecodeThetaSlack;
+    }
+  }
+  size_t pruned = 0;
+
+  // Seed: single-state suffixes at the last position. Zero-probability
+  // states are dead for queries of every length — a zero-score path is
+  // not a reformulation, and ViterbiTopK never emits one.
   for (size_t i = 0; i < model.num_states(m - 1); ++i) {
     double g = model.emission[m - 1][i];
     double h = bridge(m - 1, static_cast<int>(i));
-    if (g * h <= 0.0 && m > 1) continue;  // dead state
-    push(g * h, g, m - 1, static_cast<int>(i), -1);
+    double f = g * h;
+    if (f <= 0.0) continue;  // dead state
+    if (prune && f < theta_cut) {
+      ++pruned;
+      continue;
+    }
+    push(f, g, m - 1, static_cast<int>(i), -1);
   }
 
   while (!ip.empty() && out.size() < k) {
@@ -78,8 +123,8 @@ std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
       DecodedPath path;
       path.score = top.f;
       path.states.reserve(m);
-      for (int32_t n = top.path; n >= 0; n = pool[n].next) {
-        path.states.push_back(pool[n].state);
+      for (int32_t n = top.path; n >= 0; n = pool_next[n]) {
+        path.states.push_back(pool_state[n]);
       }
       out.push_back(std::move(path));
       continue;
@@ -87,17 +132,25 @@ std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
 
     // Augment with every state of the previous position.
     size_t c = top.c - 1;
-    int head = pool[top.path].state;
+    int head = pool_state[top.path];
     for (size_t j = 0; j < model.num_states(c); ++j) {
       double g = top.g * model.trans[c][j][head] * model.emission[c][j];
       if (g <= 0.0) continue;
       double h = bridge(c, static_cast<int>(j));
       if (h <= 0.0) continue;
-      push(g * h, g, c, static_cast<int>(j), top.path);
+      double f = g * h;
+      if (prune && f < theta_cut) {
+        ++pruned;
+        continue;
+      }
+      push(f, g, c, static_cast<int>(j), top.path);
     }
   }
 
-  if (stats != nullptr) stats->astar_seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) {
+    stats->astar_seconds = timer.ElapsedSeconds();
+    stats->nodes_pruned += pruned;
+  }
   return out;
 }
 

@@ -5,11 +5,18 @@
 // δ-derived optimal completion, so f = g·h is an exact upper bound and
 // completed paths pop out of the frontier in true top-k order.
 //
-// Suffixes live in an index-based pool (AStarScratch) instead of
+// Suffixes live in an index-based SoA pool (AStarScratch) instead of
 // shared-pointer linked lists: augmenting a suffix appends one pool entry
 // pointing at the shared tail, and the whole pool plus the frontier heap
 // can be reused across requests by a serving thread. Passing a null
 // scratch allocates locally and is equivalent.
+//
+// With `prune` on, the seed f-values (which equal δ at the last position,
+// i.e. k achievable complete-path scores) certify a lower bound θ on the
+// final k-th best score, and any augmentation with f < θ is never pushed.
+// Because f is exact, such nodes could never pop before the k-th
+// completion anyway — pruning leaves the pop sequence (and hence the
+// output) bit-identical while shrinking the frontier.
 
 #pragma once
 
@@ -26,13 +33,7 @@ struct AStarStats {
   double astar_seconds = 0.0;    // stage 2
   size_t nodes_expanded = 0;     // IP pops
   size_t nodes_generated = 0;    // augmentations pushed
-};
-
-/// \brief One pooled suffix link: a state plus the pool index of the rest
-/// of the suffix (toward position m−1); −1 terminates.
-struct AStarSuffix {
-  int state;
-  int32_t next;
+  size_t nodes_pruned = 0;       // augmentations skipped via the θ bound
 };
 
 /// \brief An incomplete path on the A* frontier.
@@ -44,19 +45,24 @@ struct AStarFrontier {
 };
 
 /// \brief Reusable buffers for AStarTopK: the stage-1 Viterbi tables, the
-/// suffix pool, and the frontier heap. Cleared (not shrunk) per call.
+/// suffix pool (SoA: pool_state[n] is the head state of suffix n,
+/// pool_next[n] the pool index of its tail toward position m−1, −1
+/// terminating), and the frontier heap. Cleared (not shrunk) per call.
 struct AStarScratch {
   ViterbiScratch viterbi;
   DecodedPath viterbi_best;
-  std::vector<AStarSuffix> pool;
+  std::vector<int32_t> pool_state;
+  std::vector<int32_t> pool_next;
   std::vector<AStarFrontier> heap;
+  std::vector<double> seeds;  ///< positive seed f-values, for the θ bound
 };
 
 /// \brief Top-k sequences by Eq. 10, best first — identical output contract
-/// to ViterbiTopK, different cost profile.
+/// to ViterbiTopK, different cost profile. `prune` toggles θ-bound frontier
+/// pruning; results are identical either way.
 std::vector<DecodedPath> AStarTopK(const HmmModel& model, size_t k,
                                    AStarStats* stats = nullptr,
-                                   AStarScratch* scratch = nullptr);
+                                   AStarScratch* scratch = nullptr,
+                                   bool prune = true);
 
 }  // namespace kqr
-

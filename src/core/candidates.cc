@@ -18,12 +18,17 @@ void CandidateBuilder::BuildForInto(TermId query_term,
     out->push_back(original);
   }
 
-  for (size_t i = 0; i < similar.size() && i < options_.per_term; ++i) {
+  // Count non-self candidates taken, not list positions scanned: when the
+  // original term appears in its own similar list, skipping it must not
+  // consume one of the per_term slots.
+  size_t taken = 0;
+  for (size_t i = 0; i < similar.size() && taken < options_.per_term; ++i) {
     if (similar[i].term == query_term) continue;  // original already added
     CandidateState s;
     s.term = similar[i].term;
     s.similarity = similar[i].score;
     out->push_back(s);
+    ++taken;
   }
 
   if (options_.include_void) {

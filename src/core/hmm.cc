@@ -16,6 +16,36 @@ double HmmModel::PathScore(const std::vector<int>& path) const {
   return score;
 }
 
+void HmmModel::ComputeBounds() {
+  const size_t m = num_positions();
+  emission_max.assign(m, 0.0);
+  trans_max.assign(m >= 1 ? m - 1 : 0, 0.0);
+  suffix_bound.assign(m, 1.0);
+  for (size_t c = 0; c < m; ++c) {
+    double best = 0.0;
+    for (double e : emission[c]) {
+      if (e > best) best = e;
+    }
+    emission_max[c] = best;
+  }
+  for (size_t c = 0; c + 1 < m; ++c) {
+    double best = 0.0;
+    for (const std::vector<double>& row : trans[c]) {
+      for (double a : row) {
+        if (a > best) best = a;
+      }
+    }
+    trans_max[c] = best;
+  }
+  // Backward max-product: an upper bound on the mass of any suffix
+  // strictly after c, since every concrete transition/emission pair is
+  // dominated by the position-level maxima.
+  if (m < 2) return;
+  for (size_t c = m - 1; c-- > 0;) {
+    suffix_bound[c] = trans_max[c] * emission_max[c + 1] * suffix_bound[c + 1];
+  }
+}
+
 double HmmBuilder::TransitionAffinity(const CandidateState& from,
                                       const CandidateState& to) const {
   if (from.is_void || to.is_void) return options_.void_transition;
@@ -37,7 +67,10 @@ void HmmBuilder::BuildInto(
   model->pi.clear();
   model->emission.resize(m);
   model->trans.resize(m >= 1 ? m - 1 : 0);
-  if (m == 0) return;
+  if (m == 0) {
+    model->ComputeBounds();
+    return;
+  }
 
   // π (Eq. 7): frequency of each first-position candidate, normalized.
   model->pi.reserve(model->states[0].size());
@@ -81,6 +114,8 @@ void HmmBuilder::BuildInto(
       NormalizeToDistribution(&model->trans[c][i]);
     }
   }
+
+  model->ComputeBounds();
 }
 
 HmmModel HmmBuilder::Build(

@@ -28,9 +28,33 @@ struct HmmModel {
   /// normalized per row. Size m−1.
   std::vector<std::vector<std::vector<double>>> trans;
 
+  /// Per-position upper bounds for WAND/MaxScore-style decode pruning,
+  /// filled by ComputeBounds() (HmmBuilder::BuildInto always calls it).
+  /// emission_max[c] = max_i emission[c][i]; trans_max[c] = max over the
+  /// whole slice trans[c] (size m−1); suffix_bound[c] bounds the mass any
+  /// path can collect strictly after position c:
+  ///   suffix_bound[m−1] = 1,
+  ///   suffix_bound[c]   = trans_max[c] · emission_max[c+1] · suffix_bound[c+1].
+  /// Hand-assembled models (tests) may leave these empty — bounds_ready()
+  /// is false and the decoders derive their own bounds instead.
+  std::vector<double> emission_max;
+  std::vector<double> trans_max;
+  std::vector<double> suffix_bound;
+
   size_t num_positions() const { return states.size(); }
   size_t num_states(size_t position) const {
     return states[position].size();
+  }
+
+  /// \brief Recomputes emission_max / trans_max / suffix_bound from the
+  /// current matrices. Idempotent; must be re-run after any mutation.
+  void ComputeBounds();
+
+  /// True when the bound vectors match the current trellis shape.
+  bool bounds_ready() const {
+    const size_t m = num_positions();
+    return emission_max.size() == m && suffix_bound.size() == m &&
+           trans_max.size() + (m > 0 ? 1 : 0) == m;
   }
 
   /// Full path probability p(Q'|Q) (Eq. 10) for states `path` (one state

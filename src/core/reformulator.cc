@@ -72,6 +72,15 @@ Result<std::vector<ReformulatedQuery>> Reformulator::Reformulate(
       ctx != nullptr && ctx->trace.enabled() ? &ctx->trace : nullptr;
   TraceScope request_span(trace, "reformulate");
 
+  // All metric events for this request stage into the context's plain-
+  // counter block; the registry's sharded atomics are touched once per
+  // request at flush (or once per batch when the front-end defers).
+  RequestMetricsBlock& mb = c.metrics_block;
+  const auto flush_metrics = [&]() {
+    if (ctx != nullptr && ctx->defer_metrics_flush) return;
+    mb.FlushInto(metrics_ != nullptr ? *metrics_ : ServingMetrics{});
+  };
+
   Timer timer;
   TraceScope candidate_span(trace, "candidates");
   CandidateBuilder builder(similarity_, options_.candidates);
@@ -84,7 +93,8 @@ Result<std::vector<ReformulatedQuery>> Reformulator::Reformulate(
   for (size_t pos = 0; pos < candidates.size(); ++pos) {
     if (candidates[pos].empty()) {
       if (metrics_ != nullptr && metrics_->unresolvable != nullptr) {
-        metrics_->unresolvable->Increment();
+        ++mb.unresolvable;
+        flush_metrics();
       }
       return Status::NotFound("no candidate states at query position " +
                               std::to_string(pos));
@@ -126,13 +136,15 @@ Result<std::vector<ReformulatedQuery>> Reformulator::Reformulate(
       }
       if (options_.algorithm == TopKAlgorithm::kExtendedViterbi) {
         TraceScope decode_span(trace, "viterbi-topk");
-        warm_decode = !c.viterbi.cells.empty();
-        paths = ViterbiTopK(c.model, fetch, &c.viterbi);
+        warm_decode = !c.viterbi.cell_score.empty();
+        paths = ViterbiTopK(c.model, fetch, &c.viterbi, &t.viterbi,
+                            options_.prune_decode);
         decode_span.SetItems(paths.size());
       } else {
         TraceScope decode_span(trace, "astar-topk");
         warm_decode = !c.astar.viterbi.delta.empty();
-        paths = AStarTopK(c.model, fetch, &t.astar, &c.astar);
+        paths = AStarTopK(c.model, fetch, &t.astar, &c.astar,
+                          options_.prune_decode);
         decode_span.SetItems(t.astar.nodes_expanded);
       }
       break;
@@ -143,23 +155,27 @@ Result<std::vector<ReformulatedQuery>> Reformulator::Reformulate(
   request_span.End();
 
   if (metrics_ != nullptr && metrics_->requests != nullptr) {
-    metrics_->requests->Increment();
-    metrics_->request_seconds->Observe(t.TotalSeconds());
-    metrics_->candidate_seconds->Observe(t.candidate_seconds);
-    metrics_->model_seconds->Observe(t.model_seconds);
-    metrics_->decode_seconds->Observe(t.decode_seconds);
-    metrics_->trellis_states->Observe(static_cast<double>(trellis_states));
-    metrics_->scratch_hits->Increment((warm_candidates ? 1 : 0) +
-                                      (warm_model ? 1 : 0) +
-                                      (warm_decode ? 1 : 0));
-    metrics_->scratch_misses->Increment((warm_candidates ? 0 : 1) +
-                                        (warm_model ? 0 : 1) +
-                                        (warm_decode ? 0 : 1));
+    ++mb.requests;
+    mb.Observe(metrics_->request_seconds, t.TotalSeconds());
+    mb.Observe(metrics_->candidate_seconds, t.candidate_seconds);
+    mb.Observe(metrics_->model_seconds, t.model_seconds);
+    mb.Observe(metrics_->decode_seconds, t.decode_seconds);
+    mb.Observe(metrics_->trellis_states,
+               static_cast<double>(trellis_states));
+    mb.scratch_hits += (warm_candidates ? 1 : 0) + (warm_model ? 1 : 0) +
+                       (warm_decode ? 1 : 0);
+    mb.scratch_misses += (warm_candidates ? 0 : 1) + (warm_model ? 0 : 1) +
+                         (warm_decode ? 0 : 1);
     if (options_.algorithm == TopKAlgorithm::kViterbiAStar) {
-      metrics_->astar_expanded->Increment(t.astar.nodes_expanded);
-      metrics_->astar_generated->Increment(t.astar.nodes_generated);
+      mb.astar_expanded += t.astar.nodes_expanded;
+      mb.astar_generated += t.astar.nodes_generated;
+      mb.astar_pruned += t.astar.nodes_pruned;
+    } else if (options_.algorithm == TopKAlgorithm::kExtendedViterbi) {
+      mb.viterbi_scored += t.viterbi.extensions_scored;
+      mb.viterbi_pruned += t.viterbi.extensions_pruned;
     }
   }
+  flush_metrics();
 
   if (ctx != nullptr) {
     RequestStats& stats = ctx->stats;

@@ -45,7 +45,8 @@ struct ReformulationTimings {
   double candidate_seconds = 0.0;
   double model_seconds = 0.0;
   double decode_seconds = 0.0;
-  AStarStats astar;  // populated for kViterbiAStar
+  AStarStats astar;      // populated for kViterbiAStar
+  ViterbiStats viterbi;  // populated for kExtendedViterbi
 
   double TotalSeconds() const {
     return candidate_seconds + model_seconds + decode_seconds;
@@ -58,6 +59,10 @@ struct ReformulatorOptions {
   TopKAlgorithm algorithm = TopKAlgorithm::kViterbiAStar;
   /// Drop the identity reformulation from the output.
   bool drop_identity = true;
+  /// Bound-based early termination in the top-k decoders (DESIGN.md
+  /// "Bound-based pruning"). Exact: results are bit-identical on or off;
+  /// off exists for benchmarking and the pruning property tests.
+  bool prune_decode = true;
 
   /// \brief Rejects configurations that cannot serve (no candidate
   /// states, negative affinities/weights). Checked at construction

@@ -15,6 +15,7 @@
 #include "core/candidates.h"
 #include "core/hmm.h"
 #include "core/viterbi_topk.h"
+#include "obs/serving_metrics.h"
 #include "obs/trace.h"
 
 namespace kqr {
@@ -73,6 +74,17 @@ struct RequestContext {
   AStarScratch astar;
 
   RequestStats stats;
+
+  /// Staged metrics for the in-flight request: the pipeline bumps these
+  /// plain counters / buffered samples and the whole block is folded into
+  /// the shared MetricsRegistry once per request — or once per batch when
+  /// a front-end sets defer_metrics_flush and calls
+  /// ServingModel::FlushRequestMetrics itself.
+  RequestMetricsBlock metrics_block;
+  /// When true, the pipeline leaves metrics_block unflushed after each
+  /// request; the owner of the context must flush. kqr::Server sets this
+  /// on its worker contexts to amortize the atomics over a batch.
+  bool defer_metrics_flush = false;
 
   /// Per-request span recorder. Disabled by default (two branches per
   /// stage); call trace.Enable() to capture stage spans, trace.Clear()

@@ -90,26 +90,34 @@ Status ServingModel::Init() {
   return Status::OK();
 }
 
-bool ServingModel::EnsureTerm(TermId term) const {
+bool ServingModel::EnsureTerm(TermId term, RequestMetricsBlock* block) const {
   if (term >= vocab_.size()) return false;
   if (fully_prepared_.load(std::memory_order_acquire)) return false;
+  // Request paths stage cache accounting in the caller's block (flushed
+  // once per request/batch); blockless callers (eager builds, snapshot
+  // import, tools) record directly — they are off the serving hot path.
+  const auto count_hit = [&]() {
+    if (block != nullptr) {
+      ++block->term_cache_hits;
+    } else if (metrics_.term_cache_hits != nullptr) {
+      metrics_.term_cache_hits->Increment();  // lint:allow metrics-discipline
+    }
+  };
   // Fast path: already prepared. Release store below pairs with this
   // acquire, so a reader that sees the flag also sees the inserted lists.
   if (prepared_flags_[term].load(std::memory_order_acquire) != 0) {
-    if (metrics_.term_cache_hits != nullptr) {
-      metrics_.term_cache_hits->Increment();
-    }
+    count_hit();
     return false;
   }
   std::lock_guard<std::mutex> lock(term_mutexes_[term % kTermShards]);
   if (prepared_flags_[term].load(std::memory_order_relaxed) != 0) {
-    if (metrics_.term_cache_hits != nullptr) {
-      metrics_.term_cache_hits->Increment();
-    }
+    count_hit();
     return false;  // lost the race; the winner prepared it
   }
-  if (metrics_.term_cache_misses != nullptr) {
-    metrics_.term_cache_misses->Increment();
+  if (block != nullptr) {
+    ++block->term_cache_misses;
+  } else if (metrics_.term_cache_misses != nullptr) {
+    metrics_.term_cache_misses->Increment();  // lint:allow metrics-discipline
   }
   PrepareTerm(term);
   prepared_flags_[term].store(1, std::memory_order_release);
@@ -164,8 +172,8 @@ void ServingModel::PrecomputeFor(const std::vector<TermId>& terms) const {
   for (TermId t : terms) EnsureTerm(t);
 }
 
-size_t ServingModel::PrepareTermsBatch(
-    const std::vector<TermId>& terms) const {
+size_t ServingModel::PrepareTermsBatch(const std::vector<TermId>& terms,
+                                       RequestMetricsBlock* block) const {
   if (fully_prepared_.load(std::memory_order_acquire)) return 0;
 
   // Dedup the batch's query terms so shared terms get one double-checked
@@ -176,7 +184,7 @@ size_t ServingModel::PrepareTermsBatch(
 
   size_t prepared = 0;
   for (TermId t : unique) {
-    if (t < vocab_.size()) prepared += EnsureTerm(t) ? 1 : 0;
+    if (t < vocab_.size()) prepared += EnsureTerm(t, block) ? 1 : 0;
   }
 
   // The online pipeline also reads closeness between candidates, so the
@@ -195,11 +203,16 @@ size_t ServingModel::PrepareTermsBatch(
   substitutes.erase(std::unique(substitutes.begin(), substitutes.end()),
                     substitutes.end());
   for (TermId t : substitutes) {
-    prepared += EnsureTerm(t) ? 1 : 0;
+    prepared += EnsureTerm(t, block) ? 1 : 0;
   }
 
-  if (prepared > 0 && metrics_.lazy_terms_prepared != nullptr) {
-    metrics_.lazy_terms_prepared->Increment(prepared);
+  if (prepared > 0) {
+    if (block != nullptr) {
+      block->lazy_terms_prepared += prepared;
+    } else if (metrics_.lazy_terms_prepared != nullptr) {
+      metrics_.lazy_terms_prepared->Increment(  // lint:allow metrics-discipline
+          prepared);
+    }
   }
   return prepared;
 }
@@ -282,21 +295,31 @@ Result<std::vector<ReformulatedQuery>> ServingModel::ReformulateTermsWith(
   // skip it too because PrepareTermsBatch ran first (every check below
   // then hits its prepared flag).
   if (!fully_prepared_.load(std::memory_order_acquire)) {
+    RequestMetricsBlock* block =
+        ctx != nullptr ? &ctx->metrics_block : nullptr;
     size_t prepared = 0;
-    for (TermId t : query_terms) prepared += EnsureTerm(t) ? 1 : 0;
+    for (TermId t : query_terms) prepared += EnsureTerm(t, block) ? 1 : 0;
     CandidateBuilder builder(similarity_, opts.candidates);
     for (TermId t : query_terms) {
       for (const CandidateState& s : builder.BuildFor(t)) {
-        if (!s.is_void) prepared += EnsureTerm(s.term) ? 1 : 0;
+        if (!s.is_void) prepared += EnsureTerm(s.term, block) ? 1 : 0;
       }
     }
     if (ctx != nullptr) ctx->stats.lazy_terms_prepared += prepared;
-    if (prepared > 0 && metrics_.lazy_terms_prepared != nullptr) {
-      metrics_.lazy_terms_prepared->Increment(prepared);
+    if (prepared > 0) {
+      if (block != nullptr) {
+        block->lazy_terms_prepared += prepared;
+      } else if (metrics_.lazy_terms_prepared != nullptr) {
+        metrics_.lazy_terms_prepared
+            ->Increment(prepared);  // lint:allow metrics-discipline
+      }
     }
     // Deadline gate after lazy preparation (first-touch preparation can
     // dwarf the online stages).
     if (ctx != nullptr && ctx->DeadlineExpired()) {
+      // Flush what lazy prep staged before bailing — the pipeline's own
+      // end-of-request flush is never reached on this path.
+      if (!ctx->defer_metrics_flush) ctx->metrics_block.FlushInto(metrics_);
       return Status::DeadlineExceeded(
           "deadline passed after lazy term preparation");
     }

@@ -140,8 +140,11 @@ class ServingModel {
 
   /// \brief Makes sure the offline products (similar-term list + close-
   /// term list) exist for `term`. Returns true when this call did the
-  /// preparation (false: already prepared). Concurrency-safe.
-  bool EnsureTerm(TermId term) const;
+  /// preparation (false: already prepared). Concurrency-safe. `block`,
+  /// when non-null, stages the term-cache hit/miss counts instead of
+  /// touching the registry (request paths pass their context's block;
+  /// build-time callers pass nothing and record directly).
+  bool EnsureTerm(TermId term, RequestMetricsBlock* block = nullptr) const;
 
   /// \brief Offline pass over an explicit term set (benches call this so
   /// online timing excludes offline work).
@@ -156,7 +159,19 @@ class ServingModel {
   /// Returns the number of terms this call prepared. No-op (returns 0) on
   /// fully prepared models. Concurrency-safe and order-independent: the
   /// cache converges to the same state as per-request preparation.
-  size_t PrepareTermsBatch(const std::vector<TermId>& terms) const;
+  /// `block`, when non-null, stages the cache-metric events (see
+  /// EnsureTerm).
+  size_t PrepareTermsBatch(const std::vector<TermId>& terms,
+                           RequestMetricsBlock* block = nullptr) const;
+
+  /// \brief Folds a context's staged metrics block into this model's
+  /// registry handles (pure reset when metrics are disabled). The online
+  /// pipeline flushes automatically per request unless
+  /// ctx->defer_metrics_flush is set — front-ends that set it (the
+  /// batching server) call this once per batch instead.
+  void FlushRequestMetrics(RequestContext* ctx) const {
+    if (ctx != nullptr) ctx->metrics_block.FlushInto(metrics_);
+  }
 
   /// \brief Installs externally computed offline products for `term`
   /// (snapshot loading) and marks it prepared. No-op for terms already

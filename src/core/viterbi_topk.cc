@@ -1,59 +1,211 @@
 #include "core/viterbi_topk.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/logging.h"
 #include "common/top_k.h"
 
 namespace kqr {
 
+namespace {
+
+// Inserts `score` into the sorted-descending cell block at `base` with
+// `count` live slots (capacity k), replicating TopK's semantics exactly:
+// ties keep the earlier insertion ahead, and when full the evicted slot is
+// the last one (lowest score; among tied minima the latest inserted, which
+// sorted-after-equals insertion keeps at the back). Returns the new count.
+inline int32_t CellInsert(double* scores, int32_t* prev_states,
+                          int32_t* prev_ranks, int32_t count, size_t k,
+                          double score, int32_t prev_state,
+                          int32_t prev_rank) {
+  int32_t pos = count;
+  if (count == static_cast<int32_t>(k)) {
+    pos = count - 1;  // evict the last slot
+  }
+  while (pos > 0 && scores[pos - 1] < score) --pos;
+  for (int32_t t = (count == static_cast<int32_t>(k) ? count - 1 : count);
+       t > pos; --t) {
+    scores[t] = scores[t - 1];
+    prev_states[t] = prev_states[t - 1];
+    prev_ranks[t] = prev_ranks[t - 1];
+  }
+  scores[pos] = score;
+  prev_states[pos] = prev_state;
+  prev_ranks[pos] = prev_rank;
+  return count == static_cast<int32_t>(k) ? count : count + 1;
+}
+
+}  // namespace
+
 std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k,
-                                     ViterbiScratch* scratch) {
+                                     ViterbiScratch* scratch,
+                                     ViterbiStats* stats, bool prune) {
   const size_t m = model.num_positions();
   std::vector<DecodedPath> out;
+  if (stats != nullptr) *stats = ViterbiStats{};
   if (m == 0 || k == 0) return out;
+  for (size_t c = 0; c < m; ++c) {
+    // A position with no candidate states admits no complete path.
+    if (model.num_states(c) == 0) return out;
+  }
 
   ViterbiScratch local;
   ViterbiScratch& s = scratch != nullptr ? *scratch : local;
 
-  // L[c][i] = up to k best paths ending at state i of position c, sorted
-  // descending. Positions/states beyond this request's shape may hold
-  // stale data from a previous request; every loop below is bounded by
-  // the current model's shape, so that data is never read.
-  auto& L = s.cells;
-  if (L.size() < m) L.resize(m);
-
-  if (L[0].size() < model.num_states(0)) L[0].resize(model.num_states(0));
-  for (size_t i = 0; i < model.num_states(0); ++i) {
-    L[0][i].clear();
-    L[0][i].push_back(
-        ViterbiCell{model.pi[i] * model.emission[0][i], -1, -1});
+  // Flat SoA trellis: cell (c, i) owns k slots starting at
+  // (state_offset[c] + i) · k, sorted by descending score. Slots beyond
+  // cell_count may hold stale data from a previous request; cell_count
+  // bounds every read, so it is never observed.
+  s.state_offset.assign(m + 1, 0);
+  for (size_t c = 0; c < m; ++c) {
+    s.state_offset[c + 1] = s.state_offset[c] + model.num_states(c);
   }
+  const size_t total_cells = s.state_offset[m];
+  const size_t slots = total_cells * k;
+  if (s.cell_score.size() < slots) {
+    s.cell_score.resize(slots);
+    s.cell_prev_state.resize(slots);
+    s.cell_prev_rank.resize(slots);
+  }
+  s.cell_count.assign(total_cells, 0);
 
-  for (size_t c = 1; c < m; ++c) {
-    if (L[c].size() < model.num_states(c)) L[c].resize(model.num_states(c));
-    for (size_t i = 0; i < model.num_states(c); ++i) {
-      L[c][i].clear();
-      TopK<std::pair<int, int>> top(k);
-      for (size_t j = 0; j < model.num_states(c - 1); ++j) {
-        double edge = model.trans[c - 1][j][i] * model.emission[c][i];
-        if (edge <= 0.0) continue;
-        for (size_t r = 0; r < L[c - 1][j].size(); ++r) {
-          top.Add(L[c - 1][j][r].score * edge,
-                  {static_cast<int>(j), static_cast<int>(r)});
+  // Backward max-product pass: suffix[state_offset[c]+i] is the exact
+  // best mass any completion strictly after position c can collect from
+  // state i. It refines the model's position-level suffix_bound (for all
+  // i, suffix[c,i] ≤ suffix_bound[c], since each factor is dominated by
+  // the position maxima) and makes the per-extension upper bound
+  //   prefix · edge · suffix[c,i]
+  // achievable — the greedy completion realizes it — which is what lets
+  // θ stay a certified lower bound on the final k-th best score.
+  if (prune) {
+    if (s.suffix.size() < total_cells) s.suffix.resize(total_cells);
+    const size_t last_off = s.state_offset[m - 1];
+    for (size_t i = 0; i < model.num_states(m - 1); ++i) {
+      s.suffix[last_off + i] = 1.0;
+    }
+    for (size_t c = m - 1; c-- > 0;) {
+      const size_t off = s.state_offset[c];
+      const size_t next_off = s.state_offset[c + 1];
+      const size_t nn = model.num_states(c + 1);
+      for (size_t i = 0; i < model.num_states(c); ++i) {
+        double best = 0.0;
+        const std::vector<double>& row = model.trans[c][i];
+        for (size_t j = 0; j < nn; ++j) {
+          const double v = row[j] * model.emission[c + 1][j] *
+                           s.suffix[next_off + j];
+          if (v > best) best = v;
         }
-      }
-      for (auto& [prev, score] : top.TakeSorted()) {
-        L[c][i].push_back(ViterbiCell{score, prev.first, prev.second});
+        s.suffix[off + i] = best;
       }
     }
   }
 
-  // Gather global top-k over the last position.
+  // θ = best certified lower bound on the final k-th best complete-path
+  // score. Within one position, every slot insertion corresponds to a
+  // distinct prefix, hence (via its greedy completion) a distinct
+  // complete path — so once the per-position min-heap holds k achievable
+  // scores, its minimum is sound. The heap resets at each position
+  // (mixing positions could count the same complete path twice: a prefix
+  // and its own extension complete to the same path); θ itself only ever
+  // rises. Comparisons go against theta_cut = θ·kDecodeThetaSlack so that
+  // ulp-level disagreement between forward products and the backward
+  // suffix bound can never cut a genuine top-k path (see the constant's
+  // docs in viterbi_topk.h).
+  double theta = 0.0;
+  double theta_cut = 0.0;
+  std::vector<double>& heap = s.theta_heap;
+  heap.clear();
+  const auto offer = [&heap, &theta, &theta_cut, k](double achievable) {
+    if (heap.size() < k) {
+      heap.push_back(achievable);
+      std::push_heap(heap.begin(), heap.end(), std::greater<double>());
+      if (heap.size() == k && heap.front() > theta) {
+        theta = heap.front();
+        theta_cut = theta * kDecodeThetaSlack;
+      }
+    } else if (achievable > heap.front()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<double>());
+      heap.back() = achievable;
+      std::push_heap(heap.begin(), heap.end(), std::greater<double>());
+      if (heap.front() > theta) {
+        theta = heap.front();
+        theta_cut = theta * kDecodeThetaSlack;
+      }
+    }
+  };
+
+  size_t scored = 0;
+  size_t pruned = 0;
+
+  // Seed position 0. Zero-probability seeds are dropped: a path with
+  // p(Q'|Q) = 0 is not a reformulation, and propagating such prefixes
+  // only wastes slots (real smoothed models have no zero seeds anyway).
+  for (size_t i = 0; i < model.num_states(0); ++i) {
+    const double s0 = model.pi[i] * model.emission[0][i];
+    if (s0 <= 0.0) continue;
+    const size_t base = i * k;
+    s.cell_score[base] = s0;
+    s.cell_prev_state[base] = -1;
+    s.cell_prev_rank[base] = -1;
+    s.cell_count[i] = 1;
+    if (prune) offer(s0 * s.suffix[i]);
+  }
+
+  for (size_t c = 1; c < m; ++c) {
+    const size_t prev_off = s.state_offset[c - 1];
+    const size_t off = s.state_offset[c];
+    const size_t np = model.num_states(c - 1);
+    const size_t ni = model.num_states(c);
+    if (prune) heap.clear();
+    for (size_t i = 0; i < ni; ++i) {
+      const size_t base = (off + i) * k;
+      double* cell_scores = s.cell_score.data() + base;
+      int32_t* cell_prev = s.cell_prev_state.data() + base;
+      int32_t* cell_rank = s.cell_prev_rank.data() + base;
+      int32_t count = 0;
+      const double nu = prune ? s.suffix[off + i] : 1.0;
+      const double em = model.emission[c][i];
+      for (size_t j = 0; j < np; ++j) {
+        const double edge = model.trans[c - 1][j][i] * em;
+        if (edge <= 0.0) continue;
+        const int32_t pcount = s.cell_count[prev_off + j];
+        if (pcount == 0) continue;
+        const size_t pbase = (prev_off + j) * k;
+        if (prune && s.cell_score[pbase] * edge * nu < theta_cut) {
+          // Even the best prefix in cell (c−1, j), greedily completed,
+          // lands strictly below the certified k-th best: no path through
+          // this edge group can reach the output (nor can any descendant
+          // of such a prefix — its own bound only shrinks).
+          ++pruned;
+          continue;
+        }
+        ++scored;
+        for (int32_t r = 0; r < pcount; ++r) {
+          const double sc = s.cell_score[pbase + r] * edge;
+          // Ranks are sorted descending, so both cutoffs are breaks.
+          if (prune && sc * nu < theta_cut) break;
+          if (count == static_cast<int32_t>(k) &&
+              sc <= cell_scores[k - 1]) {
+            break;
+          }
+          count = CellInsert(cell_scores, cell_prev, cell_rank, count, k, sc,
+                             static_cast<int32_t>(j), r);
+          if (prune) offer(sc * nu);
+        }
+      }
+      s.cell_count[off + i] = count;
+    }
+  }
+
+  // Gather the global top-k over the last position.
   TopK<std::pair<int, int>> finals(k);
+  const size_t last_off = s.state_offset[m - 1];
   for (size_t i = 0; i < model.num_states(m - 1); ++i) {
-    for (size_t r = 0; r < L[m - 1][i].size(); ++r) {
-      finals.Add(L[m - 1][i][r].score,
+    const size_t base = (last_off + i) * k;
+    const int32_t count = s.cell_count[last_off + i];
+    for (int32_t r = 0; r < count; ++r) {
+      finals.Add(s.cell_score[base + r],
                  {static_cast<int>(i), static_cast<int>(r)});
     }
   }
@@ -66,11 +218,17 @@ std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k,
     int rank = end.second;
     for (size_t c = m; c-- > 0;) {
       path.states[c] = state;
-      const ViterbiCell& cell = L[c][state][rank];
-      state = cell.prev_state;
-      rank = cell.prev_rank;
+      const size_t slot =
+          (s.state_offset[c] + static_cast<size_t>(state)) * k +
+          static_cast<size_t>(rank);
+      state = s.cell_prev_state[slot];
+      rank = s.cell_prev_rank[slot];
     }
     out.push_back(std::move(path));
+  }
+  if (stats != nullptr) {
+    stats->extensions_scored = scored;
+    stats->extensions_pruned = pruned;
   }
   return out;
 }
@@ -88,6 +246,7 @@ void ViterbiDecodeInto(const HmmModel& model, ViterbiScratch* scratch,
   if (delta.size() < m) delta.resize(m);
   if (back.size() < m) back.resize(m);
 
+  bool feasible = true;
   delta[0].assign(model.num_states(0), 0.0);
   back[0].assign(model.num_states(0), -1);
   for (size_t i = 0; i < model.num_states(0); ++i) {
@@ -110,12 +269,19 @@ void ViterbiDecodeInto(const HmmModel& model, ViterbiScratch* scratch,
       back[c][i] = arg;
     }
   }
+  for (size_t c = 0; c < m; ++c) {
+    if (model.num_states(c) == 0) feasible = false;
+  }
+  // A zero-state position admits no complete path: leave *best empty with
+  // score 0 (the δ/back rows above are still shaped for this request, so
+  // A* can keep using them as its heuristic table).
+  if (!feasible) return;
 
   // Backtrack the single best path.
-  size_t last = m - 1;
+  const size_t last = m - 1;
   int arg = 0;
-  double best_score = -1.0;
-  for (size_t i = 0; i < model.num_states(last); ++i) {
+  double best_score = delta[last][0];
+  for (size_t i = 1; i < model.num_states(last); ++i) {
     if (delta[last][i] > best_score) {
       best_score = delta[last][i];
       arg = static_cast<int>(i);

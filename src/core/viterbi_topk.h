@@ -5,9 +5,18 @@
 // Both decoders accept an optional ViterbiScratch so a serving thread can
 // reuse the DP tables across requests instead of reallocating them per
 // call; passing nullptr allocates locally and is equivalent.
+//
+// ViterbiTopK supports exact bound-based pruning (the WAND/MaxScore idiom
+// applied to the trellis): a backward max-product pass yields, per cell,
+// the best achievable completion mass, and any extension whose upper
+// bound cannot enter the final top-k is skipped. Pruning is strictly
+// below the running k-th best *achievable* score, so the returned paths
+// and scores are bit-identical with pruning on or off (the derivation is
+// in DESIGN.md "Bound-based pruning").
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/hmm.h"
@@ -21,32 +30,75 @@ struct DecodedPath {
   double score = 0.0;
 };
 
-/// \brief Backtracking record for the widened DP: which
-/// (prev_state, prev_rank) produced the rank-r path ending at this cell.
-struct ViterbiCell {
-  double score;
-  int prev_state;  // -1 at position 0
-  int prev_rank;
+/// \brief Relative slack applied to the pruning threshold θ in both
+/// decoders: an extension is cut only when its upper bound falls strictly
+/// below θ·(1 − 1e-9).
+///
+/// θ and the bounds are the *same* exact quantities computed under
+/// different association orders (forward prefix products vs. backward
+/// max-product suffixes), so under IEEE rounding they can disagree by a
+/// few ulps (relative error ≲ m·2⁻⁵² per product chain) even when equal
+/// in exact arithmetic. Without slack, a top-k path whose bound rounds
+/// one ulp below its own achievable score can prune *itself*. The 1e-9
+/// margin exceeds the accumulated rounding error by ~six orders of
+/// magnitude, so everything cut is certifiably below the true k-th best —
+/// results stay bit-identical with pruning on or off — while the pruning
+/// power given up is unmeasurable.
+inline constexpr double kDecodeThetaSlack = 1.0 - 1e-9;
+
+/// \brief Instrumentation of one ViterbiTopK run. An "extension" is one
+/// (previous state → state) edge group considered by the widened DP — the
+/// unit the score upper bound gates.
+struct ViterbiStats {
+  size_t extensions_scored = 0;  ///< edge groups that entered the rank loop
+  size_t extensions_pruned = 0;  ///< edge groups skipped via the bound
 };
 
 /// \brief Reusable DP tables for the Viterbi decoders. Contents are
 /// overwritten on every call; only capacity carries over between requests.
+///
+/// The widened top-k DP is stored SoA: flat score/backpointer arrays with
+/// one k-slot block per (position, state) cell, so the hot loop touches
+/// contiguous memory and no per-cell vectors are ever allocated.
 struct ViterbiScratch {
   /// delta[c][i] = max prefix score ending in state i at position c.
   std::vector<std::vector<double>> delta;
   /// back[c][i] = argmax predecessor state (-1 at position 0).
   std::vector<std::vector<int>> back;
-  /// cells[c][i] = up to k best paths ending at (position c, state i).
-  std::vector<std::vector<std::vector<ViterbiCell>>> cells;
+
+  /// state_offset[c] = index of position c's first cell; size m+1. The
+  /// cell (c, i) owns slots [(state_offset[c]+i)·k, +k) of the flat
+  /// arrays below, each cell sorted by descending score.
+  std::vector<size_t> state_offset;
+  std::vector<double> cell_score;
+  std::vector<int32_t> cell_prev_state;  // -1 at position 0
+  std::vector<int32_t> cell_prev_rank;
+  std::vector<int32_t> cell_count;  ///< live slots per cell (≤ k)
+
+  /// suffix[state_offset[c]+i] = exact best completion mass strictly
+  /// after position c from state i (backward max-product pass); 1 at the
+  /// last position. Only filled when pruning is on.
+  std::vector<double> suffix;
+  /// Min-heap of the k best achievable complete-path scores seen so far
+  /// (the pruning threshold θ is its minimum once full).
+  std::vector<double> theta_heap;
 };
 
-/// \brief Top-k sequences by Eq. 10, best first. `k` ≥ 1.
+/// \brief Top-k sequences by Eq. 10, best first. `k` ≥ 1. Only
+/// positive-probability paths are returned (a zero-score "reformulation"
+/// is meaningless; real models are smoothed positive). `stats`, when
+/// non-null, receives extension counters. `prune` toggles bound-based
+/// early termination; results are identical either way.
 std::vector<DecodedPath> ViterbiTopK(const HmmModel& model, size_t k,
-                                     ViterbiScratch* scratch = nullptr);
+                                     ViterbiScratch* scratch = nullptr,
+                                     ViterbiStats* stats = nullptr,
+                                     bool prune = true);
 
 /// \brief Classical Viterbi (top-1) into caller-owned scratch. Fills
 /// `scratch->delta` / `scratch->back` (Algorithm 3 reuses delta as its A*
-/// heuristic) and writes the best path into `*best`.
+/// heuristic) and writes the best path into `*best`. A model with a
+/// zero-state position admits no complete path: `*best` comes back empty
+/// with score 0 (delta/back rows are still shaped for the request).
 void ViterbiDecodeInto(const HmmModel& model, ViterbiScratch* scratch,
                        DecodedPath* best);
 
@@ -61,4 +113,3 @@ struct ViterbiOutcome {
 ViterbiOutcome ViterbiDecode(const HmmModel& model);
 
 }  // namespace kqr
-

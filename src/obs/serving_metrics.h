@@ -8,6 +8,9 @@
 
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "obs/metrics.h"
 
 namespace kqr {
@@ -20,6 +23,9 @@ struct ServingMetrics {
   Counter* scratch_misses = nullptr;      ///< kqr_scratch_misses_total
   Counter* astar_expanded = nullptr;      ///< kqr_astar_nodes_expanded_total
   Counter* astar_generated = nullptr;     ///< kqr_astar_nodes_generated_total
+  Counter* astar_pruned = nullptr;        ///< kqr_astar_nodes_pruned_total
+  Counter* viterbi_scored = nullptr;   ///< kqr_viterbi_extensions_scored_total
+  Counter* viterbi_pruned = nullptr;   ///< kqr_viterbi_extensions_pruned_total
   LatencyHistogram* request_seconds = nullptr;    ///< kqr_request_seconds
   LatencyHistogram* candidate_seconds = nullptr;  ///< …{stage="candidate"}
   LatencyHistogram* model_seconds = nullptr;      ///< …{stage="model"}
@@ -45,6 +51,11 @@ struct ServingMetrics {
         registry->GetCounter("kqr_astar_nodes_expanded_total");
     m.astar_generated =
         registry->GetCounter("kqr_astar_nodes_generated_total");
+    m.astar_pruned = registry->GetCounter("kqr_astar_nodes_pruned_total");
+    m.viterbi_scored =
+        registry->GetCounter("kqr_viterbi_extensions_scored_total");
+    m.viterbi_pruned =
+        registry->GetCounter("kqr_viterbi_extensions_pruned_total");
     m.request_seconds = registry->GetHistogram("kqr_request_seconds");
     m.candidate_seconds = registry->GetHistogram(
         "kqr_online_stage_seconds{stage=\"candidate\"}");
@@ -60,6 +71,87 @@ struct ServingMetrics {
     m.lazy_terms_prepared =
         registry->GetCounter("kqr_lazy_terms_prepared_total");
     return m;
+  }
+};
+
+/// \brief Per-request metrics staging block: the request path bumps plain
+/// (single-threaded, non-atomic) fields and buffers histogram samples,
+/// then FlushInto folds the whole request into the registry-backed
+/// handles with one sharded-atomic RMW per touched counter — instead of
+/// one per event. The block lives in RequestContext, so batch front-ends
+/// (kqr::server) can carry it across a whole batch and flush once.
+///
+/// Request-path code in src/core must record through this block; direct
+/// Counter/LatencyHistogram calls there are rejected by tools/lint.py
+/// (rule metrics-discipline).
+struct RequestMetricsBlock {
+  uint64_t requests = 0;
+  uint64_t unresolvable = 0;
+  uint64_t scratch_hits = 0;
+  uint64_t scratch_misses = 0;
+  uint64_t astar_expanded = 0;
+  uint64_t astar_generated = 0;
+  uint64_t astar_pruned = 0;
+  uint64_t viterbi_scored = 0;
+  uint64_t viterbi_pruned = 0;
+  uint64_t term_cache_hits = 0;
+  uint64_t term_cache_misses = 0;
+  uint64_t lazy_terms_prepared = 0;
+
+  struct Observation {
+    LatencyHistogram* histogram;
+    double value;
+  };
+  /// Buffered histogram samples (capacity persists across flushes, so a
+  /// warm context stops allocating here after the first few requests).
+  std::vector<Observation> observations;
+
+  /// Stages one histogram sample; null histogram → no-op (metrics off).
+  void Observe(LatencyHistogram* histogram, double value) {
+    if (histogram != nullptr) observations.push_back({histogram, value});
+  }
+
+  /// \brief Folds the staged values into the resolved handles and resets
+  /// the block. With metrics disabled (all-null handles) it only resets.
+  void FlushInto(const ServingMetrics& m) {
+    if (m.requests != nullptr) {
+      if (requests != 0) m.requests->Increment(requests);
+      if (unresolvable != 0) m.unresolvable->Increment(unresolvable);
+      if (scratch_hits != 0) m.scratch_hits->Increment(scratch_hits);
+      if (scratch_misses != 0) m.scratch_misses->Increment(scratch_misses);
+      if (astar_expanded != 0) m.astar_expanded->Increment(astar_expanded);
+      if (astar_generated != 0) {
+        m.astar_generated->Increment(astar_generated);
+      }
+      if (astar_pruned != 0) m.astar_pruned->Increment(astar_pruned);
+      if (viterbi_scored != 0) m.viterbi_scored->Increment(viterbi_scored);
+      if (viterbi_pruned != 0) m.viterbi_pruned->Increment(viterbi_pruned);
+      if (term_cache_hits != 0) {
+        m.term_cache_hits->Increment(term_cache_hits);
+      }
+      if (term_cache_misses != 0) {
+        m.term_cache_misses->Increment(term_cache_misses);
+      }
+      if (lazy_terms_prepared != 0) {
+        m.lazy_terms_prepared->Increment(lazy_terms_prepared);
+      }
+      for (const Observation& o : observations) {
+        o.histogram->Observe(o.value);
+      }
+    }
+    requests = 0;
+    unresolvable = 0;
+    scratch_hits = 0;
+    scratch_misses = 0;
+    astar_expanded = 0;
+    astar_generated = 0;
+    astar_pruned = 0;
+    viterbi_scored = 0;
+    viterbi_pruned = 0;
+    term_cache_hits = 0;
+    term_cache_misses = 0;
+    lazy_terms_prepared = 0;
+    observations.clear();
   }
 };
 

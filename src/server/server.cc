@@ -85,33 +85,33 @@ void Server::Submit(ServerRequest request, ServeCallback callback) {
     callback(Status::InvalidArgument("deadline_seconds must be >= 0"));
     return;
   }
-  const Clock::time_point now = Clock::now();
-  Pending pending;
-  pending.deadline = DeadlineFor(request.deadline_seconds > 0.0
-                                     ? request.deadline_seconds
-                                     : options_.default_deadline_seconds,
-                                 now);
-  pending.enqueued = now;
-  pending.request = std::move(request);
-  pending.done = std::move(callback);
-
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (draining_) {
       lock.unlock();
       if (metrics_.shed != nullptr) metrics_.shed->Increment();
-      pending.done(Status::Unavailable("server is draining"));
+      callback(Status::Unavailable("server is draining"));
       return;
     }
     if (queue_.size() >= options_.queue_capacity) {
       // Admission control: shed instead of buffering without bound. The
       // caller sees a typed kUnavailable immediately and can back off.
+      // Rejecting must be cheaper than serving — the shed path above this
+      // point does no clock reads, no allocation, no queue-entry work.
       lock.unlock();
       if (metrics_.shed != nullptr) metrics_.shed->Increment();
-      pending.done(
-          Status::Unavailable("request queue is full (load shed)"));
+      callback(Status::Unavailable("request queue is full (load shed)"));
       return;
     }
+    const Clock::time_point now = Clock::now();
+    Pending pending;
+    pending.deadline = DeadlineFor(request.deadline_seconds > 0.0
+                                       ? request.deadline_seconds
+                                       : options_.default_deadline_seconds,
+                                   now);
+    pending.enqueued = now;
+    pending.request = std::move(request);
+    pending.done = std::move(callback);
     queue_.push_back(std::move(pending));
     if (metrics_.queue_depth != nullptr) {
       metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
@@ -163,8 +163,10 @@ size_t Server::queue_depth() const {
 void Server::WorkerLoop() {
   // Per-worker warm scratch: the whole point of a worker pool is that
   // trellis/HMM/decoder buffers stay warm across every request the
-  // worker serves (identical results either way).
+  // worker serves (identical results either way). Metric flushes are
+  // deferred so one batch costs one registry flush, not one per request.
   RequestContext ctx;
+  ctx.defer_metrics_flush = true;
   std::vector<TermId> term_scratch;
   std::vector<Pending> batch;
 
@@ -196,6 +198,14 @@ void Server::ServeBatch(std::vector<Pending>* batch, RequestContext* ctx,
     metrics_.batch_size->Observe(static_cast<double>(batch->size()));
   }
 
+  // Every per-request metric event below stages into the worker context's
+  // block or these locals; the registry is touched once per batch at the
+  // bottom, not once per event.
+  RequestMetricsBlock& mb = ctx->metrics_block;
+  uint64_t completed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t errors = 0;
+
   // One shared preparation pass across the batch: terms (and candidate
   // expansions) shared by several requests are prepared once, instead of
   // each request paying its own double-checked misses. Skipped entirely
@@ -212,7 +222,7 @@ void Server::ServeBatch(std::vector<Pending>* batch, RequestContext* ctx,
       term_scratch->insert(term_scratch->end(), p.request.terms.begin(),
                            p.request.terms.end());
     }
-    const size_t prepared = model_->PrepareTermsBatch(*term_scratch);
+    const size_t prepared = model_->PrepareTermsBatch(*term_scratch, &mb);
     if (prepared > 0 && metrics_.batch_terms_prepared != nullptr) {
       metrics_.batch_terms_prepared->Increment(prepared);
     }
@@ -220,16 +230,12 @@ void Server::ServeBatch(std::vector<Pending>* batch, RequestContext* ctx,
 
   for (Pending& p : *batch) {
     const Clock::time_point start = Clock::now();
-    if (metrics_.queue_wait_seconds != nullptr) {
-      metrics_.queue_wait_seconds->Observe(
-          std::chrono::duration<double>(start - p.enqueued).count());
-    }
+    mb.Observe(metrics_.queue_wait_seconds,
+               std::chrono::duration<double>(start - p.enqueued).count());
     // Dequeue-time deadline gate: a request that expired while queued is
     // failed without touching the pipeline at all.
     if (p.deadline != Clock::time_point{} && start >= p.deadline) {
-      if (metrics_.deadline_exceeded != nullptr) {
-        metrics_.deadline_exceeded->Increment();
-      }
+      ++deadline_exceeded;
       p.done(Status::DeadlineExceeded("deadline passed while queued"));
       continue;
     }
@@ -240,15 +246,26 @@ void Server::ServeBatch(std::vector<Pending>* batch, RequestContext* ctx,
     ctx->deadline = {};
 
     if (result.ok()) {
-      if (metrics_.completed != nullptr) metrics_.completed->Increment();
+      ++completed;
     } else if (result.status().IsDeadlineExceeded()) {
-      if (metrics_.deadline_exceeded != nullptr) {
-        metrics_.deadline_exceeded->Increment();
-      }
-    } else if (metrics_.errors != nullptr) {
-      metrics_.errors->Increment();
+      ++deadline_exceeded;
+    } else {
+      ++errors;
     }
     p.done(std::move(result));
+  }
+
+  // One registry flush for the whole batch (the pipeline deferred its
+  // per-request flushes because defer_metrics_flush is set).
+  model_->FlushRequestMetrics(ctx);
+  if (completed != 0 && metrics_.completed != nullptr) {
+    metrics_.completed->Increment(completed);
+  }
+  if (deadline_exceeded != 0 && metrics_.deadline_exceeded != nullptr) {
+    metrics_.deadline_exceeded->Increment(deadline_exceeded);
+  }
+  if (errors != 0 && metrics_.errors != nullptr) {
+    metrics_.errors->Increment(errors);
   }
 }
 

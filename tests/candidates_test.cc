@@ -97,6 +97,45 @@ TEST(Candidates, OriginalInSimilarListNotDuplicated) {
   EXPECT_EQ(count_5, 1u);
 }
 
+TEST(Candidates, SelfTermDoesNotConsumePerTermBudget) {
+  // Regression: skipping the query term inside its own similar list used
+  // to burn one of the per_term slots, under-filling the candidate set by
+  // one state whenever the walk ranked the term among its own neighbors.
+  SimilarityIndex index;
+  index.Insert(5, {SimilarTerm{5, 1.0}, SimilarTerm{6, 0.4},
+                   SimilarTerm{7, 0.3}, SimilarTerm{8, 0.2}});
+  CandidateOptions options;
+  options.per_term = 2;
+  CandidateBuilder builder(index, options);
+  auto states = builder.BuildFor(5);
+  ASSERT_EQ(states.size(), 3u);  // original + exactly per_term similars
+  EXPECT_TRUE(states[0].is_original);
+  EXPECT_EQ(states[1].term, 6u);
+  EXPECT_EQ(states[2].term, 7u);
+}
+
+TEST(Candidates, SelfTermMidListStillFillsBudget) {
+  // Same regression with the self entry in the middle of the list and a
+  // budget equal to the number of non-self entries: every non-self term
+  // must make it in.
+  SimilarityIndex index;
+  index.Insert(9, {SimilarTerm{30, 0.9}, SimilarTerm{9, 0.8},
+                   SimilarTerm{31, 0.7}, SimilarTerm{32, 0.6}});
+  CandidateOptions options;
+  options.per_term = 3;
+  CandidateBuilder builder(index, options);
+  auto states = builder.BuildFor(9);
+  ASSERT_EQ(states.size(), 4u);  // original + all 3 non-self similars
+  EXPECT_EQ(states[1].term, 30u);
+  EXPECT_EQ(states[2].term, 31u);
+  EXPECT_EQ(states[3].term, 32u);
+  size_t count_self = 0;
+  for (const auto& s : states) {
+    if (s.term == 9) ++count_self;
+  }
+  EXPECT_EQ(count_self, 1u);
+}
+
 TEST(Candidates, BuildForWholeQuery) {
   SimilarityIndex index = MakeIndex();
   CandidateBuilder builder(index);

@@ -207,6 +207,49 @@ TEST(Decoders, ScoresDescendWithinResult) {
   }
 }
 
+TEST(Decoders, SingleTermZeroStateParity) {
+  // Regression: AStarTopK used to exempt m == 1 from its dead-state
+  // filter and seeded zero-probability states, returning zero-score
+  // "paths" that ViterbiTopK never emits. Both decoders must agree on
+  // degenerate single-term models: positive paths only.
+  HmmModel model = RandomModel(1, 4, 21);
+  model.pi[1] = 0.0;
+  model.emission[0][3] = 0.0;
+  auto viterbi = ViterbiTopK(model, 10);
+  auto astar = AStarTopK(model, 10);
+  ASSERT_EQ(viterbi.size(), 2u);  // 4 states minus the two dead ones
+  ASSERT_EQ(astar.size(), 2u);
+  for (size_t i = 0; i < viterbi.size(); ++i) {
+    EXPECT_GT(viterbi[i].score, 0.0);
+    EXPECT_NEAR(viterbi[i].score, astar[i].score, 1e-12);
+    EXPECT_EQ(viterbi[i].states, astar[i].states);
+  }
+}
+
+TEST(ViterbiDecode, EmptyPositionGivesEmptyZeroScorePath) {
+  // Regression: with a zero-state position, ViterbiDecodeInto used to
+  // return best_score = -1.0 and backtrack into the empty row (an
+  // out-of-bounds read). The fixed contract: empty path, score 0.
+  HmmModel model = RandomModel(3, 3, 5);
+  model.states[1].clear();
+  model.emission[1].clear();
+  for (auto& row : model.trans[0]) row.clear();
+  model.trans[1].clear();
+
+  ViterbiScratch scratch;
+  DecodedPath best;
+  ViterbiDecodeInto(model, &scratch, &best);
+  EXPECT_TRUE(best.states.empty());
+  EXPECT_EQ(best.score, 0.0);
+  // δ rows are still shaped for the request (A* reuses them).
+  ASSERT_GE(scratch.delta.size(), 3u);
+  EXPECT_EQ(scratch.delta[1].size(), 0u);
+
+  // Both top-k decoders agree: no complete path exists.
+  EXPECT_TRUE(ViterbiTopK(model, 5).empty());
+  EXPECT_TRUE(AStarTopK(model, 5).empty());
+}
+
 TEST(Decoders, PathsAreDistinct) {
   HmmModel model = RandomModel(3, 4, 55);
   auto result = ViterbiTopK(model, 20);

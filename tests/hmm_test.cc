@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "graph/tat_builder.h"
@@ -139,6 +140,64 @@ TEST_F(HmmTest, EmptyCandidatesGiveEmptyModel) {
   HmmBuilder builder(closeness_, *stats_, *graph_);
   HmmModel model = builder.Build({});
   EXPECT_EQ(model.num_positions(), 0u);
+  // The builder still leaves the bounds in a consistent (empty) state.
+  EXPECT_TRUE(model.bounds_ready());
+}
+
+TEST_F(HmmTest, BuilderComputesPruningBounds) {
+  auto candidates = CandidatesFor(
+      {corpus_.Title("uncertain"), corpus_.Title("query")});
+  HmmBuilder builder(closeness_, *stats_, *graph_);
+  HmmModel model = builder.Build(candidates);
+  ASSERT_TRUE(model.bounds_ready());
+  ASSERT_EQ(model.emission_max.size(), 2u);
+  ASSERT_EQ(model.trans_max.size(), 1u);
+  ASSERT_EQ(model.suffix_bound.size(), 2u);
+
+  // emission_max is the exact (bit-identical) row maximum.
+  for (size_t c = 0; c < 2; ++c) {
+    double row_max = 0.0;
+    for (double v : model.emission[c]) row_max = std::max(row_max, v);
+    EXPECT_EQ(model.emission_max[c], row_max);
+  }
+  // trans_max dominates every entry of its slice and equals one of them.
+  double slice_max = 0.0;
+  for (const auto& row : model.trans[0]) {
+    for (double v : row) slice_max = std::max(slice_max, v);
+  }
+  EXPECT_EQ(model.trans_max[0], slice_max);
+  // The suffix recurrence anchors at 1 and composes exactly.
+  EXPECT_EQ(model.suffix_bound[1], 1.0);
+  EXPECT_EQ(model.suffix_bound[0],
+            model.trans_max[0] * model.emission_max[1] *
+                model.suffix_bound[1]);
+}
+
+TEST_F(HmmTest, ComputeBoundsOnHandAssembledModel) {
+  // Hand-built models start without bounds; ComputeBounds upgrades them.
+  HmmModel model;
+  model.states.assign(2, std::vector<CandidateState>(2));
+  model.pi = {0.6, 0.4};
+  model.emission = {{0.3, 0.7}, {0.9, 0.1}};
+  model.trans = {{{0.2, 0.8}, {0.5, 0.5}}};
+  EXPECT_FALSE(model.bounds_ready());
+  model.ComputeBounds();
+  ASSERT_TRUE(model.bounds_ready());
+  EXPECT_EQ(model.emission_max[0], 0.7);
+  EXPECT_EQ(model.emission_max[1], 0.9);
+  EXPECT_EQ(model.trans_max[0], 0.8);
+  EXPECT_EQ(model.suffix_bound[1], 1.0);
+  EXPECT_EQ(model.suffix_bound[0], 0.8 * 0.9);
+
+  // Single-position model: no transitions, suffix anchors at 1.
+  HmmModel single;
+  single.states.assign(1, std::vector<CandidateState>(2));
+  single.pi = {0.5, 0.5};
+  single.emission = {{0.25, 0.75}};
+  single.ComputeBounds();
+  ASSERT_TRUE(single.bounds_ready());
+  EXPECT_TRUE(single.trans_max.empty());
+  EXPECT_EQ(single.suffix_bound[0], 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// Property tests for bound-based decode pruning (DESIGN.md "Bound-based
+// pruning"): across randomized HMM shapes — zero-heavy transitions, zero
+// emission rows, empty positions, single-position models — both decoders
+// must return bit-identical paths and scores with pruning forced on vs.
+// off, while the work counters only ever shrink.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/astar_topk.h"
+#include "core/viterbi_topk.h"
+
+namespace kqr {
+namespace {
+
+struct ModelShape {
+  size_t m, n, k;
+  uint64_t seed;
+  double zero_trans;     // fraction of zeroed transition entries
+  double zero_emission;  // fraction of zeroed emission entries
+  int empty_position;    // position with zero states (-1: none)
+};
+
+HmmModel BuildModel(const ModelShape& p) {
+  Rng rng(p.seed);
+  HmmModel model;
+  model.states.assign(p.m, std::vector<CandidateState>(p.n));
+  model.emission.assign(p.m, std::vector<double>(p.n));
+  if (p.empty_position >= 0) {
+    model.states[p.empty_position].clear();
+    model.emission[p.empty_position].clear();
+  }
+  model.pi.resize(model.num_states(0));
+  for (size_t i = 0; i < model.num_states(0); ++i) {
+    model.pi[i] = 0.1 + rng.NextDouble();
+  }
+  for (size_t c = 0; c < p.m; ++c) {
+    for (size_t i = 0; i < model.num_states(c); ++i) {
+      model.states[c][i].term = static_cast<TermId>(c * p.n + i);
+      model.emission[c][i] = rng.NextDouble() < p.zero_emission
+                                 ? 0.0
+                                 : 0.05 + rng.NextDouble();
+    }
+  }
+  model.trans.resize(p.m > 0 ? p.m - 1 : 0);
+  for (size_t c = 0; c + 1 < p.m; ++c) {
+    model.trans[c].assign(model.num_states(c),
+                          std::vector<double>(model.num_states(c + 1)));
+    for (size_t i = 0; i < model.num_states(c); ++i) {
+      for (size_t j = 0; j < model.num_states(c + 1); ++j) {
+        model.trans[c][i][j] = rng.NextDouble() < p.zero_trans
+                                   ? 0.0
+                                   : 0.05 + rng.NextDouble();
+      }
+    }
+  }
+  return model;
+}
+
+void ExpectIdentical(const std::vector<DecodedPath>& on,
+                     const std::vector<DecodedPath>& off) {
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t i = 0; i < on.size(); ++i) {
+    // Bit-exact, not approximate: pruning must not change a single
+    // arithmetic operation on any surviving path.
+    EXPECT_EQ(on[i].score, off[i].score) << "rank " << i;
+    EXPECT_EQ(on[i].states, off[i].states) << "rank " << i;
+  }
+}
+
+class PruningSweep : public ::testing::TestWithParam<ModelShape> {};
+
+TEST_P(PruningSweep, ViterbiPrunedMatchesUnpruned) {
+  HmmModel model = BuildModel(GetParam());
+  ViterbiStats on_stats, off_stats;
+  auto on = ViterbiTopK(model, GetParam().k, nullptr, &on_stats, true);
+  auto off = ViterbiTopK(model, GetParam().k, nullptr, &off_stats, false);
+  ExpectIdentical(on, off);
+  EXPECT_EQ(off_stats.extensions_pruned, 0u);
+  EXPECT_LE(on_stats.extensions_scored, off_stats.extensions_scored);
+}
+
+TEST_P(PruningSweep, AStarPrunedMatchesUnpruned) {
+  HmmModel model = BuildModel(GetParam());
+  AStarStats on_stats, off_stats;
+  auto on = AStarTopK(model, GetParam().k, &on_stats, nullptr, true);
+  auto off = AStarTopK(model, GetParam().k, &off_stats, nullptr, false);
+  ExpectIdentical(on, off);
+  EXPECT_EQ(off_stats.nodes_pruned, 0u);
+  // f is exact, so a θ-pruned node could never pop before the k-th
+  // completion: expansions never increase, generations only shrink.
+  EXPECT_LE(on_stats.nodes_expanded, off_stats.nodes_expanded);
+  EXPECT_LE(on_stats.nodes_generated, off_stats.nodes_generated);
+}
+
+TEST_P(PruningSweep, DecodersAgreeUnderPruning) {
+  HmmModel model = BuildModel(GetParam());
+  auto viterbi = ViterbiTopK(model, GetParam().k);
+  auto astar = AStarTopK(model, GetParam().k);
+  // Both prune by default and share one output contract: the same
+  // positive-score paths in the same order.
+  ASSERT_EQ(viterbi.size(), astar.size());
+  for (size_t i = 0; i < viterbi.size(); ++i) {
+    EXPECT_NEAR(viterbi[i].score, astar[i].score, 1e-12) << "rank " << i;
+    EXPECT_GT(viterbi[i].score, 0.0);
+  }
+}
+
+TEST_P(PruningSweep, ScratchReuseIsBitStable) {
+  // A warm scratch (stale slots from a previous, differently-shaped
+  // request) must not leak into results.
+  HmmModel big = BuildModel(ModelShape{6, 8, 10, 4242, 0.2, 0.0, -1});
+  HmmModel model = BuildModel(GetParam());
+  ViterbiScratch scratch;
+  (void)ViterbiTopK(big, 12, &scratch);
+  auto warm = ViterbiTopK(model, GetParam().k, &scratch);
+  auto cold = ViterbiTopK(model, GetParam().k);
+  ExpectIdentical(warm, cold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PruningSweep,
+    ::testing::Values(
+        // Dense models of growing depth.
+        ModelShape{1, 5, 3, 101, 0.0, 0.0, -1},
+        ModelShape{2, 6, 5, 102, 0.0, 0.0, -1},
+        ModelShape{4, 5, 10, 103, 0.0, 0.0, -1},
+        ModelShape{6, 4, 8, 104, 0.0, 0.0, -1},
+        ModelShape{8, 6, 10, 105, 0.0, 0.0, -1},
+        // Zero-heavy transitions (stress the edge <= 0 skip).
+        ModelShape{4, 5, 7, 106, 0.5, 0.0, -1},
+        ModelShape{5, 4, 10, 107, 0.8, 0.0, -1},
+        // Zero emission rows (states that can never be visited).
+        ModelShape{4, 5, 6, 108, 0.2, 0.4, -1},
+        ModelShape{3, 6, 12, 109, 0.0, 0.6, -1},
+        // k larger than the positive path space.
+        ModelShape{2, 3, 50, 110, 0.5, 0.3, -1},
+        ModelShape{1, 4, 20, 111, 0.0, 0.5, -1},
+        // Empty positions: no complete path exists at all.
+        ModelShape{3, 4, 5, 112, 0.0, 0.0, 1},
+        ModelShape{4, 4, 5, 113, 0.3, 0.0, 0},
+        ModelShape{2, 5, 3, 114, 0.0, 0.2, 1}));
+
+TEST(PruningDegenerate, EmptyPositionYieldsNoPaths) {
+  HmmModel model = BuildModel(ModelShape{3, 4, 5, 7, 0.0, 0.0, 1});
+  EXPECT_TRUE(ViterbiTopK(model, 5).empty());
+  EXPECT_TRUE(AStarTopK(model, 5).empty());
+  ViterbiScratch scratch;
+  DecodedPath best;
+  ViterbiDecodeInto(model, &scratch, &best);
+  EXPECT_TRUE(best.states.empty());
+  EXPECT_EQ(best.score, 0.0);
+}
+
+TEST(PruningDegenerate, StatsCountersDropOnDeepDenseModels) {
+  // On a dense model with k much smaller than the per-cell fan-in the
+  // bound must actually fire — this is the "counters drop measurably"
+  // half of the acceptance criterion, at unit scale.
+  HmmModel model = BuildModel(ModelShape{8, 12, 3, 909, 0.0, 0.0, -1});
+  ViterbiStats on_stats, off_stats;
+  auto on = ViterbiTopK(model, 3, nullptr, &on_stats, true);
+  auto off = ViterbiTopK(model, 3, nullptr, &off_stats, false);
+  ExpectIdentical(on, off);
+  EXPECT_GT(on_stats.extensions_pruned, 0u);
+  EXPECT_LT(on_stats.extensions_scored, off_stats.extensions_scored);
+
+  AStarStats astar_on, astar_off;
+  auto a_on = AStarTopK(model, 3, &astar_on, nullptr, true);
+  auto a_off = AStarTopK(model, 3, &astar_off, nullptr, false);
+  ExpectIdentical(a_on, a_off);
+  EXPECT_GT(astar_on.nodes_pruned, 0u);
+  EXPECT_LT(astar_on.nodes_generated, astar_off.nodes_generated);
+}
+
+}  // namespace
+}  // namespace kqr

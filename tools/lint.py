@@ -22,6 +22,13 @@ the same line):
                     code demonstrates the supported API, and the facade is
                     what stays stable across PRs (allowlist for benches
                     that deliberately exercise internals)
+  metrics-discipline
+                    request-path core files never call ->Increment()/
+                    ->Observe() on shared atomic counters directly — they
+                    stage into the per-request RequestMetricsBlock and
+                    flush once per request/batch, keeping the observability
+                    overhead inside its 3% budget (cache-local caches with
+                    an explicit lint:allow are the only exception)
 
 Usage: python3 tools/lint.py [--root REPO_ROOT]
 Exits 0 when clean, 1 with findings on stderr.
@@ -225,6 +232,39 @@ class Linter:
                                 "benches must use the supported surface",
                                 raw_lines[line_no - 1])
 
+    # -- metrics-discipline ---------------------------------------------
+
+    # Per-request hot-path files: every metric they record must be staged
+    # in the caller's RequestMetricsBlock (value-type `.Observe`/field
+    # adds) and flushed once, not pushed through the shared atomics on
+    # each event. Build-time code (engine_builder) and the flush sites
+    # themselves (obs/, server batch flush) are exempt by omission.
+    METRICS_HOT_FILES = tuple(
+        os.path.join("src", "core", name)
+        for name in ("reformulator.cc", "serving_model.cc", "serving_model.h",
+                     "viterbi_topk.cc", "viterbi_topk.h", "astar_topk.cc",
+                     "astar_topk.h", "candidates.cc", "candidates.h",
+                     "hmm.cc", "hmm.h", "request_context.h"))
+    METRICS_CALL_RE = re.compile(r"->\s*(Increment|Observe)\s*\(")
+
+    def check_metrics_discipline(self):
+        for rel in self.METRICS_HOT_FILES:
+            path = os.path.join(self.root, rel)
+            if not os.path.exists(path):
+                continue
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            stripped = strip_comments_and_strings("\n".join(raw_lines))
+            for line_no, line in enumerate(stripped.splitlines(), 1):
+                m = self.METRICS_CALL_RE.search(line)
+                if m:
+                    self.report(path, line_no, "metrics-discipline",
+                                f"direct ->{m.group(1)}() on the request "
+                                "path — stage into RequestMetricsBlock and "
+                                "flush once per request (3% overhead "
+                                "budget)",
+                                raw_lines[line_no - 1])
+
     # -- include-cycle --------------------------------------------------
 
     INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
@@ -268,6 +308,7 @@ class Linter:
         self.check_rng()
         self.check_mutable_globals()
         self.check_options_mutation()
+        self.check_metrics_discipline()
         self.check_facade_includes()
         self.check_include_cycles()
         return self.findings
