@@ -39,14 +39,14 @@ void AblateContextualPreference(ExperimentContext* ctx) {
   auto same_topic_fraction = [&](SimilarityExtractor& extractor,
                                  TermId probe) {
     std::vector<size_t> probe_topics =
-        ctx->corpus.TopicsOf(vocab.text(probe));
+        ctx->corpus.TopicsOf(std::string(vocab.text(probe)));
     if (probe_topics.empty()) return -1.0;
     auto similar = extractor.TopSimilar(graph.NodeOfTerm(probe), 10);
     if (similar.empty()) return -1.0;
     size_t matched = 0;
     for (const ScoredNode& s : similar) {
       std::vector<size_t> topics =
-          ctx->corpus.TopicsOf(vocab.text(graph.TermOfNode(s.node)));
+          ctx->corpus.TopicsOf(std::string(vocab.text(graph.TermOfNode(s.node))));
       for (size_t t : topics) {
         if (std::find(probe_topics.begin(), probe_topics.end(), t) !=
             probe_topics.end()) {

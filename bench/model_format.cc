@@ -1,0 +1,308 @@
+// Cold-start benchmark for the v3 model file: how fast does a process go
+// from "file on disk" to "serving reformulations", and what does it pay
+// in resident memory, compared against the two older paths?
+//
+//   build      eager EngineBuilder::Build from the raw corpus — what every
+//              process paid before any persistence existed.
+//   v2-parse   lazy build (graph + vocab from the corpus) followed by
+//              LoadOfflineSnapshotFile parsing the v2 text snapshot — the
+//              pre-v3 cold start.
+//   v3-mmap    ServingModel::OpenMapped over the mmap'd container.
+//   v3-heap    same loader with prefer_mmap off (portability fallback).
+//
+// Every arm must produce rankings bit-identical to the source model on a
+// sampled workload; mismatches fail the run. Emits BENCH_model_format.json
+// (open seconds, RSS delta, file sizes) next to the table output.
+//
+// --quick shrinks the corpus and relaxes the speedup floor so the gate
+// fits a CI smoke slot: exactness and the v3-smaller-than-v2 size check
+// always gate; the v3-mmap vs v2-parse speedup floor is 10x in the full
+// run, 3x under --quick (absolute timings on shared CI runners are noisy,
+// but mmap-open versus rebuild-everything is not a close race).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/io/io.h"
+#include "datagen/dblp_gen.h"
+#include "kqr.h"
+
+namespace kqr {
+namespace {
+
+bool g_quick = false;
+int g_exit_code = 0;
+
+constexpr size_t kTopK = 8;
+constexpr size_t kNumQueries = 24;
+
+/// Timed opens per arm; each arm reports its best run. The gate compares
+/// a ratio of arms, and single runs on a shared host can swing 2x from
+/// scheduler noise alone.
+constexpr int kOpenRepeats = 3;
+
+DblpOptions BenchCorpus() {
+  if (!g_quick) return bench::DefaultCorpus();
+  DblpOptions options;
+  options.num_authors = 300;
+  options.num_papers = 1000;
+  options.num_venues = 24;
+  options.seed = 42;
+  return options;
+}
+
+/// Resident set size from /proc/self/status (Linux); 0 when unavailable.
+/// Good enough to show the mapped arm's paging behaviour relative to the
+/// parse arms — absolute values depend on allocator reuse.
+size_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t rss_kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %zu kB", &rss_kb) == 1) break;
+  }
+  std::fclose(f);
+  return rss_kb * 1024;
+}
+
+size_t FileSizeBytes(const std::string& path) {
+  auto file = MappedFile::Open(path, /*prefer_mmap=*/false);
+  return file.ok() ? (*file)->size() : 0;
+}
+
+/// FNV-1a over every ranking's term ids and exact score bits: two models
+/// agree on a workload iff their fingerprints match.
+uint64_t WorkloadFingerprint(const ServingModel& model,
+                             const std::vector<std::vector<TermId>>& queries) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto fold = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& q : queries) {
+    const auto rankings = bench::MustReformulate(
+        model.ReformulateTerms(q, kTopK));
+    fold(rankings.size());
+    for (const ReformulatedQuery& r : rankings) {
+      uint64_t bits;
+      std::memcpy(&bits, &r.score, sizeof(bits));
+      fold(bits);
+      for (TermId t : r.terms) fold(t);
+    }
+  }
+  return h;
+}
+
+struct ColdStartOutcome {
+  const char* arm = "";
+  double open_seconds = 0.0;
+  size_t rss_delta_bytes = 0;
+  bool fingerprint_match = false;
+};
+
+void PrintOutcome(const ColdStartOutcome& o) {
+  std::printf("%-10s %10.4fs   rss +%8.2f MiB   %s\n", o.arm,
+              o.open_seconds, o.rss_delta_bytes / (1024.0 * 1024.0),
+              o.fingerprint_match ? "exact" : "MISMATCH");
+}
+
+void WriteJson(const std::vector<ColdStartOutcome>& outcomes,
+               size_t v2_bytes, size_t v3_bytes, double speedup) {
+  FILE* f = std::fopen("BENCH_model_format.json", "w");
+  if (f == nullptr) {
+    std::printf("# could not open BENCH_model_format.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"model_format\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", g_quick ? "true" : "false");
+  std::fprintf(f, "  \"queries\": %zu,\n  \"k\": %zu,\n", kNumQueries,
+               kTopK);
+  std::fprintf(f, "  \"v2_snapshot_bytes\": %zu,\n", v2_bytes);
+  std::fprintf(f, "  \"v3_model_bytes\": %zu,\n", v3_bytes);
+  std::fprintf(f, "  \"v3_to_v2_size_ratio\": %.4f,\n",
+               v2_bytes > 0 ? double(v3_bytes) / double(v2_bytes) : 0.0);
+  std::fprintf(f, "  \"mmap_speedup_vs_v2_parse\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"cold_starts\": [\n");
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const ColdStartOutcome& o = outcomes[i];
+    std::fprintf(f,
+                 "    {\"arm\": \"%s\", \"open_seconds\": %.6f, "
+                 "\"rss_delta_bytes\": %zu, \"exact\": %s}%s\n",
+                 o.arm, o.open_seconds, o.rss_delta_bytes,
+                 o.fingerprint_match ? "true" : "false",
+                 i + 1 < outcomes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_model_format.json\n");
+}
+
+void Run() {
+  bench::PrintHeader("Model format v3: cold start (open time + RSS)");
+  const DblpOptions corpus_options = BenchCorpus();
+
+  // Source model: one eager build, timed — this is the "no persistence"
+  // cold start every other arm is trying to beat.
+  Timer build_timer;
+  const size_t rss_before_build = CurrentRssBytes();
+  EngineOptions eager;
+  eager.precompute_offline = true;
+  ExperimentContext ctx = bench::MustMakeContext(corpus_options, eager);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  const size_t build_rss = CurrentRssBytes() - rss_before_build;
+
+  QuerySampler sampler(*ctx.model, /*seed=*/909);
+  std::vector<std::vector<TermId>> queries;
+  for (auto& q : sampler.SampleQueries(kNumQueries / 2, 2)) {
+    queries.push_back(std::move(q));
+  }
+  for (auto& q : sampler.SampleQueries(kNumQueries / 2, 3)) {
+    queries.push_back(std::move(q));
+  }
+  const uint64_t want_fingerprint = WorkloadFingerprint(*ctx.model, queries);
+
+  // Persist both formats once.
+  const std::string v3_path = "bench_model_format.kqrm";
+  const std::string v2_path = "bench_model_format.snapshot";
+  {
+    const Status saved = EngineBuilder::SaveModel(*ctx.model, v3_path);
+    KQR_CHECK(saved.ok()) << saved.ToString();
+    const Status snap = SaveOfflineSnapshotFile(*ctx.model, v2_path);
+    KQR_CHECK(snap.ok()) << snap.ToString();
+  }
+  const size_t v3_bytes = FileSizeBytes(v3_path);
+  const size_t v2_bytes = FileSizeBytes(v2_path);
+  std::printf("# v3 model file: %zu bytes; v2 snapshot: %zu bytes "
+              "(lists only — v3 additionally carries vocab, index, "
+              "graph, bounds)\n",
+              v3_bytes, v2_bytes);
+
+  std::vector<ColdStartOutcome> outcomes;
+  outcomes.push_back({"build", build_seconds, build_rss, true});
+
+  // v2 parse path: rebuild vocab/graph lazily, then parse the text lists.
+  // RSS and exactness come from the first repeat; later repeats only
+  // re-time the open (allocator reuse would understate RSS anyway).
+  {
+    ColdStartOutcome o{"v2-parse", 0.0, 0, false};
+    for (int rep = 0; rep < kOpenRepeats; ++rep) {
+      auto corpus = GenerateDblp(corpus_options);
+      KQR_CHECK(corpus.ok());
+      const size_t rss0 = CurrentRssBytes();
+      Timer timer;
+      auto model = EngineBuilder().Build(std::move(corpus->db));
+      KQR_CHECK(model.ok()) << model.status().ToString();
+      const Status loaded =
+          LoadOfflineSnapshotFile((*model).get(), v2_path);
+      KQR_CHECK(loaded.ok()) << loaded.ToString();
+      const double seconds = timer.ElapsedSeconds();
+      if (rep == 0) {
+        o.open_seconds = seconds;
+        o.rss_delta_bytes = CurrentRssBytes() - rss0;
+        o.fingerprint_match =
+            WorkloadFingerprint(**model, queries) == want_fingerprint;
+      } else {
+        o.open_seconds = std::min(o.open_seconds, seconds);
+      }
+    }
+    outcomes.push_back(o);
+  }
+
+  // v3 arms: mmap and heap fallback.
+  for (const bool prefer_mmap : {true, false}) {
+    ColdStartOutcome o{prefer_mmap ? "v3-mmap" : "v3-heap", 0.0, 0, false};
+    for (int rep = 0; rep < kOpenRepeats; ++rep) {
+      auto corpus = GenerateDblp(corpus_options);
+      KQR_CHECK(corpus.ok());
+      const size_t rss0 = CurrentRssBytes();
+      Timer timer;
+      EngineOptions options;
+      options.precompute_offline = true;
+      ModelOpenOptions open;
+      open.prefer_mmap = prefer_mmap;
+      auto model = ServingModel::OpenMapped(std::move(corpus->db), v3_path,
+                                            options, open);
+      KQR_CHECK(model.ok()) << model.status().ToString();
+      const double seconds = timer.ElapsedSeconds();
+      if (rep == 0) {
+        o.open_seconds = seconds;
+        o.rss_delta_bytes = CurrentRssBytes() - rss0;
+        o.fingerprint_match =
+            WorkloadFingerprint(**model, queries) == want_fingerprint;
+      } else {
+        o.open_seconds = std::min(o.open_seconds, seconds);
+      }
+    }
+    outcomes.push_back(o);
+  }
+
+  std::printf("%-10s %11s   %14s   %s\n", "arm", "open", "rss-delta",
+              "exactness");
+  for (const ColdStartOutcome& o : outcomes) PrintOutcome(o);
+
+  double v2_seconds = 0.0, mmap_seconds = 0.0;
+  for (const ColdStartOutcome& o : outcomes) {
+    if (std::strcmp(o.arm, "v2-parse") == 0) v2_seconds = o.open_seconds;
+    if (std::strcmp(o.arm, "v3-mmap") == 0) mmap_seconds = o.open_seconds;
+  }
+  const double speedup =
+      mmap_seconds > 0.0 ? v2_seconds / mmap_seconds : 0.0;
+  std::printf("# v3-mmap cold start is %.1fx the v2 parse path\n", speedup);
+
+  WriteJson(outcomes, v2_bytes, v3_bytes, speedup);
+  std::remove(v3_path.c_str());
+  std::remove(v2_path.c_str());
+
+  // Gates: exactness always; the v3 file must not be larger than the v2
+  // snapshot it subsumes; and the mapped open must clear the speedup
+  // floor (10x full, 3x quick — see the header comment).
+  size_t mismatches = 0;
+  for (const ColdStartOutcome& o : outcomes) {
+    if (!o.fingerprint_match) ++mismatches;
+  }
+  const double speedup_floor = g_quick ? 3.0 : 10.0;
+  if (mismatches != 0) {
+    std::printf("GATE: FAIL — %zu arm(s) diverged from the source model\n",
+                mismatches);
+    g_exit_code = 1;
+  }
+  if (v3_bytes == 0 || v2_bytes == 0 || v3_bytes >= v2_bytes) {
+    std::printf("GATE: FAIL — v3 file (%zu bytes) not smaller than v2 "
+                "snapshot (%zu bytes)\n",
+                v3_bytes, v2_bytes);
+    g_exit_code = 1;
+  }
+  if (speedup < speedup_floor) {
+    std::printf("GATE: FAIL — v3-mmap speedup %.1fx below %.1fx floor\n",
+                speedup, speedup_floor);
+    g_exit_code = 1;
+  }
+  if (g_exit_code == 0) {
+    std::printf("GATE: PASS (all arms exact, v3 %.0f%% of v2 size, "
+                "mmap %.1fx faster than v2 parse)\n",
+                100.0 * v3_bytes / v2_bytes, speedup);
+  }
+}
+
+}  // namespace
+}  // namespace kqr
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      kqr::g_quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  kqr::Run();
+  return kqr::g_exit_code;
+}

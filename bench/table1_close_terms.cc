@@ -39,13 +39,13 @@ void Run() {
     }
     std::vector<std::string> close_terms;
     for (const CloseTerm& c : extractor.TopClose(*term, 5, *title_field)) {
-      close_terms.push_back(vocab.text(c.term) + "(" +
+      close_terms.push_back(std::string(vocab.text(c.term)) + "(" +
                             FormatDouble(c.closeness, 0) + ")");
     }
     std::vector<std::string> close_venues;
     for (const CloseTerm& c : extractor.TopClose(*term, 3, *venue_field)) {
       // Venue names are long; print the distinguishing tail.
-      std::string name = vocab.text(c.term);
+      std::string name{vocab.text(c.term)};
       close_venues.push_back(name);
     }
     table.AddRow({target, Join(close_terms, ", "),
@@ -67,9 +67,9 @@ void Run() {
       size_t near_count = model.CountResults({*prob, nearest});
       size_t far_count = model.CountResults({*prob, farthest});
       std::printf("results(probabilistic + %s) = %zu\n",
-                  vocab.text(nearest).c_str(), near_count);
+                  std::string(vocab.text(nearest)).c_str(), near_count);
       std::printf("results(probabilistic + %s) = %zu\n",
-                  vocab.text(farthest).c_str(), far_count);
+                  std::string(vocab.text(farthest)).c_str(), far_count);
       std::printf("shape %s: closest venue yields >= joint results\n",
                   near_count >= far_count ? "HOLDS" : "VIOLATED");
     }

@@ -14,10 +14,10 @@ namespace kqr {
 namespace {
 
 std::string RenderList(const Vocabulary& vocab,
-                       const std::vector<SimilarTerm>& list, size_t n) {
+                       std::span<const SimilarTerm> list, size_t n) {
   std::vector<std::string> parts;
   for (size_t i = 0; i < list.size() && i < n; ++i) {
-    parts.push_back(vocab.text(list[i].term));
+    parts.push_back(std::string(vocab.text(list[i].term)));
   }
   return Join(parts, ", ");
 }
@@ -78,7 +78,7 @@ void Run() {
   }
   KQR_CHECK(star != kInvalidTermId);
   std::printf("target author: %s (~%zu papers)\n",
-              vocab.text(star).c_str(), best_degree - 1);
+              std::string(vocab.text(star)).c_str(), best_degree - 1);
 
   auto collab = cooc.TopSimilar(star);
   std::printf("co-occurrence (collaborators): %s\n",

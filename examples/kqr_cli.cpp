@@ -16,6 +16,10 @@
 //   $ ./build/examples/kqr_cli --stats <schema-file>|--demo "<query>" [k]
 //   $ ./build/examples/kqr_cli --stats-prom <schema-file>|--demo "<query>"
 //   $ ./build/examples/kqr_cli --serve-bench <schema-file>|--demo [sec] [qps]
+//   $ ./build/examples/kqr_cli --save-model <schema-file>|--demo <model-path>
+//   $ ./build/examples/kqr_cli --open-mapped <schema-file>|--demo \
+//         <model-path> "<query>" [k]
+//   $ ./build/examples/kqr_cli --inspect <model-path>
 //
 // With --demo the synthetic DBLP corpus is used, e.g.:
 //   $ ./build/examples/kqr_cli --demo "probabilistic query" 5
@@ -31,6 +35,13 @@
 // stdout pipes cleanly into jq or a collector). --stats-prom emits the
 // same registry in Prometheus text exposition format instead.
 //
+// --save-model builds the model eagerly and writes it as a v3 binary
+// model file; --open-mapped serves a query from such a file via the
+// zero-copy mmap path (the schema/--demo corpus must be the one the model
+// was built from — the stored fingerprint enforces this). --inspect dumps
+// a model file's section table (name, codec, items, compressed bytes)
+// without needing the corpus at all.
+//
 // --serve-bench runs an open-loop load test through the batched async
 // kqr::Server front-end: sampled keyword queries are submitted at a fixed
 // offered rate for a fixed window, then the server drains and the achieved
@@ -45,6 +56,8 @@
 #include <thread>
 
 #include "audit/model_auditor.h"
+#include "common/io/container.h"
+#include "common/io/io.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "datagen/dblp_gen.h"
@@ -338,6 +351,44 @@ int RunServeBench(std::shared_ptr<const ServingModel> model,
   return errors.load() == 0 ? 0 : 1;
 }
 
+/// Dumps a v3 model file's section table without building any model:
+/// per-section name, codec, logical item count and stored (compressed)
+/// bytes, plus the file totals. Works on any machine with the file alone.
+int RunInspect(const std::string& path) {
+  auto file = MappedFile::Open(path, /*prefer_mmap=*/true);
+  if (!file.ok()) {
+    std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  auto reader = ContainerReader::Open((*file)->bytes(),
+                                      /*verify_checksums=*/true);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  static constexpr const char* kCodecNames[] = {"raw", "varint", "delta",
+                                                "bitpack"};
+  std::printf("%s: v3 model file, %zu bytes, %zu sections (%s)\n",
+              path.c_str(), (*file)->size(), reader->sections().size(),
+              (*file)->is_mapped() ? "mmap" : "heap");
+  std::printf("%-18s %-8s %12s %12s %10s\n", "section", "codec", "items",
+              "bytes", "offset");
+  uint64_t payload_bytes = 0;
+  for (const SectionInfo& s : reader->sections()) {
+    payload_bytes += s.length;
+    std::printf("%-18s %-8s %12llu %12llu %10llu\n", s.name.c_str(),
+                kCodecNames[static_cast<size_t>(s.codec)],
+                static_cast<unsigned long long>(s.items),
+                static_cast<unsigned long long>(s.length),
+                static_cast<unsigned long long>(s.offset));
+  }
+  std::printf("payload %llu bytes; container overhead %llu bytes\n",
+              static_cast<unsigned long long>(payload_bytes),
+              static_cast<unsigned long long>((*file)->size() -
+                                              payload_bytes));
+  return 0;
+}
+
 }  // namespace
 
 int RunAudit(const ServingModel& model) {
@@ -352,23 +403,42 @@ int main(int argc, char** argv) {
   const bool audit = mode == "--audit";
   const bool stats = mode == "--stats" || mode == "--stats-prom";
   const bool serve_bench = mode == "--serve-bench";
-  if (argc < 3 || (stats && argc < 4)) {
+  const bool save_model = mode == "--save-model";
+  const bool open_mapped = mode == "--open-mapped";
+  if (mode == "--inspect") {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s --inspect <model-path>\n", argv[0]);
+      return 2;
+    }
+    return RunInspect(argv[2]);
+  }
+  if (argc < 3 || (stats && argc < 4) || (save_model && argc < 4) ||
+      (open_mapped && argc < 5)) {
     std::fprintf(stderr,
                  "usage: %s <schema-file>|--demo \"<query>\" [k]\n"
                  "       %s --audit <schema-file>|--demo\n"
                  "       %s --stats|--stats-prom <schema-file>|--demo "
                  "\"<query>\" [k]\n"
                  "       %s --serve-bench <schema-file>|--demo "
-                 "[seconds] [offered-qps]\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 "[seconds] [offered-qps]\n"
+                 "       %s --save-model <schema-file>|--demo "
+                 "<model-path>\n"
+                 "       %s --open-mapped <schema-file>|--demo "
+                 "<model-path> \"<query>\" [k]\n"
+                 "       %s --inspect <model-path>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
+                 argv[0]);
     return 2;
   }
-  const bool has_mode_flag = audit || stats || serve_bench;
+  const bool has_mode_flag =
+      audit || stats || serve_bench || save_model || open_mapped;
   std::string source = argv[has_mode_flag ? 2 : 1];
-  std::string query =
-      audit || serve_bench ? "" : argv[has_mode_flag ? 3 : 2];
-  const int k_index = has_mode_flag ? 4 : 3;
-  size_t k = !audit && !serve_bench && argc > k_index
+  const std::string model_path = save_model || open_mapped ? argv[3] : "";
+  std::string query = audit || serve_bench || save_model
+                          ? ""
+                          : argv[open_mapped ? 4 : (has_mode_flag ? 3 : 2)];
+  const int k_index = open_mapped ? 5 : (has_mode_flag ? 4 : 3);
+  size_t k = !audit && !serve_bench && !save_model && argc > k_index
                  ? static_cast<size_t>(std::atoi(argv[k_index]))
                  : 8;
   const double bench_seconds =
@@ -393,9 +463,25 @@ int main(int argc, char** argv) {
     db = std::move(*loaded);
   }
 
+  if (open_mapped) {
+    // The cold-start path: no tokenization, no graph build — the frozen
+    // structures are served straight out of the mapped file.
+    auto mapped = ServingModel::OpenMapped(std::move(db), model_path);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "%s\n", mapped.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("model: %zu tuples, %zu terms, %zu graph nodes (mapped "
+                "from %s)\n",
+                (*mapped)->db().TotalRows(), (*mapped)->vocab().size(),
+                (*mapped)->graph().num_nodes(), model_path.c_str());
+    return RunQuery(**mapped, query, k);
+  }
+
   EngineOptions options;
-  // The audit covers the per-term offline lists, so build them all.
-  options.precompute_offline = audit;
+  // The audit and the model file cover the per-term offline lists, so
+  // build them all.
+  options.precompute_offline = audit || save_model;
   auto engine = EngineBuilder(options).Build(std::move(db));
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
@@ -407,6 +493,17 @@ int main(int argc, char** argv) {
                (*engine)->db().TotalRows(), (*engine)->vocab().size(),
                (*engine)->graph().num_nodes());
   if (audit) return RunAudit(**engine);
+  if (save_model) {
+    const Status saved = EngineBuilder::SaveModel(**engine, model_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    auto written = MappedFile::Open(model_path, /*prefer_mmap=*/false);
+    std::printf("saved v3 model to %s (%zu bytes)\n", model_path.c_str(),
+                written.ok() ? (*written)->size() : size_t{0});
+    return 0;
+  }
   if (serve_bench) {
     if (bench_seconds <= 0.0 || bench_qps <= 0.0) {
       std::fprintf(stderr, "seconds and offered-qps must be positive\n");

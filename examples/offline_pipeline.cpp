@@ -75,7 +75,7 @@ int main() {
   SimilarityExtractor extractor(*graph, stats);
   std::printf("[3c] similar to 'probabilistic':");
   for (const ScoredNode& s : extractor.TopSimilar(start, 8)) {
-    std::printf(" %s", vocab.text(graph->TermOfNode(s.node)).c_str());
+    std::printf(" %s", std::string(vocab.text(graph->TermOfNode(s.node))).c_str());
   }
   std::printf("\n");
 
@@ -84,7 +84,7 @@ int main() {
   std::printf("[3d] co-occurring with 'probabilistic':");
   auto cooc_list = cooc.TopSimilar(*prob);
   for (size_t i = 0; i < cooc_list.size() && i < 8; ++i) {
-    std::printf(" %s", vocab.text(cooc_list[i].term).c_str());
+    std::printf(" %s", std::string(vocab.text(cooc_list[i].term)).c_str());
   }
   std::printf("\n");
 
@@ -92,7 +92,7 @@ int main() {
   ClosenessExtractor closeness(*graph);
   std::printf("[4] close to 'probabilistic':");
   for (const CloseTerm& c : closeness.TopClose(*prob, 8, *title_field)) {
-    std::printf(" %s(d%u)", vocab.text(c.term).c_str(), c.distance);
+    std::printf(" %s(d%u)", std::string(vocab.text(c.term)).c_str(), c.distance);
   }
   std::printf("\n");
   return 0;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <unordered_set>
 
 #include "core/candidates.h"
 #include "core/serving_model.h"
@@ -483,6 +482,47 @@ AuditCheck ModelAuditor::CheckHmm(const HmmModel& model) const {
   return rec.Take();
 }
 
+AuditCheck ModelAuditor::CheckTermBounds(const TermBoundsTable& bounds,
+                                         const SimilarityIndex& similarity,
+                                         const ClosenessIndex& closeness,
+                                         size_t vocab_size) const {
+  CheckRecorder rec("term-bounds");
+  if (bounds.size() != vocab_size) {
+    rec.Violation("bounds table covers " + std::to_string(bounds.size()) +
+                  " terms, vocabulary has " + std::to_string(vocab_size));
+    return rec.Take();
+  }
+  for (TermId term = 0; term < vocab_size; ++term) {
+    rec.CountUnit();
+    const double emission = bounds.emission_cap(term);
+    const double transition = bounds.transition_cap(term);
+    if (!std::isfinite(emission) || emission < 0.0 ||
+        !std::isfinite(transition) || transition < 0.0) {
+      rec.Violation("term " + std::to_string(term) +
+                    " has a non-finite or negative cap");
+      continue;
+    }
+    double max_score = 0.0;
+    for (const SimilarTerm& s : similarity.Lookup(term)) {
+      max_score = std::max(max_score, s.score);
+    }
+    double max_closeness = 0.0;
+    for (const CloseTerm& c : closeness.Lookup(term)) {
+      max_closeness = std::max(max_closeness, c.closeness);
+    }
+    if (emission != max_score) {
+      rec.Violation("term " + std::to_string(term) + " emission cap " +
+                    std::to_string(emission) + " != list max " +
+                    std::to_string(max_score));
+    } else if (transition != max_closeness) {
+      rec.Violation("term " + std::to_string(term) + " transition cap " +
+                    std::to_string(transition) + " != list max " +
+                    std::to_string(max_closeness));
+    }
+  }
+  return rec.Take();
+}
+
 AuditReport ModelAuditor::Audit(const ServingModel& model) const {
   AuditReport report;
   const CsrGraph& adjacency = model.graph().adjacency();
@@ -518,6 +558,12 @@ AuditReport ModelAuditor::Audit(const ServingModel& model) const {
       CheckClosenessLists(model.closeness_index(), prepared, vocab_size,
                           opts.closeness.list_size, check_order));
 
+  if (!model.term_bounds().empty() && model.fully_prepared()) {
+    report.checks.push_back(
+        CheckTermBounds(model.term_bounds(), model.similarity_index(),
+                        model.closeness_index(), vocab_size));
+  }
+
   if (options_.hmm_probe_terms > 0 && !prepared.empty()) {
     std::vector<TermId> probe;
     for (TermId term : prepared) {
@@ -534,62 +580,81 @@ AuditReport ModelAuditor::Audit(const ServingModel& model) const {
   return report;
 }
 
+namespace {
+
+/// True when `list[i].term` repeats an earlier entry. Lists are bounded
+/// by the configured list size (dozens of entries), so a backward scan
+/// over contiguous memory beats any hash set — these validators run over
+/// every list of every term on the model-file open path, and a per-list
+/// allocation there dominates an otherwise sub-millisecond pass.
+template <typename Entry>
+bool IsDuplicateEntry(std::span<const Entry> list, size_t i) {
+  for (size_t j = 0; j < i; ++j) {
+    if (list[j].term == list[i].term) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Status ValidateSimilarList(TermId term,
-                           const std::vector<SimilarTerm>& list,
+                           std::span<const SimilarTerm> list,
                            size_t vocab_size) {
-  std::unordered_set<TermId> seen;
-  seen.reserve(list.size());
+  // The failure message is built lazily for the same reason: string
+  // construction per entry is pure waste on the all-valid path.
+  const auto at = [term](size_t i) {
+    return "similar list of term " + std::to_string(term) + " rank " +
+           std::to_string(i);
+  };
   for (size_t i = 0; i < list.size(); ++i) {
     const SimilarTerm& entry = list[i];
-    const std::string at = "similar list of term " + std::to_string(term) +
-                           " rank " + std::to_string(i);
     if (entry.term >= vocab_size) {
-      return Status::Corruption(at + ": term id " +
+      return Status::Corruption(at(i) + ": term id " +
                                 std::to_string(entry.term) +
                                 " outside vocabulary of " +
                                 std::to_string(vocab_size));
     }
     if (!std::isfinite(entry.score) || entry.score < 0.0 ||
         entry.score > 1.0) {
-      return Status::Corruption(at + ": score " + Str(entry.score) +
+      return Status::Corruption(at(i) + ": score " + Str(entry.score) +
                                 " outside [0,1]");
     }
     if (i > 0 && entry.score > list[i - 1].score) {
-      return Status::Corruption(at + ": not sorted, score " +
+      return Status::Corruption(at(i) + ": not sorted, score " +
                                 Str(entry.score) + " after " +
                                 Str(list[i - 1].score));
     }
-    if (!seen.insert(entry.term).second) {
-      return Status::Corruption(at + ": duplicate term id " +
+    if (IsDuplicateEntry(list, i)) {
+      return Status::Corruption(at(i) + ": duplicate term id " +
                                 std::to_string(entry.term));
     }
   }
   return Status::OK();
 }
 
-Status ValidateCloseList(TermId term, const std::vector<CloseTerm>& list,
+Status ValidateCloseList(TermId term, std::span<const CloseTerm> list,
                          size_t vocab_size) {
-  std::unordered_set<TermId> seen;
-  seen.reserve(list.size());
+  const auto at = [term](size_t i) {
+    return "close list of term " + std::to_string(term) + " rank " +
+           std::to_string(i);
+  };
   for (size_t i = 0; i < list.size(); ++i) {
     const CloseTerm& entry = list[i];
-    const std::string at = "close list of term " + std::to_string(term) +
-                           " rank " + std::to_string(i);
     if (entry.term >= vocab_size) {
-      return Status::Corruption(at + ": term id " +
+      return Status::Corruption(at(i) + ": term id " +
                                 std::to_string(entry.term) +
                                 " outside vocabulary of " +
                                 std::to_string(vocab_size));
     }
     if (!std::isfinite(entry.closeness) || entry.closeness < 0.0) {
-      return Status::Corruption(at + ": closeness " + Str(entry.closeness) +
+      return Status::Corruption(at(i) + ": closeness " + Str(entry.closeness) +
                                 " negative or non-finite");
     }
     if (entry.distance == 0) {
-      return Status::Corruption(at + ": zero distance to a distinct term");
+      return Status::Corruption(at(i) + ": zero distance to a distinct term");
     }
-    if (!seen.insert(entry.term).second) {
-      return Status::Corruption(at + ": duplicate term id " +
+    if (IsDuplicateEntry(list, i)) {
+      return Status::Corruption(at(i) + ": duplicate term id " +
                                 std::to_string(entry.term));
     }
   }

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -135,6 +136,17 @@ class ModelAuditor {
   /// π, emission rows and transition rows of `model` are stochastic.
   AuditCheck CheckHmm(const HmmModel& model) const;
 
+  /// Per-term decode-bound caps agree with the frozen lists: for every
+  /// term, emission_cap == max similar score and transition_cap == max
+  /// closeness (exact — both sides are the same max over the same list),
+  /// and every cap is finite and non-negative. Only meaningful on fully
+  /// prepared models (lazy preparation after a save legitimately
+  /// outgrows a stored cap), so Audit gates on fully_prepared().
+  AuditCheck CheckTermBounds(const TermBoundsTable& bounds,
+                             const SimilarityIndex& similarity,
+                             const ClosenessIndex& closeness,
+                             size_t vocab_size) const;
+
   const AuditOptions& options() const { return options_; }
 
  private:
@@ -147,13 +159,13 @@ class ModelAuditor {
 
 /// \brief Validates one similar-term list (ids in [0, vocab_size), scores
 /// finite in [0,1], non-increasing, no duplicate ids).
-Status ValidateSimilarList(TermId term, const std::vector<SimilarTerm>& list,
+Status ValidateSimilarList(TermId term, std::span<const SimilarTerm> list,
                            size_t vocab_size);
 
 /// \brief Validates one close-term list (ids in [0, vocab_size),
 /// closeness finite and ≥ 0, no duplicate ids). Ordering is not required
 /// here: ranking may be normalized (see ClosenessOptions).
-Status ValidateCloseList(TermId term, const std::vector<CloseTerm>& list,
+Status ValidateCloseList(TermId term, std::span<const CloseTerm> list,
                          size_t vocab_size);
 
 }  // namespace kqr

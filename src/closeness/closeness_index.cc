@@ -16,10 +16,16 @@ ClosenessIndex::ClosenessIndex()
 ClosenessIndex::ClosenessIndex(ClosenessIndex&& other) noexcept
     : list_shards_(std::move(other.list_shards_)),
       pair_shards_(std::move(other.pair_shards_)),
-      frozen_(other.frozen_.load(std::memory_order_relaxed)) {
+      frozen_(other.frozen_.load(std::memory_order_relaxed)),
+      flat_offsets_(std::move(other.flat_offsets_)),
+      flat_pool_(std::move(other.flat_pool_)),
+      flat_present_(std::move(other.flat_present_)) {
   other.list_shards_ = std::make_unique<ListShard[]>(kNumShards);
   other.pair_shards_ = std::make_unique<PairShard[]>(kNumShards);
   other.frozen_.store(false, std::memory_order_relaxed);
+  other.flat_offsets_.clear();
+  other.flat_pool_.clear();
+  other.flat_present_.clear();
 }
 
 ClosenessIndex& ClosenessIndex::operator=(ClosenessIndex&& other) noexcept {
@@ -28,9 +34,15 @@ ClosenessIndex& ClosenessIndex::operator=(ClosenessIndex&& other) noexcept {
     pair_shards_ = std::move(other.pair_shards_);
     frozen_.store(other.frozen_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
+    flat_offsets_ = std::move(other.flat_offsets_);
+    flat_pool_ = std::move(other.flat_pool_);
+    flat_present_ = std::move(other.flat_present_);
     other.list_shards_ = std::make_unique<ListShard[]>(kNumShards);
     other.pair_shards_ = std::make_unique<PairShard[]>(kNumShards);
     other.frozen_.store(false, std::memory_order_relaxed);
+    other.flat_offsets_.clear();
+    other.flat_pool_.clear();
+    other.flat_present_.clear();
   }
   return *this;
 }
@@ -72,6 +84,7 @@ ClosenessIndex ClosenessIndex::BuildFor(const TatGraph& graph,
 
 void ClosenessIndex::Insert(TermId term, std::vector<CloseTerm> list) {
   KQR_CHECK(!frozen()) << "Insert into a frozen ClosenessIndex";
+  KQR_CHECK(!InFlat(term)) << "Insert over a flat (mapped) closeness entry";
   // Merge pairs first, one shard lock at a time (never nested — no
   // deadlock regardless of which threads insert which terms). The merge
   // rule is commutative: keep the larger closeness, break ties by the
@@ -97,22 +110,29 @@ void ClosenessIndex::Insert(TermId term, std::vector<CloseTerm> list) {
   if (!inserted) it->second = std::move(list);
 }
 
-const std::vector<CloseTerm>& ClosenessIndex::Lookup(TermId term) const {
-  static const std::vector<CloseTerm> kEmpty;
+std::span<const CloseTerm> ClosenessIndex::Lookup(TermId term) const {
+  if (InFlat(term)) {
+    return std::span<const CloseTerm>(
+        flat_pool_.data() + flat_offsets_[term],
+        flat_offsets_[term + 1] - flat_offsets_[term]);
+  }
   const ListShard& ls = list_shard(term);
   if (frozen()) {
     auto it = ls.lists.find(term);
-    return it == ls.lists.end() ? kEmpty : it->second;
+    return it == ls.lists.end() ? std::span<const CloseTerm>{}
+                                : std::span<const CloseTerm>(it->second);
   }
   std::shared_lock lock(ls.mu);
   auto it = ls.lists.find(term);
-  // The reference outlives the lock: entries are node-stable and never
+  // The span outlives the lock: entries are node-stable and never
   // erased, and the serving layer never replaces a term's list once a
   // reader can reach it.
-  return it == ls.lists.end() ? kEmpty : it->second;
+  return it == ls.lists.end() ? std::span<const CloseTerm>{}
+                              : std::span<const CloseTerm>(it->second);
 }
 
 bool ClosenessIndex::Contains(TermId term) const {
+  if (InFlat(term)) return true;
   const ListShard& ls = list_shard(term);
   if (frozen()) return ls.lists.count(term) > 0;
   std::shared_lock lock(ls.mu);
@@ -121,6 +141,7 @@ bool ClosenessIndex::Contains(TermId term) const {
 
 size_t ClosenessIndex::size() const {
   size_t total = 0;
+  for (uint8_t present : flat_present_) total += present != 0 ? 1 : 0;
   for (size_t i = 0; i < kNumShards; ++i) {
     if (frozen()) {
       total += list_shards_[i].lists.size();
@@ -132,28 +153,76 @@ size_t ClosenessIndex::size() const {
   return total;
 }
 
-double ClosenessIndex::ClosenessOf(TermId a, TermId b) const {
-  uint64_t key = PairKey(a, b);
+bool ClosenessIndex::FlatPairEntry(TermId a, TermId b,
+                                   PairEntry* out) const {
+  bool found = false;
+  const auto scan = [&](TermId t, TermId other) {
+    if (!InFlat(t)) return;
+    for (uint64_t i = flat_offsets_[t]; i < flat_offsets_[t + 1]; ++i) {
+      const CloseTerm& c = flat_pool_[i];
+      if (c.term != other) continue;
+      if (!found || c.closeness > out->closeness ||
+          (c.closeness == out->closeness && c.distance < out->distance)) {
+        *out = PairEntry{c.closeness, c.distance};
+      }
+      found = true;
+    }
+  };
+  scan(a, b);
+  if (a != b) scan(b, a);
+  return found;
+}
+
+/// Merged pair entry across the flat tier and the lazy shard map, under
+/// the same commutative rule Insert uses (max closeness, tie-broken by
+/// min distance) — a pair covered by both tiers resolves to exactly what
+/// one combined map would have held.
+bool ClosenessIndex::PairLookup(TermId a, TermId b, PairEntry* out) const {
+  bool found = FlatPairEntry(a, b, out);
+  const uint64_t key = PairKey(a, b);
   const PairShard& ps = pair_shard(key);
+  const auto consider = [&](const PairEntry& e) {
+    if (!found || e.closeness > out->closeness ||
+        (e.closeness == out->closeness && e.distance < out->distance)) {
+      *out = e;
+    }
+    found = true;
+  };
   if (frozen()) {
     auto it = ps.pairs.find(key);
-    return it == ps.pairs.end() ? 0.0 : it->second.closeness;
+    if (it != ps.pairs.end()) consider(it->second);
+    return found;
   }
   std::shared_lock lock(ps.mu);
   auto it = ps.pairs.find(key);
-  return it == ps.pairs.end() ? 0.0 : it->second.closeness;
+  if (it != ps.pairs.end()) consider(it->second);
+  return found;
+}
+
+double ClosenessIndex::ClosenessOf(TermId a, TermId b) const {
+  PairEntry entry;
+  return PairLookup(a, b, &entry) ? entry.closeness : 0.0;
+}
+
+void ClosenessIndex::InstallFlat(std::vector<uint64_t> offsets,
+                                 std::vector<CloseTerm> pool,
+                                 std::vector<uint8_t> present) {
+  KQR_CHECK(offsets.size() == present.size() + 1)
+      << "flat offsets must frame every term";
+  KQR_CHECK(offsets.empty() || offsets.back() == pool.size())
+      << "flat offsets must frame the pool";
+  // The flat tier is NOT replayed into the pair map: pair lookups consult
+  // it directly (FlatPairEntry scans the two endpoint lists, bounded by
+  // the configured list size). Replaying tens of thousands of hash
+  // inserts used to dominate the mmap cold-start this format exists for.
+  flat_offsets_ = std::move(offsets);
+  flat_pool_ = std::move(pool);
+  flat_present_ = std::move(present);
 }
 
 int ClosenessIndex::DistanceOf(TermId a, TermId b) const {
-  uint64_t key = PairKey(a, b);
-  const PairShard& ps = pair_shard(key);
-  if (frozen()) {
-    auto it = ps.pairs.find(key);
-    return it == ps.pairs.end() ? -1 : static_cast<int>(it->second.distance);
-  }
-  std::shared_lock lock(ps.mu);
-  auto it = ps.pairs.find(key);
-  return it == ps.pairs.end() ? -1 : static_cast<int>(it->second.distance);
+  PairEntry entry;
+  return PairLookup(a, b, &entry) ? static_cast<int>(entry.distance) : -1;
 }
 
 }  // namespace kqr

@@ -11,12 +11,18 @@
 // depend on the order in which terms were prepared — the determinism
 // argument in DESIGN.md "Serving architecture" relies on this. Freeze()
 // marks the index complete and makes every read lock-free.
+//
+// Deserialized models (format v3) install their lists as one flat
+// offset-framed pool via InstallFlat, which also replays every entry into
+// the pair map with the same commutative merge — pair lookups are
+// hash-based either way, so online HMM semantics are identical.
 
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -53,8 +59,8 @@ class ClosenessIndex {
                                  OfflineBuildStats* build_stats = nullptr);
 
   /// Ranked close terms; empty when the term has no entry. The returned
-  /// reference stays valid across concurrent Inserts of other terms.
-  const std::vector<CloseTerm>& Lookup(TermId term) const;
+  /// span stays valid across concurrent Inserts of other terms.
+  std::span<const CloseTerm> Lookup(TermId term) const;
 
   bool Contains(TermId term) const;
   size_t size() const;
@@ -67,8 +73,19 @@ class ClosenessIndex {
   int DistanceOf(TermId a, TermId b) const;
 
   /// \brief Installs a term's list (serving-layer lazy preparation,
-  /// testing, alternative providers). Checks against Freeze().
+  /// testing, alternative providers). Checks against Freeze() and against
+  /// the flat tier (flat entries are immutable).
   void Insert(TermId term, std::vector<CloseTerm> list);
+
+  /// \brief Installs the flat frozen tier from deserialized parts (model
+  /// format v3): `offsets` has `present.size() + 1` entries framing
+  /// `pool`; `present[t]` says whether term t has an entry. Every pool
+  /// entry is also merged into the pair map (commutative, so the result
+  /// matches the original build's pair map exactly). Must run before the
+  /// index is shared across threads.
+  void InstallFlat(std::vector<uint64_t> offsets,
+                   std::vector<CloseTerm> pool,
+                   std::vector<uint8_t> present);
 
   /// \brief Declares the index complete: no further Insert is allowed and
   /// reads stop taking locks (eager builds).
@@ -108,9 +125,27 @@ class ClosenessIndex {
     return pair_shards_[(key ^ (key >> 32)) % kNumShards];
   }
 
+  bool InFlat(TermId term) const {
+    return term < flat_present_.size() && flat_present_[term] != 0;
+  }
+
+  /// Best pair entry held by the flat tier for (a, b): scans both
+  /// endpoints' flat lists (each bounded by the configured list size) and
+  /// keeps the commutative-merge winner. Returns false when neither list
+  /// covers the pair.
+  bool FlatPairEntry(TermId a, TermId b, PairEntry* out) const;
+  /// Merged pair entry across the flat tier and the lazy shard map.
+  bool PairLookup(TermId a, TermId b, PairEntry* out) const;
+
   std::unique_ptr<ListShard[]> list_shards_;
   std::unique_ptr<PairShard[]> pair_shards_;
   std::atomic<bool> frozen_{false};
+
+  // Flat frozen tier (InstallFlat). Written once single-threaded, then
+  // read-only — no locking needed.
+  std::vector<uint64_t> flat_offsets_;  // size flat_present_.size() + 1
+  std::vector<CloseTerm> flat_pool_;
+  std::vector<uint8_t> flat_present_;
 };
 
 }  // namespace kqr

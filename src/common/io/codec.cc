@@ -1,0 +1,229 @@
+#include "common/io/codec.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace kqr {
+
+void PutU32Le(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+  }
+}
+
+void PutU64Le(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+  }
+}
+
+uint32_t GetU32Le(const std::byte* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(std::to_integer<uint8_t>(p[i])) << (i * 8);
+  }
+  return v;
+}
+
+uint64_t GetU64Le(const std::byte* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(std::to_integer<uint8_t>(p[i])) << (i * 8);
+  }
+  return v;
+}
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> ByteReader::Varint64() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    const uint8_t b = std::to_integer<uint8_t>(data_[pos_++]);
+    if (shift == 63 && (b & 0x7e) != 0) {
+      return Status::Corruption("varint overflows 64 bits");
+    }
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) return Status::Corruption("varint longer than 10 bytes");
+  }
+  return Status::Corruption("varint truncated");
+}
+
+Result<uint32_t> ByteReader::U32Le() {
+  if (remaining() < 4) return Status::Corruption("u32 truncated");
+  const uint32_t v = GetU32Le(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::U64Le() {
+  if (remaining() < 8) return Status::Corruption("u64 truncated");
+  const uint64_t v = GetU64Le(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::span<const std::byte>> ByteReader::Bytes(size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("byte run of " + std::to_string(n) +
+                              " truncated (" + std::to_string(remaining()) +
+                              " left)");
+  }
+  auto span = data_.subspan(pos_, n);
+  pos_ += n;
+  return span;
+}
+
+void EncodeVarints(std::span<const uint64_t> values, std::string* out) {
+  for (uint64_t v : values) PutVarint64(out, v);
+}
+
+Status DecodeVarints(std::span<const std::byte> bytes, size_t count,
+                     std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(count);
+  ByteReader reader(bytes);
+  for (size_t i = 0; i < count; ++i) {
+    KQR_ASSIGN_OR_RETURN(uint64_t v, reader.Varint64());
+    out->push_back(v);
+  }
+  if (!reader.done()) {
+    return Status::Corruption("varint payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+void EncodeDeltaVarints(std::span<const uint64_t> sorted, std::string* out) {
+  uint64_t prev = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0) {
+      PutVarint64(out, sorted[i]);
+    } else {
+      KQR_CHECK(sorted[i] >= prev)
+          << "EncodeDeltaVarints requires a non-decreasing sequence";
+      PutVarint64(out, sorted[i] - prev);
+    }
+    prev = sorted[i];
+  }
+}
+
+Status DecodeDeltaVarints(std::span<const std::byte> bytes, size_t count,
+                          std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(count);
+  ByteReader reader(bytes);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    KQR_ASSIGN_OR_RETURN(uint64_t d, reader.Varint64());
+    const uint64_t v = i == 0 ? d : prev + d;
+    if (i != 0 && v < prev) {
+      return Status::Corruption("delta sequence overflows 64 bits");
+    }
+    out->push_back(v);
+    prev = v;
+  }
+  if (!reader.done()) {
+    return Status::Corruption("delta payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+int BitWidth(uint32_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+/// Packs `block` values at `width` bits each, little-endian bit order.
+void PackBlock(std::span<const uint32_t> block, int width, std::string* out) {
+  uint64_t acc = 0;
+  int filled = 0;
+  for (uint32_t v : block) {
+    acc |= static_cast<uint64_t>(v) << filled;
+    filled += width;
+    while (filled >= 8) {
+      out->push_back(static_cast<char>(acc & 0xff));
+      acc >>= 8;
+      filled -= 8;
+    }
+  }
+  if (filled > 0) out->push_back(static_cast<char>(acc & 0xff));
+}
+
+}  // namespace
+
+void EncodeBitPacked(std::span<const uint32_t> values, std::string* out) {
+  for (size_t start = 0; start < values.size(); start += kBitPackBlock) {
+    const size_t n = std::min(kBitPackBlock, values.size() - start);
+    auto block = values.subspan(start, n);
+    int width = 0;
+    for (uint32_t v : block) width = std::max(width, BitWidth(v));
+    out->push_back(static_cast<char>(width));
+    if (width > 0) PackBlock(block, width, out);
+  }
+}
+
+Status DecodeBitPacked(std::span<const std::byte> bytes, size_t count,
+                       std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(count);
+  ByteReader reader(bytes);
+  size_t decoded = 0;
+  while (decoded < count) {
+    const size_t n = std::min(kBitPackBlock, count - decoded);
+    KQR_ASSIGN_OR_RETURN(auto width_byte, reader.Bytes(1));
+    const int width = std::to_integer<uint8_t>(width_byte[0]);
+    if (width > 32) {
+      return Status::Corruption("bit-packed block width " +
+                                std::to_string(width) + " exceeds 32");
+    }
+    if (width == 0) {
+      out->insert(out->end(), n, 0u);
+      decoded += n;
+      continue;
+    }
+    const size_t packed_bytes = (n * static_cast<size_t>(width) + 7) / 8;
+    KQR_ASSIGN_OR_RETURN(auto packed, reader.Bytes(packed_bytes));
+    uint64_t acc = 0;
+    int filled = 0;
+    size_t next = 0;
+    const uint64_t mask =
+        width == 32 ? 0xffffffffULL : ((1ULL << width) - 1);
+    for (size_t i = 0; i < n; ++i) {
+      while (filled < width) {
+        acc |= static_cast<uint64_t>(std::to_integer<uint8_t>(packed[next++]))
+               << filled;
+        filled += 8;
+      }
+      out->push_back(static_cast<uint32_t>(acc & mask));
+      acc >>= width;
+      filled -= width;
+    }
+    // Residual bits in a partial final byte must be zero padding — a flip
+    // there would otherwise survive undetected by the decoder itself.
+    if (acc != 0) {
+      return Status::Corruption("bit-packed block has nonzero padding bits");
+    }
+    decoded += n;
+  }
+  if (!reader.done()) {
+    return Status::Corruption("bit-packed payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace kqr

@@ -1,0 +1,141 @@
+// Byte-level codecs for the v3 model container (common/io/container.h):
+// LEB128 varints, delta-coded varints for sorted sequences (CSR offsets,
+// string-table offsets), fixed-width bit-packed blocks for u32 id lists
+// (PISA-style: 128 values per block, per-block width = widest value), and
+// FNV-1a checksums shared with the snapshot trailer.
+//
+// Every decode entry point is bounds-checked and returns a typed Status —
+// a truncated or bit-flipped payload must surface as kCorruption, never as
+// an out-of-bounds read. Encoders append to a std::string so section
+// payloads compose without intermediate copies.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kqr {
+
+// -- FNV-1a 64-bit -----------------------------------------------------
+
+inline constexpr uint64_t kFnv64Basis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv64Prime = 0x100000001b3ULL;
+
+inline uint64_t Fnv1aByte(uint64_t h, uint8_t b) {
+  h ^= b;
+  h *= kFnv64Prime;
+  return h;
+}
+
+inline uint64_t Fnv1aBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) h = Fnv1aByte(h, p[i]);
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::span<const std::byte> bytes) {
+  return Fnv1aBytes(kFnv64Basis, bytes.data(), bytes.size());
+}
+
+/// Folds a 64-bit value into the hash one byte at a time (little-endian),
+/// so fingerprints are architecture-independent.
+inline uint64_t Fnv1aU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = Fnv1aByte(h, static_cast<uint8_t>((v >> (i * 8)) & 0xff));
+  }
+  return h;
+}
+
+/// Word-at-a-time FNV-1a: folds 8 little-endian bytes per multiply, with
+/// a byte-wise tail. NOT the same value as Fnv1a64 over the same bytes —
+/// it is the checksum the v3 container uses for section payloads, where
+/// byte-serial FNV (one data-dependent multiply per byte) would put the
+/// hash loop on the model-open critical path. Any single-bit change still
+/// flips the hash; endianness is pinned by decoding words little-endian.
+inline uint64_t Fnv1aWords(std::span<const std::byte> bytes) {
+  const auto* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  const size_t n = bytes.size();
+  uint64_t h = kFnv64Basis;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    w = __builtin_bswap64(w);
+#endif
+    h ^= w;
+    h *= kFnv64Prime;
+  }
+  for (; i < n; ++i) h = Fnv1aByte(h, p[i]);
+  return h;
+}
+
+// -- Little-endian fixed-width primitives ------------------------------
+
+void PutU32Le(std::string* out, uint32_t v);
+void PutU64Le(std::string* out, uint64_t v);
+
+/// Reads a little-endian value from `p` (caller guarantees the bytes).
+uint32_t GetU32Le(const std::byte* p);
+uint64_t GetU64Le(const std::byte* p);
+
+// -- Varints -----------------------------------------------------------
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+void PutVarint64(std::string* out, uint64_t v);
+
+/// \brief Bounds-checked forward cursor over a byte span. All reads fail
+/// with kCorruption once the remaining bytes cannot satisfy the request;
+/// the cursor never advances past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Result<uint64_t> Varint64();
+  Result<uint32_t> U32Le();
+  Result<uint64_t> U64Le();
+  Result<std::span<const std::byte>> Bytes(size_t n);
+
+ private:
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+// -- Sequence codecs ---------------------------------------------------
+// Each encoder appends `values.size()` logical elements to `out`; the
+// element count is NOT part of the payload — the container's section
+// table carries it, so decoders know exactly how many elements to expect
+// and reject payloads with trailing or missing bytes.
+
+/// Plain varint stream (unsorted id lists, small counters).
+void EncodeVarints(std::span<const uint64_t> values, std::string* out);
+Status DecodeVarints(std::span<const std::byte> bytes, size_t count,
+                     std::vector<uint64_t>* out);
+
+/// Delta-coded varint stream for non-decreasing sequences (CSR offsets,
+/// string-table offsets). Encoding a decreasing sequence is a programming
+/// error (checked); decode rejects accumulator overflow.
+void EncodeDeltaVarints(std::span<const uint64_t> sorted, std::string* out);
+Status DecodeDeltaVarints(std::span<const std::byte> bytes, size_t count,
+                          std::vector<uint64_t>* out);
+
+/// Fixed-width bit-packed blocks of kBitPackBlock u32 values: one width
+/// byte (0–32) then ceil(block·width/8) packed bytes, little-endian bit
+/// order. Width 0 encodes an all-zero block with no payload bytes.
+inline constexpr size_t kBitPackBlock = 128;
+void EncodeBitPacked(std::span<const uint32_t> values, std::string* out);
+Status DecodeBitPacked(std::span<const std::byte> bytes, size_t count,
+                       std::vector<uint32_t>* out);
+
+}  // namespace kqr

@@ -1,0 +1,308 @@
+#include "common/io/container.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/io/codec.h"
+#include "common/logging.h"
+#include "common/parallel_for.h"
+
+namespace kqr {
+
+namespace {
+
+constexpr size_t kHeaderSize = 40;  // magic(8) + version(4) + nsec(4) +
+                                    // file_size(8) + table_offset(8) + fnv(8)
+
+/// Workers for parallel section-checksum verification. 0 = auto: the
+/// hardware concurrency — which also means the loop runs inline on a
+/// single-core host instead of paying thread-spawn cost for nothing.
+constexpr size_t kChecksumWorkers = 0;
+
+size_t AlignUp8(size_t n) { return (n + 7) & ~size_t{7}; }
+
+}  // namespace
+
+void ContainerWriter::AddSection(std::string name, SectionCodec codec,
+                                 uint64_t items, std::string payload) {
+  for (const Pending& p : sections_) {
+    KQR_CHECK(p.info.name != name) << "duplicate container section " << name;
+  }
+  Pending pending;
+  pending.info.name = std::move(name);
+  pending.info.codec = codec;
+  pending.info.items = items;
+  pending.info.length = payload.size();
+  // Payload checksums use the word-at-a-time FNV variant: sections are
+  // the megabytes-sized part of the file, and their verification sits on
+  // the model-open critical path. Header and table keep byte-serial FNV
+  // (they are tens of bytes).
+  pending.info.checksum = Fnv1aWords(
+      std::span<const std::byte>(reinterpret_cast<const std::byte*>(payload.data()),
+                                 payload.size()));
+  pending.payload = std::move(payload);
+  sections_.push_back(std::move(pending));
+}
+
+std::string ContainerWriter::Finish() {
+  // Lay out payloads first to learn offsets, then prepend the header.
+  std::string body;
+  size_t cursor = kHeaderSize;
+  for (Pending& p : sections_) {
+    const size_t aligned = AlignUp8(cursor);
+    body.append(aligned - cursor, '\0');
+    p.info.offset = aligned;
+    body += p.payload;
+    cursor = aligned + p.payload.size();
+  }
+  const uint64_t table_offset = AlignUp8(cursor);
+  body.append(table_offset - cursor, '\0');
+
+  std::string table;
+  PutVarint64(&table, sections_.size());
+  for (const Pending& p : sections_) {
+    PutVarint64(&table, p.info.name.size());
+    table += p.info.name;
+    PutU32Le(&table, static_cast<uint32_t>(p.info.codec));
+    PutU64Le(&table, p.info.offset);
+    PutU64Le(&table, p.info.length);
+    PutU64Le(&table, p.info.items);
+    PutU64Le(&table, p.info.checksum);
+  }
+  const uint64_t table_fnv = Fnv1aBytes(kFnv64Basis, table.data(), table.size());
+  PutU64Le(&table, table_fnv);
+
+  const uint64_t file_size = table_offset + table.size();
+
+  std::string header;
+  header.append(kContainerMagic, sizeof(kContainerMagic));
+  PutU32Le(&header, kContainerVersion);
+  PutU32Le(&header, static_cast<uint32_t>(sections_.size()));
+  PutU64Le(&header, file_size);
+  PutU64Le(&header, table_offset);
+  const uint64_t header_fnv =
+      Fnv1aBytes(kFnv64Basis, header.data(), header.size());
+  PutU64Le(&header, header_fnv);
+  KQR_CHECK(header.size() == kHeaderSize);
+
+  sections_.clear();
+  return header + body + table;
+}
+
+Result<ContainerReader> ContainerReader::Open(std::span<const std::byte> bytes,
+                                              bool verify_checksums) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::Corruption("container smaller than header (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kContainerMagic, sizeof(kContainerMagic)) !=
+      0) {
+    return Status::Corruption("bad container magic (not a kqr v3 model)");
+  }
+  ByteReader header(bytes.subspan(0, kHeaderSize));
+  KQR_RETURN_NOT_OK(header.Bytes(sizeof(kContainerMagic)).status());
+  KQR_ASSIGN_OR_RETURN(uint32_t version, header.U32Le());
+  if (version != kContainerVersion) {
+    return Status::Corruption("unsupported container version " +
+                              std::to_string(version));
+  }
+  KQR_ASSIGN_OR_RETURN(uint32_t num_sections, header.U32Le());
+  KQR_ASSIGN_OR_RETURN(uint64_t file_size, header.U64Le());
+  KQR_ASSIGN_OR_RETURN(uint64_t table_offset, header.U64Le());
+  const uint64_t want_header_fnv =
+      Fnv1aBytes(kFnv64Basis, bytes.data(), kHeaderSize - 8);
+  KQR_ASSIGN_OR_RETURN(uint64_t got_header_fnv, header.U64Le());
+  if (want_header_fnv != got_header_fnv) {
+    return Status::Corruption("container header checksum mismatch");
+  }
+  if (file_size != bytes.size()) {
+    return Status::Corruption(
+        "container file size mismatch: header says " +
+        std::to_string(file_size) + ", file has " +
+        std::to_string(bytes.size()));
+  }
+  if (table_offset < kHeaderSize || table_offset + 8 > bytes.size()) {
+    return Status::Corruption("section table offset out of bounds");
+  }
+
+  // The table's own checksum is its trailing 8 bytes.
+  const size_t table_bytes = bytes.size() - table_offset - 8;
+  auto table_span = bytes.subspan(table_offset, table_bytes);
+  const uint64_t want_table_fnv = Fnv1a64(table_span);
+  const uint64_t got_table_fnv = GetU64Le(bytes.data() + table_offset + table_bytes);
+  if (want_table_fnv != got_table_fnv) {
+    return Status::Corruption("section table checksum mismatch");
+  }
+
+  ContainerReader reader;
+  reader.bytes_ = bytes;
+  ByteReader table(table_span);
+  KQR_ASSIGN_OR_RETURN(uint64_t count, table.Varint64());
+  if (count != num_sections) {
+    return Status::Corruption("section count mismatch between header and table");
+  }
+  reader.sections_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SectionInfo info;
+    KQR_ASSIGN_OR_RETURN(uint64_t name_len, table.Varint64());
+    if (name_len == 0 || name_len > 256) {
+      return Status::Corruption("section name length out of range");
+    }
+    KQR_ASSIGN_OR_RETURN(auto name_bytes, table.Bytes(name_len));
+    info.name.assign(reinterpret_cast<const char*>(name_bytes.data()),
+                     name_bytes.size());
+    KQR_ASSIGN_OR_RETURN(uint32_t codec, table.U32Le());
+    if (codec > static_cast<uint32_t>(SectionCodec::kBitPacked)) {
+      return Status::Corruption("unknown section codec " +
+                                std::to_string(codec) + " for '" + info.name +
+                                "'");
+    }
+    info.codec = static_cast<SectionCodec>(codec);
+    KQR_ASSIGN_OR_RETURN(info.offset, table.U64Le());
+    KQR_ASSIGN_OR_RETURN(info.length, table.U64Le());
+    KQR_ASSIGN_OR_RETURN(info.items, table.U64Le());
+    KQR_ASSIGN_OR_RETURN(info.checksum, table.U64Le());
+    if (info.offset < kHeaderSize || info.offset > table_offset ||
+        info.length > table_offset - info.offset) {
+      return Status::Corruption("section '" + info.name +
+                                "' payload out of bounds");
+    }
+    if ((info.offset & 7) != 0) {
+      return Status::Corruption("section '" + info.name +
+                                "' payload misaligned");
+    }
+    for (const SectionInfo& prev : reader.sections_) {
+      if (prev.name == info.name) {
+        return Status::Corruption("duplicate section '" + info.name + "'");
+      }
+    }
+    reader.sections_.push_back(std::move(info));
+  }
+  if (!table.done()) {
+    return Status::Corruption("section table has trailing bytes");
+  }
+
+  if (verify_checksums) {
+    // FNV is byte-serial, but sections checksum independently — fan the
+    // verification out so a multi-megabyte model does not serialize its
+    // whole open behind one hash loop. First failing section (by index)
+    // wins so the error is deterministic.
+    const size_t count_sections = reader.sections_.size();
+    std::atomic<size_t> first_bad{count_sections};
+    ParallelFor(count_sections, kChecksumWorkers, [&](size_t, size_t i) {
+      const SectionInfo& info = reader.sections_[i];
+      const uint64_t fnv = Fnv1aWords(bytes.subspan(info.offset, info.length));
+      if (fnv != info.checksum) {
+        size_t cur = first_bad.load(std::memory_order_relaxed);
+        while (i < cur && !first_bad.compare_exchange_weak(
+                              cur, i, std::memory_order_relaxed)) {
+        }
+      }
+    });
+    if (first_bad.load(std::memory_order_relaxed) < count_sections) {
+      return Status::Corruption(
+          "section '" + reader.sections_[first_bad.load()].name +
+          "' payload checksum mismatch");
+    }
+  }
+  return reader;
+}
+
+bool ContainerReader::Has(std::string_view name) const {
+  for (const SectionInfo& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+Result<const SectionInfo*> ContainerReader::Find(std::string_view name) const {
+  for (const SectionInfo& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return Status::NotFound("container has no section '" + std::string(name) +
+                          "'");
+}
+
+Result<std::span<const std::byte>> ContainerReader::Payload(
+    std::string_view name) const {
+  KQR_ASSIGN_OR_RETURN(const SectionInfo* info, Find(name));
+  return bytes_.subspan(info->offset, info->length);
+}
+
+Result<std::vector<uint64_t>> ContainerReader::ReadU64s(
+    std::string_view name) const {
+  KQR_ASSIGN_OR_RETURN(const SectionInfo* info, Find(name));
+  auto payload = bytes_.subspan(info->offset, info->length);
+  std::vector<uint64_t> out;
+  switch (info->codec) {
+    case SectionCodec::kVarint:
+      KQR_RETURN_NOT_OK(DecodeVarints(payload, info->items, &out));
+      return out;
+    case SectionCodec::kVarintDelta:
+      KQR_RETURN_NOT_OK(DecodeDeltaVarints(payload, info->items, &out));
+      return out;
+    default:
+      return Status::Corruption("section '" + info->name +
+                                "' is not a u64 codec");
+  }
+}
+
+Result<std::vector<uint32_t>> ContainerReader::ReadU32s(
+    std::string_view name) const {
+  KQR_ASSIGN_OR_RETURN(const SectionInfo* info, Find(name));
+  if (info->codec != SectionCodec::kBitPacked) {
+    return Status::Corruption("section '" + info->name + "' is not bit-packed");
+  }
+  std::vector<uint32_t> out;
+  KQR_RETURN_NOT_OK(DecodeBitPacked(bytes_.subspan(info->offset, info->length),
+                                    info->items, &out));
+  return out;
+}
+
+namespace {
+
+template <typename T>
+Result<std::span<const T>> RawScalars(std::span<const std::byte> bytes,
+                                      const SectionInfo& info) {
+  if (info.codec != SectionCodec::kRaw) {
+    return Status::Corruption("section '" + info.name + "' is not raw");
+  }
+  if (info.length != info.items * sizeof(T)) {
+    return Status::Corruption("section '" + info.name +
+                              "' length does not match item count");
+  }
+  auto payload = bytes.subspan(info.offset, info.length);
+  const auto addr = reinterpret_cast<uintptr_t>(payload.data());
+  if (addr % alignof(T) != 0) {
+    return Status::Corruption("section '" + info.name + "' misaligned for " +
+                              std::to_string(sizeof(T)) + "-byte scalars");
+  }
+  return std::span<const T>(reinterpret_cast<const T*>(payload.data()),
+                            info.items);
+}
+
+}  // namespace
+
+Result<std::span<const float>> ContainerReader::RawF32(
+    std::string_view name) const {
+  KQR_ASSIGN_OR_RETURN(const SectionInfo* info, Find(name));
+  return RawScalars<float>(bytes_, *info);
+}
+
+Result<std::span<const double>> ContainerReader::RawF64(
+    std::string_view name) const {
+  KQR_ASSIGN_OR_RETURN(const SectionInfo* info, Find(name));
+  return RawScalars<double>(bytes_, *info);
+}
+
+Result<std::string_view> ContainerReader::RawText(std::string_view name) const {
+  KQR_ASSIGN_OR_RETURN(const SectionInfo* info, Find(name));
+  if (info->codec != SectionCodec::kRaw) {
+    return Status::Corruption("section '" + info->name + "' is not raw");
+  }
+  auto payload = bytes_.subspan(info->offset, info->length);
+  return std::string_view(reinterpret_cast<const char*>(payload.data()),
+                          payload.size());
+}
+
+}  // namespace kqr

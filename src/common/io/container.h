@@ -1,0 +1,111 @@
+// Sectioned, checksummed binary container — the carrier for model format
+// v3 ("kqr-model3"). Layout:
+//
+//   [0..40)   header: 8-byte magic, u32 version, u32 num_sections,
+//             u64 file_size, u64 table_offset, u64 FNV-1a of the first
+//             32 header bytes
+//   [40..)    section payloads, each padded to 8-byte alignment so raw
+//             little-endian score arrays can be referenced in place from
+//             an mmap (mmap bases are page-aligned, so file-offset
+//             alignment == memory alignment)
+//   [table_offset..) section table: per section a varint-length name,
+//             u32 codec, u64 offset/length/items, u64 payload FNV-1a;
+//             then a u64 FNV-1a of the serialized table itself
+//
+// Readers validate the header and table eagerly (cheap, O(sections)) and
+// payload checksums either eagerly (verify_checksums) or not at all —
+// payload bytes are only faulted in when a section is actually decoded.
+// Every malformed input fails with kCorruption and yields no views.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kqr {
+
+inline constexpr char kContainerMagic[8] = {'k', 'q', 'r', 'm',
+                                            'd', 'l', '3', '\0'};
+inline constexpr uint32_t kContainerVersion = 3;
+
+/// How a section's payload bytes were produced from its logical elements.
+enum class SectionCodec : uint32_t {
+  kRaw = 0,          // verbatim bytes (little-endian scalars, text blobs)
+  kVarint = 1,       // LEB128 varint per u64 element
+  kVarintDelta = 2,  // delta-coded varints, non-decreasing u64 sequence
+  kBitPacked = 3,    // fixed-width bit-packed u32 blocks (codec.h)
+};
+
+struct SectionInfo {
+  std::string name;
+  SectionCodec codec = SectionCodec::kRaw;
+  uint64_t offset = 0;    // payload start, absolute file offset
+  uint64_t length = 0;    // payload bytes
+  uint64_t items = 0;     // logical element count (decoder contract)
+  uint64_t checksum = 0;  // Fnv1aWords (word-at-a-time FNV-1a) of the payload
+};
+
+/// \brief Accumulates named sections and serializes the container.
+class ContainerWriter {
+ public:
+  /// Payload is the already-encoded bytes; `items` is the logical element
+  /// count the matching decoder will be asked for. Names must be unique.
+  void AddSection(std::string name, SectionCodec codec, uint64_t items,
+                  std::string payload);
+
+  /// Serializes header + aligned payloads + table. The writer is spent
+  /// afterwards.
+  std::string Finish();
+
+ private:
+  struct Pending {
+    SectionInfo info;
+    std::string payload;
+  };
+  std::vector<Pending> sections_;
+};
+
+/// \brief Validated view over a serialized container. Holds no ownership:
+/// the backing bytes (typically a MappedFile) must outlive the reader and
+/// every span it hands out.
+class ContainerReader {
+ public:
+  /// Validates magic, version, header checksum, table checksum, and that
+  /// every section lies within the file. With `verify_checksums`, also
+  /// checks every payload FNV eagerly (touches all pages).
+  static Result<ContainerReader> Open(std::span<const std::byte> bytes,
+                                      bool verify_checksums);
+
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+  bool Has(std::string_view name) const;
+
+  /// Section metadata + payload span. kNotFound for unknown names.
+  Result<const SectionInfo*> Find(std::string_view name) const;
+  Result<std::span<const std::byte>> Payload(std::string_view name) const;
+
+  // -- Typed decode helpers (dispatch on the section's codec) ----------
+
+  /// Decodes a kVarint/kVarintDelta section into u64s.
+  Result<std::vector<uint64_t>> ReadU64s(std::string_view name) const;
+  /// Decodes a kBitPacked section into u32s.
+  Result<std::vector<uint32_t>> ReadU32s(std::string_view name) const;
+  /// Raw section payload reinterpreted as a scalar array, zero-copy.
+  /// Fails with kCorruption when length/alignment don't match sizeof(T).
+  Result<std::span<const float>> RawF32(std::string_view name) const;
+  Result<std::span<const double>> RawF64(std::string_view name) const;
+  Result<std::string_view> RawText(std::string_view name) const;
+
+ private:
+  ContainerReader() = default;
+
+  std::span<const std::byte> bytes_;
+  std::vector<SectionInfo> sections_;
+};
+
+}  // namespace kqr

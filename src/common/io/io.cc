@@ -1,0 +1,137 @@
+#include "common/io/io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KQR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace kqr {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Reads the whole file into `out` via stdio; works everywhere.
+Status ReadWholeFile(const std::string& path, std::unique_ptr<std::byte[]>* out,
+                     size_t* out_size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError(ErrnoMessage("cannot open", path));
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError(ErrnoMessage("cannot seek", path));
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::IOError(ErrnoMessage("cannot tell", path));
+  }
+  std::rewind(f);
+  const size_t size = static_cast<size_t>(end);
+  auto buf = std::make_unique<std::byte[]>(size == 0 ? 1 : size);
+  if (size > 0 && std::fread(buf.get(), 1, size, f) != size) {
+    std::fclose(f);
+    return Status::IOError(ErrnoMessage("short read of", path));
+  }
+  std::fclose(f);
+  *out = std::move(buf);
+  *out_size = size;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path, bool prefer_mmap) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->path_ = path;
+
+#if KQR_HAVE_MMAP
+  if (prefer_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError(ErrnoMessage("cannot open", path));
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError(ErrnoMessage("cannot stat", path));
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      // mmap of length 0 is EINVAL; an empty file is a valid (if corrupt)
+      // model and must still open so the container layer can reject it.
+      ::close(fd);
+      file->size_ = 0;
+      file->mapped_ = false;
+      return std::shared_ptr<const MappedFile>(std::move(file));
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference to the file
+    if (addr != MAP_FAILED) {
+      file->data_ = addr;
+      file->size_ = size;
+      file->mapped_ = true;
+      return std::shared_ptr<const MappedFile>(std::move(file));
+    }
+    // Fall through to the heap path on exotic filesystems.
+  }
+#else
+  (void)prefer_mmap;
+#endif
+
+  KQR_RETURN_NOT_OK(ReadWholeFile(path, &file->owned_, &file->size_));
+  file->data_ = file->owned_.get();
+  file->mapped_ = false;
+  return std::shared_ptr<const MappedFile>(std::move(file));
+}
+
+MappedFile::~MappedFile() {
+#if KQR_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    // munmap takes void* though the mapping is logically const — no
+    // mutation happens here.
+    ::munmap(const_cast<void*>(data_), size_);  // lint:allow options-mutation
+  }
+#endif
+}
+
+Status WriteFileBytes(const std::string& path,
+                      std::span<const std::byte> bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError(ErrnoMessage("cannot create", tmp));
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError(ErrnoMessage("short write to", tmp));
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError(ErrnoMessage("cannot flush", tmp));
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError(ErrnoMessage("cannot rename into", path));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileString(const std::string& path) {
+  std::unique_ptr<std::byte[]> buf;
+  size_t size = 0;
+  KQR_RETURN_NOT_OK(ReadWholeFile(path, &buf, &size));
+  return std::string(reinterpret_cast<const char*>(buf.get()), size);
+}
+
+}  // namespace kqr

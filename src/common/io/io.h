@@ -1,0 +1,69 @@
+// File I/O for model artifacts. All reads and writes of kqr model files go
+// through this layer (tools/lint.py io-discipline rule); the only other
+// sanctioned file readers are the v2 snapshot code and the CSV loader.
+//
+// MappedFile prefers POSIX mmap(2) so a model opens in O(pages touched) and
+// clean pages are shared across processes; when mmap is unavailable (or
+// `prefer_mmap` is off) it falls back to reading the file into owned heap
+// memory with identical observable behaviour. Either way the bytes are
+// immutable for the lifetime of the object, so zero-copy views handed out
+// by the v3 container stay valid as long as the MappedFile is alive.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kqr {
+
+/// \brief Immutable byte buffer backed by an mmap'd file or owned memory.
+///
+/// Move-only handle; ServingModel keeps it in a shared_ptr so every view
+/// into the mapping shares one lifetime.
+class MappedFile {
+ public:
+  /// Opens `path` read-only. With `prefer_mmap` (default) the file is
+  /// memory-mapped; otherwise (or if mapping fails) it is read into heap
+  /// memory. Missing/unreadable files fail with kIOError.
+  static Result<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path, bool prefer_mmap = true);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  size_t size() const { return size_; }
+  /// True when the bytes come from mmap (pages faulted on demand) rather
+  /// than an eager heap read.
+  bool is_mapped() const { return mapped_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const void* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::unique_ptr<std::byte[]> owned_;  // fallback storage when !mapped_
+};
+
+/// \brief Writes `bytes` to `path` atomically enough for our purposes:
+/// write to `path.tmp`, flush, then rename over `path`. Fails with
+/// kIOError; never leaves a half-written file at the final path.
+Status WriteFileBytes(const std::string& path, std::span<const std::byte> bytes);
+
+/// \brief Reads the whole file into a string (small files: snapshots in
+/// tests, section probes). Fails with kIOError when unreadable.
+Result<std::string> ReadFileString(const std::string& path);
+
+}  // namespace kqr

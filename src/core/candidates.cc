@@ -4,7 +4,7 @@ namespace kqr {
 
 void CandidateBuilder::BuildForInto(TermId query_term,
                                     std::vector<CandidateState>* out) const {
-  const std::vector<SimilarTerm>& similar = index_.Lookup(query_term);
+  std::span<const SimilarTerm> similar = index_.Lookup(query_term);
   out->clear();
   out->reserve(options_.per_term + 2);
 

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "audit/model_auditor.h"
+#include "core/hmm.h"
+#include "core/model_file.h"
 #include "core/snapshot.h"
 #include "obs/trace.h"
 
@@ -97,6 +99,9 @@ Result<std::shared_ptr<const ServingModel>> EngineBuilder::Build(
     model->similarity_.Freeze();
     model->closeness_.Freeze();
     model->fully_prepared_.store(true, std::memory_order_release);
+    // The lists are final, so the static decode-bound caps are too.
+    model->term_bounds_ = ComputeTermBounds(
+        model->similarity_, model->closeness_, model->vocab().size());
   }
 
 #ifndef NDEBUG
@@ -134,6 +139,11 @@ Result<std::shared_ptr<const ServingModel>> EngineBuilder::Build(
   model->build_trace_.Disable();
 
   return std::shared_ptr<const ServingModel>(std::move(model));
+}
+
+Status EngineBuilder::SaveModel(const ServingModel& model,
+                                const std::string& path) {
+  return SaveModelFile(model, path);
 }
 
 }  // namespace kqr

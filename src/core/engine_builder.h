@@ -38,6 +38,12 @@ class EngineBuilder {
   /// per-term products are computed lazily on first use.
   Result<std::shared_ptr<const ServingModel>> Build(Database db) const;
 
+  /// \brief Persists a built model as a v3 model file (core/model_file.h).
+  /// Reopen with ServingModel::OpenMapped under the same options; the
+  /// reopened model's reformulation output is bit-identical.
+  static Status SaveModel(const ServingModel& model,
+                          const std::string& path);
+
  private:
   EngineOptions options_;
   std::string snapshot_path_;

@@ -54,14 +54,15 @@ std::string SubstitutionExplanation::ToString(
     const Vocabulary& vocab) const {
   std::string out = "position " + std::to_string(position) + ": ";
   if (to == kInvalidTermId) {
-    out += "drop '" + vocab.text(from) + "'";
+    out += "drop '" + std::string(vocab.text(from)) + "'";
     return out;
   }
   if (kept) {
-    out += "keep '" + vocab.text(from) + "'";
+    out += "keep '" + std::string(vocab.text(from)) + "'";
     return out;
   }
-  out += "'" + vocab.text(from) + "' -> '" + vocab.text(to) + "'";
+  out += "'" + std::string(vocab.text(from)) + "' -> '" +
+         std::string(vocab.text(to)) + "'";
   out += " (sim " + std::to_string(similarity);
   if (distance >= 0) {
     out += ", graph distance " + std::to_string(distance);

@@ -1,5 +1,6 @@
 #include "core/hmm.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -123,6 +124,46 @@ HmmModel HmmBuilder::Build(
   HmmModel model;
   BuildInto(candidates, &model);
   return model;
+}
+
+TermBoundsTable TermBoundsTable::FromOwned(
+    std::vector<double> emission_caps, std::vector<double> transition_caps) {
+  KQR_CHECK(emission_caps.size() == transition_caps.size())
+      << "bound columns must cover the same terms";
+  TermBoundsTable table;
+  table.owned_emission_ = std::move(emission_caps);
+  table.owned_transition_ = std::move(transition_caps);
+  table.emission_caps_ = table.owned_emission_;
+  table.transition_caps_ = table.owned_transition_;
+  return table;
+}
+
+TermBoundsTable TermBoundsTable::FromMapped(
+    std::span<const double> emission_caps,
+    std::span<const double> transition_caps) {
+  KQR_CHECK(emission_caps.size() == transition_caps.size())
+      << "bound columns must cover the same terms";
+  TermBoundsTable table;
+  table.emission_caps_ = emission_caps;
+  table.transition_caps_ = transition_caps;
+  return table;
+}
+
+TermBoundsTable ComputeTermBounds(const SimilarityIndex& similarity,
+                                  const ClosenessIndex& closeness,
+                                  size_t num_terms) {
+  std::vector<double> emission(num_terms, 0.0);
+  std::vector<double> transition(num_terms, 0.0);
+  for (TermId t = 0; t < num_terms; ++t) {
+    for (const SimilarTerm& s : similarity.Lookup(t)) {
+      emission[t] = std::max(emission[t], s.score);
+    }
+    for (const CloseTerm& c : closeness.Lookup(t)) {
+      transition[t] = std::max(transition[t], c.closeness);
+    }
+  }
+  return TermBoundsTable::FromOwned(std::move(emission),
+                                    std::move(transition));
 }
 
 }  // namespace kqr

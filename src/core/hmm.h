@@ -6,12 +6,14 @@
 
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "closeness/closeness_index.h"
 #include "core/candidates.h"
 #include "core/smoothing.h"
 #include "graph/graph_stats.h"
+#include "walk/similarity_index.h"
 
 namespace kqr {
 
@@ -116,6 +118,57 @@ class HmmBuilder {
   const TatGraph& graph_;
   HmmOptions options_;
 };
+
+/// \brief Per-term static decode-bound caps, precomputed offline and
+/// persisted in v3 model files: emission_cap(t) is the largest similarity
+/// score in t's similar-term list, transition_cap(t) the largest closeness
+/// in its close-term list. They upper-bound any per-request emission /
+/// transition mass a candidate for t can contribute, so a serving process
+/// can cut candidates before trellis assembly (wiring that cut into the
+/// candidate stage is ROADMAP item 3 — today the table is stored, audited,
+/// and exposed). Backed either by owned memory or by raw sections of a
+/// mapped model file (the file must then outlive the table).
+class TermBoundsTable {
+ public:
+  TermBoundsTable() = default;
+  TermBoundsTable(TermBoundsTable&&) noexcept = default;
+  TermBoundsTable& operator=(TermBoundsTable&&) noexcept = default;
+  // Copying would alias the owned backing; the table is shared by
+  // reference from its ServingModel instead.
+  TermBoundsTable(const TermBoundsTable&) = delete;
+  TermBoundsTable& operator=(const TermBoundsTable&) = delete;
+
+  static TermBoundsTable FromOwned(std::vector<double> emission_caps,
+                                   std::vector<double> transition_caps);
+  /// Zero-copy over mapped sections; spans must outlive the table.
+  static TermBoundsTable FromMapped(std::span<const double> emission_caps,
+                                    std::span<const double> transition_caps);
+
+  bool empty() const { return emission_caps_.empty(); }
+  size_t size() const { return emission_caps_.size(); }
+
+  double emission_cap(TermId term) const { return emission_caps_[term]; }
+  double transition_cap(TermId term) const {
+    return transition_caps_[term];
+  }
+
+  std::span<const double> emission_caps() const { return emission_caps_; }
+  std::span<const double> transition_caps() const {
+    return transition_caps_;
+  }
+
+ private:
+  std::span<const double> emission_caps_;
+  std::span<const double> transition_caps_;
+  std::vector<double> owned_emission_;
+  std::vector<double> owned_transition_;
+};
+
+/// \brief Computes the per-term caps from the frozen lists. Terms without
+/// an entry get cap 0 (nothing to bound).
+TermBoundsTable ComputeTermBounds(const SimilarityIndex& similarity,
+                                  const ClosenessIndex& closeness,
+                                  size_t num_terms);
 
 }  // namespace kqr
 

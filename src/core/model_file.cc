@@ -1,0 +1,766 @@
+// Model format v3 serializer/loader. See model_file.h for the format
+// story and common/io/container.h for the byte layout. The loader is the
+// deserializing counterpart of ServingModel::Init: every structural claim
+// a section makes (framing, id ranges, monotonicity, cross-section
+// consistency) is checked before anything is installed, so a malformed
+// file fails with kCorruption and imports nothing.
+
+#include "core/model_file.h"
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "audit/model_auditor.h"
+#include "common/parallel_for.h"
+#include "common/io/codec.h"
+#include "common/io/container.h"
+#include "common/io/io.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/snapshot.h"
+#include "obs/trace.h"
+
+namespace kqr {
+
+namespace {
+
+// Section names. Grouped by subsystem; every array-valued section's
+// element count lives in the section table (codec contract).
+constexpr char kSecMeta[] = "meta";
+constexpr char kSecVocabFields[] = "vocab.fields";
+constexpr char kSecVocabTermFields[] = "vocab.term_fields";
+constexpr char kSecVocabTextOffsets[] = "vocab.text_offsets";
+constexpr char kSecVocabArena[] = "vocab.arena";
+constexpr char kSecIixOffsets[] = "iix.offsets";
+constexpr char kSecIixTables[] = "iix.tables";
+constexpr char kSecIixRows[] = "iix.rows";
+constexpr char kSecIixFreqs[] = "iix.freqs";
+constexpr char kSecTableSizes[] = "space.table_sizes";
+constexpr char kSecCsrOffsets[] = "csr.offsets";
+constexpr char kSecCsrTargets[] = "csr.targets";
+constexpr char kSecCsrWeights[] = "csr.weights";
+constexpr char kSecSimPresent[] = "sim.present";
+constexpr char kSecSimOffsets[] = "sim.offsets";
+constexpr char kSecSimTerms[] = "sim.terms";
+constexpr char kSecSimScores[] = "sim.scores";
+constexpr char kSecClosPresent[] = "clos.present";
+constexpr char kSecClosOffsets[] = "clos.offsets";
+constexpr char kSecClosTerms[] = "clos.terms";
+constexpr char kSecClosDistances[] = "clos.distances";
+constexpr char kSecClosScores[] = "clos.scores";
+constexpr char kSecBoundsEmission[] = "bounds.emission";
+constexpr char kSecBoundsTransition[] = "bounds.transition";
+constexpr char kSecPrepared[] = "prepared";
+
+// "meta" is a fixed array of little-endian u64 words.
+enum MetaWord : size_t {
+  kMetaFingerprint = 0,
+  kMetaConfigHash,
+  kMetaFlags,
+  kMetaVocabTerms,
+  kMetaNumFields,
+  kMetaIndexedTuples,
+  kMetaCorpusTuples,
+  kMetaNumNodes,
+  kMetaNumArcs,
+  kMetaNumTables,
+  kMetaWords,  // count sentinel
+};
+constexpr uint64_t kFlagFullyPrepared = 1;
+
+std::string RawU64Payload(std::span<const uint64_t> values) {
+  std::string out;
+  out.reserve(values.size() * 8);
+  for (uint64_t v : values) PutU64Le(&out, v);
+  return out;
+}
+
+// Score arrays are stored as native little-endian IEEE754 so the loader
+// can reference them in place from the mapping. Every supported target
+// is little-endian; a big-endian port would byte-swap here and lose the
+// zero-copy read path, nothing else.
+template <typename T>
+std::string RawScalarPayload(std::span<const T> values) {
+  std::string out(values.size() * sizeof(T), '\0');
+  if (!values.empty()) {
+    std::memcpy(out.data(), values.data(), out.size());
+  }
+  return out;
+}
+
+std::string RawBytePayload(std::span<const uint8_t> values) {
+  return std::string(reinterpret_cast<const char*>(values.data()),
+                     values.size());
+}
+
+std::string BitPackedPayload(std::span<const uint32_t> values) {
+  std::string out;
+  EncodeBitPacked(values, &out);
+  return out;
+}
+
+std::string DeltaPayload(std::span<const uint64_t> sorted) {
+  std::string out;
+  EncodeDeltaVarints(sorted, &out);
+  return out;
+}
+
+Status Corrupt(const std::string& what) { return Status::Corruption(what); }
+
+}  // namespace
+
+uint64_t ModelConfigHash(const EngineOptions& options) {
+  uint64_t h = kFnv64Basis;
+  h = Fnv1aU64(h, options.similarity.list_size);
+  h = Fnv1aU64(h, options.similarity.min_degree);
+  h = Fnv1aU64(h, options.closeness.list_size);
+  h = Fnv1aU64(h, options.use_cooccurrence_similarity ? 1 : 0);
+  return h;
+}
+
+Result<std::string> SerializeModel(const ServingModel& model) {
+  const Vocabulary& vocab = model.vocab();
+  const size_t n = vocab.size();
+  const InvertedIndex& iix = model.index();
+  const CsrGraph& csr = model.graph().adjacency();
+  const NodeSpace& space = model.graph().space();
+  ContainerWriter writer;
+
+  {
+    std::array<uint64_t, kMetaWords> meta{};
+    meta[kMetaFingerprint] = ModelFingerprint(model);
+    meta[kMetaConfigHash] = ModelConfigHash(model.options());
+    meta[kMetaFlags] = model.fully_prepared() ? kFlagFullyPrepared : 0;
+    meta[kMetaVocabTerms] = n;
+    meta[kMetaNumFields] = vocab.num_fields();
+    meta[kMetaIndexedTuples] = iix.num_indexed_tuples();
+    meta[kMetaCorpusTuples] = iix.num_corpus_tuples();
+    meta[kMetaNumNodes] = csr.num_nodes();
+    meta[kMetaNumArcs] = csr.num_arcs();
+    meta[kMetaNumTables] = space.num_tables();
+    writer.AddSection(kSecMeta, SectionCodec::kRaw, kMetaWords,
+                      RawU64Payload(meta));
+  }
+
+  // -- Vocabulary ------------------------------------------------------
+  {
+    std::string fields;
+    for (size_t f = 0; f < vocab.num_fields(); ++f) {
+      const FieldInfo& info = vocab.field(static_cast<FieldId>(f));
+      PutVarint64(&fields, info.table.size());
+      fields.append(info.table);
+      PutVarint64(&fields, info.column.size());
+      fields.append(info.column);
+      fields.push_back(static_cast<char>(info.role));
+    }
+    writer.AddSection(kSecVocabFields, SectionCodec::kRaw,
+                      vocab.num_fields(), std::move(fields));
+
+    std::vector<uint32_t> term_fields(n);
+    std::vector<uint64_t> text_offsets(n + 1);
+    for (TermId t = 0; t < n; ++t) {
+      term_fields[t] = vocab.field_of(t);
+      text_offsets[t] = vocab.text_offset(t);
+    }
+    text_offsets[n] = vocab.arena().size();
+    writer.AddSection(kSecVocabTermFields, SectionCodec::kBitPacked, n,
+                      BitPackedPayload(term_fields));
+    writer.AddSection(kSecVocabTextOffsets, SectionCodec::kVarintDelta,
+                      n + 1, DeltaPayload(text_offsets));
+    writer.AddSection(kSecVocabArena, SectionCodec::kRaw,
+                      vocab.arena().size(), std::string(vocab.arena()));
+  }
+
+  // -- Inverted index --------------------------------------------------
+  {
+    const std::span<const Posting> postings = iix.postings();
+    std::vector<uint32_t> tables(postings.size());
+    std::vector<uint32_t> rows(postings.size());
+    std::vector<uint32_t> freqs(postings.size());
+    for (size_t i = 0; i < postings.size(); ++i) {
+      tables[i] = postings[i].tuple.table;
+      rows[i] = postings[i].tuple.row;
+      freqs[i] = postings[i].freq;
+    }
+    writer.AddSection(kSecIixOffsets, SectionCodec::kVarintDelta,
+                      iix.offsets().size(), DeltaPayload(iix.offsets()));
+    writer.AddSection(kSecIixTables, SectionCodec::kBitPacked,
+                      postings.size(), BitPackedPayload(tables));
+    writer.AddSection(kSecIixRows, SectionCodec::kBitPacked,
+                      postings.size(), BitPackedPayload(rows));
+    writer.AddSection(kSecIixFreqs, SectionCodec::kBitPacked,
+                      postings.size(), BitPackedPayload(freqs));
+  }
+
+  // -- Node space + adjacency ------------------------------------------
+  {
+    std::vector<uint64_t> table_sizes(space.table_sizes().begin(),
+                                      space.table_sizes().end());
+    std::string sizes_payload;
+    EncodeVarints(table_sizes, &sizes_payload);
+    writer.AddSection(kSecTableSizes, SectionCodec::kVarint,
+                      table_sizes.size(), std::move(sizes_payload));
+
+    const std::span<const Arc> arcs = csr.arcs();
+    std::vector<uint32_t> targets(arcs.size());
+    std::vector<float> weights(arcs.size());
+    for (size_t i = 0; i < arcs.size(); ++i) {
+      targets[i] = arcs[i].target;
+      weights[i] = arcs[i].weight;
+    }
+    writer.AddSection(kSecCsrOffsets, SectionCodec::kVarintDelta,
+                      csr.offsets().size(), DeltaPayload(csr.offsets()));
+    writer.AddSection(kSecCsrTargets, SectionCodec::kBitPacked,
+                      targets.size(), BitPackedPayload(targets));
+    writer.AddSection(kSecCsrWeights, SectionCodec::kRaw, weights.size(),
+                      RawScalarPayload<float>(weights));
+    // Weighted degrees are NOT stored: the loader re-accumulates them
+    // from the arcs in CSR row order — the same float-into-double sum, in
+    // the same order, the original build performed — so the recomputed
+    // table is bit-identical and the format saves 8 bytes per node.
+  }
+
+  // -- Frozen similarity / closeness lists -----------------------------
+  {
+    const SimilarityIndex& sim = model.similarity_index();
+    std::vector<uint8_t> present(n, 0);
+    std::vector<uint64_t> offsets(n + 1, 0);
+    std::vector<uint32_t> terms;
+    std::vector<double> scores;
+    for (TermId t = 0; t < n; ++t) {
+      offsets[t] = terms.size();
+      if (!sim.Contains(t)) continue;
+      present[t] = 1;
+      for (const SimilarTerm& s : sim.Lookup(t)) {
+        terms.push_back(s.term);
+        scores.push_back(s.score);
+      }
+    }
+    offsets[n] = terms.size();
+    writer.AddSection(kSecSimPresent, SectionCodec::kRaw, n,
+                      RawBytePayload(present));
+    writer.AddSection(kSecSimOffsets, SectionCodec::kVarintDelta, n + 1,
+                      DeltaPayload(offsets));
+    writer.AddSection(kSecSimTerms, SectionCodec::kBitPacked, terms.size(),
+                      BitPackedPayload(terms));
+    writer.AddSection(kSecSimScores, SectionCodec::kRaw, scores.size(),
+                      RawScalarPayload<double>(scores));
+  }
+  {
+    const ClosenessIndex& clos = model.closeness_index();
+    std::vector<uint8_t> present(n, 0);
+    std::vector<uint64_t> offsets(n + 1, 0);
+    std::vector<uint32_t> terms;
+    std::vector<uint32_t> distances;
+    std::vector<double> scores;
+    for (TermId t = 0; t < n; ++t) {
+      offsets[t] = terms.size();
+      if (!clos.Contains(t)) continue;
+      present[t] = 1;
+      for (const CloseTerm& c : clos.Lookup(t)) {
+        terms.push_back(c.term);
+        distances.push_back(c.distance);
+        scores.push_back(c.closeness);
+      }
+    }
+    offsets[n] = terms.size();
+    writer.AddSection(kSecClosPresent, SectionCodec::kRaw, n,
+                      RawBytePayload(present));
+    writer.AddSection(kSecClosOffsets, SectionCodec::kVarintDelta, n + 1,
+                      DeltaPayload(offsets));
+    writer.AddSection(kSecClosTerms, SectionCodec::kBitPacked, terms.size(),
+                      BitPackedPayload(terms));
+    writer.AddSection(kSecClosDistances, SectionCodec::kBitPacked,
+                      distances.size(), BitPackedPayload(distances));
+    writer.AddSection(kSecClosScores, SectionCodec::kRaw, scores.size(),
+                      RawScalarPayload<double>(scores));
+  }
+
+  // -- Decode bounds + preparation state -------------------------------
+  {
+    // Recomputed from the lists at save time (cheap: one pass over the
+    // pools), so lazy models that never materialized a bounds table still
+    // persist correct caps for whatever they have prepared.
+    const TermBoundsTable bounds = ComputeTermBounds(
+        model.similarity_index(), model.closeness_index(), n);
+    writer.AddSection(kSecBoundsEmission, SectionCodec::kRaw, n,
+                      RawScalarPayload<double>(bounds.emission_caps()));
+    writer.AddSection(kSecBoundsTransition, SectionCodec::kRaw, n,
+                      RawScalarPayload<double>(bounds.transition_caps()));
+
+    std::vector<uint8_t> prepared(n, 0);
+    for (TermId t : model.PreparedTerms()) prepared[t] = 1;
+    writer.AddSection(kSecPrepared, SectionCodec::kRaw, n,
+                      RawBytePayload(prepared));
+  }
+
+  return writer.Finish();
+}
+
+Status SaveModelFile(const ServingModel& model, const std::string& path) {
+  KQR_ASSIGN_OR_RETURN(std::string blob, SerializeModel(model));
+  return WriteFileBytes(
+      path, std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(blob.data()),
+                blob.size()));
+}
+
+// ---------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Reads the fixed meta word array.
+Status ReadMeta(const ContainerReader& reader,
+                std::array<uint64_t, kMetaWords>* meta) {
+  KQR_ASSIGN_OR_RETURN(std::span<const std::byte> bytes,
+                       reader.Payload(kSecMeta));
+  if (bytes.size() != kMetaWords * 8) {
+    return Corrupt("meta section has wrong size");
+  }
+  for (size_t i = 0; i < kMetaWords; ++i) {
+    (*meta)[i] = GetU64Le(bytes.data() + i * 8);
+  }
+  return Status::OK();
+}
+
+/// Decodes a u64 section and checks its element count.
+Status ReadU64Column(const ContainerReader& reader, const char* name,
+                     size_t expect, std::vector<uint64_t>* out) {
+  KQR_ASSIGN_OR_RETURN(*out, reader.ReadU64s(name));
+  if (out->size() != expect) {
+    return Corrupt(std::string(name) + " has wrong element count");
+  }
+  return Status::OK();
+}
+
+Status ReadU32Column(const ContainerReader& reader, const char* name,
+                     size_t expect, std::vector<uint32_t>* out) {
+  KQR_ASSIGN_OR_RETURN(*out, reader.ReadU32s(name));
+  if (out->size() != expect) {
+    return Corrupt(std::string(name) + " has wrong element count");
+  }
+  return Status::OK();
+}
+
+Status ReadF64Column(const ContainerReader& reader, const char* name,
+                     size_t expect, std::span<const double>* out) {
+  KQR_ASSIGN_OR_RETURN(*out, reader.RawF64(name));
+  if (out->size() != expect) {
+    return Corrupt(std::string(name) + " has wrong element count");
+  }
+  return Status::OK();
+}
+
+/// A presence bitmap: one byte per term, strictly 0 or 1.
+Status ReadPresence(const ContainerReader& reader, const char* name,
+                    size_t expect, std::vector<uint8_t>* out) {
+  KQR_ASSIGN_OR_RETURN(std::span<const std::byte> bytes,
+                       reader.Payload(name));
+  if (bytes.size() != expect) {
+    return Corrupt(std::string(name) + " has wrong element count");
+  }
+  out->resize(bytes.size());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    const uint8_t b = static_cast<uint8_t>(bytes[i]);
+    if (b > 1) return Corrupt(std::string(name) + " byte is not 0/1");
+    (*out)[i] = b;
+  }
+  return Status::OK();
+}
+
+/// Offsets column shared checks: first 0, last == pool size. Monotonicity
+/// is guaranteed by the delta codec.
+Status CheckFraming(const char* name, const std::vector<uint64_t>& offsets,
+                    uint64_t pool_size) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != pool_size) {
+    return Corrupt(std::string(name) + " does not frame its pool");
+  }
+  return Status::OK();
+}
+
+/// Workers for parallel list validation. Lists are independent, so the
+/// per-term validators fan out; the lowest failing term wins so the error
+/// is deterministic.
+constexpr size_t kValidateWorkers = 0;  // 0 = auto (inline on one core)
+
+/// Checks that absent terms own empty ranges, then validates every
+/// present term's slice with the same validators the v2 snapshot loader
+/// uses — nothing the auditors would reject gets installed.
+template <typename Entry, typename Validate>
+Status CheckLists(const char* what, const std::vector<uint8_t>& present,
+                  const std::vector<uint64_t>& offsets,
+                  const std::vector<Entry>& pool, Validate&& validate) {
+  const size_t n = present.size();
+  std::atomic<size_t> first_bad{n};
+  ParallelFor(n, kValidateWorkers, [&](size_t, size_t t) {
+    const size_t len = offsets[t + 1] - offsets[t];
+    const bool ok =
+        present[t] == 0
+            ? len == 0
+            : validate(static_cast<TermId>(t),
+                       std::span<const Entry>(pool.data() + offsets[t], len))
+                  .ok();
+    if (!ok) {
+      size_t cur = first_bad.load(std::memory_order_relaxed);
+      while (t < cur && !first_bad.compare_exchange_weak(
+                            cur, t, std::memory_order_relaxed)) {
+      }
+    }
+  });
+  const size_t t = first_bad.load(std::memory_order_relaxed);
+  if (t == n) return Status::OK();
+  // Re-run the failing term serially to recover the detailed message.
+  const size_t len = offsets[t + 1] - offsets[t];
+  if (present[t] == 0) {
+    return Corrupt(std::string(what) + ": absent term has a non-empty list");
+  }
+  return validate(static_cast<TermId>(t),
+                  std::span<const Entry>(pool.data() + offsets[t], len));
+}
+
+}  // namespace
+
+Status ServingModel::InitFromContainer(const ContainerReader& reader,
+                                       std::shared_ptr<const MappedFile> file,
+                                       const ModelOpenOptions& open) {
+  (void)open;  // checksum / mapping policy already applied by the caller
+  mapped_file_ = std::move(file);
+
+  std::array<uint64_t, kMetaWords> meta{};
+  KQR_RETURN_NOT_OK(ReadMeta(reader, &meta));
+  if (meta[kMetaConfigHash] != ModelConfigHash(options_)) {
+    return Status::InvalidArgument(
+        "model file was built under different engine options (similarity/"
+        "closeness list shape or similarity source)");
+  }
+  const size_t n = meta[kMetaVocabTerms];
+  const size_t num_nodes = meta[kMetaNumNodes];
+  const size_t num_arcs = meta[kMetaNumArcs];
+  if (n > static_cast<size_t>(kInvalidTermId) ||
+      num_nodes > static_cast<size_t>(kInvalidNodeId)) {
+    return Corrupt("meta counts exceed id space");
+  }
+
+  // -- Vocabulary ------------------------------------------------------
+  std::vector<FieldInfo> fields;
+  {
+    KQR_ASSIGN_OR_RETURN(const SectionInfo* sec,
+                         reader.Find(kSecVocabFields));
+    if (sec->items != meta[kMetaNumFields]) {
+      return Corrupt("vocab.fields count disagrees with meta");
+    }
+    KQR_ASSIGN_OR_RETURN(std::span<const std::byte> bytes,
+                         reader.Payload(kSecVocabFields));
+    ByteReader br(bytes);
+    fields.reserve(sec->items);
+    for (uint64_t i = 0; i < sec->items; ++i) {
+      FieldInfo info;
+      KQR_ASSIGN_OR_RETURN(uint64_t table_len, br.Varint64());
+      KQR_ASSIGN_OR_RETURN(std::span<const std::byte> table_bytes,
+                           br.Bytes(table_len));
+      KQR_ASSIGN_OR_RETURN(uint64_t column_len, br.Varint64());
+      KQR_ASSIGN_OR_RETURN(std::span<const std::byte> column_bytes,
+                           br.Bytes(column_len));
+      KQR_ASSIGN_OR_RETURN(std::span<const std::byte> role_byte,
+                           br.Bytes(1));
+      const uint8_t role = static_cast<uint8_t>(role_byte[0]);
+      if (role > static_cast<uint8_t>(TextRole::kAtomic)) {
+        return Corrupt("vocab.fields has an unknown text role");
+      }
+      info.table.assign(reinterpret_cast<const char*>(table_bytes.data()),
+                        table_bytes.size());
+      info.column.assign(reinterpret_cast<const char*>(column_bytes.data()),
+                         column_bytes.size());
+      info.role = static_cast<TextRole>(role);
+      fields.push_back(std::move(info));
+    }
+    if (!br.done()) return Corrupt("vocab.fields has trailing bytes");
+  }
+  {
+    std::vector<uint32_t> term_fields_raw;
+    KQR_RETURN_NOT_OK(
+        ReadU32Column(reader, kSecVocabTermFields, n, &term_fields_raw));
+    std::vector<FieldId> term_fields(n);
+    for (size_t t = 0; t < n; ++t) {
+      if (term_fields_raw[t] >= fields.size()) {
+        return Corrupt("vocab.term_fields references an unknown field");
+      }
+      term_fields[t] = static_cast<FieldId>(term_fields_raw[t]);
+    }
+    std::vector<uint64_t> text_offsets;
+    KQR_RETURN_NOT_OK(
+        ReadU64Column(reader, kSecVocabTextOffsets, n + 1, &text_offsets));
+    KQR_ASSIGN_OR_RETURN(std::string_view arena,
+                         reader.RawText(kSecVocabArena));
+    KQR_RETURN_NOT_OK(
+        CheckFraming(kSecVocabTextOffsets, text_offsets, arena.size()));
+    for (size_t t = 0; t < n; ++t) {
+      if (text_offsets[t + 1] - text_offsets[t] > UINT32_MAX) {
+        return Corrupt("vocab term text too long");
+      }
+    }
+    vocab_ = Vocabulary::FromParts(std::move(fields),
+                                   std::move(term_fields),
+                                   std::move(text_offsets), arena);
+  }
+
+  // -- Independent sections --------------------------------------------
+  // The inverted index, adjacency, and the two frozen list families
+  // decode disjoint sections into disjoint members, reading only the
+  // container and the vocabulary built above — so the four blocks fan out
+  // across threads. Workers time themselves; the spans are recorded after
+  // the join because the trace is single-owner.
+  const auto load_iix = [&]() -> Status {
+    KQR_ASSIGN_OR_RETURN(const SectionInfo* sec,
+                         reader.Find(kSecIixOffsets));
+    const size_t expect_offsets = sec->items;  // n + 1, or 0 (empty corpus)
+    if (expect_offsets != 0 && expect_offsets != n + 1) {
+      return Corrupt("iix.offsets count disagrees with vocab size");
+    }
+    std::vector<uint64_t> offsets;
+    KQR_RETURN_NOT_OK(
+        ReadU64Column(reader, kSecIixOffsets, expect_offsets, &offsets));
+    KQR_ASSIGN_OR_RETURN(const SectionInfo* tables_sec,
+                         reader.Find(kSecIixTables));
+    const size_t num_postings = tables_sec->items;
+    if (offsets.empty()) {
+      if (num_postings != 0) {
+        return Corrupt("iix has postings but no offsets");
+      }
+    } else {
+      KQR_RETURN_NOT_OK(CheckFraming(kSecIixOffsets, offsets, num_postings));
+    }
+    std::vector<uint32_t> tables, rows, freqs;
+    KQR_RETURN_NOT_OK(
+        ReadU32Column(reader, kSecIixTables, num_postings, &tables));
+    KQR_RETURN_NOT_OK(ReadU32Column(reader, kSecIixRows, num_postings, &rows));
+    KQR_RETURN_NOT_OK(
+        ReadU32Column(reader, kSecIixFreqs, num_postings, &freqs));
+    std::vector<Posting> pool(num_postings);
+    for (size_t i = 0; i < num_postings; ++i) {
+      if (tables[i] >= meta[kMetaNumTables] || tables[i] > UINT16_MAX) {
+        return Corrupt("iix.tables references an unknown table");
+      }
+      pool[i].tuple.table = static_cast<uint16_t>(tables[i]);
+      pool[i].tuple.row = rows[i];
+      pool[i].freq = freqs[i];
+    }
+    index_ = std::make_unique<InvertedIndex>(InvertedIndex::FromParts(
+        std::move(offsets), std::move(pool), meta[kMetaIndexedTuples],
+        meta[kMetaCorpusTuples]));
+    return Status::OK();
+  };
+
+  const auto load_graph = [&]() -> Status {
+    std::vector<uint64_t> sizes_raw;
+    KQR_RETURN_NOT_OK(ReadU64Column(reader, kSecTableSizes,
+                                    meta[kMetaNumTables], &sizes_raw));
+    std::vector<size_t> table_sizes(sizes_raw.begin(), sizes_raw.end());
+    NodeSpace space(std::move(table_sizes), n);
+    if (space.num_nodes() != num_nodes) {
+      return Corrupt("space.table_sizes disagrees with meta node count");
+    }
+
+    std::vector<uint64_t> offsets;
+    KQR_RETURN_NOT_OK(
+        ReadU64Column(reader, kSecCsrOffsets, num_nodes + 1, &offsets));
+    KQR_RETURN_NOT_OK(CheckFraming(kSecCsrOffsets, offsets, num_arcs));
+    std::vector<uint32_t> targets;
+    KQR_RETURN_NOT_OK(
+        ReadU32Column(reader, kSecCsrTargets, num_arcs, &targets));
+    KQR_ASSIGN_OR_RETURN(std::span<const float> weights,
+                         reader.RawF32(kSecCsrWeights));
+    if (weights.size() != num_arcs) {
+      return Corrupt("csr.weights has wrong element count");
+    }
+    std::vector<Arc> arcs(num_arcs);
+    for (size_t i = 0; i < num_arcs; ++i) {
+      if (targets[i] >= num_nodes) {
+        return Corrupt("csr.targets references an unknown node");
+      }
+      arcs[i].target = targets[i];
+      arcs[i].weight = weights[i];
+    }
+    // Re-accumulate weighted degrees in CSR row order — float weights
+    // summed into a double, exactly the order and arithmetic the original
+    // FromUndirectedEdges build used, so the table is bit-identical to
+    // the one the saved model served with.
+    std::vector<double> degrees(num_nodes, 0.0);
+    for (size_t u = 0; u < num_nodes; ++u) {
+      for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        degrees[u] += arcs[i].weight;
+      }
+    }
+    graph_ = std::make_unique<TatGraph>(
+        std::move(space),
+        CsrGraph::FromParts(std::move(offsets), std::move(arcs),
+                            std::move(degrees)),
+        &vocab_, &db_);
+    return Status::OK();
+  };
+
+  const auto load_sim = [&]() -> Status {
+    std::vector<uint8_t> present;
+    KQR_RETURN_NOT_OK(ReadPresence(reader, kSecSimPresent, n, &present));
+    std::vector<uint64_t> offsets;
+    KQR_RETURN_NOT_OK(
+        ReadU64Column(reader, kSecSimOffsets, n + 1, &offsets));
+    KQR_ASSIGN_OR_RETURN(const SectionInfo* terms_sec,
+                         reader.Find(kSecSimTerms));
+    const size_t count = terms_sec->items;
+    KQR_RETURN_NOT_OK(CheckFraming(kSecSimOffsets, offsets, count));
+    std::vector<uint32_t> terms;
+    KQR_RETURN_NOT_OK(ReadU32Column(reader, kSecSimTerms, count, &terms));
+    std::span<const double> scores;
+    KQR_RETURN_NOT_OK(ReadF64Column(reader, kSecSimScores, count, &scores));
+    std::vector<SimilarTerm> pool(count);
+    for (size_t i = 0; i < count; ++i) {
+      pool[i] = SimilarTerm{terms[i], scores[i]};
+    }
+    KQR_RETURN_NOT_OK(CheckLists(
+        kSecSimTerms, present, offsets, pool,
+        [&](TermId t, std::span<const SimilarTerm> list) {
+          return ValidateSimilarList(t, list, n);
+        }));
+    similarity_.InstallFlat(std::move(offsets), std::move(pool),
+                            std::move(present));
+    return Status::OK();
+  };
+
+  const auto load_clos = [&]() -> Status {
+    std::vector<uint8_t> present;
+    KQR_RETURN_NOT_OK(ReadPresence(reader, kSecClosPresent, n, &present));
+    std::vector<uint64_t> offsets;
+    KQR_RETURN_NOT_OK(
+        ReadU64Column(reader, kSecClosOffsets, n + 1, &offsets));
+    KQR_ASSIGN_OR_RETURN(const SectionInfo* terms_sec,
+                         reader.Find(kSecClosTerms));
+    const size_t count = terms_sec->items;
+    KQR_RETURN_NOT_OK(CheckFraming(kSecClosOffsets, offsets, count));
+    std::vector<uint32_t> terms;
+    KQR_RETURN_NOT_OK(ReadU32Column(reader, kSecClosTerms, count, &terms));
+    std::vector<uint32_t> distances;
+    KQR_RETURN_NOT_OK(
+        ReadU32Column(reader, kSecClosDistances, count, &distances));
+    std::span<const double> scores;
+    KQR_RETURN_NOT_OK(
+        ReadF64Column(reader, kSecClosScores, count, &scores));
+    std::vector<CloseTerm> pool(count);
+    for (size_t i = 0; i < count; ++i) {
+      pool[i] = CloseTerm{terms[i], scores[i], distances[i]};
+    }
+    KQR_RETURN_NOT_OK(CheckLists(
+        kSecClosTerms, present, offsets, pool,
+        [&](TermId t, std::span<const CloseTerm> list) {
+          return ValidateCloseList(t, list, n);
+        }));
+    closeness_.InstallFlat(std::move(offsets), std::move(pool),
+                           std::move(present));
+    return Status::OK();
+  };
+
+  {
+    static constexpr const char* kBlockNames[] = {"open-iix", "open-graph",
+                                                  "open-sim", "open-clos"};
+    const std::function<Status()> blocks[] = {load_iix, load_graph, load_sim,
+                                              load_clos};
+    Status statuses[4];
+    double seconds[4] = {0.0, 0.0, 0.0, 0.0};
+    ParallelFor(4, 0, [&](size_t, size_t i) {
+      Timer timer;
+      statuses[i] = blocks[i]();
+      seconds[i] = timer.ElapsedSeconds();
+    });
+    for (size_t i = 0; i < 4; ++i) {
+      build_trace_.AddSpan(kBlockNames[i], seconds[i]);
+    }
+    for (size_t i = 0; i < 4; ++i) {
+      KQR_RETURN_NOT_OK(statuses[i]);
+    }
+  }
+
+  // The fingerprint covers (vocab, graph shape, corpus): fail before
+  // anything downstream consumes a mismatched model.
+  if (ModelFingerprint(*this) != meta[kMetaFingerprint]) {
+    return Corrupt(
+        "model file fingerprint mismatch: built from a different corpus");
+  }
+
+  {
+    TraceScope span(&build_trace_, "open-stats");
+    stats_ = std::make_unique<GraphStats>(*graph_);
+    search_ =
+        std::make_unique<KeywordSearch>(*graph_, *index_, options_.search);
+  }
+
+  // -- Decode bounds + preparation state -------------------------------
+  {
+    std::span<const double> emission, transition;
+    KQR_RETURN_NOT_OK(
+        ReadF64Column(reader, kSecBoundsEmission, n, &emission));
+    KQR_RETURN_NOT_OK(
+        ReadF64Column(reader, kSecBoundsTransition, n, &transition));
+    term_bounds_ = TermBoundsTable::FromMapped(emission, transition);
+  }
+  {
+    std::vector<uint8_t> prepared;
+    KQR_RETURN_NOT_OK(ReadPresence(reader, kSecPrepared, n, &prepared));
+    const bool fully =
+        (meta[kMetaFlags] & kFlagFullyPrepared) != 0;
+    prepared_flags_ = std::make_unique<std::atomic<uint8_t>[]>(
+        std::max<size_t>(n, 1));
+    for (size_t t = 0; t < n; ++t) {
+      if (fully && prepared[t] == 0) {
+        return Corrupt("fully-prepared model has an unprepared term");
+      }
+      prepared_flags_[t].store(prepared[t], std::memory_order_relaxed);
+    }
+    term_mutexes_ = std::make_unique<std::mutex[]>(kTermShards);
+    if (fully) {
+      similarity_.Freeze();
+      closeness_.Freeze();
+      fully_prepared_.store(true, std::memory_order_release);
+    }
+  }
+
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const ServingModel>> ServingModel::OpenMapped(
+    Database db, const std::string& path, EngineOptions options,
+    ModelOpenOptions open) {
+  KQR_RETURN_NOT_OK(options.Validate());
+  KQR_RETURN_NOT_OK(db.ValidateIntegrity());
+  KQR_ASSIGN_OR_RETURN(std::shared_ptr<const MappedFile> file,
+                       MappedFile::Open(path, open.prefer_mmap));
+  KQR_ASSIGN_OR_RETURN(
+      ContainerReader reader,
+      ContainerReader::Open(file->bytes(), open.verify_checksums));
+  std::shared_ptr<ServingModel> model(
+      new ServingModel(std::move(db), options));
+  {
+    TraceScope span(&model->build_trace_, "mapped-open");
+    KQR_RETURN_NOT_OK(
+        model->InitFromContainer(reader, std::move(file), open));
+    span.SetItems(model->vocab().size());
+  }
+  if (MetricsRegistry* registry = model->metrics_registry()) {
+    for (const TraceSpan& span : model->build_trace_.spans()) {
+      registry
+          ->GetGauge(std::string("kqr_build_stage_seconds{stage=\"") +
+                     span.name + "\"}")
+          ->Set(span.duration_seconds);
+    }
+  }
+  model->build_trace_.Disable();
+  return std::shared_ptr<const ServingModel>(std::move(model));
+}
+
+}  // namespace kqr

@@ -1,0 +1,41 @@
+// Model format v3: the serving artifact persisted as one sectioned,
+// checksummed, mmap-able container (common/io/container.h). SaveModelFile
+// freezes a built model's corpus-derived state — vocabulary, inverted
+// index, TAT adjacency, similarity/closeness lists, HMM decode bounds,
+// preparation state — into block-compressed columns; OpenMapped (declared
+// on ServingModel) rebuilds a serving model from the file without running
+// any of the offline stage, serving the large score arrays zero-copy out
+// of the mapping.
+//
+// Compatibility: v3 is a different artifact from the v2 text snapshot
+// (core/snapshot.h). A v2 snapshot carries only the similar/close lists
+// and still needs a full build to import into; a v3 file carries the
+// whole frozen model and opens in milliseconds.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/serving_model.h"
+
+namespace kqr {
+
+/// \brief Serializes the model's frozen state into a v3 container blob.
+/// Works for lazy models too: whatever is prepared at call time is saved,
+/// and the preparation state round-trips (unprepared terms stay lazy in
+/// the reopened model).
+Result<std::string> SerializeModel(const ServingModel& model);
+
+/// \brief SerializeModel + atomic file write (temp + rename).
+Status SaveModelFile(const ServingModel& model, const std::string& path);
+
+/// \brief Hash of the EngineOptions fields that shape the persisted lists
+/// (similarity list size / degree floor, closeness list size, similarity
+/// source). OpenMapped refuses a file whose stored hash disagrees with
+/// the options it was given, because the frozen lists would not match
+/// what a fresh build under those options produces.
+uint64_t ModelConfigHash(const EngineOptions& options);
+
+}  // namespace kqr

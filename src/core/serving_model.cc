@@ -352,7 +352,7 @@ KeywordQuery ServingModel::QueryFromTerms(
   query.keywords.reserve(terms.size());
   for (TermId t : terms) {
     if (t == kInvalidTermId) continue;  // void position: keyword deleted
-    query.keywords.push_back(QueryKeyword{vocab_.text(t), {t}});
+    query.keywords.push_back(QueryKeyword{std::string(vocab_.text(t)), {t}});
   }
   return query;
 }

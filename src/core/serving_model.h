@@ -40,6 +40,21 @@
 
 namespace kqr {
 
+class ContainerReader;
+class MappedFile;
+
+/// \brief How ServingModel::OpenMapped reads a v3 model file.
+struct ModelOpenOptions {
+  /// Verify every section's FNV-1a payload checksum at open time. Costs
+  /// one sequential pass over the file (touches all pages); turning it
+  /// off keeps opens O(pages touched by serving) but detects corruption
+  /// only where structural validation happens to notice.
+  bool verify_checksums = true;
+  /// Memory-map the file (fall back to a heap read when mapping is
+  /// unavailable). When false, always read into heap memory.
+  bool prefer_mmap = true;
+};
+
 struct EngineOptions {
   AnalyzerOptions analyzer;
   TatBuilderOptions graph;
@@ -87,6 +102,18 @@ class ServingModel {
   ServingModel(const ServingModel&) = delete;
   ServingModel& operator=(const ServingModel&) = delete;
   ~ServingModel();
+
+  /// \brief Opens a v3 model file (core/model_file.h) produced by
+  /// SaveModelFile, skipping the whole offline stage: frozen structures
+  /// are decoded from (or served zero-copy out of) the mapped file.
+  /// `db` must be the same corpus the model was built from (checked via
+  /// the stored fingerprint) and `options` must agree with the build
+  /// configuration where it shapes the stored lists (checked via a
+  /// config hash). Reformulation output is bit-identical to the model
+  /// that was saved.
+  static Result<std::shared_ptr<const ServingModel>> OpenMapped(
+      Database db, const std::string& path, EngineOptions options = {},
+      ModelOpenOptions open = {});
 
   /// \brief Parses free text and picks one term node per keyword (the
   /// most frequent field on ties). Fails if any keyword is unresolvable.
@@ -213,6 +240,11 @@ class ServingModel {
   const ClosenessIndex& closeness_index() const { return closeness_; }
   const EngineOptions& options() const { return options_; }
 
+  /// \brief Per-term decode-bound caps (see TermBoundsTable). Non-empty
+  /// for eagerly built models and for models opened from a v3 file;
+  /// empty on lazy builds (the caps of an unprepared term are unknown).
+  const TermBoundsTable& term_bounds() const { return term_bounds_; }
+
   /// \brief The model's metrics registry; nullptr when built with
   /// enable_metrics = false. Scraping (Snapshot) is safe concurrent with
   /// serving; the registry's recording surfaces are thread-safe, so the
@@ -242,11 +274,25 @@ class ServingModel {
   ServingModel(Database db, EngineOptions options);
   Status Init();
 
+  /// Deserializing counterpart of Init (defined in core/model_file.cc):
+  /// rebuilds every frozen structure from a validated v3 container. Takes
+  /// ownership of `file` so zero-copy views stay valid for the model's
+  /// lifetime.
+  Status InitFromContainer(const ContainerReader& reader,
+                           std::shared_ptr<const MappedFile> file,
+                           const ModelOpenOptions& open);
+
   /// Slow path of EnsureTerm: caller holds the term's shard mutex.
   void PrepareTerm(TermId term) const;
 
   /// Number of term-shard mutexes for the lazy-preparation cache.
   static constexpr size_t kTermShards = 64;
+
+  /// Backing bytes for mapped models. MUST stay the first member: every
+  /// zero-copy view below (vocab arena, weighted degrees, bound caps)
+  /// points into it, and members destruct in reverse declaration order,
+  /// so the mapping outlives all of them. Null for built models.
+  std::shared_ptr<const MappedFile> mapped_file_;
 
   Database db_;
   EngineOptions options_;
@@ -256,6 +302,10 @@ class ServingModel {
   std::unique_ptr<TatGraph> graph_;
   std::unique_ptr<GraphStats> stats_;
   std::unique_ptr<KeywordSearch> search_;
+
+  /// Static decode-bound caps (eager builds and mapped models; empty on
+  /// lazy builds). May view mapped_file_.
+  TermBoundsTable term_bounds_;
 
   // Memoization state (mutable behind the const facade; see file header).
   mutable SimilarityIndex similarity_;

@@ -4,11 +4,26 @@
 // stage once and serve many online processes, the way the paper's system
 // precomputed term relations into MySQL.
 //
-// Format (line-oriented text, version-tagged):
-//   kqr-offline-v1
+// Two formats persist offline products; they serve different jobs:
+//
+// v2 text snapshot (this header, line-oriented, version-tagged):
+//   kqr-offline-v2
 //   fingerprint <hex>          -- model/corpus fingerprint
 //   sim <term> <n> [<term> <score>]{n}
 //   clos <term> <n> [<term> <closeness> <distance>]{n}
+//   end <records> <fnv-hex>    -- completeness + content trailer
+// Human-readable and diff-friendly; loads by parsing every line and
+// merging into a model the caller already built from the corpus. Carries
+// only the per-term lists — the vocabulary, graph and inverted index are
+// rebuilt from the database on every process start.
+//
+// v3 binary model file (core/model_file.h, "kqrmdl3\0" magic): a
+// sectioned, checksummed container holding *every* frozen structure —
+// vocabulary string table, inverted index, CSR adjacency, the per-term
+// lists, decode bounds — block-compressed and mmap-able, so a process
+// opens a ready-to-serve model via ServingModel::OpenMapped without
+// re-tokenizing or rebuilding the graph. Prefer v3 for serving cold
+// starts; keep v2 for inspecting or hand-patching offline products.
 //
 // TermIds are deterministic for a given (database, analyzer) pair, so the
 // fingerprint guards against loading a snapshot into a different corpus.

@@ -45,7 +45,7 @@ QuerySampler::QuerySampler(const ServingModel& model, uint64_t seed,
     topic_author_terms_.resize(num_topics);
     topic_venue_terms_.resize(num_topics);
     for (TermId t : title_terms_) {
-      for (size_t topic : corpus_->TopicsOf(vocab.text(t))) {
+      for (size_t topic : corpus_->TopicsOf(std::string(vocab.text(t)))) {
         topic_title_terms_[topic].push_back(t);
       }
     }
@@ -53,13 +53,13 @@ QuerySampler::QuerySampler(const ServingModel& model, uint64_t seed,
     auto venue_field = vocab.FindField("venues", "name");
     for (TermId t : author_terms_) {
       if (!author_field.has_value()) break;
-      for (size_t topic : corpus_->TopicsOf(vocab.text(t))) {
+      for (size_t topic : corpus_->TopicsOf(std::string(vocab.text(t)))) {
         topic_author_terms_[topic].push_back(t);
       }
     }
     for (TermId t : venue_terms_) {
       if (!venue_field.has_value()) break;
-      for (size_t topic : corpus_->TopicsOf(vocab.text(t))) {
+      for (size_t topic : corpus_->TopicsOf(std::string(vocab.text(t)))) {
         topic_venue_terms_[topic].push_back(t);
       }
     }

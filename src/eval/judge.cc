@@ -6,7 +6,7 @@
 namespace kqr {
 
 std::vector<size_t> TopicJudge::TopicsOfTerm(TermId term) const {
-  return corpus_.TopicsOf(model_.vocab().text(term));
+  return corpus_.TopicsOf(std::string(model_.vocab().text(term)));
 }
 
 bool TopicJudge::TopicallyAligned(TermId a, TermId b) const {

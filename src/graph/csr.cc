@@ -22,7 +22,7 @@ CsrGraph CsrGraph::FromUndirectedEdges(
   CsrGraph g;
   g.offsets_.assign(num_nodes + 1, 0);
   g.arcs_.reserve(arcs.size());
-  g.weighted_degree_.assign(num_nodes, 0.0);
+  g.weighted_degree_owned_.assign(num_nodes, 0.0);
 
   size_t i = 0;
   for (uint32_t u = 0; u < num_nodes; ++u) {
@@ -37,10 +37,11 @@ CsrGraph CsrGraph::FromUndirectedEdges(
         ++i;
       }
       g.arcs_.push_back(Arc{v, w});
-      g.weighted_degree_[u] += w;
+      g.weighted_degree_owned_[u] += w;
     }
   }
   g.offsets_[num_nodes] = g.arcs_.size();
+  g.weighted_degree_ = g.weighted_degree_owned_;
   return g;
 }
 
@@ -50,7 +51,18 @@ CsrGraph CsrGraph::FromParts(std::vector<uint64_t> offsets,
   CsrGraph g;
   g.offsets_ = std::move(offsets);
   g.arcs_ = std::move(arcs);
-  g.weighted_degree_ = std::move(weighted_degree);
+  g.weighted_degree_owned_ = std::move(weighted_degree);
+  g.weighted_degree_ = g.weighted_degree_owned_;
+  return g;
+}
+
+CsrGraph CsrGraph::FromParts(std::vector<uint64_t> offsets,
+                             std::vector<Arc> arcs,
+                             std::span<const double> weighted_degree) {
+  CsrGraph g;
+  g.offsets_ = std::move(offsets);
+  g.arcs_ = std::move(arcs);
+  g.weighted_degree_ = weighted_degree;
   return g;
 }
 

@@ -1,5 +1,11 @@
 // Compressed sparse row adjacency with edge weights. Undirected graphs
 // store both directions.
+//
+// The weighted-degree array is a span that can be backed either by the
+// graph's own memory (FromUndirectedEdges, vector FromParts) or by a raw
+// section of a mapped v3 model file (span FromParts) — the mapped file
+// must then outlive the graph. Because the backing may be external, the
+// graph is move-only: a copy would silently alias the source's storage.
 
 #pragma once
 
@@ -20,6 +26,10 @@ struct Arc {
 class CsrGraph {
  public:
   CsrGraph() = default;
+  CsrGraph(CsrGraph&&) noexcept = default;
+  CsrGraph& operator=(CsrGraph&&) noexcept = default;
+  CsrGraph(const CsrGraph&) = delete;
+  CsrGraph& operator=(const CsrGraph&) = delete;
 
   /// \brief Builds from an undirected weighted edge list; each (u,v,w) is
   /// materialized as two arcs. Parallel edges are merged by summing
@@ -35,6 +45,13 @@ class CsrGraph {
   static CsrGraph FromParts(std::vector<uint64_t> offsets,
                             std::vector<Arc> arcs,
                             std::vector<double> weighted_degree);
+
+  /// \brief Like FromParts, but the weighted-degree array stays where it
+  /// is (zero-copy view into a mapped model file that must outlive the
+  /// graph).
+  static CsrGraph FromParts(std::vector<uint64_t> offsets,
+                            std::vector<Arc> arcs,
+                            std::span<const double> weighted_degree);
 
   size_t num_nodes() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
@@ -67,8 +84,11 @@ class CsrGraph {
  private:
   std::vector<uint64_t> offsets_;  // size num_nodes + 1
   std::vector<Arc> arcs_;
-  std::vector<double> weighted_degree_;
+  /// View over weighted_degree_owned_ or a mapped file section. Vector
+  /// moves keep heap storage stable, so the span survives moving the
+  /// graph.
+  std::span<const double> weighted_degree_;
+  std::vector<double> weighted_degree_owned_;
 };
 
 }  // namespace kqr
-

@@ -55,6 +55,10 @@ class NodeSpace {
     return static_cast<TermId>(id - term_base_);
   }
 
+  /// Row count per table in catalog order (serialization view; the ctor
+  /// argument round-trips through this).
+  const std::vector<size_t>& table_sizes() const { return table_sizes_; }
+
   /// Class of a node: table index for tuples, num_tables + field for terms.
   /// Requires the vocabulary to resolve term fields.
   NodeClass ClassOf(NodeId id, const Vocabulary& vocab) const {

@@ -59,7 +59,7 @@ Result<TatGraph> BuildTatGraph(const Database& db, const Vocabulary& vocab,
       options.max_doc_frequency_fraction *
       static_cast<double>(index.num_corpus_tuples()));
   for (TermId term = 0; term < vocab.size(); ++term) {
-    const std::vector<Posting>& postings = index.Lookup(term);
+    std::span<const Posting> postings = index.Lookup(term);
     if (postings.empty()) continue;
     if (df_cap > 0 && postings.size() > df_cap) continue;
     NodeId term_node = space.FromTerm(term);

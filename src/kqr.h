@@ -13,7 +13,9 @@
 //   Reformulator             the online pipeline (advanced direct use)
 //   RequestContext           per-thread scratch + deadline carrier
 //   Server / ServerOptions   batched async serving front-end
-//   Snapshot save/load       persisted offline products
+//   Snapshot save/load       persisted offline products (v2 text)
+//   Model file save/open     v3 mmap-able model container
+//                            (SaveModelFile / ServingModel::OpenMapped)
 //   Facets / explanations    suggestion grouping for presentation
 //
 // Everything else under src/ (walk engines, graph internals, storage,
@@ -26,6 +28,7 @@
 #include "common/status.h"
 #include "core/engine_builder.h"
 #include "core/facets.h"
+#include "core/model_file.h"
 #include "core/reformulator.h"
 #include "core/request_context.h"
 #include "core/serving_model.h"

@@ -23,6 +23,19 @@ void RequestTrace::EndSpan(size_t index, uint64_t items) {
   if (depth_ > 0) --depth_;
 }
 
+void RequestTrace::AddSpan(const char* name, double duration_seconds,
+                           uint64_t items) {
+  if (!enabled_) return;
+  TraceSpan span;
+  span.name = name;
+  const double now = epoch_.ElapsedSeconds();
+  span.start_seconds = now > duration_seconds ? now - duration_seconds : 0.0;
+  span.duration_seconds = duration_seconds;
+  span.items = items;
+  span.depth = depth_;
+  spans_.push_back(span);
+}
+
 double RequestTrace::SpanSeconds(const std::string& name) const {
   for (const TraceSpan& span : spans_) {
     if (name == span.name) return span.duration_seconds;

@@ -60,6 +60,12 @@ class RequestTrace {
   /// payload count. Tolerates npos (the matching BeginSpan was a no-op).
   void EndSpan(size_t index, uint64_t items = 0);
 
+  /// \brief Records an already-measured span, stamped as ending now. For
+  /// stages that ran on worker threads: the trace is single-owner, so the
+  /// workers time themselves and the owner records the results after
+  /// joining. No-op when disabled.
+  void AddSpan(const char* name, double duration_seconds, uint64_t items = 0);
+
   const std::vector<TraceSpan>& spans() const { return spans_; }
 
   /// Duration of the first span with `name`, or 0 when absent.

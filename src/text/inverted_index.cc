@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "common/logging.h"
+
 namespace kqr {
 
 Result<InvertedIndex> InvertedIndex::Build(const Database& db,
@@ -16,6 +18,9 @@ Result<InvertedIndex> InvertedIndex::Build(const Database& db,
   if (tables.size() > static_cast<size_t>(uint16_t(-1))) {
     return Status::OutOfRange("too many tables");
   }
+
+  // Built nested first (terms intern out of order), flattened below.
+  std::vector<std::vector<Posting>> postings;
 
   for (uint16_t t = 0; t < tables.size(); ++t) {
     const Table& table = *tables[t];
@@ -45,10 +50,10 @@ Result<InvertedIndex> InvertedIndex::Build(const Database& db,
         for (const std::string& term : terms) ++counts[term];
         for (const auto& [text, freq] : counts) {
           TermId id = vocab->Intern(field_ids[ci], text);
-          if (id >= index.postings_.size()) {
-            index.postings_.resize(id + 1);
+          if (id >= postings.size()) {
+            postings.resize(id + 1);
           }
-          index.postings_[id].push_back(Posting{TupleRef{t, r}, freq});
+          postings[id].push_back(Posting{TupleRef{t, r}, freq});
           produced = true;
         }
       }
@@ -58,19 +63,38 @@ Result<InvertedIndex> InvertedIndex::Build(const Database& db,
 
   // Postings come out sorted because we scan tables and rows in order, but
   // make the invariant explicit for safety.
-  for (auto& plist : index.postings_) {
+  for (auto& plist : postings) {
     std::sort(plist.begin(), plist.end(),
               [](const Posting& a, const Posting& b) {
                 return a.tuple < b.tuple;
               });
   }
+
+  // Flatten into the pool + offsets layout.
+  index.offsets_.reserve(postings.size() + 1);
+  index.offsets_.push_back(0);
+  size_t total = 0;
+  for (const auto& plist : postings) total += plist.size();
+  index.pool_.reserve(total);
+  for (auto& plist : postings) {
+    index.pool_.insert(index.pool_.end(), plist.begin(), plist.end());
+    index.offsets_.push_back(index.pool_.size());
+  }
   return index;
 }
 
-const std::vector<Posting>& InvertedIndex::Lookup(TermId term) const {
-  static const std::vector<Posting> kEmpty;
-  if (term == kInvalidTermId || term >= postings_.size()) return kEmpty;
-  return postings_[term];
+InvertedIndex InvertedIndex::FromParts(std::vector<uint64_t> offsets,
+                                       std::vector<Posting> pool,
+                                       size_t num_indexed_tuples,
+                                       size_t num_corpus_tuples) {
+  KQR_CHECK(!offsets.empty() && offsets.back() == pool.size())
+      << "posting offsets must frame the pool";
+  InvertedIndex index;
+  index.offsets_ = std::move(offsets);
+  index.pool_ = std::move(pool);
+  index.num_indexed_tuples_ = num_indexed_tuples;
+  index.num_corpus_tuples_ = num_corpus_tuples;
+  return index;
 }
 
 uint64_t InvertedIndex::TotalFreq(TermId term) const {

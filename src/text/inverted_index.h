@@ -1,10 +1,15 @@
 // InvertedIndex: term → tuple postings over a Database, the Lucene
 // substitute. Built once offline; consumed by the TAT graph builder and by
 // keyword search.
+//
+// Storage is a flat postings pool framed by per-term offsets (CSR-style),
+// so the whole index serializes as three bit-packed columns in a v3 model
+// file and Lookup is a bounds-checked span into the pool.
 
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,8 +51,24 @@ class InvertedIndex {
                                      const Analyzer& analyzer,
                                      Vocabulary* vocab);
 
+  /// \brief Reassembles an index from serialized parts without validation
+  /// (model format v3). `offsets` has num_terms + 1 entries framing
+  /// `pool`; provenance must be proven elsewhere (container checksums,
+  /// ModelAuditor).
+  static InvertedIndex FromParts(std::vector<uint64_t> offsets,
+                                 std::vector<Posting> pool,
+                                 size_t num_indexed_tuples,
+                                 size_t num_corpus_tuples);
+
   /// Postings of a term (sorted by tuple). Empty for unknown terms.
-  const std::vector<Posting>& Lookup(TermId term) const;
+  std::span<const Posting> Lookup(TermId term) const {
+    if (term == kInvalidTermId || offsets_.empty() ||
+        term >= offsets_.size() - 1) {
+      return {};
+    }
+    return std::span<const Posting>(pool_.data() + offsets_[term],
+                                    offsets_[term + 1] - offsets_[term]);
+  }
 
   /// Number of distinct tuples containing `term`.
   size_t DocFreq(TermId term) const { return Lookup(term).size(); }
@@ -62,15 +83,22 @@ class InvertedIndex {
   /// least one text column).
   size_t num_corpus_tuples() const { return num_corpus_tuples_; }
 
-  size_t num_terms() const { return postings_.size(); }
+  size_t num_terms() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  // Raw structure views for serialization. offsets() has num_terms()+1
+  // entries framing postings().
+  std::span<const uint64_t> offsets() const { return offsets_; }
+  std::span<const Posting> postings() const { return pool_; }
 
  private:
   InvertedIndex() = default;
 
-  std::vector<std::vector<Posting>> postings_;  // indexed by TermId
+  std::vector<uint64_t> offsets_;  // size num_terms + 1 (empty when empty)
+  std::vector<Posting> pool_;      // postings in TermId-major order
   size_t num_indexed_tuples_ = 0;
   size_t num_corpus_tuples_ = 0;
 };
 
 }  // namespace kqr
-

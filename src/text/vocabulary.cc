@@ -4,6 +4,35 @@
 
 namespace kqr {
 
+Vocabulary Vocabulary::FromParts(std::vector<FieldInfo> fields,
+                                 std::vector<FieldId> term_fields,
+                                 std::vector<uint64_t> text_offsets,
+                                 std::string_view arena) {
+  KQR_CHECK(text_offsets.size() == term_fields.size() + 1)
+      << "text_offsets must frame every term";
+  KQR_CHECK(text_offsets.empty() || text_offsets.back() <= arena.size())
+      << "text offsets overrun the arena";
+  Vocabulary v;
+  v.fields_ = std::move(fields);
+  for (FieldId f = 0; f < v.fields_.size(); ++f) {
+    v.field_lookup_.emplace(v.fields_[f].Label(), f);
+  }
+  v.mapped_arena_ = arena;
+  v.terms_.reserve(term_fields.size());
+  for (size_t i = 0; i < term_fields.size(); ++i) {
+    KQR_CHECK(term_fields[i] < v.fields_.size()) << "term field out of range";
+    const uint64_t off = text_offsets[i];
+    const uint64_t len = text_offsets[i + 1] - off;
+    v.terms_.push_back(
+        TermRecord{term_fields[i], off, static_cast<uint32_t>(len)});
+    std::string_view text = arena.substr(off, len);
+    TermId id = static_cast<TermId>(i);
+    v.term_lookup_.emplace(Key(term_fields[i], text), id);
+    v.by_text_[std::string(text)].push_back(id);
+  }
+  return v;
+}
+
 FieldId Vocabulary::RegisterField(const std::string& table,
                                   const std::string& column,
                                   TextRole role) {
@@ -27,11 +56,15 @@ std::optional<FieldId> Vocabulary::FindField(const std::string& table,
 }
 
 TermId Vocabulary::Intern(FieldId field, const std::string& text) {
+  KQR_CHECK(mapped_arena_.data() == nullptr)
+      << "cannot intern into a vocabulary backed by a mapped model file";
   std::string key = Key(field, text);
   auto it = term_lookup_.find(key);
   if (it != term_lookup_.end()) return it->second;
   TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(TermRecord{field, text});
+  terms_.push_back(TermRecord{field, arena_.size(),
+                              static_cast<uint32_t>(text.size())});
+  arena_ += text;
   term_lookup_.emplace(std::move(key), id);
   by_text_[text].push_back(id);
   return id;
@@ -53,7 +86,7 @@ std::vector<TermId> Vocabulary::FindAllFields(const std::string& text)
 
 std::string Vocabulary::Describe(TermId id) const {
   const TermRecord& t = terms_[id];
-  return t.text + "@" + fields_[t.field].Label();
+  return std::string(text(id)) + "@" + fields_[t.field].Label();
 }
 
 }  // namespace kqr

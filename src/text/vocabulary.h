@@ -3,12 +3,18 @@
 // Per Def. 5 of the paper, "term nodes with same text extracted from
 // different fields are considered as different; we label them with field
 // identifiers". A field is a (table, column) pair.
+//
+// Term text lives in a single flat arena (offset + length per term), so a
+// vocabulary can be backed either by owned memory (the build path appends
+// to its own arena) or by a span into a mapped v3 model file
+// (FromParts) — text() is a zero-copy string_view either way.
 
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +42,16 @@ class Vocabulary {
  public:
   Vocabulary() = default;
 
+  /// \brief Reassembles a vocabulary from serialized parts (model format
+  /// v3). `text_offsets` has size `term_fields.size() + 1` and frames each
+  /// term's text inside `arena`; `arena` may point into a mapped file that
+  /// must outlive the vocabulary — texts are served zero-copy from it.
+  /// The lookup maps are rebuilt here (O(total text) hashing, no parsing).
+  static Vocabulary FromParts(std::vector<FieldInfo> fields,
+                              std::vector<FieldId> term_fields,
+                              std::vector<uint64_t> text_offsets,
+                              std::string_view arena);
+
   /// Registers (or finds) a field; idempotent per (table, column).
   FieldId RegisterField(const std::string& table, const std::string& column,
                         TextRole role);
@@ -47,7 +63,7 @@ class Vocabulary {
   size_t num_fields() const { return fields_.size(); }
 
   /// Interns `text` under `field`, returning a dense id (existing on
-  /// repeat calls).
+  /// repeat calls). Only valid on vocabularies that own their arena.
   TermId Intern(FieldId field, const std::string& text);
 
   /// Id of an already-interned term, or nullopt.
@@ -57,7 +73,12 @@ class Vocabulary {
   /// query keyword carries no field label.
   std::vector<TermId> FindAllFields(const std::string& text) const;
 
-  const std::string& text(TermId id) const { return terms_[id].text; }
+  /// The term's text, viewing the arena — valid as long as the vocabulary
+  /// (and, for mapped vocabularies, the mapped file) is alive.
+  std::string_view text(TermId id) const {
+    const TermRecord& t = terms_[id];
+    return arena_view().substr(t.offset, t.length);
+  }
   FieldId field_of(TermId id) const { return terms_[id].field; }
 
   /// "text@table.column" — unambiguous rendering for output.
@@ -65,22 +86,35 @@ class Vocabulary {
 
   size_t size() const { return terms_.size(); }
 
+  // Raw serialization views (model format v3). Terms are appended to the
+  // arena in id order, so text_offset is non-decreasing in `id` and the
+  // arena is exactly the concatenation of every term's text.
+  std::string_view arena() const { return arena_view(); }
+  uint64_t text_offset(TermId id) const { return terms_[id].offset; }
+
  private:
   struct TermRecord {
     FieldId field;
-    std::string text;
+    uint64_t offset;
+    uint32_t length;
   };
 
-  static std::string Key(FieldId field, const std::string& text) {
-    return std::to_string(field) + '\x1f' + text;
+  static std::string Key(FieldId field, std::string_view text) {
+    return std::to_string(field) + '\x1f' + std::string(text);
+  }
+
+  std::string_view arena_view() const {
+    return mapped_arena_.data() != nullptr ? mapped_arena_
+                                           : std::string_view(arena_);
   }
 
   std::vector<FieldInfo> fields_;
   std::unordered_map<std::string, FieldId> field_lookup_;
   std::vector<TermRecord> terms_;
+  std::string arena_;              // owned text bytes (build path)
+  std::string_view mapped_arena_;  // set instead when backed by a model file
   std::unordered_map<std::string, TermId> term_lookup_;
   std::unordered_map<std::string, std::vector<TermId>> by_text_;
 };
 
 }  // namespace kqr
-

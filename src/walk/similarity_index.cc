@@ -14,9 +14,15 @@ SimilarityIndex::SimilarityIndex()
 
 SimilarityIndex::SimilarityIndex(SimilarityIndex&& other) noexcept
     : shards_(std::move(other.shards_)),
-      frozen_(other.frozen_.load(std::memory_order_relaxed)) {
+      frozen_(other.frozen_.load(std::memory_order_relaxed)),
+      flat_offsets_(std::move(other.flat_offsets_)),
+      flat_pool_(std::move(other.flat_pool_)),
+      flat_present_(std::move(other.flat_present_)) {
   other.shards_ = std::make_unique<Shard[]>(kNumShards);
   other.frozen_.store(false, std::memory_order_relaxed);
+  other.flat_offsets_.clear();
+  other.flat_pool_.clear();
+  other.flat_present_.clear();
 }
 
 SimilarityIndex& SimilarityIndex::operator=(
@@ -25,8 +31,14 @@ SimilarityIndex& SimilarityIndex::operator=(
     shards_ = std::move(other.shards_);
     frozen_.store(other.frozen_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
+    flat_offsets_ = std::move(other.flat_offsets_);
+    flat_pool_ = std::move(other.flat_pool_);
+    flat_present_ = std::move(other.flat_present_);
     other.shards_ = std::make_unique<Shard[]>(kNumShards);
     other.frozen_.store(false, std::memory_order_relaxed);
+    other.flat_offsets_.clear();
+    other.flat_pool_.clear();
+    other.flat_present_.clear();
   }
   return *this;
 }
@@ -102,22 +114,29 @@ SimilarityIndex SimilarityIndex::BuildFor(
   return index;
 }
 
-const std::vector<SimilarTerm>& SimilarityIndex::Lookup(TermId term) const {
-  static const std::vector<SimilarTerm> kEmpty;
+std::span<const SimilarTerm> SimilarityIndex::Lookup(TermId term) const {
+  if (InFlat(term)) {
+    return std::span<const SimilarTerm>(
+        flat_pool_.data() + flat_offsets_[term],
+        flat_offsets_[term + 1] - flat_offsets_[term]);
+  }
   const Shard& s = shard(term);
   if (frozen()) {
     auto it = s.lists.find(term);
-    return it == s.lists.end() ? kEmpty : it->second;
+    return it == s.lists.end() ? std::span<const SimilarTerm>{}
+                               : std::span<const SimilarTerm>(it->second);
   }
   std::shared_lock lock(s.mu);
   auto it = s.lists.find(term);
-  // The reference outlives the lock: entries are node-stable and never
+  // The span outlives the lock: entries are node-stable and never
   // erased, and the serving layer never replaces a term's list once a
   // reader can reach it.
-  return it == s.lists.end() ? kEmpty : it->second;
+  return it == s.lists.end() ? std::span<const SimilarTerm>{}
+                             : std::span<const SimilarTerm>(it->second);
 }
 
 bool SimilarityIndex::Contains(TermId term) const {
+  if (InFlat(term)) return true;
   const Shard& s = shard(term);
   if (frozen()) return s.lists.count(term) > 0;
   std::shared_lock lock(s.mu);
@@ -126,6 +145,7 @@ bool SimilarityIndex::Contains(TermId term) const {
 
 size_t SimilarityIndex::size() const {
   size_t total = 0;
+  for (uint8_t present : flat_present_) total += present != 0 ? 1 : 0;
   for (size_t i = 0; i < kNumShards; ++i) {
     if (frozen()) {
       total += shards_[i].lists.size();
@@ -150,10 +170,23 @@ double SimilarityIndex::SimilarityOf(TermId a, TermId b) const {
 
 void SimilarityIndex::Insert(TermId term, std::vector<SimilarTerm> list) {
   KQR_CHECK(!frozen()) << "Insert into a frozen SimilarityIndex";
+  KQR_CHECK(!InFlat(term)) << "Insert over a flat (mapped) similarity entry";
   Shard& s = shard(term);
   std::unique_lock lock(s.mu);
   auto [it, inserted] = s.lists.try_emplace(term, std::move(list));
   if (!inserted) it->second = std::move(list);
+}
+
+void SimilarityIndex::InstallFlat(std::vector<uint64_t> offsets,
+                                  std::vector<SimilarTerm> pool,
+                                  std::vector<uint8_t> present) {
+  KQR_CHECK(offsets.size() == present.size() + 1)
+      << "flat offsets must frame every term";
+  KQR_CHECK(offsets.empty() || offsets.back() == pool.size())
+      << "flat offsets must frame the pool";
+  flat_offsets_ = std::move(offsets);
+  flat_pool_ = std::move(pool);
+  flat_present_ = std::move(present);
 }
 
 }  // namespace kqr

@@ -5,17 +5,24 @@
 // lazy per-term preparation, so Lookup/Contains/SimilarityOf and Insert may
 // be called concurrently from many threads. Storage is sharded by term id;
 // each shard pairs a reader-writer lock with a node-stable hash map, so a
-// reference returned by Lookup stays valid while other threads insert
+// span returned by Lookup stays valid while other threads insert
 // (entries are never erased; Insert on an existing term replaces the list
 // contents in place and is only safe when no reader holds that term's
-// reference — the serving layer inserts each term at most once). Freeze()
+// span — the serving layer inserts each term at most once). Freeze()
 // marks the index complete, after which every read skips locking entirely.
+//
+// A second storage tier exists for deserialized models: InstallFlat loads
+// a whole frozen index as one offset-framed pool (model format v3). Terms
+// present in the flat tier are immutable and served without touching the
+// sharded maps; terms absent from it still go through the lazy path, so a
+// partially prepared model round-trips through a file correctly.
 
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -73,8 +80,8 @@ class SimilarityIndex {
                                   OfflineBuildStats* build_stats = nullptr);
 
   /// Ranked similar terms; empty if the term has no entry. The returned
-  /// reference stays valid across concurrent Inserts of other terms.
-  const std::vector<SimilarTerm>& Lookup(TermId term) const;
+  /// span stays valid across concurrent Inserts of other terms.
+  std::span<const SimilarTerm> Lookup(TermId term) const;
 
   bool Contains(TermId term) const;
   size_t size() const;
@@ -85,8 +92,18 @@ class SimilarityIndex {
 
   /// \brief Installs (or replaces) a term's list. Used by the serving
   /// layer's lazy per-term preparation and by alternative similarity
-  /// providers (e.g. the co-occurrence baseline). Checks against Freeze().
+  /// providers (e.g. the co-occurrence baseline). Checks against Freeze()
+  /// and against the flat tier (flat entries are immutable).
   void Insert(TermId term, std::vector<SimilarTerm> list);
+
+  /// \brief Installs the flat frozen tier from deserialized parts (model
+  /// format v3): `offsets` has `present.size() + 1` entries framing
+  /// `pool`, and `present[t]` says whether term t has an entry (possibly
+  /// empty — distinct from "not prepared"). Must run before the index is
+  /// shared across threads.
+  void InstallFlat(std::vector<uint64_t> offsets,
+                   std::vector<SimilarTerm> pool,
+                   std::vector<uint8_t> present);
 
   /// \brief Declares the index complete: no further Insert is allowed and
   /// reads stop taking locks. Called once the offline stage has prepared
@@ -104,12 +121,21 @@ class SimilarityIndex {
 
   Shard& shard(TermId term) const { return shards_[term % kNumShards]; }
 
+  bool InFlat(TermId term) const {
+    return term < flat_present_.size() && flat_present_[term] != 0;
+  }
+
   // unique_ptr keeps shards at stable addresses and makes moves cheap
   // (moving is NOT thread-safe; it happens only while single-threaded,
   // before a model is shared).
   std::unique_ptr<Shard[]> shards_;
   std::atomic<bool> frozen_{false};
+
+  // Flat frozen tier (InstallFlat). Written once single-threaded, then
+  // read-only — no locking needed.
+  std::vector<uint64_t> flat_offsets_;  // size flat_present_.size() + 1
+  std::vector<SimilarTerm> flat_pool_;
+  std::vector<uint8_t> flat_present_;
 };
 
 }  // namespace kqr
-

@@ -287,13 +287,19 @@ TEST(ModelAuditor, ReportFormatsFailuresUsefully) {
 }
 
 TEST(ModelAuditor, ValidatorsRejectWhatTheLoaderMustNotImport) {
-  EXPECT_TRUE(ValidateSimilarList(0, {{1, 0.9}, {2, 0.1}}, 8).ok());
-  EXPECT_TRUE(ValidateSimilarList(0, {{1, -0.1}}, 8).IsCorruption());
-  EXPECT_TRUE(ValidateSimilarList(0, {{9, 0.5}}, 8).IsCorruption());
-  EXPECT_TRUE(ValidateCloseList(0, {{1, 2.5, 3}}, 8).ok());
-  EXPECT_TRUE(ValidateCloseList(0, {{1, 2.5, 0}}, 8).IsCorruption());
+  auto sim = [](std::initializer_list<SimilarTerm> l) {
+    return std::vector<SimilarTerm>(l);
+  };
+  auto clo = [](std::initializer_list<CloseTerm> l) {
+    return std::vector<CloseTerm>(l);
+  };
+  EXPECT_TRUE(ValidateSimilarList(0, sim({{1, 0.9}, {2, 0.1}}), 8).ok());
+  EXPECT_TRUE(ValidateSimilarList(0, sim({{1, -0.1}}), 8).IsCorruption());
+  EXPECT_TRUE(ValidateSimilarList(0, sim({{9, 0.5}}), 8).IsCorruption());
+  EXPECT_TRUE(ValidateCloseList(0, clo({{1, 2.5, 3}}), 8).ok());
+  EXPECT_TRUE(ValidateCloseList(0, clo({{1, 2.5, 0}}), 8).IsCorruption());
   EXPECT_TRUE(
-      ValidateCloseList(0, {{1, 1.0, 1}, {1, 1.0, 1}}, 8).IsCorruption());
+      ValidateCloseList(0, clo({{1, 1.0, 1}, {1, 1.0, 1}}), 8).IsCorruption());
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,302 @@
+// Property tests for the v3 codec layer (common/io/codec.h): randomized
+// round trips over adversarial value distributions, plus systematic
+// truncation/garbage sweeps. Every decode failure must be a typed
+// kCorruption — never a crash, never a silently wrong vector.
+
+#include "common/io/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kqr {
+namespace {
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size());
+}
+
+// -- Distributions -----------------------------------------------------
+
+std::vector<uint64_t> RandomU64s(Rng* rng, size_t n) {
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) {
+    // Mix magnitudes: small ids, medium counters, full-width values.
+    switch (rng->NextBounded(4)) {
+      case 0: v = rng->NextBounded(16); break;
+      case 1: v = rng->NextBounded(1 << 20); break;
+      case 2: v = rng->Next() & 0xffffffffULL; break;
+      default: v = rng->Next(); break;
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> SortedU64s(Rng* rng, size_t n) {
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  uint64_t acc = rng->NextBounded(1000);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(acc);
+    // Runs of equal values are common in CSR offsets (empty rows).
+    if (rng->NextBounded(3) != 0) acc += rng->NextBounded(1 << 16);
+  }
+  return out;
+}
+
+std::vector<uint32_t> RandomU32s(Rng* rng, size_t n) {
+  std::vector<uint32_t> out(n);
+  for (auto& v : out) {
+    switch (rng->NextBounded(4)) {
+      case 0: v = 0; break;
+      case 1: v = static_cast<uint32_t>(rng->NextBounded(256)); break;
+      case 2: v = static_cast<uint32_t>(rng->Next() & 0xffffffffULL); break;
+      default:
+        v = std::numeric_limits<uint32_t>::max() -
+            static_cast<uint32_t>(rng->NextBounded(3));
+        break;
+    }
+  }
+  return out;
+}
+
+// -- Varints -----------------------------------------------------------
+
+TEST(Codec, VarintRoundTripAdversarial) {
+  Rng rng(7);
+  for (size_t trial = 0; trial < 50; ++trial) {
+    const size_t n = static_cast<size_t>(rng.NextBounded(300));
+    const std::vector<uint64_t> values = RandomU64s(&rng, n);
+    std::string payload;
+    EncodeVarints(values, &payload);
+    std::vector<uint64_t> decoded;
+    ASSERT_TRUE(DecodeVarints(AsBytes(payload), n, &decoded).ok());
+    EXPECT_EQ(decoded, values);
+  }
+}
+
+TEST(Codec, VarintEdgeValues) {
+  const std::vector<uint64_t> values = {
+      0, 1, 127, 128, 16383, 16384,
+      std::numeric_limits<uint64_t>::max() - 1,
+      std::numeric_limits<uint64_t>::max()};
+  std::string payload;
+  EncodeVarints(values, &payload);
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DecodeVarints(AsBytes(payload), values.size(), &decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(Codec, VarintEmptyAndSingle) {
+  std::string payload;
+  EncodeVarints({}, &payload);
+  EXPECT_TRUE(payload.empty());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DecodeVarints(AsBytes(payload), 0, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+
+  const std::vector<uint64_t> one = {std::numeric_limits<uint64_t>::max()};
+  EncodeVarints(one, &payload);
+  ASSERT_TRUE(DecodeVarints(AsBytes(payload), 1, &decoded).ok());
+  EXPECT_EQ(decoded, one);
+}
+
+TEST(Codec, VarintRejectsEveryTruncation) {
+  Rng rng(11);
+  const std::vector<uint64_t> values = RandomU64s(&rng, 40);
+  std::string payload;
+  EncodeVarints(values, &payload);
+  std::vector<uint64_t> decoded;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::string trunc = payload.substr(0, cut);
+    EXPECT_TRUE(DecodeVarints(AsBytes(trunc), values.size(), &decoded)
+                    .IsCorruption())
+        << "cut at " << cut;
+  }
+}
+
+TEST(Codec, VarintRejectsTrailingBytes) {
+  std::string payload;
+  EncodeVarints(std::vector<uint64_t>{5, 6}, &payload);
+  payload.push_back('\x01');
+  std::vector<uint64_t> decoded;
+  EXPECT_TRUE(DecodeVarints(AsBytes(payload), 2, &decoded).IsCorruption());
+}
+
+TEST(Codec, VarintRejectsOverlongAndOverflow) {
+  // 11 continuation bytes: longer than any valid u64 varint.
+  std::string overlong(10, '\x80');
+  overlong.push_back('\x01');
+  std::vector<uint64_t> decoded;
+  EXPECT_TRUE(DecodeVarints(AsBytes(overlong), 1, &decoded).IsCorruption());
+  // 10 bytes whose top bits overflow past 64.
+  std::string overflow(9, '\x80');
+  overflow.push_back('\x7f');
+  EXPECT_TRUE(DecodeVarints(AsBytes(overflow), 1, &decoded).IsCorruption());
+}
+
+// -- Delta varints -----------------------------------------------------
+
+TEST(Codec, DeltaRoundTripSortedRuns) {
+  Rng rng(13);
+  for (size_t trial = 0; trial < 50; ++trial) {
+    const size_t n = static_cast<size_t>(rng.NextBounded(300));
+    const std::vector<uint64_t> values = SortedU64s(&rng, n);
+    std::string payload;
+    EncodeDeltaVarints(values, &payload);
+    std::vector<uint64_t> decoded;
+    ASSERT_TRUE(DecodeDeltaVarints(AsBytes(payload), n, &decoded).ok());
+    EXPECT_EQ(decoded, values);
+  }
+}
+
+TEST(Codec, DeltaRoundTripAllEqual) {
+  const std::vector<uint64_t> values(64, 42);
+  std::string payload;
+  EncodeDeltaVarints(values, &payload);
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(
+      DecodeDeltaVarints(AsBytes(payload), values.size(), &decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(Codec, DeltaRejectsAccumulatorOverflow) {
+  // First value near max, second delta pushes past 2^64.
+  std::string payload;
+  PutVarint64(&payload, std::numeric_limits<uint64_t>::max() - 1);
+  PutVarint64(&payload, 5);
+  std::vector<uint64_t> decoded;
+  EXPECT_TRUE(
+      DecodeDeltaVarints(AsBytes(payload), 2, &decoded).IsCorruption());
+}
+
+TEST(Codec, DeltaRejectsTruncation) {
+  const std::vector<uint64_t> values = {0, 10, 10, 500, 100000};
+  std::string payload;
+  EncodeDeltaVarints(values, &payload);
+  std::vector<uint64_t> decoded;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_TRUE(DecodeDeltaVarints(AsBytes(payload.substr(0, cut)),
+                                   values.size(), &decoded)
+                    .IsCorruption());
+  }
+}
+
+// -- Bit packing -------------------------------------------------------
+
+TEST(Codec, BitPackedRoundTripAdversarial) {
+  Rng rng(17);
+  for (size_t trial = 0; trial < 50; ++trial) {
+    const size_t n = static_cast<size_t>(rng.NextBounded(520));
+    const std::vector<uint32_t> values = RandomU32s(&rng, n);
+    std::string payload;
+    EncodeBitPacked(values, &payload);
+    std::vector<uint32_t> decoded;
+    ASSERT_TRUE(DecodeBitPacked(AsBytes(payload), n, &decoded).ok());
+    EXPECT_EQ(decoded, values);
+  }
+}
+
+TEST(Codec, BitPackedBlockBoundaries) {
+  Rng rng(19);
+  // Sizes straddling the 128-value block boundary, including the empty
+  // and single-value cases.
+  for (size_t n : {size_t{0}, size_t{1}, kBitPackBlock - 1, kBitPackBlock,
+                   kBitPackBlock + 1, 2 * kBitPackBlock,
+                   2 * kBitPackBlock + 7}) {
+    const std::vector<uint32_t> values = RandomU32s(&rng, n);
+    std::string payload;
+    EncodeBitPacked(values, &payload);
+    std::vector<uint32_t> decoded;
+    ASSERT_TRUE(DecodeBitPacked(AsBytes(payload), n, &decoded).ok()) << n;
+    EXPECT_EQ(decoded, values);
+  }
+}
+
+TEST(Codec, BitPackedAllZerosIsCompact) {
+  const std::vector<uint32_t> zeros(kBitPackBlock * 3, 0);
+  std::string payload;
+  EncodeBitPacked(zeros, &payload);
+  // Width-0 blocks carry only their width byte.
+  EXPECT_EQ(payload.size(), 3u);
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(DecodeBitPacked(AsBytes(payload), zeros.size(), &decoded).ok());
+  EXPECT_EQ(decoded, zeros);
+}
+
+TEST(Codec, BitPackedRejectsBadWidthTruncationAndPadding) {
+  std::vector<uint32_t> decoded;
+  // Width byte > 32.
+  std::string bad_width(1, '\x21');
+  EXPECT_TRUE(DecodeBitPacked(AsBytes(bad_width), 1, &decoded).IsCorruption());
+
+  const std::vector<uint32_t> values = {1, 2, 3, 400, 5};
+  std::string payload;
+  EncodeBitPacked(values, &payload);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_TRUE(DecodeBitPacked(AsBytes(payload.substr(0, cut)),
+                                values.size(), &decoded)
+                    .IsCorruption());
+  }
+  // Nonzero padding bits in the final partial block.
+  std::string tampered = payload;
+  tampered.back() = static_cast<char>(0xff);
+  EXPECT_TRUE(
+      DecodeBitPacked(AsBytes(tampered), values.size(), &decoded)
+          .IsCorruption());
+}
+
+// -- ByteReader --------------------------------------------------------
+
+TEST(Codec, ByteReaderNeverOverruns) {
+  std::string payload;
+  PutU32Le(&payload, 0xdeadbeef);
+  PutU64Le(&payload, 0x0123456789abcdefULL);
+  ByteReader reader(AsBytes(payload));
+  auto u32 = reader.U32Le();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(*u32, 0xdeadbeefu);
+  auto u64 = reader.U64Le();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(*u64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(reader.done());
+  EXPECT_TRUE(reader.U32Le().status().IsCorruption());
+  EXPECT_TRUE(reader.Bytes(1).status().IsCorruption());
+}
+
+TEST(Codec, FnvMatchesKnownVector) {
+  // FNV-1a 64 of the empty input is the basis; of "a" a published value.
+  EXPECT_EQ(Fnv1aBytes(kFnv64Basis, "", 0), kFnv64Basis);
+  EXPECT_EQ(Fnv1aBytes(kFnv64Basis, "a", 1), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Codec, FnvWordsDetectsEveryBitFlip) {
+  // The word-folded variant (section payload checksum): empty input is
+  // the basis, sub-word inputs fall back to byte folding, and flipping
+  // any single bit — in the word-aligned body or the byte tail — changes
+  // the hash.
+  EXPECT_EQ(Fnv1aWords({}), kFnv64Basis);
+  const std::string one = "a";
+  EXPECT_EQ(Fnv1aWords(AsBytes(one)), Fnv1aBytes(kFnv64Basis, "a", 1));
+
+  Rng rng(4242);
+  std::string data(19, '\0');  // 2 full words + a 3-byte tail
+  for (char& c : data) c = static_cast<char>(rng.Next() & 0xff);
+  const uint64_t base = Fnv1aWords(AsBytes(data));
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = data;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_NE(Fnv1aWords(AsBytes(corrupt)), base)
+          << "bit " << bit << " of byte " << byte;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kqr

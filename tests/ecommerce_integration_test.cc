@@ -63,7 +63,7 @@ TEST_F(EcommerceIntegration, DomainSimilarityIsTopical) {
   size_t matched = 0, judged = 0;
   for (const SimilarTerm& s : similar) {
     auto topics =
-        retail.TopicsOfStem(engine_->vocab().text(s.term));
+        retail.TopicsOfStem(std::string(engine_->vocab().text(s.term)));
     if (topics.empty()) continue;
     ++judged;
     if (std::find(topics.begin(), topics.end(), camping_topics[0]) !=

@@ -83,7 +83,7 @@ TEST_F(GenericTermsTest, SimilarListsMostlyNonGeneric) {
   ASSERT_GE(list.size(), 5u);
   size_t generic_in_head = 0;
   for (size_t i = 0; i < 5; ++i) {
-    if (IsGeneric(engine_->vocab().text(list[i].term))) {
+    if (IsGeneric(std::string(engine_->vocab().text(list[i].term)))) {
       ++generic_in_head;
     }
   }
@@ -99,7 +99,7 @@ TEST_F(GenericTermsTest, TopSuggestionsMostlyNonGeneric) {
     for (TermId t : q.terms) {
       if (t == kInvalidTermId) continue;
       ++total_positions;
-      if (IsGeneric(engine_->vocab().text(t))) ++generic_positions;
+      if (IsGeneric(std::string(engine_->vocab().text(t)))) ++generic_positions;
     }
   }
   ASSERT_GT(total_positions, 0u);

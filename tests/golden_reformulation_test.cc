@@ -29,6 +29,7 @@
 
 #include "common/logging.h"
 #include "core/engine_builder.h"
+#include "core/model_file.h"
 #include "datagen/dblp_gen.h"
 #include "eval/experiment.h"
 
@@ -86,7 +87,7 @@ std::vector<std::vector<TermId>> GoldenQueries(const ServingModel& model) {
 std::string TermToken(const ServingModel& model, TermId t) {
   if (t == kInvalidTermId) return "-";
   return std::to_string(model.vocab().field_of(t)) + ":" +
-         model.vocab().text(t);
+         std::string(model.vocab().text(t));
 }
 
 uint64_t ScoreBits(double d) {
@@ -281,6 +282,43 @@ TEST(GoldenReformulation, BitStableAcrossBuildThreadCounts) {
     for (size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i].terms, b[i].terms) << "query " << qi << " rank " << i;
       EXPECT_EQ(ScoreBits(a[i].score), ScoreBits(b[i].score))
+          << "query " << qi << " rank " << i;
+    }
+  }
+}
+
+TEST(GoldenReformulation, MappedModelReproducesGoldenRankings) {
+  // The v3 model file is a serving format, not a cache: a model saved and
+  // reopened through the mmap path must reproduce the golden rankings
+  // bit for bit, term for term.
+  const ServingModel& source = GoldenModel();
+  const std::string path = ::testing::TempDir() + "/golden_model.kqrm";
+  const Status saved = EngineBuilder::SaveModel(source, path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+  auto corpus = GenerateDblp(GoldenCorpus());
+  ASSERT_TRUE(corpus.ok());
+  EngineOptions options;
+  options.precompute_offline = true;
+  auto mapped_result =
+      ServingModel::OpenMapped(std::move(corpus->db), path, options);
+  ASSERT_TRUE(mapped_result.ok()) << mapped_result.status().ToString();
+  const ServingModel& mapped = **mapped_result;
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(mapped.fully_prepared());
+  const std::vector<std::vector<TermId>> queries = GoldenQueries(source);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto want_result = source.ReformulateTerms(queries[qi], kTopK);
+    const auto got_result = mapped.ReformulateTerms(queries[qi], kTopK);
+    ASSERT_TRUE(want_result.ok() && got_result.ok()) << "query " << qi;
+    const auto& want = *want_result;
+    const auto& got = *got_result;
+    ASSERT_EQ(want.size(), got.size()) << "query " << qi;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].terms, got[i].terms)
+          << "query " << qi << " rank " << i;
+      EXPECT_EQ(ScoreBits(want[i].score), ScoreBits(got[i].score))
           << "query " << qi << " rank " << i;
     }
   }

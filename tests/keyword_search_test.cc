@@ -25,7 +25,7 @@ class KeywordSearchTest : public ::testing::Test {
     KeywordQuery q;
     for (TermId t : terms) {
       q.keywords.push_back(
-          QueryKeyword{corpus_.vocab.text(t), {t}});
+          QueryKeyword{std::string(corpus_.vocab.text(t)), {t}});
     }
     return q;
   }

@@ -1,0 +1,285 @@
+// Model format v3 end-to-end tests: bit-identical round trips (eager and
+// partially prepared models, mmap and heap read paths), and a corruption
+// suite mirroring snapshot_test.cc — truncations, per-section bit flips,
+// wrong magic, bad section table, checksum mismatches. Every malformed
+// file must fail with a typed Status and import nothing.
+
+#include "core/model_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "audit/model_auditor.h"
+#include "common/io/codec.h"
+#include "common/io/container.h"
+#include "common/io/io.h"
+#include "core/engine_builder.h"
+#include "core/snapshot.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+std::shared_ptr<const ServingModel> MakeEagerModel() {
+  EngineOptions options;
+  options.precompute_offline = true;
+  auto model = EngineBuilder(options).Build(testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+std::shared_ptr<const ServingModel> MakeLazyModel() {
+  auto model = EngineBuilder().Build(testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+/// Temp file that cleans up after itself.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Status WriteBlob(const std::string& path, const std::string& blob) {
+  return WriteFileBytes(
+      path, std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(blob.data()),
+                blob.size()));
+}
+
+void ExpectSameReformulations(const ServingModel& a, const ServingModel& b,
+                              const std::vector<TermId>& terms) {
+  auto ra = a.ReformulateTerms(terms, 5);
+  auto rb = b.ReformulateTerms(terms, 5);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  ASSERT_EQ(ra->size(), rb->size());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i].terms, (*rb)[i].terms);
+    // Bit-identical, not approximately equal: the mapped model decodes
+    // the very scores the source model computed.
+    EXPECT_EQ((*ra)[i].score, (*rb)[i].score);
+  }
+}
+
+TEST(ModelFile, EagerRoundTripIsBitIdentical) {
+  auto source = MakeEagerModel();
+  TempFile file("eager_roundtrip.kqrm");
+  ASSERT_TRUE(SaveModelFile(*source, file.path()).ok());
+
+  EngineOptions options;
+  options.precompute_offline = true;
+  auto opened = ServingModel::OpenMapped(testing_fixtures::MakeMicroDblp(),
+                                         file.path(), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const ServingModel& mapped = **opened;
+
+  EXPECT_EQ(ModelFingerprint(*source), ModelFingerprint(mapped));
+  EXPECT_TRUE(mapped.fully_prepared());
+  EXPECT_EQ(mapped.vocab().size(), source->vocab().size());
+  EXPECT_EQ(mapped.similarity_index().size(),
+            source->similarity_index().size());
+  EXPECT_EQ(mapped.closeness_index().size(),
+            source->closeness_index().size());
+  EXPECT_FALSE(mapped.term_bounds().empty());
+
+  auto terms = source->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  ExpectSameReformulations(*source, mapped, *terms);
+  // Vocabulary text is served zero-copy from the file; make sure lookups
+  // agree with the source end to end.
+  for (TermId t = 0; t < source->vocab().size(); ++t) {
+    EXPECT_EQ(source->vocab().text(t), mapped.vocab().text(t));
+    EXPECT_EQ(source->vocab().field_of(t), mapped.vocab().field_of(t));
+  }
+}
+
+TEST(ModelFile, MappedModelPassesFullAudit) {
+  auto source = MakeEagerModel();
+  TempFile file("audited.kqrm");
+  ASSERT_TRUE(EngineBuilder::SaveModel(*source, file.path()).ok());
+  EngineOptions options;
+  options.precompute_offline = true;
+  auto opened = ServingModel::OpenMapped(testing_fixtures::MakeMicroDblp(),
+                                         file.path(), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const AuditReport report = ModelAuditor().Audit(**opened);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ModelFile, HeapFallbackMatchesMmap) {
+  auto source = MakeEagerModel();
+  TempFile file("heap_fallback.kqrm");
+  ASSERT_TRUE(SaveModelFile(*source, file.path()).ok());
+  EngineOptions options;
+  options.precompute_offline = true;
+  ModelOpenOptions open;
+  open.prefer_mmap = false;
+  auto opened = ServingModel::OpenMapped(testing_fixtures::MakeMicroDblp(),
+                                         file.path(), options, open);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto terms = source->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  ExpectSameReformulations(*source, **opened, *terms);
+}
+
+TEST(ModelFile, PartiallyPreparedModelRoundTripsAndStaysLazy) {
+  auto source = MakeLazyModel();
+  auto terms = source->ResolveQuery("uncertain query");
+  ASSERT_TRUE(terms.ok());
+  ASSERT_TRUE(source->ReformulateTerms(*terms, 5).ok());
+  ASSERT_FALSE(source->PreparedTerms().empty());
+  ASSERT_FALSE(source->fully_prepared());
+
+  TempFile file("partial.kqrm");
+  ASSERT_TRUE(SaveModelFile(*source, file.path()).ok());
+  auto opened =
+      ServingModel::OpenMapped(testing_fixtures::MakeMicroDblp(), file.path());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const ServingModel& mapped = **opened;
+
+  EXPECT_EQ(mapped.PreparedTerms(), source->PreparedTerms());
+  EXPECT_FALSE(mapped.fully_prepared());
+  ExpectSameReformulations(*source, mapped, *terms);
+
+  // A query over unprepared terms triggers lazy preparation on the mapped
+  // model, exactly like on the source model.
+  auto more = source->ResolveQuery("mining pattern");
+  ASSERT_TRUE(more.ok());
+  ExpectSameReformulations(*source, mapped, *more);
+  EXPECT_EQ(mapped.PreparedTerms(), source->PreparedTerms());
+}
+
+TEST(ModelFile, MissingFileIsIOError) {
+  auto opened = ServingModel::OpenMapped(testing_fixtures::MakeMicroDblp(),
+                                         ::testing::TempDir() +
+                                             "/no_such_model.kqrm");
+  EXPECT_TRUE(opened.status().IsIOError());
+}
+
+TEST(ModelFile, RejectsOptionsMismatch) {
+  auto source = MakeEagerModel();
+  TempFile file("options_mismatch.kqrm");
+  ASSERT_TRUE(SaveModelFile(*source, file.path()).ok());
+  EngineOptions other;
+  other.similarity.list_size = 7;  // disagrees with the stored lists
+  auto opened = ServingModel::OpenMapped(testing_fixtures::MakeMicroDblp(),
+                                         file.path(), other);
+  EXPECT_TRUE(opened.status().IsInvalidArgument())
+      << opened.status().ToString();
+}
+
+// -- Corruption suite --------------------------------------------------
+
+class ModelFileCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto source = MakeEagerModel();
+    auto blob = SerializeModel(*source);
+    ASSERT_TRUE(blob.ok());
+    blob_ = *blob;
+  }
+
+  /// Writes `blob` and tries to open it; returns the open status.
+  Status TryOpen(const std::string& blob, bool verify_checksums = true) {
+    TempFile file("corrupt_probe.kqrm");
+    Status write = WriteBlob(file.path(), blob);
+    KQR_CHECK(write.ok()) << write.ToString();
+    EngineOptions options;
+    options.precompute_offline = true;
+    ModelOpenOptions open;
+    open.verify_checksums = verify_checksums;
+    auto opened = ServingModel::OpenMapped(testing_fixtures::MakeMicroDblp(),
+                                           file.path(), options, open);
+    return opened.status();
+  }
+
+  std::string blob_;
+};
+
+TEST_F(ModelFileCorruptionTest, RejectsWrongMagic) {
+  std::string bad = blob_;
+  bad[0] = 'X';
+  EXPECT_TRUE(TryOpen(bad).IsCorruption());
+}
+
+TEST_F(ModelFileCorruptionTest, RejectsEmptyAndTinyFiles) {
+  EXPECT_FALSE(TryOpen("").ok());
+  EXPECT_FALSE(TryOpen("kqr").ok());
+  EXPECT_FALSE(TryOpen(blob_.substr(0, 39)).ok());  // header cut short
+}
+
+TEST_F(ModelFileCorruptionTest, RejectsEveryCoarseTruncation) {
+  // Sweep truncation points across the whole file at a stride fine
+  // enough to land inside every region (header, payloads, table).
+  const size_t stride = std::max<size_t>(1, blob_.size() / 97);
+  for (size_t cut = 0; cut < blob_.size(); cut += stride) {
+    const Status st = TryOpen(blob_.substr(0, cut));
+    EXPECT_FALSE(st.ok()) << "truncation at " << cut << " of "
+                          << blob_.size();
+  }
+}
+
+TEST_F(ModelFileCorruptionTest, RejectsBitFlipInEverySectionPayload) {
+  auto reader = ContainerReader::Open(
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(blob_.data()), blob_.size()),
+      true);
+  ASSERT_TRUE(reader.ok());
+  for (const SectionInfo& section : reader->sections()) {
+    if (section.length == 0) continue;
+    std::string bad = blob_;
+    const size_t victim = section.offset + section.length / 2;
+    bad[victim] = static_cast<char>(bad[victim] ^ 0x40);
+    const Status st = TryOpen(bad);
+    EXPECT_TRUE(st.IsCorruption())
+        << "flip in section " << section.name << " -> " << st.ToString();
+  }
+}
+
+TEST_F(ModelFileCorruptionTest, RejectsBadSectionTableOffset) {
+  std::string bad = blob_;
+  // table_offset lives at header bytes [24, 32); point it past the end.
+  std::string patched;
+  PutU64Le(&patched, blob_.size() + 1024);
+  bad.replace(24, 8, patched);
+  EXPECT_TRUE(TryOpen(bad).IsCorruption());
+}
+
+TEST_F(ModelFileCorruptionTest, RejectsTamperedHeaderCounts) {
+  std::string bad = blob_;
+  bad[8] = static_cast<char>(bad[8] ^ 0x01);  // version word
+  EXPECT_TRUE(TryOpen(bad).IsCorruption());
+  bad = blob_;
+  bad[12] = static_cast<char>(bad[12] ^ 0x01);  // num_sections word
+  EXPECT_TRUE(TryOpen(bad).IsCorruption());
+}
+
+TEST_F(ModelFileCorruptionTest, ChecksumVerificationCatchesScoreFlips) {
+  // Flip a byte inside a raw score array: structurally valid (any bytes
+  // are a double), so only the payload checksum can catch it.
+  auto reader = ContainerReader::Open(
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(blob_.data()), blob_.size()),
+      true);
+  ASSERT_TRUE(reader.ok());
+  for (const SectionInfo& section : reader->sections()) {
+    if (section.name != "sim.scores") continue;
+    ASSERT_GT(section.length, 0u);
+    std::string bad = blob_;
+    const size_t victim = section.offset + 3;
+    bad[victim] = static_cast<char>(bad[victim] ^ 0x01);
+    EXPECT_TRUE(TryOpen(bad, /*verify_checksums=*/true).IsCorruption());
+  }
+}
+
+}  // namespace
+}  // namespace kqr

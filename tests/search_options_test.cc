@@ -26,7 +26,7 @@ class SearchOptionsTest : public ::testing::Test {
   KeywordQuery QueryOf(std::vector<TermId> terms) {
     KeywordQuery q;
     for (TermId t : terms) {
-      q.keywords.push_back(QueryKeyword{corpus_.vocab.text(t), {t}});
+      q.keywords.push_back(QueryKeyword{std::string(corpus_.vocab.text(t)), {t}});
     }
     return q;
   }

@@ -29,6 +29,12 @@ the same line):
                     flush once per request/batch, keeping the observability
                     overhead inside its 3% budget (cache-local caches with
                     an explicit lint:allow are the only exception)
+  io-discipline     src/ touches the filesystem only through common/io
+                    (MappedFile, WriteFileBytes, ReadFileString) plus the
+                    two grandfathered text loaders (core/snapshot.cc,
+                    storage/csv.cc) — raw fopen/fstream scattered through
+                    src/ is how formats drift away from the checksummed
+                    container discipline
 
 Usage: python3 tools/lint.py [--root REPO_ROOT]
 Exits 0 when clean, 1 with findings on stderr.
@@ -265,6 +271,44 @@ class Linter:
                                 "budget)",
                                 raw_lines[line_no - 1])
 
+    # -- io-discipline --------------------------------------------------
+
+    # Files in src/ allowed to open files directly: the io layer itself,
+    # and the two pre-v3 text formats (v2 snapshot, CSV corpus loader)
+    # whose line-oriented parsers predate the container. Everything else
+    # goes through common/io so persistence stays mmap-able and
+    # checksummed.
+    IO_ALLOWLIST_PREFIXES = (
+        os.path.join("src", "common", "io") + os.sep,
+    )
+    IO_ALLOWLIST_FILES = frozenset({
+        os.path.join("src", "core", "snapshot.cc"),
+        os.path.join("src", "storage", "csv.cc"),
+    })
+    IO_CALL_RE = re.compile(
+        r"std::(?:fopen|i?o?fstream)\b|(?<![\w.:>])fopen\s*\(")
+
+    def check_io_discipline(self):
+        for path in find_files(self.root, ("src",), (".h", ".cc")):
+            rel = os.path.relpath(path, self.root)
+            if rel in self.IO_ALLOWLIST_FILES:
+                continue
+            if any(rel.startswith(p) for p in self.IO_ALLOWLIST_PREFIXES):
+                continue
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            stripped = strip_comments_and_strings("\n".join(raw_lines))
+            for line_no, line in enumerate(stripped.splitlines(), 1):
+                m = self.IO_CALL_RE.search(line)
+                if m:
+                    self.report(path, line_no, "io-discipline",
+                                f"raw file I/O ('{m.group(0)}') in src/ — "
+                                "go through common/io (MappedFile, "
+                                "WriteFileBytes, ReadFileString) so "
+                                "persistence stays checksummed and "
+                                "mmap-able",
+                                raw_lines[line_no - 1])
+
     # -- include-cycle --------------------------------------------------
 
     INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
@@ -310,6 +354,7 @@ class Linter:
         self.check_options_mutation()
         self.check_metrics_discipline()
         self.check_facade_includes()
+        self.check_io_discipline()
         self.check_include_cycles()
         return self.findings
 
