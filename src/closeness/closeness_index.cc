@@ -1,7 +1,6 @@
 #include "closeness/closeness_index.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
@@ -93,7 +92,7 @@ void ClosenessIndex::Insert(TermId term, std::vector<CloseTerm> list) {
   for (const CloseTerm& c : list) {
     uint64_t key = PairKey(term, c.term);
     PairShard& ps = pair_shard(key);
-    std::unique_lock lock(ps.mu);
+    WriterMutexLock lock(&ps.mu);
     auto [it, inserted] =
         ps.pairs.try_emplace(key, PairEntry{c.closeness, c.distance});
     if (!inserted) {
@@ -105,7 +104,7 @@ void ClosenessIndex::Insert(TermId term, std::vector<CloseTerm> list) {
     }
   }
   ListShard& ls = list_shard(term);
-  std::unique_lock lock(ls.mu);
+  WriterMutexLock lock(&ls.mu);
   auto [it, inserted] = ls.lists.try_emplace(term, std::move(list));
   if (!inserted) it->second = std::move(list);
 }
@@ -117,12 +116,10 @@ std::span<const CloseTerm> ClosenessIndex::Lookup(TermId term) const {
         flat_offsets_[term + 1] - flat_offsets_[term]);
   }
   const ListShard& ls = list_shard(term);
-  if (frozen()) {
-    auto it = ls.lists.find(term);
-    return it == ls.lists.end() ? std::span<const CloseTerm>{}
-                                : std::span<const CloseTerm>(it->second);
-  }
-  std::shared_lock lock(ls.mu);
+  // Frozen indexes skip the reader lock (no writer can exist after the
+  // frozen flag's release/acquire pair); OptionalReaderLock carries that
+  // argument for the capability analysis.
+  OptionalReaderLock lock(&ls.mu, !frozen());
   auto it = ls.lists.find(term);
   // The span outlives the lock: entries are node-stable and never
   // erased, and the serving layer never replaces a term's list once a
@@ -134,8 +131,7 @@ std::span<const CloseTerm> ClosenessIndex::Lookup(TermId term) const {
 bool ClosenessIndex::Contains(TermId term) const {
   if (InFlat(term)) return true;
   const ListShard& ls = list_shard(term);
-  if (frozen()) return ls.lists.count(term) > 0;
-  std::shared_lock lock(ls.mu);
+  OptionalReaderLock lock(&ls.mu, !frozen());
   return ls.lists.count(term) > 0;
 }
 
@@ -143,12 +139,8 @@ size_t ClosenessIndex::size() const {
   size_t total = 0;
   for (uint8_t present : flat_present_) total += present != 0 ? 1 : 0;
   for (size_t i = 0; i < kNumShards; ++i) {
-    if (frozen()) {
-      total += list_shards_[i].lists.size();
-    } else {
-      std::shared_lock lock(list_shards_[i].mu);
-      total += list_shards_[i].lists.size();
-    }
+    OptionalReaderLock lock(&list_shards_[i].mu, !frozen());
+    total += list_shards_[i].lists.size();
   }
   return total;
 }
@@ -188,12 +180,7 @@ bool ClosenessIndex::PairLookup(TermId a, TermId b, PairEntry* out) const {
     }
     found = true;
   };
-  if (frozen()) {
-    auto it = ps.pairs.find(key);
-    if (it != ps.pairs.end()) consider(it->second);
-    return found;
-  }
-  std::shared_lock lock(ps.mu);
+  OptionalReaderLock lock(&ps.mu, !frozen());
   auto it = ps.pairs.find(key);
   if (it != ps.pairs.end()) consider(it->second);
   return found;

@@ -21,12 +21,12 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "closeness/closeness.h"
+#include "common/mutex.h"
 #include "common/offline_stats.h"
 
 namespace kqr {
@@ -104,12 +104,12 @@ class ClosenessIndex {
   };
 
   struct ListShard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<TermId, std::vector<CloseTerm>> lists;
+    mutable SharedMutex mu;
+    std::unordered_map<TermId, std::vector<CloseTerm>> lists GUARDED_BY(mu);
   };
   struct PairShard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<uint64_t, PairEntry> pairs;
+    mutable SharedMutex mu;
+    std::unordered_map<uint64_t, PairEntry> pairs GUARDED_BY(mu);
   };
 
   static uint64_t PairKey(TermId a, TermId b) {

@@ -1,0 +1,157 @@
+// Annotated synchronization primitives: thin wrappers over the std
+// primitives carrying the thread-safety capability annotations from
+// common/thread_annotations.h, so Clang's -Wthread-safety analysis can
+// prove the lock discipline of every concurrent structure in src/ at
+// compile time (DESIGN.md §5d).
+//
+// All concurrent code outside common/ must use these types instead of raw
+// std::mutex / std::shared_mutex / std::lock_guard / std::unique_lock /
+// std::condition_variable — the lock-discipline rule in tools/lint.py
+// enforces it. The wrappers add no state and no behavior beyond the
+// annotations; every method is a single inlined forward to the std
+// primitive, so the generated code is identical to what the raw types
+// produced.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace kqr {
+
+class CondVar;
+
+/// \brief Exclusive mutex (std::mutex) as a capability. Non-reentrant.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // Wait() parks on the wrapped std::mutex
+  std::mutex mu_;
+};
+
+/// \brief Reader-writer mutex (std::shared_mutex) as a capability.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief Scoped exclusive lock on a Mutex (std::lock_guard equivalent).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Scoped exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Scoped shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->ReaderUnlock(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Conditionally-taken reader lock for frozen-fast-path reads.
+///
+/// The sharded indexes stop taking locks once Freeze() publishes the
+/// structure as complete: after the release/acquire pair on the frozen
+/// flag, no writer can exist, so unlocked reads are race-free. The
+/// capability analysis cannot see that argument — it is a happens-before
+/// proof, not a lock-discipline proof — so this scope declares the shared
+/// capability held either way (SCOPED_CAPABILITY), while at runtime the
+/// reader lock is skipped when `take` is false. This is the safe
+/// direction to shade the analysis: every guarded read still requires
+/// *some* justification in scope, and the only way to skip the RMW is the
+/// documented frozen contract. Callers must pass `take = !frozen()`
+/// (acquire-loaded) — nothing else.
+class SCOPED_CAPABILITY OptionalReaderLock {
+ public:
+  OptionalReaderLock(SharedMutex* mu, bool take) ACQUIRE_SHARED(mu)
+      : mu_(take ? mu : nullptr) {
+    if (mu_ != nullptr) mu_->ReaderLock();
+  }
+  ~OptionalReaderLock() RELEASE() {
+    if (mu_ != nullptr) mu_->ReaderUnlock();
+  }
+  OptionalReaderLock(const OptionalReaderLock&) = delete;
+  OptionalReaderLock& operator=(const OptionalReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Condition variable bound to kqr::Mutex. Wait() must run with
+/// the mutex held (checked by the analysis via REQUIRES); notification
+/// never requires the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, parks, and reacquires before returning.
+  /// Spurious wakeups happen; callers loop on their predicate:
+  ///   MutexLock lock(&mu_);
+  ///   while (!ready_) cv_.Wait(&mu_);
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait,
+    // then release the unique_lock's ownership claim so the scoped
+    // MutexLock in the caller remains the one true owner.
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace kqr

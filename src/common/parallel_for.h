@@ -4,6 +4,12 @@
 // want deterministic output write per-item results into disjoint,
 // pre-sized slots and merge them in item order afterwards — then the
 // output is independent of how items were scheduled across workers.
+//
+// Lock-free by design: the only shared mutable state is the claim
+// counter (one fetch_add per item), so there is nothing here for the
+// thread-safety capability analysis to guard — no Mutex, no GUARDED_BY.
+// Thread start/join provide the happens-before edges for the per-item
+// result slots.
 
 #pragma once
 

@@ -722,7 +722,7 @@ Status ServingModel::InitFromContainer(const ContainerReader& reader,
       }
       prepared_flags_[t].store(prepared[t], std::memory_order_relaxed);
     }
-    term_mutexes_ = std::make_unique<std::mutex[]>(kTermShards);
+    term_mutexes_ = std::make_unique<Mutex[]>(kTermShards);
     if (fully) {
       similarity_.Freeze();
       closeness_.Freeze();

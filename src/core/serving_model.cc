@@ -86,7 +86,7 @@ Status ServingModel::Init() {
   for (size_t t = 0; t < vocab_.size(); ++t) {
     prepared_flags_[t].store(0, std::memory_order_relaxed);
   }
-  term_mutexes_ = std::make_unique<std::mutex[]>(kTermShards);
+  term_mutexes_ = std::make_unique<Mutex[]>(kTermShards);
   return Status::OK();
 }
 
@@ -109,7 +109,7 @@ bool ServingModel::EnsureTerm(TermId term, RequestMetricsBlock* block) const {
     count_hit();
     return false;
   }
-  std::lock_guard<std::mutex> lock(term_mutexes_[term % kTermShards]);
+  MutexLock lock(&term_mutexes_[term % kTermShards]);
   if (prepared_flags_[term].load(std::memory_order_relaxed) != 0) {
     count_hit();
     return false;  // lost the race; the winner prepared it
@@ -134,7 +134,7 @@ void ServingModel::PrepareTerm(TermId term) const {
   // construct per term and not shareable across threads).
   std::unique_ptr<PrepareScratch> scratch;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(&pool_mu_);
     if (!pool_.empty()) {
       scratch = std::move(pool_.back());
       pool_.pop_back();
@@ -164,7 +164,7 @@ void ServingModel::PrepareTerm(TermId term) const {
         term, scratch->closeness.TopClose(term, options_.closeness.list_size));
   }
 
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   pool_.push_back(std::move(scratch));
 }
 
@@ -221,7 +221,7 @@ void ServingModel::ImportTermRelations(TermId term,
                                        std::vector<SimilarTerm> similar,
                                        std::vector<CloseTerm> close) const {
   if (term >= vocab_.size()) return;
-  std::lock_guard<std::mutex> lock(term_mutexes_[term % kTermShards]);
+  MutexLock lock(&term_mutexes_[term % kTermShards]);
   if (prepared_flags_[term].load(std::memory_order_relaxed) != 0) {
     return;  // never replace lists a live reader may hold
   }

@@ -17,11 +17,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "closeness/closeness_index.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/reformulator.h"
 #include "core/request_context.h"
@@ -312,13 +312,19 @@ class ServingModel {
   mutable ClosenessIndex closeness_;
   /// prepared_flags_[t]: 0 = unprepared, 1 = prepared. Readers check with
   /// acquire; preparers set with release while holding t's shard mutex.
+  /// The flags are atomics (not GUARDED_BY a term mutex) because the
+  /// fast-path read is deliberately lock-free; the shard mutex guards the
+  /// *preparation* of a term — an invariant ("PrepareTerm runs at most
+  /// once per term"), not a field — which is beyond what the capability
+  /// analysis can express for a dynamically indexed mutex array.
   std::unique_ptr<std::atomic<uint8_t>[]> prepared_flags_;
-  std::unique_ptr<std::mutex[]> term_mutexes_;
+  std::unique_ptr<Mutex[]> term_mutexes_;
   std::atomic<bool> fully_prepared_{false};
 
   /// Pool of reusable offline extractors for lazy preparation.
-  mutable std::mutex pool_mu_;
-  mutable std::vector<std::unique_ptr<PrepareScratch>> pool_;
+  mutable Mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<PrepareScratch>> pool_
+      GUARDED_BY(pool_mu_);
 
   /// Observability. The registry is behind unique_ptr so const methods
   /// can record through it (recording is thread-safe by construction);

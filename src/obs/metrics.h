@@ -19,9 +19,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace kqr {
 
@@ -184,10 +185,14 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable Mutex mu_;
+  // The maps are guarded; the metric objects they own are not — their
+  // recording surfaces are lock-free by design, and the pointers handed
+  // out by Get* stay valid without the registry mutex.
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace kqr

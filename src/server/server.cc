@@ -85,39 +85,42 @@ void Server::Submit(ServerRequest request, ServeCallback callback) {
     callback(Status::InvalidArgument("deadline_seconds must be >= 0"));
     return;
   }
+  // Shed decisions are made under the lock but the callback runs outside
+  // it: user callbacks may re-enter the server (Submit from a completion)
+  // and must never run while mu_ is held.
+  const char* shed_reason = nullptr;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (draining_) {
-      lock.unlock();
-      if (metrics_.shed != nullptr) metrics_.shed->Increment();
-      callback(Status::Unavailable("server is draining"));
-      return;
-    }
-    if (queue_.size() >= options_.queue_capacity) {
+      shed_reason = "server is draining";
+    } else if (queue_.size() >= options_.queue_capacity) {
       // Admission control: shed instead of buffering without bound. The
       // caller sees a typed kUnavailable immediately and can back off.
-      // Rejecting must be cheaper than serving — the shed path above this
-      // point does no clock reads, no allocation, no queue-entry work.
-      lock.unlock();
-      if (metrics_.shed != nullptr) metrics_.shed->Increment();
-      callback(Status::Unavailable("request queue is full (load shed)"));
-      return;
-    }
-    const Clock::time_point now = Clock::now();
-    Pending pending;
-    pending.deadline = DeadlineFor(request.deadline_seconds > 0.0
-                                       ? request.deadline_seconds
-                                       : options_.default_deadline_seconds,
-                                   now);
-    pending.enqueued = now;
-    pending.request = std::move(request);
-    pending.done = std::move(callback);
-    queue_.push_back(std::move(pending));
-    if (metrics_.queue_depth != nullptr) {
-      metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+      // Rejecting must be cheaper than serving — the shed path does no
+      // clock reads, no allocation, no queue-entry work.
+      shed_reason = "request queue is full (load shed)";
+    } else {
+      const Clock::time_point now = Clock::now();
+      Pending pending;
+      pending.deadline = DeadlineFor(
+          request.deadline_seconds > 0.0 ? request.deadline_seconds
+                                         : options_.default_deadline_seconds,
+          now);
+      pending.enqueued = now;
+      pending.request = std::move(request);
+      pending.done = std::move(callback);
+      queue_.push_back(std::move(pending));
+      if (metrics_.queue_depth != nullptr) {
+        metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+      }
     }
   }
-  cv_.notify_one();
+  if (shed_reason != nullptr) {
+    if (metrics_.shed != nullptr) metrics_.shed->Increment();
+    callback(Status::Unavailable(shed_reason));
+    return;
+  }
+  cv_.NotifyOne();
 }
 
 std::future<ServeResult> Server::Submit(ServerRequest request) {
@@ -141,22 +144,22 @@ ServeResult Server::Reformulate(const std::vector<TermId>& terms, size_t k,
 
 void Server::Drain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     draining_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 }
 
 bool Server::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return draining_;
 }
 
 size_t Server::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -173,8 +176,11 @@ void Server::WorkerLoop() {
   for (;;) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return draining_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // Hand-rolled wait loop (not the predicate overload): the capability
+      // analysis checks lambda bodies without the enclosing lock context,
+      // so the predicate form would flag draining_/queue_ as unguarded.
+      while (!draining_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // draining and nothing left to serve
       // Micro-batch: take up to max_batch requests in one queue
       // round-trip. FIFO order; admission order is completion order

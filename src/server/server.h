@@ -19,15 +19,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/serving_model.h"
 #include "obs/metrics.h"
@@ -153,10 +152,10 @@ class Server {
   ServerOptions options_;
   ServerMetrics metrics_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool draining_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  bool draining_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

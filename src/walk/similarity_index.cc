@@ -1,7 +1,6 @@
 #include "walk/similarity_index.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
@@ -121,12 +120,10 @@ std::span<const SimilarTerm> SimilarityIndex::Lookup(TermId term) const {
         flat_offsets_[term + 1] - flat_offsets_[term]);
   }
   const Shard& s = shard(term);
-  if (frozen()) {
-    auto it = s.lists.find(term);
-    return it == s.lists.end() ? std::span<const SimilarTerm>{}
-                               : std::span<const SimilarTerm>(it->second);
-  }
-  std::shared_lock lock(s.mu);
+  // Frozen indexes skip the reader lock entirely (no writer can exist
+  // after the frozen flag's release/acquire pair); OptionalReaderLock
+  // carries that argument for the capability analysis.
+  OptionalReaderLock lock(&s.mu, !frozen());
   auto it = s.lists.find(term);
   // The span outlives the lock: entries are node-stable and never
   // erased, and the serving layer never replaces a term's list once a
@@ -138,8 +135,7 @@ std::span<const SimilarTerm> SimilarityIndex::Lookup(TermId term) const {
 bool SimilarityIndex::Contains(TermId term) const {
   if (InFlat(term)) return true;
   const Shard& s = shard(term);
-  if (frozen()) return s.lists.count(term) > 0;
-  std::shared_lock lock(s.mu);
+  OptionalReaderLock lock(&s.mu, !frozen());
   return s.lists.count(term) > 0;
 }
 
@@ -147,12 +143,8 @@ size_t SimilarityIndex::size() const {
   size_t total = 0;
   for (uint8_t present : flat_present_) total += present != 0 ? 1 : 0;
   for (size_t i = 0; i < kNumShards; ++i) {
-    if (frozen()) {
-      total += shards_[i].lists.size();
-    } else {
-      std::shared_lock lock(shards_[i].mu);
-      total += shards_[i].lists.size();
-    }
+    OptionalReaderLock lock(&shards_[i].mu, !frozen());
+    total += shards_[i].lists.size();
   }
   return total;
 }
@@ -172,7 +164,7 @@ void SimilarityIndex::Insert(TermId term, std::vector<SimilarTerm> list) {
   KQR_CHECK(!frozen()) << "Insert into a frozen SimilarityIndex";
   KQR_CHECK(!InFlat(term)) << "Insert over a flat (mapped) similarity entry";
   Shard& s = shard(term);
-  std::unique_lock lock(s.mu);
+  WriterMutexLock lock(&s.mu);
   auto [it, inserted] = s.lists.try_emplace(term, std::move(list));
   if (!inserted) it->second = std::move(list);
 }

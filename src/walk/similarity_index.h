@@ -21,11 +21,11 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/offline_stats.h"
 #include "common/result.h"
 #include "text/vocabulary.h"
@@ -115,8 +115,9 @@ class SimilarityIndex {
   static constexpr size_t kNumShards = 16;
 
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<TermId, std::vector<SimilarTerm>> lists;
+    mutable SharedMutex mu;
+    std::unordered_map<TermId, std::vector<SimilarTerm>> lists
+        GUARDED_BY(mu);
   };
 
   Shard& shard(TermId term) const { return shards_[term % kNumShards]; }
