@@ -143,12 +143,20 @@ ServeResult Server::Reformulate(const std::vector<TermId>& terms, size_t k,
 }
 
 void Server::Drain() {
+  // Claim the workers under the lock, join outside it. The swap makes
+  // Drain safe to call concurrently (and idempotent): exactly one caller
+  // takes a non-empty vector and joins; every other caller — including
+  // the destructor racing an explicit Drain — sees an empty vector and
+  // returns once the flag is set. Joining under mu_ would also deadlock:
+  // workers need the lock to drain the queue.
+  std::vector<std::thread> workers;
   {
     MutexLock lock(&mu_);
     draining_ = true;
+    workers.swap(workers_);
   }
   cv_.NotifyAll();
-  for (std::thread& worker : workers_) {
+  for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
 }

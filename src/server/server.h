@@ -156,7 +156,10 @@ class Server {
   CondVar cv_;
   std::deque<Pending> queue_ GUARDED_BY(mu_);
   bool draining_ GUARDED_BY(mu_) = false;
-  std::vector<std::thread> workers_;
+  /// Joined exactly once: the first Drain swaps the vector out under mu_
+  /// and joins outside the lock, so concurrent Drains never race on the
+  /// same std::thread objects.
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 };
 
 }  // namespace kqr
