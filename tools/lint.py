@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """kqr repo linter: project-specific rules the generic tools can't check.
 
-Rules (suppress one occurrence with a `// lint:allow <rule>` comment on
-the same line):
+Rules (suppress one occurrence with a `// lint:allow <rule> [<rule>...]`
+comment on the same line; rule names must match exactly):
 
   pragma-once       every header uses `#pragma once` (no include guards)
   rng-discipline    no rand()/srand()/std::random_device outside
@@ -48,7 +48,7 @@ import sys
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 HEADER_DIRS = ("src", "tests", "bench", "examples")
 
-ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w-]+)")
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w-]+(?:[ \t]+[\w-]+)*)")
 
 
 def find_files(root, dirs, exts):
@@ -97,7 +97,14 @@ class Linter:
         self.findings = []
 
     def report(self, path, line_no, rule, message, raw_line=""):
-        if ALLOW_RE.search(raw_line) and rule in ALLOW_RE.search(raw_line).group(1):
+        # A waiver must name the rule exactly: `lint:allow lock` must not
+        # waive `lock-discipline`, and a waiver for one rule must never
+        # leak onto another rule's finding on the same line. One comment
+        # can waive several rules: `lint:allow rule-a rule-b`.
+        allowed = set()
+        for group in ALLOW_RE.findall(raw_line):
+            allowed.update(group.split())
+        if rule in allowed:
             return
         rel = os.path.relpath(path, self.root)
         self.findings.append(f"{rel}:{line_no}: [{rule}] {message}")
