@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py: one fire case and one no-fire case per
+rule, plus the `lint:allow` waiver semantics (exact rule-name match; a
+waiver never leaks onto a different rule on the same line).
+
+Run directly or via ctest (registered as `lint_test` in
+tests/CMakeLists.txt). The tests build throwaway repo trees under a
+tempdir and run the Linter class against them, so they are independent of
+the real repo's contents.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "tools"))
+import lint  # noqa: E402
+
+
+class LintCase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        for d in ("src", "tests", "bench", "examples", "tools"):
+            os.makedirs(os.path.join(self.root, d), exist_ok=True)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel, text):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def run_lint(self):
+        return lint.Linter(self.root).run()
+
+    def findings_for(self, rule):
+        return [f for f in self.run_lint() if f"[{rule}]" in f]
+
+
+class PragmaOnceTest(LintCase):
+    def test_fires_on_missing_pragma(self):
+        self.write("src/a.h", "int f();\n")
+        self.assertTrue(self.findings_for("pragma-once"))
+
+    def test_fires_on_include_guard(self):
+        self.write("src/a.h",
+                   "#ifndef KQR_A_H_\n#define KQR_A_H_\n#pragma once\n"
+                   "#endif\n")
+        self.assertTrue(self.findings_for("pragma-once"))
+
+    def test_clean_header_passes(self):
+        self.write("src/a.h", "#pragma once\nint f();\n")
+        self.assertFalse(self.findings_for("pragma-once"))
+
+
+class RngDisciplineTest(LintCase):
+    def test_fires_on_random_device(self):
+        self.write("src/a.cc", "#include <random>\nstd::random_device rd;\n")
+        self.assertTrue(self.findings_for("rng-discipline"))
+
+    def test_fires_on_rand_call(self):
+        self.write("src/a.cc", "int x() { return rand(); }\n")
+        self.assertTrue(self.findings_for("rng-discipline"))
+
+    def test_common_rng_is_exempt(self):
+        self.write("src/common/rng.cc", "std::random_device rd;\n")
+        self.assertFalse(self.findings_for("rng-discipline"))
+
+    def test_comment_mention_passes(self):
+        self.write("src/a.cc", "// not std::random_device, honest\n")
+        self.assertFalse(self.findings_for("rng-discipline"))
+
+
+class MutableGlobalTest(LintCase):
+    def test_fires_on_namespace_scope_variable(self):
+        self.write("src/a.cc",
+                   "namespace kqr {\nint counter = 0;\n}  // namespace kqr\n")
+        self.assertTrue(self.findings_for("mutable-global"))
+
+    def test_const_global_passes(self):
+        self.write("src/a.cc",
+                   "namespace kqr {\nconstexpr int kMax = 4;\n}\n")
+        self.assertFalse(self.findings_for("mutable-global"))
+
+    def test_class_member_passes(self):
+        self.write("src/a.h",
+                   "#pragma once\nnamespace kqr {\nclass A {\n"
+                   "  int member_ = 0;\n};\n}\n")
+        self.assertFalse(self.findings_for("mutable-global"))
+
+
+class OptionsMutationTest(LintCase):
+    def test_fires_on_const_cast_in_src(self):
+        self.write("src/a.cc",
+                   "void f(const int& x) { const_cast<int&>(x) = 1; }\n")
+        self.assertTrue(self.findings_for("options-mutation"))
+
+    def test_fires_on_mutable_options_outside_builder(self):
+        self.write("src/a.cc", "auto& o = model.mutable_options();\n")
+        self.assertTrue(self.findings_for("options-mutation"))
+
+    def test_builder_header_is_exempt(self):
+        self.write("src/core/engine_builder.h",
+                   "#pragma once\nEngineOptions& mutable_options();\n")
+        self.assertFalse(self.findings_for("options-mutation"))
+
+
+class FacadeIncludeTest(LintCase):
+    def test_fires_on_core_include_from_examples(self):
+        self.write("examples/demo.cpp", '#include "core/serving_model.h"\n')
+        self.assertTrue(self.findings_for("facade-include"))
+
+    def test_facade_include_passes(self):
+        self.write("examples/demo.cpp", '#include "kqr.h"\n')
+        self.assertFalse(self.findings_for("facade-include"))
+
+    def test_allowlisted_bench_is_exempt(self):
+        self.write("bench/micro_kernels.cc", '#include "core/hmm.h"\n')
+        self.assertFalse(self.findings_for("facade-include"))
+
+
+class MetricsDisciplineTest(LintCase):
+    def test_fires_on_direct_increment_in_hot_file(self):
+        self.write("src/core/reformulator.cc",
+                   "void f() { counter->Increment(); }\n")
+        self.assertTrue(self.findings_for("metrics-discipline"))
+
+    def test_cold_file_passes(self):
+        self.write("src/core/engine_builder.cc",
+                   "void f() { counter->Increment(); }\n")
+        self.assertFalse(self.findings_for("metrics-discipline"))
+
+
+class IoDisciplineTest(LintCase):
+    def test_fires_on_fstream_in_src(self):
+        self.write("src/a.cc", "std::ofstream out(path);\n")
+        self.assertTrue(self.findings_for("io-discipline"))
+
+    def test_common_io_is_exempt(self):
+        self.write("src/common/io/io.cc", "std::ifstream in(path);\n")
+        self.assertFalse(self.findings_for("io-discipline"))
+
+    def test_grandfathered_loader_is_exempt(self):
+        self.write("src/storage/csv.cc", "std::ifstream in(path);\n")
+        self.assertFalse(self.findings_for("io-discipline"))
+
+
+class LockDisciplineTest(LintCase):
+    def test_fires_on_raw_mutex(self):
+        self.write("src/core/a.h",
+                   "#pragma once\nclass A { std::mutex mu_; };\n")
+        self.assertTrue(self.findings_for("lock-discipline"))
+
+    def test_fires_on_lock_guard(self):
+        self.write("src/server/a.cc",
+                   "void f() { std::lock_guard<std::mutex> l(mu_); }\n")
+        self.assertTrue(self.findings_for("lock-discipline"))
+
+    def test_fires_on_condition_variable(self):
+        self.write("src/server/a.cc", "std::condition_variable cv_;\n")
+        self.assertTrue(self.findings_for("lock-discipline"))
+
+    def test_common_is_exempt(self):
+        self.write("src/common/mutex.h",
+                   "#pragma once\nclass Mutex { std::mutex mu_; };\n")
+        self.assertFalse(self.findings_for("lock-discipline"))
+
+    def test_wrapper_use_passes(self):
+        self.write("src/core/a.cc", "MutexLock lock(&mu_);\n")
+        self.assertFalse(self.findings_for("lock-discipline"))
+
+    def test_comment_mention_passes(self):
+        self.write("src/core/a.cc", "// replaced std::mutex with Mutex\n")
+        self.assertFalse(self.findings_for("lock-discipline"))
+
+    def test_tests_are_exempt(self):
+        self.write("tests/a_test.cc", "std::mutex mu;\n")
+        self.assertFalse(self.findings_for("lock-discipline"))
+
+
+class WaiverTest(LintCase):
+    def test_exact_waiver_suppresses(self):
+        self.write("src/core/a.h",
+                   "#pragma once\n"
+                   "std::mutex raw_mu;  // lint:allow lock-discipline\n")
+        self.assertFalse(self.findings_for("lock-discipline"))
+
+    def test_waiver_for_other_rule_does_not_suppress(self):
+        self.write("src/core/a.h",
+                   "#pragma once\n"
+                   "std::mutex raw_mu;  // lint:allow io-discipline\n")
+        self.assertTrue(self.findings_for("lock-discipline"))
+
+    def test_prefix_of_rule_name_does_not_suppress(self):
+        # Historical bug: substring matching let `lint:allow lock` (or any
+        # waiver whose text contained the rule name) waive lock-discipline.
+        self.write("src/core/a.h",
+                   "#pragma once\nstd::mutex raw_mu;  // lint:allow lock\n")
+        self.assertTrue(self.findings_for("lock-discipline"))
+
+    def test_one_waiver_comment_can_list_several_rules(self):
+        self.write(
+            "src/core/reformulator.cc",
+            "void f() { c->Increment(); std::mutex m; }"
+            "  // lint:allow metrics-discipline lock-discipline\n")
+        self.assertFalse(self.findings_for("metrics-discipline"))
+        self.assertFalse(self.findings_for("lock-discipline"))
+
+
+class IncludeCycleTest(LintCase):
+    def test_fires_on_two_header_cycle(self):
+        self.write("src/a.h", '#pragma once\n#include "b.h"\n')
+        self.write("src/b.h", '#pragma once\n#include "a.h"\n')
+        self.assertTrue(self.findings_for("include-cycle"))
+
+    def test_acyclic_graph_passes(self):
+        self.write("src/a.h", '#pragma once\n#include "b.h"\n')
+        self.write("src/b.h", "#pragma once\n")
+        self.assertFalse(self.findings_for("include-cycle"))
+
+
+class RealRepoTest(unittest.TestCase):
+    def test_repo_is_clean(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        findings = lint.Linter(root).run()
+        self.assertEqual(findings, [],
+                         "repo must lint clean:\n" + "\n".join(findings))
+
+
+if __name__ == "__main__":
+    unittest.main()

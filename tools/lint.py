@@ -35,6 +35,14 @@ comment on the same line; rule names must match exactly):
                     storage/csv.cc) — raw fopen/fstream scattered through
                     src/ is how formats drift away from the checksummed
                     container discipline
+  lock-discipline   src/ outside common/ never uses raw std::mutex /
+                    std::shared_mutex / lock_guard / unique_lock /
+                    scoped_lock / shared_lock / condition_variable — all
+                    locking goes through the annotated kqr::Mutex /
+                    MutexLock / CondVar wrappers (common/mutex.h) so the
+                    Clang thread-safety capability analysis sees every
+                    acquire and release; a raw primitive is invisible to
+                    the analysis and silently exempts whatever it guards
 
 Usage: python3 tools/lint.py [--root REPO_ROOT]
 Exits 0 when clean, 1 with findings on stderr.
@@ -316,6 +324,39 @@ class Linter:
                                 "mmap-able",
                                 raw_lines[line_no - 1])
 
+    # -- lock-discipline ------------------------------------------------
+
+    # The annotated wrappers themselves (common/mutex.h) necessarily wrap
+    # the raw primitives; everything else in src/ must use the wrappers so
+    # the capability analysis sees every acquire/release. tests/, bench/,
+    # examples/ are exempt: they exercise the system from outside and the
+    # analysis does not run on them with -Werror.
+    LOCK_ALLOWLIST_PREFIXES = (
+        os.path.join("src", "common") + os.sep,
+    )
+    LOCK_RE = re.compile(
+        r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex"
+        r"|lock_guard|unique_lock|shared_lock|scoped_lock"
+        r"|condition_variable(?:_any)?)\b")
+
+    def check_lock_discipline(self):
+        for path in find_files(self.root, ("src",), (".h", ".cc")):
+            rel = os.path.relpath(path, self.root)
+            if any(rel.startswith(p) for p in self.LOCK_ALLOWLIST_PREFIXES):
+                continue
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            stripped = strip_comments_and_strings("\n".join(raw_lines))
+            for line_no, line in enumerate(stripped.splitlines(), 1):
+                m = self.LOCK_RE.search(line)
+                if m:
+                    self.report(path, line_no, "lock-discipline",
+                                f"raw '{m.group(0)}' in src/ — use the "
+                                "annotated kqr::Mutex/MutexLock/CondVar "
+                                "(common/mutex.h) so the thread-safety "
+                                "analysis sees the acquire/release",
+                                raw_lines[line_no - 1])
+
     # -- include-cycle --------------------------------------------------
 
     INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
@@ -362,6 +403,7 @@ class Linter:
         self.check_metrics_discipline()
         self.check_facade_includes()
         self.check_io_discipline()
+        self.check_lock_discipline()
         self.check_include_cycles()
         return self.findings
 
