@@ -1,0 +1,33 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: acquires a mutex the
+// caller already holds (self-deadlock on a non-recursive mutex).
+// Expected diagnostic:
+//   acquiring mutex 'mu_' that is already held
+
+#include "common/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    mu_.Lock();
+    mu_.Lock();  // BAD: already held
+    balance_ += amount;
+    mu_.Unlock();
+    mu_.Unlock();
+  }
+
+ private:
+  mutable kqr::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}
+
+const int kUsed = Use();
+
+}  // namespace

@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: returns with the
+// mutex still held (a leaked lock every later caller deadlocks on).
+// Expected diagnostic:
+//   mutex 'mu_' is still held at the end of function
+
+#include "common/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    mu_.Lock();
+    balance_ += amount;
+    // BAD: no Unlock() on this path
+  }
+
+ private:
+  mutable kqr::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}
+
+const int kUsed = Use();
+
+}  // namespace

@@ -1,0 +1,42 @@
+// Baseline for the negative cases: correctly locked code the analysis
+// must accept. Every rejection case below is this file with exactly one
+// discipline violation introduced, so a rejection can only come from
+// that violation.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    kqr::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    kqr::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  void ManualDeposit(int amount) {
+    mu_.Lock();
+    balance_ += amount;
+    mu_.Unlock();
+  }
+
+ private:
+  mutable kqr::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Account account;
+  account.Deposit(1);
+  account.ManualDeposit(2);
+  return account.balance();
+}
+
+const int kUsed = Use();
+
+}  // namespace

@@ -1,0 +1,33 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: reads a GUARDED_BY
+// member without holding its mutex. Expected diagnostic:
+//   reading variable 'balance_' requires holding mutex 'mu_'
+
+#include "common/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    kqr::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    return balance_;  // BAD: no lock held
+  }
+
+ private:
+  mutable kqr::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Account account;
+  account.Deposit(1);
+  return account.balance();
+}
+
+const int kUsed = Use();
+
+}  // namespace

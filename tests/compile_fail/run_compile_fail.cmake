@@ -1,0 +1,41 @@
+# ctest driver for the compile-fail mini-project: wipe the scratch build
+# dir, then configure tests/compile_fail from scratch (all checking
+# happens at configure time via try_compile). Split out as a script
+# because ctest runs exactly one command and the configure must never see
+# a stale cache.
+#
+# Inputs (all -D, passed before -P):
+#   CF_SOURCE_DIR  tests/compile_fail in the source tree
+#   CF_BINARY_DIR  scratch build dir for the mini-project
+#   CF_CXX         C++ compiler to probe and use
+#   CF_SRC_DIR     <repo>/src (include root for common/mutex.h)
+#   CF_REQUIRE     ON = missing analysis support is an error, not a skip
+
+foreach(var CF_SOURCE_DIR CF_BINARY_DIR CF_CXX CF_SRC_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E rm -rf "${CF_BINARY_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND}
+      -S "${CF_SOURCE_DIR}" -B "${CF_BINARY_DIR}"
+      -DCMAKE_CXX_COMPILER=${CF_CXX}
+      -DKQR_SRC_DIR=${CF_SRC_DIR}
+      -DKQR_REQUIRE_THREAD_SAFETY=${CF_REQUIRE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+# Forward the mini-project's output so ctest --output-on-failure shows
+# which case misbehaved, and so the SKIP_REGULAR_EXPRESSION marker
+# (KQR_COMPILE_TEST_SKIP) reaches ctest.
+message("${out}")
+if(err)
+  message("${err}")
+endif()
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "compile-fail suite failed (exit ${rc})")
+endif()
