@@ -1,0 +1,87 @@
+// Fuzz surface: the three sequence codecs (varint, delta-varint,
+// bit-packed) that decode section payloads from untrusted model files,
+// plus the FNV hashes the checksums use. The input's first three bytes
+// pick the codec and the expected element count (the container's section
+// table supplies the count in production, so it is attacker-influenced
+// too); the rest is the payload.
+//
+// Beyond not-crashing, decoders are held to a round-trip invariant:
+// whatever a decoder accepts, re-encoding and re-decoding must reproduce
+// the same values (byte-identical re-encoding is NOT required — decoders
+// may accept non-canonical varint spellings).
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/io/codec.h"
+
+namespace {
+
+template <typename T>
+void CheckRoundTrip(const std::vector<T>& decoded,
+                    void (*encode)(std::span<const T>, std::string*),
+                    kqr::Status (*decode)(std::span<const std::byte>, size_t,
+                                          std::vector<T>*)) {
+  std::string encoded;
+  encode(std::span<const T>(decoded), &encoded);
+  std::vector<T> redecoded;
+  const kqr::Status status = decode(
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(encoded.data()), encoded.size()),
+      decoded.size(), &redecoded);
+  if (!status.ok() || redecoded != decoded) {
+    std::abort();  // the codec lost data it had itself accepted
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 3) return 0;
+  const uint8_t mode = data[0] % 3;
+  // Count decoupled from the payload (and deliberately often wrong for
+  // it): trailing bytes, truncated streams, and absurd counts must all
+  // fail typed without overallocating.
+  const size_t count =
+      (static_cast<size_t>(data[1]) | (static_cast<size_t>(data[2]) << 8)) %
+      4096;
+  const std::span<const std::byte> payload(
+      reinterpret_cast<const std::byte*>(data + 3), size - 3);
+
+  switch (mode) {
+    case 0: {
+      std::vector<uint64_t> values;
+      if (kqr::DecodeVarints(payload, count, &values).ok()) {
+        CheckRoundTrip(values, kqr::EncodeVarints, kqr::DecodeVarints);
+      }
+      break;
+    }
+    case 1: {
+      std::vector<uint64_t> values;
+      if (kqr::DecodeDeltaVarints(payload, count, &values).ok()) {
+        // Accepted delta streams are non-decreasing by construction, so
+        // re-encoding is legal.
+        CheckRoundTrip(values, kqr::EncodeDeltaVarints,
+                       kqr::DecodeDeltaVarints);
+      }
+      break;
+    }
+    default: {
+      std::vector<uint32_t> values;
+      if (kqr::DecodeBitPacked(payload, count, &values).ok()) {
+        CheckRoundTrip(values, kqr::EncodeBitPacked, kqr::DecodeBitPacked);
+      }
+      break;
+    }
+  }
+
+  // The two FNV flavors walk the payload with different strides; the
+  // word-at-a-time one has a scalar tail worth exercising at every
+  // length mod 8.
+  (void)kqr::Fnv1a64(payload);
+  (void)kqr::Fnv1aWords(payload);
+  return 0;
+}

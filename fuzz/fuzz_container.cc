@@ -1,0 +1,36 @@
+// Fuzz surface: kqr::ContainerReader over untrusted bytes — the v3 model
+// container's magic/version/header-checksum/section-table validation and
+// every typed decode helper. The reader must reject arbitrary garbage
+// with a typed Status, never crash, read out of bounds, or hand out a
+// span that escapes the input buffer.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/io/container.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const std::byte> bytes(
+      reinterpret_cast<const std::byte*>(data), size);
+  // Both open modes: structural validation only, and the eager
+  // full-payload checksum pass (different traversal of the same bytes).
+  for (const bool verify : {false, true}) {
+    auto reader = kqr::ContainerReader::Open(bytes, verify);
+    if (!reader.ok()) continue;
+    for (const kqr::SectionInfo& section : reader->sections()) {
+      // Every decode helper on every section, whatever its declared
+      // codec: mismatched codec/length/alignment must fail typed, and
+      // payload decoding must respect the section's item count.
+      (void)reader->Payload(section.name);
+      (void)reader->ReadU64s(section.name);
+      (void)reader->ReadU32s(section.name);
+      (void)reader->RawF32(section.name);
+      (void)reader->RawF64(section.name);
+      (void)reader->RawText(section.name);
+    }
+    (void)reader->Has("missing-section");
+    (void)reader->Find("missing-section");
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Deterministic generator for the checked-in fuzz seed corpus
+// (fuzz/corpus/). Run from the repo root after a build:
+//
+//   ./build/fuzz/make_corpus fuzz/corpus
+//
+// Everything written is a pure function of the MicroDblp fixture and the
+// fixed recipes below, so regenerating produces the same corpus the repo
+// already contains (modulo format-version bumps, which are exactly when
+// regeneration is warranted). Seeds are small on purpose: libFuzzer
+// mutates fastest from minimal inputs, and the corpus is also replayed
+// as a plain ctest regression on every build.
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "common/io/codec.h"
+#include "common/io/container.h"
+#include "common/io/io.h"
+#include "core/engine_builder.h"
+#include "core/model_file.h"
+#include "test_fixtures.h"
+
+namespace {
+
+int g_written = 0;
+
+void WriteSeed(const std::string& dir, const std::string& name,
+               const std::string& bytes) {
+  const std::string path = dir + "/" + name;
+  const kqr::Status status = kqr::WriteFileBytes(
+      path, std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(bytes.data()),
+                bytes.size()));
+  KQR_CHECK(status.ok()) << "writing " << path << ": " << status.ToString();
+  std::printf("  %s (%zu bytes)\n", path.c_str(), bytes.size());
+  ++g_written;
+}
+
+/// 3-byte fuzz_codec header (mode, count lo, count hi) + payload.
+std::string CodecInput(uint8_t mode, uint16_t count,
+                       const std::string& payload) {
+  std::string input;
+  input.push_back(static_cast<char>(mode));
+  input.push_back(static_cast<char>(count & 0xff));
+  input.push_back(static_cast<char>(count >> 8));
+  input += payload;
+  return input;
+}
+
+void MakeCodecSeeds(const std::string& dir) {
+  // Valid streams of each codec, sized to exercise multi-byte varints,
+  // the delta accumulator, and both full and partial bit-pack blocks.
+  std::vector<uint64_t> plain;
+  for (uint64_t i = 0; i < 200; ++i) plain.push_back(i * i * 977 + (i << 40 % 61));
+  std::string encoded;
+  kqr::EncodeVarints(plain, &encoded);
+  WriteSeed(dir, "varint_valid", CodecInput(0, 200, encoded));
+  WriteSeed(dir, "varint_wrong_count", CodecInput(0, 199, encoded));
+  WriteSeed(dir, "varint_truncated",
+            CodecInput(0, 200, encoded.substr(0, encoded.size() / 2)));
+
+  std::vector<uint64_t> sorted;
+  uint64_t acc = 0;
+  for (uint64_t i = 0; i < 150; ++i) {
+    acc += (i * 37) % 101;
+    sorted.push_back(acc);
+  }
+  encoded.clear();
+  kqr::EncodeDeltaVarints(sorted, &encoded);
+  WriteSeed(dir, "delta_valid", CodecInput(1, 150, encoded));
+  WriteSeed(dir, "delta_truncated",
+            CodecInput(1, 150, encoded.substr(0, 5)));
+  // All-max deltas: drives the prefix-sum accumulator toward overflow.
+  std::string overflow;
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 9; ++b) overflow.push_back(static_cast<char>(0xff));
+    overflow.push_back(0x01);
+  }
+  WriteSeed(dir, "delta_overflow", CodecInput(1, 4, overflow));
+
+  std::vector<uint32_t> packed;
+  for (uint32_t i = 0; i < 300; ++i) packed.push_back((i * 2654435761u) >> 17);
+  encoded.clear();
+  kqr::EncodeBitPacked(packed, &encoded);
+  WriteSeed(dir, "bitpack_valid", CodecInput(2, 300, encoded));
+  WriteSeed(dir, "bitpack_zero_width", CodecInput(2, 128, std::string(1, 0)));
+  std::string wide(1, 33);  // width byte > 32 must be rejected
+  WriteSeed(dir, "bitpack_bad_width", CodecInput(2, 128, wide + "xxxx"));
+
+  // Non-canonical varint spelling of 1 (overlong): decoders may accept
+  // or reject it, but the round-trip invariant must hold either way.
+  std::string overlong;
+  overlong.push_back(static_cast<char>(0x81));
+  overlong.push_back(0x00);
+  WriteSeed(dir, "varint_overlong", CodecInput(0, 1, overlong));
+  WriteSeed(dir, "empty_payload", CodecInput(0, 0, ""));
+}
+
+void MakeContainerSeeds(const std::string& dir, const std::string& model) {
+  // A real model file is the richest container seed there is.
+  WriteSeed(dir, "model.kqrm", model);
+  WriteSeed(dir, "model_truncated_header", model.substr(0, 64));
+  WriteSeed(dir, "model_truncated_half", model.substr(0, model.size() / 2));
+
+  std::string flipped = model;
+  flipped[flipped.size() / 2] = static_cast<char>(
+      static_cast<uint8_t>(flipped[flipped.size() / 2]) ^ 0x40);
+  WriteSeed(dir, "model_bitflip_mid", flipped);
+
+  std::string bad_magic = model;
+  bad_magic[0] = 'X';
+  WriteSeed(dir, "model_bad_magic", bad_magic);
+
+  // Hand-built minimal container with one section per codec — small
+  // enough for mutation to reach every table field quickly.
+  kqr::ContainerWriter writer;
+  std::string varints;
+  kqr::EncodeVarints(std::vector<uint64_t>{1, 2, 3, 500, 70000}, &varints);
+  writer.AddSection("u64s", kqr::SectionCodec::kVarint, 5, varints);
+  std::string deltas;
+  kqr::EncodeDeltaVarints(std::vector<uint64_t>{0, 10, 10, 400}, &deltas);
+  writer.AddSection("offsets", kqr::SectionCodec::kVarintDelta, 4, deltas);
+  std::string bits;
+  kqr::EncodeBitPacked(std::vector<uint32_t>{7, 0, 1023, 42}, &bits);
+  writer.AddSection("ids", kqr::SectionCodec::kBitPacked, 4, bits);
+  writer.AddSection("text", kqr::SectionCodec::kRaw, 5, "hello");
+  const std::string tiny = writer.Finish();
+  WriteSeed(dir, "tiny_container", tiny);
+
+  std::string tiny_truncated_table = tiny.substr(0, tiny.size() - 9);
+  WriteSeed(dir, "tiny_truncated_table", tiny_truncated_table);
+
+  WriteSeed(dir, "empty", "");
+  WriteSeed(dir, "magic_only", std::string(kqr::kContainerMagic, 8));
+}
+
+void MakeModelOpenSeeds(const std::string& dir, const std::string& model) {
+  WriteSeed(dir, "model.kqrm", model);
+  WriteSeed(dir, "model_truncated", model.substr(0, model.size() * 3 / 4));
+
+  // Flip one byte inside some section payload: checksum verification and
+  // structural validation split on inputs like this (one open mode in
+  // the harness verifies checksums, the other does not).
+  std::string payload_flip = model;
+  payload_flip[model.size() / 3] = static_cast<char>(
+      static_cast<uint8_t>(payload_flip[model.size() / 3]) ^ 0x01);
+  WriteSeed(dir, "model_payload_bitflip", payload_flip);
+
+  std::string version_bump = model;
+  // Magic is 8 bytes; the version field follows it (little-endian u32).
+  version_bump[8] = static_cast<char>(0x7f);
+  WriteSeed(dir, "model_bad_version", version_bump);
+
+  WriteSeed(dir, "garbage", std::string(256, '\x5a'));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argv[1];
+  for (const char* sub : {"", "/fuzz_container", "/fuzz_codec",
+                          "/fuzz_model_open"}) {
+    ::mkdir((root + sub).c_str(), 0755);
+  }
+
+  // One eager MicroDblp model: every structure present, all lists
+  // prepared, still only a few KB.
+  kqr::EngineOptions options;
+  options.precompute_offline = true;
+  auto model =
+      kqr::EngineBuilder(options).Build(kqr::testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(model.ok()) << model.status().ToString();
+  auto serialized = kqr::SerializeModel(**model);
+  KQR_CHECK(serialized.ok()) << serialized.status().ToString();
+
+  MakeContainerSeeds(root + "/fuzz_container", *serialized);
+  MakeCodecSeeds(root + "/fuzz_codec");
+  MakeModelOpenSeeds(root + "/fuzz_model_open", *serialized);
+
+  std::printf("wrote %d seed(s) under %s\n", g_written, root.c_str());
+  return 0;
+}

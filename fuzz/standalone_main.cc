@@ -1,0 +1,40 @@
+// Driver for non-libFuzzer builds: runs each file argument through
+// LLVMFuzzerTestOneInput once and exits. This keeps the checked-in
+// corpus runnable as a plain ctest regression (including under ASan/UBSan
+// in the sanitize CI job) with compilers that lack -fsanitize=fuzzer. A
+// libFuzzer-linked binary treats file arguments the same way, so the
+// ctest command line is identical in both build modes.
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open corpus file %s\n", argv[i]);
+      return 2;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long end = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(end > 0 ? static_cast<size_t>(end) : 0);
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      std::fprintf(stderr, "short read on %s\n", argv[i]);
+      std::fclose(f);
+      return 2;
+    }
+    std::fclose(f);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("ran %d input(s)\n", argc - 1);
+  return 0;
+}
