@@ -1,0 +1,247 @@
+// Sharded-serving benchmark: QPS and batch latency of a ShardRouter over
+// fleets of 1, 2 and 4 real kqr_shardd processes on loopback, with the
+// determinism gate that makes the numbers trustworthy — every routed
+// ranking must fingerprint bit-identically to a single-process
+// ReformulateTerms over the same model file. On a one-core runner the
+// shard counts mostly measure protocol overhead, not parallel speedup;
+// the gate is the point, the throughput table is the context.
+//
+// Emits BENCH_sharded_serving.json. --quick shrinks the corpus and the
+// round count to fit a CI smoke slot; the exactness gate never relaxes.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "kqr.h"
+#include "shardd_harness.h"
+
+namespace kqr {
+namespace {
+
+bool g_quick = false;
+int g_exit_code = 0;
+
+constexpr size_t kTopK = 8;
+constexpr size_t kNumQueries = 64;
+
+size_t Rounds() { return g_quick ? 5 : 40; }
+
+DblpOptions BenchCorpus() {
+  DblpOptions options;
+  if (g_quick) {
+    options.num_authors = 150;
+    options.num_papers = 500;
+    options.num_venues = 24;
+  } else {
+    options.num_authors = 600;
+    options.num_papers = 2000;
+    options.num_venues = 30;
+  }
+  options.seed = 4242;
+  return options;
+}
+
+std::vector<std::string> ShardArgs(const DblpOptions& corpus,
+                                   const std::string& model_path) {
+  return {"--demo-authors", std::to_string(corpus.num_authors),
+          "--demo-papers",  std::to_string(corpus.num_papers),
+          "--demo-venues",  std::to_string(corpus.num_venues),
+          "--demo-seed",    std::to_string(corpus.seed),
+          "--model",        model_path,
+          "--workers",      "2"};
+}
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Fingerprint(const std::vector<ReformulatedQuery>& ranking) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1a(h, ranking.size());
+  for (const ReformulatedQuery& q : ranking) {
+    for (TermId t : q.terms) h = Fnv1a(h, t);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(q.score));
+    std::memcpy(&bits, &q.score, sizeof(bits));
+    h = Fnv1a(h, bits);
+  }
+  return h;
+}
+
+struct FleetOutcome {
+  size_t shards = 0;
+  size_t requests = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_batch_ms = 0.0;
+  double p99_batch_ms = 0.0;
+  size_t mismatches = 0;
+  size_t degraded = 0;  // kUnavailable + kDeadlineExceeded outcomes
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(values.size() - 1,
+                              static_cast<size_t>(p * values.size()));
+  return values[idx];
+}
+
+FleetOutcome RunFleet(size_t num_shards, const DblpOptions& corpus,
+                      const std::string& model_path,
+                      const std::vector<std::vector<TermId>>& queries,
+                      const std::vector<uint64_t>& reference) {
+  FleetOutcome outcome;
+  outcome.shards = num_shards;
+
+  std::vector<ShardProcess> fleet(num_shards);
+  std::vector<ShardAddress> addresses;
+  for (size_t i = 0; i < num_shards; ++i) {
+    KQR_CHECK(fleet[i].Start(ShardArgs(corpus, model_path)))
+        << "failed to spawn shard " << i;
+    addresses.push_back({"127.0.0.1", fleet[i].port()});
+  }
+  auto router = ShardRouter::Connect(std::move(addresses));
+  KQR_CHECK(router.ok()) << router.status().ToString();
+
+  // Warm-up: one full pass prepares every queried term on every shard,
+  // so the timed rounds measure serving, not lazy offline computation.
+  (void)(*router)->ReformulateBatch(queries, kTopK, 120.0);
+
+  std::vector<double> batch_seconds;
+  Timer wall;
+  for (size_t round = 0; round < Rounds(); ++round) {
+    Timer batch_timer;
+    auto results = (*router)->ReformulateBatch(queries, kTopK, 120.0);
+    batch_seconds.push_back(batch_timer.ElapsedSeconds());
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        const StatusCode code = results[i].status().code();
+        if (code == StatusCode::kUnavailable ||
+            code == StatusCode::kDeadlineExceeded) {
+          ++outcome.degraded;
+        }
+        ++outcome.mismatches;
+        continue;
+      }
+      if (Fingerprint(*results[i]) != reference[i]) ++outcome.mismatches;
+    }
+    outcome.requests += results.size();
+  }
+  outcome.wall_seconds = wall.ElapsedSeconds();
+  outcome.qps = outcome.requests / outcome.wall_seconds;
+  outcome.p50_batch_ms = Percentile(batch_seconds, 0.50) * 1e3;
+  outcome.p99_batch_ms = Percentile(batch_seconds, 0.99) * 1e3;
+  return outcome;
+}
+
+void WriteJson(const std::vector<FleetOutcome>& outcomes) {
+  FILE* f = std::fopen("BENCH_sharded_serving.json", "w");
+  if (f == nullptr) {
+    std::printf("# could not open BENCH_sharded_serving.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sharded_serving\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", g_quick ? "true" : "false");
+  std::fprintf(f, "  \"queries_per_batch\": %zu,\n  \"k\": %zu,\n",
+               kNumQueries, kTopK);
+  std::fprintf(f, "  \"rounds\": %zu,\n", Rounds());
+  std::fprintf(f, "  \"fleets\": [\n");
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const FleetOutcome& o = outcomes[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"requests\": %zu, "
+                 "\"wall_seconds\": %.4f, \"qps\": %.1f, "
+                 "\"p50_batch_ms\": %.3f, \"p99_batch_ms\": %.3f, "
+                 "\"exact\": %s, \"degraded\": %zu}%s\n",
+                 o.shards, o.requests, o.wall_seconds, o.qps,
+                 o.p50_batch_ms, o.p99_batch_ms,
+                 o.mismatches == 0 ? "true" : "false", o.degraded,
+                 i + 1 < outcomes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_sharded_serving.json\n");
+}
+
+void Run() {
+  bench::PrintHeader("Sharded serving: scatter/gather over kqr_shardd fleets");
+  const DblpOptions corpus_options = BenchCorpus();
+  ExperimentContext ctx = bench::MustMakeContext(corpus_options);
+
+  const std::string model_path = "bench_sharded_serving.kqrm";
+  {
+    const Status saved = EngineBuilder::SaveModel(*ctx.model, model_path);
+    KQR_CHECK(saved.ok()) << saved.ToString();
+  }
+
+  QuerySampler sampler(*ctx.model, /*seed=*/1712);
+  std::vector<std::vector<TermId>> queries;
+  for (auto& q : sampler.SampleQueries(kNumQueries / 2, 2)) {
+    queries.push_back(std::move(q));
+  }
+  for (auto& q : sampler.SampleQueries(kNumQueries / 2, 3)) {
+    queries.push_back(std::move(q));
+  }
+
+  // Single-process reference fingerprints: what every fleet must match.
+  std::vector<uint64_t> reference;
+  for (const auto& q : queries) {
+    reference.push_back(
+        Fingerprint(bench::MustReformulate(ctx.model->ReformulateTerms(
+            q, kTopK))));
+  }
+
+  std::vector<FleetOutcome> outcomes;
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    outcomes.push_back(
+        RunFleet(shards, corpus_options, model_path, queries, reference));
+    const FleetOutcome& o = outcomes.back();
+    std::printf("%zu shard(s): %6zu requests in %6.2fs  %8.1f qps  "
+                "batch p50 %7.2fms p99 %7.2fms  %s\n",
+                o.shards, o.requests, o.wall_seconds, o.qps, o.p50_batch_ms,
+                o.p99_batch_ms, o.mismatches == 0 ? "exact" : "MISMATCH");
+  }
+
+  WriteJson(outcomes);
+  std::remove(model_path.c_str());
+
+  size_t mismatches = 0, degraded = 0;
+  for (const FleetOutcome& o : outcomes) {
+    mismatches += o.mismatches;
+    degraded += o.degraded;
+  }
+  if (mismatches != 0 || degraded != 0) {
+    std::printf("GATE: FAIL — %zu mismatched / %zu degraded request(s); "
+                "sharded answers must be bit-identical to single-process\n",
+                mismatches, degraded);
+    g_exit_code = 1;
+  } else {
+    std::printf("GATE: PASS (every routed ranking bit-identical to "
+                "single-process across all fleet sizes)\n");
+  }
+}
+
+}  // namespace
+}  // namespace kqr
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      kqr::g_quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  kqr::Run();
+  return kqr::g_exit_code;
+}

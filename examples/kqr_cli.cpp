@@ -17,9 +17,17 @@
 //   $ ./build/examples/kqr_cli --stats-prom <schema-file>|--demo "<query>"
 //   $ ./build/examples/kqr_cli --serve-bench <schema-file>|--demo [sec] [qps]
 //   $ ./build/examples/kqr_cli --save-model <schema-file>|--demo <model-path>
-//   $ ./build/examples/kqr_cli --open-mapped <schema-file>|--demo \
+//   $ ./build/examples/kqr_cli --open-mapped <schema-file>|--demo
 //         <model-path> "<query>" [k]
 //   $ ./build/examples/kqr_cli --inspect <model-path>
+//   $ ./build/examples/kqr_cli --shard-serve <schema-file>|--demo [port]
+//   $ ./build/examples/kqr_cli --route <schema-file>|--demo
+//         <host:port[,host:port...]> "<query>" [k]
+//
+// --shard-serve exposes the model over the sharded-serving wire protocol
+// (port 0 = ephemeral; the bound port is printed) until stdin closes;
+// --route resolves the query locally and serves it through a ShardRouter
+// over a running fleet — see kqr_shardd for the full daemon.
 //
 // With --demo the synthetic DBLP corpus is used, e.g.:
 //   $ ./build/examples/kqr_cli --demo "probabilistic query" 5
@@ -398,6 +406,79 @@ int RunAudit(const ServingModel& model) {
   return report.ok() ? 0 : 1;
 }
 
+/// --shard-serve: expose the model over the sharded-serving wire
+/// protocol until stdin closes. A minimal in-CLI kqr_shardd — the
+/// standalone daemon adds v3 model files and live swap support.
+int RunShardServe(std::shared_ptr<const ServingModel> model,
+                  uint16_t port) {
+  ShardServerOptions options;
+  options.port = port;
+  auto shard = ShardServer::Start(std::move(model), nullptr, options);
+  if (!shard.ok()) {
+    std::fprintf(stderr, "%s\n", shard.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("KQR_SHARDD LISTENING %u\n",
+              static_cast<unsigned>((*shard)->port()));
+  std::fflush(stdout);
+  while (std::fgetc(stdin) != EOF) {
+  }
+  (*shard)->Shutdown();
+  return 0;
+}
+
+/// --route: resolve the query against the local corpus, scatter it
+/// through a ShardRouter over a running fleet, print the merged ranking.
+int RunRoute(const ServingModel& model, const std::string& addr_list,
+             const std::string& query, size_t k) {
+  std::vector<ShardAddress> shards;
+  for (const std::string& part : Split(addr_list, ',')) {
+    const size_t colon = part.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad shard address '%s' (want host:port)\n",
+                   part.c_str());
+      return 2;
+    }
+    ShardAddress addr;
+    addr.host = part.substr(0, colon);
+    addr.port = static_cast<uint16_t>(std::atoi(part.c_str() + colon + 1));
+    shards.push_back(std::move(addr));
+  }
+  auto router = ShardRouter::Connect(std::move(shards));
+  if (!router.ok()) {
+    std::fprintf(stderr, "%s\n", router.status().ToString().c_str());
+    return 1;
+  }
+  auto resolved = model.ResolveQuery(query);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "cannot resolve query: %s\n",
+                 resolved.status().ToString().c_str());
+    return 1;
+  }
+  auto served = (*router)->Reformulate(*resolved, k);
+  if (!served.ok()) {
+    std::fprintf(stderr, "routed reformulation failed: %s\n",
+                 served.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query: \"%s\" — %zu suggestions (via %zu shards)\n",
+              query.c_str(), served->size(), (*router)->num_shards());
+  for (const ReformulatedQuery& q : *served) {
+    std::printf("  %-44s %.3g\n", q.ToString(model.vocab()).c_str(),
+                q.score);
+  }
+  const RouterStats rs = (*router)->stats();
+  std::fprintf(stderr,
+               "router: ok=%llu unavailable=%llu deadline=%llu "
+               "remote_errors=%llu corrupt=%llu\n",
+               static_cast<unsigned long long>(rs.ok),
+               static_cast<unsigned long long>(rs.unavailable),
+               static_cast<unsigned long long>(rs.deadline_exceeded),
+               static_cast<unsigned long long>(rs.remote_errors),
+               static_cast<unsigned long long>(rs.corrupt_frames));
+  return 0;
+}
+
 int main(int argc, char** argv) {
   const std::string mode = argc >= 2 ? argv[1] : "";
   const bool audit = mode == "--audit";
@@ -405,6 +486,8 @@ int main(int argc, char** argv) {
   const bool serve_bench = mode == "--serve-bench";
   const bool save_model = mode == "--save-model";
   const bool open_mapped = mode == "--open-mapped";
+  const bool shard_serve = mode == "--shard-serve";
+  const bool route = mode == "--route";
   if (mode == "--inspect") {
     if (argc != 3) {
       std::fprintf(stderr, "usage: %s --inspect <model-path>\n", argv[0]);
@@ -413,7 +496,7 @@ int main(int argc, char** argv) {
     return RunInspect(argv[2]);
   }
   if (argc < 3 || (stats && argc < 4) || (save_model && argc < 4) ||
-      (open_mapped && argc < 5)) {
+      (open_mapped && argc < 5) || (route && argc < 5)) {
     std::fprintf(stderr,
                  "usage: %s <schema-file>|--demo \"<query>\" [k]\n"
                  "       %s --audit <schema-file>|--demo\n"
@@ -425,22 +508,33 @@ int main(int argc, char** argv) {
                  "<model-path>\n"
                  "       %s --open-mapped <schema-file>|--demo "
                  "<model-path> \"<query>\" [k]\n"
-                 "       %s --inspect <model-path>\n",
+                 "       %s --inspect <model-path>\n"
+                 "       %s --shard-serve <schema-file>|--demo [port]\n"
+                 "       %s --route <schema-file>|--demo "
+                 "<host:port[,host:port...]> \"<query>\" [k]\n",
                  argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
-                 argv[0]);
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
-  const bool has_mode_flag =
-      audit || stats || serve_bench || save_model || open_mapped;
+  const bool has_mode_flag = audit || stats || serve_bench || save_model ||
+                             open_mapped || shard_serve || route;
   std::string source = argv[has_mode_flag ? 2 : 1];
   const std::string model_path = save_model || open_mapped ? argv[3] : "";
-  std::string query = audit || serve_bench || save_model
-                          ? ""
-                          : argv[open_mapped ? 4 : (has_mode_flag ? 3 : 2)];
-  const int k_index = open_mapped ? 5 : (has_mode_flag ? 4 : 3);
-  size_t k = !audit && !serve_bench && !save_model && argc > k_index
+  const std::string route_addrs = route ? argv[3] : "";
+  std::string query =
+      audit || serve_bench || save_model || shard_serve
+          ? ""
+          : argv[route       ? 4
+                 : open_mapped ? 4
+                 : (has_mode_flag ? 3 : 2)];
+  const int k_index = (open_mapped || route) ? 5 : (has_mode_flag ? 4 : 3);
+  size_t k = !audit && !serve_bench && !save_model && !shard_serve &&
+                     argc > k_index
                  ? static_cast<size_t>(std::atoi(argv[k_index]))
                  : 8;
+  const uint16_t shard_port =
+      shard_serve && argc > 3 ? static_cast<uint16_t>(std::atoi(argv[3]))
+                              : 0;
   const double bench_seconds =
       serve_bench && argc > 3 ? std::atof(argv[3]) : 2.0;
   const double bench_qps =
@@ -511,6 +605,8 @@ int main(int argc, char** argv) {
     }
     return RunServeBench(*engine, bench_seconds, bench_qps);
   }
+  if (shard_serve) return RunShardServe(*engine, shard_port);
+  if (route) return RunRoute(**engine, route_addrs, query, k);
   if (stats) {
     return RunStats(**engine, query, k, mode == "--stats-prom");
   }

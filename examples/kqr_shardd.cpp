@@ -1,0 +1,137 @@
+// kqr_shardd: one shard process of a term-sharded serving fleet
+// (DESIGN.md §8). Regenerates the deterministic demo corpus (cheap:
+// seeded synthesis, no I/O), opens or builds a serving model over it,
+// and serves the kqr wire protocol on a TCP port until stdin closes —
+// the lifetime contract the multi-process tests and benches rely on:
+// the parent holds the write end of a pipe on our stdin, so shard
+// shutdown is "parent closes the pipe (or dies)", never a signal race.
+//
+// Usage:
+//   $ kqr_shardd [--model <v3-path>] [--host H] [--port P]
+//                [--workers N] [--queue N] [--batch N]
+//                [--demo-authors N] [--demo-papers N] [--demo-venues N]
+//                [--demo-seed N]
+//
+// With --model the v3 file is opened via the zero-copy mmap path (the
+// cheap per-shard open that makes N shard processes affordable); the
+// demo-corpus flags must describe the corpus the model was built from.
+// Without --model the shard builds a lazy model in-process. Model swap
+// requests reopen the requested v3 path over a freshly regenerated
+// corpus.
+//
+// On success exactly one line is printed to stdout and flushed:
+//   KQR_SHARDD LISTENING <port>
+// so a parent that spawned us with port 0 can read the bound port back.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <sys/prctl.h>
+
+#include "datagen/dblp_gen.h"
+#include "kqr.h"
+
+using namespace kqr;
+
+namespace {
+
+struct ShardArgs {
+  std::string model_path;  // empty = build in-process
+  DblpOptions demo;
+  ShardServerOptions serve;
+};
+
+Result<std::shared_ptr<const ServingModel>> LoadModel(
+    const DblpOptions& demo, const std::string& model_path) {
+  auto corpus = GenerateDblp(demo);
+  if (!corpus.ok()) return corpus.status();
+  if (model_path.empty()) {
+    return EngineBuilder(EngineOptions{}).Build(std::move(corpus->db));
+  }
+  return ServingModel::OpenMapped(std::move(corpus->db), model_path);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--model <v3-path>] [--host H] [--port P]\n"
+               "          [--workers N] [--queue N] [--batch N]\n"
+               "          [--demo-authors N] [--demo-papers N]\n"
+               "          [--demo-venues N] [--demo-seed N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShardArgs args;
+  args.demo = DblpOptions{};
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return Usage(argv[0]);
+    const char* value = argv[++i];
+    if (flag == "--model") {
+      args.model_path = value;
+    } else if (flag == "--host") {
+      args.serve.host = value;
+    } else if (flag == "--port") {
+      args.serve.port = static_cast<uint16_t>(std::atoi(value));
+    } else if (flag == "--workers") {
+      args.serve.server.num_workers = static_cast<size_t>(std::atoi(value));
+    } else if (flag == "--queue") {
+      args.serve.server.queue_capacity =
+          static_cast<size_t>(std::atoi(value));
+    } else if (flag == "--batch") {
+      args.serve.server.max_batch = static_cast<size_t>(std::atoi(value));
+    } else if (flag == "--demo-authors") {
+      args.demo.num_authors = static_cast<size_t>(std::atoi(value));
+    } else if (flag == "--demo-papers") {
+      args.demo.num_papers = static_cast<size_t>(std::atoi(value));
+    } else if (flag == "--demo-venues") {
+      args.demo.num_venues = static_cast<size_t>(std::atoi(value));
+    } else if (flag == "--demo-seed") {
+      args.demo.seed = static_cast<uint64_t>(std::atoll(value));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Die with the parent: a test or bench that crashes must not leave
+  // orphan shard processes squatting on ports.
+  (void)prctl(PR_SET_PDEATHSIG, SIGKILL);
+
+  auto model = LoadModel(args.demo, args.model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "kqr_shardd: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+
+  const DblpOptions demo = args.demo;
+  ModelLoader loader =
+      [demo](const std::string& path)
+      -> Result<std::shared_ptr<const ServingModel>> {
+    return LoadModel(demo, path);
+  };
+
+  auto shard = ShardServer::Start(std::move(*model), std::move(loader),
+                                  args.serve);
+  if (!shard.ok()) {
+    std::fprintf(stderr, "kqr_shardd: %s\n",
+                 shard.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("KQR_SHARDD LISTENING %u\n",
+              static_cast<unsigned>((*shard)->port()));
+  std::fflush(stdout);
+
+  // Serve until the parent closes our stdin.
+  while (std::fgetc(stdin) != EOF) {
+  }
+  (*shard)->Shutdown();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Fuzz surface: the network wire decoders — the frame stream decoder
+// (net/frame.h) and every message decoder layered on it
+// (net/protocol.h). These are the bytes a hostile peer controls, so the
+// bar is the same as the model-file surfaces: typed failure, never a
+// crash, an overallocation, or a mis-framed stream.
+//
+// The input's first byte selects a protocol decoder that is fed the rest
+// of the input as a bare payload (bypassing the frame checksum, which
+// mutation alone would rarely satisfy). Accepted messages are held to a
+// canonical-encoding invariant: re-encoding a decoded message and
+// decoding it again must reach a fixed point (encode ∘ decode is
+// idempotent on accepted inputs). The whole input is then also streamed
+// through a FrameBuffer in fuzz-chosen chunk sizes, and every payload is
+// wrapped in a well-formed frame that must round-trip exactly.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace {
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+/// Decode → encode → decode → encode: both encodings must match, or a
+/// decoder is accepting bytes its encoder cannot reproduce.
+template <typename Message, typename Decode, typename Encode>
+void CheckFixedPoint(std::span<const std::byte> payload, Decode decode,
+                     Encode encode) {
+  auto first = decode(payload);
+  if (!first.ok()) return;
+  const std::string e1 = encode(*first);
+  auto second = decode(AsBytes(e1));
+  if (!second.ok()) std::abort();  // canonical encoding failed to decode
+  if (encode(*second) != e1) std::abort();  // not a fixed point
+}
+
+void FuzzProtocolDecoders(uint8_t selector,
+                          std::span<const std::byte> payload) {
+  switch (selector % 7) {
+    case 0:
+      CheckFixedPoint<kqr::ReformulateRequest>(
+          payload, kqr::DecodeReformulateRequest,
+          kqr::EncodeReformulateRequest);
+      break;
+    case 1:
+      CheckFixedPoint<kqr::ReformulateResponse>(
+          payload, kqr::DecodeReformulateResponse,
+          kqr::EncodeReformulateResponse);
+      break;
+    case 2:
+      CheckFixedPoint<kqr::HealthResponse>(payload, kqr::DecodeHealthResponse,
+                                           kqr::EncodeHealthResponse);
+      break;
+    case 3:
+      CheckFixedPoint<kqr::StatsResponse>(payload, kqr::DecodeStatsResponse,
+                                          kqr::EncodeStatsResponse);
+      break;
+    case 4:
+      CheckFixedPoint<kqr::SwapRequest>(payload, kqr::DecodeSwapRequest,
+                                        kqr::EncodeSwapRequest);
+      break;
+    case 5:
+      CheckFixedPoint<kqr::SwapResponse>(payload, kqr::DecodeSwapResponse,
+                                         kqr::EncodeSwapResponse);
+      break;
+    default:
+      if (auto id = kqr::DecodeRequestIdPayload(payload); id.ok()) {
+        if (kqr::EncodeRequestIdPayload(*id).size() > 10) std::abort();
+      }
+      break;
+  }
+}
+
+void FuzzFrameStream(const uint8_t* data, size_t size) {
+  // Chunk sizes come from the input itself, so mutation explores chunk
+  // boundaries landing inside headers, payloads, and checksums.
+  kqr::FrameBuffer buffer;
+  size_t pos = 0;
+  size_t salt = 0x9e3779b97f4a7c15ULL;
+  bool corrupt = false;
+  while (pos < size) {
+    const size_t want = 1 + ((data[pos] ^ (salt & 0xff)) % 64);
+    const size_t chunk = std::min(want, size - pos);
+    salt = salt * 6364136223846793005ULL + 1442695040888963407ULL;
+    buffer.Append(std::string_view(reinterpret_cast<const char*>(data + pos),
+                                   chunk));
+    pos += chunk;
+    for (;;) {
+      auto next = buffer.Next();
+      if (!next.ok()) {
+        corrupt = true;
+        break;
+      }
+      if (!next->has_value()) break;
+      // A frame that passed its checksum carries arbitrary payload; the
+      // matching decoder must fail typed, never crash.
+      FuzzProtocolDecoders(static_cast<uint8_t>((*next)->type),
+                           AsBytes((*next)->payload));
+    }
+    if (corrupt) {
+      // Sticky: every further Next must keep failing.
+      if (buffer.Next().ok()) std::abort();
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 1) return 0;
+  const uint8_t selector = data[0];
+  const std::span<const std::byte> payload(
+      reinterpret_cast<const std::byte*>(data + 1), size - 1);
+
+  FuzzProtocolDecoders(selector, payload);
+  FuzzFrameStream(data, size);
+
+  // Any bytes wrapped in a well-formed frame must round-trip exactly.
+  const auto type = static_cast<kqr::FrameType>(1 + selector % 8);
+  const std::string_view body(reinterpret_cast<const char*>(data + 1),
+                              size - 1);
+  kqr::FrameBuffer wrapped;
+  wrapped.Append(kqr::EncodeFrameString(type, body));
+  auto frame = wrapped.Next();
+  if (!frame.ok() || !frame->has_value() || (*frame)->type != type ||
+      (*frame)->payload != body || wrapped.buffered() != 0) {
+    std::abort();
+  }
+  return 0;
+}

@@ -23,6 +23,8 @@
 #include "common/io/io.h"
 #include "core/engine_builder.h"
 #include "core/model_file.h"
+#include "net/frame.h"
+#include "net/protocol.h"
 #include "test_fixtures.h"
 
 namespace {
@@ -159,6 +161,113 @@ void MakeModelOpenSeeds(const std::string& dir, const std::string& model) {
   WriteSeed(dir, "garbage", std::string(256, '\x5a'));
 }
 
+/// fuzz_frame input shape: byte 0 selects a protocol decoder for the
+/// bare-payload pass; the whole input is also streamed as frames.
+std::string FrameInput(uint8_t selector, const std::string& rest) {
+  std::string input;
+  input.push_back(static_cast<char>(selector));
+  input += rest;
+  return input;
+}
+
+void MakeFrameSeeds(const std::string& dir) {
+  using kqr::FrameType;
+
+  // One well-formed frame of every message type, preceded by the
+  // selector that routes the payload to the matching bare decoder.
+  kqr::ReformulateRequest request;
+  request.request_id = 7;
+  request.k = 5;
+  request.deadline_micros = 250000;
+  request.queries = {{1, 2, 3}, {42}};
+  const std::string request_payload = kqr::EncodeReformulateRequest(request);
+  WriteSeed(dir, "reformulate_request",
+            FrameInput(0, kqr::EncodeFrameString(FrameType::kReformulateRequest,
+                                                 request_payload)));
+
+  kqr::ReformulateResponse response;
+  response.request_id = 7;
+  kqr::ReformulatedQuery ranked;
+  ranked.terms = {2, 9};
+  ranked.score = 0.0625;
+  ranked.is_identity = false;
+  response.results.emplace_back(
+      std::vector<kqr::ReformulatedQuery>{ranked});
+  response.results.emplace_back(kqr::Status::Unavailable("shard down"));
+  const std::string response_payload =
+      kqr::EncodeReformulateResponse(response);
+  WriteSeed(dir, "reformulate_response",
+            FrameInput(1, kqr::EncodeFrameString(
+                              FrameType::kReformulateResponse,
+                              response_payload)));
+
+  kqr::HealthResponse health;
+  health.request_id = 3;
+  health.model_generation = 2;
+  health.vocab_terms = 1533;
+  health.prepared_terms = 12;
+  WriteSeed(dir, "health_response",
+            FrameInput(2, kqr::EncodeFrameString(
+                              FrameType::kHealthResponse,
+                              kqr::EncodeHealthResponse(health))));
+
+  kqr::StatsResponse stats;
+  stats.request_id = 4;
+  stats.json = R"({"shard":{"counters":{"kqr_shard_requests_total":9}}})";
+  WriteSeed(dir, "stats_response",
+            FrameInput(3, kqr::EncodeFrameString(
+                              FrameType::kStatsResponse,
+                              kqr::EncodeStatsResponse(stats))));
+
+  kqr::SwapRequest swap;
+  swap.request_id = 5;
+  swap.model_path = "/models/current.kqr3";
+  WriteSeed(dir, "swap_request",
+            FrameInput(4, kqr::EncodeFrameString(
+                              FrameType::kSwapRequest,
+                              kqr::EncodeSwapRequest(swap))));
+
+  kqr::SwapResponse swapped;
+  swapped.request_id = 5;
+  swapped.status = kqr::Status::IOError("no such model");
+  swapped.model_generation = 1;
+  WriteSeed(dir, "swap_response",
+            FrameInput(5, kqr::EncodeFrameString(
+                              FrameType::kSwapResponse,
+                              kqr::EncodeSwapResponse(swapped))));
+
+  // Two frames back to back: chunked reassembly across a boundary.
+  std::string two = kqr::EncodeFrameString(
+      FrameType::kHealthRequest, kqr::EncodeRequestIdPayload(11));
+  kqr::EncodeFrame(FrameType::kStatsRequest,
+                   kqr::EncodeRequestIdPayload(12), &two);
+  WriteSeed(dir, "two_frames", FrameInput(6, two));
+
+  // Faults the decoders must catch: bad magic, payload bit flip
+  // (checksum), truncated mid-payload, oversize length field.
+  std::string bad_magic = kqr::EncodeFrameString(
+      FrameType::kHealthRequest, kqr::EncodeRequestIdPayload(1));
+  bad_magic[0] = 'X';
+  WriteSeed(dir, "bad_magic", FrameInput(0, bad_magic));
+
+  std::string flipped = kqr::EncodeFrameString(
+      FrameType::kReformulateRequest, request_payload);
+  flipped[flipped.size() - 1] = static_cast<char>(
+      static_cast<uint8_t>(flipped[flipped.size() - 1]) ^ 0x10);
+  WriteSeed(dir, "payload_bitflip", FrameInput(0, flipped));
+
+  const std::string whole = kqr::EncodeFrameString(
+      FrameType::kReformulateRequest, request_payload);
+  WriteSeed(dir, "truncated_frame",
+            FrameInput(0, whole.substr(0, whole.size() - 3)));
+
+  std::string oversize = whole;
+  oversize[11] = static_cast<char>(0x7f);  // length field top byte: 2GB
+  WriteSeed(dir, "oversize_length", FrameInput(0, oversize));
+
+  WriteSeed(dir, "empty", FrameInput(0, ""));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,7 +277,7 @@ int main(int argc, char** argv) {
   }
   const std::string root = argv[1];
   for (const char* sub : {"", "/fuzz_container", "/fuzz_codec",
-                          "/fuzz_model_open"}) {
+                          "/fuzz_model_open", "/fuzz_frame"}) {
     ::mkdir((root + sub).c_str(), 0755);
   }
 
@@ -185,6 +294,7 @@ int main(int argc, char** argv) {
   MakeContainerSeeds(root + "/fuzz_container", *serialized);
   MakeCodecSeeds(root + "/fuzz_codec");
   MakeModelOpenSeeds(root + "/fuzz_model_open", *serialized);
+  MakeFrameSeeds(root + "/fuzz_frame");
 
   std::printf("wrote %d seed(s) under %s\n", g_written, root.c_str());
   return 0;

@@ -263,6 +263,28 @@ class ServingModel {
   /// Immutable after Build returns.
   const RequestTrace& build_trace() const { return build_trace_; }
 
+  /// \brief Claims the model's single serving-front-end slot. At most one
+  /// Server may front a model at a time: the kqr_server_* metrics a
+  /// Server registers in this model's registry are per-front-end
+  /// counters, and two servers double-counting into one set would
+  /// corrupt the accounting silently. Returns false when another Server
+  /// already holds the claim (Server::Create maps that to
+  /// kAlreadyExists). Const for the same memoization-facade reason as
+  /// the term cache: the claim is front-end bookkeeping, not model
+  /// state.
+  bool TryAcquireServerClaim() const {
+    bool expected = false;
+    return server_claim_.compare_exchange_strong(
+        expected, true, std::memory_order_acq_rel);
+  }
+
+  /// \brief Releases the front-end claim; called exactly once per claim
+  /// by Server::Drain after its workers have joined, so a new Server can
+  /// front the model (drain-and-replace rollover).
+  void ReleaseServerClaim() const {
+    server_claim_.store(false, std::memory_order_release);
+  }
+
  private:
   friend class EngineBuilder;
 
@@ -320,6 +342,9 @@ class ServingModel {
   std::unique_ptr<std::atomic<uint8_t>[]> prepared_flags_;
   std::unique_ptr<Mutex[]> term_mutexes_;
   std::atomic<bool> fully_prepared_{false};
+
+  /// Single-front-end claim (see TryAcquireServerClaim).
+  mutable std::atomic<bool> server_claim_{false};
 
   /// Pool of reusable offline extractors for lazy preparation.
   mutable Mutex pool_mu_;

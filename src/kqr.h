@@ -13,6 +13,8 @@
 //   Reformulator             the online pipeline (advanced direct use)
 //   RequestContext           per-thread scratch + deadline carrier
 //   Server / ServerOptions   batched async serving front-end
+//   ShardServer / ShardRouter  networked term-sharded serving
+//                            (net/frame.h wire protocol underneath)
 //   Snapshot save/load       persisted offline products (v2 text)
 //   Model file save/open     v3 mmap-able model container
 //                            (SaveModelFile / ServingModel::OpenMapped)
@@ -34,3 +36,6 @@
 #include "core/serving_model.h"
 #include "core/snapshot.h"
 #include "server/server.h"
+#include "shard/partition.h"
+#include "shard/router.h"
+#include "shard/shard_server.h"

@@ -1,0 +1,103 @@
+#include "net/frame.h"
+
+#include "common/io/codec.h"
+
+namespace kqr {
+
+bool IsKnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kReformulateRequest) &&
+         type <= static_cast<uint8_t>(FrameType::kSwapResponse);
+}
+
+void EncodeFrame(FrameType type, std::string_view payload, std::string* out) {
+  PutU32Le(out, kFrameMagic);
+  out->push_back(static_cast<char>(kFrameVersion));
+  out->push_back(static_cast<char>(type));
+  out->push_back('\0');
+  out->push_back('\0');
+  PutU32Le(out, static_cast<uint32_t>(payload.size()));
+  PutU64Le(out, Fnv1aWords(std::span<const std::byte>(
+                    reinterpret_cast<const std::byte*>(payload.data()),
+                    payload.size())));
+  out->append(payload);
+}
+
+std::string EncodeFrameString(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  EncodeFrame(type, payload, &out);
+  return out;
+}
+
+void FrameBuffer::Append(std::span<const std::byte> bytes) {
+  buffer_.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+void FrameBuffer::Append(std::string_view bytes) {
+  buffer_.append(bytes);
+}
+
+Result<std::optional<Frame>> FrameBuffer::Next() {
+  if (corrupt_) {
+    return Status::Corruption("frame stream already failed validation");
+  }
+  // Reclaim consumed prefix once it dominates the buffer, so a long-lived
+  // connection doesn't accumulate every frame it ever parsed.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return std::optional<Frame>{};
+
+  const auto* head =
+      reinterpret_cast<const std::byte*>(buffer_.data() + consumed_);
+  const uint32_t magic = GetU32Le(head);
+  if (magic != kFrameMagic) {
+    corrupt_ = true;
+    return Status::Corruption("bad frame magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(head[4]);
+  if (version != kFrameVersion) {
+    corrupt_ = true;
+    return Status::Corruption("unsupported frame version " +
+                              std::to_string(version));
+  }
+  const uint8_t type = static_cast<uint8_t>(head[5]);
+  if (!IsKnownFrameType(type)) {
+    corrupt_ = true;
+    return Status::Corruption("unknown frame type " + std::to_string(type));
+  }
+  const uint16_t reserved = static_cast<uint16_t>(
+      static_cast<uint8_t>(head[6]) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(head[7])) << 8));
+  if (reserved != 0) {
+    corrupt_ = true;
+    return Status::Corruption("nonzero reserved frame bytes");
+  }
+  const uint32_t payload_len = GetU32Le(head + 8);
+  if (payload_len > max_payload_) {
+    corrupt_ = true;
+    return Status::Corruption("frame payload of " +
+                              std::to_string(payload_len) +
+                              " bytes exceeds the frame bound");
+  }
+  if (avail < kFrameHeaderBytes + payload_len) return std::optional<Frame>{};
+
+  const uint64_t want_checksum = GetU64Le(head + 12);
+  const std::span<const std::byte> payload(head + kFrameHeaderBytes,
+                                           payload_len);
+  if (Fnv1aWords(payload) != want_checksum) {
+    corrupt_ = true;
+    return Status::Corruption("frame payload checksum mismatch");
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(reinterpret_cast<const char*>(payload.data()),
+                       payload.size());
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace kqr

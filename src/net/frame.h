@@ -1,0 +1,99 @@
+// Wire framing for the sharded serving protocol (DESIGN.md §8
+// "Distributed serving"). A connection is a byte stream of frames:
+//
+//   [0..4)    u32 magic 'KQRF' (little-endian 0x4652514b)
+//   [4]       u8  version (kFrameVersion)
+//   [5]       u8  type (FrameType)
+//   [6..8)    u16 reserved, must be zero
+//   [8..12)   u32 payload length (bounded by kMaxFramePayload)
+//   [12..20)  u64 Fnv1aWords checksum of the payload bytes
+//   [20..)    payload (message encoding: net/protocol.h)
+//
+// The decoder is incremental — feed it whatever the socket produced and
+// pull complete frames out — and corruption-first in the `common/io`
+// style: a truncated stream is simply "need more bytes", but a bad
+// magic, version, reserved word, oversized length, unknown type, or
+// checksum mismatch is a typed kCorruption, never a crash, an
+// out-of-bounds read, or a silently mis-framed stream. Peers drop the
+// connection on the first corrupt frame; there is no resynchronization.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kqr {
+
+inline constexpr uint32_t kFrameMagic = 0x4652514bu;  // "KQRF" little-endian
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+/// Hard payload bound: a garbage length field must never drive a
+/// multi-gigabyte allocation. Large enough for any realistic response
+/// batch (terms + score bits for thousands of rankings).
+inline constexpr size_t kMaxFramePayload = size_t{16} << 20;
+
+/// \brief Message kind carried by a frame. Request/response pairing is by
+/// kind plus the request_id inside the payload (net/protocol.h).
+enum class FrameType : uint8_t {
+  kReformulateRequest = 1,
+  kReformulateResponse = 2,
+  kHealthRequest = 3,
+  kHealthResponse = 4,
+  kStatsRequest = 5,
+  kStatsResponse = 6,
+  kSwapRequest = 7,
+  kSwapResponse = 8,
+};
+
+/// True for the FrameType values a conforming peer may send.
+bool IsKnownFrameType(uint8_t type);
+
+/// \brief One decoded frame: kind plus owned payload bytes.
+struct Frame {
+  FrameType type = FrameType::kReformulateRequest;
+  std::string payload;
+};
+
+/// \brief Appends one encoded frame (header + payload) to `out`.
+void EncodeFrame(FrameType type, std::string_view payload, std::string* out);
+
+/// Convenience: the encoded frame as its own string.
+std::string EncodeFrameString(FrameType type, std::string_view payload);
+
+/// \brief Incremental frame decoder over a received byte stream.
+///
+/// Append() whatever arrived; Next() yields complete frames in order,
+/// std::nullopt when the buffered bytes are a (possibly empty) frame
+/// prefix, or kCorruption when the stream can never parse. Consumed
+/// bytes are reclaimed lazily so long streams don't grow the buffer.
+/// Not thread-safe; each connection owns one.
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Append(std::span<const std::byte> bytes);
+  void Append(std::string_view bytes);
+
+  /// Next complete frame, nullopt when more bytes are needed, or
+  /// kCorruption (sticky: once the stream is corrupt every further Next
+  /// fails — a mis-framed stream has no trustworthy continuation).
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace kqr

@@ -1,0 +1,84 @@
+// epoll and eventfd behind RAII wrappers — with net/socket.h, the only
+// sanctioned home for raw socket/poll syscalls in src/ (tools/lint.py
+// rule `net-discipline`). The shard event loop (shard/shard_server.cc)
+// multiplexes its listener, its connections, and a wake fd through one
+// Poller; worker-thread completion callbacks ring the WakeFd so the loop
+// never spins and never misses a response.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kqr {
+
+/// \brief One readiness event; `tag` is the caller's registration tag.
+struct PollerEvent {
+  uint64_t tag = 0;
+  bool readable = false;
+  bool writable = false;
+  /// Peer hung up or the fd errored; the owner should read (to observe
+  /// the typed EOF/reset) and close.
+  bool hangup = false;
+};
+
+/// \brief Move-only epoll instance. Level-triggered — the loop re-sees
+/// unfinished work on the next Wait, so partial reads/writes need no
+/// state machine beyond the connection buffers.
+class Poller {
+ public:
+  static Result<Poller> Create();
+
+  Poller() = default;
+  ~Poller();
+  Poller(Poller&& other) noexcept;
+  Poller& operator=(Poller&& other) noexcept;
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool valid() const { return epfd_ >= 0; }
+
+  Status Add(int fd, uint64_t tag, bool want_read, bool want_write);
+  Status Update(int fd, uint64_t tag, bool want_read, bool want_write);
+  Status Remove(int fd);
+
+  /// \brief Waits up to `timeout_ms` (-1 = forever) and appends ready
+  /// events to `events` (cleared first). Zero events = timeout.
+  Status Wait(int timeout_ms, std::vector<PollerEvent>* events);
+
+ private:
+  explicit Poller(int epfd) : epfd_(epfd) {}
+
+  int epfd_ = -1;
+};
+
+/// \brief Cross-thread wakeup (eventfd): any thread Notify()s, the event
+/// loop sees its Poller tag readable and Consume()s. Notifications
+/// coalesce; one Consume acknowledges any number of Notifies.
+class WakeFd {
+ public:
+  static Result<WakeFd> Create();
+
+  WakeFd() = default;
+  ~WakeFd();
+  WakeFd(WakeFd&& other) noexcept;
+  WakeFd& operator=(WakeFd&& other) noexcept;
+  WakeFd(const WakeFd&) = delete;
+  WakeFd& operator=(const WakeFd&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Notify();
+  void Consume();
+
+ private:
+  explicit WakeFd(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace kqr

@@ -1,0 +1,285 @@
+#include "net/protocol.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/io/codec.h"
+
+namespace kqr {
+
+namespace {
+
+/// Upper bound accepted for any decoded string (status messages, stats
+/// JSON, model paths). Generous for real traffic, small enough that a
+/// hostile length field cannot drive a large allocation past the frame
+/// bound.
+constexpr uint64_t kMaxWireString = uint64_t{8} << 20;
+
+void PutString(std::string_view s, std::string* out) {
+  PutVarint64(out, s.size());
+  out->append(s);
+}
+
+Result<std::string> ReadString(ByteReader* reader) {
+  KQR_ASSIGN_OR_RETURN(const uint64_t len, reader->Varint64());
+  if (len > kMaxWireString || len > reader->remaining()) {
+    return Status::Corruption("wire string length " + std::to_string(len) +
+                              " exceeds the payload");
+  }
+  KQR_ASSIGN_OR_RETURN(const std::span<const std::byte> bytes,
+                       reader->Bytes(static_cast<size_t>(len)));
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+/// Validates a decoded element count against the bytes that remain: every
+/// element costs at least `min_bytes` on the wire, so a count the payload
+/// cannot possibly hold is rejected before any reserve().
+Status CheckCount(uint64_t count, size_t min_bytes, const ByteReader& reader,
+                  const char* what) {
+  if (count > reader.remaining() / min_bytes) {
+    return Status::Corruption(std::string("wire ") + what + " count " +
+                              std::to_string(count) +
+                              " exceeds the payload");
+  }
+  return Status::OK();
+}
+
+/// Result<Status> would be ill-formed (value and error constructors
+/// collide), so the decoded status travels through an out-parameter and
+/// the return value reports the decode itself.
+Status ReadStatus(ByteReader* reader, Status* out) {
+  KQR_ASSIGN_OR_RETURN(const uint64_t code, reader->Varint64());
+  if (code > static_cast<uint64_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::Corruption("unknown wire status code " +
+                              std::to_string(code));
+  }
+  KQR_ASSIGN_OR_RETURN(std::string message, ReadString(reader));
+  if (code == 0 && !message.empty()) {
+    return Status::Corruption("OK wire status carries a message");
+  }
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+void EncodeRanking(const std::vector<ReformulatedQuery>& ranking,
+                   std::string* out) {
+  PutVarint64(out, ranking.size());
+  for (const ReformulatedQuery& q : ranking) {
+    PutVarint64(out, q.terms.size());
+    for (TermId t : q.terms) PutVarint64(out, t);
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(q.score));
+    std::memcpy(&bits, &q.score, sizeof(bits));
+    PutU64Le(out, bits);
+    out->push_back(q.is_identity ? '\1' : '\0');
+  }
+}
+
+Result<std::vector<ReformulatedQuery>> ReadRanking(ByteReader* reader) {
+  KQR_ASSIGN_OR_RETURN(const uint64_t count, reader->Varint64());
+  KQR_RETURN_NOT_OK(CheckCount(count, 1, *reader, "ranking"));
+  std::vector<ReformulatedQuery> ranking;
+  ranking.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    ReformulatedQuery q;
+    KQR_ASSIGN_OR_RETURN(const uint64_t num_terms, reader->Varint64());
+    KQR_RETURN_NOT_OK(CheckCount(num_terms, 1, *reader, "ranking term"));
+    q.terms.reserve(static_cast<size_t>(num_terms));
+    for (uint64_t j = 0; j < num_terms; ++j) {
+      KQR_ASSIGN_OR_RETURN(const uint64_t term, reader->Varint64());
+      if (term > kInvalidTermId) {
+        return Status::Corruption("wire term id out of range");
+      }
+      q.terms.push_back(static_cast<TermId>(term));
+    }
+    KQR_ASSIGN_OR_RETURN(const uint64_t bits, reader->U64Le());
+    std::memcpy(&q.score, &bits, sizeof(q.score));
+    KQR_ASSIGN_OR_RETURN(const std::span<const std::byte> flag,
+                         reader->Bytes(1));
+    const uint8_t identity = static_cast<uint8_t>(flag[0]);
+    if (identity > 1) {
+      return Status::Corruption("wire identity flag out of range");
+    }
+    q.is_identity = identity == 1;
+    ranking.push_back(std::move(q));
+  }
+  return ranking;
+}
+
+Status ExpectDone(const ByteReader& reader) {
+  if (!reader.done()) {
+    return Status::Corruption("trailing bytes after wire message");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeStatus(const Status& status, std::string* out) {
+  PutVarint64(out, static_cast<uint64_t>(status.code()));
+  PutString(status.ok() ? std::string_view{} : status.message(), out);
+}
+
+std::string EncodeReformulateRequest(const ReformulateRequest& request) {
+  std::string out;
+  PutVarint64(&out, request.request_id);
+  PutVarint64(&out, request.k);
+  PutVarint64(&out, request.deadline_micros);
+  PutVarint64(&out, request.queries.size());
+  for (const std::vector<TermId>& query : request.queries) {
+    PutVarint64(&out, query.size());
+    for (TermId t : query) PutVarint64(&out, t);
+  }
+  return out;
+}
+
+Result<ReformulateRequest> DecodeReformulateRequest(
+    std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  ReformulateRequest request;
+  KQR_ASSIGN_OR_RETURN(request.request_id, reader.Varint64());
+  KQR_ASSIGN_OR_RETURN(request.k, reader.Varint64());
+  KQR_ASSIGN_OR_RETURN(request.deadline_micros, reader.Varint64());
+  KQR_ASSIGN_OR_RETURN(const uint64_t num_queries, reader.Varint64());
+  KQR_RETURN_NOT_OK(CheckCount(num_queries, 1, reader, "query"));
+  request.queries.reserve(static_cast<size_t>(num_queries));
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    KQR_ASSIGN_OR_RETURN(const uint64_t num_terms, reader.Varint64());
+    KQR_RETURN_NOT_OK(CheckCount(num_terms, 1, reader, "query term"));
+    std::vector<TermId> terms;
+    terms.reserve(static_cast<size_t>(num_terms));
+    for (uint64_t j = 0; j < num_terms; ++j) {
+      KQR_ASSIGN_OR_RETURN(const uint64_t term, reader.Varint64());
+      if (term > kInvalidTermId) {
+        return Status::Corruption("wire term id out of range");
+      }
+      terms.push_back(static_cast<TermId>(term));
+    }
+    request.queries.push_back(std::move(terms));
+  }
+  KQR_RETURN_NOT_OK(ExpectDone(reader));
+  return request;
+}
+
+std::string EncodeReformulateResponse(const ReformulateResponse& response) {
+  std::string out;
+  PutVarint64(&out, response.request_id);
+  PutVarint64(&out, response.results.size());
+  for (const Result<std::vector<ReformulatedQuery>>& result :
+       response.results) {
+    EncodeStatus(result.status(), &out);
+    if (result.ok()) EncodeRanking(*result, &out);
+  }
+  return out;
+}
+
+Result<ReformulateResponse> DecodeReformulateResponse(
+    std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  ReformulateResponse response;
+  KQR_ASSIGN_OR_RETURN(response.request_id, reader.Varint64());
+  KQR_ASSIGN_OR_RETURN(const uint64_t num_results, reader.Varint64());
+  KQR_RETURN_NOT_OK(CheckCount(num_results, 2, reader, "result"));
+  response.results.reserve(static_cast<size_t>(num_results));
+  for (uint64_t i = 0; i < num_results; ++i) {
+    Status status;
+    KQR_RETURN_NOT_OK(ReadStatus(&reader, &status));
+    if (status.ok()) {
+      KQR_ASSIGN_OR_RETURN(std::vector<ReformulatedQuery> ranking,
+                           ReadRanking(&reader));
+      response.results.emplace_back(std::move(ranking));
+    } else {
+      response.results.emplace_back(std::move(status));
+    }
+  }
+  KQR_RETURN_NOT_OK(ExpectDone(reader));
+  return response;
+}
+
+std::string EncodeRequestIdPayload(uint64_t request_id) {
+  std::string out;
+  PutVarint64(&out, request_id);
+  return out;
+}
+
+Result<uint64_t> DecodeRequestIdPayload(std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  KQR_ASSIGN_OR_RETURN(const uint64_t request_id, reader.Varint64());
+  KQR_RETURN_NOT_OK(ExpectDone(reader));
+  return request_id;
+}
+
+std::string EncodeHealthResponse(const HealthResponse& response) {
+  std::string out;
+  PutVarint64(&out, response.request_id);
+  PutVarint64(&out, response.model_generation);
+  PutVarint64(&out, response.vocab_terms);
+  PutVarint64(&out, response.prepared_terms);
+  return out;
+}
+
+Result<HealthResponse> DecodeHealthResponse(
+    std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  HealthResponse response;
+  KQR_ASSIGN_OR_RETURN(response.request_id, reader.Varint64());
+  KQR_ASSIGN_OR_RETURN(response.model_generation, reader.Varint64());
+  KQR_ASSIGN_OR_RETURN(response.vocab_terms, reader.Varint64());
+  KQR_ASSIGN_OR_RETURN(response.prepared_terms, reader.Varint64());
+  KQR_RETURN_NOT_OK(ExpectDone(reader));
+  return response;
+}
+
+std::string EncodeStatsResponse(const StatsResponse& response) {
+  std::string out;
+  PutVarint64(&out, response.request_id);
+  PutString(response.json, &out);
+  return out;
+}
+
+Result<StatsResponse> DecodeStatsResponse(
+    std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  StatsResponse response;
+  KQR_ASSIGN_OR_RETURN(response.request_id, reader.Varint64());
+  KQR_ASSIGN_OR_RETURN(response.json, ReadString(&reader));
+  KQR_RETURN_NOT_OK(ExpectDone(reader));
+  return response;
+}
+
+std::string EncodeSwapRequest(const SwapRequest& request) {
+  std::string out;
+  PutVarint64(&out, request.request_id);
+  PutString(request.model_path, &out);
+  return out;
+}
+
+Result<SwapRequest> DecodeSwapRequest(std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  SwapRequest request;
+  KQR_ASSIGN_OR_RETURN(request.request_id, reader.Varint64());
+  KQR_ASSIGN_OR_RETURN(request.model_path, ReadString(&reader));
+  KQR_RETURN_NOT_OK(ExpectDone(reader));
+  return request;
+}
+
+std::string EncodeSwapResponse(const SwapResponse& response) {
+  std::string out;
+  PutVarint64(&out, response.request_id);
+  EncodeStatus(response.status, &out);
+  PutVarint64(&out, response.model_generation);
+  return out;
+}
+
+Result<SwapResponse> DecodeSwapResponse(std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  SwapResponse response;
+  KQR_ASSIGN_OR_RETURN(response.request_id, reader.Varint64());
+  KQR_RETURN_NOT_OK(ReadStatus(&reader, &response.status));
+  KQR_ASSIGN_OR_RETURN(response.model_generation, reader.Varint64());
+  KQR_RETURN_NOT_OK(ExpectDone(reader));
+  return response;
+}
+
+}  // namespace kqr

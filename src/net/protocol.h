@@ -1,0 +1,104 @@
+// Message schemas for the sharded serving protocol, one per FrameType
+// (net/frame.h). Encodings ride the common/io codec primitives: varints
+// for ids/counts, length-prefixed UTF-8 for strings, and raw
+// little-endian u64 bit patterns for scores — a ranking decoded from the
+// wire is bit-identical to the ranking the shard computed, which is what
+// lets the router's merged answers fingerprint-match a single-process
+// ReformulateTerms (DESIGN.md §8).
+//
+// Every decoder is corruption-first: element counts are sanity-bounded
+// against the remaining payload before any allocation, enum values are
+// range-checked, and any malformed payload fails with a typed
+// kCorruption — the frame checksum catches transport damage, these
+// checks catch a malicious or buggy peer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/reformulator.h"
+
+namespace kqr {
+
+/// \brief Reformulate a batch of term queries. `deadline_micros` is the
+/// caller's remaining budget, relative to receipt (0 = no deadline); the
+/// shard applies it per query through the inner server's admission path.
+struct ReformulateRequest {
+  uint64_t request_id = 0;
+  uint64_t k = 10;
+  uint64_t deadline_micros = 0;
+  std::vector<std::vector<TermId>> queries;
+};
+
+/// \brief Per-query outcomes, parallel to the request's `queries`. Each
+/// entry is a full ranking or a typed error — never a partial ranking.
+struct ReformulateResponse {
+  uint64_t request_id = 0;
+  std::vector<Result<std::vector<ReformulatedQuery>>> results;
+};
+
+/// \brief Liveness + identity probe answered inline by the shard's event
+/// loop (it never queues behind reformulation work).
+struct HealthResponse {
+  uint64_t request_id = 0;
+  /// Monotonic model generation: bumped by every hot swap.
+  uint64_t model_generation = 0;
+  uint64_t vocab_terms = 0;
+  uint64_t prepared_terms = 0;
+};
+
+/// \brief Metrics scrape: the shard's own counters plus the active
+/// model's registry, as one JSON document.
+struct StatsResponse {
+  uint64_t request_id = 0;
+  std::string json;
+};
+
+/// \brief Hot model swap: load the v3 model file at `model_path` and roll
+/// the shard over to it with zero shed requests (DESIGN.md §8).
+struct SwapRequest {
+  uint64_t request_id = 0;
+  std::string model_path;
+};
+
+struct SwapResponse {
+  uint64_t request_id = 0;
+  Status status;
+  /// Generation after the swap (unchanged when `status` is an error).
+  uint64_t model_generation = 0;
+};
+
+// -- Status over the wire ----------------------------------------------
+
+/// Appends a Status as varint code + length-prefixed message.
+void EncodeStatus(const Status& status, std::string* out);
+
+// -- Encoders ----------------------------------------------------------
+
+std::string EncodeReformulateRequest(const ReformulateRequest& request);
+std::string EncodeReformulateResponse(const ReformulateResponse& response);
+/// Health and stats requests carry only the request id.
+std::string EncodeRequestIdPayload(uint64_t request_id);
+std::string EncodeHealthResponse(const HealthResponse& response);
+std::string EncodeStatsResponse(const StatsResponse& response);
+std::string EncodeSwapRequest(const SwapRequest& request);
+std::string EncodeSwapResponse(const SwapResponse& response);
+
+// -- Decoders (typed kCorruption on any malformed payload) -------------
+
+Result<ReformulateRequest> DecodeReformulateRequest(
+    std::span<const std::byte> payload);
+Result<ReformulateResponse> DecodeReformulateResponse(
+    std::span<const std::byte> payload);
+Result<uint64_t> DecodeRequestIdPayload(std::span<const std::byte> payload);
+Result<HealthResponse> DecodeHealthResponse(
+    std::span<const std::byte> payload);
+Result<StatsResponse> DecodeStatsResponse(std::span<const std::byte> payload);
+Result<SwapRequest> DecodeSwapRequest(std::span<const std::byte> payload);
+Result<SwapResponse> DecodeSwapResponse(std::span<const std::byte> payload);
+
+}  // namespace kqr

@@ -1,0 +1,259 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace kqr {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Numeric IPv4 only: shard fleets are addressed by explicit IPs (tests
+  // and benches use loopback). Name resolution would drag blocking DNS
+  // into deadline-bounded code paths.
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: '" + host +
+                                   "'");
+  }
+  return addr;
+}
+
+int PollTimeoutMs(double timeout_seconds) {
+  if (timeout_seconds <= 0.0) return 0;
+  const double ms = timeout_seconds * 1e3;
+  constexpr double kMaxMs = 1e9;
+  return static_cast<int>(std::min(ms < 1.0 ? 1.0 : ms, kMaxMs));
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::ListenTcp(const std::string& host, uint16_t port,
+                                 int backlog) {
+  KQR_ASSIGN_OR_RETURN(const sockaddr_in addr, ResolveV4(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(sock.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd_, backlog) != 0) return Errno("listen");
+  KQR_RETURN_NOT_OK(sock.SetNonBlocking(true));
+  return sock;
+}
+
+Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port,
+                                  double timeout_seconds) {
+  KQR_ASSIGN_OR_RETURN(const sockaddr_in addr, ResolveV4(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Errno("socket");
+  KQR_RETURN_NOT_OK(sock.SetNonBlocking(true));
+  const int rc = ::connect(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::Unavailable("connect " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    }
+    KQR_ASSIGN_OR_RETURN(const bool writable,
+                         WaitWritable(sock.fd_, timeout_seconds));
+    if (!writable) {
+      return Status::Unavailable("connect " + host + ":" +
+                                 std::to_string(port) + ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::Unavailable("connect " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(err));
+    }
+  }
+  KQR_RETURN_NOT_OK(sock.SetNoDelay(true));
+  return sock;
+}
+
+Result<uint16_t> Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status Socket::SetNonBlocking(bool non_blocking) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want =
+      non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) != 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status Socket::SetNoDelay(bool no_delay) {
+  const int v = no_delay ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<Socket> Socket::Accept() {
+  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket();
+    // A connection that reset between arrival and accept is not a
+    // listener failure; report "nothing pending" and let epoll re-arm.
+    if (errno == ECONNABORTED) return Socket();
+    return Errno("accept");
+  }
+  Socket sock(fd);
+  KQR_RETURN_NOT_OK(sock.SetNonBlocking(true));
+  KQR_RETURN_NOT_OK(sock.SetNoDelay(true));
+  return sock;
+}
+
+Result<IoResult> Socket::Read(std::span<std::byte> buf) {
+  IoResult io;
+  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+  if (n > 0) {
+    io.bytes = static_cast<size_t>(n);
+    return io;
+  }
+  if (n == 0) {
+    io.eof = true;
+    return io;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    io.would_block = true;
+    return io;
+  }
+  // A peer that vanished mid-stream (reset) reads as typed unavailability
+  // so the caller can degrade instead of treating it as local I/O error.
+  if (errno == ECONNRESET || errno == EPIPE) {
+    return Status::Unavailable(std::string("peer reset: ") +
+                               std::strerror(errno));
+  }
+  return Errno("recv");
+}
+
+Result<IoResult> Socket::Write(std::span<const std::byte> buf) {
+  IoResult io;
+  const ssize_t n = ::send(fd_, buf.data(), buf.size(), MSG_NOSIGNAL);
+  if (n >= 0) {
+    io.bytes = static_cast<size_t>(n);
+    return io;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    io.would_block = true;
+    return io;
+  }
+  if (errno == ECONNRESET || errno == EPIPE) {
+    return Status::Unavailable(std::string("peer reset: ") +
+                               std::strerror(errno));
+  }
+  return Errno("send");
+}
+
+Result<bool> WaitReadable(int fd, double timeout_seconds) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  const int rc = ::poll(&p, 1, PollTimeoutMs(timeout_seconds));
+  if (rc < 0) {
+    if (errno == EINTR) return false;
+    return Errno("poll");
+  }
+  return rc > 0;
+}
+
+Result<bool> WaitWritable(int fd, double timeout_seconds) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLOUT;
+  const int rc = ::poll(&p, 1, PollTimeoutMs(timeout_seconds));
+  if (rc < 0) {
+    if (errno == EINTR) return false;
+    return Errno("poll");
+  }
+  return rc > 0;
+}
+
+Result<size_t> PollReadable(std::span<PollItem> items,
+                            double timeout_seconds) {
+  std::vector<pollfd> fds;
+  fds.reserve(items.size());
+  for (const PollItem& item : items) {
+    pollfd p{};
+    p.fd = item.fd;
+    p.events = POLLIN;
+    fds.push_back(p);
+  }
+  const int rc =
+      ::poll(fds.data(), fds.size(), PollTimeoutMs(timeout_seconds));
+  if (rc < 0) {
+    if (errno == EINTR) {
+      for (PollItem& item : items) item.readable = false;
+      return size_t{0};
+    }
+    return Errno("poll");
+  }
+  size_t ready = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    // Hangup/error states count as readable: the next Read reports the
+    // EOF or reset as a typed outcome.
+    items[i].readable =
+        (fds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0;
+    if (items[i].readable) ++ready;
+  }
+  return ready;
+}
+
+}  // namespace kqr

@@ -1,0 +1,101 @@
+// POSIX TCP sockets behind RAII, Result-typed wrappers. This file (with
+// net/poller.h) is the only place in src/ allowed to make raw socket and
+// poll syscalls — tools/lint.py rule `net-discipline` — so every byte
+// that crosses a process boundary flows through code with one error
+// model: would-block and EOF are ordinary IoResult states, everything
+// else is a typed Status, and no kqr code path can raise SIGPIPE (all
+// writes are MSG_NOSIGNAL sends).
+//
+// Servers run sockets non-blocking under an epoll Poller; clients keep
+// them non-blocking too and bound every wait with WaitReadable /
+// WaitWritable, so a dead or stalled peer costs a deadline, never a hang
+// (the router's typed-degradation contract, DESIGN.md §8).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kqr {
+
+/// \brief Outcome of one non-blocking read or write.
+struct IoResult {
+  size_t bytes = 0;        ///< bytes transferred (0 with a flag below)
+  bool would_block = false;  ///< retry after the fd is ready again
+  bool eof = false;          ///< orderly peer shutdown (reads only)
+};
+
+/// \brief Move-only owner of one socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// \brief Listening socket on `host:port` (port 0 = kernel-assigned
+  /// ephemeral port; read it back with local_port). SO_REUSEADDR is set
+  /// so tests and restarts never trip over TIME_WAIT.
+  static Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                                  int backlog = 128);
+
+  /// \brief Connected socket to `host:port`, or kUnavailable when the
+  /// peer refuses / the timeout passes. The returned socket is
+  /// non-blocking with TCP_NODELAY set (request/response frames are
+  /// small; Nagle would serialize them behind delayed ACKs).
+  static Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                                   double timeout_seconds);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Port the socket is bound to (listening sockets after ListenTcp).
+  Result<uint16_t> local_port() const;
+
+  Status SetNonBlocking(bool non_blocking);
+  Status SetNoDelay(bool no_delay);
+
+  /// \brief Accepts one pending connection (non-blocking, NODELAY). An
+  /// invalid Socket (valid() == false) with OK status means no
+  /// connection is pending on a non-blocking listener.
+  Result<Socket> Accept();
+
+  /// Non-blocking read into `buf` (recv). would_block / eof via IoResult.
+  Result<IoResult> Read(std::span<std::byte> buf);
+
+  /// Non-blocking write of `buf` (send, MSG_NOSIGNAL — a vanished peer
+  /// yields a typed error, never SIGPIPE).
+  Result<IoResult> Write(std::span<const std::byte> buf);
+
+  void Close();
+
+ private:
+  explicit Socket(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+/// \brief Blocks until `fd` is readable (true), the timeout passes
+/// (false), or a poll error occurs. timeout <= 0 polls without waiting.
+Result<bool> WaitReadable(int fd, double timeout_seconds);
+Result<bool> WaitWritable(int fd, double timeout_seconds);
+
+/// \brief One fd in a multi-connection gather wait.
+struct PollItem {
+  int fd = -1;
+  bool readable = false;  ///< out: data (or EOF/error) pending
+};
+
+/// \brief Waits until any item is readable or the timeout passes; sets
+/// the readable flags. Returns the number of ready items (0 = timeout).
+Result<size_t> PollReadable(std::span<PollItem> items,
+                            double timeout_seconds);
+
+}  // namespace kqr

@@ -62,6 +62,13 @@ Result<std::unique_ptr<Server>> Server::Create(
     return Status::InvalidArgument("server needs a model to serve");
   }
   KQR_RETURN_NOT_OK(options.Validate());
+  // Claim last: everything before this point is side-effect-free, so a
+  // rejected Create never leaks a held claim.
+  if (!model->TryAcquireServerClaim()) {
+    return Status::AlreadyExists(
+        "a Server already fronts this ServingModel; Drain it before "
+        "creating another");
+  }
   return std::unique_ptr<Server>(new Server(std::move(model), options));
 }
 
@@ -159,6 +166,11 @@ void Server::Drain() {
   for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
+  // The joining caller — the one that took the non-empty vector — is the
+  // only one that releases the model's front-end claim, and it does so
+  // after the workers are gone, so a successor Server never overlaps
+  // this one's worker pool.
+  if (!workers.empty()) model_->ReleaseServerClaim();
 }
 
 bool Server::draining() const {

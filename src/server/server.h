@@ -94,8 +94,12 @@ struct ServerMetrics {
 /// returns, and the destructor drains — no future is ever abandoned.
 class Server {
  public:
-  /// \brief Validates `options`, registers the server metrics in the
-  /// model's registry, and starts the worker pool.
+  /// \brief Validates `options`, claims the model's single front-end
+  /// slot, registers the server metrics in the model's registry, and
+  /// starts the worker pool. Fails kAlreadyExists while another
+  /// (undrained) Server fronts the same model — two front-ends would
+  /// double-count into one set of kqr_server_* metrics. Drain the old
+  /// server first; Create-after-Drain on the same model succeeds.
   static Result<std::unique_ptr<Server>> Create(
       std::shared_ptr<const ServingModel> model, ServerOptions options = {});
 

@@ -1,0 +1,59 @@
+// Term-space partition for sharded serving (DESIGN.md §8).
+//
+// Reformulation is a joint decode over all of a query's positions — one
+// query cannot be split across processes without changing its answer. So
+// the shard fleet partitions *ownership*, not computation: a stable hash
+// maps every vocabulary term to a shard, and a whole query is owned by
+// the shard of its anchor term (the term whose (hash, id) pair is
+// smallest). Every shard opens the same v3 model file, so any shard
+// *could* serve any query; routing by ownership is what makes each
+// shard's lazy term cache warm only its slice of the vocabulary, which
+// is the scaling property the fleet exists for. The anchor rule is a
+// pure function of the query's term multiset and the shard count, so
+// router and tests agree on placement without any shared state.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/io/codec.h"
+#include "text/vocabulary.h"
+
+namespace kqr {
+
+/// \brief Stable 64-bit hash of a term id (FNV-1a over its LE bytes).
+/// Never reordered: routing, tests, and any future persisted placement
+/// all assume this exact function.
+inline uint64_t TermShardHash(TermId term) {
+  return Fnv1aU64(kFnv64Basis, static_cast<uint64_t>(term));
+}
+
+/// \brief The shard that owns `term` in a fleet of `num_shards`.
+inline size_t ShardOfTerm(TermId term, size_t num_shards) {
+  return static_cast<size_t>(TermShardHash(term) % num_shards);
+}
+
+/// \brief The shard that owns a whole query: the shard of its anchor
+/// term, the term minimizing (hash, id). Ties on hash break by id, so
+/// the anchor — and therefore placement — is deterministic for any term
+/// order and any duplicate structure. Empty queries anchor at shard 0
+/// (they fail validation downstream anyway; the router still needs a
+/// total function).
+inline size_t OwnerShard(std::span<const TermId> query_terms,
+                         size_t num_shards) {
+  if (query_terms.empty()) return 0;
+  TermId anchor = query_terms[0];
+  uint64_t anchor_hash = TermShardHash(anchor);
+  for (size_t i = 1; i < query_terms.size(); ++i) {
+    const uint64_t h = TermShardHash(query_terms[i]);
+    if (h < anchor_hash ||
+        (h == anchor_hash && query_terms[i] < anchor)) {
+      anchor = query_terms[i];
+      anchor_hash = h;
+    }
+  }
+  return static_cast<size_t>(anchor_hash % num_shards);
+}
+
+}  // namespace kqr

@@ -1,0 +1,516 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace kqr {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+double RemainingSeconds(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::duration<double>(
+             deadline - std::chrono::steady_clock::now())
+      .count();
+}
+
+/// Folds transport-layer codes into the router's degradation contract:
+/// local I/O trouble and corrupt streams both surface to callers as the
+/// shard being unavailable (the caller cannot act on the difference; the
+/// corrupt-frame counter preserves it for diagnosis).
+Status MapTransportStatus(const Status& status) {
+  if (status.code() == StatusCode::kCorruption ||
+      status.code() == StatusCode::kIOError) {
+    return Status::Unavailable(status.message());
+  }
+  return status;
+}
+
+}  // namespace
+
+Status RouterOptions::Validate() const {
+  if (connect_timeout_seconds <= 0.0) {
+    return Status::InvalidArgument("connect_timeout_seconds must be > 0");
+  }
+  if (default_deadline_seconds <= 0.0) {
+    return Status::InvalidArgument("default_deadline_seconds must be > 0");
+  }
+  if (max_frame_payload == 0 || max_frame_payload > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "max_frame_payload must be in (0, " +
+        std::to_string(kMaxFramePayload) + "]");
+  }
+  return Status::OK();
+}
+
+struct ShardRouter::ShardConn {
+  ShardAddress address;
+  Socket sock;
+  FrameBuffer in;
+  bool ever_connected = false;
+
+  ShardConn(ShardAddress addr, size_t max_payload)
+      : address(std::move(addr)), in(max_payload) {}
+};
+
+struct ShardRouter::Metrics {
+  Counter* batches;
+  Counter* queries;
+  Counter* scatters;
+  Counter* ok;
+  Counter* unavailable;
+  Counter* deadline_exceeded;
+  Counter* remote_errors;
+  Counter* corrupt_frames;
+  Counter* reconnects;
+
+  explicit Metrics(MetricsRegistry* r)
+      : batches(r->GetCounter("kqr_shard_router_batches_total")),
+        queries(r->GetCounter("kqr_shard_router_queries_total")),
+        scatters(r->GetCounter("kqr_shard_router_scatters_total")),
+        ok(r->GetCounter("kqr_shard_router_ok_total")),
+        unavailable(r->GetCounter("kqr_shard_router_unavailable_total")),
+        deadline_exceeded(
+            r->GetCounter("kqr_shard_router_deadline_exceeded_total")),
+        remote_errors(
+            r->GetCounter("kqr_shard_router_remote_errors_total")),
+        corrupt_frames(
+            r->GetCounter("kqr_shard_router_corrupt_frames_total")),
+        reconnects(r->GetCounter("kqr_shard_router_reconnects_total")) {}
+};
+
+ShardRouter::ShardRouter(RouterOptions options)
+    : options_(options), metrics_(std::make_unique<Metrics>(&registry_)) {}
+
+ShardRouter::~ShardRouter() = default;
+
+size_t ShardRouter::num_shards() const { return conns_.size(); }
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Connect(
+    std::vector<ShardAddress> shards, RouterOptions options) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("router needs at least one shard");
+  }
+  KQR_RETURN_NOT_OK(options.Validate());
+  std::unique_ptr<ShardRouter> router(new ShardRouter(options));
+  router->conns_.reserve(shards.size());
+  for (ShardAddress& addr : shards) {
+    router->conns_.emplace_back(std::move(addr), options.max_frame_payload);
+  }
+  // Eager best-effort dial: a shard that is down now degrades to
+  // kUnavailable per batch and reconnects lazily when it returns.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options.connect_timeout_seconds));
+  for (size_t shard = 0; shard < router->conns_.size(); ++shard) {
+    (void)router->EnsureConnected(shard, deadline);
+  }
+  return router;
+}
+
+RouterStats ShardRouter::stats() const {
+  RouterStats s;
+  s.batches = metrics_->batches->Value();
+  s.queries = metrics_->queries->Value();
+  s.scatters = metrics_->scatters->Value();
+  s.ok = metrics_->ok->Value();
+  s.unavailable = metrics_->unavailable->Value();
+  s.deadline_exceeded = metrics_->deadline_exceeded->Value();
+  s.remote_errors = metrics_->remote_errors->Value();
+  s.corrupt_frames = metrics_->corrupt_frames->Value();
+  s.reconnects = metrics_->reconnects->Value();
+  return s;
+}
+
+ShardRouter::Clock::time_point ShardRouter::DeadlineFor(
+    double deadline_seconds) const {
+  const double relative = deadline_seconds > 0.0
+                              ? deadline_seconds
+                              : options_.default_deadline_seconds;
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(relative));
+}
+
+Status ShardRouter::EnsureConnected(size_t shard,
+                                    Clock::time_point deadline) {
+  ShardConn& conn = conns_[shard];
+  if (conn.sock.valid()) return Status::OK();
+  const double remaining = std::min(options_.connect_timeout_seconds,
+                                    RemainingSeconds(deadline));
+  if (remaining <= 0.0) {
+    return Status::DeadlineExceeded("no time left to connect to shard " +
+                                    std::to_string(shard));
+  }
+  Result<Socket> connected =
+      Socket::ConnectTcp(conn.address.host, conn.address.port, remaining);
+  if (!connected.ok()) return connected.status();
+  conn.sock = std::move(*connected);
+  conn.in = FrameBuffer(options_.max_frame_payload);
+  if (conn.ever_connected) metrics_->reconnects->Increment();
+  conn.ever_connected = true;
+  return Status::OK();
+}
+
+void ShardRouter::Disconnect(size_t shard) {
+  conns_[shard].sock.Close();
+  conns_[shard].in = FrameBuffer(options_.max_frame_payload);
+}
+
+Status ShardRouter::WriteAll(size_t shard, const std::string& wire,
+                             Clock::time_point deadline) {
+  ShardConn& conn = conns_[shard];
+  size_t pos = 0;
+  while (pos < wire.size()) {
+    Result<IoResult> io =
+        conn.sock.Write(std::as_bytes(std::span(wire).subspan(pos)));
+    if (!io.ok()) return io.status();
+    if (io->would_block) {
+      const double remaining = RemainingSeconds(deadline);
+      if (remaining <= 0.0) {
+        return Status::DeadlineExceeded(
+            "deadline passed while writing to shard " +
+            std::to_string(shard));
+      }
+      KQR_ASSIGN_OR_RETURN(const bool writable,
+                           WaitWritable(conn.sock.fd(), remaining));
+      if (!writable) {
+        return Status::DeadlineExceeded(
+            "deadline passed while writing to shard " +
+            std::to_string(shard));
+      }
+      continue;
+    }
+    pos += io->bytes;
+  }
+  return Status::OK();
+}
+
+Result<Frame> ShardRouter::Call(size_t shard, FrameType request_type,
+                                const std::string& payload,
+                                FrameType response_type,
+                                Clock::time_point deadline) {
+  if (shard >= conns_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  Status st = EnsureConnected(shard, deadline);
+  if (!st.ok()) return MapTransportStatus(st);
+  const std::string wire = EncodeFrameString(request_type, payload);
+  st = WriteAll(shard, wire, deadline);
+  if (!st.ok()) {
+    Disconnect(shard);
+    return MapTransportStatus(st);
+  }
+
+  ShardConn& conn = conns_[shard];
+  std::byte buf[kReadChunk];
+  for (;;) {
+    Result<std::optional<Frame>> next = conn.in.Next();
+    if (!next.ok()) {
+      metrics_->corrupt_frames->Increment();
+      Disconnect(shard);
+      return MapTransportStatus(next.status());
+    }
+    if (next->has_value()) {
+      Frame frame = std::move(**next);
+      if (frame.type != response_type || conn.in.buffered() != 0) {
+        metrics_->corrupt_frames->Increment();
+        Disconnect(shard);
+        return Status::Unavailable(
+            "shard sent an unexpected frame (stream desynchronized)");
+      }
+      return frame;
+    }
+    const double remaining = RemainingSeconds(deadline);
+    if (remaining <= 0.0) {
+      Disconnect(shard);
+      return Status::DeadlineExceeded("shard " + std::to_string(shard) +
+                                      " did not respond in time");
+    }
+    KQR_ASSIGN_OR_RETURN(const bool readable,
+                         WaitReadable(conn.sock.fd(), remaining));
+    if (!readable) {
+      Disconnect(shard);
+      return Status::DeadlineExceeded("shard " + std::to_string(shard) +
+                                      " did not respond in time");
+    }
+    Result<IoResult> io = conn.sock.Read(buf);
+    if (!io.ok()) {
+      Disconnect(shard);
+      return MapTransportStatus(io.status());
+    }
+    if (io->eof) {
+      // Whatever arrived may still frame a full response; loop once more
+      // before declaring the shard gone.
+      Result<std::optional<Frame>> last = conn.in.Next();
+      if (last.ok() && last->has_value() &&
+          (*last)->type == response_type && conn.in.buffered() == 0) {
+        Frame frame = std::move(**last);
+        Disconnect(shard);
+        return frame;
+      }
+      Disconnect(shard);
+      return Status::Unavailable("shard closed the connection");
+    }
+    if (!io->would_block) {
+      conn.in.Append(std::span<const std::byte>(buf, io->bytes));
+    }
+  }
+}
+
+Result<HealthResponse> ShardRouter::Health(size_t shard,
+                                           double deadline_seconds) {
+  const uint64_t request_id = next_request_id_++;
+  KQR_ASSIGN_OR_RETURN(
+      const Frame frame,
+      Call(shard, FrameType::kHealthRequest,
+           EncodeRequestIdPayload(request_id), FrameType::kHealthResponse,
+           DeadlineFor(deadline_seconds)));
+  Result<HealthResponse> response =
+      DecodeHealthResponse(std::as_bytes(std::span(frame.payload)));
+  if (!response.ok() || response->request_id != request_id) {
+    metrics_->corrupt_frames->Increment();
+    Disconnect(shard);
+    return Status::Unavailable("shard health response did not decode");
+  }
+  return response;
+}
+
+Result<std::string> ShardRouter::Stats(size_t shard,
+                                       double deadline_seconds) {
+  const uint64_t request_id = next_request_id_++;
+  KQR_ASSIGN_OR_RETURN(
+      const Frame frame,
+      Call(shard, FrameType::kStatsRequest,
+           EncodeRequestIdPayload(request_id), FrameType::kStatsResponse,
+           DeadlineFor(deadline_seconds)));
+  Result<StatsResponse> response =
+      DecodeStatsResponse(std::as_bytes(std::span(frame.payload)));
+  if (!response.ok() || response->request_id != request_id) {
+    metrics_->corrupt_frames->Increment();
+    Disconnect(shard);
+    return Status::Unavailable("shard stats response did not decode");
+  }
+  return std::move(response->json);
+}
+
+Result<SwapResponse> ShardRouter::SwapModel(size_t shard,
+                                            const std::string& model_path,
+                                            double deadline_seconds) {
+  SwapRequest request;
+  request.request_id = next_request_id_++;
+  request.model_path = model_path;
+  KQR_ASSIGN_OR_RETURN(
+      const Frame frame,
+      Call(shard, FrameType::kSwapRequest, EncodeSwapRequest(request),
+           FrameType::kSwapResponse, DeadlineFor(deadline_seconds)));
+  Result<SwapResponse> response =
+      DecodeSwapResponse(std::as_bytes(std::span(frame.payload)));
+  if (!response.ok() || response->request_id != request.request_id) {
+    metrics_->corrupt_frames->Increment();
+    Disconnect(shard);
+    return Status::Unavailable("shard swap response did not decode");
+  }
+  return response;
+}
+
+ServeResult ShardRouter::Reformulate(const std::vector<TermId>& terms,
+                                     size_t k, double deadline_seconds) {
+  std::vector<ServeResult> results =
+      ReformulateBatch({terms}, k, deadline_seconds);
+  return std::move(results[0]);
+}
+
+std::vector<ServeResult> ShardRouter::ReformulateBatch(
+    const std::vector<std::vector<TermId>>& queries, size_t k,
+    double deadline_seconds) {
+  metrics_->batches->Increment();
+  metrics_->queries->Increment(queries.size());
+  const size_t n = queries.size();
+  std::vector<std::optional<ServeResult>> slots(n);
+  const Clock::time_point deadline = DeadlineFor(deadline_seconds);
+
+  // Partition by ownership. The sub-batch a shard receives lists its
+  // queries in input order, and the response carries one result per
+  // sub-batch position, so scattering never loses the input index.
+  std::vector<std::vector<size_t>> by_shard(conns_.size());
+  for (size_t i = 0; i < n; ++i) {
+    by_shard[OwnerShard(queries[i], conns_.size())].push_back(i);
+  }
+
+  const auto fail_shard = [&slots](const std::vector<size_t>& indices,
+                                   const Status& status) {
+    for (size_t i : indices) slots[i] = ServeResult(status);
+  };
+
+  // Scatter.
+  struct PendingShard {
+    size_t shard = 0;
+    const std::vector<size_t>* indices = nullptr;
+    uint64_t request_id = 0;
+  };
+  std::vector<PendingShard> pending;
+  for (size_t shard = 0; shard < by_shard.size(); ++shard) {
+    if (by_shard[shard].empty()) continue;
+    metrics_->scatters->Increment();
+    Status st = EnsureConnected(shard, deadline);
+    if (!st.ok()) {
+      fail_shard(by_shard[shard], MapTransportStatus(st));
+      continue;
+    }
+    ReformulateRequest request;
+    request.request_id = next_request_id_++;
+    request.k = k;
+    const double remaining = RemainingSeconds(deadline);
+    request.deadline_micros =
+        remaining > 0.0 ? static_cast<uint64_t>(remaining * 1e6) : 1;
+    request.queries.reserve(by_shard[shard].size());
+    for (size_t i : by_shard[shard]) request.queries.push_back(queries[i]);
+    const std::string wire = EncodeFrameString(
+        FrameType::kReformulateRequest, EncodeReformulateRequest(request));
+    st = WriteAll(shard, wire, deadline);
+    if (!st.ok()) {
+      Disconnect(shard);
+      fail_shard(by_shard[shard], MapTransportStatus(st));
+      continue;
+    }
+    pending.push_back({shard, &by_shard[shard], request.request_id});
+  }
+
+  // Gather: one bounded multiplexed wait over every still-pending shard.
+  std::byte buf[kReadChunk];
+  while (!pending.empty()) {
+    const double remaining = RemainingSeconds(deadline);
+    if (remaining <= 0.0) {
+      for (const PendingShard& p : pending) {
+        Disconnect(p.shard);
+        fail_shard(*p.indices,
+                   Status::DeadlineExceeded(
+                       "shard " + std::to_string(p.shard) +
+                       " did not respond within the batch deadline"));
+      }
+      pending.clear();
+      break;
+    }
+    std::vector<PollItem> items;
+    items.reserve(pending.size());
+    for (const PendingShard& p : pending) {
+      items.push_back(PollItem{conns_[p.shard].sock.fd(), false});
+    }
+    Result<size_t> polled = PollReadable(items, remaining);
+    if (!polled.ok()) {
+      for (const PendingShard& p : pending) {
+        Disconnect(p.shard);
+        fail_shard(*p.indices, MapTransportStatus(polled.status()));
+      }
+      pending.clear();
+      break;
+    }
+    if (*polled == 0) continue;  // timeout slice; loop re-checks deadline
+
+    for (size_t pi = 0; pi < pending.size();) {
+      if (!items[pi].readable) {
+        ++pi;
+        continue;
+      }
+      const PendingShard p = pending[pi];
+      ShardConn& conn = conns_[p.shard];
+      const auto drop_pending = [&]() {
+        pending.erase(pending.begin() + static_cast<ptrdiff_t>(pi));
+        items.erase(items.begin() + static_cast<ptrdiff_t>(pi));
+      };
+
+      bool transport_lost = false;
+      Status transport_status = Status::OK();
+      for (;;) {
+        Result<IoResult> io = conn.sock.Read(buf);
+        if (!io.ok()) {
+          transport_lost = true;
+          transport_status = MapTransportStatus(io.status());
+          break;
+        }
+        if (io->would_block) break;
+        if (io->eof) {
+          transport_lost = true;
+          transport_status = Status::Unavailable(
+              "shard closed the connection mid-request");
+          break;
+        }
+        conn.in.Append(std::span<const std::byte>(buf, io->bytes));
+      }
+
+      Result<std::optional<Frame>> next = conn.in.Next();
+      if (!next.ok()) {
+        metrics_->corrupt_frames->Increment();
+        Disconnect(p.shard);
+        fail_shard(*p.indices,
+                   Status::Unavailable("corrupt frame from shard: " +
+                                       next.status().message()));
+        drop_pending();
+        continue;
+      }
+      if (next->has_value()) {
+        Frame frame = std::move(**next);
+        Result<ReformulateResponse> response =
+            frame.type == FrameType::kReformulateResponse
+                ? DecodeReformulateResponse(
+                      std::as_bytes(std::span(frame.payload)))
+                : Result<ReformulateResponse>(Status::Corruption(
+                      "unexpected frame type from shard"));
+        if (!response.ok() || response->request_id != p.request_id ||
+            response->results.size() != p.indices->size()) {
+          metrics_->corrupt_frames->Increment();
+          Disconnect(p.shard);
+          fail_shard(*p.indices,
+                     Status::Unavailable(
+                         "shard response did not match the request"));
+        } else {
+          for (size_t j = 0; j < response->results.size(); ++j) {
+            slots[(*p.indices)[j]] = std::move(response->results[j]);
+          }
+          if (conn.in.buffered() != 0) {
+            // Unsolicited trailing bytes: the response itself passed its
+            // checksum and stands; the stream does not.
+            metrics_->corrupt_frames->Increment();
+            Disconnect(p.shard);
+          }
+        }
+        drop_pending();
+        continue;
+      }
+      if (transport_lost) {
+        Disconnect(p.shard);
+        fail_shard(*p.indices, transport_status);
+        drop_pending();
+        continue;
+      }
+      ++pi;  // partial frame; keep waiting
+    }
+  }
+
+  // Deterministic merge: input order, one result per slot.
+  std::vector<ServeResult> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ServeResult result =
+        slots[i].has_value()
+            ? std::move(*slots[i])
+            : ServeResult(
+                  Status::Internal("query was never scattered"));
+    if (result.ok()) {
+      metrics_->ok->Increment();
+    } else if (result.status().code() == StatusCode::kUnavailable) {
+      metrics_->unavailable->Increment();
+    } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics_->deadline_exceeded->Increment();
+    } else {
+      metrics_->remote_errors->Increment();
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace kqr

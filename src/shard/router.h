@@ -1,0 +1,140 @@
+// ShardRouter: the client half of sharded serving (DESIGN.md §8).
+//
+// Holds one connection per shard, hash-partitions a batch of queries by
+// ownership (shard/partition.h), scatters per-shard sub-requests,
+// gathers under one absolute deadline, and reassembles results in input
+// order — which makes the merge deterministic by construction: slot i of
+// the output is always query i's result, computed by the same model code
+// a single-process ReformulateTerms call would run, so the merged batch
+// is bit-identical to the unsharded one (sharded_e2e_test.cc fingerprints
+// it).
+//
+// Typed degradation, never a hang: every wait is bounded by the batch
+// deadline. A shard that stalls costs kDeadlineExceeded for exactly its
+// queries; a shard that is dead, refuses, resets, or EOFs costs
+// kUnavailable; a shard that sends bytes that do not frame or do not
+// decode costs kUnavailable plus one corrupt-frame count, and its
+// connection is closed without resync (the stream position is lost, so
+// every later byte is suspect). Healthy shards' queries are unaffected.
+// Closed connections reconnect lazily on the next call that needs them.
+//
+// Thread-safety: none — a router is a single-threaded client by
+// contract (one outstanding request per shard connection is what makes
+// request/response matching trivial). Use one router per thread.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "shard/partition.h"
+
+namespace kqr {
+
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct RouterOptions {
+  /// Bound on each TCP connect attempt (also clipped by the caller's
+  /// batch deadline when reconnecting lazily).
+  double connect_timeout_seconds = 2.0;
+  /// Applied when a call passes deadline_seconds = 0.
+  double default_deadline_seconds = 5.0;
+  size_t max_frame_payload = kMaxFramePayload;
+
+  Status Validate() const;
+};
+
+/// \brief Point-in-time router accounting (kqr_shard_router_* metrics).
+/// Query outcome counters partition kqr_shard_router_queries_total.
+struct RouterStats {
+  uint64_t batches = 0;
+  uint64_t queries = 0;
+  uint64_t scatters = 0;  ///< per-shard sub-requests sent (or attempted)
+  uint64_t ok = 0;
+  uint64_t unavailable = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t remote_errors = 0;  ///< typed non-transport errors from shards
+  uint64_t corrupt_frames = 0;
+  uint64_t reconnects = 0;  ///< successful re-establishments after a loss
+};
+
+/// \brief Scatter/gather client over a fleet of ShardServer processes.
+class ShardRouter {
+ public:
+  /// \brief Builds a router over `shards` (fixed fleet size; the
+  /// partition function depends on it). Connections are attempted
+  /// eagerly but a down shard does not fail construction — its queries
+  /// degrade to kUnavailable until it comes back (lazy reconnect).
+  static Result<std::unique_ptr<ShardRouter>> Connect(
+      std::vector<ShardAddress> shards, RouterOptions options = {});
+
+  ~ShardRouter();  // out-of-line: ShardConn/Metrics are .cc-private
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// \brief Scatter/gather reformulation. Returns one Result per input
+  /// query, in input order. deadline_seconds = 0 uses the router default.
+  std::vector<ServeResult> ReformulateBatch(
+      const std::vector<std::vector<TermId>>& queries, size_t k,
+      double deadline_seconds = 0.0);
+
+  /// \brief Single-query convenience (a batch of one).
+  ServeResult Reformulate(const std::vector<TermId>& terms, size_t k,
+                          double deadline_seconds = 0.0);
+
+  Result<HealthResponse> Health(size_t shard,
+                                double deadline_seconds = 0.0);
+  /// Stats JSON scraped from one shard.
+  Result<std::string> Stats(size_t shard, double deadline_seconds = 0.0);
+  /// \brief Asks one shard to swap to the model at `model_path`.
+  Result<SwapResponse> SwapModel(size_t shard,
+                                 const std::string& model_path,
+                                 double deadline_seconds = 0.0);
+
+  size_t num_shards() const;
+  RouterStats stats() const;
+  MetricsRegistry* metrics_registry() { return &registry_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ShardConn;
+  struct Metrics;
+
+  explicit ShardRouter(RouterOptions options);
+
+  /// Connects `shard` if it is not connected; counts re-establishments.
+  Status EnsureConnected(size_t shard, Clock::time_point deadline);
+  /// Closes `shard`'s connection (stream desync or transport loss).
+  void Disconnect(size_t shard);
+  /// Writes all of `wire`, bounded by `deadline`.
+  Status WriteAll(size_t shard, const std::string& wire,
+                  Clock::time_point deadline);
+  /// One blocking request/response exchange on `shard` (health / stats /
+  /// swap — reformulation uses the multiplexed gather path instead).
+  Result<Frame> Call(size_t shard, FrameType request_type,
+                     const std::string& payload, FrameType response_type,
+                     Clock::time_point deadline);
+
+  Clock::time_point DeadlineFor(double deadline_seconds) const;
+
+  RouterOptions options_;
+  MetricsRegistry registry_;
+  std::unique_ptr<Metrics> metrics_;
+  std::vector<ShardConn> conns_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace kqr

@@ -1,0 +1,474 @@
+#include "shard/shard_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/protocol.h"
+#include "obs/export.h"
+
+namespace kqr {
+
+namespace {
+
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeTag = 1;
+constexpr size_t kReadChunk = 64 * 1024;
+/// Compact a partially written outbox once the consumed prefix passes
+/// this bound (keeps slow-reader connections from pinning old bytes).
+constexpr size_t kOutboxCompactBytes = 64 * 1024;
+
+}  // namespace
+
+Status ShardServerOptions::Validate() const {
+  KQR_RETURN_NOT_OK(server.Validate());
+  if (max_connections == 0) {
+    return Status::InvalidArgument("max_connections must be positive");
+  }
+  if (max_frame_payload == 0 || max_frame_payload > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "max_frame_payload must be in (0, " +
+        std::to_string(kMaxFramePayload) + "]");
+  }
+  return Status::OK();
+}
+
+/// Resolved handles into the shard's own registry; the registry outlives
+/// every model swap, so fleet dashboards see one continuous series.
+struct ShardServer::Metrics {
+  Counter* connections_accepted;
+  Counter* connections_rejected;
+  Counter* connections_closed;
+  Counter* frames_received;
+  Counter* frames_sent;
+  Counter* corrupt_frames;
+  Counter* requests;
+  Counter* queries;
+  Counter* swaps;
+  Gauge* open_connections;
+  Gauge* model_generation;
+
+  explicit Metrics(MetricsRegistry* r)
+      : connections_accepted(
+            r->GetCounter("kqr_shard_connections_accepted_total")),
+        connections_rejected(
+            r->GetCounter("kqr_shard_connections_rejected_total")),
+        connections_closed(
+            r->GetCounter("kqr_shard_connections_closed_total")),
+        frames_received(r->GetCounter("kqr_shard_frames_received_total")),
+        frames_sent(r->GetCounter("kqr_shard_frames_sent_total")),
+        corrupt_frames(r->GetCounter("kqr_shard_corrupt_frames_total")),
+        requests(r->GetCounter("kqr_shard_requests_total")),
+        queries(r->GetCounter("kqr_shard_queries_total")),
+        swaps(r->GetCounter("kqr_shard_swaps_total")),
+        open_connections(r->GetGauge("kqr_shard_open_connections")),
+        model_generation(r->GetGauge("kqr_shard_model_generation")) {}
+};
+
+/// All connection state is loop-thread-only; worker threads reach a
+/// connection solely through the done-queue (by tag, never by pointer),
+/// so a connection that dies with requests in flight simply absorbs the
+/// loss — the responses are dropped at DrainDone when the tag no longer
+/// resolves.
+struct ShardServer::Connection {
+  uint64_t tag = 0;
+  Socket sock;
+  FrameBuffer in;
+  std::string out;
+  size_t out_pos = 0;
+  bool want_write = false;
+
+  explicit Connection(size_t max_payload) : in(max_payload) {}
+};
+
+/// One in-flight reformulate request: disjoint result slots, one atomic
+/// countdown. Each query's completion writes only its own slot; the
+/// fetch_sub(acq_rel) makes every slot write visible to the final
+/// completer, which owns the batch from that point on.
+struct ShardServer::PendingBatch {
+  ShardServer* owner = nullptr;
+  uint64_t conn_tag = 0;
+  uint64_t request_id = 0;
+  std::vector<ServeResult> results;
+  std::atomic<size_t> remaining{0};
+};
+
+Result<std::unique_ptr<ShardServer>> ShardServer::Start(
+    std::shared_ptr<const ServingModel> model, ModelLoader loader,
+    ShardServerOptions options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("shard server needs a model to serve");
+  }
+  KQR_RETURN_NOT_OK(options.Validate());
+  std::unique_ptr<ShardServer> server(
+      new ShardServer(std::move(model), std::move(loader), options));
+  KQR_RETURN_NOT_OK(server->Init());
+  return server;
+}
+
+ShardServer::ShardServer(std::shared_ptr<const ServingModel> model,
+                         ModelLoader loader, ShardServerOptions options)
+    : options_(std::move(options)),
+      loader_(std::move(loader)),
+      metrics_(std::make_unique<Metrics>(&registry_)) {
+  model_.store(std::move(model), std::memory_order_release);
+  metrics_->model_generation->Set(1.0);
+}
+
+ShardServer::~ShardServer() { Shutdown(); }
+
+Status ShardServer::Init() {
+  KQR_ASSIGN_OR_RETURN(inner_,
+                       Server::Create(model(), options_.server));
+  KQR_ASSIGN_OR_RETURN(
+      listener_, Socket::ListenTcp(options_.host, options_.port));
+  KQR_ASSIGN_OR_RETURN(port_, listener_.local_port());
+  KQR_ASSIGN_OR_RETURN(poller_, Poller::Create());
+  KQR_ASSIGN_OR_RETURN(wake_, WakeFd::Create());
+  KQR_RETURN_NOT_OK(poller_.Add(listener_.fd(), kListenerTag,
+                                /*want_read=*/true, /*want_write=*/false));
+  KQR_RETURN_NOT_OK(poller_.Add(wake_.fd(), kWakeTag, /*want_read=*/true,
+                                /*want_write=*/false));
+  loop_ = std::thread([this]() { Loop(); });
+  return Status::OK();
+}
+
+void ShardServer::Shutdown() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_.valid()) wake_.Notify();
+  if (loop_.joinable()) loop_.join();
+  // Drain after the loop exits: no new submissions can arrive, and every
+  // admitted request completes into the (now unread) done-queue before
+  // any member it references is destroyed.
+  if (inner_ != nullptr) inner_->Drain();
+  conns_.clear();
+}
+
+ShardStats ShardServer::stats() const {
+  ShardStats s;
+  s.connections_accepted = metrics_->connections_accepted->Value();
+  s.connections_rejected = metrics_->connections_rejected->Value();
+  s.connections_closed = metrics_->connections_closed->Value();
+  s.frames_received = metrics_->frames_received->Value();
+  s.frames_sent = metrics_->frames_sent->Value();
+  s.corrupt_frames = metrics_->corrupt_frames->Value();
+  s.requests = metrics_->requests->Value();
+  s.queries = metrics_->queries->Value();
+  s.swaps = metrics_->swaps->Value();
+  s.model_generation = generation();
+  return s;
+}
+
+void ShardServer::Loop() {
+  std::vector<PollerEvent> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // The 100ms ceiling bounds how stale the stop flag can get if a
+    // wake-notify races the poller setup; all real work is event-driven.
+    if (!poller_.Wait(100, &events).ok()) continue;
+    DrainDone();
+    for (const PollerEvent& event : events) {
+      if (event.tag == kWakeTag) {
+        wake_.Consume();
+        continue;
+      }
+      if (event.tag == kListenerTag) {
+        AcceptPending();
+        continue;
+      }
+      if (event.writable) FlushWrites(event.tag);
+      if (event.readable || event.hangup) ServiceReadable(event.tag);
+    }
+    DrainDone();
+  }
+}
+
+void ShardServer::AcceptPending() {
+  for (;;) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) return;
+    if (!accepted->valid()) return;  // nothing pending
+    if (conns_.size() >= options_.max_connections) {
+      // Over capacity: the RAII close is the rejection (a peer sees an
+      // immediate EOF, which the router maps to kUnavailable).
+      metrics_->connections_rejected->Increment();
+      continue;
+    }
+    auto conn = std::make_unique<Connection>(options_.max_frame_payload);
+    conn->tag = next_conn_tag_++;
+    conn->sock = std::move(*accepted);
+    if (!poller_
+             .Add(conn->sock.fd(), conn->tag, /*want_read=*/true,
+                  /*want_write=*/false)
+             .ok()) {
+      continue;
+    }
+    metrics_->connections_accepted->Increment();
+    conns_.push_back(std::move(conn));
+    metrics_->open_connections->Set(static_cast<double>(conns_.size()));
+  }
+}
+
+ShardServer::Connection* ShardServer::FindConnection(uint64_t id) {
+  for (const std::unique_ptr<Connection>& conn : conns_) {
+    if (conn->tag == id) return conn.get();
+  }
+  return nullptr;
+}
+
+void ShardServer::CloseConnection(uint64_t id) {
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i]->tag != id) continue;
+    (void)poller_.Remove(conns_[i]->sock.fd());
+    conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+    metrics_->connections_closed->Increment();
+    metrics_->open_connections->Set(static_cast<double>(conns_.size()));
+    return;
+  }
+}
+
+void ShardServer::ServiceReadable(uint64_t id) {
+  Connection* conn = FindConnection(id);
+  if (conn == nullptr) return;
+  std::byte buf[kReadChunk];
+  bool peer_closed = false;
+  for (;;) {
+    Result<IoResult> io = conn->sock.Read(buf);
+    if (!io.ok()) {
+      CloseConnection(id);
+      return;
+    }
+    if (io->would_block) break;
+    if (io->eof) {
+      peer_closed = true;
+      break;
+    }
+    conn->in.Append(std::span<const std::byte>(buf, io->bytes));
+  }
+  for (;;) {
+    Result<std::optional<Frame>> next = conn->in.Next();
+    if (!next.ok()) {
+      metrics_->corrupt_frames->Increment();
+      CloseConnection(id);
+      return;
+    }
+    if (!next->has_value()) break;
+    metrics_->frames_received->Increment();
+    if (!HandleFrame(id, std::move(**next))) {
+      metrics_->corrupt_frames->Increment();
+      CloseConnection(id);
+      return;
+    }
+    if (FindConnection(id) == nullptr) return;  // closed while handling
+  }
+  if (peer_closed) CloseConnection(id);
+}
+
+bool ShardServer::HandleFrame(uint64_t id, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kReformulateRequest:
+      HandleReformulate(id, std::move(frame));
+      return true;
+    case FrameType::kHealthRequest: {
+      Result<uint64_t> request_id = DecodeRequestIdPayload(
+          std::as_bytes(std::span(frame.payload)));
+      if (!request_id.ok()) return false;
+      const std::shared_ptr<const ServingModel> current = model();
+      HealthResponse response;
+      response.request_id = *request_id;
+      response.model_generation = generation();
+      response.vocab_terms = current->vocab().size();
+      response.prepared_terms = current->PreparedTerms().size();
+      SendFrame(id, FrameType::kHealthResponse,
+                EncodeHealthResponse(response));
+      return true;
+    }
+    case FrameType::kStatsRequest: {
+      Result<uint64_t> request_id = DecodeRequestIdPayload(
+          std::as_bytes(std::span(frame.payload)));
+      if (!request_id.ok()) return false;
+      StatsResponse response;
+      response.request_id = *request_id;
+      response.json = StatsJson();
+      SendFrame(id, FrameType::kStatsResponse,
+                EncodeStatsResponse(response));
+      return true;
+    }
+    case FrameType::kSwapRequest:
+      HandleSwap(id, frame);
+      return true;
+    default:
+      // Response types arriving at a server are a protocol violation.
+      return false;
+  }
+}
+
+void ShardServer::HandleReformulate(uint64_t id, Frame frame) {
+  Result<ReformulateRequest> decoded = DecodeReformulateRequest(
+      std::as_bytes(std::span(frame.payload)));
+  if (!decoded.ok()) {
+    metrics_->corrupt_frames->Increment();
+    CloseConnection(id);
+    return;
+  }
+  ReformulateRequest request = std::move(*decoded);
+  metrics_->requests->Increment();
+  metrics_->queries->Increment(request.queries.size());
+
+  auto batch = std::make_shared<PendingBatch>();
+  batch->owner = this;
+  batch->conn_tag = id;
+  batch->request_id = request.request_id;
+  batch->results.reserve(request.queries.size());
+  for (size_t i = 0; i < request.queries.size(); ++i) {
+    batch->results.emplace_back(Status::Internal("pending"));
+  }
+  if (request.queries.empty()) {
+    CompleteBatch(batch.get());
+    return;
+  }
+  batch->remaining.store(request.queries.size(),
+                         std::memory_order_relaxed);
+
+  const double deadline_seconds =
+      static_cast<double>(request.deadline_micros) / 1e6;
+  for (size_t i = 0; i < request.queries.size(); ++i) {
+    ServerRequest server_request;
+    server_request.terms = std::move(request.queries[i]);
+    server_request.k = static_cast<size_t>(request.k);
+    server_request.deadline_seconds = deadline_seconds;
+    inner_->Submit(std::move(server_request),
+                   [batch, i](ServeResult result) {
+                     batch->results[i] = std::move(result);
+                     if (batch->remaining.fetch_sub(
+                             1, std::memory_order_acq_rel) == 1) {
+                       batch->owner->CompleteBatch(batch.get());
+                     }
+                   });
+  }
+}
+
+void ShardServer::HandleSwap(uint64_t id, const Frame& frame) {
+  Result<SwapRequest> decoded =
+      DecodeSwapRequest(std::as_bytes(std::span(frame.payload)));
+  if (!decoded.ok()) {
+    metrics_->corrupt_frames->Increment();
+    CloseConnection(id);
+    return;
+  }
+  SwapResponse response;
+  response.request_id = decoded->request_id;
+  response.model_generation = generation();
+  response.status = Status::OK();
+  if (loader_ == nullptr) {
+    response.status =
+        Status::NotImplemented("this shard has no model loader");
+  } else {
+    Result<std::shared_ptr<const ServingModel>> loaded =
+        loader_(decoded->model_path);
+    if (!loaded.ok()) {
+      response.status = loaded.status();
+    } else {
+      Result<std::unique_ptr<Server>> replacement =
+          Server::Create(*loaded, options_.server);
+      if (!replacement.ok()) {
+        response.status = replacement.status();
+      } else {
+        // Zero-shed rollover: this thread is the only submitter, so while
+        // it runs the swap no request can reach (and be shed by) either
+        // server — inbound bytes wait in kernel buffers. Install the new
+        // generation first, then drain the old one so its in-flight
+        // requests complete against the model they were admitted under.
+        std::unique_ptr<Server> retired = std::move(inner_);
+        inner_ = std::move(*replacement);
+        model_.store(*loaded, std::memory_order_release);
+        const uint64_t gen =
+            generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        retired->Drain();
+        retired.reset();
+        DrainDone();  // flush completions the retired server produced
+        metrics_->swaps->Increment();
+        metrics_->model_generation->Set(static_cast<double>(gen));
+        response.status = Status::OK();
+        response.model_generation = gen;
+      }
+    }
+  }
+  SendFrame(id, FrameType::kSwapResponse, EncodeSwapResponse(response));
+}
+
+void ShardServer::CompleteBatch(PendingBatch* batch) {
+  ReformulateResponse response;
+  response.request_id = batch->request_id;
+  response.results = std::move(batch->results);
+  std::string wire =
+      EncodeFrameString(FrameType::kReformulateResponse,
+                        EncodeReformulateResponse(response));
+  {
+    MutexLock lock(&done_mu_);
+    done_.emplace_back(batch->conn_tag, std::move(wire));
+  }
+  wake_.Notify();
+}
+
+void ShardServer::DrainDone() {
+  std::vector<std::pair<uint64_t, std::string>> done;
+  {
+    MutexLock lock(&done_mu_);
+    done.swap(done_);
+  }
+  for (std::pair<uint64_t, std::string>& item : done) {
+    Connection* conn = FindConnection(item.first);
+    if (conn == nullptr) continue;  // peer vanished mid-request
+    metrics_->frames_sent->Increment();
+    conn->out.append(item.second);
+    FlushWrites(item.first);
+  }
+}
+
+void ShardServer::SendFrame(uint64_t id, FrameType type,
+                            const std::string& payload) {
+  Connection* conn = FindConnection(id);
+  if (conn == nullptr) return;
+  metrics_->frames_sent->Increment();
+  EncodeFrame(type, payload, &conn->out);
+  FlushWrites(id);
+}
+
+void ShardServer::FlushWrites(uint64_t id) {
+  Connection* conn = FindConnection(id);
+  if (conn == nullptr) return;
+  while (conn->out_pos < conn->out.size()) {
+    Result<IoResult> io = conn->sock.Write(std::as_bytes(
+        std::span(conn->out).subspan(conn->out_pos)));
+    if (!io.ok()) {
+      CloseConnection(id);
+      return;
+    }
+    if (io->would_block) break;
+    conn->out_pos += io->bytes;
+  }
+  if (conn->out_pos == conn->out.size()) {
+    conn->out.clear();
+    conn->out_pos = 0;
+  } else if (conn->out_pos > kOutboxCompactBytes) {
+    conn->out.erase(0, conn->out_pos);
+    conn->out_pos = 0;
+  }
+  const bool want_write = conn->out_pos < conn->out.size();
+  if (want_write != conn->want_write) {
+    conn->want_write = want_write;
+    (void)poller_.Update(conn->sock.fd(), id, /*want_read=*/true,
+                         want_write);
+  }
+}
+
+std::string ShardServer::StatsJson() {
+  const std::shared_ptr<const ServingModel> current = model();
+  std::string json = "{\"shard\":";
+  json += MetricsToJson(registry_.Snapshot());
+  json += ",\"model\":";
+  json += MetricsToJson(current->MetricsNow());
+  json += "}";
+  return json;
+}
+
+}  // namespace kqr

@@ -1,0 +1,192 @@
+// ShardServer: one shard process's network front-end (DESIGN.md §8).
+//
+// Wraps a kqr::Server behind the length-prefixed frame protocol
+// (net/frame.h, net/protocol.h): a single epoll event-loop thread owns
+// the listener, every connection, and all protocol state; the inner
+// Server's worker pool does the actual reformulation. The loop thread is
+// the *sole* submitter to the inner server, which is the invariant the
+// zero-shed model swap rests on: a swap runs inline on the loop thread
+// (load new model → start new inner server → install → drain old), so
+// while it runs no request can be shed — arriving bytes simply wait in
+// kernel socket buffers and are served by the new generation.
+//
+// Completions flow back without blocking workers: the last finished
+// query of a batch encodes the response and hands the bytes to the event
+// loop through a mutex-guarded done-queue plus an eventfd wakeup; only
+// the loop thread ever touches a socket.
+//
+// Fault posture (shard side): any malformed byte on a connection —
+// corrupt frame, unknown type, undecodable payload — counts one
+// kqr_shard_corrupt_frames_total and closes that connection. There is no
+// resync: after framing is lost, every subsequent byte is suspect.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "core/serving_model.h"
+#include "net/frame.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+
+namespace kqr {
+
+struct ShardServerOptions {
+  /// Listen address. Port 0 binds a kernel-assigned ephemeral port; read
+  /// it back with ShardServer::port().
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Inner batching server (workers, queue bound, micro-batch size).
+  ServerOptions server;
+  /// Connections beyond this are accepted and immediately closed
+  /// (counted in kqr_shard_conn_rejected_total).
+  size_t max_connections = 64;
+  /// Per-frame payload bound enforced on inbound traffic.
+  size_t max_frame_payload = kMaxFramePayload;
+
+  Status Validate() const;
+};
+
+/// \brief Loads a serving model for SwapModel requests. Runs on the
+/// event-loop thread (deliberately: blocking the loop is what makes the
+/// swap shed-free). Null loader = swap requests fail kNotImplemented.
+using ModelLoader =
+    std::function<Result<std::shared_ptr<const ServingModel>>(
+        const std::string& path)>;
+
+/// \brief Point-in-time shard accounting, read from the shard's own
+/// metrics registry (names: kqr_shard_*).
+struct ShardStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t corrupt_frames = 0;
+  uint64_t requests = 0;  ///< reformulate request frames decoded
+  uint64_t queries = 0;   ///< individual queries inside those requests
+  uint64_t swaps = 0;     ///< successful model swaps
+  uint64_t model_generation = 0;
+};
+
+/// \brief Network shard process core: listener + event loop + inner
+/// batching server over one ServingModel.
+///
+/// Thread-safety: Start/Shutdown/destructor must be driven from one
+/// controlling thread. port(), stats(), generation(), and model() are
+/// safe from any thread concurrently with the loop.
+class ShardServer {
+ public:
+  /// \brief Binds the listener, starts the inner server and the event
+  /// loop. `loader` handles SwapModel requests (may be null).
+  static Result<std::unique_ptr<ShardServer>> Start(
+      std::shared_ptr<const ServingModel> model, ModelLoader loader,
+      ShardServerOptions options = {});
+
+  ~ShardServer();  // Shutdown()
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// The bound listen port (resolves port 0 to the actual port).
+  uint16_t port() const { return port_; }
+
+  /// Model generation: 1 for the model served at Start, +1 per
+  /// successful swap.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// \brief The currently installed model. RCU-flavored: readers get a
+  /// snapshot shared_ptr; a concurrent swap atomically publishes the new
+  /// model while in-flight requests keep the old one alive through their
+  /// own references until the old inner server drains.
+  std::shared_ptr<const ServingModel> model() const {
+    return model_.load(std::memory_order_acquire);
+  }
+
+  ShardStats stats() const;
+  /// The shard's own registry (kqr_shard_* metrics); never null.
+  MetricsRegistry* metrics_registry() { return &registry_; }
+
+  /// \brief Stops accepting, joins the event loop, drains the inner
+  /// server (every admitted request completes), closes all connections.
+  /// Idempotent from the controlling thread.
+  void Shutdown();
+
+  const ShardServerOptions& options() const { return options_; }
+
+ private:
+  struct Connection;
+  struct PendingBatch;
+  struct Metrics;
+
+  ShardServer(std::shared_ptr<const ServingModel> model, ModelLoader loader,
+              ShardServerOptions options);
+
+  Status Init();
+  void Loop();
+  void AcceptPending();
+  /// Reads everything available on `conn`, decodes frames, dispatches.
+  void ServiceReadable(uint64_t id);
+  /// Handles one decoded frame; returns false when the connection must
+  /// close (protocol violation).
+  bool HandleFrame(uint64_t id, Frame frame);
+  void HandleReformulate(uint64_t id, Frame frame);
+  void HandleSwap(uint64_t id, const Frame& frame);
+  /// Called by the last completing query of a batch (worker thread or
+  /// loop thread): encodes the response and rings the loop.
+  void CompleteBatch(PendingBatch* batch);
+  /// Moves completed responses from the done-queue into their
+  /// connections' write buffers.
+  void DrainDone();
+  /// Appends an encoded frame to `conn`'s outbox and flushes.
+  void SendFrame(uint64_t id, FrameType type, const std::string& payload);
+  /// Writes as much buffered output as the socket accepts; adjusts the
+  /// poller's write interest; closes on write error.
+  void FlushWrites(uint64_t id);
+  void CloseConnection(uint64_t id);
+  Connection* FindConnection(uint64_t id);
+  std::string StatsJson();
+
+  ShardServerOptions options_;
+  ModelLoader loader_;
+
+  /// Own registry: shard metrics survive model swaps (the per-model
+  /// registries rotate with their models).
+  MetricsRegistry registry_;
+  std::unique_ptr<Metrics> metrics_;
+
+  std::atomic<std::shared_ptr<const ServingModel>> model_;
+  std::unique_ptr<Server> inner_;  // loop-thread-only after Start
+  std::atomic<uint64_t> generation_{1};
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  Poller poller_;
+  WakeFd wake_;
+
+  /// Loop-thread-only connection table, keyed by poller tag.
+  std::vector<std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_tag_ = 2;  // 0 = listener, 1 = wake fd
+
+  Mutex done_mu_;
+  /// Encoded response frames awaiting hand-off to their connections:
+  /// (connection tag, wire bytes). Written by worker threads, drained by
+  /// the loop.
+  std::vector<std::pair<uint64_t, std::string>> done_ GUARDED_BY(done_mu_);
+
+  std::atomic<bool> stop_{false};
+  std::thread loop_;
+};
+
+}  // namespace kqr

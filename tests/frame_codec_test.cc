@@ -1,0 +1,418 @@
+// Property and corruption tests for the wire frame codec (net/frame.h)
+// and the message encodings layered on it (net/protocol.h).
+//
+// The framing contract under test:
+//   - round-trip: every (type, payload) encodes to bytes that decode back
+//     bit-identically, regardless of how the bytes are chunked on arrival;
+//   - truncation at EVERY byte boundary is "need more bytes", never a
+//     frame and never corruption;
+//   - a single flipped bit anywhere in an encoded frame is NEVER returned
+//     as the original frame: it is either detected (kCorruption) or it
+//     changes what the decoder yields;
+//   - corruption is sticky: once a stream fails validation, no later
+//     bytes — even a pristine frame — are trusted.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io/codec.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace kqr {
+namespace {
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string RandomPayload(std::mt19937_64* rng, size_t size) {
+  std::string payload(size, '\0');
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (char& c : payload) c = static_cast<char>(byte(*rng));
+  return payload;
+}
+
+// Feeds `wire` into a fresh buffer all at once and pulls one frame.
+Result<std::optional<Frame>> DecodeOne(const std::string& wire) {
+  FrameBuffer buffer;
+  buffer.Append(wire);
+  return buffer.Next();
+}
+
+TEST(FrameCodec, RoundTripsEveryTypeAndPayloadShape) {
+  std::mt19937_64 rng(0x46524d45);
+  const size_t sizes[] = {0, 1, 2, 7, 8, 9, 63, 64, 65, 1024, 70000};
+  for (uint8_t type_byte = 1; type_byte <= 8; ++type_byte) {
+    for (size_t size : sizes) {
+      const auto type = static_cast<FrameType>(type_byte);
+      const std::string payload = RandomPayload(&rng, size);
+      const std::string wire = EncodeFrameString(type, payload);
+      ASSERT_EQ(wire.size(), kFrameHeaderBytes + size);
+
+      auto frame = DecodeOne(wire);
+      ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+      ASSERT_TRUE(frame->has_value());
+      EXPECT_EQ((*frame)->type, type);
+      EXPECT_EQ((*frame)->payload, payload);
+    }
+  }
+}
+
+TEST(FrameCodec, RoundTripsUnderRandomChunking) {
+  std::mt19937_64 rng(0x4348554e);
+  // Several frames back to back, delivered in random-size chunks — the
+  // decoder must produce exactly the original sequence no matter where
+  // the chunk boundaries fall.
+  std::vector<Frame> expect;
+  std::string wire;
+  for (int i = 0; i < 16; ++i) {
+    Frame f;
+    f.type = static_cast<FrameType>(1 + (i % 8));
+    f.payload = RandomPayload(&rng, static_cast<size_t>(i) * 37 % 300);
+    EncodeFrame(f.type, f.payload, &wire);
+    expect.push_back(std::move(f));
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    FrameBuffer buffer;
+    std::vector<Frame> got;
+    size_t pos = 0;
+    std::uniform_int_distribution<size_t> chunk(1, 97);
+    while (pos < wire.size()) {
+      const size_t n = std::min(chunk(rng), wire.size() - pos);
+      buffer.Append(std::string_view(wire).substr(pos, n));
+      pos += n;
+      for (;;) {
+        auto frame = buffer.Next();
+        ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+        if (!frame->has_value()) break;
+        got.push_back(std::move(**frame));
+      }
+    }
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i].type, expect[i].type);
+      EXPECT_EQ(got[i].payload, expect[i].payload);
+    }
+    EXPECT_EQ(buffer.buffered(), 0u);
+  }
+}
+
+TEST(FrameCodec, TruncationAtEveryBoundaryNeedsMoreBytes) {
+  std::mt19937_64 rng(0x54525543);
+  const std::string wire =
+      EncodeFrameString(FrameType::kStatsResponse, RandomPayload(&rng, 61));
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameBuffer buffer;
+    buffer.Append(std::string_view(wire).substr(0, cut));
+    auto frame = buffer.Next();
+    ASSERT_TRUE(frame.ok())
+        << "prefix of " << cut << " bytes: " << frame.status().ToString();
+    EXPECT_FALSE(frame->has_value()) << "prefix of " << cut << " bytes";
+
+    // The remainder completes the frame: truncation loses nothing.
+    buffer.Append(std::string_view(wire).substr(cut));
+    auto completed = buffer.Next();
+    ASSERT_TRUE(completed.ok()) << completed.status().ToString();
+    ASSERT_TRUE(completed->has_value());
+    EXPECT_EQ((*completed)->type, FrameType::kStatsResponse);
+  }
+}
+
+TEST(FrameCodec, EveryFlippedBitIsDetectedOrChangesTheFrame) {
+  std::mt19937_64 rng(0x464c4950);
+  const std::string payload = RandomPayload(&rng, 53);
+  const std::string wire =
+      EncodeFrameString(FrameType::kReformulateResponse, payload);
+
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = wire;
+      flipped[byte] = static_cast<char>(
+          static_cast<uint8_t>(flipped[byte]) ^ (uint8_t{1} << bit));
+      auto frame = DecodeOne(flipped);
+      // A flip may be caught (corruption), may leave the decoder waiting
+      // for bytes a larger length field promises, or may yield a frame —
+      // but never the original frame presented as intact.
+      if (frame.ok() && frame->has_value()) {
+        const bool same =
+            (*frame)->type == FrameType::kReformulateResponse &&
+            (*frame)->payload == payload;
+        EXPECT_FALSE(same) << "undetected flip at byte " << byte << " bit "
+                           << bit;
+      } else if (!frame.ok()) {
+        EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+      }
+    }
+  }
+}
+
+TEST(FrameCodec, PayloadBitFlipsAreAlwaysCorruption) {
+  // Inside the payload the checksum leaves no wiggle room at all: every
+  // flip must surface as kCorruption, not as a different valid frame.
+  std::mt19937_64 rng(0x50594c44);
+  const std::string payload = RandomPayload(&rng, 29);
+  const std::string wire = EncodeFrameString(FrameType::kHealthRequest, payload);
+  for (size_t byte = kFrameHeaderBytes; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = wire;
+      flipped[byte] = static_cast<char>(
+          static_cast<uint8_t>(flipped[byte]) ^ (uint8_t{1} << bit));
+      auto frame = DecodeOne(flipped);
+      ASSERT_FALSE(frame.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST(FrameCodec, CorruptionIsSticky) {
+  FrameBuffer buffer;
+  std::string bad = EncodeFrameString(FrameType::kHealthRequest, "x");
+  bad[0] = '\0';  // break the magic
+  buffer.Append(bad);
+  auto first = buffer.Next();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kCorruption);
+
+  // A pristine frame appended after the fact must not resurrect the
+  // stream: the decoder lost framing and every later byte is suspect.
+  buffer.Append(EncodeFrameString(FrameType::kHealthRequest, "y"));
+  auto second = buffer.Next();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameCodec, RejectsOversizedPayloadFromHeaderAlone) {
+  // Craft a header whose length field exceeds the bound; the decoder must
+  // reject it before waiting for (or allocating) the promised bytes.
+  std::string wire;
+  PutU32Le(&wire, kFrameMagic);
+  wire.push_back(static_cast<char>(kFrameVersion));
+  wire.push_back(static_cast<char>(FrameType::kStatsRequest));
+  wire.push_back('\0');
+  wire.push_back('\0');
+  PutU32Le(&wire, static_cast<uint32_t>(kMaxFramePayload + 1));
+  PutU64Le(&wire, 0);
+  auto frame = DecodeOne(wire);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+
+  // A tighter per-connection bound rejects frames the global bound allows.
+  FrameBuffer small(/*max_payload=*/16);
+  small.Append(EncodeFrameString(FrameType::kStatsRequest, std::string(17, 'a')));
+  auto over = small.Next();
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameCodec, RejectsUnknownTypeVersionAndReservedBytes) {
+  const std::string payload = "payload";
+  {
+    std::string wire = EncodeFrameString(FrameType::kSwapResponse, payload);
+    wire[5] = '\x2a';  // type 42: not a known FrameType
+    auto frame = DecodeOne(wire);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::string wire = EncodeFrameString(FrameType::kSwapResponse, payload);
+    wire[4] = '\x02';  // future version
+    auto frame = DecodeOne(wire);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::string wire = EncodeFrameString(FrameType::kSwapResponse, payload);
+    wire[7] = '\x01';  // reserved bytes must be zero
+    auto frame = DecodeOne(wire);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(FrameCodec, ReclaimsConsumedBytesOnLongStreams) {
+  // Parse far more frame bytes than the reclaim threshold; the buffer
+  // must not retain every frame it ever decoded.
+  FrameBuffer buffer;
+  const std::string wire =
+      EncodeFrameString(FrameType::kHealthRequest, std::string(1000, 'h'));
+  for (int i = 0; i < 64; ++i) {
+    buffer.Append(wire);
+    auto frame = buffer.Next();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame->has_value());
+    EXPECT_EQ(buffer.buffered(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message encodings (net/protocol.h) over decoded payloads.
+
+ReformulatedQuery MakeQuery(std::initializer_list<TermId> terms, double score,
+                            bool identity) {
+  ReformulatedQuery q;
+  q.terms = terms;
+  q.score = score;
+  q.is_identity = identity;
+  return q;
+}
+
+TEST(ProtocolCodec, ReformulateRequestRoundTrips) {
+  ReformulateRequest request;
+  request.request_id = 0x1234567890abcdefULL;
+  request.k = 25;
+  request.deadline_micros = 1500000;
+  request.queries = {{1, 2, 3}, {}, {42}};
+  const std::string payload = EncodeReformulateRequest(request);
+
+  auto decoded = DecodeReformulateRequest(AsBytes(payload));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, request.request_id);
+  EXPECT_EQ(decoded->k, request.k);
+  EXPECT_EQ(decoded->deadline_micros, request.deadline_micros);
+  EXPECT_EQ(decoded->queries, request.queries);
+}
+
+TEST(ProtocolCodec, ReformulateResponseRoundTripsMixedResults) {
+  ReformulateResponse response;
+  response.request_id = 77;
+  response.results.emplace_back(std::vector<ReformulatedQuery>{
+      MakeQuery({5, 9}, 0.125, true), MakeQuery({5, 11}, -3.5e-7, false)});
+  response.results.emplace_back(Status::DeadlineExceeded("too slow"));
+  response.results.emplace_back(std::vector<ReformulatedQuery>{});
+  response.results.emplace_back(Status::Unavailable("shard down"));
+  const std::string payload = EncodeReformulateResponse(response);
+
+  auto decoded = DecodeReformulateResponse(AsBytes(payload));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->results.size(), 4u);
+  ASSERT_TRUE(decoded->results[0].ok());
+  ASSERT_EQ(decoded->results[0]->size(), 2u);
+  EXPECT_EQ((*decoded->results[0])[0].terms, (std::vector<TermId>{5, 9}));
+  // Scores travel as raw bits: equality must be exact, not approximate.
+  EXPECT_EQ((*decoded->results[0])[0].score, 0.125);
+  EXPECT_TRUE((*decoded->results[0])[0].is_identity);
+  EXPECT_EQ((*decoded->results[0])[1].score, -3.5e-7);
+  EXPECT_FALSE((*decoded->results[0])[1].is_identity);
+  EXPECT_EQ(decoded->results[1].status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded->results[1].status().message(), "too slow");
+  ASSERT_TRUE(decoded->results[2].ok());
+  EXPECT_TRUE(decoded->results[2]->empty());
+  EXPECT_EQ(decoded->results[3].status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ProtocolCodec, EveryStrictPrefixOfAResponseFailsToDecode) {
+  ReformulateResponse response;
+  response.request_id = 9;
+  response.results.emplace_back(std::vector<ReformulatedQuery>{
+      MakeQuery({1, 2, 3}, 0.5, false)});
+  response.results.emplace_back(Status::NotFound("gone"));
+  const std::string payload = EncodeReformulateResponse(response);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::string prefix = payload.substr(0, cut);
+    auto decoded = DecodeReformulateResponse(AsBytes(prefix));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+  // Trailing garbage is rejected too (ExpectDone).
+  auto padded = DecodeReformulateResponse(AsBytes(payload + "!"));
+  EXPECT_FALSE(padded.ok());
+}
+
+TEST(ProtocolCodec, RejectsHostileCountsAndCodes) {
+  {
+    // Element count far beyond what the payload could hold must be
+    // rejected before any allocation, not trusted into a reserve().
+    std::string payload;
+    PutVarint64(&payload, 1);                     // request_id
+    PutVarint64(&payload, 10);                    // k
+    PutVarint64(&payload, 0);                     // deadline
+    PutVarint64(&payload, uint64_t{1} << 60);     // query count: absurd
+    auto decoded = DecodeReformulateRequest(AsBytes(payload));
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+  {
+    // Unknown status code on the wire.
+    std::string payload;
+    PutVarint64(&payload, 1);    // request_id
+    PutVarint64(&payload, 1);    // one result
+    PutVarint64(&payload, 99);   // status code 99: not a StatusCode
+    PutVarint64(&payload, 0);    // empty message
+    auto decoded = DecodeReformulateResponse(AsBytes(payload));
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+  {
+    // An OK status carrying a message would decode to a Status that is
+    // not OK (rep allocated) — the wire form forbids it outright.
+    std::string payload;
+    PutVarint64(&payload, 1);  // request_id
+    PutVarint64(&payload, 1);  // one result
+    PutVarint64(&payload, 0);  // kOk
+    PutVarint64(&payload, 3);
+    payload.append("huh");
+    auto decoded = DecodeReformulateResponse(AsBytes(payload));
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(ProtocolCodec, SideChannelMessagesRoundTrip) {
+  {
+    const std::string payload = EncodeRequestIdPayload(314159);
+    auto id = DecodeRequestIdPayload(AsBytes(payload));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, 314159u);
+  }
+  {
+    HealthResponse health;
+    health.request_id = 8;
+    health.model_generation = 3;
+    health.vocab_terms = 1533;
+    health.prepared_terms = 12;
+    auto decoded = DecodeHealthResponse(AsBytes(EncodeHealthResponse(health)));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->model_generation, 3u);
+    EXPECT_EQ(decoded->vocab_terms, 1533u);
+    EXPECT_EQ(decoded->prepared_terms, 12u);
+  }
+  {
+    StatsResponse stats;
+    stats.request_id = 5;
+    stats.json = R"({"shard":{"counters":{}}})";
+    auto decoded = DecodeStatsResponse(AsBytes(EncodeStatsResponse(stats)));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->json, stats.json);
+  }
+  {
+    SwapRequest swap;
+    swap.request_id = 6;
+    swap.model_path = "/tmp/model.kqr3";
+    auto decoded = DecodeSwapRequest(AsBytes(EncodeSwapRequest(swap)));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->model_path, swap.model_path);
+  }
+  {
+    SwapResponse swap;
+    swap.request_id = 7;
+    swap.status = Status::IOError("no such model");
+    swap.model_generation = 2;
+    auto decoded = DecodeSwapResponse(AsBytes(EncodeSwapResponse(swap)));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->status.code(), StatusCode::kIOError);
+    EXPECT_EQ(decoded->status.message(), "no such model");
+    EXPECT_EQ(decoded->model_generation, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace kqr

@@ -186,6 +186,48 @@ class LockDisciplineTest(LintCase):
         self.assertFalse(self.findings_for("lock-discipline"))
 
 
+class NetDisciplineTest(LintCase):
+    def test_fires_on_raw_connect_in_shard(self):
+        self.write("src/shard/a.cc",
+                   "int fd = ::connect(s, addr, len);\n")
+        self.assertTrue(self.findings_for("net-discipline"))
+
+    def test_fires_on_epoll_outside_net(self):
+        self.write("src/server/a.cc", "int ep = epoll_create1(0);\n")
+        self.assertTrue(self.findings_for("net-discipline"))
+
+    def test_fires_on_setsockopt_in_core(self):
+        self.write("src/core/a.cc",
+                   "setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, 4);\n")
+        self.assertTrue(self.findings_for("net-discipline"))
+
+    def test_src_net_is_exempt(self):
+        self.write("src/net/socket.cc",
+                   "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+                   "::bind(fd, addr, len);\n")
+        self.assertFalse(self.findings_for("net-discipline"))
+
+    def test_wrapper_use_passes(self):
+        self.write("src/shard/a.cc",
+                   "auto s = Socket::ConnectTcp(host, port, t);\n")
+        self.assertFalse(self.findings_for("net-discipline"))
+
+    def test_member_call_named_send_passes(self):
+        # `.send(` / `->send(` are method calls on some object, not the
+        # syscall; the lookbehind must not flag them.
+        self.write("src/shard/a.cc", "queue.send(item); q->send(item);\n")
+        self.assertFalse(self.findings_for("net-discipline"))
+
+    def test_comment_mention_passes(self):
+        self.write("src/shard/a.cc", "// never call connect( here\n")
+        self.assertFalse(self.findings_for("net-discipline"))
+
+    def test_tests_are_exempt(self):
+        self.write("tests/a_test.cc",
+                   "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n")
+        self.assertFalse(self.findings_for("net-discipline"))
+
+
 class WaiverTest(LintCase):
     def test_exact_waiver_suppresses(self):
         self.write("src/core/a.h",

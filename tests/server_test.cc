@@ -325,6 +325,70 @@ TEST(Server, CallbackSubmitRunsExactlyOnce) {
   (*server)->Drain();
 }
 
+TEST(Server, SecondCreateOnSameModelIsAlreadyExists) {
+  // One front-end per model: the server claims the ServingModel at
+  // Create and a second claim is a typed refusal, not a silent second
+  // worker pool double-counting the model's server metrics.
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  auto first = Server::Create(model);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  auto second = Server::Create(model);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsAlreadyExists())
+      << second.status().ToString();
+
+  // The refusal did not disturb the holder.
+  EXPECT_TRUE((*first)->Reformulate(terms, 5).ok());
+  (*first)->Drain();
+
+  // Drain releases the claim: a replacement server (the hot-swap
+  // rollover shape, shard/shard_server.cc) fronts the model cleanly.
+  auto third = Server::Create(model);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_TRUE((*third)->Reformulate(terms, 5).ok());
+  (*third)->Drain();
+}
+
+TEST(Server, EveryPostDrainEntryPointShedsWithUnavailable) {
+  // Submit-after-Drain must be the same typed kUnavailable on all three
+  // entry points — future, callback, and blocking — never a hang, a
+  // crash, or an untyped error.
+  auto model = MakeModel();
+  const std::vector<TermId> terms = QueryTerms(*model);
+  auto server = Server::Create(model);
+  ASSERT_TRUE(server.ok());
+  (*server)->Drain();
+
+  ServerRequest via_future;
+  via_future.terms = terms;
+  via_future.k = 5;
+  auto future_result = (*server)->Submit(std::move(via_future)).get();
+  ASSERT_FALSE(future_result.ok());
+  EXPECT_TRUE(future_result.status().IsUnavailable());
+
+  ServerRequest via_callback;
+  via_callback.terms = terms;
+  via_callback.k = 5;
+  std::promise<ServeResult> done;
+  auto delivered = done.get_future();
+  (*server)->Submit(std::move(via_callback), [&done](ServeResult result) {
+    done.set_value(std::move(result));  // throws if invoked twice
+  });
+  ASSERT_EQ(delivered.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  auto callback_result = delivered.get();
+  ASSERT_FALSE(callback_result.ok());
+  EXPECT_TRUE(callback_result.status().IsUnavailable());
+
+  auto blocking_result = (*server)->Reformulate(terms, 5);
+  ASSERT_FALSE(blocking_result.ok());
+  EXPECT_TRUE(blocking_result.status().IsUnavailable());
+
+  EXPECT_EQ(CounterNow(*model, "kqr_server_shed_total"), 3u);
+}
+
 TEST(Server, DestructorDrainsOutstandingWork) {
   auto model = MakeModel();
   const std::vector<TermId> terms = QueryTerms(*model);

@@ -1,0 +1,457 @@
+// Deterministic fault-injection suite for sharded serving (DESIGN.md §8).
+//
+// Every fault a distributed deployment actually produces is staged here
+// on loopback, deterministically, and checked for the router's typed-
+// degradation contract: a dead, refusing, resetting or EOF-ing shard
+// costs kUnavailable; a stalled shard costs kDeadlineExceeded within the
+// caller's deadline (never a hang); a shard speaking garbage costs
+// kUnavailable plus exactly one corrupt-frame count and a closed
+// connection. Merges are never partial: queries owned by healthy shards
+// return bit-identical to a local ReformulateTerms while the faulty
+// shard's queries carry their typed error.
+//
+// The shard side is exercised both in-process (ShardServer) and as the
+// real kqr_shardd child process (tests/shardd_harness.h) for the
+// kill-mid-query case.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine_builder.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "shard/partition.h"
+#include "shard/router.h"
+#include "shard/shard_server.h"
+#include "shardd_harness.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::shared_ptr<const ServingModel> MakeModel() {
+  auto model = EngineBuilder().Build(testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+std::vector<TermId> Resolve(const ServingModel& model,
+                            const std::string& query) {
+  auto terms = model.ResolveQuery(query);
+  KQR_CHECK(terms.ok()) << terms.status().ToString();
+  return *terms;
+}
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A TCP peer that accepts one connection and runs `handler` on it —
+/// the scaffolding for every router-side fault below.
+class FakePeer {
+ public:
+  using Handler = std::function<void(Socket conn)>;
+
+  explicit FakePeer(Handler handler) {
+    auto listener = Socket::ListenTcp("127.0.0.1", 0);
+    KQR_CHECK(listener.ok()) << listener.status().ToString();
+    auto port = listener->local_port();
+    KQR_CHECK(port.ok());
+    port_ = *port;
+    thread_ = std::thread(
+        [listener = std::move(*listener), handler = std::move(handler)]() mutable {
+          for (int i = 0; i < 100; ++i) {
+            auto ready = WaitReadable(listener.fd(), 0.1);
+            if (!ready.ok()) return;
+            auto conn = listener.Accept();
+            if (!conn.ok()) return;
+            if (conn->valid()) {
+              handler(std::move(*conn));
+              return;
+            }
+          }
+        });
+  }
+
+  ~FakePeer() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Reads from `conn` until it has seen at least `min_bytes` (the fakes
+/// consume the router's request before injecting their fault, so the
+/// router is already committed to the exchange).
+void DrainAtLeast(Socket* conn, size_t min_bytes) {
+  std::byte buf[4096];
+  size_t seen = 0;
+  while (seen < min_bytes) {
+    auto ready = WaitReadable(conn->fd(), 2.0);
+    if (!ready.ok() || !*ready) return;
+    auto io = conn->Read(std::span<std::byte>(buf));
+    if (!io.ok() || io->eof) return;
+    seen += io->bytes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Healthy-path round trips (the baseline the faults degrade from).
+
+TEST(ShardServing, HealthStatsAndNullLoaderSwap) {
+  auto model = MakeModel();
+  auto shard = ShardServer::Start(model, /*loader=*/nullptr);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+
+  auto router = ShardRouter::Connect({{"127.0.0.1", (*shard)->port()}});
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  auto health = (*router)->Health(0);
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->model_generation, 1u);
+  EXPECT_EQ(health->vocab_terms, model->vocab().size());
+
+  auto stats_json = (*router)->Stats(0);
+  ASSERT_TRUE(stats_json.ok()) << stats_json.status().ToString();
+  EXPECT_NE(stats_json->find("kqr_shard_requests_total"), std::string::npos);
+
+  // No loader installed: the swap round-trips but reports kNotImplemented
+  // and the generation does not move.
+  auto swap = (*router)->SwapModel(0, "/nowhere/model.kqr3");
+  ASSERT_TRUE(swap.ok()) << swap.status().ToString();
+  EXPECT_EQ(swap->status.code(), StatusCode::kNotImplemented);
+  EXPECT_EQ((*shard)->generation(), 1u);
+}
+
+TEST(ShardServing, RoutedAnswersAreBitIdenticalToLocal) {
+  auto model = MakeModel();
+  auto shard = ShardServer::Start(model, nullptr);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  auto router = ShardRouter::Connect({{"127.0.0.1", (*shard)->port()}});
+  ASSERT_TRUE(router.ok());
+
+  const std::vector<std::string> queries = {
+      "uncertain query", "probabilistic mining", "alice smith", "vldb"};
+  for (const std::string& q : queries) {
+    const std::vector<TermId> terms = Resolve(*model, q);
+    auto local = model->ReformulateTerms(terms, 5);
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    auto remote = (*router)->Reformulate(terms, 5);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    ASSERT_EQ(remote->size(), local->size()) << q;
+    for (size_t i = 0; i < local->size(); ++i) {
+      EXPECT_EQ((*remote)[i].terms, (*local)[i].terms);
+      // Scores cross the wire as raw bits: exact equality, not NEAR.
+      EXPECT_EQ((*remote)[i].score, (*local)[i].score);
+      EXPECT_EQ((*remote)[i].is_identity, (*local)[i].is_identity);
+    }
+  }
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.ok, queries.size());
+  EXPECT_EQ(rs.unavailable, 0u);
+  EXPECT_EQ(rs.deadline_exceeded, 0u);
+  EXPECT_EQ(rs.corrupt_frames, 0u);
+}
+
+TEST(ShardServing, SwapWithLoaderBumpsGenerationAndKeepsServing) {
+  auto model = MakeModel();
+  ModelLoader loader = [](const std::string&) { return MakeModel(); };
+  auto shard = ShardServer::Start(model, std::move(loader));
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  auto router = ShardRouter::Connect({{"127.0.0.1", (*shard)->port()}});
+  ASSERT_TRUE(router.ok());
+
+  const std::vector<TermId> terms = Resolve(*model, "uncertain query");
+  auto before = (*router)->Reformulate(terms, 5);
+  ASSERT_TRUE(before.ok());
+
+  auto swap = (*router)->SwapModel(0, "any-path");
+  ASSERT_TRUE(swap.ok()) << swap.status().ToString();
+  ASSERT_TRUE(swap->status.ok()) << swap->status.ToString();
+  EXPECT_EQ(swap->model_generation, 2u);
+  EXPECT_EQ((*shard)->generation(), 2u);
+  EXPECT_EQ((*shard)->stats().swaps, 1u);
+
+  // Identical corpus, identical answers — and the connection survived
+  // the swap (same model content, new generation).
+  auto after = (*router)->Reformulate(terms, 5);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after->size(), before->size());
+  for (size_t i = 0; i < after->size(); ++i) {
+    EXPECT_EQ((*after)[i].terms, (*before)[i].terms);
+    EXPECT_EQ((*after)[i].score, (*before)[i].score);
+  }
+  auto health = (*router)->Health(0);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->model_generation, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Router-side faults, one per failure mode.
+
+TEST(ShardFault, DeadShardIsUnavailableNotAHang) {
+  // Bind an ephemeral port, then close it: connections there are refused.
+  uint16_t dead_port = 0;
+  {
+    auto listener = Socket::ListenTcp("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = *listener->local_port();
+  }
+
+  auto router = ShardRouter::Connect({{"127.0.0.1", dead_port}});
+  ASSERT_TRUE(router.ok()) << "a down shard must not fail construction";
+
+  const Clock::time_point start = Clock::now();
+  auto result = (*router)->Reformulate({1, 2}, 5, /*deadline_seconds=*/2.0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(SecondsSince(start), 2.5);
+  EXPECT_EQ((*router)->stats().unavailable, 1u);
+}
+
+TEST(ShardFault, AcceptThenStallIsDeadlineExceededWithinDeadline) {
+  // A listener whose backlog completes the TCP handshake but whose owner
+  // never reads or writes: the router's scatter succeeds into kernel
+  // buffers and the gather must give up at the deadline, not hang.
+  auto listener = Socket::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = *listener->local_port();
+
+  auto router = ShardRouter::Connect({{"127.0.0.1", port}});
+  ASSERT_TRUE(router.ok());
+
+  const std::vector<std::vector<TermId>> queries = {{1}, {2, 3}, {4}};
+  const Clock::time_point start = Clock::now();
+  auto results =
+      (*router)->ReformulateBatch(queries, 5, /*deadline_seconds=*/0.5);
+  const double elapsed = SecondsSince(start);
+  ASSERT_EQ(results.size(), queries.size());
+  for (const ServeResult& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_GE(elapsed, 0.4);
+  EXPECT_LT(elapsed, 3.0);
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.deadline_exceeded, queries.size());
+  EXPECT_EQ(rs.corrupt_frames, 0u);
+}
+
+TEST(ShardFault, MidStreamDisconnectIsUnavailable) {
+  // The peer consumes the request, sends a frame header promising 100
+  // payload bytes, delivers 10, and vanishes. Truncation is transport
+  // loss, not corruption: kUnavailable, corrupt_frames stays 0.
+  FakePeer peer([](Socket conn) {
+    DrainAtLeast(&conn, 1);
+    std::string frame =
+        EncodeFrameString(FrameType::kReformulateResponse, std::string(100, 'x'));
+    frame.resize(kFrameHeaderBytes + 10);
+    (void)conn.Write(std::as_bytes(std::span(frame)));
+    conn.Close();
+  });
+
+  auto router = ShardRouter::Connect({{"127.0.0.1", peer.port()}});
+  ASSERT_TRUE(router.ok());
+  auto result = (*router)->Reformulate({7}, 5, 2.0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.unavailable, 1u);
+  EXPECT_EQ(rs.corrupt_frames, 0u);
+}
+
+TEST(ShardFault, GarbageBytesPeerIsUnavailablePlusOneCorruptFrame) {
+  FakePeer peer([](Socket conn) {
+    DrainAtLeast(&conn, 1);
+    const std::string garbage(64, '\xa5');
+    (void)conn.Write(std::as_bytes(std::span(garbage)));
+    // Leave the connection open: the router must disconnect on its own —
+    // a mis-framed stream has no trustworthy continuation.
+    auto ready = WaitReadable(conn.fd(), 2.0);
+    (void)ready;
+  });
+
+  auto router = ShardRouter::Connect({{"127.0.0.1", peer.port()}});
+  ASSERT_TRUE(router.ok());
+  auto result = (*router)->Reformulate({9}, 5, 2.0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.unavailable, 1u);
+  EXPECT_EQ(rs.corrupt_frames, 1u);
+}
+
+TEST(ShardFault, HealthyShardQueriesSurviveADeadShardExactly) {
+  // Two-shard fleet: shard 0 live, shard 1 refused. The merge must not
+  // be partial in either direction — every query owned by shard 0 is
+  // bit-identical to local, every query owned by shard 1 is exactly
+  // kUnavailable.
+  auto model = MakeModel();
+  auto shard0 = ShardServer::Start(model, nullptr);
+  ASSERT_TRUE(shard0.ok());
+  uint16_t dead_port = 0;
+  {
+    auto listener = Socket::ListenTcp("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = *listener->local_port();
+  }
+  auto router = ShardRouter::Connect(
+      {{"127.0.0.1", (*shard0)->port()}, {"127.0.0.1", dead_port}});
+  ASSERT_TRUE(router.ok());
+
+  // Single-term queries over the whole micro vocabulary: ownership is
+  // computable in-test and both shards are guaranteed coverage.
+  std::vector<std::vector<TermId>> queries;
+  for (TermId t = 0; t < static_cast<TermId>(model->vocab().size()); ++t) {
+    queries.push_back({t});
+  }
+  size_t owned_by_dead = 0;
+  for (const auto& q : queries) {
+    if (OwnerShard(std::span<const TermId>(q), 2) == 1) ++owned_by_dead;
+  }
+  ASSERT_GT(owned_by_dead, 0u) << "fixture must cover the dead shard";
+  ASSERT_LT(owned_by_dead, queries.size()) << "and the live one";
+
+  auto results = (*router)->ReformulateBatch(queries, 5, 5.0);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const size_t owner = OwnerShard(std::span<const TermId>(queries[i]), 2);
+    if (owner == 1) {
+      ASSERT_FALSE(results[i].ok()) << "query " << i;
+      EXPECT_EQ(results[i].status().code(), StatusCode::kUnavailable);
+      continue;
+    }
+    auto local = model->ReformulateTerms(queries[i], 5);
+    if (!local.ok()) {
+      ASSERT_FALSE(results[i].ok());
+      EXPECT_EQ(results[i].status().code(), local.status().code());
+      continue;
+    }
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    ASSERT_EQ(results[i]->size(), local->size());
+    for (size_t j = 0; j < local->size(); ++j) {
+      EXPECT_EQ((*results[i])[j].terms, (*local)[j].terms);
+      EXPECT_EQ((*results[i])[j].score, (*local)[j].score);
+    }
+  }
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.unavailable, owned_by_dead);
+  EXPECT_EQ(rs.ok + rs.remote_errors, queries.size() - owned_by_dead);
+}
+
+TEST(ShardFault, KilledShardProcessIsUnavailableThenRecoverable) {
+  ShardProcess shardd;
+  ASSERT_TRUE(shardd.Start({"--demo-authors", "40", "--demo-papers", "120",
+                            "--demo-venues", "8", "--demo-seed", "7",
+                            "--workers", "2"}));
+
+  auto router = ShardRouter::Connect({{"127.0.0.1", shardd.port()}});
+  ASSERT_TRUE(router.ok());
+  auto health = (*router)->Health(0, 5.0);
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+
+  auto alive = (*router)->Reformulate({1, 2}, 5, 5.0);
+  // The query may or may not rank anything, but transport must be clean.
+  if (!alive.ok()) {
+    EXPECT_NE(alive.status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(alive.status().code(), StatusCode::kDeadlineExceeded);
+  }
+
+  // SIGKILL: the kernel resets the connection under the router's feet.
+  shardd.Kill();
+  const Clock::time_point start = Clock::now();
+  auto dead = (*router)->Reformulate({1, 2}, 5, 2.0);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(SecondsSince(start), 2.5);
+
+  // A replacement shard on the same address heals the fleet through the
+  // router's lazy reconnect — no router restart required.
+  ShardProcess replacement;
+  ASSERT_TRUE(replacement.Start(
+      {"--demo-authors", "40", "--demo-papers", "120", "--demo-venues", "8",
+       "--demo-seed", "7", "--workers", "2", "--port",
+       std::to_string(shardd.port())}));
+  ASSERT_EQ(replacement.port(), shardd.port());
+  auto healed = (*router)->Health(0, 5.0);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_GE((*router)->stats().reconnects, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-side faults: a misbehaving client must cost the shard nothing but
+// one closed connection.
+
+TEST(ShardFault, ShardClosesConnectionOnGarbageBytes) {
+  auto model = MakeModel();
+  auto shard = ShardServer::Start(model, nullptr);
+  ASSERT_TRUE(shard.ok());
+
+  auto conn = Socket::ConnectTcp("127.0.0.1", (*shard)->port(), 2.0);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  const std::string garbage = "this is not a KQRF frame at all........";
+  auto wrote = conn->Write(std::as_bytes(std::span(garbage)));
+  ASSERT_TRUE(wrote.ok());
+
+  // The shard must close on us (EOF) rather than answer or linger.
+  auto ready = WaitReadable(conn->fd(), 5.0);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_TRUE(*ready) << "shard did not react to garbage";
+  std::byte buf[64];
+  auto io = conn->Read(std::span<std::byte>(buf));
+  ASSERT_TRUE(io.ok()) << io.status().ToString();
+  EXPECT_TRUE(io->eof);
+
+  const ShardStats ss = (*shard)->stats();
+  EXPECT_EQ(ss.corrupt_frames, 1u);
+  EXPECT_EQ(ss.connections_closed, 1u);
+
+  // And a well-formed client still gets service afterwards.
+  auto router = ShardRouter::Connect({{"127.0.0.1", (*shard)->port()}});
+  ASSERT_TRUE(router.ok());
+  auto health = (*router)->Health(0);
+  EXPECT_TRUE(health.ok()) << health.status().ToString();
+}
+
+TEST(ShardFault, ConnectionsBeyondTheCapAreRejectedNotServed) {
+  auto model = MakeModel();
+  ShardServerOptions options;
+  options.max_connections = 1;
+  auto shard = ShardServer::Start(model, nullptr, options);
+  ASSERT_TRUE(shard.ok());
+
+  auto first = Socket::ConnectTcp("127.0.0.1", (*shard)->port(), 2.0);
+  ASSERT_TRUE(first.ok());
+  // Exchange one health round-trip so the shard has registered us.
+  const std::string probe =
+      EncodeFrameString(FrameType::kHealthRequest, EncodeRequestIdPayload(1));
+  ASSERT_TRUE(first->Write(std::as_bytes(std::span(probe))).ok());
+  ASSERT_TRUE(*WaitReadable(first->fd(), 5.0));
+
+  auto second = Socket::ConnectTcp("127.0.0.1", (*shard)->port(), 2.0);
+  ASSERT_TRUE(second.ok());
+  auto ready = WaitReadable(second->fd(), 5.0);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_TRUE(*ready) << "over-cap connection neither served nor closed";
+  std::byte buf[64];
+  auto io = second->Read(std::span<std::byte>(buf));
+  ASSERT_TRUE(io.ok());
+  EXPECT_TRUE(io->eof);
+  EXPECT_EQ((*shard)->stats().connections_rejected, 1u);
+}
+
+}  // namespace
+}  // namespace kqr

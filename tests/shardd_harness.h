@@ -1,0 +1,162 @@
+// Test harness for spawning real kqr_shardd processes (multi-process
+// suites: shard_fault_test.cc, sharded_e2e_test.cc, bench/sharded_serving).
+//
+// Lifetime contract (examples/kqr_shardd.cpp): the child serves until its
+// stdin reaches EOF, so the harness holds the write end of a pipe on the
+// child's stdin — Terminate() is "close the pipe, wait", and a crashed
+// test cannot orphan shards because the child also arms
+// PR_SET_PDEATHSIG(SIGKILL). The child prints exactly one line,
+// "KQR_SHARDD LISTENING <port>", which the harness parses to learn the
+// ephemeral port.
+
+#pragma once
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace kqr {
+
+#ifndef KQR_SHARDD_PATH
+#error "build must define KQR_SHARDD_PATH (tests/CMakeLists.txt)"
+#endif
+
+/// \brief One spawned kqr_shardd child: pid, bound port, and the pipe
+/// whose closure is the shutdown signal.
+class ShardProcess {
+ public:
+  ShardProcess() = default;
+  ShardProcess(const ShardProcess&) = delete;
+  ShardProcess& operator=(const ShardProcess&) = delete;
+  ShardProcess(ShardProcess&& other) noexcept { *this = std::move(other); }
+  ShardProcess& operator=(ShardProcess&& other) noexcept {
+    if (this != &other) {
+      Terminate();
+      pid_ = other.pid_;
+      stdin_fd_ = other.stdin_fd_;
+      port_ = other.port_;
+      other.pid_ = -1;
+      other.stdin_fd_ = -1;
+      other.port_ = 0;
+    }
+    return *this;
+  }
+  ~ShardProcess() { Terminate(); }
+
+  /// \brief Spawns kqr_shardd with `args` appended after the binary path
+  /// and waits for its LISTENING line. Returns false (with a perror-style
+  /// message on stderr) on any spawn failure.
+  bool Start(const std::vector<std::string>& args) {
+    int to_child[2];   // parent writes, child stdin
+    int from_child[2]; // child stdout, parent reads
+    // O_CLOEXEC is load-bearing: a later Start()'s fork+exec must not
+    // inherit this shard's stdin write end, or "close the pipe" stops
+    // meaning EOF while any younger sibling lives. The child's dup2 onto
+    // stdin/stdout clears the flag on exactly the ends it needs.
+    if (pipe2(to_child, O_CLOEXEC) != 0) return false;
+    if (pipe2(from_child, O_CLOEXEC) != 0) {
+      close(to_child[0]);
+      close(to_child[1]);
+      return false;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      return false;
+    }
+    if (pid == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(KQR_SHARDD_PATH));
+      for (const std::string& a : args) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      execv(KQR_SHARDD_PATH, argv.data());
+      std::perror("execv kqr_shardd");
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    pid_ = pid;
+    stdin_fd_ = to_child[1];
+
+    // Read the single LISTENING line from the child's stdout. Model
+    // build can take a while on a loaded runner; the read blocks until
+    // the child either announces or exits (EOF).
+    std::string line;
+    char c = 0;
+    ssize_t n = 0;
+    while ((n = read(from_child[0], &c, 1)) == 1 && c != '\n') {
+      line.push_back(c);
+      if (line.size() > 256) break;
+    }
+    close(from_child[0]);
+    unsigned port = 0;
+    if (std::sscanf(line.c_str(), "KQR_SHARDD LISTENING %u", &port) != 1 ||
+        port == 0 || port > 65535) {
+      std::fprintf(stderr, "shardd announce not understood: \"%s\"\n",
+                   line.c_str());
+      Terminate();
+      return false;
+    }
+    port_ = static_cast<uint16_t>(port);
+    return true;
+  }
+
+  uint16_t port() const { return port_; }
+  pid_t pid() const { return pid_; }
+  bool running() const { return pid_ > 0; }
+
+  /// \brief Graceful shutdown: close the child's stdin (its exit signal)
+  /// and reap it. Safe to call repeatedly.
+  void Terminate() {
+    if (stdin_fd_ >= 0) {
+      close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+    Reap();
+  }
+
+  /// \brief Abrupt death, as a fault test wants it: SIGKILL, then reap.
+  /// The kernel resets the shard's TCP connections, so the router sees a
+  /// hard transport loss rather than an orderly close.
+  void Kill() {
+    if (pid_ > 0) kill(pid_, SIGKILL);
+    if (stdin_fd_ >= 0) {
+      close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+    Reap();
+  }
+
+ private:
+  void Reap() {
+    if (pid_ > 0) {
+      int wstatus = 0;
+      waitpid(pid_, &wstatus, 0);
+      pid_ = -1;
+    }
+  }
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace kqr

@@ -1,0 +1,240 @@
+// Multi-process end-to-end test for term-sharded serving (DESIGN.md §8):
+// real kqr_shardd child processes, a ShardRouter over loopback, and the
+// determinism contract checked fleet-size by fleet-size — the merged
+// answers of 1, 2 and 4 shards must fingerprint bit-identically to a
+// single-process ReformulateTerms over the same model file. A final case
+// hot-swaps the model under continuous traffic and requires zero shed
+// requests across the rollover.
+//
+// All shards open the same v3 model via the mmap path (--model), which is
+// exactly the production shape: partition decides query ownership, not
+// data placement.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine_builder.h"
+#include "datagen/dblp_gen.h"
+#include "shard/router.h"
+#include "shardd_harness.h"
+
+namespace kqr {
+namespace {
+
+// Small enough that four child processes regenerate it quickly on a
+// one-core CI runner; rich enough that rankings are nontrivial.
+DblpOptions DemoOptions() {
+  DblpOptions options;
+  options.num_authors = 60;
+  options.num_papers = 200;
+  options.num_venues = 10;
+  options.seed = 99;
+  return options;
+}
+
+std::vector<std::string> DemoArgs() {
+  return {"--demo-authors", "60", "--demo-papers", "200",
+          "--demo-venues", "10", "--demo-seed",   "99"};
+}
+
+constexpr size_t kTopK = 5;
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Order- and bit-exact fingerprint of one ServeResult: full ranking
+/// (terms + raw score bits) when OK, folded status code when not.
+uint64_t Fingerprint(const ServeResult& result) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  if (!result.ok()) {
+    return Fnv1a(h, 0xbad0000 + static_cast<uint64_t>(result.status().code()));
+  }
+  h = Fnv1a(h, result->size());
+  for (const ReformulatedQuery& q : *result) {
+    for (TermId t : q.terms) h = Fnv1a(h, t);
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(q.score));
+    std::memcpy(&bits, &q.score, sizeof(bits));
+    h = Fnv1a(h, bits);
+  }
+  return h;
+}
+
+class ShardedE2E : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    auto corpus = GenerateDblp(DemoOptions());
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    auto model = EngineBuilder().Build(std::move(corpus->db));
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = new std::shared_ptr<const ServingModel>(std::move(*model));
+
+    model_path_ = new std::string(::testing::TempDir() +
+                                  "/sharded_e2e_model.kqr3");
+    ASSERT_TRUE(EngineBuilder::SaveModel(**model_, *model_path_).ok());
+
+    // Deterministic query corpus: mixed one- and two-term queries
+    // sweeping the vocabulary (term ids are dense, so every id is valid).
+    queries_ = new std::vector<std::vector<TermId>>();
+    const auto vocab_size = static_cast<TermId>((*model_)->vocab().size());
+    for (uint64_t i = 0; i < 60; ++i) {
+      std::vector<TermId> q;
+      q.push_back(static_cast<TermId>((i * 131) % vocab_size));
+      if (i % 3 != 0) {
+        q.push_back(static_cast<TermId>((i * 937 + 11) % vocab_size));
+      }
+      queries_->push_back(std::move(q));
+    }
+
+    // The single-process reference every fleet size must reproduce.
+    reference_ = new std::vector<uint64_t>();
+    for (const auto& q : *queries_) {
+      auto local = (*model_)->ReformulateTerms(q, kTopK);
+      reference_->push_back(Fingerprint(
+          local.ok() ? ServeResult(std::move(*local))
+                     : ServeResult(local.status())));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete reference_;
+    delete queries_;
+    delete model_path_;
+    delete model_;
+    reference_ = nullptr;
+    queries_ = nullptr;
+    model_path_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static std::vector<std::string> ShardArgs() {
+    std::vector<std::string> args = DemoArgs();
+    args.push_back("--model");
+    args.push_back(*model_path_);
+    args.push_back("--workers");
+    args.push_back("2");
+    return args;
+  }
+
+  static std::shared_ptr<const ServingModel>* model_;
+  static std::string* model_path_;
+  static std::vector<std::vector<TermId>>* queries_;
+  static std::vector<uint64_t>* reference_;
+};
+
+std::shared_ptr<const ServingModel>* ShardedE2E::model_ = nullptr;
+std::string* ShardedE2E::model_path_ = nullptr;
+std::vector<std::vector<TermId>>* ShardedE2E::queries_ = nullptr;
+std::vector<uint64_t>* ShardedE2E::reference_ = nullptr;
+
+void ExpectFleetMatchesReference(size_t num_shards,
+                                 const std::vector<std::vector<TermId>>& queries,
+                                 const std::vector<uint64_t>& reference) {
+  std::vector<ShardProcess> fleet(num_shards);
+  std::vector<ShardAddress> addresses;
+  for (size_t i = 0; i < num_shards; ++i) {
+    ASSERT_TRUE(fleet[i].Start(ShardedE2E::ShardArgs()))
+        << "shard " << i << " of " << num_shards;
+    addresses.push_back({"127.0.0.1", fleet[i].port()});
+  }
+  auto router = ShardRouter::Connect(std::move(addresses));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  auto results = (*router)->ReformulateBatch(queries, kTopK,
+                                             /*deadline_seconds=*/60.0);
+  ASSERT_EQ(results.size(), queries.size());
+  size_t mismatches = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (Fingerprint(results[i]) != reference[i]) {
+      ++mismatches;
+      ADD_FAILURE() << num_shards << "-shard fleet diverges on query " << i
+                    << ": " << results[i].status().ToString();
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.unavailable, 0u);
+  EXPECT_EQ(rs.deadline_exceeded, 0u);
+  EXPECT_EQ(rs.corrupt_frames, 0u);
+}
+
+TEST_F(ShardedE2E, OneShardFleetIsBitIdenticalToLocal) {
+  ExpectFleetMatchesReference(1, *queries_, *reference_);
+}
+
+TEST_F(ShardedE2E, TwoShardFleetIsBitIdenticalToLocal) {
+  ExpectFleetMatchesReference(2, *queries_, *reference_);
+}
+
+TEST_F(ShardedE2E, FourShardFleetIsBitIdenticalToLocal) {
+  ExpectFleetMatchesReference(4, *queries_, *reference_);
+}
+
+TEST_F(ShardedE2E, HotModelSwapShedsNothingUnderTraffic) {
+  ShardProcess shardd;
+  ASSERT_TRUE(shardd.Start(ShardArgs()));
+
+  // Traffic thread: its own router (routers are single-threaded by
+  // contract), continuous batches. Every single query must succeed —
+  // one kUnavailable anywhere is a failed rollover.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> failed{0};
+  std::thread traffic([&] {
+    auto router =
+        ShardRouter::Connect({{"127.0.0.1", shardd.port()}});
+    if (!router.ok()) {
+      failed.store(1);
+      return;
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto results = (*router)->ReformulateBatch(*queries_, kTopK, 60.0);
+      for (size_t i = 0; i < results.size(); ++i) {
+        const StatusCode code = results[i].status().code();
+        if (code == StatusCode::kUnavailable ||
+            code == StatusCode::kDeadlineExceeded) {
+          shed.fetch_add(1);
+        } else if (Fingerprint(results[i]) != (*reference_)[i]) {
+          failed.fetch_add(1);
+        }
+      }
+      batches.fetch_add(1);
+    }
+  });
+
+  // Let traffic establish, then swap to the same model file (content-
+  // identical, so fingerprints keep matching while the generation and
+  // the serving stack roll over underneath the load).
+  auto control = ShardRouter::Connect({{"127.0.0.1", shardd.port()}});
+  ASSERT_TRUE(control.ok());
+  while (batches.load() < 2) std::this_thread::yield();
+  auto swap = (*control)->SwapModel(0, *model_path_, 60.0);
+  while (batches.load() < 5) std::this_thread::yield();
+  stop.store(true);
+  traffic.join();
+
+  ASSERT_TRUE(swap.ok()) << swap.status().ToString();
+  ASSERT_TRUE(swap->status.ok()) << swap->status.ToString();
+  EXPECT_EQ(swap->model_generation, 2u);
+  EXPECT_EQ(shed.load(), 0u) << "hot swap shed requests";
+  EXPECT_EQ(failed.load(), 0u) << "hot swap changed answers";
+  auto health = (*control)->Health(0, 10.0);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->model_generation, 2u);
+}
+
+}  // namespace
+}  // namespace kqr

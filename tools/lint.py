@@ -35,6 +35,12 @@ comment on the same line; rule names must match exactly):
                     storage/csv.cc) — raw fopen/fstream scattered through
                     src/ is how formats drift away from the checksummed
                     container discipline
+  net-discipline    raw socket/poll syscalls (socket, bind, connect,
+                    accept, epoll_*, recv, send, ...) live only in
+                    src/net/ within src/ — every other layer talks to the
+                    network through the kqr::Socket wrappers, which is
+                    what keeps fd lifetimes, non-blocking mode, and
+                    error→Status mapping in one audited place
   lock-discipline   src/ outside common/ never uses raw std::mutex /
                     std::shared_mutex / lock_guard / unique_lock /
                     scoped_lock / shared_lock / condition_variable — all
@@ -357,6 +363,41 @@ class Linter:
                                 "analysis sees the acquire/release",
                                 raw_lines[line_no - 1])
 
+    # -- net-discipline -------------------------------------------------
+
+    # Raw socket/poll syscalls are confined to src/net/ (the kqr::Socket
+    # wrappers and the epoll loop); every other src/ layer must go through
+    # them. A stray ::connect or ::send elsewhere bypasses the
+    # non-blocking setup, the error→Status mapping, and the fd ownership
+    # the wrappers guarantee. tests/, bench/, examples/ are exempt — fault
+    # tests deliberately speak raw bytes at the daemon.
+    NET_ALLOWLIST_PREFIXES = (
+        os.path.join("src", "net") + os.sep,
+    )
+    NET_RE = re.compile(
+        r"(?<![\w.>])(?:socket|bind|listen|accept4?|connect|recv(?:from"
+        r"|msg)?|send(?:to|msg)?|p?poll|select|epoll_create1?|epoll_ctl"
+        r"|epoll_wait|eventfd|getsockname|getpeername|getsockopt"
+        r"|setsockopt|shutdown|socketpair)\s*\(")
+
+    def check_net_discipline(self):
+        for path in find_files(self.root, ("src",), (".h", ".cc")):
+            rel = os.path.relpath(path, self.root)
+            if any(rel.startswith(p) for p in self.NET_ALLOWLIST_PREFIXES):
+                continue
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            stripped = strip_comments_and_strings("\n".join(raw_lines))
+            for line_no, line in enumerate(stripped.splitlines(), 1):
+                m = self.NET_RE.search(line)
+                if m:
+                    self.report(path, line_no, "net-discipline",
+                                f"raw socket call ('{m.group(0).rstrip('(').rstrip()}') "
+                                "outside src/net/ — use the kqr::Socket "
+                                "wrappers (net/socket.h) so fd lifetimes "
+                                "and error mapping stay in one place",
+                                raw_lines[line_no - 1])
+
     # -- include-cycle --------------------------------------------------
 
     INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
@@ -404,6 +445,7 @@ class Linter:
         self.check_facade_includes()
         self.check_io_discipline()
         self.check_lock_discipline()
+        self.check_net_discipline()
         self.check_include_cycles()
         return self.findings
 
