@@ -1,18 +1,30 @@
 // Sharded-serving benchmark: QPS and batch latency of a ShardRouter over
-// fleets of 1, 2 and 4 real kqr_shardd processes on loopback, with the
-// determinism gate that makes the numbers trustworthy — every routed
-// ranking must fingerprint bit-identically to a single-process
-// ReformulateTerms over the same model file. On a one-core runner the
-// shard counts mostly measure protocol overhead, not parallel speedup;
-// the gate is the point, the throughput table is the context.
+// replicated fleets of real kqr_shardd processes on loopback. Each fleet
+// shape (groups × replicas) is driven by two router arms:
 //
-// Emits BENCH_sharded_serving.json. --quick shrinks the corpus and the
-// round count to fit a CI smoke slot; the exactness gate never relaxes.
+//   one-in-flight  — subbatch_queries = 0: one sub-batch per group, at
+//                    most one request in flight per connection (the old
+//                    router's wire shape);
+//   multiplexed    — subbatch_queries = 8: pipelined sub-batches, many
+//                    request ids in flight per connection, out-of-order
+//                    gather.
+//
+// The determinism gate that makes the numbers trustworthy never relaxes:
+// every routed ranking, from every fleet shape and arm, must fingerprint
+// bit-identically to a single-process ReformulateTerms over the same
+// model file, with zero degraded outcomes. The multiplexed arm must
+// additionally beat the one-in-flight arm by >= 1.3x QPS — gated only on
+// multi-core full runs, since a one-core runner serialises the shard
+// processes and measures protocol overhead, not overlap.
+//
+// Emits BENCH_sharded_serving.json. --quick shrinks the corpus, rounds
+// and fleet list to fit a CI smoke slot; the exactness gate still runs.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -27,8 +39,20 @@ int g_exit_code = 0;
 
 constexpr size_t kTopK = 8;
 constexpr size_t kNumQueries = 64;
+constexpr size_t kMultiplexSubbatch = 8;
+constexpr double kRequiredSpeedup = 1.3;
 
 size_t Rounds() { return g_quick ? 5 : 40; }
+
+struct FleetSpec {
+  size_t groups = 1;
+  size_t replicas = 1;
+};
+
+std::vector<FleetSpec> FleetSpecs() {
+  if (g_quick) return {{1, 1}, {2, 2}};
+  return {{1, 1}, {2, 1}, {4, 1}, {2, 2}};
+}
 
 DblpOptions BenchCorpus() {
   DblpOptions options;
@@ -76,8 +100,9 @@ uint64_t Fingerprint(const std::vector<ReformulatedQuery>& ranking) {
   return h;
 }
 
-struct FleetOutcome {
-  size_t shards = 0;
+struct ArmOutcome {
+  const char* arm = "";
+  size_t subbatch_queries = 0;
   size_t requests = 0;
   double wall_seconds = 0.0;
   double qps = 0.0;
@@ -85,6 +110,14 @@ struct FleetOutcome {
   double p99_batch_ms = 0.0;
   size_t mismatches = 0;
   size_t degraded = 0;  // kUnavailable + kDeadlineExceeded outcomes
+  uint64_t failovers = 0;
+};
+
+struct FleetOutcome {
+  FleetSpec spec;
+  ArmOutcome one_in_flight;
+  ArmOutcome multiplexed;
+  double speedup = 0.0;  // multiplexed qps / one-in-flight qps
 };
 
 double Percentile(std::vector<double> values, double p) {
@@ -95,32 +128,29 @@ double Percentile(std::vector<double> values, double p) {
   return values[idx];
 }
 
-FleetOutcome RunFleet(size_t num_shards, const DblpOptions& corpus,
-                      const std::string& model_path,
-                      const std::vector<std::vector<TermId>>& queries,
-                      const std::vector<uint64_t>& reference) {
-  FleetOutcome outcome;
-  outcome.shards = num_shards;
+ArmOutcome RunArm(const char* arm, size_t subbatch_queries,
+                  const FleetTopology& topology,
+                  const std::vector<std::vector<TermId>>& queries,
+                  const std::vector<uint64_t>& reference) {
+  ArmOutcome outcome;
+  outcome.arm = arm;
+  outcome.subbatch_queries = subbatch_queries;
 
-  std::vector<ShardProcess> fleet(num_shards);
-  std::vector<ShardAddress> addresses;
-  for (size_t i = 0; i < num_shards; ++i) {
-    KQR_CHECK(fleet[i].Start(ShardArgs(corpus, model_path)))
-        << "failed to spawn shard " << i;
-    addresses.push_back({"127.0.0.1", fleet[i].port()});
-  }
-  auto router = ShardRouter::Connect(std::move(addresses));
+  RouterOptions options;
+  options.subbatch_queries = subbatch_queries;
+  auto router = ShardRouter::Connect(topology, options);
   KQR_CHECK(router.ok()) << router.status().ToString();
 
   // Warm-up: one full pass prepares every queried term on every shard,
   // so the timed rounds measure serving, not lazy offline computation.
-  (void)(*router)->ReformulateBatch(queries, kTopK, 120.0);
+  (void)(*router)->ReformulateBatch(queries, kTopK, Deadline::After(120.0));
 
   std::vector<double> batch_seconds;
   Timer wall;
   for (size_t round = 0; round < Rounds(); ++round) {
     Timer batch_timer;
-    auto results = (*router)->ReformulateBatch(queries, kTopK, 120.0);
+    auto results =
+        (*router)->ReformulateBatch(queries, kTopK, Deadline::After(120.0));
     batch_seconds.push_back(batch_timer.ElapsedSeconds());
     for (size_t i = 0; i < results.size(); ++i) {
       if (!results[i].ok()) {
@@ -140,10 +170,63 @@ FleetOutcome RunFleet(size_t num_shards, const DblpOptions& corpus,
   outcome.qps = outcome.requests / outcome.wall_seconds;
   outcome.p50_batch_ms = Percentile(batch_seconds, 0.50) * 1e3;
   outcome.p99_batch_ms = Percentile(batch_seconds, 0.99) * 1e3;
+  outcome.failovers = (*router)->stats().failovers;
   return outcome;
 }
 
-void WriteJson(const std::vector<FleetOutcome>& outcomes) {
+FleetOutcome RunFleet(const FleetSpec& spec, const DblpOptions& corpus,
+                      const std::string& model_path,
+                      const std::vector<std::vector<TermId>>& queries,
+                      const std::vector<uint64_t>& reference) {
+  FleetOutcome outcome;
+  outcome.spec = spec;
+
+  // One set of shard processes serves both arms: same fleet, two wire
+  // disciplines, so the QPS ratio isolates the multiplexing.
+  std::vector<ShardProcess> fleet(spec.groups * spec.replicas);
+  FleetTopology topology;
+  topology.groups.resize(spec.groups);
+  for (size_t g = 0; g < spec.groups; ++g) {
+    for (size_t r = 0; r < spec.replicas; ++r) {
+      ShardProcess& shard = fleet[g * spec.replicas + r];
+      KQR_CHECK(shard.Start(ShardArgs(corpus, model_path)))
+          << "failed to spawn replica " << g << "." << r;
+      topology.groups[g].push_back({"127.0.0.1", shard.port()});
+    }
+  }
+
+  outcome.one_in_flight =
+      RunArm("one_in_flight", 0, topology, queries, reference);
+  outcome.multiplexed =
+      RunArm("multiplexed", kMultiplexSubbatch, topology, queries, reference);
+  if (outcome.one_in_flight.qps > 0.0) {
+    outcome.speedup = outcome.multiplexed.qps / outcome.one_in_flight.qps;
+  }
+  return outcome;
+}
+
+void PrintArm(const FleetSpec& spec, const ArmOutcome& o) {
+  std::printf("%zux%zu %-13s %6zu requests in %6.2fs  %8.1f qps  "
+              "batch p50 %7.2fms p99 %7.2fms  %s\n",
+              spec.groups, spec.replicas, o.arm, o.requests, o.wall_seconds,
+              o.qps, o.p50_batch_ms, o.p99_batch_ms,
+              o.mismatches == 0 ? "exact" : "MISMATCH");
+}
+
+void WriteArmJson(FILE* f, const ArmOutcome& o, const char* trailer) {
+  std::fprintf(f,
+               "        {\"arm\": \"%s\", \"subbatch_queries\": %zu, "
+               "\"requests\": %zu, \"wall_seconds\": %.4f, \"qps\": %.1f, "
+               "\"p50_batch_ms\": %.3f, \"p99_batch_ms\": %.3f, "
+               "\"exact\": %s, \"degraded\": %zu, \"failovers\": %llu}%s\n",
+               o.arm, o.subbatch_queries, o.requests, o.wall_seconds, o.qps,
+               o.p50_batch_ms, o.p99_batch_ms,
+               o.mismatches == 0 ? "true" : "false", o.degraded,
+               static_cast<unsigned long long>(o.failovers), trailer);
+}
+
+void WriteJson(const std::vector<FleetOutcome>& outcomes,
+               unsigned hardware_threads, bool gate_speedup) {
   FILE* f = std::fopen("BENCH_sharded_serving.json", "w");
   if (f == nullptr) {
     std::printf("# could not open BENCH_sharded_serving.json for writing\n");
@@ -151,6 +234,10 @@ void WriteJson(const std::vector<FleetOutcome>& outcomes) {
   }
   std::fprintf(f, "{\n  \"bench\": \"sharded_serving\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", g_quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hardware_threads);
+  std::fprintf(f, "  \"speedup_gated\": %s,\n",
+               gate_speedup ? "true" : "false");
+  std::fprintf(f, "  \"required_speedup\": %.2f,\n", kRequiredSpeedup);
   std::fprintf(f, "  \"queries_per_batch\": %zu,\n  \"k\": %zu,\n",
                kNumQueries, kTopK);
   std::fprintf(f, "  \"rounds\": %zu,\n", Rounds());
@@ -158,14 +245,12 @@ void WriteJson(const std::vector<FleetOutcome>& outcomes) {
   for (size_t i = 0; i < outcomes.size(); ++i) {
     const FleetOutcome& o = outcomes[i];
     std::fprintf(f,
-                 "    {\"shards\": %zu, \"requests\": %zu, "
-                 "\"wall_seconds\": %.4f, \"qps\": %.1f, "
-                 "\"p50_batch_ms\": %.3f, \"p99_batch_ms\": %.3f, "
-                 "\"exact\": %s, \"degraded\": %zu}%s\n",
-                 o.shards, o.requests, o.wall_seconds, o.qps,
-                 o.p50_batch_ms, o.p99_batch_ms,
-                 o.mismatches == 0 ? "true" : "false", o.degraded,
-                 i + 1 < outcomes.size() ? "," : "");
+                 "    {\"groups\": %zu, \"replicas_per_group\": %zu, "
+                 "\"multiplex_speedup\": %.3f,\n      \"arms\": [\n",
+                 o.spec.groups, o.spec.replicas, o.speedup);
+    WriteArmJson(f, o.one_in_flight, ",");
+    WriteArmJson(f, o.multiplexed, "");
+    std::fprintf(f, "      ]}%s\n", i + 1 < outcomes.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -173,7 +258,9 @@ void WriteJson(const std::vector<FleetOutcome>& outcomes) {
 }
 
 void Run() {
-  bench::PrintHeader("Sharded serving: scatter/gather over kqr_shardd fleets");
+  bench::PrintHeader(
+      "Sharded serving: multiplexed scatter/gather over replicated "
+      "kqr_shardd fleets");
   const DblpOptions corpus_options = BenchCorpus();
   ExperimentContext ctx = bench::MustMakeContext(corpus_options);
 
@@ -200,33 +287,49 @@ void Run() {
             q, kTopK))));
   }
 
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const bool gate_speedup = !g_quick && hardware_threads > 1;
+
   std::vector<FleetOutcome> outcomes;
-  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+  for (const FleetSpec& spec : FleetSpecs()) {
     outcomes.push_back(
-        RunFleet(shards, corpus_options, model_path, queries, reference));
+        RunFleet(spec, corpus_options, model_path, queries, reference));
     const FleetOutcome& o = outcomes.back();
-    std::printf("%zu shard(s): %6zu requests in %6.2fs  %8.1f qps  "
-                "batch p50 %7.2fms p99 %7.2fms  %s\n",
-                o.shards, o.requests, o.wall_seconds, o.qps, o.p50_batch_ms,
-                o.p99_batch_ms, o.mismatches == 0 ? "exact" : "MISMATCH");
+    PrintArm(spec, o.one_in_flight);
+    PrintArm(spec, o.multiplexed);
+    std::printf("%zux%zu multiplex speedup: %.2fx\n", spec.groups,
+                spec.replicas, o.speedup);
   }
 
-  WriteJson(outcomes);
+  WriteJson(outcomes, hardware_threads, gate_speedup);
   std::remove(model_path.c_str());
 
   size_t mismatches = 0, degraded = 0;
+  uint64_t failovers = 0;
+  double worst_speedup = 1e9;
   for (const FleetOutcome& o : outcomes) {
-    mismatches += o.mismatches;
-    degraded += o.degraded;
+    mismatches += o.one_in_flight.mismatches + o.multiplexed.mismatches;
+    degraded += o.one_in_flight.degraded + o.multiplexed.degraded;
+    failovers += o.one_in_flight.failovers + o.multiplexed.failovers;
+    worst_speedup = std::min(worst_speedup, o.speedup);
   }
-  if (mismatches != 0 || degraded != 0) {
-    std::printf("GATE: FAIL — %zu mismatched / %zu degraded request(s); "
-                "sharded answers must be bit-identical to single-process\n",
-                mismatches, degraded);
+  if (mismatches != 0 || degraded != 0 || failovers != 0) {
+    std::printf("GATE: FAIL — %zu mismatched / %zu degraded request(s), "
+                "%llu failover(s); a healthy replicated fleet must answer "
+                "bit-identically to single-process without failing over\n",
+                mismatches, degraded,
+                static_cast<unsigned long long>(failovers));
+    g_exit_code = 1;
+  } else if (gate_speedup && worst_speedup < kRequiredSpeedup) {
+    std::printf("GATE: FAIL — multiplexed arm %.2fx over one-in-flight, "
+                "need >= %.2fx on a %u-thread host\n",
+                worst_speedup, kRequiredSpeedup, hardware_threads);
     g_exit_code = 1;
   } else {
     std::printf("GATE: PASS (every routed ranking bit-identical to "
-                "single-process across all fleet sizes)\n");
+                "single-process across all fleet shapes and arms%s)\n",
+                gate_speedup ? "; multiplex speedup met"
+                             : "; speedup informational on this host");
   }
 }
 

@@ -22,12 +22,14 @@
 //   $ ./build/examples/kqr_cli --inspect <model-path>
 //   $ ./build/examples/kqr_cli --shard-serve <schema-file>|--demo [port]
 //   $ ./build/examples/kqr_cli --route <schema-file>|--demo
-//         <host:port[,host:port...]> "<query>" [k]
+//         <group[,group...]> "<query>" [k]
 //
 // --shard-serve exposes the model over the sharded-serving wire protocol
 // (port 0 = ephemeral; the bound port is printed) until stdin closes;
 // --route resolves the query locally and serves it through a ShardRouter
-// over a running fleet — see kqr_shardd for the full daemon.
+// over a running fleet — see kqr_shardd for the full daemon. Each route
+// group is host:port replicas joined by '+' (all serving the same model,
+// load-balanced and failed over freely); ',' separates groups.
 //
 // With --demo the synthetic DBLP corpus is used, e.g.:
 //   $ ./build/examples/kqr_cli --demo "probabilistic query" 5
@@ -429,22 +431,28 @@ int RunShardServe(std::shared_ptr<const ServingModel> model,
 
 /// --route: resolve the query against the local corpus, scatter it
 /// through a ShardRouter over a running fleet, print the merged ranking.
+/// The fleet is given as shard groups separated by ',' with replicas of
+/// one group joined by '+', e.g. "h1:7001+h2:7001,h1:7002+h2:7002" is a
+/// 2-group fleet with 2 interchangeable replicas per group.
 int RunRoute(const ServingModel& model, const std::string& addr_list,
              const std::string& query, size_t k) {
-  std::vector<ShardAddress> shards;
-  for (const std::string& part : Split(addr_list, ',')) {
-    const size_t colon = part.rfind(':');
-    if (colon == std::string::npos) {
-      std::fprintf(stderr, "bad shard address '%s' (want host:port)\n",
-                   part.c_str());
-      return 2;
+  FleetTopology topology;
+  for (const std::string& group : Split(addr_list, ',')) {
+    topology.groups.emplace_back();
+    for (const std::string& part : Split(group, '+')) {
+      const size_t colon = part.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "bad replica address '%s' (want host:port)\n",
+                     part.c_str());
+        return 2;
+      }
+      ShardAddress addr;
+      addr.host = part.substr(0, colon);
+      addr.port = static_cast<uint16_t>(std::atoi(part.c_str() + colon + 1));
+      topology.groups.back().push_back(std::move(addr));
     }
-    ShardAddress addr;
-    addr.host = part.substr(0, colon);
-    addr.port = static_cast<uint16_t>(std::atoi(part.c_str() + colon + 1));
-    shards.push_back(std::move(addr));
   }
-  auto router = ShardRouter::Connect(std::move(shards));
+  auto router = ShardRouter::Connect(std::move(topology));
   if (!router.ok()) {
     std::fprintf(stderr, "%s\n", router.status().ToString().c_str());
     return 1;
@@ -461,8 +469,10 @@ int RunRoute(const ServingModel& model, const std::string& addr_list,
                  served.status().ToString().c_str());
     return 1;
   }
-  std::printf("query: \"%s\" — %zu suggestions (via %zu shards)\n",
-              query.c_str(), served->size(), (*router)->num_shards());
+  std::printf("query: \"%s\" — %zu suggestions (via %zu shard groups, "
+              "%zu replicas)\n",
+              query.c_str(), served->size(), (*router)->num_groups(),
+              (*router)->num_replicas());
   for (const ReformulatedQuery& q : *served) {
     std::printf("  %-44s %.3g\n", q.ToString(model.vocab()).c_str(),
                 q.score);
@@ -470,12 +480,13 @@ int RunRoute(const ServingModel& model, const std::string& addr_list,
   const RouterStats rs = (*router)->stats();
   std::fprintf(stderr,
                "router: ok=%llu unavailable=%llu deadline=%llu "
-               "remote_errors=%llu corrupt=%llu\n",
+               "remote_errors=%llu corrupt=%llu failovers=%llu\n",
                static_cast<unsigned long long>(rs.ok),
                static_cast<unsigned long long>(rs.unavailable),
                static_cast<unsigned long long>(rs.deadline_exceeded),
                static_cast<unsigned long long>(rs.remote_errors),
-               static_cast<unsigned long long>(rs.corrupt_frames));
+               static_cast<unsigned long long>(rs.corrupt_frames),
+               static_cast<unsigned long long>(rs.failovers));
   return 0;
 }
 
@@ -511,7 +522,7 @@ int main(int argc, char** argv) {
                  "       %s --inspect <model-path>\n"
                  "       %s --shard-serve <schema-file>|--demo [port]\n"
                  "       %s --route <schema-file>|--demo "
-                 "<host:port[,host:port...]> \"<query>\" [k]\n",
+                 "<host:port[+host:port...][,group...]> \"<query>\" [k]\n",
                  argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
                  argv[0], argv[0], argv[0]);
     return 2;

@@ -1,6 +1,12 @@
-// kqr_shardd: one shard process of a term-sharded serving fleet
-// (DESIGN.md §8). Regenerates the deterministic demo corpus (cheap:
-// seeded synthesis, no I/O), opens or builds a serving model over it,
+// kqr_shardd: one replica process of a term-sharded serving fleet
+// (DESIGN.md §8). A fleet is N shard groups × R replicas; every replica
+// of a group runs this same binary over the same model, so the router
+// may load-balance and fail over between them freely. Each accepted
+// connection is multiplexed: frames are decoded as they arrive and
+// responses echo the request id, so replies may be pipelined and the
+// router's out-of-order gather re-slots them. The process regenerates
+// the deterministic demo corpus (cheap: seeded synthesis, no I/O),
+// opens or builds a serving model over it,
 // and serves the kqr wire protocol on a TCP port until stdin closes —
 // the lifetime contract the multi-process tests and benches rely on:
 // the parent holds the write end of a pipe on our stdin, so shard

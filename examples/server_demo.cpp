@@ -74,11 +74,11 @@ int main() {
   // 3. Blocking wrapper with a per-request deadline. An impossible
   // deadline fails with a typed status — never a partial ranking.
   ServeResult tight =
-      (*server)->Reformulate(*terms, 5, /*deadline_seconds=*/1e-9);
+      (*server)->Reformulate(*terms, 5, Deadline::After(1e-9));
   std::printf("impossible deadline -> %s\n",
               tight.status().ToString().c_str());
   ServeResult relaxed =
-      (*server)->Reformulate(*terms, 5, /*deadline_seconds=*/10.0);
+      (*server)->Reformulate(*terms, 5, Deadline::After(10.0));
   std::printf("relaxed deadline   -> %s (%zu suggestions)\n",
               relaxed.ok() ? "OK" : relaxed.status().ToString().c_str(),
               relaxed.ok() ? relaxed->size() : 0);

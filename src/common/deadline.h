@@ -1,0 +1,101 @@
+// Deadline: one value type for "how long may this call take".
+//
+// The serving stack used to sprawl `double deadline_seconds = 0.0`
+// parameters across Server and ShardRouter, with 0 meaning "use the
+// callee's default" — a silent footgun: a computed timeout that
+// underflows to 0 quietly becomes *no* (or the default) deadline
+// instead of an immediate timeout. `Deadline` makes the three cases
+// explicit and non-interchangeable:
+//
+//   Deadline::Default()        defer to the callee's configured default
+//                              (also what a default-constructed Deadline
+//                              means, so `Deadline d = {}` is safe);
+//   Deadline::After(seconds)   an absolute point fixed *now*, at call
+//                              time — After(0) means "already expired",
+//                              not "no deadline";
+//   Deadline::At(time_point)   an explicit absolute steady-clock point,
+//                              for propagating one budget across retries
+//                              and fan-out (the router's failover path
+//                              retries on the next replica within the
+//                              *same* absolute deadline).
+//
+// A Deadline is immutable once built and is always interpreted against
+// std::chrono::steady_clock; wall-clock time never enters timeout
+// decisions.
+
+#pragma once
+
+#include <chrono>
+
+namespace kqr {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// \brief Default-constructed Deadline defers to the callee's default
+  /// budget. Identical to Deadline::Default().
+  constexpr Deadline() = default;
+
+  /// \brief Defer to the callee's configured default budget.
+  static constexpr Deadline Default() { return Deadline(); }
+
+  /// \brief Absolute deadline `seconds` from now, fixed at this call.
+  /// Negative values clamp to "already expired" (not to "default").
+  static Deadline After(double seconds) {
+    if (seconds < 0.0) seconds = 0.0;
+    return Deadline(Clock::now() + ToDuration(seconds));
+  }
+
+  /// \brief Explicit absolute steady-clock deadline.
+  static constexpr Deadline At(Clock::time_point when) {
+    return Deadline(when);
+  }
+
+  /// \brief True if this Deadline defers to the callee's default.
+  constexpr bool is_default() const { return !has_deadline_; }
+
+  /// \brief The absolute point. Only meaningful when !is_default().
+  constexpr Clock::time_point when() const { return when_; }
+
+  /// \brief Resolve to an absolute point: this deadline if set, else
+  /// `default_seconds` from now. This is the one place the 0-means-
+  /// something convention survives: callers that keep a legacy
+  /// `default_seconds` knob decide for themselves what 0 means there.
+  Clock::time_point ResolveOr(double default_seconds) const {
+    if (!is_default()) return when_;
+    if (default_seconds < 0.0) default_seconds = 0.0;
+    return Clock::now() + ToDuration(default_seconds);
+  }
+
+  /// \brief Seconds until expiry (possibly negative). Only meaningful
+  /// when !is_default().
+  double RemainingSeconds() const {
+    return std::chrono::duration<double>(when_ - Clock::now()).count();
+  }
+
+  /// \brief True if a non-default deadline has already passed.
+  bool expired() const { return !is_default() && Clock::now() >= when_; }
+
+  friend constexpr bool operator==(const Deadline& a, const Deadline& b) {
+    return a.has_deadline_ == b.has_deadline_ &&
+           (!a.has_deadline_ || a.when_ == b.when_);
+  }
+  friend constexpr bool operator!=(const Deadline& a, const Deadline& b) {
+    return !(a == b);
+  }
+
+ private:
+  static Clock::duration ToDuration(double seconds) {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
+
+  constexpr explicit Deadline(Clock::time_point when)
+      : when_(when), has_deadline_(true) {}
+
+  Clock::time_point when_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace kqr

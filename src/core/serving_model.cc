@@ -330,22 +330,6 @@ Result<std::vector<ReformulatedQuery>> ServingModel::ReformulateTermsWith(
   return reformulator.Reformulate(query_terms, k, timings, ctx);
 }
 
-std::vector<ReformulatedQuery> ServingModel::ReformulateTermsOrEmpty(
-    const std::vector<TermId>& query_terms, size_t k, RequestContext* ctx,
-    ReformulationTimings* timings) const {
-  auto result = ReformulateTerms(query_terms, k, ctx, timings);
-  return result.ok() ? std::move(result).ValueUnsafe()
-                     : std::vector<ReformulatedQuery>{};
-}
-
-std::vector<ReformulatedQuery> ServingModel::ReformulateTermsWithOrEmpty(
-    const ReformulatorOptions& opts, const std::vector<TermId>& query_terms,
-    size_t k, RequestContext* ctx, ReformulationTimings* timings) const {
-  auto result = ReformulateTermsWith(opts, query_terms, k, ctx, timings);
-  return result.ok() ? std::move(result).ValueUnsafe()
-                     : std::vector<ReformulatedQuery>{};
-}
-
 KeywordQuery ServingModel::QueryFromTerms(
     const std::vector<TermId>& terms) const {
   KeywordQuery query;

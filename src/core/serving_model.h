@@ -147,24 +147,6 @@ class ServingModel {
       RequestContext* ctx = nullptr,
       ReformulationTimings* timings = nullptr) const;
 
-  /// \brief Pre-Result shim: empty vector on any error. Deprecated for
-  /// one PR; migrate to ReformulateTerms and check the Status.
-  [[deprecated("use ReformulateTerms; it reports errors as Status")]]
-  std::vector<ReformulatedQuery> ReformulateTermsOrEmpty(
-      const std::vector<TermId>& query_terms, size_t k,
-      RequestContext* ctx = nullptr,
-      ReformulationTimings* timings = nullptr) const;
-
-  /// \brief Pre-Result shim: empty vector on any error. Deprecated for
-  /// one PR; migrate to ReformulateTermsWith and check the Status.
-  [[deprecated(
-      "use ReformulateTermsWith; it reports errors as Status")]]
-  std::vector<ReformulatedQuery> ReformulateTermsWithOrEmpty(
-      const ReformulatorOptions& opts,
-      const std::vector<TermId>& query_terms, size_t k,
-      RequestContext* ctx = nullptr,
-      ReformulationTimings* timings = nullptr) const;
-
   /// \brief Makes sure the offline products (similar-term list + close-
   /// term list) exist for `term`. Returns true when this call did the
   /// preparation (false: already prepared). Concurrency-safe. `block`,

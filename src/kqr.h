@@ -7,14 +7,20 @@
 // facade exports is the API we keep stable across PRs:
 //
 //   Status / Result<T>       error signalling (common/status.h, result.h)
+//   Deadline                 one value type for call budgets
+//                            (Default / After(seconds) / At(time_point))
 //   EngineBuilder            offline stage: Database -> ServingModel
 //   EngineOptions            every knob, with Validate()
 //   ServingModel             immutable, thread-safe serving artifact
 //   Reformulator             the online pipeline (advanced direct use)
 //   RequestContext           per-thread scratch + deadline carrier
 //   Server / ServerOptions   batched async serving front-end
-//   ShardServer / ShardRouter  networked term-sharded serving
-//                            (net/frame.h wire protocol underneath)
+//   FleetTopology            the shape of a serving fleet: N shard
+//                            groups x R replicas, with Validate()
+//   ShardServer / ShardRouter  networked term-sharded serving with
+//                            replica failover and multiplexed
+//                            connections (net/frame.h wire protocol
+//                            underneath)
 //   Snapshot save/load       persisted offline products (v2 text)
 //   Model file save/open     v3 mmap-able model container
 //                            (SaveModelFile / ServingModel::OpenMapped)
@@ -26,6 +32,7 @@
 
 #pragma once
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/engine_builder.h"

@@ -16,6 +16,11 @@
 // checksum mismatch is a typed kCorruption, never a crash, an
 // out-of-bounds read, or a silently mis-framed stream. Peers drop the
 // connection on the first corrupt frame; there is no resynchronization.
+//
+// Frames carry no ordering guarantee beyond the byte stream itself:
+// request/response correlation lives in the payload's leading
+// request-id varint (net/protocol.h), so a connection may have any
+// number of requests in flight and responses may arrive out of order.
 
 #pragma once
 

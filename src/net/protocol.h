@@ -11,6 +11,18 @@
 // range-checked, and any malformed payload fails with a typed
 // kCorruption — the frame checksum catches transport damage, these
 // checks catch a malicious or buggy peer.
+//
+// Multiplexing contract: every payload (request and response alike)
+// begins with a caller-chosen `request_id` varint, and a response
+// always echoes the id of the request it answers. That is the whole
+// mechanism that lets one connection carry any number of in-flight
+// requests: the server may interleave responses in any order (it
+// completes batches as they finish — shard/shard_server.h), and the
+// client matches each response to its request by id, never by arrival
+// order. Ids need only be unique among a connection's in-flight
+// requests; the router uses a per-router monotonic counter. A response
+// carrying an id the client is not waiting for is a protocol violation
+// and is treated like any corrupt frame (close, no resync).
 
 #pragma once
 

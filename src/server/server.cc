@@ -109,10 +109,17 @@ void Server::Submit(ServerRequest request, ServeCallback callback) {
     } else {
       const Clock::time_point now = Clock::now();
       Pending pending;
-      pending.deadline = DeadlineFor(
-          request.deadline_seconds > 0.0 ? request.deadline_seconds
-                                         : options_.default_deadline_seconds,
-          now);
+      if (!request.deadline.is_default()) {
+        // An explicit Deadline wins over the legacy relative field and
+        // the server default alike.
+        pending.deadline = request.deadline.when();
+      } else {
+        pending.deadline = DeadlineFor(
+            request.deadline_seconds > 0.0
+                ? request.deadline_seconds
+                : options_.default_deadline_seconds,
+            now);
+      }
       pending.enqueued = now;
       pending.request = std::move(request);
       pending.done = std::move(callback);
@@ -138,6 +145,15 @@ std::future<ServeResult> Server::Submit(ServerRequest request) {
            promise->set_value(std::move(result));
          });
   return future;
+}
+
+ServeResult Server::Reformulate(const std::vector<TermId>& terms, size_t k,
+                                Deadline deadline) {
+  ServerRequest request;
+  request.terms = terms;
+  request.k = k;
+  request.deadline = deadline;
+  return Submit(std::move(request)).get();
 }
 
 ServeResult Server::Reformulate(const std::vector<TermId>& terms, size_t k,

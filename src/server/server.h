@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "core/serving_model.h"
@@ -52,12 +53,17 @@ struct ServerOptions {
 };
 
 /// \brief One unit of admission: pre-resolved query terms plus ranking
-/// depth and an optional relative deadline.
+/// depth and an optional deadline.
 struct ServerRequest {
   std::vector<TermId> terms;
   size_t k = 10;
-  /// Deadline in seconds from Submit time. 0 = use the server default;
-  /// negative is rejected with kInvalidArgument.
+  /// Deadline for this request. Deadline::Default() defers to
+  /// `deadline_seconds` below (and through it to the server default);
+  /// anything else wins over both.
+  Deadline deadline{};
+  /// Legacy relative form, consulted only when `deadline` is default.
+  /// Seconds from Submit time; 0 = use the server default; negative is
+  /// rejected with kInvalidArgument. Prefer `deadline`.
   double deadline_seconds = 0.0;
 };
 
@@ -122,8 +128,13 @@ class Server {
 
   /// \brief Blocking convenience wrapper: Submit + wait. Do not call
   /// from inside a ServeCallback (it would deadlock a worker on itself).
+  /// Deadline::Default() uses the server's default deadline.
   ServeResult Reformulate(const std::vector<TermId>& terms, size_t k,
-                          double deadline_seconds = 0.0);
+                          Deadline deadline = Deadline::Default());
+
+  [[deprecated("pass a kqr::Deadline")]]
+  ServeResult Reformulate(const std::vector<TermId>& terms, size_t k,
+                          double deadline_seconds);
 
   /// \brief Graceful shutdown: stop admitting (new Submits are shed with
   /// kUnavailable), serve everything already queued, complete every

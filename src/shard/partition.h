@@ -1,23 +1,33 @@
-// Term-space partition for sharded serving (DESIGN.md §8).
+// Term-space partition and fleet topology for sharded serving
+// (DESIGN.md §8).
 //
 // Reformulation is a joint decode over all of a query's positions — one
 // query cannot be split across processes without changing its answer. So
 // the shard fleet partitions *ownership*, not computation: a stable hash
-// maps every vocabulary term to a shard, and a whole query is owned by
-// the shard of its anchor term (the term whose (hash, id) pair is
-// smallest). Every shard opens the same v3 model file, so any shard
+// maps every vocabulary term to a shard group, and a whole query is
+// owned by the group of its anchor term (the term whose (hash, id) pair
+// is smallest). Every shard opens the same v3 model file, so any shard
 // *could* serve any query; routing by ownership is what makes each
-// shard's lazy term cache warm only its slice of the vocabulary, which
+// group's lazy term cache warm only its slice of the vocabulary, which
 // is the scaling property the fleet exists for. The anchor rule is a
-// pure function of the query's term multiset and the shard count, so
+// pure function of the query's term multiset and the group count, so
 // router and tests agree on placement without any shared state.
+//
+// A `FleetTopology` describes the fleet as N shard groups × R replicas:
+// partition hashing selects the *group*; any replica within a group is
+// interchangeable (same model file, same answers), so the router is free
+// to load-balance sub-batches across a group's live replicas and to
+// retry a failed sub-batch on another replica without changing results.
 
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "common/io/codec.h"
+#include "common/status.h"
 #include "text/vocabulary.h"
 
 namespace kqr {
@@ -55,5 +65,91 @@ inline size_t OwnerShard(std::span<const TermId> query_terms,
   }
   return static_cast<size_t>(anchor_hash % num_shards);
 }
+
+/// \brief TCP endpoint of one shard replica process.
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+inline bool operator==(const ShardAddress& a, const ShardAddress& b) {
+  return a.host == b.host && a.port == b.port;
+}
+inline bool operator!=(const ShardAddress& a, const ShardAddress& b) {
+  return !(a == b);
+}
+
+/// \brief The shape of a serving fleet: `groups[g]` lists the replica
+/// endpoints of shard group `g`. Partition hashing (OwnerShard with
+/// num_groups()) picks the group; every replica within a group serves
+/// the same model and may answer any of the group's queries.
+///
+/// A topology is plain data; build one with the factories below (or
+/// aggregate-initialize `groups` directly) and let ShardRouter::Connect
+/// run Validate(). Validation rejects fleets the router cannot serve
+/// deterministically: no groups, a group with zero replicas, a replica
+/// with an empty host or port 0, and the same host:port appearing twice
+/// anywhere in the fleet (two "replicas" backed by one process would
+/// silently halve the redundancy the topology claims).
+struct FleetTopology {
+  std::vector<std::vector<ShardAddress>> groups;
+
+  /// \brief One replica per group: the PR 9 flat-fleet shape.
+  static FleetTopology SingleReplica(std::vector<ShardAddress> shards) {
+    FleetTopology topology;
+    topology.groups.reserve(shards.size());
+    for (auto& shard : shards) topology.groups.push_back({std::move(shard)});
+    return topology;
+  }
+
+  /// \brief Explicit groups-of-replicas form.
+  static FleetTopology Replicated(
+      std::vector<std::vector<ShardAddress>> groups) {
+    FleetTopology topology;
+    topology.groups = std::move(groups);
+    return topology;
+  }
+
+  size_t num_groups() const { return groups.size(); }
+
+  size_t num_replicas() const {
+    size_t total = 0;
+    for (const auto& group : groups) total += group.size();
+    return total;
+  }
+
+  Status Validate() const {
+    if (groups.empty()) {
+      return Status::InvalidArgument("FleetTopology: no shard groups");
+    }
+    std::vector<ShardAddress> seen;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].empty()) {
+        return Status::InvalidArgument("FleetTopology: group " +
+                                       std::to_string(g) +
+                                       " has zero replicas");
+      }
+      for (const ShardAddress& address : groups[g]) {
+        if (address.host.empty()) {
+          return Status::InvalidArgument(
+              "FleetTopology: empty host in group " + std::to_string(g));
+        }
+        if (address.port == 0) {
+          return Status::InvalidArgument(
+              "FleetTopology: port 0 in group " + std::to_string(g));
+        }
+        for (const ShardAddress& other : seen) {
+          if (other == address) {
+            return Status::InvalidArgument(
+                "FleetTopology: duplicate address " + address.host + ":" +
+                std::to_string(address.port));
+          }
+        }
+        seen.push_back(address);
+      }
+    }
+    return Status::OK();
+  }
+};
 
 }  // namespace kqr

@@ -1,7 +1,9 @@
 #include "shard/router.h"
 
 #include <algorithm>
+#include <deque>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
 namespace kqr {
@@ -9,6 +11,7 @@ namespace kqr {
 namespace {
 
 constexpr size_t kReadChunk = 64 * 1024;
+constexpr size_t kNoConn = static_cast<size_t>(-1);
 
 double RemainingSeconds(std::chrono::steady_clock::time_point deadline) {
   return std::chrono::duration<double>(
@@ -18,8 +21,8 @@ double RemainingSeconds(std::chrono::steady_clock::time_point deadline) {
 
 /// Folds transport-layer codes into the router's degradation contract:
 /// local I/O trouble and corrupt streams both surface to callers as the
-/// shard being unavailable (the caller cannot act on the difference; the
-/// corrupt-frame counter preserves it for diagnosis).
+/// replica being unavailable (the caller cannot act on the difference;
+/// the corrupt-frame counter preserves it for diagnosis).
 Status MapTransportStatus(const Status& status) {
   if (status.code() == StatusCode::kCorruption ||
       status.code() == StatusCode::kIOError) {
@@ -45,14 +48,33 @@ Status RouterOptions::Validate() const {
   return Status::OK();
 }
 
-struct ShardRouter::ShardConn {
+struct ShardRouter::ReplicaConn {
   ShardAddress address;
+  size_t group = 0;
+  size_t replica = 0;
   Socket sock;
   FrameBuffer in;
   bool ever_connected = false;
 
-  ShardConn(ShardAddress addr, size_t max_payload)
-      : address(std::move(addr)), in(max_payload) {}
+  ReplicaConn(ShardAddress addr, size_t g, size_t r, size_t max_payload)
+      : address(std::move(addr)), group(g), replica(r), in(max_payload) {}
+
+  std::string name() const {
+    return "replica " + std::to_string(group) + "." + std::to_string(replica);
+  }
+};
+
+/// One scattered sub-batch: a slice of one group's queries, riding one
+/// replica connection at a time. `tried` remembers which replicas this
+/// chunk has been offered to, so failover never revisits a replica that
+/// already failed it within this batch.
+struct ShardRouter::Chunk {
+  size_t group = 0;
+  std::vector<size_t> indices;  ///< input slots, in input order
+  std::vector<char> tried;      ///< per replica of the group
+  uint64_t request_id = 0;
+  size_t conn = kNoConn;        ///< flat conn index while in flight
+  bool done = false;
 };
 
 struct ShardRouter::Metrics {
@@ -65,6 +87,7 @@ struct ShardRouter::Metrics {
   Counter* remote_errors;
   Counter* corrupt_frames;
   Counter* reconnects;
+  Counter* failovers;
 
   explicit Metrics(MetricsRegistry* r)
       : batches(r->GetCounter("kqr_shard_router_batches_total")),
@@ -78,37 +101,49 @@ struct ShardRouter::Metrics {
             r->GetCounter("kqr_shard_router_remote_errors_total")),
         corrupt_frames(
             r->GetCounter("kqr_shard_router_corrupt_frames_total")),
-        reconnects(r->GetCounter("kqr_shard_router_reconnects_total")) {}
+        reconnects(r->GetCounter("kqr_shard_router_reconnects_total")),
+        failovers(r->GetCounter("kqr_shard_router_failovers_total")) {}
 };
 
-ShardRouter::ShardRouter(RouterOptions options)
-    : options_(options), metrics_(std::make_unique<Metrics>(&registry_)) {}
+ShardRouter::ShardRouter(FleetTopology topology, RouterOptions options)
+    : topology_(std::move(topology)),
+      options_(options),
+      metrics_(std::make_unique<Metrics>(&registry_)) {
+  group_base_.reserve(topology_.groups.size());
+  rr_.assign(topology_.groups.size(), 0);
+  for (size_t g = 0; g < topology_.groups.size(); ++g) {
+    group_base_.push_back(conns_.size());
+    for (size_t r = 0; r < topology_.groups[g].size(); ++r) {
+      conns_.emplace_back(topology_.groups[g][r], g, r,
+                          options_.max_frame_payload);
+    }
+  }
+}
 
 ShardRouter::~ShardRouter() = default;
 
-size_t ShardRouter::num_shards() const { return conns_.size(); }
-
 Result<std::unique_ptr<ShardRouter>> ShardRouter::Connect(
-    std::vector<ShardAddress> shards, RouterOptions options) {
-  if (shards.empty()) {
-    return Status::InvalidArgument("router needs at least one shard");
-  }
+    FleetTopology topology, RouterOptions options) {
+  KQR_RETURN_NOT_OK(topology.Validate());
   KQR_RETURN_NOT_OK(options.Validate());
-  std::unique_ptr<ShardRouter> router(new ShardRouter(options));
-  router->conns_.reserve(shards.size());
-  for (ShardAddress& addr : shards) {
-    router->conns_.emplace_back(std::move(addr), options.max_frame_payload);
-  }
-  // Eager best-effort dial: a shard that is down now degrades to
-  // kUnavailable per batch and reconnects lazily when it returns.
+  std::unique_ptr<ShardRouter> router(
+      new ShardRouter(std::move(topology), options));
+  // Eager best-effort dial: a replica that is down now fails over (or
+  // degrades to kUnavailable when its whole group is down) and
+  // reconnects lazily when it returns.
   const Clock::time_point deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(
                              options.connect_timeout_seconds));
-  for (size_t shard = 0; shard < router->conns_.size(); ++shard) {
-    (void)router->EnsureConnected(shard, deadline);
+  for (size_t conn = 0; conn < router->conns_.size(); ++conn) {
+    (void)router->EnsureConnected(conn, deadline);
   }
   return router;
+}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Connect(
+    std::vector<ShardAddress> shards, RouterOptions options) {
+  return Connect(FleetTopology::SingleReplica(std::move(shards)), options);
 }
 
 RouterStats ShardRouter::stats() const {
@@ -122,27 +157,34 @@ RouterStats ShardRouter::stats() const {
   s.remote_errors = metrics_->remote_errors->Value();
   s.corrupt_frames = metrics_->corrupt_frames->Value();
   s.reconnects = metrics_->reconnects->Value();
+  s.failovers = metrics_->failovers->Value();
   return s;
 }
 
 ShardRouter::Clock::time_point ShardRouter::DeadlineFor(
-    double deadline_seconds) const {
-  const double relative = deadline_seconds > 0.0
-                              ? deadline_seconds
-                              : options_.default_deadline_seconds;
-  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                            std::chrono::duration<double>(relative));
+    Deadline deadline) const {
+  return deadline.ResolveOr(options_.default_deadline_seconds);
 }
 
-Status ShardRouter::EnsureConnected(size_t shard,
+Result<size_t> ShardRouter::FlatIndex(ReplicaRef target) const {
+  if (target.group >= topology_.groups.size()) {
+    return Status::InvalidArgument("group index out of range");
+  }
+  if (target.replica >= topology_.groups[target.group].size()) {
+    return Status::InvalidArgument("replica index out of range");
+  }
+  return group_base_[target.group] + target.replica;
+}
+
+Status ShardRouter::EnsureConnected(size_t conn_index,
                                     Clock::time_point deadline) {
-  ShardConn& conn = conns_[shard];
+  ReplicaConn& conn = conns_[conn_index];
   if (conn.sock.valid()) return Status::OK();
   const double remaining = std::min(options_.connect_timeout_seconds,
                                     RemainingSeconds(deadline));
   if (remaining <= 0.0) {
-    return Status::DeadlineExceeded("no time left to connect to shard " +
-                                    std::to_string(shard));
+    return Status::DeadlineExceeded("no time left to connect to " +
+                                    conn.name());
   }
   Result<Socket> connected =
       Socket::ConnectTcp(conn.address.host, conn.address.port, remaining);
@@ -154,14 +196,14 @@ Status ShardRouter::EnsureConnected(size_t shard,
   return Status::OK();
 }
 
-void ShardRouter::Disconnect(size_t shard) {
-  conns_[shard].sock.Close();
-  conns_[shard].in = FrameBuffer(options_.max_frame_payload);
+void ShardRouter::Disconnect(size_t conn_index) {
+  conns_[conn_index].sock.Close();
+  conns_[conn_index].in = FrameBuffer(options_.max_frame_payload);
 }
 
-Status ShardRouter::WriteAll(size_t shard, const std::string& wire,
+Status ShardRouter::WriteAll(size_t conn_index, const std::string& wire,
                              Clock::time_point deadline) {
-  ShardConn& conn = conns_[shard];
+  ReplicaConn& conn = conns_[conn_index];
   size_t pos = 0;
   while (pos < wire.size()) {
     Result<IoResult> io =
@@ -171,15 +213,13 @@ Status ShardRouter::WriteAll(size_t shard, const std::string& wire,
       const double remaining = RemainingSeconds(deadline);
       if (remaining <= 0.0) {
         return Status::DeadlineExceeded(
-            "deadline passed while writing to shard " +
-            std::to_string(shard));
+            "deadline passed while writing to " + conn.name());
       }
       KQR_ASSIGN_OR_RETURN(const bool writable,
                            WaitWritable(conn.sock.fd(), remaining));
       if (!writable) {
         return Status::DeadlineExceeded(
-            "deadline passed while writing to shard " +
-            std::to_string(shard));
+            "deadline passed while writing to " + conn.name());
       }
       continue;
     }
@@ -188,36 +228,36 @@ Status ShardRouter::WriteAll(size_t shard, const std::string& wire,
   return Status::OK();
 }
 
-Result<Frame> ShardRouter::Call(size_t shard, FrameType request_type,
+Result<Frame> ShardRouter::Call(size_t conn_index, FrameType request_type,
                                 const std::string& payload,
                                 FrameType response_type,
                                 Clock::time_point deadline) {
-  if (shard >= conns_.size()) {
-    return Status::InvalidArgument("shard index out of range");
-  }
-  Status st = EnsureConnected(shard, deadline);
+  Status st = EnsureConnected(conn_index, deadline);
   if (!st.ok()) return MapTransportStatus(st);
   const std::string wire = EncodeFrameString(request_type, payload);
-  st = WriteAll(shard, wire, deadline);
+  st = WriteAll(conn_index, wire, deadline);
   if (!st.ok()) {
-    Disconnect(shard);
+    Disconnect(conn_index);
     return MapTransportStatus(st);
   }
 
-  ShardConn& conn = conns_[shard];
+  ReplicaConn& conn = conns_[conn_index];
   std::byte buf[kReadChunk];
   for (;;) {
     Result<std::optional<Frame>> next = conn.in.Next();
     if (!next.ok()) {
       metrics_->corrupt_frames->Increment();
-      Disconnect(shard);
+      Disconnect(conn_index);
       return MapTransportStatus(next.status());
     }
     if (next->has_value()) {
       Frame frame = std::move(**next);
+      // Control-plane calls are single-in-flight per connection by
+      // construction (the reformulation path never shares a batch with
+      // them), so trailing bytes here mean a desynchronized stream.
       if (frame.type != response_type || conn.in.buffered() != 0) {
         metrics_->corrupt_frames->Increment();
-        Disconnect(shard);
+        Disconnect(conn_index);
         return Status::Unavailable(
             "shard sent an unexpected frame (stream desynchronized)");
       }
@@ -225,33 +265,33 @@ Result<Frame> ShardRouter::Call(size_t shard, FrameType request_type,
     }
     const double remaining = RemainingSeconds(deadline);
     if (remaining <= 0.0) {
-      Disconnect(shard);
-      return Status::DeadlineExceeded("shard " + std::to_string(shard) +
+      Disconnect(conn_index);
+      return Status::DeadlineExceeded(conn.name() +
                                       " did not respond in time");
     }
     KQR_ASSIGN_OR_RETURN(const bool readable,
                          WaitReadable(conn.sock.fd(), remaining));
     if (!readable) {
-      Disconnect(shard);
-      return Status::DeadlineExceeded("shard " + std::to_string(shard) +
+      Disconnect(conn_index);
+      return Status::DeadlineExceeded(conn.name() +
                                       " did not respond in time");
     }
     Result<IoResult> io = conn.sock.Read(buf);
     if (!io.ok()) {
-      Disconnect(shard);
+      Disconnect(conn_index);
       return MapTransportStatus(io.status());
     }
     if (io->eof) {
       // Whatever arrived may still frame a full response; loop once more
-      // before declaring the shard gone.
+      // before declaring the replica gone.
       Result<std::optional<Frame>> last = conn.in.Next();
       if (last.ok() && last->has_value() &&
           (*last)->type == response_type && conn.in.buffered() == 0) {
         Frame frame = std::move(**last);
-        Disconnect(shard);
+        Disconnect(conn_index);
         return frame;
       }
-      Disconnect(shard);
+      Disconnect(conn_index);
       return Status::Unavailable("shard closed the connection");
     }
     if (!io->would_block) {
@@ -260,237 +300,380 @@ Result<Frame> ShardRouter::Call(size_t shard, FrameType request_type,
   }
 }
 
-Result<HealthResponse> ShardRouter::Health(size_t shard,
-                                           double deadline_seconds) {
+Result<HealthResponse> ShardRouter::Health(ReplicaRef target,
+                                           Deadline deadline) {
+  KQR_ASSIGN_OR_RETURN(const size_t conn, FlatIndex(target));
   const uint64_t request_id = next_request_id_++;
   KQR_ASSIGN_OR_RETURN(
       const Frame frame,
-      Call(shard, FrameType::kHealthRequest,
+      Call(conn, FrameType::kHealthRequest,
            EncodeRequestIdPayload(request_id), FrameType::kHealthResponse,
-           DeadlineFor(deadline_seconds)));
+           DeadlineFor(deadline)));
   Result<HealthResponse> response =
       DecodeHealthResponse(std::as_bytes(std::span(frame.payload)));
   if (!response.ok() || response->request_id != request_id) {
     metrics_->corrupt_frames->Increment();
-    Disconnect(shard);
+    Disconnect(conn);
     return Status::Unavailable("shard health response did not decode");
   }
   return response;
 }
 
-Result<std::string> ShardRouter::Stats(size_t shard,
-                                       double deadline_seconds) {
+Result<std::string> ShardRouter::Stats(ReplicaRef target,
+                                       Deadline deadline) {
+  KQR_ASSIGN_OR_RETURN(const size_t conn, FlatIndex(target));
   const uint64_t request_id = next_request_id_++;
   KQR_ASSIGN_OR_RETURN(
       const Frame frame,
-      Call(shard, FrameType::kStatsRequest,
+      Call(conn, FrameType::kStatsRequest,
            EncodeRequestIdPayload(request_id), FrameType::kStatsResponse,
-           DeadlineFor(deadline_seconds)));
+           DeadlineFor(deadline)));
   Result<StatsResponse> response =
       DecodeStatsResponse(std::as_bytes(std::span(frame.payload)));
   if (!response.ok() || response->request_id != request_id) {
     metrics_->corrupt_frames->Increment();
-    Disconnect(shard);
+    Disconnect(conn);
     return Status::Unavailable("shard stats response did not decode");
   }
   return std::move(response->json);
 }
 
-Result<SwapResponse> ShardRouter::SwapModel(size_t shard,
+Result<SwapResponse> ShardRouter::SwapModel(ReplicaRef target,
                                             const std::string& model_path,
-                                            double deadline_seconds) {
+                                            Deadline deadline) {
+  KQR_ASSIGN_OR_RETURN(const size_t conn, FlatIndex(target));
   SwapRequest request;
   request.request_id = next_request_id_++;
   request.model_path = model_path;
   KQR_ASSIGN_OR_RETURN(
       const Frame frame,
-      Call(shard, FrameType::kSwapRequest, EncodeSwapRequest(request),
-           FrameType::kSwapResponse, DeadlineFor(deadline_seconds)));
+      Call(conn, FrameType::kSwapRequest, EncodeSwapRequest(request),
+           FrameType::kSwapResponse, DeadlineFor(deadline)));
   Result<SwapResponse> response =
       DecodeSwapResponse(std::as_bytes(std::span(frame.payload)));
   if (!response.ok() || response->request_id != request.request_id) {
     metrics_->corrupt_frames->Increment();
-    Disconnect(shard);
+    Disconnect(conn);
     return Status::Unavailable("shard swap response did not decode");
   }
   return response;
 }
 
+Result<HealthResponse> ShardRouter::Health(size_t shard,
+                                           double deadline_seconds) {
+  return Health(ReplicaRef{shard, 0},
+                deadline_seconds > 0.0 ? Deadline::After(deadline_seconds)
+                                       : Deadline::Default());
+}
+
+Result<std::string> ShardRouter::Stats(size_t shard,
+                                       double deadline_seconds) {
+  return Stats(ReplicaRef{shard, 0},
+               deadline_seconds > 0.0 ? Deadline::After(deadline_seconds)
+                                      : Deadline::Default());
+}
+
+Result<SwapResponse> ShardRouter::SwapModel(size_t shard,
+                                            const std::string& model_path,
+                                            double deadline_seconds) {
+  return SwapModel(ReplicaRef{shard, 0}, model_path,
+                   deadline_seconds > 0.0
+                       ? Deadline::After(deadline_seconds)
+                       : Deadline::Default());
+}
+
+ServeResult ShardRouter::Reformulate(const std::vector<TermId>& terms,
+                                     size_t k, Deadline deadline) {
+  std::vector<ServeResult> results = ReformulateBatch({terms}, k, deadline);
+  return std::move(results[0]);
+}
+
 ServeResult ShardRouter::Reformulate(const std::vector<TermId>& terms,
                                      size_t k, double deadline_seconds) {
-  std::vector<ServeResult> results =
-      ReformulateBatch({terms}, k, deadline_seconds);
-  return std::move(results[0]);
+  return Reformulate(terms, k,
+                     deadline_seconds > 0.0
+                         ? Deadline::After(deadline_seconds)
+                         : Deadline::Default());
 }
 
 std::vector<ServeResult> ShardRouter::ReformulateBatch(
     const std::vector<std::vector<TermId>>& queries, size_t k,
     double deadline_seconds) {
+  return ReformulateBatch(queries, k,
+                          deadline_seconds > 0.0
+                              ? Deadline::After(deadline_seconds)
+                              : Deadline::Default());
+}
+
+std::vector<ServeResult> ShardRouter::ReformulateBatch(
+    const std::vector<std::vector<TermId>>& queries, size_t k,
+    Deadline batch_deadline) {
   metrics_->batches->Increment();
   metrics_->queries->Increment(queries.size());
   const size_t n = queries.size();
   std::vector<std::optional<ServeResult>> slots(n);
-  const Clock::time_point deadline = DeadlineFor(deadline_seconds);
+  const Clock::time_point deadline = DeadlineFor(batch_deadline);
 
-  // Partition by ownership. The sub-batch a shard receives lists its
-  // queries in input order, and the response carries one result per
-  // sub-batch position, so scattering never loses the input index.
-  std::vector<std::vector<size_t>> by_shard(conns_.size());
+  // Partition by group ownership, then split each group's share into
+  // sub-batches. A chunk lists its queries in input order and the
+  // response carries one result per chunk position, so scattering never
+  // loses the input index — for any chunk size and any replica choice.
+  const size_t num_groups = topology_.groups.size();
+  std::vector<std::vector<size_t>> by_group(num_groups);
   for (size_t i = 0; i < n; ++i) {
-    by_shard[OwnerShard(queries[i], conns_.size())].push_back(i);
+    by_group[OwnerShard(queries[i], num_groups)].push_back(i);
+  }
+  std::vector<Chunk> chunks;
+  for (size_t g = 0; g < num_groups; ++g) {
+    const std::vector<size_t>& owned = by_group[g];
+    if (owned.empty()) continue;
+    const size_t chunk_size =
+        options_.subbatch_queries == 0 ? owned.size()
+                                       : options_.subbatch_queries;
+    for (size_t pos = 0; pos < owned.size(); pos += chunk_size) {
+      Chunk chunk;
+      chunk.group = g;
+      const size_t end = std::min(pos + chunk_size, owned.size());
+      chunk.indices.assign(owned.begin() + static_cast<ptrdiff_t>(pos),
+                           owned.begin() + static_cast<ptrdiff_t>(end));
+      chunk.tried.assign(topology_.groups[g].size(), 0);
+      chunks.push_back(std::move(chunk));
+    }
   }
 
-  const auto fail_shard = [&slots](const std::vector<size_t>& indices,
-                                   const Status& status) {
-    for (size_t i : indices) slots[i] = ServeResult(status);
+  // request_id -> chunk index, for every chunk currently on the wire.
+  std::unordered_map<uint64_t, size_t> inflight;
+
+  const auto fail_chunk = [&](Chunk& chunk, Status status) {
+    for (size_t i : chunk.indices) slots[i] = ServeResult(status);
+    chunk.done = true;
+    chunk.conn = kNoConn;
   };
 
-  // Scatter.
-  struct PendingShard {
-    size_t shard = 0;
-    const std::vector<size_t>* indices = nullptr;
-    uint64_t request_id = 0;
+  // Drops `conn_index` and pulls every chunk riding it off the wire into
+  // `work` for failover (the stream is gone; their responses can never
+  // arrive).
+  const auto abandon_conn = [&](size_t conn_index,
+                                std::deque<size_t>& work) {
+    Disconnect(conn_index);
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (chunks[it->second].conn == conn_index) {
+        chunks[it->second].conn = kNoConn;
+        work.push_back(it->second);
+        it = inflight.erase(it);
+      } else {
+        ++it;
+      }
+    }
   };
-  std::vector<PendingShard> pending;
-  for (size_t shard = 0; shard < by_shard.size(); ++shard) {
-    if (by_shard[shard].empty()) continue;
-    metrics_->scatters->Increment();
-    Status st = EnsureConnected(shard, deadline);
-    if (!st.ok()) {
-      fail_shard(by_shard[shard], MapTransportStatus(st));
-      continue;
-    }
-    ReformulateRequest request;
-    request.request_id = next_request_id_++;
-    request.k = k;
-    const double remaining = RemainingSeconds(deadline);
-    request.deadline_micros =
-        remaining > 0.0 ? static_cast<uint64_t>(remaining * 1e6) : 1;
-    request.queries.reserve(by_shard[shard].size());
-    for (size_t i : by_shard[shard]) request.queries.push_back(queries[i]);
-    const std::string wire = EncodeFrameString(
-        FrameType::kReformulateRequest, EncodeReformulateRequest(request));
-    st = WriteAll(shard, wire, deadline);
-    if (!st.ok()) {
-      Disconnect(shard);
-      fail_shard(by_shard[shard], MapTransportStatus(st));
-      continue;
-    }
-    pending.push_back({shard, &by_shard[shard], request.request_id});
-  }
 
-  // Gather: one bounded multiplexed wait over every still-pending shard.
+  // Sends (or re-sends) every chunk in `work`. Transport-class send
+  // failures mark the replica tried and move to the next untried one;
+  // a chunk whose group has no untried replica left fails kUnavailable;
+  // the deadline fails a chunk kDeadlineExceeded with no retry (the
+  // budget is spent). A write failure abandons the connection, so other
+  // chunks riding it re-enter `work` (failover within the same
+  // deadline).
+  const auto send_chunks = [&](std::deque<size_t>& work) {
+    while (!work.empty()) {
+      const size_t ci = work.front();
+      work.pop_front();
+      Chunk& chunk = chunks[ci];
+      if (chunk.done) continue;
+      for (;;) {
+        if (RemainingSeconds(deadline) <= 0.0) {
+          fail_chunk(chunk, Status::DeadlineExceeded(
+                                "group " + std::to_string(chunk.group) +
+                                " did not respond within the batch "
+                                "deadline"));
+          break;
+        }
+        const size_t num_replicas = topology_.groups[chunk.group].size();
+        bool is_retry = false;
+        size_t chosen = kNoConn;
+        for (size_t r = 0; r < num_replicas; ++r) {
+          if (chunk.tried[r]) is_retry = true;
+        }
+        for (size_t probe = 0; probe < num_replicas; ++probe) {
+          const size_t r = (rr_[chunk.group] + probe) % num_replicas;
+          if (!chunk.tried[r]) {
+            chosen = r;
+            break;
+          }
+        }
+        if (chosen == kNoConn) {
+          fail_chunk(chunk,
+                     Status::Unavailable(
+                         "every replica of group " +
+                         std::to_string(chunk.group) + " failed"));
+          break;
+        }
+        rr_[chunk.group] = (chosen + 1) % num_replicas;
+        chunk.tried[chosen] = 1;
+        const size_t conn_index = group_base_[chunk.group] + chosen;
+        metrics_->scatters->Increment();
+        if (is_retry) metrics_->failovers->Increment();
+        Status st = EnsureConnected(conn_index, deadline);
+        if (!st.ok()) {
+          if (st.code() == StatusCode::kDeadlineExceeded) {
+            fail_chunk(chunk, st);
+            break;
+          }
+          continue;  // next untried replica
+        }
+        ReformulateRequest request;
+        request.request_id = next_request_id_++;
+        request.k = k;
+        const double remaining = RemainingSeconds(deadline);
+        request.deadline_micros =
+            remaining > 0.0 ? static_cast<uint64_t>(remaining * 1e6) : 1;
+        request.queries.reserve(chunk.indices.size());
+        for (size_t i : chunk.indices) request.queries.push_back(queries[i]);
+        const std::string wire =
+            EncodeFrameString(FrameType::kReformulateRequest,
+                              EncodeReformulateRequest(request));
+        st = WriteAll(conn_index, wire, deadline);
+        if (!st.ok()) {
+          abandon_conn(conn_index, work);
+          if (st.code() == StatusCode::kDeadlineExceeded) {
+            fail_chunk(chunk, st);
+            break;
+          }
+          continue;  // next untried replica
+        }
+        chunk.request_id = request.request_id;
+        chunk.conn = conn_index;
+        inflight.emplace(request.request_id, ci);
+        break;
+      }
+    }
+  };
+
+  // Initial scatter: chunks spread round-robin across each group's
+  // replicas, pipelined (a connection may carry several chunks).
+  std::deque<size_t> work;
+  for (size_t ci = 0; ci < chunks.size(); ++ci) work.push_back(ci);
+  send_chunks(work);
+
+  // Gather: one bounded multiplexed wait over every connection with
+  // chunks on the wire. Responses are matched by request id, so they
+  // may arrive in any order across and within connections.
   std::byte buf[kReadChunk];
-  while (!pending.empty()) {
+  while (!inflight.empty()) {
     const double remaining = RemainingSeconds(deadline);
     if (remaining <= 0.0) {
-      for (const PendingShard& p : pending) {
-        Disconnect(p.shard);
-        fail_shard(*p.indices,
-                   Status::DeadlineExceeded(
-                       "shard " + std::to_string(p.shard) +
-                       " did not respond within the batch deadline"));
+      for (const auto& entry : inflight) {
+        Chunk& chunk = chunks[entry.second];
+        Disconnect(chunk.conn);
+        fail_chunk(chunk, Status::DeadlineExceeded(
+                              "group " + std::to_string(chunk.group) +
+                              " did not respond within the batch "
+                              "deadline"));
       }
-      pending.clear();
+      inflight.clear();
       break;
     }
+    std::vector<size_t> poll_conns;
+    for (const auto& entry : inflight) {
+      const size_t conn_index = chunks[entry.second].conn;
+      if (std::find(poll_conns.begin(), poll_conns.end(), conn_index) ==
+          poll_conns.end()) {
+        poll_conns.push_back(conn_index);
+      }
+    }
     std::vector<PollItem> items;
-    items.reserve(pending.size());
-    for (const PendingShard& p : pending) {
-      items.push_back(PollItem{conns_[p.shard].sock.fd(), false});
+    items.reserve(poll_conns.size());
+    for (size_t conn_index : poll_conns) {
+      items.push_back(PollItem{conns_[conn_index].sock.fd(), false});
     }
     Result<size_t> polled = PollReadable(items, remaining);
     if (!polled.ok()) {
-      for (const PendingShard& p : pending) {
-        Disconnect(p.shard);
-        fail_shard(*p.indices, MapTransportStatus(polled.status()));
+      // Local poll failure: nothing on the wire can be trusted to
+      // arrive; fail everything still in flight.
+      for (const auto& entry : inflight) {
+        Disconnect(chunks[entry.second].conn);
+        fail_chunk(chunks[entry.second],
+                   MapTransportStatus(polled.status()));
       }
-      pending.clear();
+      inflight.clear();
       break;
     }
     if (*polled == 0) continue;  // timeout slice; loop re-checks deadline
 
-    for (size_t pi = 0; pi < pending.size();) {
-      if (!items[pi].readable) {
-        ++pi;
-        continue;
-      }
-      const PendingShard p = pending[pi];
-      ShardConn& conn = conns_[p.shard];
-      const auto drop_pending = [&]() {
-        pending.erase(pending.begin() + static_cast<ptrdiff_t>(pi));
-        items.erase(items.begin() + static_cast<ptrdiff_t>(pi));
-      };
+    for (size_t pi = 0; pi < poll_conns.size(); ++pi) {
+      if (!items[pi].readable) continue;
+      const size_t conn_index = poll_conns[pi];
+      ReplicaConn& conn = conns_[conn_index];
 
-      bool transport_lost = false;
-      Status transport_status = Status::OK();
+      // Drain everything the socket has, then decode every complete
+      // frame it buffered. Any transport loss or stream corruption
+      // abandons the connection; its surviving chunks fail over.
+      bool lost = false;
       for (;;) {
         Result<IoResult> io = conn.sock.Read(buf);
         if (!io.ok()) {
-          transport_lost = true;
-          transport_status = MapTransportStatus(io.status());
+          lost = true;
           break;
         }
         if (io->would_block) break;
         if (io->eof) {
-          transport_lost = true;
-          transport_status = Status::Unavailable(
-              "shard closed the connection mid-request");
+          lost = true;
           break;
         }
         conn.in.Append(std::span<const std::byte>(buf, io->bytes));
       }
-
-      Result<std::optional<Frame>> next = conn.in.Next();
-      if (!next.ok()) {
-        metrics_->corrupt_frames->Increment();
-        Disconnect(p.shard);
-        fail_shard(*p.indices,
-                   Status::Unavailable("corrupt frame from shard: " +
-                                       next.status().message()));
-        drop_pending();
-        continue;
-      }
-      if (next->has_value()) {
-        Frame frame = std::move(**next);
-        Result<ReformulateResponse> response =
-            frame.type == FrameType::kReformulateResponse
-                ? DecodeReformulateResponse(
-                      std::as_bytes(std::span(frame.payload)))
-                : Result<ReformulateResponse>(Status::Corruption(
-                      "unexpected frame type from shard"));
-        if (!response.ok() || response->request_id != p.request_id ||
-            response->results.size() != p.indices->size()) {
+      for (;;) {
+        Result<std::optional<Frame>> next = conn.in.Next();
+        if (!next.ok()) {
           metrics_->corrupt_frames->Increment();
-          Disconnect(p.shard);
-          fail_shard(*p.indices,
-                     Status::Unavailable(
-                         "shard response did not match the request"));
-        } else {
-          for (size_t j = 0; j < response->results.size(); ++j) {
-            slots[(*p.indices)[j]] = std::move(response->results[j]);
-          }
-          if (conn.in.buffered() != 0) {
-            // Unsolicited trailing bytes: the response itself passed its
-            // checksum and stands; the stream does not.
-            metrics_->corrupt_frames->Increment();
-            Disconnect(p.shard);
-          }
+          lost = true;
+          break;
         }
-        drop_pending();
-        continue;
+        if (!next->has_value()) break;
+        Frame frame = std::move(**next);
+        if (frame.type != FrameType::kReformulateResponse) {
+          metrics_->corrupt_frames->Increment();
+          lost = true;
+          break;
+        }
+        Result<ReformulateResponse> response = DecodeReformulateResponse(
+            std::as_bytes(std::span(frame.payload)));
+        if (!response.ok()) {
+          metrics_->corrupt_frames->Increment();
+          lost = true;
+          break;
+        }
+        const auto it = inflight.find(response->request_id);
+        if (it == inflight.end() ||
+            chunks[it->second].conn != conn_index ||
+            response->results.size() != chunks[it->second].indices.size()) {
+          // A well-formed frame we are not waiting for on this stream
+          // (unknown or foreign request id, or a result count that does
+          // not match the request) is still a protocol violation: the
+          // stream cannot be trusted past it.
+          metrics_->corrupt_frames->Increment();
+          lost = true;
+          break;
+        }
+        Chunk& chunk = chunks[it->second];
+        for (size_t j = 0; j < response->results.size(); ++j) {
+          slots[chunk.indices[j]] = std::move(response->results[j]);
+        }
+        chunk.done = true;
+        chunk.conn = kNoConn;
+        inflight.erase(it);
       }
-      if (transport_lost) {
-        Disconnect(p.shard);
-        fail_shard(*p.indices, transport_status);
-        drop_pending();
-        continue;
+      if (lost) {
+        std::deque<size_t> resend;
+        abandon_conn(conn_index, resend);
+        send_chunks(resend);  // failover within the same deadline
       }
-      ++pi;  // partial frame; keep waiting
     }
   }
 
-  // Deterministic merge: input order, one result per slot.
+  // Deterministic merge: input order, one result per slot. Each query's
+  // outcome is counted exactly once here, no matter how many replicas
+  // its chunk visited.
   std::vector<ServeResult> results;
   results.reserve(n);
   for (size_t i = 0; i < n; ++i) {

@@ -1,26 +1,47 @@
 // ShardRouter: the client half of sharded serving (DESIGN.md §8).
 //
-// Holds one connection per shard, hash-partitions a batch of queries by
-// ownership (shard/partition.h), scatters per-shard sub-requests,
-// gathers under one absolute deadline, and reassembles results in input
-// order — which makes the merge deterministic by construction: slot i of
-// the output is always query i's result, computed by the same model code
-// a single-process ReformulateTerms call would run, so the merged batch
-// is bit-identical to the unsharded one (sharded_e2e_test.cc fingerprints
-// it).
+// Connects to a FleetTopology (N shard groups × R replicas), hash-
+// partitions a batch of queries by group ownership (shard/partition.h),
+// splits each group's queries into sub-batches, scatters the sub-batches
+// across the group's live replicas, gathers under one absolute deadline,
+// and reassembles results in input order — which makes the merge
+// deterministic by construction: slot i of the output is always query
+// i's result, computed by the same model code a single-process
+// ReformulateTerms call would run, so the merged batch is bit-identical
+// to the unsharded one for any topology and any sub-batch size
+// (sharded_e2e_test.cc fingerprints it).
+//
+// Multiplexing: every request frame carries a router-unique request id
+// in its payload, and responses are matched by that id — so one
+// connection carries any number of in-flight sub-batches, and replies
+// may arrive in any order across (and within) connections without
+// mis-slotting the merge. There is no wire-format change; the id was
+// always there (net/protocol.h), PR 9's router just never had more than
+// one request outstanding per connection.
+//
+// Failover: replicas within a group are interchangeable (same model
+// file), so a sub-batch whose transport fails — dead replica, refused,
+// reset, EOF, or a stream that stops framing — is retried on the next
+// untried replica of the same group, within the *same* absolute batch
+// deadline. Only transport-class (kUnavailable) failures fail over;
+// kDeadlineExceeded is never retried (the budget is spent), and typed
+// remote errors are real answers, not transport loss. Each query's
+// outcome is counted exactly once, at the final merge, no matter how
+// many replicas its sub-batch visited.
 //
 // Typed degradation, never a hang: every wait is bounded by the batch
-// deadline. A shard that stalls costs kDeadlineExceeded for exactly its
-// queries; a shard that is dead, refuses, resets, or EOFs costs
-// kUnavailable; a shard that sends bytes that do not frame or do not
-// decode costs kUnavailable plus one corrupt-frame count, and its
-// connection is closed without resync (the stream position is lost, so
-// every later byte is suspect). Healthy shards' queries are unaffected.
-// Closed connections reconnect lazily on the next call that needs them.
+// deadline. A replica that stalls costs kDeadlineExceeded for exactly
+// the queries still riding on it; a group whose every replica is dead
+// costs kUnavailable; a replica that sends bytes that do not frame, do
+// not decode, or carry an unknown request id costs one corrupt-frame
+// count, its connection is closed without resync (the stream position
+// is lost, so every later byte is suspect), and its in-flight
+// sub-batches fail over like any transport loss. Healthy groups'
+// queries are unaffected. Closed connections reconnect lazily on the
+// next call that needs them.
 //
 // Thread-safety: none — a router is a single-threaded client by
-// contract (one outstanding request per shard connection is what makes
-// request/response matching trivial). Use one router per thread.
+// contract. Use one router per thread.
 
 #pragma once
 
@@ -30,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "net/frame.h"
 #include "net/protocol.h"
@@ -40,100 +62,153 @@
 
 namespace kqr {
 
-struct ShardAddress {
-  std::string host = "127.0.0.1";
-  uint16_t port = 0;
-};
-
 struct RouterOptions {
   /// Bound on each TCP connect attempt (also clipped by the caller's
   /// batch deadline when reconnecting lazily).
   double connect_timeout_seconds = 2.0;
-  /// Applied when a call passes deadline_seconds = 0.
+  /// Applied when a call passes Deadline::Default().
   double default_deadline_seconds = 5.0;
   size_t max_frame_payload = kMaxFramePayload;
+  /// Queries per scattered sub-batch. A group's queries are split into
+  /// chunks of this size and the chunks spread round-robin across the
+  /// group's replicas, pipelined (multiple chunks may be in flight on
+  /// one connection). 0 sends each group's whole share as a single
+  /// sub-batch — the PR 9 one-request-per-group wire shape, kept as the
+  /// bench comparison arm. Results are bit-identical either way.
+  size_t subbatch_queries = 8;
 
   Status Validate() const;
 };
 
+/// \brief Names one replica of one group, for control-plane calls
+/// (health / stats / swap) that address a specific process.
+struct ReplicaRef {
+  size_t group = 0;
+  size_t replica = 0;
+};
+
 /// \brief Point-in-time router accounting (kqr_shard_router_* metrics).
-/// Query outcome counters partition kqr_shard_router_queries_total.
+/// Query outcome counters (ok/unavailable/deadline_exceeded/
+/// remote_errors) partition kqr_shard_router_queries_total: each query
+/// is counted once at the final merge, never per attempt.
 struct RouterStats {
   uint64_t batches = 0;
   uint64_t queries = 0;
-  uint64_t scatters = 0;  ///< per-shard sub-requests sent (or attempted)
+  uint64_t scatters = 0;  ///< sub-batch send attempts (incl. retries)
   uint64_t ok = 0;
   uint64_t unavailable = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t remote_errors = 0;  ///< typed non-transport errors from shards
   uint64_t corrupt_frames = 0;
   uint64_t reconnects = 0;  ///< successful re-establishments after a loss
+  uint64_t failovers = 0;   ///< sub-batches re-sent to another replica
 };
 
 /// \brief Scatter/gather client over a fleet of ShardServer processes.
 class ShardRouter {
  public:
-  /// \brief Builds a router over `shards` (fixed fleet size; the
-  /// partition function depends on it). Connections are attempted
-  /// eagerly but a down shard does not fail construction — its queries
-  /// degrade to kUnavailable until it comes back (lazy reconnect).
+  /// \brief Builds a router over `topology` (validated; fixed shape —
+  /// the partition function depends on the group count). Connections
+  /// are attempted eagerly but a down replica does not fail
+  /// construction — its traffic fails over to its group's other
+  /// replicas (or degrades to kUnavailable when the whole group is
+  /// down) until it comes back (lazy reconnect).
+  static Result<std::unique_ptr<ShardRouter>> Connect(
+      FleetTopology topology, RouterOptions options = {});
+
+  /// \brief Deprecated flat-fleet form: builds a 1-replica-per-group
+  /// topology. Migrate to Connect(FleetTopology, RouterOptions).
+  [[deprecated(
+      "build a FleetTopology (e.g. FleetTopology::SingleReplica) and "
+      "call Connect(FleetTopology, RouterOptions)")]]
   static Result<std::unique_ptr<ShardRouter>> Connect(
       std::vector<ShardAddress> shards, RouterOptions options = {});
 
-  ~ShardRouter();  // out-of-line: ShardConn/Metrics are .cc-private
+  ~ShardRouter();  // out-of-line: ReplicaConn/Metrics are .cc-private
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
   /// \brief Scatter/gather reformulation. Returns one Result per input
-  /// query, in input order. deadline_seconds = 0 uses the router default.
+  /// query, in input order. Deadline::Default() uses the router's
+  /// default_deadline_seconds.
   std::vector<ServeResult> ReformulateBatch(
       const std::vector<std::vector<TermId>>& queries, size_t k,
-      double deadline_seconds = 0.0);
+      Deadline deadline = Deadline::Default());
+
+  [[deprecated("pass a kqr::Deadline")]]
+  std::vector<ServeResult> ReformulateBatch(
+      const std::vector<std::vector<TermId>>& queries, size_t k,
+      double deadline_seconds);
 
   /// \brief Single-query convenience (a batch of one).
   ServeResult Reformulate(const std::vector<TermId>& terms, size_t k,
-                          double deadline_seconds = 0.0);
+                          Deadline deadline = Deadline::Default());
 
-  Result<HealthResponse> Health(size_t shard,
-                                double deadline_seconds = 0.0);
-  /// Stats JSON scraped from one shard.
-  Result<std::string> Stats(size_t shard, double deadline_seconds = 0.0);
-  /// \brief Asks one shard to swap to the model at `model_path`.
+  [[deprecated("pass a kqr::Deadline")]]
+  ServeResult Reformulate(const std::vector<TermId>& terms, size_t k,
+                          double deadline_seconds);
+
+  Result<HealthResponse> Health(ReplicaRef target,
+                                Deadline deadline = Deadline::Default());
+  /// Stats JSON scraped from one replica.
+  Result<std::string> Stats(ReplicaRef target,
+                            Deadline deadline = Deadline::Default());
+  /// \brief Asks one replica to swap to the model at `model_path`.
+  Result<SwapResponse> SwapModel(ReplicaRef target,
+                                 const std::string& model_path,
+                                 Deadline deadline = Deadline::Default());
+
+  [[deprecated("address replicas with a ReplicaRef{group, replica}")]]
+  Result<HealthResponse> Health(size_t shard, double deadline_seconds);
+  [[deprecated("address replicas with a ReplicaRef{group, replica}")]]
+  Result<std::string> Stats(size_t shard, double deadline_seconds);
+  [[deprecated("address replicas with a ReplicaRef{group, replica}")]]
   Result<SwapResponse> SwapModel(size_t shard,
                                  const std::string& model_path,
-                                 double deadline_seconds = 0.0);
+                                 double deadline_seconds);
 
-  size_t num_shards() const;
+  const FleetTopology& topology() const { return topology_; }
+  size_t num_groups() const { return topology_.groups.size(); }
+  size_t num_replicas() const { return topology_.num_replicas(); }
+  size_t num_replicas(size_t group) const {
+    return topology_.groups[group].size();
+  }
   RouterStats stats() const;
   MetricsRegistry* metrics_registry() { return &registry_; }
 
  private:
   using Clock = std::chrono::steady_clock;
 
-  struct ShardConn;
+  struct ReplicaConn;
   struct Metrics;
+  struct Chunk;
 
-  explicit ShardRouter(RouterOptions options);
+  explicit ShardRouter(FleetTopology topology, RouterOptions options);
 
-  /// Connects `shard` if it is not connected; counts re-establishments.
-  Status EnsureConnected(size_t shard, Clock::time_point deadline);
-  /// Closes `shard`'s connection (stream desync or transport loss).
-  void Disconnect(size_t shard);
+  /// Connects flat replica `conn` if it is not connected; counts
+  /// re-establishments.
+  Status EnsureConnected(size_t conn, Clock::time_point deadline);
+  /// Closes `conn` (stream desync or transport loss).
+  void Disconnect(size_t conn);
   /// Writes all of `wire`, bounded by `deadline`.
-  Status WriteAll(size_t shard, const std::string& wire,
+  Status WriteAll(size_t conn, const std::string& wire,
                   Clock::time_point deadline);
-  /// One blocking request/response exchange on `shard` (health / stats /
+  /// One blocking request/response exchange on `conn` (health / stats /
   /// swap — reformulation uses the multiplexed gather path instead).
-  Result<Frame> Call(size_t shard, FrameType request_type,
+  Result<Frame> Call(size_t conn, FrameType request_type,
                      const std::string& payload, FrameType response_type,
                      Clock::time_point deadline);
 
-  Clock::time_point DeadlineFor(double deadline_seconds) const;
+  Result<size_t> FlatIndex(ReplicaRef target) const;
+  Clock::time_point DeadlineFor(Deadline deadline) const;
 
+  FleetTopology topology_;
   RouterOptions options_;
   MetricsRegistry registry_;
   std::unique_ptr<Metrics> metrics_;
-  std::vector<ShardConn> conns_;
+  std::vector<ReplicaConn> conns_;  ///< flattened, group-major
+  std::vector<size_t> group_base_;  ///< group -> first flat index
+  std::vector<size_t> rr_;          ///< group -> round-robin cursor
   uint64_t next_request_id_ = 1;
 };
 

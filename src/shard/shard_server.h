@@ -15,6 +15,14 @@
 // loop through a mutex-guarded done-queue plus an eventfd wakeup; only
 // the loop thread ever touches a socket.
 //
+// Multiplexed connections: the loop decodes every complete frame a read
+// produces and dispatches each immediately, so one connection may carry
+// any number of in-flight requests; responses are written in completion
+// order, not arrival order, and carry the request id that correlates
+// them (net/protocol.h). The router's out-of-order gather depends on
+// exactly this behavior — a shard never owes responses in request
+// order.
+//
 // Fault posture (shard side): any malformed byte on a connection —
 // corrupt frame, unknown type, undecodable payload — counts one
 // kqr_shard_corrupt_frames_total and closes that connection. There is no

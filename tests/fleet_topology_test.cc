@@ -1,0 +1,210 @@
+// Validation surface of the fleet/deadline API redesign: FleetTopology
+// shapes (empty fleets, empty groups, duplicate or malformed
+// addresses), RouterOptions, ShardRouter::Connect's rejection of
+// invalid topologies, the kqr::Deadline value type, and the deprecated
+// flat-fleet Connect shim (which must build a 1-replica-per-group
+// topology, not a different routing function).
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/engine_builder.h"
+#include "core/serving_model.h"
+#include "shard/partition.h"
+#include "shard/router.h"
+#include "shard/shard_server.h"
+#include "test_fixtures.h"
+
+namespace kqr {
+namespace {
+
+std::shared_ptr<const ServingModel> MakeModel() {
+  auto model = EngineBuilder().Build(testing_fixtures::MakeMicroDblp());
+  KQR_CHECK(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+TEST(FleetTopology, SingleReplicaFactoryBuildsOneReplicaGroups) {
+  const FleetTopology topology = FleetTopology::SingleReplica(
+      {{"127.0.0.1", 7001}, {"127.0.0.1", 7002}, {"127.0.0.1", 7003}});
+  EXPECT_EQ(topology.num_groups(), 3u);
+  EXPECT_EQ(topology.num_replicas(), 3u);
+  for (const auto& group : topology.groups) {
+    ASSERT_EQ(group.size(), 1u);
+  }
+  EXPECT_EQ(topology.groups[1][0].port, 7002);
+  EXPECT_TRUE(topology.Validate().ok());
+}
+
+TEST(FleetTopology, ReplicatedFactoryKeepsGroupShape) {
+  const FleetTopology topology = FleetTopology::Replicated(
+      {{{"127.0.0.1", 7001}, {"127.0.0.1", 7002}},
+       {{"127.0.0.1", 7003}, {"127.0.0.1", 7004}}});
+  EXPECT_EQ(topology.num_groups(), 2u);
+  EXPECT_EQ(topology.num_replicas(), 4u);
+  EXPECT_TRUE(topology.Validate().ok());
+}
+
+TEST(FleetTopology, ValidateRejectsEmptyFleet) {
+  EXPECT_TRUE(FleetTopology{}.Validate().IsInvalidArgument());
+}
+
+TEST(FleetTopology, ValidateRejectsGroupWithZeroReplicas) {
+  FleetTopology topology;
+  topology.groups = {{{"127.0.0.1", 7001}}, {}};
+  EXPECT_TRUE(topology.Validate().IsInvalidArgument());
+}
+
+TEST(FleetTopology, ValidateRejectsDuplicateAddressAcrossGroups) {
+  FleetTopology topology;
+  topology.groups = {{{"127.0.0.1", 7001}},
+                     {{"127.0.0.1", 7002}, {"127.0.0.1", 7001}}};
+  EXPECT_TRUE(topology.Validate().IsInvalidArgument());
+}
+
+TEST(FleetTopology, ValidateRejectsDuplicateReplicaWithinAGroup) {
+  FleetTopology topology;
+  topology.groups = {{{"127.0.0.1", 7001}, {"127.0.0.1", 7001}}};
+  EXPECT_TRUE(topology.Validate().IsInvalidArgument());
+}
+
+TEST(FleetTopology, ValidateRejectsEmptyHostAndPortZero) {
+  FleetTopology no_host;
+  no_host.groups = {{{"", 7001}}};
+  EXPECT_TRUE(no_host.Validate().IsInvalidArgument());
+
+  FleetTopology no_port;
+  no_port.groups = {{{"127.0.0.1", 0}}};
+  EXPECT_TRUE(no_port.Validate().IsInvalidArgument());
+}
+
+TEST(RouterOptionsValidate, RejectsNonPositiveTimeoutsAndBadPayloadCap) {
+  RouterOptions ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  RouterOptions bad_connect;
+  bad_connect.connect_timeout_seconds = 0.0;
+  EXPECT_TRUE(bad_connect.Validate().IsInvalidArgument());
+
+  RouterOptions bad_deadline;
+  bad_deadline.default_deadline_seconds = -1.0;
+  EXPECT_TRUE(bad_deadline.Validate().IsInvalidArgument());
+
+  RouterOptions bad_payload;
+  bad_payload.max_frame_payload = 0;
+  EXPECT_TRUE(bad_payload.Validate().IsInvalidArgument());
+
+  RouterOptions zero_subbatch;  // 0 = whole-group sub-batches: legal
+  zero_subbatch.subbatch_queries = 0;
+  EXPECT_TRUE(zero_subbatch.Validate().ok());
+}
+
+TEST(RouterConnect, RejectsInvalidTopology) {
+  auto empty = ShardRouter::Connect(FleetTopology{});
+  EXPECT_TRUE(empty.status().IsInvalidArgument());
+
+  FleetTopology hollow_group;
+  hollow_group.groups = {{{"127.0.0.1", 7001}}, {}};
+  auto hollow = ShardRouter::Connect(std::move(hollow_group));
+  EXPECT_TRUE(hollow.status().IsInvalidArgument());
+
+  FleetTopology duplicated;
+  duplicated.groups = {{{"127.0.0.1", 7001}}, {{"127.0.0.1", 7001}}};
+  auto duplicate = ShardRouter::Connect(std::move(duplicated));
+  EXPECT_TRUE(duplicate.status().IsInvalidArgument());
+}
+
+TEST(RouterConnect, RejectsInvalidOptions) {
+  RouterOptions options;
+  options.default_deadline_seconds = 0.0;
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", 7001}}), options);
+  EXPECT_TRUE(router.status().IsInvalidArgument());
+}
+
+TEST(RouterConnect, DeprecatedFlatShimBuildsSingleReplicaTopology) {
+  // The shim exists for one PR so downstream call sites migrate
+  // gracefully; it must route exactly like the explicit factory form.
+  auto model = MakeModel();
+  auto shard = ShardServer::Start(model, /*loader=*/nullptr);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto router = ShardRouter::Connect(
+      std::vector<ShardAddress>{{"127.0.0.1", (*shard)->port()}});
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  EXPECT_EQ((*router)->num_groups(), 1u);
+  EXPECT_EQ((*router)->num_replicas(), 1u);
+  EXPECT_EQ((*router)->topology().groups[0][0].port, (*shard)->port());
+  auto health = (*router)->Health({0, 0});
+  EXPECT_TRUE(health.ok()) << health.status().ToString();
+}
+
+TEST(RouterControlPlane, OutOfRangeReplicaRefIsInvalidArgument) {
+  auto model = MakeModel();
+  auto shard = ShardServer::Start(model, /*loader=*/nullptr);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", (*shard)->port()}}));
+  ASSERT_TRUE(router.ok());
+
+  EXPECT_TRUE((*router)->Health({1, 0}).status().IsInvalidArgument());
+  EXPECT_TRUE((*router)->Health({0, 1}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      (*router)->SwapModel({7, 0}, "x").status().IsInvalidArgument());
+}
+
+TEST(DeadlineType, DefaultDefersAndAfterFixesAnAbsolutePoint) {
+  const Deadline deferred;
+  EXPECT_TRUE(deferred.is_default());
+  EXPECT_TRUE(Deadline::Default().is_default());
+  EXPECT_EQ(deferred, Deadline::Default());
+  EXPECT_FALSE(deferred.expired());  // "default" is never "expired"
+
+  const Deadline soon = Deadline::After(60.0);
+  EXPECT_FALSE(soon.is_default());
+  EXPECT_FALSE(soon.expired());
+  EXPECT_GT(soon.RemainingSeconds(), 59.0);
+  EXPECT_LE(soon.RemainingSeconds(), 60.0);
+
+  // After(0) means "already expired", not "no deadline" — the exact
+  // footgun the old 0-means-default convention had.
+  EXPECT_FALSE(Deadline::After(0.0).is_default());
+  EXPECT_TRUE(Deadline::After(0.0).expired());
+  EXPECT_TRUE(Deadline::After(-5.0).expired());  // clamps, still a deadline
+}
+
+TEST(DeadlineType, AfterIsFixedAtConstructionNotAtUse) {
+  const Deadline d = Deadline::After(0.05);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(d.expired()) << "After() must not re-anchor at use time";
+}
+
+TEST(DeadlineType, AtCarriesTheExactPoint) {
+  const auto when =
+      Deadline::Clock::now() + std::chrono::milliseconds(1500);
+  const Deadline d = Deadline::At(when);
+  EXPECT_FALSE(d.is_default());
+  EXPECT_EQ(d.when(), when);
+  EXPECT_EQ(d.ResolveOr(99.0), when);  // explicit beats the default
+}
+
+TEST(DeadlineType, ResolveOrAnchorsTheDefaultAtCallTime) {
+  const Deadline deferred;
+  const auto now = Deadline::Clock::now();
+  const auto resolved = deferred.ResolveOr(5.0);
+  const double seconds =
+      std::chrono::duration<double>(resolved - now).count();
+  EXPECT_GT(seconds, 4.5);
+  EXPECT_LT(seconds, 5.5);
+}
+
+}  // namespace
+}  // namespace kqr

@@ -257,6 +257,41 @@ class WaiverTest(LintCase):
         self.assertFalse(self.findings_for("lock-discipline"))
 
 
+class SilentEmptyTest(LintCase):
+    def test_fires_on_or_empty_declaration(self):
+        self.write("src/core/a.h",
+                   "#pragma once\n"
+                   "std::vector<int> RankTermsOrEmpty(int k) const;\n")
+        self.assertTrue(self.findings_for("silent-empty"))
+
+    def test_fires_on_or_empty_call(self):
+        self.write("src/core/a.cc",
+                   "void f() { auto r = model.ReformulateTermsOrEmpty(q); }\n")
+        self.assertTrue(self.findings_for("silent-empty"))
+
+    def test_result_returning_api_passes(self):
+        self.write("src/core/a.h",
+                   "#pragma once\n"
+                   "Result<std::vector<int>> RankTerms(int k) const;\n")
+        self.assertFalse(self.findings_for("silent-empty"))
+
+    def test_comment_mention_passes(self):
+        self.write("src/core/a.cc",
+                   "// the old ReformulateTermsOrEmpty(q) shim is gone\n")
+        self.assertFalse(self.findings_for("silent-empty"))
+
+    def test_tests_and_bench_are_exempt(self):
+        # The rule polices the library surface, not test doubles.
+        self.write("tests/a.cc", "auto r = FakeOrEmpty(1);\n")
+        self.assertFalse(self.findings_for("silent-empty"))
+
+    def test_waiver_suppresses(self):
+        self.write("src/core/a.h",
+                   "#pragma once\n"
+                   "int CountOrEmpty(int k);  // lint:allow silent-empty\n")
+        self.assertFalse(self.findings_for("silent-empty"))
+
+
 class IncludeCycleTest(LintCase):
     def test_fires_on_two_header_cycle(self):
         self.write("src/a.h", '#pragma once\n#include "b.h"\n')

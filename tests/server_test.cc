@@ -154,12 +154,12 @@ TEST(Server, RequestDeadlinePropagatesIntoPipeline) {
   ASSERT_TRUE(server.ok());
   // A deadline far too tight to serve: whether it expires while queued or
   // between pipeline stages, the caller sees kDeadlineExceeded.
-  auto result = (*server)->Reformulate(terms, 5, /*deadline_seconds=*/1e-9);
+  auto result = (*server)->Reformulate(terms, 5, Deadline::After(1e-9));
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsDeadlineExceeded())
       << result.status().ToString();
   // A generous deadline serves normally.
-  auto relaxed = (*server)->Reformulate(terms, 5, /*deadline_seconds=*/30.0);
+  auto relaxed = (*server)->Reformulate(terms, 5, Deadline::After(30.0));
   EXPECT_TRUE(relaxed.ok()) << relaxed.status().ToString();
 }
 
@@ -292,7 +292,7 @@ TEST(Server, MetricsAccountForEveryOutcome) {
     ASSERT_TRUE((*server)->Reformulate(terms, 5).ok());
   }
   ASSERT_TRUE((*server)
-                  ->Reformulate(terms, 5, /*deadline_seconds=*/1e-9)
+                  ->Reformulate(terms, 5, Deadline::After(1e-9))
                   .status()
                   .IsDeadlineExceeded());
   (*server)->Drain();

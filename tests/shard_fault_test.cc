@@ -116,21 +116,22 @@ TEST(ShardServing, HealthStatsAndNullLoaderSwap) {
   auto shard = ShardServer::Start(model, /*loader=*/nullptr);
   ASSERT_TRUE(shard.ok()) << shard.status().ToString();
 
-  auto router = ShardRouter::Connect({{"127.0.0.1", (*shard)->port()}});
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", (*shard)->port()}}));
   ASSERT_TRUE(router.ok()) << router.status().ToString();
 
-  auto health = (*router)->Health(0);
+  auto health = (*router)->Health({0, 0});
   ASSERT_TRUE(health.ok()) << health.status().ToString();
   EXPECT_EQ(health->model_generation, 1u);
   EXPECT_EQ(health->vocab_terms, model->vocab().size());
 
-  auto stats_json = (*router)->Stats(0);
+  auto stats_json = (*router)->Stats({0, 0});
   ASSERT_TRUE(stats_json.ok()) << stats_json.status().ToString();
   EXPECT_NE(stats_json->find("kqr_shard_requests_total"), std::string::npos);
 
   // No loader installed: the swap round-trips but reports kNotImplemented
   // and the generation does not move.
-  auto swap = (*router)->SwapModel(0, "/nowhere/model.kqr3");
+  auto swap = (*router)->SwapModel({0, 0}, "/nowhere/model.kqr3");
   ASSERT_TRUE(swap.ok()) << swap.status().ToString();
   EXPECT_EQ(swap->status.code(), StatusCode::kNotImplemented);
   EXPECT_EQ((*shard)->generation(), 1u);
@@ -140,7 +141,8 @@ TEST(ShardServing, RoutedAnswersAreBitIdenticalToLocal) {
   auto model = MakeModel();
   auto shard = ShardServer::Start(model, nullptr);
   ASSERT_TRUE(shard.ok()) << shard.status().ToString();
-  auto router = ShardRouter::Connect({{"127.0.0.1", (*shard)->port()}});
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", (*shard)->port()}}));
   ASSERT_TRUE(router.ok());
 
   const std::vector<std::string> queries = {
@@ -171,14 +173,15 @@ TEST(ShardServing, SwapWithLoaderBumpsGenerationAndKeepsServing) {
   ModelLoader loader = [](const std::string&) { return MakeModel(); };
   auto shard = ShardServer::Start(model, std::move(loader));
   ASSERT_TRUE(shard.ok()) << shard.status().ToString();
-  auto router = ShardRouter::Connect({{"127.0.0.1", (*shard)->port()}});
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", (*shard)->port()}}));
   ASSERT_TRUE(router.ok());
 
   const std::vector<TermId> terms = Resolve(*model, "uncertain query");
   auto before = (*router)->Reformulate(terms, 5);
   ASSERT_TRUE(before.ok());
 
-  auto swap = (*router)->SwapModel(0, "any-path");
+  auto swap = (*router)->SwapModel({0, 0}, "any-path");
   ASSERT_TRUE(swap.ok()) << swap.status().ToString();
   ASSERT_TRUE(swap->status.ok()) << swap->status.ToString();
   EXPECT_EQ(swap->model_generation, 2u);
@@ -194,7 +197,7 @@ TEST(ShardServing, SwapWithLoaderBumpsGenerationAndKeepsServing) {
     EXPECT_EQ((*after)[i].terms, (*before)[i].terms);
     EXPECT_EQ((*after)[i].score, (*before)[i].score);
   }
-  auto health = (*router)->Health(0);
+  auto health = (*router)->Health({0, 0});
   ASSERT_TRUE(health.ok());
   EXPECT_EQ(health->model_generation, 2u);
 }
@@ -211,11 +214,12 @@ TEST(ShardFault, DeadShardIsUnavailableNotAHang) {
     dead_port = *listener->local_port();
   }
 
-  auto router = ShardRouter::Connect({{"127.0.0.1", dead_port}});
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", dead_port}}));
   ASSERT_TRUE(router.ok()) << "a down shard must not fail construction";
 
   const Clock::time_point start = Clock::now();
-  auto result = (*router)->Reformulate({1, 2}, 5, /*deadline_seconds=*/2.0);
+  auto result = (*router)->Reformulate({1, 2}, 5, Deadline::After(2.0));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
   EXPECT_LT(SecondsSince(start), 2.5);
@@ -230,13 +234,14 @@ TEST(ShardFault, AcceptThenStallIsDeadlineExceededWithinDeadline) {
   ASSERT_TRUE(listener.ok());
   const uint16_t port = *listener->local_port();
 
-  auto router = ShardRouter::Connect({{"127.0.0.1", port}});
+  auto router =
+      ShardRouter::Connect(FleetTopology::SingleReplica({{"127.0.0.1", port}}));
   ASSERT_TRUE(router.ok());
 
   const std::vector<std::vector<TermId>> queries = {{1}, {2, 3}, {4}};
   const Clock::time_point start = Clock::now();
   auto results =
-      (*router)->ReformulateBatch(queries, 5, /*deadline_seconds=*/0.5);
+      (*router)->ReformulateBatch(queries, 5, Deadline::After(0.5));
   const double elapsed = SecondsSince(start);
   ASSERT_EQ(results.size(), queries.size());
   for (const ServeResult& r : results) {
@@ -263,9 +268,10 @@ TEST(ShardFault, MidStreamDisconnectIsUnavailable) {
     conn.Close();
   });
 
-  auto router = ShardRouter::Connect({{"127.0.0.1", peer.port()}});
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", peer.port()}}));
   ASSERT_TRUE(router.ok());
-  auto result = (*router)->Reformulate({7}, 5, 2.0);
+  auto result = (*router)->Reformulate({7}, 5, Deadline::After(2.0));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
   const RouterStats rs = (*router)->stats();
@@ -284,9 +290,10 @@ TEST(ShardFault, GarbageBytesPeerIsUnavailablePlusOneCorruptFrame) {
     (void)ready;
   });
 
-  auto router = ShardRouter::Connect({{"127.0.0.1", peer.port()}});
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", peer.port()}}));
   ASSERT_TRUE(router.ok());
-  auto result = (*router)->Reformulate({9}, 5, 2.0);
+  auto result = (*router)->Reformulate({9}, 5, Deadline::After(2.0));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
   const RouterStats rs = (*router)->stats();
@@ -308,8 +315,8 @@ TEST(ShardFault, HealthyShardQueriesSurviveADeadShardExactly) {
     ASSERT_TRUE(listener.ok());
     dead_port = *listener->local_port();
   }
-  auto router = ShardRouter::Connect(
-      {{"127.0.0.1", (*shard0)->port()}, {"127.0.0.1", dead_port}});
+  auto router = ShardRouter::Connect(FleetTopology::SingleReplica(
+      {{"127.0.0.1", (*shard0)->port()}, {"127.0.0.1", dead_port}}));
   ASSERT_TRUE(router.ok());
 
   // Single-term queries over the whole micro vocabulary: ownership is
@@ -325,7 +332,8 @@ TEST(ShardFault, HealthyShardQueriesSurviveADeadShardExactly) {
   ASSERT_GT(owned_by_dead, 0u) << "fixture must cover the dead shard";
   ASSERT_LT(owned_by_dead, queries.size()) << "and the live one";
 
-  auto results = (*router)->ReformulateBatch(queries, 5, 5.0);
+  auto results =
+      (*router)->ReformulateBatch(queries, 5, Deadline::After(5.0));
   ASSERT_EQ(results.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     const size_t owner = OwnerShard(std::span<const TermId>(queries[i]), 2);
@@ -358,12 +366,13 @@ TEST(ShardFault, KilledShardProcessIsUnavailableThenRecoverable) {
                             "--demo-venues", "8", "--demo-seed", "7",
                             "--workers", "2"}));
 
-  auto router = ShardRouter::Connect({{"127.0.0.1", shardd.port()}});
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", shardd.port()}}));
   ASSERT_TRUE(router.ok());
-  auto health = (*router)->Health(0, 5.0);
+  auto health = (*router)->Health({0, 0}, Deadline::After(5.0));
   ASSERT_TRUE(health.ok()) << health.status().ToString();
 
-  auto alive = (*router)->Reformulate({1, 2}, 5, 5.0);
+  auto alive = (*router)->Reformulate({1, 2}, 5, Deadline::After(5.0));
   // The query may or may not rank anything, but transport must be clean.
   if (!alive.ok()) {
     EXPECT_NE(alive.status().code(), StatusCode::kUnavailable);
@@ -373,7 +382,7 @@ TEST(ShardFault, KilledShardProcessIsUnavailableThenRecoverable) {
   // SIGKILL: the kernel resets the connection under the router's feet.
   shardd.Kill();
   const Clock::time_point start = Clock::now();
-  auto dead = (*router)->Reformulate({1, 2}, 5, 2.0);
+  auto dead = (*router)->Reformulate({1, 2}, 5, Deadline::After(2.0));
   ASSERT_FALSE(dead.ok());
   EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable);
   EXPECT_LT(SecondsSince(start), 2.5);
@@ -386,9 +395,211 @@ TEST(ShardFault, KilledShardProcessIsUnavailableThenRecoverable) {
        "--demo-seed", "7", "--workers", "2", "--port",
        std::to_string(shardd.port())}));
   ASSERT_EQ(replacement.port(), shardd.port());
-  auto healed = (*router)->Health(0, 5.0);
+  auto healed = (*router)->Health({0, 0}, Deadline::After(5.0));
   ASSERT_TRUE(healed.ok()) << healed.status().ToString();
   EXPECT_GE((*router)->stats().reconnects, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Replica groups: failover and multiplexing. Replicas of a group serve
+// the same model, so the router may retry a transport-failed sub-batch
+// on a sibling replica without changing any answer — and one connection
+// may carry several sub-batches whose responses arrive in any order.
+
+TEST(ShardReplica, DeadReplicaFailsOverWithoutLosingAQuery) {
+  // Group 0 = {refused port, live shard}. Every query must come back
+  // bit-identical to local serving; the dead replica costs failovers,
+  // never outcomes.
+  auto model = MakeModel();
+  auto shard = ShardServer::Start(model, nullptr);
+  ASSERT_TRUE(shard.ok());
+  uint16_t dead_port = 0;
+  {
+    auto listener = Socket::ListenTcp("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = *listener->local_port();
+  }
+  RouterOptions options;
+  options.subbatch_queries = 2;  // several chunks, so both replicas are hit
+  auto router = ShardRouter::Connect(
+      FleetTopology::Replicated(
+          {{{"127.0.0.1", dead_port}, {"127.0.0.1", (*shard)->port()}}}),
+      options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  std::vector<std::vector<TermId>> queries;
+  for (TermId t = 0; t < static_cast<TermId>(model->vocab().size()); ++t) {
+    queries.push_back({t});
+  }
+  auto results =
+      (*router)->ReformulateBatch(queries, 5, Deadline::After(10.0));
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto local = model->ReformulateTerms(queries[i], 5);
+    ASSERT_EQ(results[i].ok(), local.ok()) << "query " << i;
+    if (!local.ok()) {
+      EXPECT_EQ(results[i].status().code(), local.status().code());
+      continue;
+    }
+    ASSERT_EQ(results[i]->size(), local->size());
+    for (size_t j = 0; j < local->size(); ++j) {
+      EXPECT_EQ((*results[i])[j].terms, (*local)[j].terms);
+      EXPECT_EQ((*results[i])[j].score, (*local)[j].score);
+    }
+  }
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.unavailable, 0u);
+  EXPECT_EQ(rs.deadline_exceeded, 0u);
+  EXPECT_GE(rs.failovers, 1u) << "round-robin must have hit the dead one";
+}
+
+TEST(ShardReplica, MidStreamDeathFailsOverToTheSibling) {
+  // Replica 0 consumes the request and vanishes mid-exchange; replica 1
+  // is a real shard. The in-flight sub-batch must be re-sent to the
+  // sibling within the same deadline and still answer correctly.
+  auto model = MakeModel();
+  auto shard = ShardServer::Start(model, nullptr);
+  ASSERT_TRUE(shard.ok());
+  FakePeer peer([](Socket conn) {
+    DrainAtLeast(&conn, 1);
+    conn.Close();  // EOF with a request outstanding: transport loss
+  });
+
+  auto router = ShardRouter::Connect(FleetTopology::Replicated(
+      {{{"127.0.0.1", peer.port()}, {"127.0.0.1", (*shard)->port()}}}));
+  ASSERT_TRUE(router.ok());
+
+  const std::vector<TermId> terms = Resolve(*model, "uncertain query");
+  auto local = model->ReformulateTerms(terms, 5);
+  ASSERT_TRUE(local.ok());
+  auto remote = (*router)->Reformulate(terms, 5, Deadline::After(10.0));
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_EQ(remote->size(), local->size());
+  for (size_t i = 0; i < local->size(); ++i) {
+    EXPECT_EQ((*remote)[i].terms, (*local)[i].terms);
+    EXPECT_EQ((*remote)[i].score, (*local)[i].score);
+  }
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.ok, 1u);
+  EXPECT_EQ(rs.unavailable, 0u);
+  EXPECT_EQ(rs.failovers, 1u);
+}
+
+TEST(ShardReplica, StalledReplicaIsNotRetried) {
+  // kDeadlineExceeded is not a failover trigger: the budget is spent,
+  // and re-sending to a healthy sibling could only answer late. The
+  // live replica must never see the request.
+  auto model = MakeModel();
+  auto shard = ShardServer::Start(model, nullptr);
+  ASSERT_TRUE(shard.ok());
+  auto stall = Socket::ListenTcp("127.0.0.1", 0);  // accepts, never reads
+  ASSERT_TRUE(stall.ok());
+
+  auto router = ShardRouter::Connect(FleetTopology::Replicated(
+      {{{"127.0.0.1", *stall->local_port()},
+        {"127.0.0.1", (*shard)->port()}}}));
+  ASSERT_TRUE(router.ok());
+
+  const Clock::time_point start = Clock::now();
+  auto result = (*router)->Reformulate({1, 2}, 5, Deadline::After(0.5));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(SecondsSince(start), 3.0);
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.deadline_exceeded, 1u);
+  EXPECT_EQ(rs.failovers, 0u);
+}
+
+TEST(ShardReplica, OutOfOrderResponsesAreSlottedByRequestId) {
+  // One connection, two pipelined sub-batches, responses sent in
+  // reverse. The merge must follow request ids, not arrival order.
+  FakePeer peer([](Socket conn) {
+    FrameBuffer in(kMaxFramePayload);
+    std::vector<ReformulateRequest> requests;
+    std::byte buf[4096];
+    while (requests.size() < 2) {
+      auto ready = WaitReadable(conn.fd(), 5.0);
+      if (!ready.ok() || !*ready) return;
+      auto io = conn.Read(std::span<std::byte>(buf));
+      if (!io.ok() || io->eof) return;
+      in.Append(std::span<const std::byte>(buf, io->bytes));
+      for (;;) {
+        auto next = in.Next();
+        if (!next.ok() || !next->has_value()) break;
+        auto request = DecodeReformulateRequest(
+            std::as_bytes(std::span((*next)->payload)));
+        if (!request.ok()) return;
+        requests.push_back(std::move(*request));
+      }
+    }
+    // Reply newest-first, echoing each sub-batch's own terms so the
+    // test can tell which response landed in which slot.
+    for (size_t r = requests.size(); r-- > 0;) {
+      ReformulateResponse response;
+      response.request_id = requests[r].request_id;
+      for (const auto& q : requests[r].queries) {
+        ReformulatedQuery echo;
+        echo.terms = q;
+        echo.score = static_cast<double>(q.front());
+        response.results.push_back(
+            std::vector<ReformulatedQuery>{std::move(echo)});
+      }
+      const std::string wire = EncodeFrameString(
+          FrameType::kReformulateResponse,
+          EncodeReformulateResponse(response));
+      if (!conn.Write(std::as_bytes(std::span(wire))).ok()) return;
+    }
+    auto lingering = WaitReadable(conn.fd(), 2.0);
+    (void)lingering;
+  });
+
+  RouterOptions options;
+  options.subbatch_queries = 1;  // two chunks from a batch of two
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", peer.port()}}), options);
+  ASSERT_TRUE(router.ok());
+
+  const std::vector<std::vector<TermId>> queries = {{11}, {22}};
+  auto results =
+      (*router)->ReformulateBatch(queries, 5, Deadline::After(5.0));
+  ASSERT_EQ(results.size(), 2u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    ASSERT_EQ(results[i]->size(), 1u);
+    EXPECT_EQ((*results[i])[0].terms, queries[i]) << "mis-slotted merge";
+  }
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.ok, 2u);
+  EXPECT_EQ(rs.corrupt_frames, 0u);
+  EXPECT_EQ(rs.failovers, 0u);
+}
+
+TEST(ShardReplica, UnknownRequestIdIsCorruptionNotAMixup) {
+  // A well-formed response carrying an id the router never issued is a
+  // protocol violation: it must not complete anything, and the stream
+  // is closed like any corrupt frame.
+  FakePeer peer([](Socket conn) {
+    DrainAtLeast(&conn, 1);
+    ReformulateResponse bogus;
+    bogus.request_id = 0xdeadbeef;  // never a router-issued id
+    bogus.results.push_back(std::vector<ReformulatedQuery>{});
+    const std::string wire =
+        EncodeFrameString(FrameType::kReformulateResponse,
+                          EncodeReformulateResponse(bogus));
+    (void)conn.Write(std::as_bytes(std::span(wire)));
+    auto lingering = WaitReadable(conn.fd(), 2.0);
+    (void)lingering;
+  });
+
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", peer.port()}}));
+  ASSERT_TRUE(router.ok());
+  auto result = (*router)->Reformulate({3}, 5, Deadline::After(2.0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  const RouterStats rs = (*router)->stats();
+  EXPECT_EQ(rs.corrupt_frames, 1u);
+  EXPECT_EQ(rs.unavailable, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -420,9 +631,10 @@ TEST(ShardFault, ShardClosesConnectionOnGarbageBytes) {
   EXPECT_EQ(ss.connections_closed, 1u);
 
   // And a well-formed client still gets service afterwards.
-  auto router = ShardRouter::Connect({{"127.0.0.1", (*shard)->port()}});
+  auto router = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", (*shard)->port()}}));
   ASSERT_TRUE(router.ok());
-  auto health = (*router)->Health(0);
+  auto health = (*router)->Health({0, 0});
   EXPECT_TRUE(health.ok()) << health.status().ToString();
 }
 

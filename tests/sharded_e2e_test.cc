@@ -1,10 +1,13 @@
 // Multi-process end-to-end test for term-sharded serving (DESIGN.md §8):
 // real kqr_shardd child processes, a ShardRouter over loopback, and the
-// determinism contract checked fleet-size by fleet-size — the merged
-// answers of 1, 2 and 4 shards must fingerprint bit-identically to a
-// single-process ReformulateTerms over the same model file. A final case
-// hot-swaps the model under continuous traffic and requires zero shed
-// requests across the rollover.
+// determinism contract checked topology by topology — the merged answers
+// of 1, 2 and 4 single-replica groups AND of a replicated 2x2 fleet must
+// fingerprint bit-identically to a single-process ReformulateTerms over
+// the same model file. Two survival cases run under continuous traffic:
+// a hot model swap must shed nothing across the rollover, and killing
+// one replica per group must cost zero query outcomes — the router's
+// failover retries every sub-batch the dead replicas were carrying on
+// their live siblings within the same deadline.
 //
 // All shards open the same v3 model via the mmap path (--model), which is
 // exactly the production shape: partition decides query ownership, not
@@ -139,28 +142,36 @@ std::string* ShardedE2E::model_path_ = nullptr;
 std::vector<std::vector<TermId>>* ShardedE2E::queries_ = nullptr;
 std::vector<uint64_t>* ShardedE2E::reference_ = nullptr;
 
-void ExpectFleetMatchesReference(size_t num_shards,
+/// Spawns `groups` x `replicas` daemons, routes the query corpus
+/// through them, and requires every answer to fingerprint-match the
+/// single-process reference.
+void ExpectFleetMatchesReference(size_t groups, size_t replicas,
                                  const std::vector<std::vector<TermId>>& queries,
                                  const std::vector<uint64_t>& reference) {
-  std::vector<ShardProcess> fleet(num_shards);
-  std::vector<ShardAddress> addresses;
-  for (size_t i = 0; i < num_shards; ++i) {
-    ASSERT_TRUE(fleet[i].Start(ShardedE2E::ShardArgs()))
-        << "shard " << i << " of " << num_shards;
-    addresses.push_back({"127.0.0.1", fleet[i].port()});
+  std::vector<ShardProcess> fleet(groups * replicas);
+  FleetTopology topology;
+  topology.groups.resize(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t r = 0; r < replicas; ++r) {
+      ShardProcess& proc = fleet[g * replicas + r];
+      ASSERT_TRUE(proc.Start(ShardedE2E::ShardArgs()))
+          << "replica " << g << "." << r;
+      topology.groups[g].push_back({"127.0.0.1", proc.port()});
+    }
   }
-  auto router = ShardRouter::Connect(std::move(addresses));
+  auto router = ShardRouter::Connect(std::move(topology));
   ASSERT_TRUE(router.ok()) << router.status().ToString();
 
-  auto results = (*router)->ReformulateBatch(queries, kTopK,
-                                             /*deadline_seconds=*/60.0);
+  auto results =
+      (*router)->ReformulateBatch(queries, kTopK, Deadline::After(60.0));
   ASSERT_EQ(results.size(), queries.size());
   size_t mismatches = 0;
   for (size_t i = 0; i < results.size(); ++i) {
     if (Fingerprint(results[i]) != reference[i]) {
       ++mismatches;
-      ADD_FAILURE() << num_shards << "-shard fleet diverges on query " << i
-                    << ": " << results[i].status().ToString();
+      ADD_FAILURE() << groups << "x" << replicas
+                    << " fleet diverges on query " << i << ": "
+                    << results[i].status().ToString();
     }
   }
   EXPECT_EQ(mismatches, 0u);
@@ -168,18 +179,89 @@ void ExpectFleetMatchesReference(size_t num_shards,
   EXPECT_EQ(rs.unavailable, 0u);
   EXPECT_EQ(rs.deadline_exceeded, 0u);
   EXPECT_EQ(rs.corrupt_frames, 0u);
+  EXPECT_EQ(rs.failovers, 0u) << "healthy fleet must not fail over";
 }
 
 TEST_F(ShardedE2E, OneShardFleetIsBitIdenticalToLocal) {
-  ExpectFleetMatchesReference(1, *queries_, *reference_);
+  ExpectFleetMatchesReference(1, 1, *queries_, *reference_);
 }
 
 TEST_F(ShardedE2E, TwoShardFleetIsBitIdenticalToLocal) {
-  ExpectFleetMatchesReference(2, *queries_, *reference_);
+  ExpectFleetMatchesReference(2, 1, *queries_, *reference_);
 }
 
 TEST_F(ShardedE2E, FourShardFleetIsBitIdenticalToLocal) {
-  ExpectFleetMatchesReference(4, *queries_, *reference_);
+  ExpectFleetMatchesReference(4, 1, *queries_, *reference_);
+}
+
+TEST_F(ShardedE2E, ReplicatedTwoByTwoFleetIsBitIdenticalToLocal) {
+  ExpectFleetMatchesReference(2, 2, *queries_, *reference_);
+}
+
+TEST_F(ShardedE2E, ReplicaDeathUnderTrafficLosesNoQueries) {
+  // 2 groups x 2 replicas. Mid-traffic, one replica of EVERY group is
+  // SIGKILLed. The router's failover must re-send whatever those
+  // replicas were carrying to their live siblings within the same batch
+  // deadline — zero kUnavailable / kDeadlineExceeded outcomes anywhere,
+  // including the batches in flight at kill time, and every answer
+  // still bit-identical to single-process serving.
+  constexpr size_t kGroups = 2;
+  constexpr size_t kReplicas = 2;
+  std::vector<ShardProcess> fleet(kGroups * kReplicas);
+  FleetTopology topology;
+  topology.groups.resize(kGroups);
+  for (size_t g = 0; g < kGroups; ++g) {
+    for (size_t r = 0; r < kReplicas; ++r) {
+      ShardProcess& proc = fleet[g * kReplicas + r];
+      ASSERT_TRUE(proc.Start(ShardArgs())) << "replica " << g << "." << r;
+      topology.groups[g].push_back({"127.0.0.1", proc.port()});
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> mismatched{0};
+  RouterStats traffic_stats;  // written by the thread, read after join
+  std::thread traffic([&] {
+    auto router = ShardRouter::Connect(topology);
+    if (!router.ok()) {
+      mismatched.store(1);
+      return;
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto results =
+          (*router)->ReformulateBatch(*queries_, kTopK, Deadline::After(60.0));
+      for (size_t i = 0; i < results.size(); ++i) {
+        const StatusCode code = results[i].status().code();
+        if (code == StatusCode::kUnavailable ||
+            code == StatusCode::kDeadlineExceeded) {
+          degraded.fetch_add(1);
+        } else if (Fingerprint(results[i]) != (*reference_)[i]) {
+          mismatched.fetch_add(1);
+        }
+      }
+      batches.fetch_add(1);
+    }
+    traffic_stats = (*router)->stats();
+  });
+
+  // Let traffic establish, then kill replica 0 of every group while
+  // batches are in flight.
+  while (batches.load() < 2) std::this_thread::yield();
+  for (size_t g = 0; g < kGroups; ++g) fleet[g * kReplicas + 0].Kill();
+
+  // The fleet must keep answering on the surviving replicas.
+  const uint64_t at_kill = batches.load();
+  while (batches.load() < at_kill + 3) std::this_thread::yield();
+  stop.store(true);
+  traffic.join();
+
+  EXPECT_EQ(degraded.load(), 0u)
+      << "replica death leaked typed degradation past the failover path";
+  EXPECT_EQ(mismatched.load(), 0u) << "failover changed answers";
+  EXPECT_GE(traffic_stats.failovers, 1u)
+      << "the kill must have been absorbed by failover, not luck";
 }
 
 TEST_F(ShardedE2E, HotModelSwapShedsNothingUnderTraffic) {
@@ -194,14 +276,15 @@ TEST_F(ShardedE2E, HotModelSwapShedsNothingUnderTraffic) {
   std::atomic<uint64_t> shed{0};
   std::atomic<uint64_t> failed{0};
   std::thread traffic([&] {
-    auto router =
-        ShardRouter::Connect({{"127.0.0.1", shardd.port()}});
+    auto router = ShardRouter::Connect(
+        FleetTopology::SingleReplica({{"127.0.0.1", shardd.port()}}));
     if (!router.ok()) {
       failed.store(1);
       return;
     }
     while (!stop.load(std::memory_order_relaxed)) {
-      auto results = (*router)->ReformulateBatch(*queries_, kTopK, 60.0);
+      auto results =
+          (*router)->ReformulateBatch(*queries_, kTopK, Deadline::After(60.0));
       for (size_t i = 0; i < results.size(); ++i) {
         const StatusCode code = results[i].status().code();
         if (code == StatusCode::kUnavailable ||
@@ -218,10 +301,11 @@ TEST_F(ShardedE2E, HotModelSwapShedsNothingUnderTraffic) {
   // Let traffic establish, then swap to the same model file (content-
   // identical, so fingerprints keep matching while the generation and
   // the serving stack roll over underneath the load).
-  auto control = ShardRouter::Connect({{"127.0.0.1", shardd.port()}});
+  auto control = ShardRouter::Connect(
+      FleetTopology::SingleReplica({{"127.0.0.1", shardd.port()}}));
   ASSERT_TRUE(control.ok());
   while (batches.load() < 2) std::this_thread::yield();
-  auto swap = (*control)->SwapModel(0, *model_path_, 60.0);
+  auto swap = (*control)->SwapModel({0, 0}, *model_path_, Deadline::After(60.0));
   while (batches.load() < 5) std::this_thread::yield();
   stop.store(true);
   traffic.join();
@@ -231,7 +315,7 @@ TEST_F(ShardedE2E, HotModelSwapShedsNothingUnderTraffic) {
   EXPECT_EQ(swap->model_generation, 2u);
   EXPECT_EQ(shed.load(), 0u) << "hot swap shed requests";
   EXPECT_EQ(failed.load(), 0u) << "hot swap changed answers";
-  auto health = (*control)->Health(0, 10.0);
+  auto health = (*control)->Health({0, 0}, Deadline::After(10.0));
   ASSERT_TRUE(health.ok());
   EXPECT_EQ(health->model_generation, 2u);
 }

@@ -49,6 +49,14 @@ comment on the same line; rule names must match exactly):
                     Clang thread-safety capability analysis sees every
                     acquire and release; a raw primitive is invisible to
                     the analysis and silently exempts whatever it guards
+  silent-empty      no `...OrEmpty(`-style APIs in src/ — a function
+                    that folds every failure into an empty result erases
+                    the error taxonomy (kUnavailable vs kCorruption vs
+                    kDeadlineExceeded ...) the rest of the system is
+                    built on; return Result<T> and let the caller decide
+                    what an error means (the last such shims,
+                    ReformulateTerms[With]OrEmpty, were deleted after
+                    one deprecation cycle)
 
 Usage: python3 tools/lint.py [--root REPO_ROOT]
 Exits 0 when clean, 1 with findings on stderr.
@@ -398,6 +406,27 @@ class Linter:
                                 "and error mapping stay in one place",
                                 raw_lines[line_no - 1])
 
+    # -- silent-empty ---------------------------------------------------
+
+    # Any identifier ending in OrEmpty used as a function (declaration,
+    # definition, or call) — the name is the contract, and the contract
+    # is "errors vanish".
+    SILENT_EMPTY_RE = re.compile(r"\b\w+OrEmpty\s*\(")
+
+    def check_silent_empty(self):
+        for path in find_files(self.root, ("src",), (".h", ".cc")):
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            stripped = strip_comments_and_strings("\n".join(raw_lines))
+            for line_no, line in enumerate(stripped.splitlines(), 1):
+                m = self.SILENT_EMPTY_RE.search(line)
+                if m:
+                    self.report(path, line_no, "silent-empty",
+                                f"'{m.group(0).rstrip('(').rstrip()}' folds "
+                                "errors into an empty result — return "
+                                "Result<T> so callers see the typed Status",
+                                raw_lines[line_no - 1])
+
     # -- include-cycle --------------------------------------------------
 
     INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
@@ -446,6 +475,7 @@ class Linter:
         self.check_io_discipline()
         self.check_lock_discipline()
         self.check_net_discipline()
+        self.check_silent_empty()
         self.check_include_cycles()
         return self.findings
 
